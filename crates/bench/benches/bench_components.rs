@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the substrate components: program generation,
+//! layout passes, the architectural executor, stream extraction, and the
+//! cache model — the pieces every experiment binary composes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+use sfetch_cfg::{layout, CodeImage, EdgeProfile};
+use sfetch_isa::Addr;
+use sfetch_mem::{CacheConfig, SetAssocCache};
+use sfetch_trace::{Executor, StreamExtractor};
+
+fn bench_generation_and_layout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("program_construction");
+    g.sample_size(10);
+    g.bench_function("generate_default_int", |b| {
+        b.iter(|| {
+            black_box(ProgramGenerator::new(GenParams::default_int(), 42).generate().num_blocks())
+        })
+    });
+    let cfg = ProgramGenerator::new(GenParams::default_int(), 42).generate();
+    let profile = EdgeProfile::from_expected(&cfg);
+    g.bench_function("pettis_hansen_layout", |b| {
+        b.iter(|| black_box(layout::pettis_hansen(&cfg, &profile).order().len()))
+    });
+    g.bench_function("build_code_image", |b| {
+        let lay = layout::natural(&cfg);
+        b.iter(|| black_box(CodeImage::build(&cfg, &lay).len_insts()))
+    });
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let cfg = ProgramGenerator::new(GenParams::default_int(), 42).generate();
+    let img = CodeImage::build(&cfg, &layout::natural(&cfg));
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("architectural_execution");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("executor_100k", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for d in Executor::new(&cfg, &img, 7).take(N as usize) {
+                sum = sum.wrapping_add(d.pc.get());
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("executor_plus_stream_extraction_100k", |b| {
+        b.iter(|| {
+            let mut ex = StreamExtractor::new();
+            let mut count = 0u64;
+            for d in Executor::new(&cfg, &img, 7).take(N as usize) {
+                if ex.push(&d).is_some() {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    const N: u64 = 64 * 1024;
+    let mut g = c.benchmark_group("cache_model");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("l1i_64k_2way_accesses", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size_bytes: 64 << 10,
+            assoc: 2,
+            line_bytes: 128,
+        });
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..N {
+                // Strided walk with some reuse.
+                let addr = Addr::new((i * 68) % (256 << 10));
+                hits += u64::from(cache.access(addr));
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation_and_layout, bench_executor, bench_cache);
+criterion_main!(benches);

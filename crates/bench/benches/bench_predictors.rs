@@ -1,0 +1,144 @@
+//! Criterion microbenchmarks of the prediction structures (the per-lookup
+//! cost behind every figure): 2bcgskew, perceptron, gshare, BTB/FTB, and
+//! the cascaded next-stream / next-trace predictors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sfetch_isa::{Addr, BranchKind};
+use sfetch_predictors::{
+    Btb, Ftb, FtbEntry, Gshare, NextStreamPredictor, NextTracePredictor, PerceptronPredictor,
+    StreamPredictorConfig, StreamUpdate, TraceId, TracePredictorConfig, TwoBcGskew,
+};
+
+const N: u64 = 1024;
+
+fn pcs() -> Vec<Addr> {
+    (0..N).map(|i| Addr::new(0x40_0000 + (i * 36 % 8192) * 4)).collect()
+}
+
+fn bench_direction_predictors(c: &mut Criterion) {
+    let pcs = pcs();
+    let mut g = c.benchmark_group("direction_predictors");
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("2bcgskew_predict_update", |b| {
+        let mut p = TwoBcGskew::ev8();
+        let mut hist = 0u64;
+        b.iter(|| {
+            for (i, &pc) in pcs.iter().enumerate() {
+                let taken = i % 3 != 0;
+                black_box(p.predict(pc, hist));
+                p.update(pc, hist, taken);
+                hist = (hist << 1) | u64::from(taken);
+            }
+        })
+    });
+
+    g.bench_function("perceptron_predict_update", |b| {
+        let mut p = PerceptronPredictor::table2();
+        let mut hist = 0u64;
+        b.iter(|| {
+            for (i, &pc) in pcs.iter().enumerate() {
+                let taken = i % 3 != 0;
+                black_box(p.predict(pc, hist));
+                p.update(pc, hist, taken);
+                hist = (hist << 1) | u64::from(taken);
+            }
+        })
+    });
+
+    g.bench_function("gshare_predict_update", |b| {
+        let mut p = Gshare::new(16 * 1024, 12);
+        let mut hist = 0u64;
+        b.iter(|| {
+            for (i, &pc) in pcs.iter().enumerate() {
+                let taken = i % 3 != 0;
+                black_box(p.predict(pc, hist));
+                p.update(pc, hist, taken);
+                hist = (hist << 1) | u64::from(taken);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_target_predictors(c: &mut Criterion) {
+    let pcs = pcs();
+    let mut g = c.benchmark_group("target_predictors");
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("btb_lookup_update", |b| {
+        let mut btb = Btb::new(2048, 4);
+        b.iter(|| {
+            for &pc in &pcs {
+                black_box(btb.lookup(pc));
+                btb.update(pc, Addr::new(pc.get() + 64), BranchKind::Cond);
+            }
+        })
+    });
+
+    g.bench_function("ftb_lookup_update", |b| {
+        let mut ftb = Ftb::new(2048, 4);
+        b.iter(|| {
+            for &pc in &pcs {
+                black_box(ftb.lookup(pc));
+                ftb.update(
+                    pc,
+                    FtbEntry { len: 9, kind: BranchKind::Cond, target: Addr::new(pc.get() + 64) },
+                );
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_unit_predictors(c: &mut Criterion) {
+    let pcs = pcs();
+    let mut g = c.benchmark_group("unit_predictors");
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("next_stream_predict_commit", |b| {
+        let mut p = NextStreamPredictor::new(StreamPredictorConfig::table2());
+        b.iter(|| {
+            for &pc in &pcs {
+                black_box(p.predict(pc));
+                p.notify_fetch(pc);
+                p.commit_stream(StreamUpdate {
+                    start: pc,
+                    len: 17,
+                    kind: Some(BranchKind::Cond),
+                    next: Addr::new(pc.get() + 68),
+                    mispredicted: false,
+                });
+            }
+        })
+    });
+
+    g.bench_function("next_trace_predict_commit", |b| {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::table2());
+        b.iter(|| {
+            for &pc in &pcs {
+                black_box(p.predict(pc));
+                let id = TraceId { start: pc, dirs: 0b101, n_cond: 3 };
+                p.notify_fetch(id, Some(BranchKind::Cond));
+                p.commit_trace(sfetch_predictors::trace_pred::TraceUpdate {
+                    id,
+                    len: 16,
+                    term: Some(BranchKind::Cond),
+                    next: Addr::new(pc.get() + 64),
+                    mispredicted: false,
+                });
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direction_predictors,
+    bench_target_predictors,
+    bench_unit_predictors
+);
+criterion_main!(benches);

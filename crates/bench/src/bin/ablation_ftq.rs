@@ -1,0 +1,58 @@
+//! Ablation B (§3.3): FTQ depth sweep for the stream front-end.
+//!
+//! The FTQ lets the predictor run ahead of the I-cache; the paper uses 4
+//! entries (Table 2) and notes each stream entry covers many instructions,
+//! so little depth is needed. We sweep 1–16 entries.
+//!
+//! ```text
+//! cargo run --release -p sfetch-bench --bin ablation_ftq [-- --inst N]
+//! ```
+
+use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_core::metrics::harmonic_mean;
+use sfetch_fetch::StreamEngine;
+use sfetch_mem::MemoryConfig;
+use sfetch_predictors::StreamPredictorConfig;
+use sfetch_workloads::{suite, LayoutChoice};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let width = 8usize;
+    let workloads: Vec<_> = ABLATION_BENCHES
+        .iter()
+        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
+        .collect();
+
+    println!("FTQ depth sweep, stream engine, {width}-wide, optimized layout");
+    println!("{:<10} {:>10} {:>10}", "entries", "IPC(hm)", "fetchIPC");
+    for entries in [1usize, 2, 4, 8, 16] {
+        let mut ipcs = Vec::new();
+        let mut fipc = Vec::new();
+        for w in &workloads {
+            let engine = Box::new(StreamEngine::new(
+                width,
+                w.image(LayoutChoice::Optimized).entry(),
+                StreamPredictorConfig::table2(),
+                entries,
+                8,
+            ));
+            let s = run_custom(
+                w,
+                LayoutChoice::Optimized,
+                width,
+                MemoryConfig::table2(width),
+                engine,
+                opts,
+            );
+            ipcs.push(s.ipc());
+            fipc.push(s.fetch_ipc());
+        }
+        println!(
+            "{:<10} {:>10.3} {:>10.2}",
+            entries,
+            harmonic_mean(&ipcs),
+            fipc.iter().sum::<f64>() / fipc.len() as f64
+        );
+    }
+    println!("\npaper setting: 4 entries (Table 2).");
+}

@@ -1,0 +1,59 @@
+//! Figure 7 motivation / §3.4 ablation: stream fetch performance as a
+//! function of the I-cache line width.
+//!
+//! The paper argues long lines amortize the *stream misalignment* problem
+//! (Fig. 7): a stream split across line boundaries costs extra cycles, and
+//! the cost shrinks as lines widen. We sweep the line from 1× to 8× the
+//! pipe width and report stream-engine fetch IPC and IPC (8-wide,
+//! optimized layout; the paper's choice is 4×).
+//!
+//! ```text
+//! cargo run --release -p sfetch-bench --bin ablation_linesize [-- --inst N]
+//! ```
+
+use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_core::metrics::harmonic_mean;
+use sfetch_fetch::StreamEngine;
+use sfetch_mem::MemoryConfig;
+use sfetch_predictors::StreamPredictorConfig;
+use sfetch_workloads::{suite, LayoutChoice};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let width = 8usize;
+    let workloads: Vec<_> = ABLATION_BENCHES
+        .iter()
+        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
+        .collect();
+
+    println!("line-size sweep, stream engine, {width}-wide, optimized layout");
+    println!("{:<12} {:>10} {:>10} {:>12}", "line", "IPC(hm)", "fetchIPC", "i-stalls/ki");
+    for mult in [1u64, 2, 4, 8] {
+        let mut ipcs = Vec::new();
+        let mut fipc = Vec::new();
+        let mut stalls = Vec::new();
+        for w in &workloads {
+            let mut mem = MemoryConfig::table2(width);
+            mem.l1i.line_bytes = mult * width as u64 * 4;
+            let engine = Box::new(StreamEngine::new(
+                width,
+                w.image(LayoutChoice::Optimized).entry(),
+                StreamPredictorConfig::table2(),
+                4,
+                8,
+            ));
+            let s = run_custom(w, LayoutChoice::Optimized, width, mem, engine, opts);
+            ipcs.push(s.ipc());
+            fipc.push(s.fetch_ipc());
+            stalls.push(s.engine.icache_stall_cycles as f64 / (s.committed as f64 / 1000.0));
+        }
+        println!(
+            "{:<12} {:>10.3} {:>10.2} {:>12.2}",
+            format!("{}x ({}B)", mult, mult * width as u64 * 4),
+            harmonic_mean(&ipcs),
+            fipc.iter().sum::<f64>() / fipc.len() as f64,
+            stalls.iter().sum::<f64>() / stalls.len() as f64,
+        );
+    }
+    println!("\npaper setting: 4x width (Table 2); wider lines reduce stream misalignment.");
+}

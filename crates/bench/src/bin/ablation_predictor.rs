@@ -1,0 +1,63 @@
+//! Ablation A (§3.2 design choices): the cascaded next stream predictor
+//! versus a single-level, address-indexed table of the same total budget.
+//!
+//! The paper credits the path-indexed second level (plus hysteresis) with
+//! holding *overlapping streams* — this ablation quantifies that choice.
+//!
+//! ```text
+//! cargo run --release -p sfetch-bench --bin ablation_predictor [-- --inst N]
+//! ```
+
+use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_core::metrics::harmonic_mean;
+use sfetch_fetch::StreamEngine;
+use sfetch_mem::MemoryConfig;
+use sfetch_predictors::StreamPredictorConfig;
+use sfetch_workloads::{suite, LayoutChoice};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let width = 8usize;
+    let workloads: Vec<_> = ABLATION_BENCHES
+        .iter()
+        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
+        .collect();
+
+    println!("stream predictor organization, {width}-wide, optimized layout");
+    println!("{:<22} {:>10} {:>12} {:>12}", "organization", "IPC(hm)", "mispred", "2nd-lvl hits");
+    for (name, config) in [
+        ("cascaded (Table 2)", StreamPredictorConfig::table2()),
+        ("single-level", StreamPredictorConfig::single_level()),
+    ] {
+        let mut ipcs = Vec::new();
+        let mut mis = Vec::new();
+        let mut second = Vec::new();
+        for w in &workloads {
+            let engine = Box::new(StreamEngine::new(
+                width,
+                w.image(LayoutChoice::Optimized).entry(),
+                config,
+                4,
+                8,
+            ));
+            let s = run_custom(
+                w,
+                LayoutChoice::Optimized,
+                width,
+                MemoryConfig::table2(width),
+                engine,
+                opts,
+            );
+            ipcs.push(s.ipc());
+            mis.push(s.mispred_rate() * 100.0);
+            second.push(s.engine.predictor_hits as f64);
+        }
+        println!(
+            "{:<22} {:>10.3} {:>11.2}% {:>12.0}",
+            name,
+            harmonic_mean(&ipcs),
+            mis.iter().sum::<f64>() / mis.len() as f64,
+            second.iter().sum::<f64>() / second.len() as f64,
+        );
+    }
+}

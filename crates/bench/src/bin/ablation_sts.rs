@@ -1,0 +1,50 @@
+//! Ablation C: selective trace storage on/off ([29], used in §4.1).
+//!
+//! With STS, sequential ("blue") traces are not stored in the trace cache —
+//! the wide-line I-cache serves them just as fast — leaving capacity for
+//! the non-sequential ("red") traces only the trace cache can deliver.
+//!
+//! ```text
+//! cargo run --release -p sfetch-bench --bin ablation_sts [-- --inst N]
+//! ```
+
+use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_core::metrics::harmonic_mean;
+use sfetch_fetch::TraceCacheEngine;
+use sfetch_mem::MemoryConfig;
+use sfetch_workloads::{suite, LayoutChoice};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let width = 8usize;
+    let workloads: Vec<_> = ABLATION_BENCHES
+        .iter()
+        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
+        .collect();
+
+    for layout in [LayoutChoice::Base, LayoutChoice::Optimized] {
+        println!("\ntrace cache, {width}-wide, {layout} layout");
+        println!("{:<20} {:>10} {:>10} {:>12}", "storage policy", "IPC(hm)", "fetchIPC", "tc hit rate");
+        for (name, selective) in [("selective (paper)", true), ("store everything", false)] {
+            let mut ipcs = Vec::new();
+            let mut fipc = Vec::new();
+            let mut hit = Vec::new();
+            for w in &workloads {
+                let engine =
+                    Box::new(TraceCacheEngine::new(width, w.image(layout).entry(), selective));
+                let s = run_custom(w, layout, width, MemoryConfig::table2(width), engine, opts);
+                ipcs.push(s.ipc());
+                fipc.push(s.fetch_ipc());
+                let total = s.engine.tc_hits + s.engine.tc_misses;
+                hit.push(if total == 0 { 0.0 } else { s.engine.tc_hits as f64 / total as f64 });
+            }
+            println!(
+                "{:<20} {:>10.3} {:>10.2} {:>11.1}%",
+                name,
+                harmonic_mean(&ipcs),
+                fipc.iter().sum::<f64>() / fipc.len() as f64,
+                100.0 * hit.iter().sum::<f64>() / hit.len() as f64,
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! # sfetch-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! *"Fetching instruction streams"* (see DESIGN.md §3 for the experiment
+//! index). Each binary under `src/bin/` reproduces one artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `figure8` | Fig. 8 (a,b,c): IPC × {2,4,8}-wide × {base, optimized} |
+//! | `figure9` | Fig. 9: per-benchmark IPC, 8-wide optimized |
+//! | `table1`  | Table 1: fetch-unit size & storage cost per engine |
+//! | `table2`  | Table 2: the configuration actually simulated |
+//! | `table3`  | Table 3: misprediction rate & fetch IPC, 8-wide |
+//! | `ablation_linesize` | Fig. 7 motivation: line width sweep |
+//! | `ablation_predictor` | cascaded vs single-level stream predictor |
+//! | `ablation_ftq` | FTQ depth sweep |
+//! | `ablation_sts` | selective trace storage on/off |
+//! | `all` | everything above, in sequence |
+//!
+//! Run with `--inst N` / `--warmup N` to change the measured window
+//! (defaults: 1M measured after 200k warmup per point).
+
+use std::time::Instant;
+
+use sfetch_core::{metrics::harmonic_mean, simulate, Processor, ProcessorConfig, SimStats};
+use sfetch_fetch::{EngineKind, FetchEngine};
+use sfetch_mem::MemoryConfig;
+use sfetch_workloads::{LayoutChoice, Suite, Workload};
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Measured committed instructions per point.
+    pub insts: u64,
+    /// Warmup committed instructions per point (excluded from stats).
+    pub warmup: u64,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts { insts: 1_000_000, warmup: 200_000 }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `--inst N` and `--warmup N` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut o = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--inst" => {
+                    o.insts = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--inst requires a number");
+                    i += 2;
+                }
+                "--warmup" => {
+                    o.warmup = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--warmup requires a number");
+                    i += 2;
+                }
+                other => panic!("unknown argument {other}; supported: --inst N, --warmup N"),
+            }
+        }
+        o
+    }
+}
+
+/// One simulated point of the evaluation grid.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPoint {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Fetch engine.
+    pub engine: EngineKind,
+    /// Layout flavour.
+    pub layout: LayoutChoice,
+    /// Pipe width.
+    pub width: usize,
+    /// Measured statistics.
+    pub stats: SimStats,
+}
+
+/// Simulates one point.
+pub fn run_point(
+    w: &Workload,
+    engine: EngineKind,
+    layout: LayoutChoice,
+    width: usize,
+    opts: HarnessOpts,
+) -> RunPoint {
+    let image = w.image(layout);
+    let stats = simulate(
+        w.cfg(),
+        image,
+        engine,
+        ProcessorConfig::table2(width),
+        w.ref_seed(),
+        opts.warmup,
+        opts.insts,
+    );
+    RunPoint { bench: w.name(), engine, layout, width, stats }
+}
+
+/// Simulates one point with a custom-built engine and memory configuration
+/// (for the ablation studies: line-size sweeps, FTQ depths, predictor
+/// organizations, selective trace storage).
+pub fn run_custom(
+    w: &Workload,
+    layout: LayoutChoice,
+    width: usize,
+    memcfg: MemoryConfig,
+    engine: Box<dyn FetchEngine>,
+    opts: HarnessOpts,
+) -> SimStats {
+    let image = w.image(layout);
+    let mut p = Processor::with_memory(
+        ProcessorConfig::table2(width),
+        memcfg,
+        engine,
+        w.cfg(),
+        image,
+        w.ref_seed(),
+    );
+    p.run(opts.warmup);
+    p.reset_stats();
+    p.run(opts.insts);
+    p.stats()
+}
+
+/// The four-benchmark subset used by the quicker ablation binaries.
+pub const ABLATION_BENCHES: [&str; 4] = ["gzip", "gcc", "crafty", "twolf"];
+
+/// Runs the whole grid for the given widths/layouts/engines, printing a
+/// progress line per benchmark.
+pub fn run_grid(
+    suite: &Suite,
+    widths: &[usize],
+    layouts: &[LayoutChoice],
+    engines: &[EngineKind],
+    opts: HarnessOpts,
+) -> Vec<RunPoint> {
+    let mut out = Vec::new();
+    for w in suite.workloads() {
+        let t0 = Instant::now();
+        for &width in widths {
+            for &layout in layouts {
+                for &engine in engines {
+                    out.push(run_point(w, engine, layout, width, opts));
+                }
+            }
+        }
+        eprintln!("  [{}] done in {:.1}s", w.name(), t0.elapsed().as_secs_f64());
+    }
+    out
+}
+
+/// Harmonic-mean IPC over the suite for a (engine, layout, width) cell.
+pub fn hmean_ipc(points: &[RunPoint], engine: EngineKind, layout: LayoutChoice, width: usize) -> f64 {
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|p| p.engine == engine && p.layout == layout && p.width == width)
+        .map(|p| p.stats.ipc())
+        .collect();
+    harmonic_mean(&vals)
+}
+
+/// Arithmetic mean of a per-point metric over the suite for one cell.
+pub fn mean_metric(
+    points: &[RunPoint],
+    engine: EngineKind,
+    layout: LayoutChoice,
+    width: usize,
+    f: impl Fn(&SimStats) -> f64,
+) -> f64 {
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|p| p.engine == engine && p.layout == layout && p.width == width)
+        .map(|p| f(&p.stats))
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Prints a markdown-style table: rows = engines, columns = (layout).
+pub fn print_engine_table(
+    title: &str,
+    points: &[RunPoint],
+    metric: impl Fn(&[RunPoint], EngineKind, LayoutChoice) -> f64,
+    unit: &str,
+) {
+    println!("\n{title}");
+    println!("{:<18} {:>10} {:>10}", "engine", "base", "optimized");
+    for kind in EngineKind::ALL {
+        let b = metric(points, kind, LayoutChoice::Base);
+        let o = metric(points, kind, LayoutChoice::Optimized);
+        println!("{:<18} {:>9.3}{unit} {:>9.3}{unit}", kind.to_string(), b, o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_are_sane() {
+        let o = HarnessOpts::default();
+        assert!(o.insts >= 100_000);
+        assert!(o.warmup < o.insts);
+    }
+}

@@ -1,0 +1,203 @@
+//! Branch-behaviour models.
+//!
+//! The paper's workloads are real SPECint2000 runs; their branch behaviour is
+//! what makes each front-end's predictor succeed or fail. Our synthetic
+//! programs attach an explicit *behaviour model* to every conditional and
+//! indirect branch so that the aggregate dynamic statistics (taken ratios,
+//! bias distribution, history predictability) can be dialed to match the
+//! characterization the paper reports (≈80% not-taken branch *instances* in
+//! optimized code, ≈60% of *static* branches strongly biased, etc.).
+//!
+//! Behaviours are *logical*: they decide which CFG successor is followed.
+//! Whether that successor is reached by a physically taken branch or by
+//! falling through is a property of the code layout (see
+//! [`crate::layout`]) — exactly the distinction the paper's layout
+//! optimizations exploit.
+
+use std::fmt;
+
+/// Trip-count distribution for loop back-edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TripCount {
+    /// The loop always runs exactly `n` iterations (`n >= 1`).
+    Fixed(u32),
+    /// Uniformly distributed iterations in `[lo, hi]`.
+    Uniform {
+        /// Minimum trip count (>= 1).
+        lo: u32,
+        /// Maximum trip count (>= lo).
+        hi: u32,
+    },
+    /// Geometric-like distribution with the given mean (common for
+    /// while-loops over data-dependent conditions).
+    Geometric {
+        /// Mean trip count (>= 1).
+        mean: u32,
+    },
+}
+
+impl TripCount {
+    /// Mean number of iterations, used for profile seeding and sizing checks.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            TripCount::Fixed(n) => f64::from(n.max(1)),
+            TripCount::Uniform { lo, hi } => f64::from(lo + hi) / 2.0,
+            TripCount::Geometric { mean } => f64::from(mean.max(1)),
+        }
+    }
+}
+
+/// Behaviour model of a conditional branch.
+///
+/// `true` outcomes follow the CFG's *taken edge* (the `taken` successor of
+/// [`crate::graph::Terminator::Cond`]); `false` outcomes follow the
+/// `not_taken` edge. These are logical directions, not physical ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondBehavior {
+    /// Independent Bernoulli draws: the taken edge is followed with
+    /// probability `p_taken`. A perfect predictor mispredicts
+    /// `min(p, 1-p)` of instances — this models data-dependent,
+    /// history-uncorrelated branches.
+    Bernoulli {
+        /// Probability of following the taken edge, in `[0, 1]`.
+        p_taken: f64,
+    },
+    /// Deterministic cyclic pattern of logical directions. Fully predictable
+    /// by a history-based predictor whose history reach covers the period.
+    Pattern(Vec<bool>),
+    /// A loop back-edge: the taken edge (staying in the loop) is followed
+    /// `trip - 1` times, then the not-taken edge exits; the trip count is
+    /// re-sampled on every loop entry.
+    Loop {
+        /// Trip-count distribution.
+        trip: TripCount,
+    },
+    /// The outcome repeats the logical outcome of the `dist`-th most recent
+    /// *conditional branch instance* (optionally inverted), with probability
+    /// `1 - noise`; otherwise a fair coin. Global-history predictors learn
+    /// these; per-address predictors cannot.
+    Correlated {
+        /// How many conditional-branch instances back to look (>= 1).
+        dist: u8,
+        /// Whether the correlated outcome is inverted.
+        invert: bool,
+        /// Probability of ignoring the correlation (0 = perfectly correlated).
+        noise: f64,
+    },
+}
+
+impl CondBehavior {
+    /// Expected long-run probability of following the logical taken edge.
+    ///
+    /// Used to seed the synthetic profile and by tests that assert the
+    /// generated branch mix. For [`CondBehavior::Correlated`] the marginal
+    /// rate depends on the upstream branch; 0.5 is reported.
+    pub fn expected_p_taken(&self) -> f64 {
+        match self {
+            CondBehavior::Bernoulli { p_taken } => *p_taken,
+            CondBehavior::Pattern(p) => {
+                if p.is_empty() {
+                    0.0
+                } else {
+                    p.iter().filter(|&&b| b).count() as f64 / p.len() as f64
+                }
+            }
+            CondBehavior::Loop { trip } => {
+                let m = trip.mean().max(1.0);
+                (m - 1.0) / m
+            }
+            CondBehavior::Correlated { .. } => 0.5,
+        }
+    }
+
+    /// Whether the model is *strongly biased* (≥ `threshold` in one
+    /// direction), the property the FTB exploits by embedding never-taken
+    /// branches (§2.1).
+    pub fn is_strongly_biased(&self, threshold: f64) -> bool {
+        let p = self.expected_p_taken();
+        p >= threshold || p <= 1.0 - threshold
+    }
+}
+
+impl fmt::Display for CondBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondBehavior::Bernoulli { p_taken } => write!(f, "bernoulli({p_taken:.2})"),
+            CondBehavior::Pattern(p) => write!(f, "pattern(len={})", p.len()),
+            CondBehavior::Loop { trip } => write!(f, "loop(mean={:.1})", trip.mean()),
+            CondBehavior::Correlated { dist, invert, noise } => {
+                write!(f, "corr(d={dist},inv={invert},noise={noise:.2})")
+            }
+        }
+    }
+}
+
+/// Target-selection model for indirect jumps and indirect calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndirectSelect {
+    /// Draw a target index by its static weight on every instance —
+    /// effectively unpredictable beyond the hottest target.
+    Weighted,
+    /// Rotate deterministically through the given target indices — path- and
+    /// history-predictable (models phase-structured dispatch loops).
+    Cyclic(Vec<u16>),
+}
+
+impl IndirectSelect {
+    /// The number of distinct target slots this selector can return, given
+    /// `n_targets` listed targets.
+    pub fn reach(&self, n_targets: usize) -> usize {
+        match self {
+            IndirectSelect::Weighted => n_targets,
+            IndirectSelect::Cyclic(seq) => {
+                seq.iter().map(|&i| i as usize).max().map_or(0, |m| (m + 1).min(n_targets))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_means() {
+        assert_eq!(TripCount::Fixed(10).mean(), 10.0);
+        assert_eq!(TripCount::Uniform { lo: 4, hi: 8 }.mean(), 6.0);
+        assert_eq!(TripCount::Geometric { mean: 20 }.mean(), 20.0);
+        assert_eq!(TripCount::Fixed(0).mean(), 1.0, "degenerate trip clamps to 1");
+    }
+
+    #[test]
+    fn expected_p_taken() {
+        assert_eq!(CondBehavior::Bernoulli { p_taken: 0.8 }.expected_p_taken(), 0.8);
+        let pat = CondBehavior::Pattern(vec![true, true, false, false]);
+        assert_eq!(pat.expected_p_taken(), 0.5);
+        let lp = CondBehavior::Loop { trip: TripCount::Fixed(4) };
+        assert!((lp.expected_p_taken() - 0.75).abs() < 1e-9);
+        assert_eq!(CondBehavior::Pattern(vec![]).expected_p_taken(), 0.0);
+    }
+
+    #[test]
+    fn strong_bias_classification() {
+        assert!(CondBehavior::Bernoulli { p_taken: 0.95 }.is_strongly_biased(0.9));
+        assert!(CondBehavior::Bernoulli { p_taken: 0.05 }.is_strongly_biased(0.9));
+        assert!(!CondBehavior::Bernoulli { p_taken: 0.6 }.is_strongly_biased(0.9));
+        // A trip-100 loop back-edge is 99% taken.
+        assert!(CondBehavior::Loop { trip: TripCount::Fixed(100) }.is_strongly_biased(0.9));
+    }
+
+    #[test]
+    fn indirect_reach() {
+        assert_eq!(IndirectSelect::Weighted.reach(5), 5);
+        assert_eq!(IndirectSelect::Cyclic(vec![0, 1, 2, 1]).reach(5), 3);
+        assert_eq!(IndirectSelect::Cyclic(vec![]).reach(5), 0);
+        assert_eq!(IndirectSelect::Cyclic(vec![9]).reach(3), 3, "reach clamps to target count");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CondBehavior::Correlated { dist: 2, invert: true, noise: 0.1 }.to_string();
+        assert!(s.contains("corr"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Programmatic construction of [`Cfg`]s with validation.
+
+use std::error::Error;
+use std::fmt;
+
+use sfetch_isa::{InstClass, StaticInst};
+
+use crate::behavior::{CondBehavior, IndirectSelect};
+use crate::graph::{BasicBlock, BlockId, Cfg, FuncId, Function, Terminator};
+
+/// Error produced by [`CfgBuilder::finish`] when the graph is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCfgError {
+    /// A block was never given a terminator.
+    MissingTerminator(BlockId),
+    /// A function has no blocks.
+    EmptyFunction(FuncId),
+    /// An intra-procedural edge crosses a function boundary.
+    CrossFunctionEdge {
+        /// Source block.
+        from: BlockId,
+        /// Offending target block.
+        to: BlockId,
+    },
+    /// A conditional branch lists the same block for both directions.
+    DegenerateCond(BlockId),
+    /// An indirect terminator has no targets.
+    EmptyIndirect(BlockId),
+    /// The program has no functions.
+    NoFunctions,
+    /// No entry function was designated and function 0 does not exist.
+    NoEntry,
+}
+
+impl fmt::Display for BuildCfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCfgError::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
+            BuildCfgError::EmptyFunction(func) => write!(f, "function {func} has no blocks"),
+            BuildCfgError::CrossFunctionEdge { from, to } => {
+                write!(f, "edge {from} -> {to} crosses a function boundary")
+            }
+            BuildCfgError::DegenerateCond(b) => {
+                write!(f, "conditional at {b} has identical successors")
+            }
+            BuildCfgError::EmptyIndirect(b) => {
+                write!(f, "indirect terminator at {b} has no targets")
+            }
+            BuildCfgError::NoFunctions => f.write_str("program has no functions"),
+            BuildCfgError::NoEntry => f.write_str("program has no entry function"),
+        }
+    }
+}
+
+impl Error for BuildCfgError {}
+
+/// Incremental builder for [`Cfg`] values.
+///
+/// The builder hands out [`BlockId`]s/[`FuncId`]s eagerly so cyclic graphs
+/// (loops!) can be wired naturally; [`CfgBuilder::finish`] validates the
+/// result.
+///
+/// ```
+/// use sfetch_cfg::{CfgBuilder, CondBehavior};
+///
+/// let mut b = CfgBuilder::new();
+/// let f = b.add_func("main");
+/// let head = b.add_block(f, 2);
+/// let body = b.add_block(f, 5);
+/// let exit = b.add_block(f, 1);
+/// b.set_fallthrough(head, body);
+/// // loop: stay in `body` 9 out of 10 iterations
+/// b.set_cond(body, body, exit, CondBehavior::Loop { trip: sfetch_cfg::TripCount::Fixed(10) });
+/// b.set_return(exit);
+/// b.set_entry(f, head);
+/// let cfg = b.finish()?;
+/// assert_eq!(cfg.num_blocks(), 3);
+/// # Ok::<(), sfetch_cfg::builder::BuildCfgError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CfgBuilder {
+    funcs: Vec<Function>,
+    blocks: Vec<PendingBlock>,
+    entry: Option<FuncId>,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    id: BlockId,
+    func: FuncId,
+    body: Vec<StaticInst>,
+    term: Option<Terminator>,
+}
+
+impl CfgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function; the first block added to it becomes its entry unless
+    /// overridden with [`CfgBuilder::set_entry`].
+    pub fn add_func(&mut self, name: &str) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(Function {
+            id,
+            name: name.to_owned(),
+            entry: BlockId(u32::MAX),
+            blocks: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a block with `n_alu` single-cycle ALU body instructions.
+    ///
+    /// Use [`CfgBuilder::add_block_with`] for custom bodies.
+    pub fn add_block(&mut self, func: FuncId, n_alu: usize) -> BlockId {
+        let body = vec![StaticInst::simple(InstClass::IntAlu); n_alu];
+        self.add_block_with(func, body)
+    }
+
+    /// Adds a block with an explicit body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` was not created by this builder.
+    pub fn add_block_with(&mut self, func: FuncId, body: Vec<StaticInst>) -> BlockId {
+        assert!(func.index() < self.funcs.len(), "unknown function {func}");
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock { id, func, body, term: None });
+        let fun = &mut self.funcs[func.index()];
+        if fun.blocks.is_empty() {
+            fun.entry = id;
+        }
+        fun.blocks.push(id);
+        id
+    }
+
+    /// Overrides a function's entry block.
+    pub fn set_entry(&mut self, func: FuncId, entry: BlockId) {
+        self.funcs[func.index()].entry = entry;
+        if self.entry.is_none() {
+            self.entry = Some(func);
+        }
+    }
+
+    /// Designates the program entry function (defaults to function 0).
+    pub fn set_program_entry(&mut self, func: FuncId) {
+        self.entry = Some(func);
+    }
+
+    fn set_term(&mut self, b: BlockId, t: Terminator) {
+        self.blocks[b.index()].term = Some(t);
+    }
+
+    /// Terminates `b` by falling through to `next`.
+    pub fn set_fallthrough(&mut self, b: BlockId, next: BlockId) {
+        self.set_term(b, Terminator::FallThrough { next });
+    }
+
+    /// Terminates `b` with a conditional branch.
+    pub fn set_cond(&mut self, b: BlockId, taken: BlockId, not_taken: BlockId, beh: CondBehavior) {
+        self.set_term(b, Terminator::Cond { taken, not_taken, behavior: beh });
+    }
+
+    /// Terminates `b` with an unconditional jump.
+    pub fn set_jump(&mut self, b: BlockId, target: BlockId) {
+        self.set_term(b, Terminator::Jump { target });
+    }
+
+    /// Terminates `b` with a direct call; control resumes at `ret_to`.
+    pub fn set_call(&mut self, b: BlockId, callee: FuncId, ret_to: BlockId) {
+        self.set_term(b, Terminator::Call { callee, ret_to });
+    }
+
+    /// Terminates `b` with an indirect call.
+    pub fn set_indirect_call(
+        &mut self,
+        b: BlockId,
+        callees: Vec<(FuncId, u32)>,
+        ret_to: BlockId,
+        select: IndirectSelect,
+    ) {
+        self.set_term(b, Terminator::IndirectCall { callees, ret_to, select });
+    }
+
+    /// Terminates `b` with a return.
+    pub fn set_return(&mut self, b: BlockId) {
+        self.set_term(b, Terminator::Return);
+    }
+
+    /// Terminates `b` with an indirect (switch) jump.
+    pub fn set_indirect_jump(
+        &mut self,
+        b: BlockId,
+        targets: Vec<(BlockId, u32)>,
+        select: IndirectSelect,
+    ) {
+        self.set_term(b, Terminator::IndirectJump { targets, select });
+    }
+
+    /// Validates and produces the immutable [`Cfg`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildCfgError`] describing the first structural problem
+    /// found: unterminated blocks, empty functions, cross-function edges,
+    /// degenerate conditionals, or empty indirect target lists.
+    pub fn finish(self) -> Result<Cfg, BuildCfgError> {
+        if self.funcs.is_empty() {
+            return Err(BuildCfgError::NoFunctions);
+        }
+        let entry = self.entry.unwrap_or(FuncId(0));
+        for f in &self.funcs {
+            if f.blocks.is_empty() {
+                return Err(BuildCfgError::EmptyFunction(f.id));
+            }
+        }
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for pb in self.blocks {
+            let term = pb.term.ok_or(BuildCfgError::MissingTerminator(pb.id))?;
+            // Intra-procedural targets must stay within the function.
+            let check = |to: BlockId| -> Result<(), BuildCfgError> {
+                if self.funcs[pb.func.index()].blocks.contains(&to) {
+                    Ok(())
+                } else {
+                    Err(BuildCfgError::CrossFunctionEdge { from: pb.id, to })
+                }
+            };
+            match &term {
+                Terminator::FallThrough { next } | Terminator::Jump { target: next } => {
+                    check(*next)?
+                }
+                Terminator::Cond { taken, not_taken, .. } => {
+                    if taken == not_taken {
+                        return Err(BuildCfgError::DegenerateCond(pb.id));
+                    }
+                    check(*taken)?;
+                    check(*not_taken)?;
+                }
+                Terminator::Call { ret_to, .. } => check(*ret_to)?,
+                Terminator::IndirectCall { callees, ret_to, .. } => {
+                    if callees.is_empty() {
+                        return Err(BuildCfgError::EmptyIndirect(pb.id));
+                    }
+                    check(*ret_to)?;
+                }
+                Terminator::Return => {}
+                Terminator::IndirectJump { targets, .. } => {
+                    if targets.is_empty() {
+                        return Err(BuildCfgError::EmptyIndirect(pb.id));
+                    }
+                    for &(t, _) in targets {
+                        check(t)?;
+                    }
+                }
+            }
+            blocks.push(BasicBlock { id: pb.id, func: pb.func, body: pb.body, term });
+        }
+        Ok(Cfg { funcs: self.funcs, blocks, entry })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripCount;
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut b = CfgBuilder::new();
+        let f = b.add_func("main");
+        let blk = b.add_block(f, 1);
+        assert_eq!(b.finish(), Err(BuildCfgError::MissingTerminator(blk)));
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let mut b = CfgBuilder::new();
+        let f = b.add_func("main");
+        let blk = b.add_block(f, 1);
+        b.set_return(blk);
+        let g = b.add_func("empty");
+        assert_eq!(b.finish(), Err(BuildCfgError::EmptyFunction(g)));
+    }
+
+    #[test]
+    fn rejects_cross_function_edge() {
+        let mut b = CfgBuilder::new();
+        let f = b.add_func("main");
+        let g = b.add_func("aux");
+        let bf = b.add_block(f, 1);
+        let bg = b.add_block(g, 1);
+        b.set_jump(bf, bg);
+        b.set_return(bg);
+        assert!(matches!(b.finish(), Err(BuildCfgError::CrossFunctionEdge { .. })));
+    }
+
+    #[test]
+    fn rejects_degenerate_cond() {
+        let mut b = CfgBuilder::new();
+        let f = b.add_func("main");
+        let x = b.add_block(f, 1);
+        let y = b.add_block(f, 1);
+        b.set_cond(x, y, y, CondBehavior::Bernoulli { p_taken: 0.5 });
+        b.set_return(y);
+        assert_eq!(b.finish(), Err(BuildCfgError::DegenerateCond(x)));
+    }
+
+    #[test]
+    fn rejects_empty_indirect() {
+        let mut b = CfgBuilder::new();
+        let f = b.add_func("main");
+        let x = b.add_block(f, 1);
+        b.set_indirect_jump(x, vec![], crate::IndirectSelect::Weighted);
+        assert_eq!(b.finish(), Err(BuildCfgError::EmptyIndirect(x)));
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        assert_eq!(CfgBuilder::new().finish(), Err(BuildCfgError::NoFunctions));
+    }
+
+    #[test]
+    fn builds_loop_with_call() {
+        let mut b = CfgBuilder::new();
+        let main = b.add_func("main");
+        let leaf = b.add_func("leaf");
+        let head = b.add_block(main, 2);
+        let body = b.add_block(main, 3);
+        let back = b.add_block(main, 0);
+        let exit = b.add_block(main, 1);
+        let l0 = b.add_block(leaf, 4);
+        b.set_fallthrough(head, body);
+        b.set_call(body, leaf, back);
+        b.set_cond(back, head, exit, CondBehavior::Loop { trip: TripCount::Fixed(8) });
+        b.set_return(exit);
+        b.set_return(l0);
+        let cfg = b.finish().expect("valid");
+        assert_eq!(cfg.num_funcs(), 2);
+        assert_eq!(cfg.num_blocks(), 5);
+        assert_eq!(cfg.func(main).entry(), head);
+        // back block: 0 body + cond = 1 inst
+        assert_eq!(cfg.block(back).len_insts(), 1);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        let msg = BuildCfgError::NoFunctions.to_string();
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+}

@@ -1,0 +1,639 @@
+//! Synthetic program generation.
+//!
+//! The paper's workloads are the SPECint2000 benchmarks. We cannot ship
+//! those, so this module generates *structured synthetic programs* whose
+//! dynamic properties — basic-block sizes, branch bias mix, loop structure,
+//! call depth, indirect-branch density, instruction footprint — are the knobs
+//! ([`GenParams`]) that the `sfetch-workloads` crate dials per benchmark to
+//! mirror the published SPECint characterization.
+//!
+//! Programs are generated as region trees (sequences, if/if-else hammocks,
+//! loops, switches, call sites) and lowered to a [`Cfg`] in *source order*,
+//! so the natural layout (`layout::natural`) corresponds to what a
+//! non-optimizing compiler would emit, and the Pettis–Hansen pass has real
+//! work to do.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sfetch_isa::{Addr, DepDistance, InstClass, MemPattern, StaticInst};
+
+use crate::behavior::{CondBehavior, IndirectSelect, TripCount};
+use crate::builder::CfgBuilder;
+use crate::graph::{BlockId, Cfg, FuncId};
+
+/// Base address of the synthetic data segment (memory patterns live here,
+/// far from code addresses).
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Mix of conditional-branch behaviour classes, as fractions that should sum
+/// to ~1.0 (they are normalized when sampling).
+///
+/// The classes map to the phenomenology the paper relies on: strongly biased
+/// branches are what the FTB embeds and layout aligns; patterned/correlated
+/// branches are where history predictors (2bcgskew, perceptron, and the
+/// path-correlated stream/trace predictors) earn their keep; balanced
+/// branches set the misprediction floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasMix {
+    /// Strongly biased Bernoulli branches (p in [0.02, 0.10] of the rare
+    /// side).
+    pub strong: f64,
+    /// Moderately biased Bernoulli branches (p in [0.65, 0.90]).
+    pub moderate: f64,
+    /// Balanced, history-uncorrelated branches (p in [0.35, 0.65]).
+    pub balanced: f64,
+    /// Deterministic cyclic patterns (period 2–12).
+    pub pattern: f64,
+    /// Branches correlated with a recent branch outcome.
+    pub correlated: f64,
+}
+
+impl BiasMix {
+    /// A mix typical of integer codes: mostly strongly biased branches,
+    /// a history-predictable population (patterns/correlation), and a small
+    /// genuinely data-dependent fraction. Calibrated so Table 2-class
+    /// predictors land in the paper's 2–4% misprediction band.
+    pub const fn default_int() -> Self {
+        BiasMix { strong: 0.50, moderate: 0.14, balanced: 0.03, pattern: 0.18, correlated: 0.15 }
+    }
+}
+
+/// Knobs controlling synthetic program generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Number of functions (function 0 is `main`).
+    pub n_funcs: usize,
+    /// Inclusive range of the per-function block budget.
+    pub blocks_per_func: (usize, usize),
+    /// Inclusive range of body (non-terminator) instructions per block.
+    pub body_len: (usize, usize),
+    /// Probability that a region expands into a loop.
+    pub p_loop: f64,
+    /// Probability that a region expands into an if / if-else hammock.
+    pub p_if: f64,
+    /// Probability that a region expands into a call site.
+    pub p_call: f64,
+    /// Probability that a region expands into a switch (indirect jump).
+    pub p_switch: f64,
+    /// Fraction of call sites that are indirect calls.
+    pub indirect_call_frac: f64,
+    /// Maximum region nesting depth.
+    pub max_depth: usize,
+    /// Conditional-branch behaviour mix.
+    pub bias: BiasMix,
+    /// Mean loop trip count (sampled around this).
+    pub mean_trip: u32,
+    /// Fraction of body instructions that are memory operations.
+    pub mem_frac: f64,
+    /// Fraction of memory operations that are loads (rest are stores).
+    pub load_frac: f64,
+    /// Approximate bytes of data footprint available to cold accesses.
+    pub data_footprint: u64,
+    /// Fraction of memory instructions walking a footprint larger than a
+    /// typical L1 data cache (drives the D-cache miss rate).
+    pub cold_mem_frac: f64,
+    /// Mean register-dependence distance (smaller = less ILP).
+    pub mean_dep_dist: f64,
+}
+
+impl GenParams {
+    /// Mid-size defaults: a few dozen functions, SPECint-like branch mix.
+    pub fn default_int() -> Self {
+        GenParams {
+            n_funcs: 40,
+            blocks_per_func: (12, 60),
+            body_len: (1, 9),
+            p_loop: 0.16,
+            p_if: 0.48,
+            p_call: 0.18,
+            p_switch: 0.02,
+            indirect_call_frac: 0.08,
+            max_depth: 4,
+            bias: BiasMix::default_int(),
+            mean_trip: 24,
+            mem_frac: 0.32,
+            load_frac: 0.72,
+            data_footprint: 8 << 20,
+            cold_mem_frac: 0.02,
+            mean_dep_dist: 4.0,
+        }
+    }
+
+    /// A tiny configuration for unit tests: a handful of functions and
+    /// blocks, fast to generate and simulate.
+    pub fn small() -> Self {
+        GenParams {
+            n_funcs: 4,
+            blocks_per_func: (6, 14),
+            p_switch: 0.05,
+            ..Self::default_int()
+        }
+    }
+}
+
+/// A structured region before lowering.
+#[derive(Debug)]
+enum Region {
+    Plain,
+    Seq(Vec<Region>),
+    If { then_r: Box<Region>, beh: CondBehavior },
+    IfElse { then_r: Box<Region>, else_r: Box<Region>, beh: CondBehavior },
+    Loop { body: Box<Region>, trip: TripCount },
+    Switch { arms: Vec<(Region, u32)>, select: IndirectSelect },
+    Call { callee: FuncId, indirect_with: Vec<FuncId> },
+}
+
+/// Deterministic synthetic program generator.
+///
+/// The same `(params, seed)` pair always produces the identical [`Cfg`], so
+/// experiments are reproducible bit-for-bit.
+///
+/// ```
+/// use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+///
+/// let a = ProgramGenerator::new(GenParams::small(), 7).generate();
+/// let b = ProgramGenerator::new(GenParams::small(), 7).generate();
+/// assert_eq!(a.num_blocks(), b.num_blocks());
+/// ```
+#[derive(Debug)]
+pub struct ProgramGenerator {
+    params: GenParams,
+    rng: SmallRng,
+}
+
+impl ProgramGenerator {
+    /// Creates a generator for the given parameters and seed.
+    pub fn new(params: GenParams, seed: u64) -> Self {
+        ProgramGenerator { params, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Generates the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.n_funcs == 0` or the block budget range is empty —
+    /// both indicate a configuration bug.
+    pub fn generate(mut self) -> Cfg {
+        assert!(self.params.n_funcs >= 1, "need at least one function");
+        let (lo, hi) = self.params.blocks_per_func;
+        assert!(lo >= 1 && hi >= lo, "invalid blocks_per_func range");
+
+        let mut bld = CfgBuilder::new();
+        let n = self.params.n_funcs;
+        let funcs: Vec<FuncId> =
+            (0..n).map(|i| bld.add_func(&format!("fn{i}"))).collect();
+
+        // Call DAG: function i may call nearby higher-indexed functions, so
+        // there is call-graph affinity for procedure placement to exploit and
+        // no recursion.
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for i in 0..n.saturating_sub(1) {
+            let k = self.rng.random_range(1..=4usize);
+            for _ in 0..k {
+                let hop = 1 + sample_geometric(&mut self.rng, 0.45) as usize;
+                let j = (i + hop).min(n - 1);
+                if j > i {
+                    callees[i].push(funcs[j]);
+                }
+            }
+            callees[i].dedup();
+        }
+
+        for i in 0..n {
+            let mut budget =
+                self.rng.random_range(lo..=hi) as i64;
+            let depth_allowed = self.params.max_depth;
+            let tree = if i == 0 {
+                // main: an effectively infinite outer loop so the simulated
+                // instruction stream never ends.
+                Region::Loop {
+                    body: Box::new(self.gen_region(0, depth_allowed, &mut budget, &callees[i])),
+                    trip: TripCount::Fixed(1 << 30),
+                }
+            } else {
+                self.gen_region(0, depth_allowed, &mut budget, &callees[i])
+            };
+            let (head, exit) = self.lower(&mut bld, funcs[i], &tree);
+            bld.set_entry(funcs[i], head);
+            bld.set_return(exit);
+        }
+        bld.set_program_entry(funcs[0]);
+        let cfg = bld.finish().expect("generator produced a structurally valid cfg");
+        // Collapse the empty merge blocks the region lowering creates, so
+        // layout never has to chain through zero-size blocks.
+        crate::normalize::collapse_empty_blocks(&cfg)
+    }
+
+    fn gen_region(
+        &mut self,
+        depth: usize,
+        max_depth: usize,
+        budget: &mut i64,
+        callees: &[FuncId],
+    ) -> Region {
+        if *budget <= 1 || depth >= max_depth {
+            *budget -= 1;
+            return Region::Plain;
+        }
+        let p = &self.params;
+        let r: f64 = self.rng.random();
+        let (p_loop, p_if, p_call, p_switch) = (p.p_loop, p.p_if, p.p_call, p.p_switch);
+        if r < p_loop {
+            *budget -= 2;
+            let trip = self.sample_trip();
+            // Loop bodies get at least a couple of regions so that hot inner
+            // loops carry hammocks/calls instead of degenerating to a
+            // single-block spin.
+            let n = self.rng.random_range(2..=4usize);
+            let mut subs = Vec::with_capacity(n);
+            for _ in 0..n {
+                subs.push(self.gen_region(depth + 1, max_depth, budget, callees));
+            }
+            let body = Box::new(Region::Seq(subs));
+            Region::Loop { body, trip }
+        } else if r < p_loop + p_if {
+            *budget -= 2;
+            let beh = self.sample_cond_behavior();
+            if self.rng.random_bool(0.55) {
+                let then_r = Box::new(self.gen_seq(depth + 1, max_depth, budget, callees));
+                let else_r = Box::new(self.gen_seq(depth + 1, max_depth, budget, callees));
+                Region::IfElse { then_r, else_r, beh }
+            } else {
+                let then_r = Box::new(self.gen_seq(depth + 1, max_depth, budget, callees));
+                Region::If { then_r, beh }
+            }
+        } else if r < p_loop + p_if + p_call && !callees.is_empty() {
+            *budget -= 2;
+            let callee = callees[self.rng.random_range(0..callees.len())];
+            let indirect_with = if self.rng.random_bool(p.indirect_call_frac) && callees.len() >= 2
+            {
+                let mut extra: Vec<FuncId> = callees
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != callee)
+                    .take(3)
+                    .collect();
+                extra.truncate(self.rng.random_range(1..=extra.len().max(1)));
+                extra
+            } else {
+                Vec::new()
+            };
+            Region::Call { callee, indirect_with }
+        } else if r < p_loop + p_if + p_call + p_switch {
+            let n_arms = self.rng.random_range(3..=6usize);
+            *budget -= n_arms as i64;
+            let mut arms = Vec::with_capacity(n_arms);
+            for a in 0..n_arms {
+                // Real switch dispatch is dominated by one or two hot arms.
+                let w = match a {
+                    0 => self.rng.random_range(120..=240u32),
+                    1 => self.rng.random_range(10..=40u32),
+                    _ => self.rng.random_range(1..=6u32),
+                };
+                arms.push((self.gen_seq(depth + 1, max_depth, budget, callees), w));
+            }
+            let select = if self.rng.random_bool(0.25) {
+                IndirectSelect::Weighted
+            } else {
+                let len = self.rng.random_range(2..=8usize);
+                IndirectSelect::Cyclic(
+                    (0..len).map(|_| self.rng.random_range(0..n_arms as u16)).collect(),
+                )
+            };
+            Region::Switch { arms, select }
+        } else {
+            *budget -= 1;
+            Region::Plain
+        }
+    }
+
+    fn gen_seq(
+        &mut self,
+        depth: usize,
+        max_depth: usize,
+        budget: &mut i64,
+        callees: &[FuncId],
+    ) -> Region {
+        let n = self.rng.random_range(1..=3usize);
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.gen_region(depth, max_depth, budget, callees));
+        }
+        if v.len() == 1 {
+            v.pop().expect("one element")
+        } else {
+            Region::Seq(v)
+        }
+    }
+
+    fn sample_trip(&mut self) -> TripCount {
+        // Trip counts are mostly large or data-dependent, as in loop-heavy
+        // integer codes; tiny fixed trips (which only bounded-history
+        // predictors can count) are the minority.
+        let mean = self.params.mean_trip.max(4);
+        match self.rng.random_range(0..4u8) {
+            0 => TripCount::Fixed(self.rng.random_range(mean..=mean * 2)),
+            1 => TripCount::Fixed(self.rng.random_range(2..=12)),
+            2 => {
+                let lo = self.rng.random_range(mean / 2..=mean);
+                TripCount::Uniform { lo, hi: lo + self.rng.random_range(1..=mean) }
+            }
+            _ => TripCount::Geometric { mean: self.rng.random_range(mean / 2..=mean * 2) },
+        }
+    }
+
+    fn sample_cond_behavior(&mut self) -> CondBehavior {
+        let b = self.params.bias;
+        let total = b.strong + b.moderate + b.balanced + b.pattern + b.correlated;
+        let mut r: f64 = self.rng.random::<f64>() * total.max(1e-12);
+        r -= b.strong;
+        if r < 0.0 {
+            let p = self.rng.random_range(0.01..0.06);
+            let p = if self.rng.random_bool(0.5) { p } else { 1.0 - p };
+            return CondBehavior::Bernoulli { p_taken: p };
+        }
+        r -= b.moderate;
+        if r < 0.0 {
+            let p = self.rng.random_range(0.85..0.97);
+            let p = if self.rng.random_bool(0.5) { p } else { 1.0 - p };
+            return CondBehavior::Bernoulli { p_taken: p };
+        }
+        r -= b.balanced;
+        if r < 0.0 {
+            return CondBehavior::Bernoulli { p_taken: self.rng.random_range(0.40..0.60) };
+        }
+        r -= b.pattern;
+        if r < 0.0 {
+            // A mix of short periods (any history predictor learns them)
+            // and longer ones that only per-branch (local) history or
+            // path-level context can phase-track.
+            let len = if self.rng.random_bool(0.5) {
+                self.rng.random_range(2..=5usize)
+            } else {
+                self.rng.random_range(6..=13usize)
+            };
+            let pat: Vec<bool> = (0..len).map(|_| self.rng.random_bool(0.5)).collect();
+            return CondBehavior::Pattern(pat);
+        }
+        CondBehavior::Correlated {
+            dist: self.rng.random_range(1..=10u8),
+            invert: self.rng.random_bool(0.5),
+            noise: self.rng.random_range(0.0..0.08),
+        }
+    }
+
+    fn gen_body(&mut self, len: usize) -> Vec<StaticInst> {
+        let p = self.params.clone();
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            let inst = if self.rng.random_bool(p.mem_frac) {
+                let class = if self.rng.random_bool(p.load_frac) {
+                    InstClass::Load
+                } else {
+                    InstClass::Store
+                };
+                let stride = *[4u32, 8, 8, 16, 64].get(self.rng.random_range(0..5usize)).expect("idx");
+                let footprint = if self.rng.random_bool(p.cold_mem_frac) {
+                    // Cold: walk a region bigger than L1D.
+                    self.rng.random_range((256 << 10)..p.data_footprint.max(512 << 10))
+                } else if self.rng.random_bool(0.17) {
+                    // Warm: L1D-resident working set, multi-line.
+                    self.rng.random_range(1024..(8 << 10))
+                } else {
+                    // Hot: a few lines.
+                    self.rng.random_range(8..512)
+                };
+                let span = (footprint / u64::from(stride)).clamp(1, u32::MAX.into()) as u32;
+                let base = DATA_BASE + self.rng.random_range(0..p.data_footprint);
+                StaticInst::memory(class, MemPattern::new(Addr::new(base), stride, span), self.sample_dep())
+            } else {
+                let class = match self.rng.random_range(0..100u8) {
+                    0..=7 => InstClass::IntMul,
+                    8..=12 => InstClass::FpAlu,
+                    _ => InstClass::IntAlu,
+                };
+                let d2 = if self.rng.random_bool(0.4) { self.sample_dep() } else { DepDistance::NONE };
+                StaticInst::with_deps(class, self.sample_dep(), d2)
+            };
+            v.push(inst);
+        }
+        v
+    }
+
+    fn sample_dep(&mut self) -> DepDistance {
+        let mean = self.params.mean_dep_dist.max(1.0);
+        let d = 1 + sample_geometric(&mut self.rng, 1.0 / mean);
+        DepDistance::new(d.min(32) as u8)
+    }
+
+    fn new_block(&mut self, bld: &mut CfgBuilder, f: FuncId) -> BlockId {
+        let (lo, hi) = self.params.body_len;
+        let len = self.rng.random_range(lo..=hi);
+        let body = self.gen_body(len);
+        bld.add_block_with(f, body)
+    }
+
+    /// Lowers a region tree; returns `(head, exit)` where `exit` is a block
+    /// whose terminator the caller must set.
+    fn lower(&mut self, bld: &mut CfgBuilder, f: FuncId, r: &Region) -> (BlockId, BlockId) {
+        match r {
+            Region::Plain => {
+                let b = self.new_block(bld, f);
+                (b, b)
+            }
+            Region::Seq(rs) => {
+                let mut head = None;
+                let mut prev_exit: Option<BlockId> = None;
+                for sub in rs {
+                    let (h, e) = self.lower(bld, f, sub);
+                    if let Some(pe) = prev_exit {
+                        bld.set_fallthrough(pe, h);
+                    }
+                    head.get_or_insert(h);
+                    prev_exit = Some(e);
+                }
+                (head.expect("non-empty seq"), prev_exit.expect("non-empty seq"))
+            }
+            Region::If { then_r, beh } => {
+                let cond_b = self.new_block(bld, f);
+                let (h_t, e_t) = self.lower(bld, f, then_r);
+                let merge = bld.add_block(f, 0);
+                // Randomize the source-level orientation of the hammock, so
+                // that the *natural* layout has ~50% of hot paths through
+                // taken edges and the layout optimizer has work to do.
+                if self.rng.random_bool(0.5) {
+                    bld.set_cond(cond_b, h_t, merge, beh.clone());
+                } else {
+                    bld.set_cond(cond_b, merge, h_t, beh.clone());
+                }
+                bld.set_fallthrough(e_t, merge);
+                (cond_b, merge)
+            }
+            Region::IfElse { then_r, else_r, beh } => {
+                let cond_b = self.new_block(bld, f);
+                let (h_t, e_t) = self.lower(bld, f, then_r);
+                let (h_e, e_e) = self.lower(bld, f, else_r);
+                let merge = bld.add_block(f, 0);
+                if self.rng.random_bool(0.5) {
+                    bld.set_cond(cond_b, h_t, h_e, beh.clone());
+                } else {
+                    bld.set_cond(cond_b, h_e, h_t, beh.clone());
+                }
+                bld.set_fallthrough(e_t, merge);
+                bld.set_fallthrough(e_e, merge);
+                (cond_b, merge)
+            }
+            Region::Loop { body, trip } => {
+                let (h_b, e_b) = self.lower(bld, f, body);
+                let exit = bld.add_block(f, 0);
+                // The latch: logical-taken edge is the back-edge.
+                bld.set_cond(e_b, h_b, exit, CondBehavior::Loop { trip: *trip });
+                (h_b, exit)
+            }
+            Region::Switch { arms, select } => {
+                let sw_b = self.new_block(bld, f);
+                let merge = bld.add_block(f, 0);
+                let mut targets = Vec::with_capacity(arms.len());
+                for (arm, w) in arms {
+                    let (h, e) = self.lower(bld, f, arm);
+                    bld.set_fallthrough(e, merge);
+                    targets.push((h, *w));
+                }
+                bld.set_indirect_jump(sw_b, targets, select.clone());
+                (sw_b, merge)
+            }
+            Region::Call { callee, indirect_with } => {
+                let call_b = self.new_block(bld, f);
+                let ret_b = bld.add_block(f, 0);
+                if indirect_with.is_empty() {
+                    bld.set_call(call_b, *callee, ret_b);
+                } else {
+                    let mut cs = vec![(*callee, 60u32)];
+                    for (i, &c) in indirect_with.iter().enumerate() {
+                        cs.push((c, 20 / (i as u32 + 1)));
+                    }
+                    let select = if self.rng.random_bool(0.5) {
+                        IndirectSelect::Weighted
+                    } else {
+                        let len = self.rng.random_range(2..=6usize);
+                        let n = cs.len() as u16;
+                        IndirectSelect::Cyclic(
+                            (0..len).map(|_| self.rng.random_range(0..n)).collect(),
+                        )
+                    };
+                    bld.set_indirect_call(call_b, cs, ret_b, select);
+                }
+                (call_b, ret_b)
+            }
+        }
+    }
+}
+
+/// Samples a geometric-like variate with success probability `p` (mean ≈
+/// `(1-p)/p`), capped to keep pathological tails out.
+fn sample_geometric(rng: &mut SmallRng, p: f64) -> u32 {
+    let p = p.clamp(1e-6, 1.0 - 1e-9);
+    let u: f64 = rng.random();
+    let v = (u.ln() / (1.0 - p).ln()).floor();
+    (v as u32).min(1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Terminator;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ProgramGenerator::new(GenParams::small(), 123).generate();
+        let b = ProgramGenerator::new(GenParams::small(), 123).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ProgramGenerator::new(GenParams::small(), 1).generate();
+        let b = ProgramGenerator::new(GenParams::small(), 2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_function_count() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 5).generate();
+        assert_eq!(cfg.num_funcs(), GenParams::small().n_funcs);
+        for f in cfg.funcs() {
+            assert!(!f.blocks().is_empty());
+        }
+    }
+
+    #[test]
+    fn main_is_wrapped_in_effectively_infinite_loop() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 5).generate();
+        let has_huge_loop = cfg.blocks().iter().any(|b| {
+            matches!(
+                b.terminator(),
+                Terminator::Cond {
+                    behavior: CondBehavior::Loop { trip: TripCount::Fixed(n) },
+                    ..
+                } if *n >= 1 << 30
+            )
+        });
+        assert!(has_huge_loop, "main must loop forever");
+    }
+
+    #[test]
+    fn block_sizes_within_configured_range() {
+        let p = GenParams::small();
+        let cfg = ProgramGenerator::new(p.clone(), 9).generate();
+        for b in cfg.blocks() {
+            assert!(b.body().len() <= p.body_len.1, "body too long: {}", b.body().len());
+        }
+    }
+
+    #[test]
+    fn calls_never_recurse_backwards() {
+        // Call DAG property: callee id > caller id, so no recursion.
+        let cfg = ProgramGenerator::new(GenParams::default_int(), 11).generate();
+        for b in cfg.blocks() {
+            match b.terminator() {
+                Terminator::Call { callee, .. } => {
+                    assert!(callee.index() > b.func().index());
+                }
+                Terminator::IndirectCall { callees, .. } => {
+                    for &(c, _) in callees {
+                        assert!(c.index() > b.func().index());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_sampler_is_bounded_and_small_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut acc = 0u64;
+        for _ in 0..10_000 {
+            let v = sample_geometric(&mut rng, 0.5);
+            assert!(v <= 1000);
+            acc += u64::from(v);
+        }
+        let mean = acc as f64 / 10_000.0;
+        assert!(mean > 0.5 && mean < 2.0, "mean {mean} out of expected range");
+    }
+
+    #[test]
+    fn bodies_contain_memory_ops() {
+        let cfg = ProgramGenerator::new(GenParams::default_int(), 21).generate();
+        let mem = cfg
+            .blocks()
+            .iter()
+            .flat_map(|b| b.body())
+            .filter(|i| i.mem_pattern().is_some())
+            .count();
+        let total: usize = cfg.blocks().iter().map(|b| b.body().len()).sum();
+        let frac = mem as f64 / total.max(1) as f64;
+        assert!(frac > 0.2 && frac < 0.5, "memory fraction {frac} should be near 0.35");
+    }
+}

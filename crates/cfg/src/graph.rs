@@ -1,0 +1,354 @@
+//! The control-flow-graph program representation.
+
+use std::fmt;
+
+use sfetch_isa::StaticInst;
+
+use crate::behavior::{CondBehavior, IndirectSelect};
+
+/// Identifier of a basic block within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a block id from a raw index (for tests and tooling).
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        BlockId(i as u32)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Identifier of a function within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub(crate) u32);
+
+impl FuncId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a function id from a raw index (for tests and tooling).
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        FuncId(i as u32)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// How a basic block transfers control when its body finishes.
+///
+/// Control-transfer *instructions* implied by a terminator (everything except
+/// [`Terminator::FallThrough`]) occupy one instruction slot at the end of the
+/// block; the [`crate::CodeImage`] materializes them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// No branch: control continues into `next`. The layout pass inserts a
+    /// fix-up jump if `next` cannot be placed adjacently.
+    FallThrough {
+        /// Sole successor.
+        next: BlockId,
+    },
+    /// Conditional direct branch with a behaviour model deciding the
+    /// *logical* direction each instance.
+    Cond {
+        /// Successor on the logical taken edge.
+        taken: BlockId,
+        /// Successor on the logical not-taken edge.
+        not_taken: BlockId,
+        /// The branch's behaviour model.
+        behavior: CondBehavior,
+    },
+    /// Unconditional direct jump. Elided by the layout when `target` is
+    /// placed immediately after this block.
+    Jump {
+        /// Sole successor.
+        target: BlockId,
+    },
+    /// Direct call; after the callee returns, control resumes at `ret_to`.
+    Call {
+        /// The called function.
+        callee: FuncId,
+        /// Block executing after the call returns.
+        ret_to: BlockId,
+    },
+    /// Indirect call through a function pointer / vtable.
+    IndirectCall {
+        /// Candidate callees with static weights.
+        callees: Vec<(FuncId, u32)>,
+        /// Block executing after the call returns.
+        ret_to: BlockId,
+        /// Target-selection behaviour.
+        select: IndirectSelect,
+    },
+    /// Return to the caller.
+    Return,
+    /// Indirect intra-procedural jump (switch dispatch).
+    IndirectJump {
+        /// Candidate target blocks with static weights.
+        targets: Vec<(BlockId, u32)>,
+        /// Target-selection behaviour.
+        select: IndirectSelect,
+    },
+}
+
+impl Terminator {
+    /// Whether the terminator occupies an instruction slot.
+    pub fn has_instruction(&self) -> bool {
+        !matches!(self, Terminator::FallThrough { .. })
+    }
+
+    /// Intra-procedural successor blocks (excluding call/return edges).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::FallThrough { next } | Terminator::Jump { target: next } => vec![*next],
+            Terminator::Cond { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Call { ret_to, .. } | Terminator::IndirectCall { ret_to, .. } => {
+                vec![*ret_to]
+            }
+            Terminator::Return => vec![],
+            Terminator::IndirectJump { targets, .. } => targets.iter().map(|&(b, _)| b).collect(),
+        }
+    }
+}
+
+/// A basic block: straight-line body instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    pub(crate) id: BlockId,
+    pub(crate) func: FuncId,
+    pub(crate) body: Vec<StaticInst>,
+    pub(crate) term: Terminator,
+}
+
+impl BasicBlock {
+    /// The block's id.
+    #[inline]
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The function owning this block.
+    #[inline]
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// The non-control body instructions.
+    #[inline]
+    pub fn body(&self) -> &[StaticInst] {
+        &self.body
+    }
+
+    /// The terminator.
+    #[inline]
+    pub fn terminator(&self) -> &Terminator {
+        &self.term
+    }
+
+    /// Number of instructions this block contributes to the image, before
+    /// layout fix-ups: body plus the terminator instruction if any.
+    #[inline]
+    pub fn len_insts(&self) -> usize {
+        self.body.len() + usize::from(self.term.has_instruction())
+    }
+}
+
+/// A function: an entry block and the ordered list of blocks it owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub(crate) id: FuncId,
+    pub(crate) name: String,
+    pub(crate) entry: BlockId,
+    pub(crate) blocks: Vec<BlockId>,
+}
+
+impl Function {
+    /// The function's id.
+    #[inline]
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The function's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Blocks owned by the function, in source (creation) order.
+    #[inline]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+}
+
+/// A whole-program control-flow graph.
+///
+/// Construct with [`crate::CfgBuilder`] or generate with
+/// [`crate::gen::ProgramGenerator`]; a `Cfg` is immutable once built, so all
+/// downstream artifacts (profiles, layouts, images) can borrow it freely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    pub(crate) funcs: Vec<Function>,
+    pub(crate) blocks: Vec<BasicBlock>,
+    pub(crate) entry: FuncId,
+}
+
+impl Cfg {
+    /// The program entry function (`main`).
+    #[inline]
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// The entry block of the entry function.
+    #[inline]
+    pub fn entry_block(&self) -> BlockId {
+        self.func(self.entry).entry
+    }
+
+    /// Looks up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this CFG.
+    #[inline]
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Looks up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this CFG.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// All functions, in creation order.
+    #[inline]
+    pub fn funcs(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// All blocks, in creation order.
+    #[inline]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of functions.
+    #[inline]
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Total static instruction count before layout fix-ups.
+    pub fn static_insts(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len_insts).sum()
+    }
+
+    /// Count of static conditional branches.
+    pub fn num_cond_branches(&self) -> usize {
+        self.blocks.iter().filter(|b| matches!(b.term, Terminator::Cond { .. })).count()
+    }
+
+    /// Iterates over `(block, behaviour)` for every conditional branch.
+    pub fn cond_branches(&self) -> impl Iterator<Item = (BlockId, &CondBehavior)> {
+        self.blocks.iter().filter_map(|b| match &b.term {
+            Terminator::Cond { behavior, .. } => Some((b.id, behavior)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CfgBuilder;
+
+    fn tiny() -> Cfg {
+        // main: a -> (cond) b | c ; b,c -> d ; d: return
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let a = bld.add_block(f, 3);
+        let b = bld.add_block(f, 2);
+        let c = bld.add_block(f, 4);
+        let d = bld.add_block(f, 1);
+        bld.set_cond(a, b, c, CondBehavior::Bernoulli { p_taken: 0.5 });
+        bld.set_jump(b, d);
+        bld.set_fallthrough(c, d);
+        bld.set_return(d);
+        bld.set_entry(f, a);
+        bld.finish().expect("valid cfg")
+    }
+
+    #[test]
+    fn block_lengths_include_terminators() {
+        let cfg = tiny();
+        let blocks = cfg.blocks();
+        assert_eq!(blocks[0].len_insts(), 4, "3 body + cond branch");
+        assert_eq!(blocks[1].len_insts(), 3, "2 body + jump");
+        assert_eq!(blocks[2].len_insts(), 4, "fallthrough adds no instruction");
+        assert_eq!(blocks[3].len_insts(), 2, "1 body + return");
+        assert_eq!(cfg.static_insts(), 13);
+    }
+
+    #[test]
+    fn successors_enumerate_cfg_edges() {
+        let cfg = tiny();
+        let a = &cfg.blocks()[0];
+        assert_eq!(a.terminator().successors().len(), 2);
+        let d = &cfg.blocks()[3];
+        assert!(d.terminator().successors().is_empty());
+    }
+
+    #[test]
+    fn entry_points_resolve() {
+        let cfg = tiny();
+        assert_eq!(cfg.entry().index(), 0);
+        assert_eq!(cfg.entry_block().index(), 0);
+        assert_eq!(cfg.func(cfg.entry()).name(), "main");
+        assert_eq!(cfg.num_cond_branches(), 1);
+        assert_eq!(cfg.cond_branches().count(), 1);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(BlockId::from_index(7).to_string(), "b7");
+        assert_eq!(FuncId::from_index(2).to_string(), "f2");
+    }
+}

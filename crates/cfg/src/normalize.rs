@@ -1,0 +1,162 @@
+//! CFG normalization: collapsing empty fall-through blocks.
+//!
+//! The region-based generator (and many front-ends) produce empty *merge*
+//! blocks whose only job is to join control flow. They carry no
+//! instructions, so routing CFG edges *through* them would force the layout
+//! pass to treat them as chain endpoints and insert fix-up jumps on hot
+//! paths. This pass redirects every edge to the ultimate non-empty
+//! destination; the empty blocks become unreachable, zero-size residents of
+//! the image.
+
+use crate::graph::{BasicBlock, BlockId, Cfg, Terminator};
+
+/// Returns a copy of `cfg` with all edges redirected through empty
+/// fall-through blocks to their final destinations.
+///
+/// A block is *transparent* when it has an empty body and a plain
+/// [`Terminator::FallThrough`]. Conditionals whose successors unify after
+/// redirection degrade to fall-throughs (their behaviour model is dropped —
+/// the branch was dead).
+pub fn collapse_empty_blocks(cfg: &Cfg) -> Cfg {
+    let n = cfg.num_blocks();
+    // Resolve the transparent-chain target for every block, path-halving on
+    // the fly. Cycles of empty blocks are impossible to execute but guard
+    // anyway by bounding the walk.
+    let mut resolved: Vec<Option<BlockId>> = vec![None; n];
+    let resolve = |start: BlockId, resolved: &mut Vec<Option<BlockId>>| -> BlockId {
+        let mut cur = start;
+        let mut hops = 0;
+        let mut path = Vec::new();
+        loop {
+            if let Some(r) = resolved[cur.index()] {
+                cur = r;
+                break;
+            }
+            let blk = cfg.block(cur);
+            match blk.terminator() {
+                Terminator::FallThrough { next } if blk.body().is_empty() && hops < n => {
+                    path.push(cur);
+                    cur = *next;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        for b in path {
+            resolved[b.index()] = Some(cur);
+        }
+        cur
+    };
+
+    let mut blocks = Vec::with_capacity(n);
+    for blk in cfg.blocks() {
+        let mut r = |b: BlockId| resolve(b, &mut resolved);
+        let term = match blk.terminator().clone() {
+            Terminator::FallThrough { next } => Terminator::FallThrough { next: r(next) },
+            Terminator::Jump { target } => Terminator::Jump { target: r(target) },
+            Terminator::Cond { taken, not_taken, behavior } => {
+                let t = r(taken);
+                let nt = r(not_taken);
+                if t == nt {
+                    Terminator::FallThrough { next: t }
+                } else {
+                    Terminator::Cond { taken: t, not_taken: nt, behavior }
+                }
+            }
+            Terminator::Call { callee, ret_to } => {
+                Terminator::Call { callee, ret_to: r(ret_to) }
+            }
+            Terminator::IndirectCall { callees, ret_to, select } => {
+                Terminator::IndirectCall { callees, ret_to: r(ret_to), select }
+            }
+            Terminator::Return => Terminator::Return,
+            Terminator::IndirectJump { targets, select } => Terminator::IndirectJump {
+                targets: targets.into_iter().map(|(b, w)| (r(b), w)).collect(),
+                select,
+            },
+        };
+        blocks.push(BasicBlock {
+            id: blk.id(),
+            func: blk.func(),
+            body: blk.body().to_vec(),
+            term,
+        });
+    }
+
+    let mut funcs = cfg.funcs().to_vec();
+    for f in &mut funcs {
+        f.entry = resolve(f.entry, &mut resolved);
+    }
+    Cfg { funcs, blocks, entry: cfg.entry() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::CondBehavior;
+    use crate::builder::CfgBuilder;
+
+    #[test]
+    fn chains_of_empty_blocks_collapse() {
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let a = bld.add_block(f, 1);
+        let e1 = bld.add_block(f, 0);
+        let e2 = bld.add_block(f, 0);
+        let b = bld.add_block(f, 1);
+        bld.set_fallthrough(a, e1);
+        bld.set_fallthrough(e1, e2);
+        bld.set_fallthrough(e2, b);
+        bld.set_return(b);
+        let cfg = collapse_empty_blocks(&bld.finish().expect("valid"));
+        match cfg.block(a).terminator() {
+            Terminator::FallThrough { next } => assert_eq!(*next, b),
+            t => panic!("expected fallthrough, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_cond_becomes_fallthrough() {
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let a = bld.add_block(f, 1);
+        let e1 = bld.add_block(f, 0);
+        let e2 = bld.add_block(f, 0);
+        let b = bld.add_block(f, 1);
+        bld.set_cond(a, e1, e2, CondBehavior::Bernoulli { p_taken: 0.5 });
+        bld.set_fallthrough(e1, b);
+        bld.set_fallthrough(e2, b);
+        bld.set_return(b);
+        let cfg = collapse_empty_blocks(&bld.finish().expect("valid"));
+        assert!(matches!(
+            cfg.block(a).terminator(),
+            Terminator::FallThrough { next } if *next == b
+        ));
+    }
+
+    #[test]
+    fn entry_through_empty_block_resolves() {
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let e = bld.add_block(f, 0);
+        let b = bld.add_block(f, 1);
+        bld.set_fallthrough(e, b);
+        bld.set_return(b);
+        let cfg = collapse_empty_blocks(&bld.finish().expect("valid"));
+        assert_eq!(cfg.func(f).entry(), b);
+        assert_eq!(cfg.entry_block(), b);
+    }
+
+    #[test]
+    fn non_empty_blocks_untouched() {
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let a = bld.add_block(f, 1);
+        let b = bld.add_block(f, 2);
+        bld.set_fallthrough(a, b);
+        bld.set_return(b);
+        let orig = bld.finish().expect("valid");
+        let cfg = collapse_empty_blocks(&orig);
+        assert_eq!(cfg, orig);
+    }
+}

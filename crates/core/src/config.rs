@@ -1,0 +1,74 @@
+//! Processor configuration (Table 2's "common settings").
+
+/// Back-end and pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessorConfig {
+    /// Pipe width: fetch, issue and commit width (Table 2: 2, 4, 8).
+    pub width: usize,
+    /// Pipeline depth in stages (Table 2: 16).
+    pub depth: u32,
+    /// Reorder-buffer capacity.
+    pub rob_entries: usize,
+    /// Decode-stage redirect bubble for misfetches (unidentified direct
+    /// jumps discovered at decode).
+    pub decode_redirect_lat: u32,
+    /// Cycles of no forward progress before the watchdog force-resyncs the
+    /// front-end (safety net; ~never fires in practice).
+    pub watchdog_cycles: u64,
+}
+
+impl ProcessorConfig {
+    /// The Table 2 configuration for a pipe width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two (the I-cache line geometry
+    /// requires it).
+    pub fn table2(width: usize) -> Self {
+        assert!(width.is_power_of_two() && width >= 1, "width must be a power of two");
+        ProcessorConfig {
+            width,
+            depth: 16,
+            rob_entries: (32 * width).max(64),
+            decode_redirect_lat: 3,
+            watchdog_cycles: 10_000,
+        }
+    }
+
+    /// Front-pipeline latency: cycles from fetch to execute eligibility.
+    /// Four stages are reserved for issue/execute/commit.
+    pub fn front_latency(&self) -> u32 {
+        self.depth.saturating_sub(4).max(1)
+    }
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> Self {
+        Self::table2(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_scales_rob_with_width() {
+        assert_eq!(ProcessorConfig::table2(2).rob_entries, 64);
+        assert_eq!(ProcessorConfig::table2(4).rob_entries, 128);
+        assert_eq!(ProcessorConfig::table2(8).rob_entries, 256);
+    }
+
+    #[test]
+    fn front_latency_leaves_backend_stages() {
+        let c = ProcessorConfig::table2(8);
+        assert_eq!(c.front_latency(), 12);
+        assert_eq!(c.depth, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_width() {
+        ProcessorConfig::table2(3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulation metrics — the quantities the paper reports.
+
+use sfetch_fetch::FetchEngineStats;
+use sfetch_mem::CacheStats;
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Committed instructions.
+    pub committed: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Correct-path instructions accepted from the front-end.
+    pub fetched_correct: u64,
+    /// Cycles in which at least one correct-path instruction was fetched —
+    /// the denominator of the paper's *fetch IPC* ("actual fetch width",
+    /// Table 3).
+    pub fetch_active_cycles: u64,
+    /// Committed prediction-relevant branches: conditionals, returns and
+    /// indirect jumps/calls (direct jumps/calls are trivially sequenced
+    /// once identified and are excluded, as are layout fix-up jumps).
+    pub branches: u64,
+    /// Committed conditional instances.
+    pub cond_branches: u64,
+    /// Taken conditional instances.
+    pub cond_taken: u64,
+    /// Execute-time misprediction recoveries (direction or target wrong).
+    pub mispredictions: u64,
+    /// Decode-time redirects: direct always-taken branches the front-end
+    /// did not identify (BTB/FTB/stream-predictor cold misses).
+    pub misfetches: u64,
+    /// Mispredictions whose resolved branch was conditional.
+    pub mispred_cond: u64,
+    /// Mispredictions whose resolved branch was a return.
+    pub mispred_return: u64,
+    /// Mispredictions whose resolved branch was an indirect jump/call.
+    pub mispred_indirect: u64,
+    /// Remaining mispredictions (unidentified direct branches resolved at
+    /// execute, non-branch divergences).
+    pub mispred_other: u64,
+    /// Watchdog resynchronizations (should be ~0; counted for honesty).
+    pub watchdog_resyncs: u64,
+    /// Front-end statistics.
+    pub engine: FetchEngineStats,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// Front-end storage cost in bits (Table 1's cost column).
+    pub storage_bits: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle — the paper's headline metric
+    /// (Figures 8 and 9).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fetch IPC: correct-path instructions per *active* fetch cycle
+    /// (Table 3's "Fetch" column).
+    pub fn fetch_ipc(&self) -> f64 {
+        if self.fetch_active_cycles == 0 {
+            0.0
+        } else {
+            self.fetched_correct as f64 / self.fetch_active_cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate: execute-time recoveries per committed
+    /// prediction-relevant branch (Table 3's "Mispred." column).
+    pub fn mispred_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of conditional instances not taken.
+    pub fn cond_not_taken_ratio(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            1.0 - self.cond_taken as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+/// Harmonic mean of positive values — how the paper aggregates IPC across
+/// the SPECint2000 suite (§4.1).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    let vals: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.len() as f64 / vals.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.fetch_ipc(), 0.0);
+        assert_eq!(s.mispred_rate(), 0.0);
+        assert_eq!(s.cond_not_taken_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = SimStats {
+            committed: 3000,
+            cycles: 1000,
+            fetched_correct: 5500,
+            fetch_active_cycles: 1000,
+            branches: 500,
+            mispredictions: 10,
+            cond_branches: 400,
+            cond_taken: 100,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 3.0).abs() < 1e-12);
+        assert!((s.fetch_ipc() - 5.5).abs() < 1e-12);
+        assert!((s.mispred_rate() - 0.02).abs() < 1e-12);
+        assert!((s.cond_not_taken_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_matches_definition() {
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        let hm = harmonic_mean(&[1.0, 2.0]);
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        // Harmonic mean is dominated by the slowest benchmark.
+        assert!(harmonic_mean(&[1.0, 10.0]) < 5.5);
+    }
+}

@@ -1,0 +1,594 @@
+//! The cycle-level processor: front-end verification, out-of-order
+//! back-end, misprediction recovery.
+
+use std::collections::VecDeque;
+
+use sfetch_cfg::{Cfg, CodeImage};
+use sfetch_fetch::{
+    Checkpoint, CommittedControl, CommittedInst, FetchEngine, FetchEngineStats, FetchedInst,
+    ResolvedBranch,
+};
+use sfetch_isa::{Addr, BranchKind, InstClass};
+use sfetch_mem::{MemoryConfig, MemoryHierarchy};
+use sfetch_trace::{DynInst, Executor};
+
+use crate::config::ProcessorConfig;
+use crate::metrics::SimStats;
+
+/// Completion-time ring size (must exceed any ROB + dependence distance).
+const COMPLETION_RING: usize = 4096;
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    fi: FetchedInst,
+    /// Correct-path record; `None` marks a wrong-path instruction.
+    oracle: Option<DynInst>,
+    /// This entry anchors the pending execute-time recovery.
+    anchor: bool,
+    /// Prediction was wrong but was repaired at decode (misfetch): the
+    /// committed record still reports `mispredicted` so predictors train
+    /// their hysteresis/upgrade paths.
+    misfetch: bool,
+    ready_at: u64,
+    issued: bool,
+    done_at: u64,
+}
+
+/// The in-flight recovery for the oldest divergence.
+#[derive(Debug, Clone, Copy)]
+struct Recovery {
+    anchor_seq: u64,
+    target: Addr,
+    cp: Checkpoint,
+    resolved: ResolvedBranch,
+    resolve_at: Option<u64>,
+}
+
+/// The simulated processor: one fetch engine + memory hierarchy + ROB
+/// back-end, verified against the architectural executor.
+pub struct Processor<'a> {
+    config: ProcessorConfig,
+    engine: Box<dyn FetchEngine>,
+    mem: MemoryHierarchy,
+    image: &'a CodeImage,
+    oracle: Executor<'a>,
+    pending_oracle: Option<DynInst>,
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    on_correct: bool,
+    recovery: Option<Recovery>,
+    fetch_hold_until: u64,
+    now: u64,
+    last_progress: u64,
+    last_cp: Checkpoint,
+    completion: Vec<u64>,
+    fetch_buf: Vec<FetchedInst>,
+    stats: SimStats,
+    engine_baseline: FetchEngineStats,
+}
+
+impl<'a> Processor<'a> {
+    /// Creates a processor with the Table 2 memory hierarchy for the
+    /// configured width and the given fetch engine.
+    pub fn new(
+        config: ProcessorConfig,
+        engine: Box<dyn FetchEngine>,
+        cfg: &'a Cfg,
+        image: &'a CodeImage,
+        seed: u64,
+    ) -> Self {
+        Self::with_memory(config, MemoryConfig::table2(config.width), engine, cfg, image, seed)
+    }
+
+    /// Creates a processor with an explicit memory configuration (used by
+    /// the line-size ablation).
+    pub fn with_memory(
+        config: ProcessorConfig,
+        memcfg: MemoryConfig,
+        engine: Box<dyn FetchEngine>,
+        cfg: &'a Cfg,
+        image: &'a CodeImage,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(engine.width(), config.width, "engine width must match processor width");
+        Processor {
+            config,
+            engine,
+            mem: MemoryHierarchy::new(memcfg),
+            image,
+            oracle: Executor::new(cfg, image, seed),
+            pending_oracle: None,
+            rob: VecDeque::with_capacity(config.rob_entries),
+            next_seq: 0,
+            on_correct: true,
+            recovery: None,
+            fetch_hold_until: 0,
+            now: 0,
+            last_progress: 0,
+            last_cp: Checkpoint::default(),
+            completion: vec![u64::MAX; COMPLETION_RING],
+            fetch_buf: Vec::with_capacity(16),
+            stats: SimStats::default(),
+            engine_baseline: FetchEngineStats::default(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Committed instructions since the last stats reset.
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// Runs until `n` more instructions commit (relative to the current
+    /// stats window).
+    pub fn run(&mut self, n: u64) {
+        let target = self.stats.committed + n;
+        while self.stats.committed < target {
+            self.cycle();
+        }
+    }
+
+    /// Resets the statistics window (used after warmup). Predictor and
+    /// cache *state* is retained; only counters restart.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        self.mem.reset_stats();
+        self.engine_baseline = self.engine.stats();
+    }
+
+    /// Final statistics for the current window.
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.engine = diff_engine(self.engine.stats(), self.engine_baseline);
+        s.l1i = self.mem.l1i_stats();
+        s.l1d = self.mem.l1d_stats();
+        s.l2 = self.mem.l2_stats();
+        s.storage_bits = self.engine.storage_bits();
+        s
+    }
+
+    /// Direct access to the fetch engine (for ablation reporting).
+    pub fn engine(&self) -> &dyn FetchEngine {
+        self.engine.as_ref()
+    }
+
+    /// Advances the simulation by one clock cycle.
+    pub fn cycle(&mut self) {
+        self.commit_stage();
+        self.execute_stage();
+        self.recovery_stage();
+        self.fetch_stage();
+        self.watchdog();
+        self.now += 1;
+        self.stats.cycles += 1;
+    }
+
+    // --- pipeline stages -------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        for _ in 0..self.config.width {
+            let Some(head) = self.rob.front() else { break };
+            if !(head.issued && head.done_at <= self.now) {
+                break;
+            }
+            if head.oracle.is_none() {
+                // Wrong-path instructions never commit; they are squashed by
+                // the recovery stage once the anchoring branch resolves
+                // (which, if the anchor just committed, happens this cycle).
+                break;
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            let d = e.oracle.expect("checked above");
+            let control = d.control.map(|c| CommittedControl {
+                kind: c.kind,
+                taken: c.taken,
+                target: c.target,
+                next_pc: c.next_pc,
+                is_fixup: c.is_fixup,
+            });
+            self.engine.commit(&CommittedInst {
+                pc: d.pc,
+                control,
+                mispredicted: e.anchor || e.misfetch,
+            });
+            self.stats.committed += 1;
+            if let Some(c) = d.control {
+                match c.kind {
+                    BranchKind::Cond => {
+                        self.stats.branches += 1;
+                        self.stats.cond_branches += 1;
+                        self.stats.cond_taken += u64::from(c.taken);
+                    }
+                    BranchKind::Return | BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                        self.stats.branches += 1;
+                    }
+                    BranchKind::Jump | BranchKind::Call => {}
+                }
+            }
+            self.last_progress = self.now;
+        }
+    }
+
+    fn execute_stage(&mut self) {
+        let mut issued = 0;
+        let width = self.config.width;
+        let now = self.now;
+        // Collect issue candidates first to appease the borrow checker: the
+        // D-cache access needs &mut self.mem while iterating the ROB.
+        for i in 0..self.rob.len() {
+            if issued == width {
+                break;
+            }
+            let e = self.rob[i];
+            if e.issued || e.ready_at > now {
+                continue;
+            }
+            if !self.deps_done(&e) {
+                continue;
+            }
+            let mut lat = u64::from(e.fi.inst.class().base_latency());
+            match e.fi.inst.class() {
+                InstClass::Load => {
+                    if let Some(addr) = e.oracle.and_then(|d| d.mem_addr) {
+                        lat = u64::from(self.mem.data_access(addr, false));
+                    }
+                }
+                InstClass::Store => {
+                    if let Some(addr) = e.oracle.and_then(|d| d.mem_addr) {
+                        // Stores retire through a store buffer: access the
+                        // cache (for fills/stats) but complete in a cycle.
+                        let _ = self.mem.data_access(addr, true);
+                    }
+                }
+                _ => {}
+            }
+            let entry = &mut self.rob[i];
+            entry.issued = true;
+            entry.done_at = now + lat;
+            self.completion[(entry.seq % COMPLETION_RING as u64) as usize] = entry.done_at;
+            if entry.anchor {
+                if let Some(r) = self.recovery.as_mut() {
+                    if r.anchor_seq == entry.seq {
+                        r.resolve_at = Some(entry.done_at);
+                    }
+                }
+            }
+            issued += 1;
+        }
+    }
+
+    fn deps_done(&self, e: &RobEntry) -> bool {
+        for dist in [e.fi.inst.dep1().get(), e.fi.inst.dep2().get()] {
+            if dist == 0 {
+                continue;
+            }
+            let dist = u64::from(dist);
+            if e.seq < dist {
+                continue;
+            }
+            let producer = e.seq - dist;
+            let done = self.completion[(producer % COMPLETION_RING as u64) as usize];
+            if done > self.now {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn recovery_stage(&mut self) {
+        let Some(r) = self.recovery else { return };
+        let Some(at) = r.resolve_at else { return };
+        if at > self.now {
+            return;
+        }
+        // Squash everything younger than the anchor (all wrong-path).
+        while let Some(back) = self.rob.back() {
+            if back.seq <= r.anchor_seq {
+                break;
+            }
+            let seq = back.seq;
+            self.completion[(seq % COMPLETION_RING as u64) as usize] = self.now;
+            self.rob.pop_back();
+        }
+        self.engine.redirect(self.now, r.target, &r.cp, &r.resolved);
+        self.stats.mispredictions += 1;
+        match r.resolved.kind {
+            Some(BranchKind::Cond) => self.stats.mispred_cond += 1,
+            Some(BranchKind::Return) => self.stats.mispred_return += 1,
+            Some(BranchKind::IndirectJump) | Some(BranchKind::IndirectCall) => {
+                self.stats.mispred_indirect += 1
+            }
+            _ => self.stats.mispred_other += 1,
+        }
+        self.on_correct = true;
+        self.recovery = None;
+    }
+
+    fn fetch_stage(&mut self) {
+        if self.now < self.fetch_hold_until {
+            return;
+        }
+        if self.rob.len() + self.config.width > self.config.rob_entries {
+            return; // no ROB space for a full fetch group
+        }
+        let mut buf = std::mem::take(&mut self.fetch_buf);
+        buf.clear();
+        self.engine.cycle(self.now, self.image, &mut self.mem, &mut buf);
+        let mut accepted = 0u64;
+        for (i, fi) in buf.iter().enumerate() {
+            let fi = *fi;
+            if !self.on_correct {
+                self.push_rob(fi, None, false, false);
+                continue;
+            }
+            let d = self.peek_oracle();
+            if fi.pc != d.pc {
+                // The front-end fetched the wrong instruction without a
+                // mispredicted branch carrying the error (e.g. a stale
+                // stream length over a non-branch): the decoder's PC check
+                // catches it — resync with a decode bubble.
+                self.stats.misfetches += 1;
+                let target = d.pc;
+                let resolved =
+                    ResolvedBranch { pc: fi.pc, kind: None, taken: false, target };
+                self.decode_redirect(fi.cp, target, resolved);
+                break; // drop the rest of the bundle
+            }
+            let d = self.take_oracle();
+            accepted += 1;
+            self.last_cp = fi.cp;
+            match (fi.pred, d.control) {
+                (Some(p), Some(c)) => {
+                    let dir_ok = p.taken == c.taken;
+                    let target_ok = !c.taken || !p.taken || p.target == c.target;
+                    if dir_ok && target_ok {
+                        self.push_rob(fi, Some(d), false, false);
+                    } else if !p.taken
+                        && c.taken
+                        && matches!(c.kind, BranchKind::Jump | BranchKind::Call)
+                    {
+                        // An unidentified *direct, unconditional* branch:
+                        // the decoder sees the target and redirects with a
+                        // small bubble (misfetch), no execute-time penalty.
+                        self.stats.misfetches += 1;
+                        self.push_rob(fi, Some(d), false, true);
+                        let resolved = ResolvedBranch {
+                            pc: d.pc,
+                            kind: Some(c.kind),
+                            taken: true,
+                            target: c.target,
+                        };
+                        self.decode_redirect(fi.cp, c.next_pc, resolved);
+                        let _ = i;
+                        break;
+                    } else {
+                        // Full misprediction: recover when the branch
+                        // executes.
+                        let resolved = ResolvedBranch {
+                            pc: d.pc,
+                            kind: Some(c.kind),
+                            taken: c.taken,
+                            target: c.target,
+                        };
+                        self.recovery = Some(Recovery {
+                            anchor_seq: self.next_seq,
+                            target: c.next_pc,
+                            cp: fi.cp,
+                            resolved,
+                            resolve_at: None,
+                        });
+                        self.on_correct = false;
+                        self.push_rob(fi, Some(d), true, false);
+                    }
+                }
+                (None, None) => self.push_rob(fi, Some(d), false, false),
+                // Engines attach predictions to every branch they decode and
+                // the oracle walks the same image, so these cases indicate a
+                // simulator bug.
+                (Some(_), None) | (None, Some(_)) => {
+                    unreachable!("prediction/control mismatch at {}", fi.pc)
+                }
+            }
+        }
+        self.fetch_buf = buf;
+        if accepted > 0 {
+            self.stats.fetched_correct += accepted;
+            self.stats.fetch_active_cycles += 1;
+            self.last_progress = self.now;
+        }
+    }
+
+    fn decode_redirect(&mut self, cp: Checkpoint, target: Addr, resolved: ResolvedBranch) {
+        self.engine.redirect(self.now, target, &cp, &resolved);
+        self.fetch_hold_until = self.now + u64::from(self.config.decode_redirect_lat);
+    }
+
+    fn push_rob(&mut self, fi: FetchedInst, oracle: Option<DynInst>, anchor: bool, misfetch: bool) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.completion[(seq % COMPLETION_RING as u64) as usize] = u64::MAX;
+        self.rob.push_back(RobEntry {
+            seq,
+            fi,
+            oracle,
+            anchor,
+            misfetch,
+            ready_at: self.now + u64::from(self.config.front_latency()),
+            issued: false,
+            done_at: u64::MAX,
+        });
+    }
+
+    fn peek_oracle(&mut self) -> DynInst {
+        if self.pending_oracle.is_none() {
+            self.pending_oracle = self.oracle.next();
+        }
+        self.pending_oracle.expect("executor is infinite")
+    }
+
+    fn take_oracle(&mut self) -> DynInst {
+        let d = self.peek_oracle();
+        self.pending_oracle = None;
+        d
+    }
+
+    /// Safety net: if the front-end wedges on a wrong path without an
+    /// anchored recovery (possible only through pathological predictor
+    /// state), resynchronize it to the oracle. Counted; expected ~never.
+    fn watchdog(&mut self) {
+        if self.now - self.last_progress <= self.config.watchdog_cycles {
+            return;
+        }
+        self.stats.watchdog_resyncs += 1;
+        // Squash all wrong-path work and restart cleanly from the oracle.
+        if let Some(r) = self.recovery {
+            while let Some(back) = self.rob.back() {
+                if back.seq <= r.anchor_seq {
+                    break;
+                }
+                self.completion[(back.seq % COMPLETION_RING as u64) as usize] = self.now;
+                self.rob.pop_back();
+            }
+            self.engine.redirect(self.now, r.target, &r.cp, &r.resolved);
+            self.on_correct = true;
+            self.recovery = None;
+        } else {
+            let d = self.peek_oracle();
+            let resolved = ResolvedBranch { pc: d.pc, kind: None, taken: false, target: d.pc };
+            let cp = self.last_cp;
+            self.engine.redirect(self.now, d.pc, &cp, &resolved);
+        }
+        self.last_progress = self.now;
+    }
+}
+
+fn diff_engine(cur: FetchEngineStats, base: FetchEngineStats) -> FetchEngineStats {
+    FetchEngineStats {
+        predictor_lookups: cur.predictor_lookups - base.predictor_lookups,
+        predictor_hits: cur.predictor_hits - base.predictor_hits,
+        units: cur.units - base.units,
+        unit_insts: cur.unit_insts - base.unit_insts,
+        tc_hits: cur.tc_hits - base.tc_hits,
+        tc_misses: cur.tc_misses - base.tc_misses,
+        icache_stall_cycles: cur.icache_stall_cycles - base.icache_stall_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+    use sfetch_cfg::layout;
+    use sfetch_fetch::EngineKind;
+
+    fn run_engine(kind: EngineKind, width: usize, insts: u64) -> SimStats {
+        let cfg = ProgramGenerator::new(GenParams::small(), 42).generate();
+        let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let pc = ProcessorConfig::table2(width);
+        let engine = kind.build(width, image.entry());
+        let mut p = Processor::new(pc, engine, &cfg, &image, 7);
+        p.run(insts);
+        p.stats()
+    }
+
+    #[test]
+    fn all_engines_make_forward_progress() {
+        for kind in EngineKind::ALL {
+            let s = run_engine(kind, 4, 20_000);
+            assert!(s.committed >= 20_000, "{kind}: committed {}", s.committed);
+            assert!(s.ipc() > 0.1, "{kind}: ipc {}", s.ipc());
+            assert!(s.ipc() <= 4.0, "{kind}: ipc exceeds width");
+            assert_eq!(s.watchdog_resyncs, 0, "{kind}: watchdog fired");
+        }
+    }
+
+    #[test]
+    fn committed_path_matches_oracle_exactly() {
+        // The committed instruction count and branch counts must equal the
+        // executor's own statistics over the same window — commits are the
+        // oracle sequence by construction; this guards the plumbing.
+        let cfg = ProgramGenerator::new(GenParams::small(), 10).generate();
+        let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let n = 30_000u64;
+        let engine = EngineKind::Stream.build(4, image.entry());
+        let mut p = Processor::new(ProcessorConfig::table2(4), engine, &cfg, &image, 3);
+        p.run(n);
+        let s = p.stats();
+
+        let mut conds = 0u64;
+        let mut taken = 0u64;
+        for d in Executor::new(&cfg, &image, 3).take(n as usize) {
+            if let Some(c) = d.control {
+                if c.kind == BranchKind::Cond {
+                    conds += 1;
+                    taken += u64::from(c.taken);
+                }
+            }
+        }
+        assert_eq!(s.cond_branches, conds);
+        assert_eq!(s.cond_taken, taken);
+    }
+
+    #[test]
+    fn wider_pipes_do_not_reduce_ipc() {
+        let s2 = run_engine(EngineKind::Stream, 2, 20_000);
+        let s8 = run_engine(EngineKind::Stream, 8, 20_000);
+        assert!(
+            s8.ipc() >= s2.ipc() * 0.95,
+            "8-wide ({:.2}) should not be slower than 2-wide ({:.2})",
+            s8.ipc(),
+            s2.ipc()
+        );
+    }
+
+    #[test]
+    fn fetch_ipc_bounded_by_width() {
+        for kind in EngineKind::ALL {
+            let s = run_engine(kind, 4, 20_000);
+            assert!(s.fetch_ipc() <= 4.0 + 1e-9, "{kind}: fetch ipc {}", s.fetch_ipc());
+            assert!(s.fetch_ipc() >= s.ipc() * 0.9, "{kind}: fetch ipc below ipc");
+        }
+    }
+
+    #[test]
+    fn mispredictions_are_bounded() {
+        for kind in EngineKind::ALL {
+            let s = run_engine(kind, 4, 20_000);
+            let rate = s.mispred_rate();
+            assert!(rate < 0.5, "{kind}: implausible mispred rate {rate}");
+            assert!(s.mispredictions > 0, "{kind}: zero mispredictions is implausible");
+        }
+    }
+
+    #[test]
+    fn warmup_reset_clears_counters_but_keeps_state() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 42).generate();
+        let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let engine = EngineKind::Stream.build(4, image.entry());
+        let mut p = Processor::new(ProcessorConfig::table2(4), engine, &cfg, &image, 7);
+        p.run(10_000);
+        let warm = p.stats();
+        p.reset_stats();
+        assert_eq!(p.stats().committed, 0);
+        p.run(10_000);
+        let cold_rate = warm.mispred_rate();
+        let warm_rate = p.stats().mispred_rate();
+        assert!(
+            warm_rate <= cold_rate * 1.5 + 0.01,
+            "trained window ({warm_rate}) should not be much worse than cold ({cold_rate})"
+        );
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let a = run_engine(EngineKind::TraceCache, 4, 15_000);
+        let b = run_engine(EngineKind::TraceCache, 4, 15_000);
+        assert_eq!(a, b);
+    }
+}

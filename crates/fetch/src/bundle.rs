@@ -1,0 +1,132 @@
+//! Types flowing between the fetch engines and the processor.
+
+use sfetch_isa::{Addr, BranchKind, StaticInst};
+use sfetch_predictors::{PathSnapshot, RasSnapshot};
+
+/// Speculative-state checkpoint carried by each fetched instruction.
+///
+/// Restoring a checkpoint repairs every speculative predictor structure the
+/// engine owns: the global history register, the path-history register of
+/// the stream/trace predictor, and the RAS top-of-stack + index (the
+/// paper's shadow-copy repair, §3.2). All fields are O(1) copies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Speculative global (direction) history.
+    pub ghist: u64,
+    /// Speculative path-history register.
+    pub path: PathSnapshot,
+    /// RAS index + top-of-stack shadow.
+    pub ras: RasSnapshot,
+}
+
+/// A branch prediction attached to a fetched branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPrediction {
+    /// Predicted direction (always `true` for unconditional kinds the
+    /// engine recognized; `false` for *implicit not-taken* embedded
+    /// branches).
+    pub taken: bool,
+    /// Predicted target when taken ([`Addr::NULL`] when the engine had no
+    /// target, e.g. an unidentified branch).
+    pub target: Addr,
+}
+
+/// One instruction delivered by a fetch engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchedInst {
+    /// Instruction address.
+    pub pc: Addr,
+    /// The static instruction (decoded from the image).
+    pub inst: StaticInst,
+    /// The prediction, for control-transfer instructions.
+    pub pred: Option<BranchPrediction>,
+    /// Speculative-state checkpoint to restore if recovery is anchored at
+    /// this instruction.
+    pub cp: Checkpoint,
+}
+
+/// Resolved outcome handed to [`crate::FetchEngine::redirect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedBranch {
+    /// Branch address (or the address of the mismatching instruction for a
+    /// non-branch misfetch).
+    pub pc: Addr,
+    /// Branch kind (`None` for a non-branch misfetch recovery).
+    pub kind: Option<BranchKind>,
+    /// Actual direction.
+    pub taken: bool,
+    /// Actual target (the redirect destination when taken).
+    pub target: Addr,
+}
+
+/// Control outcome of a committed instruction (the engine-facing subset of
+/// the executor's record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommittedControl {
+    /// Branch kind.
+    pub kind: BranchKind,
+    /// Whether it was taken.
+    pub taken: bool,
+    /// Target address (static target for untaken conditionals).
+    pub target: Addr,
+    /// Architecturally next pc.
+    pub next_pc: Addr,
+    /// Layout fix-up jump?
+    pub is_fixup: bool,
+}
+
+/// One committed instruction, as reported to the engines for training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommittedInst {
+    /// Instruction address.
+    pub pc: Addr,
+    /// Control outcome, for branches.
+    pub control: Option<CommittedControl>,
+    /// Whether the front-end was redirected at this instruction (its
+    /// prediction — explicit or implicit — was wrong). Trains hysteresis
+    /// and gates second-level insertion in the cascaded predictors.
+    pub mispredicted: bool,
+}
+
+impl CommittedInst {
+    /// Architecturally next pc.
+    pub fn next_pc(&self) -> Addr {
+        match self.control {
+            Some(c) => c.next_pc,
+            None => self.pc.next_inst(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_next_pc() {
+        let plain = CommittedInst { pc: Addr::new(0x100), control: None, mispredicted: false };
+        assert_eq!(plain.next_pc(), Addr::new(0x104));
+        let br = CommittedInst {
+            pc: Addr::new(0x100),
+            control: Some(CommittedControl {
+                kind: BranchKind::Jump,
+                taken: true,
+                target: Addr::new(0x900),
+                next_pc: Addr::new(0x900),
+                is_fixup: false,
+            }),
+            mispredicted: false,
+        };
+        assert_eq!(br.next_pc(), Addr::new(0x900));
+    }
+
+    #[test]
+    fn checkpoint_is_small_and_copy() {
+        // The whole point: per-instruction checkpoints must be trivially
+        // copyable words, not heap structures.
+        assert!(std::mem::size_of::<Checkpoint>() <= 64);
+        let cp = Checkpoint::default();
+        let cp2 = cp;
+        assert_eq!(cp, cp2);
+    }
+}

@@ -1,0 +1,144 @@
+//! The fetch-engine interface shared by the four front-ends.
+
+use sfetch_cfg::CodeImage;
+use sfetch_isa::Addr;
+use sfetch_mem::MemoryHierarchy;
+
+use crate::bundle::{Checkpoint, CommittedInst, FetchedInst, ResolvedBranch};
+
+/// Aggregate fetch-engine statistics (engine-agnostic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchEngineStats {
+    /// Prediction-structure lookups (stream/trace/FTB/BTB-group lookups).
+    pub predictor_lookups: u64,
+    /// Lookups that hit.
+    pub predictor_hits: u64,
+    /// Completed fetch units (streams / fetch blocks / traces / EV8 groups).
+    pub units: u64,
+    /// Total instructions across completed fetch units — `unit_insts /
+    /// units` is Table 1's "size (inst.)" column.
+    pub unit_insts: u64,
+    /// Trace-cache hits (trace cache engine only).
+    pub tc_hits: u64,
+    /// Trace-cache misses (trace cache engine only).
+    pub tc_misses: u64,
+    /// Cycles spent stalled on I-cache misses.
+    pub icache_stall_cycles: u64,
+}
+
+impl FetchEngineStats {
+    /// Mean fetch-unit size in instructions.
+    pub fn mean_unit_len(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.unit_insts as f64 / self.units as f64
+        }
+    }
+}
+
+/// A cycle-accurate instruction fetch front-end.
+///
+/// The processor drives the engine with one [`FetchEngine::cycle`] call per
+/// clock; the engine delivers up to its width of [`FetchedInst`]s, fetching
+/// *its own predicted path* through the [`CodeImage`] — including wrong
+/// paths. The processor verifies the delivered instructions against the
+/// architectural executor and calls [`FetchEngine::redirect`] on recovery
+/// and [`FetchEngine::commit`] for every retired instruction.
+pub trait FetchEngine {
+    /// Engine name for reports ("streams", "ev8", "ftb", "tcache").
+    fn name(&self) -> &'static str;
+
+    /// Pipeline width (max instructions delivered per cycle).
+    fn width(&self) -> usize;
+
+    /// Runs one fetch cycle at time `now`, appending delivered instructions
+    /// to `out` (at most `width()`); may deliver none while stalled on an
+    /// I-cache miss or after running off the image on a wrong path.
+    fn cycle(
+        &mut self,
+        now: u64,
+        image: &CodeImage,
+        mem: &mut MemoryHierarchy,
+        out: &mut Vec<FetchedInst>,
+    );
+
+    /// Redirects fetch to `target`, restoring speculative state from `cp`
+    /// and folding in the resolved outcome. Called for execute-time
+    /// misprediction recoveries and decode-time misfetches alike.
+    fn redirect(&mut self, now: u64, target: Addr, cp: &Checkpoint, resolved: &ResolvedBranch);
+
+    /// Reports one committed (retired) instruction for table training and
+    /// retired-history maintenance. Called in program order.
+    fn commit(&mut self, ci: &CommittedInst);
+
+    /// Engine statistics.
+    fn stats(&self) -> FetchEngineStats;
+
+    /// Estimated storage cost of all prediction/fetch structures in bits
+    /// (Table 1's cost column). Excludes the shared L1 I-cache.
+    fn storage_bits(&self) -> u64;
+}
+
+/// Selector for constructing engines generically (used by the harness and
+/// the processor builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The stream fetch architecture (the paper's contribution).
+    Stream,
+    /// Alpha EV8 fetch + 2bcgskew.
+    Ev8,
+    /// FTB fetch + perceptron.
+    Ftb,
+    /// Trace cache + next trace predictor.
+    TraceCache,
+}
+
+impl EngineKind {
+    /// All four engines, in the paper's presentation order.
+    pub const ALL: [EngineKind; 4] =
+        [EngineKind::Ev8, EngineKind::Ftb, EngineKind::Stream, EngineKind::TraceCache];
+
+    /// Builds the engine with its Table 2 configuration for the given
+    /// pipeline width, starting fetch at `entry`.
+    pub fn build(self, width: usize, entry: Addr) -> Box<dyn FetchEngine> {
+        match self {
+            EngineKind::Stream => Box::new(crate::stream::StreamEngine::table2(width, entry)),
+            EngineKind::Ev8 => Box::new(crate::ev8::Ev8Engine::table2(width, entry)),
+            EngineKind::Ftb => Box::new(crate::ftb_engine::FtbEngine::table2(width, entry)),
+            EngineKind::TraceCache => {
+                Box::new(crate::trace_cache::TraceCacheEngine::table2(width, entry))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Stream => f.write_str("Streams"),
+            EngineKind::Ev8 => f.write_str("EV8+2bcgskew"),
+            EngineKind::Ftb => f.write_str("FTB+perceptron"),
+            EngineKind::TraceCache => f.write_str("Tcache+Tpred"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_unit_len_handles_zero() {
+        assert_eq!(FetchEngineStats::default().mean_unit_len(), 0.0);
+        let s = FetchEngineStats { units: 4, unit_insts: 40, ..Default::default() };
+        assert_eq!(s.mean_unit_len(), 10.0);
+    }
+
+    #[test]
+    fn kind_display_matches_paper_labels() {
+        assert_eq!(EngineKind::Stream.to_string(), "Streams");
+        assert_eq!(EngineKind::Ev8.to_string(), "EV8+2bcgskew");
+        assert_eq!(EngineKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Byte addresses in the simulated machine.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size of one instruction in bytes (fixed-width ISA, like the Alpha used in
+/// the paper).
+pub const INST_BYTES: u64 = 4;
+
+/// A byte address in the simulated code or data space.
+///
+/// `Addr` is a transparent newtype over `u64` ([C-NEWTYPE]) so instruction
+/// addresses, data addresses and plain counters cannot be confused. Code
+/// addresses produced by the layout pass are always instruction-aligned
+/// (multiples of [`INST_BYTES`]).
+///
+/// ```
+/// use sfetch_isa::Addr;
+///
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a.next_inst().get(), 0x1004);
+/// assert_eq!(a.line_index(64), 0x40);
+/// assert!(a.is_inst_aligned());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address; used as a sentinel for "no target yet".
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Address of the instruction `n` slots after this one.
+    #[inline]
+    pub const fn offset_insts(self, n: u64) -> Self {
+        Addr(self.0 + n * INST_BYTES)
+    }
+
+    /// Address of the next sequential instruction.
+    #[inline]
+    pub const fn next_inst(self) -> Self {
+        self.offset_insts(1)
+    }
+
+    /// Whether this address is a multiple of the instruction size.
+    #[inline]
+    pub const fn is_inst_aligned(self) -> bool {
+        self.0 % INST_BYTES == 0
+    }
+
+    /// Index of the cache line containing this address, for a given line size
+    /// in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line_index(self, line_bytes: u64) -> u64 {
+        debug_assert!(line_bytes.is_power_of_two());
+        self.0 / line_bytes
+    }
+
+    /// First address of the cache line containing this address.
+    #[inline]
+    pub fn line_base(self, line_bytes: u64) -> Addr {
+        Addr(self.line_index(line_bytes) * line_bytes)
+    }
+
+    /// Number of *instructions* from this address up to (not including) the
+    /// end of its cache line.
+    ///
+    /// This is the quantity the stream front-end's fetch-request update
+    /// mechanism needs each cycle: how much of the current stream fits in the
+    /// line being read (paper §3.3–3.4).
+    #[inline]
+    pub fn insts_to_line_end(self, line_bytes: u64) -> u64 {
+        let line_end = self.line_base(line_bytes).0 + line_bytes;
+        (line_end - self.0) / INST_BYTES
+    }
+
+    /// Distance in whole instructions between two addresses (`self` must not
+    /// be below `base`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self < base` or the distance is not instruction-aligned
+    /// (both indicate a simulator bug, not user error).
+    #[inline]
+    pub fn insts_since(self, base: Addr) -> u64 {
+        assert!(self.0 >= base.0, "insts_since: {self} < {base}");
+        let delta = self.0 - base.0;
+        assert!(delta % INST_BYTES == 0, "unaligned distance {delta}");
+        delta / INST_BYTES
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_inst_advances_by_inst_bytes() {
+        assert_eq!(Addr::new(0).next_inst(), Addr::new(INST_BYTES));
+        assert_eq!(Addr::new(100).offset_insts(3), Addr::new(100 + 3 * INST_BYTES));
+    }
+
+    #[test]
+    fn line_geometry() {
+        let a = Addr::new(0x104c);
+        assert_eq!(a.line_index(64), 0x1040 / 64);
+        assert_eq!(a.line_base(64), Addr::new(0x1040));
+        // 0x104c .. 0x1080 = 0x34 bytes = 13 instructions.
+        assert_eq!(a.insts_to_line_end(64), 13);
+    }
+
+    #[test]
+    fn line_start_has_full_line_of_insts() {
+        let a = Addr::new(0x2000);
+        assert_eq!(a.insts_to_line_end(32), 8);
+        assert_eq!(a.insts_to_line_end(64), 16);
+        assert_eq!(a.insts_to_line_end(128), 32);
+    }
+
+    #[test]
+    fn insts_since_counts_instructions() {
+        let base = Addr::new(0x1000);
+        assert_eq!(base.offset_insts(7).insts_since(base), 7);
+        assert_eq!(base.insts_since(base), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "insts_since")]
+    fn insts_since_rejects_negative_distance() {
+        Addr::new(0).insts_since(Addr::new(4));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(0x12ab).to_string(), "0x12ab");
+        assert_eq!(format!("{:x}", Addr::new(0x12ab)), "12ab");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a: Addr = 0xdead_beefu64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0xdead_beef);
+    }
+}

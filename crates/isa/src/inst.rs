@@ -1,0 +1,395 @@
+//! Static instructions: classes, latencies, dependencies and memory patterns.
+
+use std::fmt;
+
+use crate::addr::Addr;
+
+/// The kind of a control-transfer instruction.
+///
+/// The taxonomy matches what the paper's front-ends distinguish:
+/// conditional branches are direction-predicted; calls/returns drive the
+/// return address stack (RAS); indirect jumps/calls have data-dependent
+/// targets that only a target predictor (BTB / FTB / next-stream table) can
+/// guess. Unconditional direct jumps and calls are always taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch: taken or not-taken, static target.
+    Cond,
+    /// Unconditional direct jump: always taken, static target.
+    Jump,
+    /// Direct call: always taken, pushes a return address.
+    Call,
+    /// Return: always taken, target comes from the call stack.
+    Return,
+    /// Indirect jump (e.g. switch dispatch): always taken, variable target.
+    IndirectJump,
+    /// Indirect call (e.g. virtual dispatch): always taken, variable target,
+    /// pushes a return address.
+    IndirectCall,
+}
+
+impl BranchKind {
+    /// Whether this branch kind can fall through (only conditionals can).
+    #[inline]
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::Cond)
+    }
+
+    /// Whether the target is data-dependent (unknowable from the static
+    /// instruction alone).
+    #[inline]
+    pub const fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::Return | BranchKind::IndirectJump | BranchKind::IndirectCall
+        )
+    }
+
+    /// Whether executing this branch pushes a return address on the RAS.
+    #[inline]
+    pub const fn pushes_return(self) -> bool {
+        matches!(self, BranchKind::Call | BranchKind::IndirectCall)
+    }
+
+    /// Whether this branch pops the RAS.
+    #[inline]
+    pub const fn pops_return(self) -> bool {
+        matches!(self, BranchKind::Return)
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Cond => "cond",
+            BranchKind::Jump => "jump",
+            BranchKind::Call => "call",
+            BranchKind::Return => "ret",
+            BranchKind::IndirectJump => "ijump",
+            BranchKind::IndirectCall => "icall",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional class of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply/divide-like operation.
+    IntMul,
+    /// Floating-point operation (rare in the SPECint-like workloads).
+    FpAlu,
+    /// Memory load; latency depends on the data cache.
+    Load,
+    /// Memory store; retires through the data cache.
+    Store,
+    /// Control transfer of the given kind.
+    Branch(BranchKind),
+    /// No-operation (padding).
+    Nop,
+}
+
+impl InstClass {
+    /// Base execution latency in cycles, excluding memory-hierarchy time.
+    ///
+    /// Loads report `1`; the simulator adds the D-cache access latency on
+    /// top when the access resolves.
+    #[inline]
+    pub const fn base_latency(self) -> u32 {
+        match self {
+            InstClass::IntAlu | InstClass::Nop | InstClass::Store => 1,
+            InstClass::IntMul => 3,
+            InstClass::FpAlu => 2,
+            InstClass::Load => 1,
+            InstClass::Branch(_) => 1,
+        }
+    }
+
+    /// Whether this is any control-transfer instruction.
+    #[inline]
+    pub const fn is_branch(self) -> bool {
+        matches!(self, InstClass::Branch(_))
+    }
+
+    /// The branch kind, if this is a control transfer.
+    #[inline]
+    pub const fn branch_kind(self) -> Option<BranchKind> {
+        match self {
+            InstClass::Branch(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InstClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstClass::IntAlu => f.write_str("alu"),
+            InstClass::IntMul => f.write_str("mul"),
+            InstClass::FpAlu => f.write_str("fp"),
+            InstClass::Load => f.write_str("ld"),
+            InstClass::Store => f.write_str("st"),
+            InstClass::Branch(k) => write!(f, "br.{k}"),
+            InstClass::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+/// A distance-coded register dependency.
+///
+/// Rather than modelling an architectural register file, each instruction
+/// names the *k-th previous dynamic instruction* as its producer — the
+/// standard trace-driven abstraction: dependence distance distributions,
+/// not register names, determine the exploitable ILP. `DepDistance::NONE`
+/// (distance 0) means "no dependency".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DepDistance(u8);
+
+impl DepDistance {
+    /// No dependency.
+    pub const NONE: DepDistance = DepDistance(0);
+    /// Largest representable distance.
+    pub const MAX: DepDistance = DepDistance(u8::MAX);
+
+    /// Creates a dependency on the `d`-th previous dynamic instruction
+    /// (`d == 0` means no dependency).
+    #[inline]
+    pub const fn new(d: u8) -> Self {
+        DepDistance(d)
+    }
+
+    /// Raw distance; `0` means none.
+    #[inline]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Whether a producer exists.
+    #[inline]
+    pub const fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Deterministic synthetic address stream for one static memory instruction.
+///
+/// The dynamic address of the `k`-th execution of the instruction is
+/// `base + stride * (k mod span)` — a strided walk over a bounded footprint,
+/// which yields controllable L1D hit rates without storing data traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemPattern {
+    /// First byte address of the footprint.
+    pub base: Addr,
+    /// Stride between successive accesses, in bytes.
+    pub stride: u32,
+    /// Number of distinct access slots before the walk wraps.
+    pub span: u32,
+}
+
+impl MemPattern {
+    /// Creates a pattern; `span` is clamped to at least 1.
+    pub fn new(base: Addr, stride: u32, span: u32) -> Self {
+        MemPattern { base, stride, span: span.max(1) }
+    }
+
+    /// Address of the `k`-th dynamic access.
+    #[inline]
+    pub fn address(&self, k: u64) -> Addr {
+        Addr::new(self.base.get() + u64::from(self.stride) * (k % u64::from(self.span)))
+    }
+}
+
+/// One instruction of the static program image.
+///
+/// `StaticInst` is `Copy`-cheap and carries everything the simulator needs:
+/// the functional class, up to two distance-coded input dependencies, and
+/// the synthetic address pattern for memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticInst {
+    class: InstClass,
+    dep1: DepDistance,
+    dep2: DepDistance,
+    mem: Option<MemPattern>,
+}
+
+impl StaticInst {
+    /// Creates a non-memory, non-branch instruction with no dependencies.
+    pub const fn simple(class: InstClass) -> Self {
+        StaticInst { class, dep1: DepDistance::NONE, dep2: DepDistance::NONE, mem: None }
+    }
+
+    /// Creates a branch instruction of the given kind.
+    pub const fn branch(kind: BranchKind) -> Self {
+        Self::simple(InstClass::Branch(kind))
+    }
+
+    /// Creates an instruction with explicit dependency distances.
+    pub const fn with_deps(class: InstClass, dep1: DepDistance, dep2: DepDistance) -> Self {
+        StaticInst { class, dep1, dep2, mem: None }
+    }
+
+    /// Creates a memory instruction (load or store) with its address pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not [`InstClass::Load`] or [`InstClass::Store`].
+    pub fn memory(class: InstClass, pattern: MemPattern, dep1: DepDistance) -> Self {
+        assert!(
+            matches!(class, InstClass::Load | InstClass::Store),
+            "memory() requires Load or Store, got {class}"
+        );
+        StaticInst { class, dep1, dep2: DepDistance::NONE, mem: Some(pattern) }
+    }
+
+    /// Functional class.
+    #[inline]
+    pub const fn class(&self) -> InstClass {
+        self.class
+    }
+
+    /// First input dependency (distance-coded).
+    #[inline]
+    pub const fn dep1(&self) -> DepDistance {
+        self.dep1
+    }
+
+    /// Second input dependency (distance-coded).
+    #[inline]
+    pub const fn dep2(&self) -> DepDistance {
+        self.dep2
+    }
+
+    /// Memory access pattern, if this is a load/store.
+    #[inline]
+    pub const fn mem_pattern(&self) -> Option<MemPattern> {
+        self.mem
+    }
+
+    /// Whether this is any control transfer.
+    #[inline]
+    pub const fn is_branch(&self) -> bool {
+        self.class.is_branch()
+    }
+
+    /// Whether this is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(&self) -> bool {
+        self.class.branch_kind().is_some_and(BranchKind::is_conditional)
+    }
+
+    /// Branch kind, if any.
+    #[inline]
+    pub const fn branch_kind(&self) -> Option<BranchKind> {
+        self.class.branch_kind()
+    }
+}
+
+impl Default for StaticInst {
+    fn default() -> Self {
+        StaticInst::simple(InstClass::IntAlu)
+    }
+}
+
+impl fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.class)?;
+        if self.dep1.is_some() || self.dep2.is_some() {
+            write!(f, " [d{},d{}]", self.dep1.get(), self.dep2.get())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_kind_predicates() {
+        assert!(BranchKind::Cond.is_conditional());
+        assert!(!BranchKind::Jump.is_conditional());
+        assert!(BranchKind::Return.is_indirect());
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(!BranchKind::Call.is_indirect());
+        assert!(BranchKind::Call.pushes_return());
+        assert!(BranchKind::IndirectCall.pushes_return());
+        assert!(BranchKind::Return.pops_return());
+        assert!(!BranchKind::Jump.pops_return());
+    }
+
+    #[test]
+    fn latencies_are_positive_and_ordered() {
+        assert_eq!(InstClass::IntAlu.base_latency(), 1);
+        assert!(InstClass::IntMul.base_latency() > InstClass::IntAlu.base_latency());
+        for c in [
+            InstClass::IntAlu,
+            InstClass::IntMul,
+            InstClass::FpAlu,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::Branch(BranchKind::Cond),
+            InstClass::Nop,
+        ] {
+            assert!(c.base_latency() >= 1, "{c} must take at least a cycle");
+        }
+    }
+
+    #[test]
+    fn mem_pattern_wraps_over_span() {
+        let p = MemPattern::new(Addr::new(0x1_0000), 64, 4);
+        assert_eq!(p.address(0), Addr::new(0x1_0000));
+        assert_eq!(p.address(3), Addr::new(0x1_0000 + 192));
+        assert_eq!(p.address(4), Addr::new(0x1_0000));
+        assert_eq!(p.address(7), p.address(3));
+    }
+
+    #[test]
+    fn mem_pattern_clamps_zero_span() {
+        let p = MemPattern::new(Addr::new(0), 8, 0);
+        assert_eq!(p.span, 1);
+        assert_eq!(p.address(5), Addr::new(0));
+    }
+
+    #[test]
+    fn static_inst_accessors() {
+        let ld = StaticInst::memory(
+            InstClass::Load,
+            MemPattern::new(Addr::new(0x8000), 8, 128),
+            DepDistance::new(2),
+        );
+        assert_eq!(ld.class(), InstClass::Load);
+        assert!(ld.mem_pattern().is_some());
+        assert!(ld.dep1().is_some());
+        assert!(!ld.dep2().is_some());
+        assert!(!ld.is_branch());
+
+        let br = StaticInst::branch(BranchKind::Cond);
+        assert!(br.is_branch());
+        assert!(br.is_cond_branch());
+        assert_eq!(br.branch_kind(), Some(BranchKind::Cond));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory() requires")]
+    fn memory_ctor_rejects_non_memory_class() {
+        StaticInst::memory(InstClass::IntAlu, MemPattern::new(Addr::new(0), 4, 4), DepDistance::NONE);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StaticInst::simple(InstClass::IntAlu).to_string(), "alu");
+        assert_eq!(StaticInst::branch(BranchKind::Return).to_string(), "br.ret");
+        let dep = StaticInst::with_deps(InstClass::IntMul, DepDistance::new(1), DepDistance::new(4));
+        assert_eq!(dep.to_string(), "mul [d1,d4]");
+    }
+
+    #[test]
+    fn dep_distance_semantics() {
+        assert!(!DepDistance::NONE.is_some());
+        assert!(DepDistance::new(1).is_some());
+        assert_eq!(DepDistance::default(), DepDistance::NONE);
+        assert_eq!(DepDistance::MAX.get(), 255);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sfetch-isa
+//!
+//! The synthetic RISC instruction-set architecture underlying the
+//! `stream-fetch` simulator — a Rust reproduction of *"Fetching instruction
+//! streams"* (Ramírez, Santana, Larriba-Pey, Valero; MICRO-35, 2002).
+//!
+//! The paper evaluates fetch *front-ends*, which only observe instruction
+//! **addresses**, **branch kinds** and **branch behaviour**; the back-end
+//! additionally needs execution **latencies** and a **dependence structure**
+//! to turn fetch bandwidth into IPC. This crate defines exactly that surface
+//! and nothing more:
+//!
+//! * [`Addr`] — a byte address in the simulated code/data space,
+//! * [`InstClass`] / [`BranchKind`] — the instruction taxonomy,
+//! * [`StaticInst`] — one instruction of the static program image, carrying
+//!   distance-coded register dependencies and (for memory operations) a
+//!   deterministic address-generation pattern,
+//! * [`MemPattern`] — the synthetic address stream of a load/store.
+//!
+//! Instructions are fixed-width ([`INST_BYTES`] = 4 bytes), mirroring the
+//! Alpha ISA used in the paper, so cache-line capacities (32/64/128-byte
+//! lines hold 8/16/32 instructions) work out exactly as in Table 2.
+//!
+//! ```
+//! use sfetch_isa::{Addr, BranchKind, InstClass, StaticInst};
+//!
+//! let branch = StaticInst::branch(BranchKind::Cond);
+//! assert!(branch.is_cond_branch());
+//! assert_eq!(Addr::new(0x1000).next_inst(), Addr::new(0x1004));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod inst;
+
+pub use addr::{Addr, INST_BYTES};
+pub use inst::{BranchKind, DepDistance, InstClass, MemPattern, StaticInst};

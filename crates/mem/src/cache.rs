@@ -1,0 +1,244 @@
+//! Set-associative cache model.
+
+use sfetch_isa::Addr;
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// `assoc` ways of power-of-two sets).
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines as usize / self.assoc;
+        assert!(sets.is_power_of_two(), "sets must be a power of two, got {sets}");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// A blocking set-associative cache with true-LRU replacement.
+///
+/// ```
+/// use sfetch_mem::{CacheConfig, SetAssocCache};
+/// use sfetch_isa::Addr;
+///
+/// let mut c = SetAssocCache::new(CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64 });
+/// assert!(!c.access(Addr::new(0x1000)));  // cold miss (fills)
+/// assert!(c.access(Addr::new(0x1004)));   // same line: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    sets: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds a cache from its geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        SetAssocCache {
+            config,
+            lines: vec![Line::default(); sets * config.assoc],
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn locate(&self, addr: Addr) -> (usize, u64) {
+        let line = addr.get() / self.config.line_bytes;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line >> self.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit. A miss
+    /// fills the line (LRU victim).
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.locate(addr);
+        let base = set * self.config.assoc;
+        let ways = &mut self.lines[base..base + self.config.assoc];
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = self.tick;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("assoc >= 1");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.lru = self.tick;
+        false
+    }
+
+    /// Checks residency without filling or touching LRU.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set, tag) = self.locate(addr);
+        let base = set * self.config.assoc;
+        self.lines[base..base + self.config.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Storage estimate in bits: data + tag (~25 bits) + valid + LRU per
+    /// line.
+    pub fn storage_bits(&self) -> u64 {
+        let lines = self.lines.len() as u64;
+        self.config.size_bytes * 8 + lines * (25 + 1 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B = 512B
+        SetAssocCache::new(CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(Addr::new(0x0)));
+        assert!(c.access(Addr::new(0x3f)), "same line");
+        assert!(!c.access(Addr::new(0x40)), "next line misses");
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = small();
+        // Set 0 lines: addresses with line index ≡ 0 mod 4 → 0x000, 0x100, 0x200.
+        c.access(Addr::new(0x000));
+        c.access(Addr::new(0x100));
+        assert!(c.access(Addr::new(0x000)), "still resident");
+        c.access(Addr::new(0x200)); // evicts 0x100 (LRU)
+        assert!(c.probe(Addr::new(0x000)));
+        assert!(!c.probe(Addr::new(0x100)));
+        assert!(c.probe(Addr::new(0x200)));
+    }
+
+    #[test]
+    fn probe_does_not_fill() {
+        let mut c = small();
+        assert!(!c.probe(Addr::new(0x80)));
+        assert!(!c.probe(Addr::new(0x80)), "probe must not fill");
+        assert!(!c.access(Addr::new(0x80)));
+        assert!(c.probe(Addr::new(0x80)));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = small();
+        // 16 distinct lines round-robin >> 8-line capacity with LRU => ~0 hits.
+        for _ in 0..4 {
+            for i in 0..16u64 {
+                c.access(Addr::new(i * 64));
+            }
+        }
+        assert!(c.stats().miss_rate() > 0.9);
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits() {
+        let mut c = small();
+        for _ in 0..8 {
+            for i in 0..8u64 {
+                c.access(Addr::new(i * 64));
+            }
+        }
+        // 8 cold misses out of 64 accesses.
+        assert!(c.stats().miss_rate() < 0.2);
+    }
+
+    #[test]
+    fn table2_geometries_are_valid() {
+        for (size, assoc, line) in [
+            (64 << 10, 2, 32u64),
+            (64 << 10, 2, 64),
+            (64 << 10, 2, 128),
+            (1 << 20, 4, 64),
+        ] {
+            let c = SetAssocCache::new(CacheConfig {
+                size_bytes: size,
+                assoc,
+                line_bytes: line,
+            });
+            assert!(c.storage_bits() > size * 8);
+        }
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut c = small();
+        c.access(Addr::new(0));
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.stats().miss_rate(), 0.0);
+    }
+}

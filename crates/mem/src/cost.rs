@@ -1,0 +1,53 @@
+//! Hardware-budget bookkeeping for the Table 1 cost comparison.
+//!
+//! Table 1 ranks fetch engines by cost and complexity; these helpers turn
+//! structure geometries into storage-bit estimates so the `table1` harness
+//! can print a quantitative cost column for *our* configurations.
+
+/// Storage bits of a simple tagged table.
+pub fn tagged_table_bits(entries: u64, tag_bits: u64, payload_bits: u64) -> u64 {
+    entries * (tag_bits + payload_bits + 1 /* valid */ + 2 /* lru */)
+}
+
+/// Storage bits of an untagged counter table.
+pub fn counter_table_bits(entries: u64, counter_bits: u64) -> u64 {
+    entries * counter_bits
+}
+
+/// Bits of a cache including tags and state.
+pub fn cache_bits(size_bytes: u64, line_bytes: u64, tag_bits: u64) -> u64 {
+    let lines = size_bytes / line_bytes;
+    size_bytes * 8 + lines * (tag_bits + 1 + 4)
+}
+
+/// Formats a bit count as a human-readable KB string.
+pub fn fmt_kb(bits: u64) -> String {
+    format!("{:.1}KB", bits as f64 / 8192.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_table_accounts_overhead() {
+        // 1024 entries, 20-bit tag, 39-bit payload => 1024 * 62 bits.
+        assert_eq!(tagged_table_bits(1024, 20, 39), 1024 * 62);
+    }
+
+    #[test]
+    fn counter_table_is_exact() {
+        assert_eq!(counter_table_bits(32 * 1024, 2), 64 * 1024);
+    }
+
+    #[test]
+    fn cache_bits_exceed_data_bits() {
+        assert!(cache_bits(64 << 10, 64, 25) > (64 << 10) * 8);
+    }
+
+    #[test]
+    fn kb_formatting() {
+        assert_eq!(fmt_kb(8192), "1.0KB");
+        assert_eq!(fmt_kb(12288), "1.5KB");
+    }
+}

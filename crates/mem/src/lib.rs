@@ -1,0 +1,26 @@
+//! # sfetch-mem
+//!
+//! The simulated memory hierarchy of the `stream-fetch` processor (Table 2):
+//!
+//! * L1 instruction cache — 64KB, 2-way, **wide lines** (4× the pipeline
+//!   width: 32/64/128 bytes), 1-cycle, single-ported. Wide lines are a core
+//!   design point of the stream front-end (§3.4): they amortize the stream
+//!   misalignment problem of Fig. 7.
+//! * L1 data cache — 64KB, 2-way, 64B lines, 1 cycle.
+//! * Unified L2 — 1MB, 4-way, 64B lines, 15 cycles.
+//! * Memory — 100 cycles.
+//!
+//! Caches are blocking and latency-oriented: an access returns the number
+//! of cycles until the data is available and fills all levels it traversed
+//! (so wrong-path fetch *prefetches into and pollutes* the I-cache, which
+//! the paper's simulator explicitly models).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cost;
+pub mod hierarchy;
+
+pub use cache::{CacheConfig, CacheStats, SetAssocCache};
+pub use hierarchy::{MemoryConfig, MemoryHierarchy};

@@ -1,0 +1,245 @@
+//! Generic set-associative tagged table.
+//!
+//! All the tagged prediction structures (BTB, FTB, the stream and trace
+//! predictor levels) share this shape: `sets × ways` slots, tag match,
+//! LRU victim selection. Replacement *policy* differs per structure — the
+//! stream/trace predictors use hysteresis counters (§3.2), the BTB/FTB use
+//! plain LRU — so the table exposes the victim slot and lets the caller
+//! decide.
+
+/// One slot of a set-associative table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot<T> {
+    /// Whether the slot holds a valid entry.
+    pub valid: bool,
+    /// Tag of the resident entry.
+    pub tag: u64,
+    /// LRU timestamp (larger = more recently used).
+    pub lru: u64,
+    /// Payload.
+    pub data: T,
+}
+
+/// A `sets × ways` tagged table with LRU bookkeeping.
+///
+/// ```
+/// use sfetch_predictors::AssocTable;
+///
+/// let mut t: AssocTable<u32> = AssocTable::new(4, 2);
+/// t.insert_lru(1, 0xabc, 7);
+/// assert_eq!(t.lookup(1, 0xabc), Some(&mut 7));
+/// assert_eq!(t.lookup(1, 0xdef), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssocTable<T> {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Slot<T>>,
+    tick: u64,
+}
+
+impl<T: Default + Clone> AssocTable<T> {
+    /// Creates a table with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways == 0`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        AssocTable {
+            sets,
+            ways,
+            slots: vec![
+                Slot { valid: false, tag: 0, lru: 0, data: T::default() };
+                sets * ways
+            ],
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total entries.
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Bits needed to index a set.
+    #[inline]
+    pub fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    #[inline]
+    fn set_range(&self, index: u64) -> std::ops::Range<usize> {
+        let set = (index as usize) & (self.sets - 1);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `(index, tag)`, refreshing LRU on hit.
+    pub fn lookup(&mut self, index: u64, tag: u64) -> Option<&mut T> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(index);
+        self.slots[range]
+            .iter_mut()
+            .find(|s| s.valid && s.tag == tag)
+            .map(|s| {
+                s.lru = tick;
+                &mut s.data
+            })
+    }
+
+    /// Looks up without touching LRU state (for probes/statistics).
+    pub fn probe(&self, index: u64, tag: u64) -> Option<&T> {
+        let range = self.set_range(index);
+        self.slots[range].iter().find(|s| s.valid && s.tag == tag).map(|s| &s.data)
+    }
+
+    /// Returns the replacement-candidate slot for `(index, tag)`: an invalid
+    /// way if one exists, otherwise the LRU way. The caller implements the
+    /// policy (overwrite, hysteresis decrement, …).
+    pub fn victim_slot(&mut self, index: u64) -> &mut Slot<T> {
+        let range = self.set_range(index);
+        let slots = &mut self.slots[range];
+        let mut best = 0;
+        for (i, s) in slots.iter().enumerate() {
+            if !s.valid {
+                best = i;
+                break;
+            }
+            if s.lru < slots[best].lru {
+                best = i;
+            }
+        }
+        &mut slots[best]
+    }
+
+    /// Unconditionally inserts with LRU replacement; returns the evicted
+    /// payload if a valid entry was displaced.
+    pub fn insert_lru(&mut self, index: u64, tag: u64, data: T) -> Option<T> {
+        self.tick += 1;
+        let tick = self.tick;
+        // Overwrite an existing entry with the same tag if present.
+        if let Some(slot) = {
+            let range = self.set_range(index);
+            self.slots[range].iter_mut().find(|s| s.valid && s.tag == tag)
+        } {
+            let old = std::mem::replace(&mut slot.data, data);
+            slot.lru = tick;
+            return Some(old);
+        }
+        let victim = self.victim_slot(index);
+        let evicted = victim.valid.then(|| victim.data.clone());
+        victim.valid = true;
+        victim.tag = tag;
+        victim.lru = tick;
+        victim.data = data;
+        evicted
+    }
+
+    /// Marks the current tick on a slot obtained via [`AssocTable::victim_slot`].
+    pub fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Invalidates the entry `(index, tag)` if present; returns the payload.
+    pub fn invalidate(&mut self, index: u64, tag: u64) -> Option<T> {
+        let range = self.set_range(index);
+        self.slots[range].iter_mut().find(|s| s.valid && s.tag == tag).map(|s| {
+            s.valid = false;
+            s.data.clone()
+        })
+    }
+
+    /// Count of valid entries (for tests / occupancy stats).
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut t: AssocTable<u32> = AssocTable::new(8, 2);
+        assert_eq!(t.lookup(3, 10), None);
+        t.insert_lru(3, 10, 42);
+        assert_eq!(t.lookup(3, 10), Some(&mut 42));
+        assert_eq!(t.probe(3, 10), Some(&42));
+        assert_eq!(t.lookup(3, 11), None);
+    }
+
+    #[test]
+    fn same_tag_overwrites_in_place() {
+        let mut t: AssocTable<u32> = AssocTable::new(4, 2);
+        t.insert_lru(0, 5, 1);
+        let old = t.insert_lru(0, 5, 2);
+        assert_eq!(old, Some(1));
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.probe(0, 5), Some(&2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t: AssocTable<u32> = AssocTable::new(1, 2);
+        t.insert_lru(0, 1, 11);
+        t.insert_lru(0, 2, 22);
+        // touch tag 1 so tag 2 is LRU
+        assert!(t.lookup(0, 1).is_some());
+        let evicted = t.insert_lru(0, 3, 33);
+        assert_eq!(evicted, Some(22));
+        assert!(t.probe(0, 1).is_some());
+        assert!(t.probe(0, 2).is_none());
+        assert!(t.probe(0, 3).is_some());
+    }
+
+    #[test]
+    fn victim_prefers_invalid_ways() {
+        let mut t: AssocTable<u32> = AssocTable::new(1, 4);
+        t.insert_lru(0, 1, 1);
+        let v = t.victim_slot(0);
+        assert!(!v.valid, "an invalid way must be offered first");
+    }
+
+    #[test]
+    fn sets_are_isolated() {
+        let mut t: AssocTable<u32> = AssocTable::new(4, 1);
+        t.insert_lru(0, 7, 70);
+        t.insert_lru(1, 7, 71);
+        assert_eq!(t.probe(0, 7), Some(&70));
+        assert_eq!(t.probe(1, 7), Some(&71));
+        // index wraps modulo sets
+        assert_eq!(t.probe(4, 7), Some(&70));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut t: AssocTable<u32> = AssocTable::new(2, 2);
+        t.insert_lru(1, 9, 99);
+        assert_eq!(t.invalidate(1, 9), Some(99));
+        assert_eq!(t.probe(1, 9), None);
+        assert_eq!(t.invalidate(1, 9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _t: AssocTable<u32> = AssocTable::new(3, 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Branch target buffer.
+
+use sfetch_isa::{Addr, BranchKind};
+
+use crate::assoc::AssocTable;
+
+/// Payload of a BTB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// Predicted target address.
+    pub target: Addr,
+    /// Kind of the branch (drives RAS usage and fetch termination).
+    pub kind: BranchKind,
+}
+
+impl Default for BtbEntry {
+    fn default() -> Self {
+        BtbEntry { target: Addr::NULL, kind: BranchKind::Jump }
+    }
+}
+
+/// A set-associative branch target buffer.
+///
+/// Following Calder & Grunwald (and §2.1), **only taken branches are
+/// inserted**: a branch that has never been taken does not occupy a slot and
+/// is implicitly predicted not-taken, which is also how the EV8 front-end
+/// *identifies* branches — a BTB miss means "not a branch" at fetch time.
+///
+/// ```
+/// use sfetch_predictors::{Btb, BtbEntry};
+/// use sfetch_isa::{Addr, BranchKind};
+///
+/// let mut btb = Btb::new(512, 4);
+/// btb.update(Addr::new(0x400100), Addr::new(0x400200), BranchKind::Cond);
+/// let hit = btb.lookup(Addr::new(0x400100)).expect("hit");
+/// assert_eq!(hit.target, Addr::new(0x400200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    table: AssocTable<BtbEntry>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / ways` is not a power of two.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        Btb { table: AssocTable::new(entries / ways, ways), lookups: 0, hits: 0 }
+    }
+
+    #[inline]
+    fn split(&self, pc: Addr) -> (u64, u64) {
+        let word = pc.get() >> 2;
+        (word, word >> self.table.index_bits())
+    }
+
+    /// Looks up `pc`; a hit identifies a (previously taken) branch and its
+    /// last target.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
+        self.lookups += 1;
+        let (idx, tag) = self.split(pc);
+        let hit = self.table.lookup(idx, tag).map(|e| *e);
+        self.hits += u64::from(hit.is_some());
+        hit
+    }
+
+    /// Checks residency without updating LRU or hit statistics (used by
+    /// commit logic to ask "was this branch identified at fetch?").
+    pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
+        let (idx, tag) = self.split(pc);
+        self.table.probe(idx, tag).copied()
+    }
+
+    /// Commit-time update for a taken branch: insert or refresh the entry.
+    pub fn update(&mut self, pc: Addr, target: Addr, kind: BranchKind) {
+        let (idx, tag) = self.split(pc);
+        if let Some(e) = self.table.lookup(idx, tag) {
+            e.target = target;
+            e.kind = kind;
+        } else {
+            self.table.insert_lru(idx, tag, BtbEntry { target, kind });
+        }
+    }
+
+    /// Hit rate over all lookups so far.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Storage estimate in bits: tag (~20) + target (30) + kind (3) per
+    /// entry, plus LRU.
+    pub fn storage_bits(&self) -> u64 {
+        (self.table.entries() as u64) * (20 + 30 + 3 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_until_trained() {
+        let mut btb = Btb::new(64, 4);
+        assert!(btb.lookup(Addr::new(0x1000)).is_none());
+        btb.update(Addr::new(0x1000), Addr::new(0x2000), BranchKind::Cond);
+        let e = btb.lookup(Addr::new(0x1000)).expect("hit");
+        assert_eq!(e.target, Addr::new(0x2000));
+        assert_eq!(e.kind, BranchKind::Cond);
+        assert!(btb.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn update_refreshes_target() {
+        let mut btb = Btb::new(64, 2);
+        btb.update(Addr::new(0x1000), Addr::new(0x2000), BranchKind::IndirectJump);
+        btb.update(Addr::new(0x1000), Addr::new(0x3000), BranchKind::IndirectJump);
+        assert_eq!(btb.lookup(Addr::new(0x1000)).expect("hit").target, Addr::new(0x3000));
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_alias_with_tags() {
+        let mut btb = Btb::new(16, 1);
+        // Same set (16 sets, pc>>2 & 15), different tags.
+        btb.update(Addr::new(0x40), Addr::new(0xaaaa), BranchKind::Jump);
+        assert!(btb.lookup(Addr::new(0x40 + 16 * 4)).is_none(), "tag must reject alias");
+    }
+
+    #[test]
+    fn storage_is_positive() {
+        assert!(Btb::new(2048, 4).storage_bits() > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Saturating counters.
+
+/// A 2-bit saturating counter (0..=3).
+///
+/// Used as the direction state of bimodal/gshare/2bcgskew tables and as the
+/// *hysteresis* replacement counter of the next-stream and next-trace
+/// predictor entries (§3.2: "a 2-bit saturating counter used for the
+/// replacement policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Weakly not-taken initial state.
+    pub const WEAK_NT: Counter2 = Counter2(1);
+    /// Weakly taken initial state.
+    pub const WEAK_T: Counter2 = Counter2(2);
+
+    /// Creates a counter clamped to 0..=3.
+    #[inline]
+    pub const fn new(v: u8) -> Self {
+        Counter2(if v > 3 { 3 } else { v })
+    }
+
+    /// Raw value (0..=3).
+    #[inline]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Predicted direction: the upper half predicts taken.
+    #[inline]
+    pub const fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn inc(&mut self) {
+        if self.0 < 3 {
+            self.0 += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn dec(&mut self) {
+        if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+
+    /// Moves one step towards `taken`.
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.inc()
+        } else {
+            self.dec()
+        }
+    }
+
+    /// Whether the counter has reached zero (hysteresis exhausted).
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for Counter2 {
+    fn default() -> Self {
+        Counter2::WEAK_NT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = Counter2::new(0);
+        c.dec();
+        assert_eq!(c.get(), 0);
+        for _ in 0..10 {
+            c.inc();
+        }
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn direction_threshold() {
+        assert!(!Counter2::new(0).taken());
+        assert!(!Counter2::new(1).taken());
+        assert!(Counter2::new(2).taken());
+        assert!(Counter2::new(3).taken());
+    }
+
+    #[test]
+    fn train_moves_towards_outcome() {
+        let mut c = Counter2::WEAK_NT;
+        c.train(true);
+        assert!(c.taken());
+        c.train(false);
+        c.train(false);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    fn new_clamps() {
+        assert_eq!(Counter2::new(9).get(), 3);
+        assert!(Counter2::new(9).taken());
+        assert!(Counter2::new(0).is_zero());
+    }
+}

@@ -1,0 +1,145 @@
+//! The Fetch Target Buffer (Reinman, Austin, Calder — §2.1).
+//!
+//! An FTB entry describes a *variable-length fetch block*: a run of
+//! instructions from a fetch address up to its terminating branch. Only
+//! branches that have **ever been taken** terminate blocks, so strongly
+//! biased not-taken branches stay embedded and widen fetch. Unlike the
+//! stream predictor's tables, the FTB does **not** store overlapping
+//! blocks: when an embedded branch turns out taken, the block is split —
+//! the entry is overwritten with the shorter block (§2.1).
+
+use sfetch_isa::{Addr, BranchKind};
+
+use crate::assoc::AssocTable;
+
+/// Payload of an FTB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtbEntry {
+    /// Fetch-block length in instructions, including the terminator.
+    pub len: u32,
+    /// Kind of the terminating branch.
+    pub kind: BranchKind,
+    /// Last observed target of the terminating branch.
+    pub target: Addr,
+}
+
+impl Default for FtbEntry {
+    fn default() -> Self {
+        FtbEntry { len: 0, kind: BranchKind::Jump, target: Addr::NULL }
+    }
+}
+
+/// A set-associative fetch target buffer.
+///
+/// ```
+/// use sfetch_predictors::{Ftb, FtbEntry};
+/// use sfetch_isa::{Addr, BranchKind};
+///
+/// let mut ftb = Ftb::new(2048, 4);
+/// ftb.update(Addr::new(0x400000), FtbEntry { len: 12, kind: BranchKind::Cond, target: Addr::new(0x400100) });
+/// assert_eq!(ftb.lookup(Addr::new(0x400000)).expect("hit").len, 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ftb {
+    table: AssocTable<FtbEntry>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Ftb {
+    /// Creates an FTB with `entries` total entries, `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / ways` is not a power of two.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        Ftb { table: AssocTable::new(entries / ways, ways), lookups: 0, hits: 0 }
+    }
+
+    #[inline]
+    fn split(&self, pc: Addr) -> (u64, u64) {
+        let word = pc.get() >> 2;
+        (word, word >> self.table.index_bits())
+    }
+
+    /// Looks up the fetch block starting at `pc`.
+    pub fn lookup(&mut self, pc: Addr) -> Option<FtbEntry> {
+        self.lookups += 1;
+        let (idx, tag) = self.split(pc);
+        let hit = self.table.lookup(idx, tag).copied();
+        self.hits += u64::from(hit.is_some());
+        hit
+    }
+
+    /// Checks residency without updating LRU or hit statistics.
+    pub fn probe(&self, pc: Addr) -> Option<FtbEntry> {
+        let (idx, tag) = self.split(pc);
+        self.table.probe(idx, tag).copied()
+    }
+
+    /// Commit-time upsert of the block starting at `start`.
+    ///
+    /// A shorter `len` than the resident entry models the FTB *split* on a
+    /// newly-taken embedded branch; a refreshed `target` tracks indirect
+    /// branches.
+    pub fn update(&mut self, start: Addr, entry: FtbEntry) {
+        let (idx, tag) = self.split(start);
+        if let Some(e) = self.table.lookup(idx, tag) {
+            *e = entry;
+        } else {
+            self.table.insert_lru(idx, tag, entry);
+        }
+    }
+
+    /// FTB hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Storage estimate in bits: tag (~20) + length (6) + kind (3) +
+    /// target (30) + LRU (2) per entry.
+    pub fn storage_bits(&self) -> u64 {
+        self.table.entries() as u64 * (20 + 6 + 3 + 30 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_overwrites_with_split_block() {
+        let mut ftb = Ftb::new(128, 4);
+        let s = Addr::new(0x400000);
+        ftb.update(s, FtbEntry { len: 20, kind: BranchKind::Cond, target: Addr::new(0x401000) });
+        // Embedded branch at +8 turned out taken: split.
+        ftb.update(s, FtbEntry { len: 8, kind: BranchKind::Cond, target: Addr::new(0x402000) });
+        let e = ftb.lookup(s).expect("hit");
+        assert_eq!(e.len, 8);
+        assert_eq!(e.target, Addr::new(0x402000));
+    }
+
+    #[test]
+    fn miss_on_unseen_block() {
+        let mut ftb = Ftb::new(128, 4);
+        assert!(ftb.lookup(Addr::new(0x123400)).is_none());
+        assert_eq!(ftb.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut ftb = Ftb::new(2, 2); // one set, two ways
+        let mk = |i: u64| Addr::new(0x400000 + i * 8); // same set (1 set)
+        ftb.update(mk(0), FtbEntry { len: 1, kind: BranchKind::Jump, target: Addr::NULL });
+        ftb.update(mk(1), FtbEntry { len: 2, kind: BranchKind::Jump, target: Addr::NULL });
+        assert!(ftb.lookup(mk(0)).is_some()); // touch 0; 1 becomes LRU
+        ftb.update(mk(2), FtbEntry { len: 3, kind: BranchKind::Jump, target: Addr::NULL });
+        assert!(ftb.lookup(mk(1)).is_none(), "LRU block evicted");
+        assert!(ftb.lookup(mk(0)).is_some());
+        assert!(ftb.lookup(mk(2)).is_some());
+    }
+}

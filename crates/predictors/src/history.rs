@@ -1,0 +1,264 @@
+//! Speculative / retired history registers and the DOLC path hash.
+//!
+//! The paper's predictors maintain **two** copies of their history (§3.2):
+//! a *lookup* register updated speculatively at prediction time, and an
+//! *update* register maintained at commit with correct-path information
+//! only; on a misprediction the speculative register is restored. All
+//! history state here is a couple of `u64`s, so per-branch checkpoints are
+//! O(1) copies.
+
+use sfetch_isa::Addr;
+
+/// Global (direction) history register pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalHistory {
+    spec: u64,
+    retired: u64,
+}
+
+impl GlobalHistory {
+    /// Creates empty histories.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Speculative history (newest outcome in bit 0).
+    #[inline]
+    pub fn spec(&self) -> u64 {
+        self.spec
+    }
+
+    /// Retired (commit-time) history.
+    #[inline]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Shifts a speculative outcome in.
+    #[inline]
+    pub fn push_spec(&mut self, taken: bool) {
+        self.spec = (self.spec << 1) | u64::from(taken);
+    }
+
+    /// Shifts a retired outcome in.
+    #[inline]
+    pub fn push_retired(&mut self, taken: bool) {
+        self.retired = (self.retired << 1) | u64::from(taken);
+    }
+
+    /// Snapshot of the speculative register (cheap per-branch checkpoint).
+    #[inline]
+    pub fn snapshot(&self) -> u64 {
+        self.spec
+    }
+
+    /// Restores the speculative register from a checkpoint — called on
+    /// misprediction recovery *before* re-inserting the resolved outcome.
+    #[inline]
+    pub fn restore(&mut self, snap: u64) {
+        self.spec = snap;
+    }
+}
+
+/// DOLC (Depth-Older-Last-Current) path-hash geometry, as used by the
+/// multiscalar path predictors and by the paper's cascaded second-level
+/// tables: the stream predictor uses `12-2-4-10`, the trace predictor
+/// `9-4-7-9` (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dolc {
+    /// Number of older addresses contributing bits.
+    pub depth: u32,
+    /// Bits contributed by each older address.
+    pub older: u32,
+    /// Bits contributed by the most recent (last) address.
+    pub last: u32,
+    /// Bits contributed by the current fetch address.
+    pub current: u32,
+}
+
+impl Dolc {
+    /// The stream predictor geometry from Table 2.
+    pub const STREAM: Dolc = Dolc { depth: 12, older: 2, last: 4, current: 10 };
+    /// The trace predictor geometry from Table 2.
+    pub const TRACE: Dolc = Dolc { depth: 9, older: 4, last: 7, current: 9 };
+}
+
+/// Snapshot of a [`PathHistory`] (two words).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathSnapshot {
+    reg: u64,
+    last: u64,
+}
+
+/// A path-history register: a shift register holding `older` bits of each of
+/// the last `depth` addresses, plus the full last address.
+///
+/// Maintained incrementally so snapshots and restores are O(1), which is
+/// what lets every in-flight branch carry a checkpoint (the paper keeps a
+/// speculative *lookup* register and a commit-time *update* register; this
+/// type is instantiated twice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathHistory {
+    reg: u64,
+    last: u64,
+}
+
+#[inline]
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// XOR-folds `x` down to `bits` bits.
+#[inline]
+fn fold(mut x: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let mut acc = 0u64;
+    while x != 0 {
+        acc ^= x & mask(bits);
+        x >>= bits;
+    }
+    acc
+}
+
+impl PathHistory {
+    /// Creates an empty path history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes an address (a stream/trace start) into the path.
+    ///
+    /// The previously-last address contributes `older` bits (the whole
+    /// address folded down to that budget, so round addresses still
+    /// discriminate) to the older-register; the new address becomes "last".
+    #[inline]
+    pub fn push(&mut self, dolc: &Dolc, addr: Addr) {
+        let width = (dolc.depth * dolc.older).min(63);
+        self.reg =
+            ((self.reg << dolc.older) | fold(self.last >> 2, dolc.older)) & mask(width);
+        self.last = addr.get();
+    }
+
+    /// Computes a table index of `index_bits` bits from the path and the
+    /// current fetch address.
+    #[inline]
+    pub fn index(&self, dolc: &Dolc, current: Addr, index_bits: u32) -> u64 {
+        let older_part = fold(self.reg, index_bits);
+        let last_part = fold(fold(self.last >> 2, dolc.last) << 1, index_bits);
+        let cur_part = fold(fold(current.get() >> 2, dolc.current), index_bits);
+        (older_part ^ last_part ^ cur_part) & mask(index_bits)
+    }
+
+    /// Snapshot for checkpointing.
+    #[inline]
+    pub fn snapshot(&self) -> PathSnapshot {
+        PathSnapshot { reg: self.reg, last: self.last }
+    }
+
+    /// Restore from a checkpoint.
+    #[inline]
+    pub fn restore(&mut self, snap: PathSnapshot) {
+        self.reg = snap.reg;
+        self.last = snap.last;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_history_shifts_and_restores() {
+        let mut h = GlobalHistory::new();
+        h.push_spec(true);
+        h.push_spec(false);
+        h.push_spec(true);
+        assert_eq!(h.spec() & 0b111, 0b101);
+        let snap = h.snapshot();
+        h.push_spec(true);
+        h.push_spec(true);
+        h.restore(snap);
+        assert_eq!(h.spec() & 0b111, 0b101);
+        assert_eq!(h.retired(), 0, "retired history independent");
+        h.push_retired(true);
+        assert_eq!(h.retired(), 1);
+    }
+
+    #[test]
+    fn path_history_distinguishes_paths() {
+        let dolc = Dolc::STREAM;
+        let a = Addr::new(0x1000);
+        let b = Addr::new(0x2000);
+        let cur = Addr::new(0x3000);
+
+        let mut p1 = PathHistory::new();
+        p1.push(&dolc, a);
+        p1.push(&dolc, b);
+        let mut p2 = PathHistory::new();
+        p2.push(&dolc, b);
+        p2.push(&dolc, a);
+        assert_ne!(
+            p1.index(&dolc, cur, 12),
+            p2.index(&dolc, cur, 12),
+            "different path orders should hash differently"
+        );
+    }
+
+    #[test]
+    fn path_index_depends_on_current_address() {
+        let dolc = Dolc::STREAM;
+        let mut p = PathHistory::new();
+        p.push(&dolc, Addr::new(0x4000));
+        let i1 = p.index(&dolc, Addr::new(0x100), 12);
+        let i2 = p.index(&dolc, Addr::new(0x200), 12);
+        assert_ne!(i1, i2);
+    }
+
+    #[test]
+    fn path_snapshot_roundtrip() {
+        let dolc = Dolc::TRACE;
+        let mut p = PathHistory::new();
+        p.push(&dolc, Addr::new(0xa0));
+        let snap = p.snapshot();
+        let idx = p.index(&dolc, Addr::new(0x10), 10);
+        p.push(&dolc, Addr::new(0xb0));
+        p.push(&dolc, Addr::new(0xc0));
+        p.restore(snap);
+        assert_eq!(p.index(&dolc, Addr::new(0x10), 10), idx);
+    }
+
+    #[test]
+    fn index_fits_in_requested_bits() {
+        let dolc = Dolc::STREAM;
+        let mut p = PathHistory::new();
+        for i in 0..100u64 {
+            p.push(&dolc, Addr::new(0x1000 + i * 52));
+            let idx = p.index(&dolc, Addr::new(0x77_7770 + i), 10);
+            assert!(idx < 1024);
+        }
+    }
+
+    #[test]
+    fn fold_reduces_to_width() {
+        assert_eq!(fold(0, 8), 0);
+        assert!(fold(u64::MAX, 8) < 256);
+        assert_eq!(fold(0xab, 8), 0xab);
+        assert_eq!(fold(0x1_02, 8), 0x02 ^ 0x01);
+    }
+
+    #[test]
+    fn older_register_is_bounded() {
+        let dolc = Dolc { depth: 4, older: 2, last: 4, current: 4 };
+        let mut p = PathHistory::new();
+        for i in 0..1000u64 {
+            p.push(&dolc, Addr::new(i * 4));
+        }
+        assert!(p.snapshot().reg < (1 << 8), "4 addrs x 2 bits = 8 bits max");
+    }
+}

@@ -1,0 +1,52 @@
+//! # sfetch-predictors
+//!
+//! Branch-prediction structures for the `stream-fetch` simulator — every
+//! predictor named in Table 2 of *"Fetching instruction streams"*
+//! (MICRO-35, 2002), built from scratch:
+//!
+//! | paper component | module |
+//! |---|---|
+//! | **next stream predictor** (cascaded, DOLC 12-2-4-10, hysteresis) | [`stream_pred`] |
+//! | 2bcgskew (Alpha EV8)                                             | [`twobcgskew`] |
+//! | perceptron (global + local history, FTB front-end)               | [`perceptron`] |
+//! | next trace predictor (cascaded, DOLC 9-4-7-9, RHS)               | [`trace_pred`] |
+//! | BTB (2048×4 EV8 / 1024×4 trace-cache backup)                     | [`btb`] |
+//! | FTB (variable-length fetch blocks)                                | [`ftb`] |
+//! | return address stack with shadow top-of-stack repair              | [`ras`] |
+//! | gshare (trace-cache secondary-path direction predictor)           | [`gshare`] |
+//!
+//! Shared infrastructure: saturating [`counters`], speculative/retired
+//! [`history`] registers with O(1) checkpointing (including the DOLC path
+//! hash of the multiscalar lineage), and the set-associative [`assoc`]
+//! table that all tagged structures share.
+//!
+//! All predictors are deterministic, allocation-free on the hot path, and
+//! expose a `storage_bits()` cost model used by the Table 1 reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assoc;
+pub mod btb;
+pub mod cascade;
+pub mod counters;
+pub mod ftb;
+pub mod gshare;
+pub mod history;
+pub mod perceptron;
+pub mod ras;
+pub mod stream_pred;
+pub mod trace_pred;
+pub mod twobcgskew;
+
+pub use assoc::AssocTable;
+pub use btb::{Btb, BtbEntry};
+pub use counters::Counter2;
+pub use ftb::{Ftb, FtbEntry};
+pub use gshare::Gshare;
+pub use history::{Dolc, GlobalHistory, PathHistory, PathSnapshot};
+pub use perceptron::PerceptronPredictor;
+pub use ras::{Ras, RasSnapshot};
+pub use stream_pred::{NextStreamPredictor, StreamPrediction, StreamPredictorConfig, StreamUpdate};
+pub use trace_pred::{NextTracePredictor, TraceId, TracePredictorConfig, TracePrediction};
+pub use twobcgskew::TwoBcGskew;

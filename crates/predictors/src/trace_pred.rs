@@ -1,0 +1,340 @@
+//! The next trace predictor (Jacobson, Rotenberg, Smith — §2.2, Table 2),
+//! with a return history stack (RHS).
+//!
+//! The predictor gives *trace-level sequencing*: given the current fetch
+//! address and the path of preceding traces, it predicts the trace's shape
+//! (embedded conditional directions), its length, and the next trace's
+//! start — the trace-cache analogue of the next stream predictor, and like
+//! it organized as a cascaded pair (1K×4 + 4K×4, DOLC 9-4-7-9) with
+//! hysteresis replacement.
+//!
+//! The RHS saves the path register at calls and restores it at returns, so
+//! post-return predictions correlate with the *caller's* path instead of
+//! callee noise.
+
+use sfetch_isa::{Addr, BranchKind};
+
+use crate::cascade::{Cascade, CascadeStats};
+use crate::history::{Dolc, PathHistory, PathSnapshot};
+
+/// Identity of a trace as the trace cache keys it: start address plus the
+/// directions of its embedded conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// First instruction address.
+    pub start: Addr,
+    /// Bitmask of embedded conditional directions (bit i = i-th conditional
+    /// taken), including the terminating branch if conditional.
+    pub dirs: u8,
+    /// Number of conditional branches in the trace.
+    pub n_cond: u8,
+}
+
+/// Payload of a trace predictor entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TraceData {
+    dirs: u8,
+    n_cond: u8,
+    len: u8,
+    kind_code: u8, // encoded Option<BranchKind> of the trace terminator
+    next: Addr,
+}
+
+/// A trace prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePrediction {
+    /// Predicted trace identity (for the trace-cache lookup).
+    pub id: TraceId,
+    /// Trace length in instructions.
+    pub len: u8,
+    /// Kind of the trace-terminating branch (`None` = trace ends
+    /// sequentially at the length limit).
+    pub term: Option<BranchKind>,
+    /// Predicted next trace start (overridden via RAS for returns).
+    pub next: Addr,
+    /// Whether the path-indexed second level answered.
+    pub from_second: bool,
+}
+
+/// Commit-time observation of a completed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceUpdate {
+    /// Trace identity.
+    pub id: TraceId,
+    /// Observed length.
+    pub len: u8,
+    /// Observed terminator kind.
+    pub term: Option<BranchKind>,
+    /// Observed next trace start.
+    pub next: Addr,
+    /// Whether the front-end mispredicted inside this trace.
+    pub mispredicted: bool,
+}
+
+/// Configuration of the next trace predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePredictorConfig {
+    /// First-level (entries, ways).
+    pub first: (usize, usize),
+    /// Second-level (entries, ways).
+    pub second: (usize, usize),
+    /// DOLC geometry.
+    pub dolc: Dolc,
+    /// Return history stack depth.
+    pub rhs_entries: usize,
+}
+
+impl TracePredictorConfig {
+    /// The Table 2 configuration: 1K×4 + 4K×4, DOLC 9-4-7-9, 8-entry RHS.
+    pub fn table2() -> Self {
+        TracePredictorConfig {
+            first: (1024, 4),
+            second: (4096, 4),
+            dolc: Dolc::TRACE,
+            rhs_entries: 8,
+        }
+    }
+}
+
+fn encode_kind(k: Option<BranchKind>) -> u8 {
+    match k {
+        None => 0,
+        Some(BranchKind::Cond) => 1,
+        Some(BranchKind::Jump) => 2,
+        Some(BranchKind::Call) => 3,
+        Some(BranchKind::Return) => 4,
+        Some(BranchKind::IndirectJump) => 5,
+        Some(BranchKind::IndirectCall) => 6,
+    }
+}
+
+fn decode_kind(c: u8) -> Option<BranchKind> {
+    match c {
+        1 => Some(BranchKind::Cond),
+        2 => Some(BranchKind::Jump),
+        3 => Some(BranchKind::Call),
+        4 => Some(BranchKind::Return),
+        5 => Some(BranchKind::IndirectJump),
+        6 => Some(BranchKind::IndirectCall),
+        _ => None,
+    }
+}
+
+/// The cascaded next trace predictor with return history stack.
+#[derive(Debug, Clone)]
+pub struct NextTracePredictor {
+    config: TracePredictorConfig,
+    cascade: Cascade<TraceData>,
+    spec_path: PathHistory,
+    retired_path: PathHistory,
+    rhs: Vec<PathSnapshot>,
+}
+
+impl NextTracePredictor {
+    /// Creates a predictor.
+    pub fn new(config: TracePredictorConfig) -> Self {
+        NextTracePredictor {
+            config,
+            cascade: Cascade::new(config.first, config.second, config.dolc),
+            spec_path: PathHistory::new(),
+            retired_path: PathHistory::new(),
+            rhs: Vec::with_capacity(config.rhs_entries),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TracePredictorConfig {
+        &self.config
+    }
+
+    /// Predicts the trace starting at `pc` under the speculative path.
+    pub fn predict(&mut self, pc: Addr) -> Option<TracePrediction> {
+        let (d, from_second) = self.cascade.predict(&self.spec_path, pc)?;
+        Some(TracePrediction {
+            id: TraceId { start: pc, dirs: d.dirs, n_cond: d.n_cond },
+            len: d.len.max(1),
+            term: decode_kind(d.kind_code),
+            next: d.next,
+            from_second,
+        })
+    }
+
+    /// Advances the speculative path with a fetched trace: pushes the trace
+    /// start address and maintains the RHS for call/return-terminated
+    /// traces. (Only the start enters the path hash so the secondary fetch
+    /// path — which cannot know branch directions ahead of time — stays
+    /// aligned with the commit-side update register.)
+    pub fn notify_fetch(&mut self, id: TraceId, term: Option<BranchKind>) {
+        self.spec_path.push(&self.config.dolc, id.start);
+        match term {
+            Some(BranchKind::Call) | Some(BranchKind::IndirectCall) => {
+                if self.rhs.len() == self.config.rhs_entries {
+                    self.rhs.remove(0);
+                }
+                self.rhs.push(self.spec_path.snapshot());
+            }
+            Some(BranchKind::Return) => {
+                if let Some(snap) = self.rhs.pop() {
+                    self.spec_path.restore(snap);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Speculative path checkpoint (the RHS pointer drifts across deep
+    /// wrong paths; the paper's hardware has the same imprecision).
+    pub fn snapshot(&self) -> PathSnapshot {
+        self.spec_path.snapshot()
+    }
+
+    /// Restores the speculative path after a misprediction.
+    pub fn restore(&mut self, snap: PathSnapshot) {
+        self.spec_path.restore(snap);
+    }
+
+    /// Trains the predictor with a completed trace and advances the retired
+    /// path.
+    pub fn commit_trace(&mut self, up: TraceUpdate) {
+        let data = TraceData {
+            dirs: up.id.dirs,
+            n_cond: up.id.n_cond,
+            len: up.len.max(1),
+            kind_code: encode_kind(up.term),
+            next: up.next,
+        };
+        self.cascade.update(&self.retired_path, up.id.start, data, up.mispredicted);
+        self.retired_path.push(&self.config.dolc, up.id.start);
+    }
+
+    /// Cascade statistics.
+    pub fn stats(&self) -> CascadeStats {
+        self.cascade.stats()
+    }
+
+    /// Storage estimate in bits: dirs (3) + count (2) + len (5) + kind (3)
+    /// + next (30) payload per entry, plus the RHS.
+    pub fn storage_bits(&self) -> u64 {
+        self.cascade.storage_bits(3 + 2 + 5 + 3 + 30)
+            + self.config.rhs_entries as u64 * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up(start: u64, dirs: u8, n_cond: u8, len: u8, next: u64) -> TraceUpdate {
+        TraceUpdate {
+            id: TraceId { start: Addr::new(start), dirs, n_cond },
+            len,
+            term: Some(BranchKind::Cond),
+            next: Addr::new(next),
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn learns_trace_shape() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::table2());
+        for _ in 0..3 {
+            p.commit_trace(up(0x40_0000, 0b101, 3, 16, 0x40_0800));
+        }
+        let pr = p.predict(Addr::new(0x40_0000)).expect("hit");
+        assert_eq!(pr.id.dirs, 0b101);
+        assert_eq!(pr.id.n_cond, 3);
+        assert_eq!(pr.len, 16);
+        assert_eq!(pr.next, Addr::new(0x40_0800));
+    }
+
+    #[test]
+    fn cold_miss() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::table2());
+        assert!(p.predict(Addr::new(0x1000)).is_none());
+    }
+
+    #[test]
+    fn kind_codec_roundtrips() {
+        for k in [
+            None,
+            Some(BranchKind::Cond),
+            Some(BranchKind::Jump),
+            Some(BranchKind::Call),
+            Some(BranchKind::Return),
+            Some(BranchKind::IndirectJump),
+            Some(BranchKind::IndirectCall),
+        ] {
+            assert_eq!(decode_kind(encode_kind(k)), k);
+        }
+    }
+
+    #[test]
+    fn rhs_restores_caller_path_at_returns() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::table2());
+        // Build some caller path.
+        p.notify_fetch(TraceId { start: Addr::new(0x10_0000), dirs: 0, n_cond: 0 }, None);
+        let caller_path = p.snapshot();
+        // A call-terminated trace pushes onto the RHS.
+        p.notify_fetch(
+            TraceId { start: Addr::new(0x20_0000), dirs: 1, n_cond: 1 },
+            Some(BranchKind::Call),
+        );
+        let at_call = p.snapshot();
+        // Callee traces scramble the path.
+        for i in 0..5u64 {
+            p.notify_fetch(
+                TraceId { start: Addr::new(0x30_0000 + i * 64), dirs: 2, n_cond: 2 },
+                None,
+            );
+        }
+        assert_ne!(p.snapshot(), at_call);
+        // Return-terminated trace pops the RHS: path back to the call point.
+        p.notify_fetch(
+            TraceId { start: Addr::new(0x31_0000), dirs: 0, n_cond: 0 },
+            Some(BranchKind::Return),
+        );
+        assert_eq!(p.snapshot(), at_call);
+        assert_ne!(p.snapshot(), caller_path, "RHS restores the post-call state");
+    }
+
+    #[test]
+    fn rhs_depth_is_bounded() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::table2());
+        for i in 0..100u64 {
+            p.notify_fetch(
+                TraceId { start: Addr::new(0x40_0000 + i * 4), dirs: 0, n_cond: 0 },
+                Some(BranchKind::Call),
+            );
+        }
+        assert!(p.rhs.len() <= p.config().rhs_entries);
+    }
+
+    #[test]
+    fn path_distinguishes_same_start_different_dirs_history() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::table2());
+        let shared = 0x40_0000u64;
+        // Prefix longer than DOLC depth pins the path register.
+        let wash = |p: &mut NextTracePredictor, salt: u64| {
+            for i in 0..10 {
+                p.commit_trace(up(0x60_0000 + salt * 0x1000 + i * 0x40, 0, 0, 8, 0));
+            }
+        };
+        for _ in 0..6 {
+            wash(&mut p, 1);
+            p.commit_trace(up(shared, 0b11, 2, 12, 0x41_0000));
+            wash(&mut p, 2);
+            p.commit_trace(up(shared, 0b00, 2, 7, 0x42_0000));
+        }
+        // Recreate context 1 speculatively.
+        p.restore(PathSnapshot::default());
+        for i in 0..10 {
+            p.notify_fetch(
+                TraceId { start: Addr::new(0x60_0000 + 0x1000 + i * 0x40), dirs: 0, n_cond: 0 },
+                Some(BranchKind::Cond),
+            );
+        }
+        let pr = p.predict(Addr::new(shared)).expect("hit");
+        assert_eq!(pr.id.dirs, 0b11);
+        assert_eq!(pr.len, 12);
+    }
+}

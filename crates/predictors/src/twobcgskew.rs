@@ -1,0 +1,226 @@
+//! The 2Bc-gskew predictor of the Alpha EV8 (Seznec et al., ISCA 2002).
+//!
+//! Four tables — BIM (bimodal), G0 and G1 (two gskew banks with different
+//! history lengths), and META — each 32K entries in Table 2, driven by a
+//! 15-bit global history. Prediction is `META ? majority(BIM,G0,G1) : BIM`;
+//! the update follows Seznec's *partial update* policy: only the structures
+//! that participated (or must be corrected) are written, which preserves
+//! hysteresis and reduces aliasing.
+
+use sfetch_isa::Addr;
+
+use crate::counters::Counter2;
+
+/// The EV8 2Bc-gskew conditional branch predictor.
+///
+/// ```
+/// use sfetch_predictors::TwoBcGskew;
+/// use sfetch_isa::Addr;
+///
+/// let mut p = TwoBcGskew::ev8();
+/// let pc = Addr::new(0x40_0000);
+/// for _ in 0..8 { p.update(pc, 0, true); }
+/// assert!(p.predict(pc, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoBcGskew {
+    bim: Vec<Counter2>,
+    g0: Vec<Counter2>,
+    g1: Vec<Counter2>,
+    meta: Vec<Counter2>,
+    h0: u32,
+    h1: u32,
+}
+
+/// gskew-style skewing functions: three distinct index mixes so the banks
+/// alias differently (H, H', H'' in the gskew literature). Each salt
+/// multiplies the history by a different odd constant before folding it
+/// into the index width, which preserves the de-aliasing property.
+#[inline]
+fn mix(pc: u64, hist: u64, salt: u64, mask: u64) -> usize {
+    const PRIMES: [u64; 4] = [
+        0x9e37_79b9_7f4a_7c15,
+        0xc2b2_ae3d_27d4_eb4f,
+        0x1656_67b1_9e37_79f9,
+        0x27d4_eb2f_1656_67c5,
+    ];
+    let bits = (mask + 1).trailing_zeros();
+    let mut h = hist.wrapping_mul(PRIMES[(salt as usize) & 3]);
+    // XOR-fold down to the index width.
+    let mut folded = 0u64;
+    while h != 0 {
+        folded ^= h & mask;
+        h >>= bits.max(1);
+    }
+    ((pc ^ folded) & mask) as usize
+}
+
+impl TwoBcGskew {
+    /// Creates a predictor with `entries` counters per table and history
+    /// lengths `h0 < h1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, h0: u32, h1: u32) -> Self {
+        assert!(entries.is_power_of_two());
+        TwoBcGskew {
+            bim: vec![Counter2::WEAK_NT; entries],
+            g0: vec![Counter2::WEAK_NT; entries],
+            g1: vec![Counter2::WEAK_NT; entries],
+            meta: vec![Counter2::WEAK_T; entries], // start trusting e-gskew
+            h0,
+            h1,
+        }
+    }
+
+    /// The EV8 configuration of Table 2: 4 × 32K entries, 15-bit history.
+    pub fn ev8() -> Self {
+        Self::new(32 * 1024, 7, 15)
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        self.bim.len() as u64 - 1
+    }
+
+    #[inline]
+    fn indices(&self, pc: Addr, hist: u64) -> (usize, usize, usize, usize) {
+        let pc = pc.get() >> 2;
+        let m = self.mask();
+        let hist0 = hist & ((1 << self.h0) - 1);
+        let hist1 = hist & ((1 << self.h1) - 1);
+        let i_bim = (pc & m) as usize;
+        let i_g0 = mix(pc, hist0, 1, m);
+        let i_g1 = mix(pc, hist1, 2, m);
+        let i_meta = mix(pc, hist1, 3, m);
+        (i_bim, i_g0, i_g1, i_meta)
+    }
+
+    /// Predicts the direction of the conditional at `pc` under (speculative)
+    /// global history `hist`.
+    pub fn predict(&self, pc: Addr, hist: u64) -> bool {
+        let (ib, i0, i1, im) = self.indices(pc, hist);
+        let b = self.bim[ib].taken();
+        let g0 = self.g0[i0].taken();
+        let g1 = self.g1[i1].taken();
+        let majority = (u8::from(b) + u8::from(g0) + u8::from(g1)) >= 2;
+        if self.meta[im].taken() {
+            majority
+        } else {
+            b
+        }
+    }
+
+    /// Commit-time update (partial-update policy) under the history the
+    /// prediction used.
+    pub fn update(&mut self, pc: Addr, hist: u64, taken: bool) {
+        let (ib, i0, i1, im) = self.indices(pc, hist);
+        let b = self.bim[ib].taken();
+        let g0 = self.g0[i0].taken();
+        let g1 = self.g1[i1].taken();
+        let majority = (u8::from(b) + u8::from(g0) + u8::from(g1)) >= 2;
+        let use_skew = self.meta[im].taken();
+        let pred = if use_skew { majority } else { b };
+
+        // META learns which of {bimodal, e-gskew} to trust, but only when
+        // they disagree.
+        if b != majority {
+            self.meta[im].train(majority == taken);
+        }
+
+        if pred == taken {
+            // Correct: strengthen only the banks that agreed (partial update).
+            if use_skew {
+                if b == taken {
+                    self.bim[ib].train(taken);
+                }
+                if g0 == taken {
+                    self.g0[i0].train(taken);
+                }
+                if g1 == taken {
+                    self.g1[i1].train(taken);
+                }
+            } else {
+                self.bim[ib].train(taken);
+            }
+        } else {
+            // Mispredicted: retrain every bank towards the outcome.
+            self.bim[ib].train(taken);
+            self.g0[i0].train(taken);
+            self.g1[i1].train(taken);
+        }
+    }
+
+    /// Storage in bits: four tables of 2-bit counters.
+    pub fn storage_bits(&self) -> u64 {
+        (self.bim.len() + self.g0.len() + self.g1.len() + self.meta.len()) as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_static_bias() {
+        let mut p = TwoBcGskew::new(1024, 4, 8);
+        let pc = Addr::new(0x40_0104);
+        for _ in 0..8 {
+            p.update(pc, 0b1010, true);
+        }
+        assert!(p.predict(pc, 0b1010));
+    }
+
+    #[test]
+    fn learns_history_correlation() {
+        let mut p = TwoBcGskew::new(4096, 4, 10);
+        let pc = Addr::new(0x40_0104);
+        let mut hist = 0u64;
+        let mut correct = 0u32;
+        let mut total = 0u32;
+        for i in 0..2000u64 {
+            let outcome = (i / 3) % 2 == 0; // period-6 pattern
+            let pred = p.predict(pc, hist);
+            if i > 500 {
+                total += 1;
+                correct += u32::from(pred == outcome);
+            }
+            p.update(pc, hist, outcome);
+            hist = (hist << 1) | u64::from(outcome);
+        }
+        let acc = f64::from(correct) / f64::from(total);
+        assert!(acc > 0.9, "2bcgskew should learn periodic patterns, acc={acc}");
+    }
+
+    #[test]
+    fn bimodal_fallback_handles_history_noise() {
+        // A branch that is ~90% taken but whose history is chaotic (many
+        // other branches sharing history) should settle near the bias.
+        let mut p = TwoBcGskew::new(4096, 4, 10);
+        let pc = Addr::new(0x40_3344);
+        let mut correct = 0u32;
+        let mut total = 0u32;
+        let mut lcg = 12345u64;
+        for i in 0..4000u64 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let hist = lcg >> 32; // uncorrelated noise history
+            let outcome = (lcg >> 16) % 10 != 0; // 90% taken
+            let pred = p.predict(pc, hist);
+            if i > 1000 {
+                total += 1;
+                correct += u32::from(pred == outcome);
+            }
+            p.update(pc, hist, outcome);
+        }
+        let acc = f64::from(correct) / f64::from(total);
+        assert!(acc > 0.8, "bimodal component must save biased branches, acc={acc}");
+    }
+
+    #[test]
+    fn ev8_configuration_sizes() {
+        let p = TwoBcGskew::ev8();
+        // 4 tables x 32K x 2 bits = 256 Kbit = 32 KB.
+        assert_eq!(p.storage_bits(), 4 * 32 * 1024 * 2);
+    }
+}

@@ -1,0 +1,441 @@
+//! The architectural executor: deterministic committed-path generation.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sfetch_cfg::{Cfg, CodeImage, CondBehavior, IndirectSelect, Terminator, TripCount};
+use sfetch_isa::Addr;
+
+use crate::record::{DynControl, DynInst};
+
+/// Maximum conditional-outcome history retained for
+/// [`CondBehavior::Correlated`] evaluation.
+const HIST_LEN: usize = 16;
+
+/// Per-branch evaluation state.
+#[derive(Debug, Clone, Default)]
+struct CondState {
+    /// Next index into a [`CondBehavior::Pattern`].
+    pattern_idx: u32,
+    /// Remaining latch evaluations of the current loop execution.
+    loop_remaining: Option<u32>,
+}
+
+/// Architectural executor over a laid-out program.
+///
+/// `Executor` walks the [`CodeImage`] instruction by instruction, evaluating
+/// the CFG's behaviour models at control transfers, maintaining the call
+/// stack, and generating load/store addresses from each instruction's
+/// [`sfetch_isa::MemPattern`]. It is an **infinite**, deterministic iterator:
+/// the same `(cfg, image, seed)` triple always produces the same trace, and
+/// `main` is generated with an effectively unbounded outer loop.
+///
+/// The executor is the simulator's *oracle*: fetch engines speculate against
+/// the image, and the processor compares their predictions with the
+/// executor's outcomes.
+#[derive(Debug)]
+pub struct Executor<'a> {
+    cfg: &'a Cfg,
+    image: &'a CodeImage,
+    rng: SmallRng,
+    pc: Addr,
+    seq: u64,
+    cond_state: Vec<CondState>,
+    indirect_idx: Vec<u32>,
+    call_stack: Vec<Addr>,
+    hist: VecDeque<bool>,
+    exec_count: Vec<u64>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor starting at the image entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` was not built from `cfg` (detected lazily when an
+    /// instruction's owner block is inconsistent).
+    pub fn new(cfg: &'a Cfg, image: &'a CodeImage, seed: u64) -> Self {
+        Executor {
+            cfg,
+            image,
+            rng: SmallRng::seed_from_u64(seed),
+            pc: image.entry(),
+            seq: 0,
+            cond_state: vec![CondState::default(); cfg.num_blocks()],
+            indirect_idx: vec![0; cfg.num_blocks()],
+            call_stack: Vec::with_capacity(64),
+            hist: VecDeque::with_capacity(HIST_LEN),
+            exec_count: vec![0; image.len_insts()],
+        }
+    }
+
+    /// Current program counter (address of the next instruction to commit).
+    #[inline]
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// Number of instructions committed so far.
+    #[inline]
+    pub fn committed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Current call-stack depth.
+    #[inline]
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    fn eval_cond(&mut self, owner: sfetch_cfg::BlockId, beh: &CondBehavior) -> bool {
+        let st = &mut self.cond_state[owner.index()];
+        let logical = match beh {
+            CondBehavior::Bernoulli { p_taken } => self.rng.random_bool(p_taken.clamp(0.0, 1.0)),
+            CondBehavior::Pattern(pat) => {
+                if pat.is_empty() {
+                    false
+                } else {
+                    let v = pat[st.pattern_idx as usize % pat.len()];
+                    st.pattern_idx = st.pattern_idx.wrapping_add(1);
+                    v
+                }
+            }
+            CondBehavior::Loop { trip } => {
+                let remaining = match st.loop_remaining {
+                    Some(r) => r,
+                    None => sample_trip(&mut self.rng, *trip),
+                };
+                if remaining > 1 {
+                    st.loop_remaining = Some(remaining - 1);
+                    true // stay in the loop: logical taken edge is the back-edge
+                } else {
+                    st.loop_remaining = None;
+                    false
+                }
+            }
+            CondBehavior::Correlated { dist, invert, noise } => {
+                let noisy = self.rng.random_bool(noise.clamp(0.0, 1.0));
+                let base = if noisy || (*dist as usize) > self.hist.len() {
+                    self.rng.random_bool(0.5)
+                } else {
+                    self.hist[self.hist.len() - *dist as usize]
+                };
+                base ^ invert
+            }
+        };
+        if self.hist.len() == HIST_LEN {
+            self.hist.pop_front();
+        }
+        self.hist.push_back(logical);
+        logical
+    }
+
+    fn pick_weighted<T: Copy>(&mut self, items: &[(T, u32)]) -> T {
+        let total: u64 = items.iter().map(|&(_, w)| u64::from(w.max(1))).sum();
+        let mut r = self.rng.random_range(0..total.max(1));
+        for &(item, w) in items {
+            let w = u64::from(w.max(1));
+            if r < w {
+                return item;
+            }
+            r -= w;
+        }
+        items.last().expect("non-empty weighted list").0
+    }
+
+    fn pick_indirect<T: Copy>(
+        &mut self,
+        owner: sfetch_cfg::BlockId,
+        items: &[(T, u32)],
+        select: &IndirectSelect,
+    ) -> T {
+        match select {
+            IndirectSelect::Weighted => self.pick_weighted(items),
+            IndirectSelect::Cyclic(seq) => {
+                if seq.is_empty() {
+                    return self.pick_weighted(items);
+                }
+                let idx = &mut self.indirect_idx[owner.index()];
+                let slot = seq[*idx as usize % seq.len()] as usize % items.len();
+                *idx = idx.wrapping_add(1);
+                items[slot].0
+            }
+        }
+    }
+
+    /// Executes one instruction and advances the architectural state.
+    fn step(&mut self) -> DynInst {
+        let slot = self
+            .image
+            .slot_of(self.pc)
+            .unwrap_or_else(|| panic!("executor left the image at {}", self.pc));
+        let ii = *self.image.inst(slot);
+        let pc = self.pc;
+
+        let mem_addr = ii.inst.mem_pattern().map(|p| {
+            let k = self.exec_count[slot];
+            self.exec_count[slot] += 1;
+            p.address(k)
+        });
+
+        let control = ii.control.map(|attr| {
+            use sfetch_isa::BranchKind as BK;
+            let owner = attr.owner;
+            let (taken, target) = if attr.is_fixup {
+                (true, attr.target.expect("fixup jumps are direct"))
+            } else {
+                match attr.kind {
+                    BK::Jump => (true, attr.target.expect("jumps are direct")),
+                    BK::Cond => {
+                        let beh = match self.cfg.block(owner).terminator() {
+                            Terminator::Cond { behavior, .. } => behavior.clone(),
+                            t => panic!("image cond branch at {pc} maps to {t:?}"),
+                        };
+                        let logical = self.eval_cond(owner, &beh);
+                        let physical = logical ^ attr.flipped;
+                        (physical, attr.target.expect("cond branches are direct"))
+                    }
+                    BK::Call => {
+                        self.call_stack.push(attr.fallthrough);
+                        (true, attr.target.expect("calls are direct"))
+                    }
+                    BK::IndirectCall => {
+                        let (callees, select) = match self.cfg.block(owner).terminator() {
+                            Terminator::IndirectCall { callees, select, .. } => {
+                                (callees.clone(), select.clone())
+                            }
+                            t => panic!("image indirect call at {pc} maps to {t:?}"),
+                        };
+                        let callee = self.pick_indirect(owner, &callees, &select);
+                        self.call_stack.push(attr.fallthrough);
+                        let entry = self.cfg.func(callee).entry();
+                        (true, self.image.block_addr(entry))
+                    }
+                    BK::Return => {
+                        // An empty stack means `main` returned; restart the
+                        // program (the generator's main never does, but
+                        // hand-built programs may).
+                        let t = self.call_stack.pop().unwrap_or_else(|| self.image.entry());
+                        (true, t)
+                    }
+                    BK::IndirectJump => {
+                        let (targets, select) = match self.cfg.block(owner).terminator() {
+                            Terminator::IndirectJump { targets, select } => {
+                                (targets.clone(), select.clone())
+                            }
+                            t => panic!("image indirect jump at {pc} maps to {t:?}"),
+                        };
+                        let tb = self.pick_indirect(owner, &targets, &select);
+                        (true, self.image.block_addr(tb))
+                    }
+                }
+            };
+            let next_pc = if taken { target } else { attr.fallthrough };
+            DynControl { kind: attr.kind, taken, target, next_pc, is_fixup: attr.is_fixup }
+        });
+
+        self.pc = match control {
+            Some(c) => c.next_pc,
+            None => pc.next_inst(),
+        };
+        let rec = DynInst { seq: self.seq, pc, inst: ii.inst, mem_addr, control };
+        self.seq += 1;
+        rec
+    }
+}
+
+impl Iterator for Executor<'_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        Some(self.step())
+    }
+}
+
+fn sample_trip(rng: &mut SmallRng, trip: TripCount) -> u32 {
+    match trip {
+        TripCount::Fixed(n) => n.max(1),
+        TripCount::Uniform { lo, hi } => {
+            let lo = lo.max(1);
+            let hi = hi.max(lo);
+            rng.random_range(lo..=hi)
+        }
+        TripCount::Geometric { mean } => {
+            let mean = f64::from(mean.max(1));
+            let u: f64 = rng.random();
+            let v = (1.0 - u).ln() / (1.0 - 1.0 / mean).ln();
+            (v as u32).clamp(1, 1_000_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_cfg::builder::CfgBuilder;
+    use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+    use sfetch_cfg::{layout, CodeImage};
+    use sfetch_isa::BranchKind;
+
+    fn loop_cfg(trip: u32) -> Cfg {
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let body = bld.add_block(f, 3);
+        let exit = bld.add_block(f, 1);
+        bld.set_cond(body, body, exit, CondBehavior::Loop { trip: TripCount::Fixed(trip) });
+        bld.set_return(exit);
+        bld.finish().expect("valid")
+    }
+
+    #[test]
+    fn fixed_loop_runs_exact_trip_count() {
+        let cfg = loop_cfg(5);
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let mut exec = Executor::new(&cfg, &img, 0);
+        // Count body executions before the first exit (branch not taken).
+        let mut body_runs = 0;
+        for d in &mut exec {
+            if let Some(c) = d.control {
+                if c.kind == BranchKind::Cond {
+                    body_runs += 1;
+                    if !c.taken {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(body_runs, 5, "latch evaluated trip times, last one exits");
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 3).generate();
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let a: Vec<_> = Executor::new(&cfg, &img, 11).take(5000).collect();
+        let b: Vec<_> = Executor::new(&cfg, &img, 11).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 3).generate();
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let a: Vec<_> = Executor::new(&cfg, &img, 1).take(5000).collect();
+        let b: Vec<_> = Executor::new(&cfg, &img, 2).take(5000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        // Every committed instruction's pc must equal the previous one's
+        // next_pc.
+        let cfg = ProgramGenerator::new(GenParams::small(), 8).generate();
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let trace: Vec<_> = Executor::new(&cfg, &img, 9).take(20_000).collect();
+        for w in trace.windows(2) {
+            assert_eq!(w[1].pc, w[0].next_pc(), "discontinuity at seq {}", w[0].seq);
+        }
+    }
+
+    #[test]
+    fn returns_match_calls() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 4).generate();
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let mut exec = Executor::new(&cfg, &img, 5);
+        let mut stack: Vec<Addr> = Vec::new();
+        for d in (&mut exec).take(50_000) {
+            if let Some(c) = d.control {
+                match c.kind {
+                    BranchKind::Call | BranchKind::IndirectCall if !c.is_fixup => {
+                        stack.push(d.pc.next_inst());
+                    }
+                    BranchKind::Return => {
+                        if let Some(expect) = stack.pop() {
+                            assert_eq!(c.target, expect, "return to wrong address");
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn executor_works_under_optimized_layout() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 6).generate();
+        let prof = sfetch_cfg::EdgeProfile::from_expected(&cfg);
+        let lay = layout::pettis_hansen(&cfg, &prof);
+        let img = CodeImage::build(&cfg, &lay);
+        let trace: Vec<_> = Executor::new(&cfg, &img, 9).take(20_000).collect();
+        for w in trace.windows(2) {
+            assert_eq!(w[1].pc, w[0].next_pc());
+        }
+    }
+
+    #[test]
+    fn optimized_layout_reduces_taken_ratio() {
+        // The central phenomenon the paper exploits: layout optimization
+        // aligns branches towards not-taken.
+        let cfg = ProgramGenerator::new(GenParams::default_int(), 42).generate();
+        let taken_ratio = |lay: &layout::Layout| -> f64 {
+            let img = CodeImage::build(&cfg, lay);
+            let mut taken = 0u64;
+            let mut total = 0u64;
+            for d in Executor::new(&cfg, &img, 77).take(200_000) {
+                if let Some(c) = d.control {
+                    if c.kind == BranchKind::Cond {
+                        total += 1;
+                        taken += u64::from(c.taken);
+                    }
+                }
+            }
+            taken as f64 / total as f64
+        };
+        let base = taken_ratio(&layout::natural(&cfg));
+        let prof = sfetch_cfg::EdgeProfile::from_expected(&cfg);
+        let opt = taken_ratio(&layout::pettis_hansen(&cfg, &prof));
+        assert!(
+            opt + 0.05 < base,
+            "optimized layout should reduce taken conditionals: base={base:.3} opt={opt:.3}"
+        );
+    }
+
+    #[test]
+    fn mem_addresses_follow_patterns() {
+        use sfetch_isa::{InstClass, MemPattern, StaticInst};
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let ld = StaticInst::memory(
+            InstClass::Load,
+            MemPattern::new(Addr::new(0x9000), 8, 4),
+            sfetch_isa::DepDistance::NONE,
+        );
+        let body = bld.add_block_with(f, vec![ld]);
+        let exit = bld.add_block(f, 1);
+        bld.set_cond(
+            body,
+            body,
+            exit,
+            CondBehavior::Loop { trip: TripCount::Fixed(10) },
+        );
+        bld.set_return(exit);
+        let cfg = bld.finish().expect("valid");
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let addrs: Vec<Addr> = Executor::new(&cfg, &img, 0)
+            .take(40)
+            .filter_map(|d| d.mem_addr)
+            .collect();
+        assert!(addrs.len() >= 8);
+        assert_eq!(addrs[0], Addr::new(0x9000));
+        assert_eq!(addrs[1], Addr::new(0x9008));
+        assert_eq!(addrs[4], Addr::new(0x9000), "span 4 wraps");
+    }
+}

@@ -1,0 +1,87 @@
+//! Dynamic instruction records — the unit of the committed-path trace.
+
+use sfetch_isa::{Addr, BranchKind, StaticInst};
+
+/// Resolved outcome of one dynamic control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynControl {
+    /// Kind of the control transfer.
+    pub kind: BranchKind,
+    /// Whether the transfer was (physically) taken.
+    pub taken: bool,
+    /// Target address; meaningful when `taken` (for conditionals that fall
+    /// through it still holds the static branch target).
+    pub target: Addr,
+    /// Address of the next committed instruction (`target` if taken,
+    /// fall-through otherwise).
+    pub next_pc: Addr,
+    /// Whether the instruction is a layout-inserted fix-up jump.
+    pub is_fixup: bool,
+}
+
+/// One committed dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Position in the dynamic instruction stream (0-based).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: Addr,
+    /// The static instruction at that address.
+    pub inst: StaticInst,
+    /// Effective address, for loads/stores.
+    pub mem_addr: Option<Addr>,
+    /// Control outcome, for branches.
+    pub control: Option<DynControl>,
+}
+
+impl DynInst {
+    /// Address of the instruction that architecturally follows this one.
+    #[inline]
+    pub fn next_pc(&self) -> Addr {
+        match self.control {
+            Some(c) => c.next_pc,
+            None => self.pc.next_inst(),
+        }
+    }
+
+    /// Whether this instruction is a taken control transfer.
+    #[inline]
+    pub fn is_taken_branch(&self) -> bool {
+        self.control.is_some_and(|c| c.taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_isa::InstClass;
+
+    #[test]
+    fn next_pc_follows_control() {
+        let plain = DynInst {
+            seq: 0,
+            pc: Addr::new(0x100),
+            inst: StaticInst::simple(InstClass::IntAlu),
+            mem_addr: None,
+            control: None,
+        };
+        assert_eq!(plain.next_pc(), Addr::new(0x104));
+        assert!(!plain.is_taken_branch());
+
+        let br = DynInst {
+            seq: 1,
+            pc: Addr::new(0x104),
+            inst: StaticInst::branch(BranchKind::Cond),
+            mem_addr: None,
+            control: Some(DynControl {
+                kind: BranchKind::Cond,
+                taken: true,
+                target: Addr::new(0x200),
+                next_pc: Addr::new(0x200),
+                is_fixup: false,
+            }),
+        };
+        assert_eq!(br.next_pc(), Addr::new(0x200));
+        assert!(br.is_taken_branch());
+    }
+}

@@ -1,0 +1,164 @@
+//! Trace-level workload characterization.
+//!
+//! These are the dynamic statistics the paper's analysis leans on: the
+//! fraction of not-taken conditional instances (≈80% with optimized
+//! layouts), mean basic-block and stream sizes (Table 1), and the density of
+//! each control-transfer kind.
+
+use sfetch_isa::BranchKind;
+
+use crate::record::DynInst;
+use crate::stream::{StreamExtractor, StreamStats};
+
+/// Aggregate statistics of a committed-path trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Instructions observed.
+    pub insts: u64,
+    /// All control-transfer instructions (including fix-up jumps).
+    pub control: u64,
+    /// Taken control transfers.
+    pub taken: u64,
+    /// Conditional branch instances.
+    pub cond: u64,
+    /// Taken conditional instances.
+    pub cond_taken: u64,
+    /// Call instances (direct + indirect).
+    pub calls: u64,
+    /// Return instances.
+    pub returns: u64,
+    /// Indirect jump instances.
+    pub indirect_jumps: u64,
+    /// Layout fix-up jump instances (cost of a bad layout).
+    pub fixup_jumps: u64,
+    /// Memory operations.
+    pub mem_ops: u64,
+    /// Stream statistics.
+    pub streams: StreamStats,
+    extractor: StreamExtractor,
+}
+
+impl TraceStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects statistics over the first `n` instructions of `trace`.
+    pub fn collect<I: Iterator<Item = DynInst>>(trace: I, n: u64) -> Self {
+        let mut s = Self::new();
+        for d in trace.take(n as usize) {
+            s.push(&d);
+        }
+        s
+    }
+
+    /// Accumulates one committed instruction.
+    pub fn push(&mut self, d: &DynInst) {
+        self.insts += 1;
+        if d.mem_addr.is_some() {
+            self.mem_ops += 1;
+        }
+        if let Some(c) = d.control {
+            self.control += 1;
+            self.taken += u64::from(c.taken);
+            if c.is_fixup {
+                self.fixup_jumps += 1;
+            }
+            match c.kind {
+                BranchKind::Cond => {
+                    self.cond += 1;
+                    self.cond_taken += u64::from(c.taken);
+                }
+                BranchKind::Call | BranchKind::IndirectCall => self.calls += 1,
+                BranchKind::Return => self.returns += 1,
+                BranchKind::IndirectJump => self.indirect_jumps += 1,
+                BranchKind::Jump => {}
+            }
+        }
+        if let Some(stream) = self.extractor.push(d) {
+            self.streams.add(&stream);
+        }
+    }
+
+    /// Fraction of conditional instances that were **not** taken — the
+    /// quantity layout optimization drives towards ~0.8 (§3.2).
+    pub fn cond_not_taken_ratio(&self) -> f64 {
+        if self.cond == 0 {
+            0.0
+        } else {
+            1.0 - self.cond_taken as f64 / self.cond as f64
+        }
+    }
+
+    /// Mean dynamic basic-block size: instructions per control transfer
+    /// (Table 1's "basic block ≈ 5–6 instructions").
+    pub fn mean_block_len(&self) -> f64 {
+        if self.control == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.control as f64
+        }
+    }
+
+    /// Mean sequential run length: instructions per *taken* transfer — the
+    /// paper's stream size.
+    pub fn mean_run_len(&self) -> f64 {
+        if self.taken == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.taken as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+    use sfetch_cfg::{layout, CodeImage, EdgeProfile};
+
+    use crate::exec::Executor;
+
+    #[test]
+    fn stats_count_consistently() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 2).generate();
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let st = TraceStats::collect(Executor::new(&cfg, &img, 3), 50_000);
+        assert_eq!(st.insts, 50_000);
+        assert!(st.control > 0);
+        assert!(st.taken <= st.control);
+        assert!(st.cond_taken <= st.cond);
+        assert!(st.cond <= st.control);
+        assert!(st.mean_block_len() >= 1.0);
+        assert!(st.mean_run_len() >= st.mean_block_len(), "runs span >= one block");
+    }
+
+    #[test]
+    fn optimized_layout_grows_streams() {
+        // Table 1 phenomenon: streams lengthen under layout optimization.
+        let cfg = ProgramGenerator::new(GenParams::default_int(), 10).generate();
+        let img_b = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let base = TraceStats::collect(Executor::new(&cfg, &img_b, 3), 200_000);
+        let prof = EdgeProfile::from_expected(&cfg);
+        let img_o = CodeImage::build(&cfg, &layout::pettis_hansen(&cfg, &prof));
+        let opt = TraceStats::collect(Executor::new(&cfg, &img_o, 3), 200_000);
+        assert!(
+            opt.streams.mean_len() > base.streams.mean_len(),
+            "optimized {} <= base {}",
+            opt.streams.mean_len(),
+            base.streams.mean_len()
+        );
+        assert!(opt.cond_not_taken_ratio() > base.cond_not_taken_ratio());
+    }
+
+    #[test]
+    fn fixups_are_counted() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 2).generate();
+        let lay = layout::random(&cfg, 1); // pessimal layout => many fixups
+        let img = CodeImage::build(&cfg, &lay);
+        let st = TraceStats::collect(Executor::new(&cfg, &img, 3), 20_000);
+        assert!(st.fixup_jumps > 0, "random layout must execute fixup jumps");
+    }
+}

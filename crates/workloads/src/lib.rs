@@ -1,0 +1,36 @@
+//! # sfetch-workloads
+//!
+//! The synthetic benchmark suite standing in for SPECint2000 in the
+//! `stream-fetch` reproduction.
+//!
+//! The paper evaluates on the eleven SPECint2000 benchmarks (Fig. 9), each
+//! traced for 300M instructions, in two binaries: baseline and
+//! layout-optimized (spike). We cannot ship SPEC, so [`suite`] defines
+//! eleven *parameterized synthetic programs* named after them, with
+//! generation knobs chosen to mirror each benchmark's published coarse
+//! characterization — instruction footprint, loopiness, call depth,
+//! branch-bias mix and indirect-branch density (e.g. `gcc`/`crafty` are
+//! large-footprint and branchy, `gzip`/`bzip2` are small tight loops, `eon`
+//! and `perlbmk` carry indirect calls, `gap`/`vortex` are call-heavy).
+//!
+//! A [`Workload`] bundles the generated program with its two code layouts
+//! (profiled with a *train* seed, per the paper's pixie/train
+//! methodology) and exposes [`Workload::image`] for simulation with a
+//! different *ref* seed.
+//!
+//! ```
+//! use sfetch_workloads::{suite, LayoutChoice};
+//!
+//! let w = suite::build(suite::by_name("gzip").expect("known"));
+//! assert!(w.image(LayoutChoice::Optimized).len_insts() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod microbench;
+pub mod suite;
+pub mod workload;
+
+pub use suite::{BenchSpec, Suite};
+pub use workload::{LayoutChoice, Workload};

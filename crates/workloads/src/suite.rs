@@ -1,0 +1,216 @@
+//! The eleven SPECint2000-like synthetic benchmarks (Fig. 9's x-axis).
+//!
+//! Parameters are chosen per benchmark to mirror the published coarse
+//! characterization of its SPEC namesake: static footprint, loop
+//! intensity, call structure, branch-bias mix and indirect-branch density.
+//! Absolute behaviour is synthetic; what matters for the reproduction is
+//! that the *suite* spans the same axes the paper's suite spans (small
+//! loopy codes ↔ large branchy codes ↔ indirect-heavy codes).
+
+use sfetch_cfg::gen::{BiasMix, GenParams, ProgramGenerator};
+
+use crate::workload::Workload;
+
+/// Generation recipe for one suite member.
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// SPECint2000 namesake (e.g. "176.gcc").
+    pub name: &'static str,
+    /// Generator parameters.
+    pub params: GenParams,
+    /// Program-generation seed.
+    pub gen_seed: u64,
+    /// Profile (train input) seed.
+    pub train_seed: u64,
+    /// Measurement (ref input) seed.
+    pub ref_seed: u64,
+}
+
+fn spec(
+    name: &'static str,
+    gen_seed: u64,
+    f: impl FnOnce(&mut GenParams),
+) -> BenchSpec {
+    let mut params = GenParams::default_int();
+    f(&mut params);
+    BenchSpec { name, params, gen_seed, train_seed: gen_seed * 7 + 1, ref_seed: gen_seed * 13 + 5 }
+}
+
+/// The eleven benchmarks, in the paper's Fig. 9 order.
+pub fn all_specs() -> Vec<BenchSpec> {
+    vec![
+        spec("gzip", 101, |p| {
+            // Small code, tight biased loops over buffers.
+            p.n_funcs = 28;
+            p.blocks_per_func = (10, 40);
+            p.mean_trip = 26;
+            p.p_loop = 0.22;
+            p.p_switch = 0.01;
+            p.indirect_call_frac = 0.02;
+            p.bias = BiasMix { strong: 0.58, moderate: 0.12, balanced: 0.02, pattern: 0.15, correlated: 0.13 };
+        }),
+        spec("vpr", 102, |p| {
+            // Placement/routing: mid-size, patterned decisions.
+            p.n_funcs = 60;
+            p.blocks_per_func = (14, 50);
+            p.mean_trip = 16;
+            p.bias = BiasMix { strong: 0.46, moderate: 0.16, balanced: 0.04, pattern: 0.20, correlated: 0.14 };
+        }),
+        spec("gcc", 103, |p| {
+            // Huge footprint, branchy, switch-heavy, short loops.
+            p.n_funcs = 340;
+            p.blocks_per_func = (20, 80);
+            p.mean_trip = 9;
+            p.p_loop = 0.12;
+            p.p_if = 0.52;
+            p.p_switch = 0.04;
+            p.indirect_call_frac = 0.10;
+            p.bias = BiasMix { strong: 0.44, moderate: 0.18, balanced: 0.05, pattern: 0.16, correlated: 0.17 };
+        }),
+        spec("crafty", 104, |p| {
+            // Chess: large, deeply branchy, correlated evaluations.
+            p.n_funcs = 170;
+            p.blocks_per_func = (18, 70);
+            p.mean_trip = 12;
+            p.p_if = 0.50;
+            p.bias = BiasMix { strong: 0.42, moderate: 0.16, balanced: 0.05, pattern: 0.16, correlated: 0.21 };
+        }),
+        spec("parser", 105, |p| {
+            // Link grammar: mid-size, call-chained, mixed biases.
+            p.n_funcs = 120;
+            p.blocks_per_func = (14, 60);
+            p.mean_trip = 12;
+            p.p_call = 0.22;
+            p.indirect_call_frac = 0.06;
+            p.bias = BiasMix { strong: 0.46, moderate: 0.17, balanced: 0.04, pattern: 0.16, correlated: 0.17 };
+        }),
+        spec("eon", 106, |p| {
+            // C++ ray tracer: virtual dispatch, biased control.
+            p.n_funcs = 90;
+            p.blocks_per_func = (12, 50);
+            p.mean_trip = 15;
+            p.p_call = 0.24;
+            p.indirect_call_frac = 0.22;
+            p.bias = BiasMix { strong: 0.55, moderate: 0.13, balanced: 0.02, pattern: 0.15, correlated: 0.15 };
+        }),
+        spec("perlbmk", 107, |p| {
+            // Interpreter: dispatch switches + indirect calls, big code.
+            p.n_funcs = 210;
+            p.blocks_per_func = (16, 70);
+            p.mean_trip = 10;
+            p.p_switch = 0.05;
+            p.indirect_call_frac = 0.14;
+            p.bias = BiasMix { strong: 0.45, moderate: 0.16, balanced: 0.04, pattern: 0.17, correlated: 0.18 };
+        }),
+        spec("gap", 108, |p| {
+            // Group theory: call-heavy, arithmetic loops.
+            p.n_funcs = 150;
+            p.blocks_per_func = (14, 60);
+            p.mean_trip = 18;
+            p.p_call = 0.24;
+            p.bias = BiasMix { strong: 0.48, moderate: 0.15, balanced: 0.03, pattern: 0.18, correlated: 0.16 };
+        }),
+        spec("vortex", 109, |p| {
+            // OO database: large, strongly biased validation branches.
+            p.n_funcs = 230;
+            p.blocks_per_func = (16, 70);
+            p.mean_trip = 14;
+            p.p_call = 0.22;
+            p.bias = BiasMix { strong: 0.60, moderate: 0.10, balanced: 0.02, pattern: 0.14, correlated: 0.14 };
+        }),
+        spec("bzip2", 110, |p| {
+            // Small compressor: long tight loops.
+            p.n_funcs = 32;
+            p.blocks_per_func = (10, 40);
+            p.mean_trip = 30;
+            p.p_loop = 0.24;
+            p.p_switch = 0.01;
+            p.indirect_call_frac = 0.02;
+            p.bias = BiasMix { strong: 0.55, moderate: 0.13, balanced: 0.03, pattern: 0.15, correlated: 0.14 };
+        }),
+        spec("twolf", 111, |p| {
+            // Place & route: mid-size, correlated cost comparisons.
+            p.n_funcs = 85;
+            p.blocks_per_func = (14, 55);
+            p.mean_trip = 13;
+            p.bias = BiasMix { strong: 0.44, moderate: 0.17, balanced: 0.05, pattern: 0.17, correlated: 0.17 };
+        }),
+    ]
+}
+
+/// Finds a spec by (namesake) name.
+pub fn by_name(name: &str) -> Option<BenchSpec> {
+    all_specs().into_iter().find(|s| s.name == name)
+}
+
+/// Generates and lays out the workload for a spec.
+pub fn build(spec: BenchSpec) -> Workload {
+    let cfg = ProgramGenerator::new(spec.params, spec.gen_seed).generate();
+    Workload::from_cfg(spec.name, cfg, spec.train_seed, spec.ref_seed)
+}
+
+/// The whole generated suite.
+#[derive(Debug)]
+pub struct Suite {
+    workloads: Vec<Workload>,
+}
+
+impl Suite {
+    /// Generates all eleven benchmarks (a few seconds of work).
+    pub fn build_all() -> Self {
+        Suite { workloads: all_specs().into_iter().map(build).collect() }
+    }
+
+    /// The workloads, in Fig. 9 order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Looks up one workload.
+    pub fn get(&self, name: &str) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eleven_unique_benchmarks() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 11);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11, "duplicate benchmark names");
+        let mut seeds: Vec<_> = specs.iter().map(|s| s.gen_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 11, "duplicate seeds");
+    }
+
+    #[test]
+    fn ref_and_train_seeds_differ() {
+        for s in all_specs() {
+            assert_ne!(s.train_seed, s.ref_seed, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_members() {
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn gcc_is_the_largest_footprint() {
+        // Sanity: the gcc-alike must dwarf the gzip-alike, as in SPEC.
+        let gzip = build(by_name("gzip").expect("gzip"));
+        let gcc = build(by_name("gcc").expect("gcc"));
+        assert!(
+            gcc.image(crate::LayoutChoice::Base).len_insts()
+                > 3 * gzip.image(crate::LayoutChoice::Base).len_insts()
+        );
+    }
+}

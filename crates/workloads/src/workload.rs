@@ -1,0 +1,103 @@
+//! A generated benchmark bundled with its baseline and optimized layouts.
+
+use sfetch_cfg::{layout, Cfg, CodeImage, EdgeProfile};
+use sfetch_trace::profile_cfg;
+
+/// Which binary flavour to simulate (the paper's base vs optimized sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutChoice {
+    /// Natural (source-order) layout — the baseline binaries.
+    Base,
+    /// Profile-guided Pettis–Hansen layout — the spike-optimized binaries.
+    Optimized,
+}
+
+impl std::fmt::Display for LayoutChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutChoice::Base => f.write_str("base"),
+            LayoutChoice::Optimized => f.write_str("optimized"),
+        }
+    }
+}
+
+/// A benchmark instance: the program plus both laid-out images.
+#[derive(Debug)]
+pub struct Workload {
+    name: &'static str,
+    cfg: Cfg,
+    base: CodeImage,
+    optimized: CodeImage,
+    profile: EdgeProfile,
+    ref_seed: u64,
+}
+
+/// Instructions executed with the *train* seed to gather the layout
+/// profile (the paper's pixie + train-input step).
+pub const TRAIN_INSTS: u64 = 2_000_000;
+
+impl Workload {
+    /// Builds a workload: generates nothing itself — callers provide the
+    /// program — but derives the profile (train seed) and both layouts.
+    pub fn from_cfg(name: &'static str, cfg: Cfg, train_seed: u64, ref_seed: u64) -> Self {
+        let base_layout = layout::natural(&cfg);
+        let base = CodeImage::build(&cfg, &base_layout);
+        let profile = profile_cfg(&cfg, &base, train_seed, TRAIN_INSTS);
+        let opt_layout = layout::pettis_hansen(&cfg, &profile);
+        let optimized = CodeImage::build(&cfg, &opt_layout);
+        Workload { name, cfg, base, optimized, profile, ref_seed }
+    }
+
+    /// Benchmark name (SPECint2000 namesake).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The program.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The image for a layout flavour.
+    pub fn image(&self, choice: LayoutChoice) -> &CodeImage {
+        match choice {
+            LayoutChoice::Base => &self.base,
+            LayoutChoice::Optimized => &self.optimized,
+        }
+    }
+
+    /// The training profile that drove the optimized layout.
+    pub fn profile(&self) -> &EdgeProfile {
+        &self.profile
+    }
+
+    /// The measurement (*ref* input) seed.
+    pub fn ref_seed(&self) -> u64 {
+        self.ref_seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+
+    #[test]
+    fn workload_builds_both_layouts() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 5).generate();
+        let w = Workload::from_cfg("test", cfg, 100, 200);
+        assert_eq!(w.name(), "test");
+        assert!(w.image(LayoutChoice::Base).len_insts() > 0);
+        assert_eq!(
+            w.image(LayoutChoice::Base).len_insts() > 0,
+            w.image(LayoutChoice::Optimized).len_insts() > 0
+        );
+        assert_ne!(w.ref_seed(), 100, "ref and train seeds must differ");
+    }
+
+    #[test]
+    fn layout_choice_labels() {
+        assert_eq!(LayoutChoice::Base.to_string(), "base");
+        assert_eq!(LayoutChoice::Optimized.to_string(), "optimized");
+    }
+}

@@ -1,0 +1,78 @@
+//! Building a program by hand with `CfgBuilder` and simulating it — the
+//! route for users who want to study a specific control-flow shape rather
+//! than a generated workload.
+//!
+//! The program: an outer loop over a three-way dispatch (switch) where one
+//! arm calls a helper function. We then ask: how well does each front-end
+//! sequence it?
+//!
+//! ```text
+//! cargo run --release -p sfetch-core --example custom_program
+//! ```
+
+use sfetch_cfg::{layout, CfgBuilder, CodeImage, CondBehavior, IndirectSelect, TripCount};
+use sfetch_core::{simulate, ProcessorConfig};
+use sfetch_fetch::EngineKind;
+
+fn main() {
+    let mut b = CfgBuilder::new();
+    let main_fn = b.add_func("main");
+    let helper = b.add_func("helper");
+
+    // helper: a short biased hammock, then return.
+    let h0 = b.add_block(helper, 4);
+    let h_then = b.add_block(helper, 3);
+    let h_exit = b.add_block(helper, 2);
+    b.set_cond(h0, h_then, h_exit, CondBehavior::Bernoulli { p_taken: 0.08 });
+    b.set_fallthrough(h_then, h_exit);
+    b.set_return(h_exit);
+
+    // main: loop { switch { arm0 | arm1(call helper) | arm2 } }
+    let head = b.add_block(main_fn, 5);
+    let arm0 = b.add_block(main_fn, 6);
+    let arm1 = b.add_block(main_fn, 2);
+    let ret_pt = b.add_block(main_fn, 2);
+    let arm2 = b.add_block(main_fn, 4);
+    let latch = b.add_block(main_fn, 1);
+    let exit = b.add_block(main_fn, 1);
+    // The dispatch rotates deterministically 0,1,0,2 — path-predictable.
+    b.set_indirect_jump(
+        head,
+        vec![(arm0, 50), (arm1, 30), (arm2, 20)],
+        IndirectSelect::Cyclic(vec![0, 1, 0, 2]),
+    );
+    b.set_fallthrough(arm0, latch);
+    b.set_call(arm1, helper, ret_pt);
+    b.set_fallthrough(ret_pt, latch);
+    b.set_fallthrough(arm2, latch);
+    b.set_cond(latch, head, exit, CondBehavior::Loop { trip: TripCount::Fixed(1 << 30) });
+    b.set_return(exit);
+
+    let cfg = b.finish().expect("hand-built CFG is valid");
+    let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+    println!("custom program: {} instructions\n", image.len_insts());
+
+    println!("{:<18} {:>7} {:>10} {:>9}", "engine", "IPC", "fetchIPC", "mispred");
+    for kind in EngineKind::ALL {
+        let s = simulate(
+            &cfg,
+            &image,
+            kind,
+            ProcessorConfig::table2(4),
+            11,
+            50_000,
+            300_000,
+        );
+        println!(
+            "{:<18} {:>7.3} {:>10.2} {:>8.2}%",
+            kind.to_string(),
+            s.ipc(),
+            s.fetch_ipc(),
+            s.mispred_rate() * 100.0
+        );
+    }
+    println!(
+        "\nNote how the path-correlated predictors (streams, traces) track the\n\
+         cyclic dispatch targets that a plain BTB can only chase."
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 1 of the paper, executable: build the loop + hammock control-flow
+//! graph, lay it out as the figure does, run it, and print the instruction
+//! streams that emerge.
+//!
+//! ```text
+//! cargo run --release -p sfetch-core --example figure1_streams
+//! ```
+
+use std::collections::BTreeMap;
+
+use sfetch_cfg::{layout, CodeImage};
+use sfetch_trace::{Executor, StreamExtractor};
+use sfetch_workloads::microbench::figure1;
+
+fn main() {
+    let (cfg, [a, b, c, d]) = figure1();
+    let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+
+    let name_of = |addr| {
+        if addr == image.block_addr(a) {
+            "A"
+        } else if addr == image.block_addr(b) {
+            "B"
+        } else if addr == image.block_addr(c) {
+            "C"
+        } else if addr == image.block_addr(d) {
+            "D"
+        } else {
+            "?"
+        }
+    };
+    println!("code layout (as in Fig. 1): A @ {}, B @ {}, D @ {}, C @ {}",
+        image.block_addr(a), image.block_addr(b), image.block_addr(d), image.block_addr(c));
+
+    // Execute and segment the committed path into streams.
+    let mut extractor = StreamExtractor::new();
+    let mut histogram: BTreeMap<(String, u32), u64> = BTreeMap::new();
+    for inst in Executor::new(&cfg, &image, 42).take(200_000) {
+        if let Some(s) = extractor.push(&inst) {
+            let key = (format!("{} (start {})", name_of(s.start), s.start), s.len);
+            *histogram.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    println!("\nobserved streams (start block, length -> occurrences):");
+    for ((start, len), count) in &histogram {
+        println!("  stream at {start:>22}, {len:>2} insts: {count:>6}x");
+    }
+    println!(
+        "\nThe frequent path A→B→D forms one long stream through a not-taken branch;\n\
+         the infrequent arm C is its own short stream jumping back into D — exactly\n\
+         the streams enumerated in the paper's Figure 1."
+    );
+}

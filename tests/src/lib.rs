@@ -1,0 +1,40 @@
+//! Shared helpers for the cross-crate integration test suite.
+
+use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+use sfetch_core::{simulate, ProcessorConfig, SimStats};
+use sfetch_fetch::EngineKind;
+use sfetch_workloads::{suite, LayoutChoice, Workload};
+
+/// Builds one small-but-nontrivial workload for integration tests.
+pub fn test_workload(seed: u64) -> Workload {
+    let mut p = GenParams::default_int();
+    p.n_funcs = 50;
+    p.blocks_per_func = (12, 50);
+    let cfg = ProgramGenerator::new(p, seed).generate();
+    Workload::from_cfg("itest", cfg, seed * 3 + 1, seed * 5 + 2)
+}
+
+/// Builds a named member of the benchmark suite.
+pub fn suite_workload(name: &str) -> Workload {
+    suite::build(suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")))
+}
+
+/// Simulates a workload on one engine with a standard test budget
+/// (warmup = a quarter of the measured window).
+pub fn sim(
+    w: &Workload,
+    kind: EngineKind,
+    layout: LayoutChoice,
+    width: usize,
+    insts: u64,
+) -> SimStats {
+    simulate(
+        w.cfg(),
+        w.image(layout),
+        kind,
+        ProcessorConfig::table2(width),
+        w.ref_seed(),
+        insts / 4,
+        insts,
+    )
+}

@@ -1,0 +1,152 @@
+//! Integration tests asserting the paper's qualitative results at reduced
+//! scale. These are the reproduction's regression net: if a change breaks
+//! one of the orderings the paper reports, a test here fails.
+
+use sfetch_core::metrics::harmonic_mean;
+use sfetch_fetch::EngineKind;
+use sfetch_tests::{sim, suite_workload};
+use sfetch_workloads::LayoutChoice;
+
+const INSTS: u64 = 400_000;
+const BENCHES: [&str; 3] = ["gzip", "crafty", "twolf"];
+
+fn hmean_over(kind: EngineKind, layout: LayoutChoice, metric: impl Fn(&sfetch_core::SimStats) -> f64) -> f64 {
+    let vals: Vec<f64> = BENCHES
+        .iter()
+        .map(|b| {
+            let w = suite_workload(b);
+            metric(&sim(&w, kind, layout, 8, INSTS))
+        })
+        .collect();
+    harmonic_mean(&vals)
+}
+
+#[test]
+fn streams_beat_ev8_on_optimized_code() {
+    // Paper §4.2: ~10% IPC advantage at 8 wide.
+    let streams = hmean_over(EngineKind::Stream, LayoutChoice::Optimized, |s| s.ipc());
+    let ev8 = hmean_over(EngineKind::Ev8, LayoutChoice::Optimized, |s| s.ipc());
+    assert!(
+        streams > ev8,
+        "streams ({streams:.3}) must outperform EV8 ({ev8:.3}) at 8-wide optimized"
+    );
+}
+
+#[test]
+fn streams_beat_ftb_on_optimized_code() {
+    // Paper §4.2: ~4% advantage over the FTB.
+    let streams = hmean_over(EngineKind::Stream, LayoutChoice::Optimized, |s| s.ipc());
+    let ftb = hmean_over(EngineKind::Ftb, LayoutChoice::Optimized, |s| s.ipc());
+    assert!(
+        streams > ftb,
+        "streams ({streams:.3}) must outperform FTB ({ftb:.3}) at 8-wide optimized"
+    );
+}
+
+#[test]
+fn trace_cache_has_the_widest_fetch() {
+    // Paper Table 3: the trace cache fetches 11-15% more instructions per
+    // cycle than streams, which in turn beat EV8/FTB.
+    let tc = hmean_over(EngineKind::TraceCache, LayoutChoice::Optimized, |s| s.fetch_ipc());
+    let st = hmean_over(EngineKind::Stream, LayoutChoice::Optimized, |s| s.fetch_ipc());
+    let ev8 = hmean_over(EngineKind::Ev8, LayoutChoice::Optimized, |s| s.fetch_ipc());
+    assert!(tc > st, "trace cache fetch ({tc:.2}) must exceed streams ({st:.2})");
+    assert!(st > ev8 * 0.98, "streams fetch ({st:.2}) must be at least EV8-class ({ev8:.2})");
+}
+
+#[test]
+fn streams_stay_close_to_the_trace_cache_ipc() {
+    // Paper headline: only ~1.5% slower than the trace cache with optimized
+    // code. Give it slack at reduced scale: within 8%.
+    let tc = hmean_over(EngineKind::TraceCache, LayoutChoice::Optimized, |s| s.ipc());
+    let st = hmean_over(EngineKind::Stream, LayoutChoice::Optimized, |s| s.ipc());
+    assert!(
+        st > tc * 0.92,
+        "streams ({st:.3}) must stay within 8% of the trace cache ({tc:.3})"
+    );
+}
+
+#[test]
+fn layout_optimization_helps_the_stream_frontend() {
+    // Paper §4.2: the stream architecture benefits most from layout
+    // optimization (a full 3% at 8-wide).
+    let base = hmean_over(EngineKind::Stream, LayoutChoice::Base, |s| s.ipc());
+    let opt = hmean_over(EngineKind::Stream, LayoutChoice::Optimized, |s| s.ipc());
+    assert!(
+        opt > base,
+        "optimized layout ({opt:.3}) must beat base ({base:.3}) for streams"
+    );
+}
+
+#[test]
+fn optimized_layout_grows_stream_fetch_units() {
+    // Table 1's "size" column: streams lengthen under layout optimization.
+    let w = suite_workload("crafty");
+    let base = sim(&w, EngineKind::Stream, LayoutChoice::Base, 8, INSTS);
+    let opt = sim(&w, EngineKind::Stream, LayoutChoice::Optimized, 8, INSTS);
+    assert!(
+        opt.engine.mean_unit_len() > base.engine.mean_unit_len(),
+        "opt units {:.1} must exceed base units {:.1}",
+        opt.engine.mean_unit_len(),
+        base.engine.mean_unit_len()
+    );
+}
+
+#[test]
+fn stream_predictor_wins_on_indirect_branches() {
+    // §4.3's mechanism: the next-address field plus path correlation make
+    // streams an indirect-target predictor; EV8's BTB only chases the last
+    // target.
+    // Aggregate over the indirect-heavy suite members for statistical
+    // weight (single benchmarks have too few indirect mispredictions at
+    // test scale).
+    let mut st_total = 0u64;
+    let mut ev8_total = 0u64;
+    for bench in ["perlbmk", "eon", "gcc"] {
+        let w = suite_workload(bench);
+        st_total += sim(&w, EngineKind::Stream, LayoutChoice::Optimized, 8, INSTS).mispred_indirect;
+        ev8_total += sim(&w, EngineKind::Ev8, LayoutChoice::Optimized, 8, INSTS).mispred_indirect;
+    }
+    assert!(
+        st_total < ev8_total,
+        "streams indirect mispredictions ({st_total}) must undercut EV8's ({ev8_total})"
+    );
+}
+
+#[test]
+fn mispredict_rates_are_in_a_credible_band() {
+    for kind in EngineKind::ALL {
+        let r = hmean_over(kind, LayoutChoice::Optimized, |s| s.mispred_rate().max(1e-9));
+        assert!(
+            r > 0.001 && r < 0.20,
+            "{kind}: mispredict rate {r:.4} outside credible band"
+        );
+    }
+}
+
+#[test]
+fn no_watchdog_resyncs_across_engines_and_layouts() {
+    let w = suite_workload("twolf");
+    for kind in EngineKind::ALL {
+        for layout in [LayoutChoice::Base, LayoutChoice::Optimized] {
+            let s = sim(&w, kind, layout, 8, 200_000);
+            assert_eq!(s.watchdog_resyncs, 0, "{kind}/{layout}: watchdog fired");
+        }
+    }
+}
+
+#[test]
+fn two_wide_pipes_level_the_field() {
+    // Fig. 8a: at 2-wide every front-end performs within a few percent.
+    let w = suite_workload("gzip");
+    let ipcs: Vec<f64> = EngineKind::ALL
+        .iter()
+        .map(|&k| sim(&w, k, LayoutChoice::Optimized, 2, 300_000).ipc())
+        .collect();
+    let max = ipcs.iter().cloned().fold(0.0, f64::max);
+    let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        (max - min) / max < 0.12,
+        "2-wide spread should be small: {ipcs:?}"
+    );
+}

@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) over the simulator's core invariants:
+//! random programs must lay out, execute and extract consistently, and the
+//! predictor/cache structures must respect their contracts under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+
+use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+use sfetch_cfg::{layout, CodeImage, EdgeProfile};
+use sfetch_isa::{Addr, BranchKind};
+use sfetch_predictors::{AssocTable, NextStreamPredictor, Ras, StreamPredictorConfig, StreamUpdate};
+use sfetch_trace::{Executor, StreamExtractor};
+
+fn small_params(n_funcs: usize) -> GenParams {
+    let mut p = GenParams::small();
+    p.n_funcs = n_funcs.max(2);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated program, under every layout, yields an executor walk
+    /// whose committed control flow is continuous (each pc equals the
+    /// previous instruction's architectural successor).
+    #[test]
+    fn executor_is_continuous_under_all_layouts(
+        gen_seed in 0u64..500,
+        exec_seed in 0u64..500,
+        n_funcs in 2usize..8,
+        use_opt in any::<bool>(),
+    ) {
+        let cfg = ProgramGenerator::new(small_params(n_funcs), gen_seed).generate();
+        let lay = if use_opt {
+            layout::pettis_hansen(&cfg, &EdgeProfile::from_expected(&cfg))
+        } else {
+            layout::natural(&cfg)
+        };
+        let img = CodeImage::build(&cfg, &lay);
+        let trace: Vec<_> = Executor::new(&cfg, &img, exec_seed).take(3_000).collect();
+        for w in trace.windows(2) {
+            prop_assert_eq!(w[1].pc, w[0].next_pc());
+        }
+    }
+
+    /// Stream extraction is a partition: stream lengths sum to the trace
+    /// length (minus the open tail), every stream ends at a taken branch or
+    /// the cap, and consecutive streams chain start -> next.
+    #[test]
+    fn stream_extraction_partitions_the_trace(
+        gen_seed in 0u64..500,
+        exec_seed in 0u64..100,
+    ) {
+        let cfg = ProgramGenerator::new(small_params(4), gen_seed).generate();
+        let img = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let mut ex = StreamExtractor::new();
+        let mut covered = 0u64;
+        let mut prev_next: Option<Addr> = None;
+        let n = 4_000usize;
+        for d in Executor::new(&cfg, &img, exec_seed).take(n) {
+            if let Some(s) = ex.push(&d) {
+                covered += u64::from(s.len);
+                prop_assert!(s.len >= 1);
+                if let Some(pn) = prev_next {
+                    prop_assert_eq!(s.start, pn, "streams must chain");
+                }
+                prev_next = Some(s.next);
+            }
+        }
+        prop_assert_eq!(covered + u64::from(ex.in_flight_len()), n as u64);
+    }
+
+    /// The layout passes always produce permutations, and images place every
+    /// block at an instruction-aligned, in-bounds address.
+    #[test]
+    fn layouts_are_permutations_with_aligned_addresses(
+        gen_seed in 0u64..500,
+        shuffle_seed in 0u64..50,
+    ) {
+        let cfg = ProgramGenerator::new(small_params(4), gen_seed).generate();
+        for lay in [
+            layout::natural(&cfg),
+            layout::random(&cfg, shuffle_seed),
+            layout::pettis_hansen(&cfg, &EdgeProfile::from_expected(&cfg)),
+        ] {
+            let img = CodeImage::build(&cfg, &lay);
+            for blk in cfg.blocks() {
+                let addr = img.block_addr(blk.id());
+                prop_assert!(addr.is_inst_aligned());
+                prop_assert!(addr >= img.base() && addr <= img.end());
+            }
+        }
+    }
+
+    /// The associative table never returns a payload under the wrong tag and
+    /// respects capacity.
+    #[test]
+    fn assoc_table_tag_discipline(
+        ops in prop::collection::vec((0u64..64, 0u64..16, 0u32..1000), 1..200),
+    ) {
+        let mut t: AssocTable<u32> = AssocTable::new(8, 2);
+        let mut inserted = std::collections::HashMap::new();
+        for (idx, tag, val) in ops {
+            t.insert_lru(idx, tag, val);
+            inserted.insert((idx % 8, tag), val);
+            if let Some(&got) = t.probe(idx, tag).as_deref() {
+                // A hit must return the *latest* value inserted under that
+                // (set, tag).
+                prop_assert_eq!(got, inserted[&(idx % 8, tag)]);
+            }
+            prop_assert!(t.occupancy() <= t.entries());
+        }
+    }
+
+    /// RAS snapshot/restore always repairs a single push or pop.
+    #[test]
+    fn ras_single_divergence_repair(
+        setup in prop::collection::vec(1u64..1_000_000, 0..12),
+        wrong in 1u64..1_000_000,
+        do_push in any::<bool>(),
+    ) {
+        let mut ras = Ras::new(8);
+        for a in &setup {
+            ras.push(Addr::new(a * 4));
+        }
+        let snap = ras.snapshot();
+        let top_before = ras.top();
+        if do_push {
+            ras.push(Addr::new(wrong * 4));
+        } else {
+            ras.pop();
+        }
+        ras.restore(snap);
+        prop_assert_eq!(ras.top(), top_before);
+    }
+
+    /// The stream predictor only ever predicts lengths within its cap, and a
+    /// trained (start, len, next) triple round-trips while untouched
+    /// addresses miss.
+    #[test]
+    fn stream_predictor_contract(
+        starts in prop::collection::vec(1u64..10_000, 1..40),
+        lens in prop::collection::vec(1u32..200, 1..40),
+    ) {
+        let mut p = NextStreamPredictor::new(StreamPredictorConfig::table2());
+        let n = starts.len().min(lens.len());
+        for i in 0..n {
+            p.commit_stream(StreamUpdate {
+                start: Addr::new(starts[i] * 4),
+                len: lens[i],
+                kind: Some(BranchKind::Cond),
+                next: Addr::new(0x40_0000),
+                mispredicted: false,
+            });
+        }
+        for i in 0..n {
+            if let Some(pred) = p.predict(Addr::new(starts[i] * 4)) {
+                prop_assert!(pred.len >= 1);
+                prop_assert!(pred.len <= p.config().max_len);
+            }
+        }
+        // An address far outside anything trained must miss.
+        prop_assert!(p.predict(Addr::new(0xdead_0000)).is_none());
+    }
+}
