@@ -5,30 +5,25 @@
 //! so little depth is needed. We sweep 1–16 entries.
 //!
 //! ```text
-//! cargo run --release -p sfetch-bench --bin ablation_ftq [-- --inst N]
+//! cargo run --release -p sfetch-bench --bin ablation_ftq [-- --inst N --jobs N]
 //! ```
 
-use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_bench::{ablation_workloads, run_custom_sweep, HarnessOpts};
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::StreamEngine;
 use sfetch_mem::MemoryConfig;
 use sfetch_predictors::StreamPredictorConfig;
-use sfetch_workloads::{suite, LayoutChoice};
+use sfetch_workloads::LayoutChoice;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let width = 8usize;
-    let workloads: Vec<_> = ABLATION_BENCHES
-        .iter()
-        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
-        .collect();
+    let workloads = ablation_workloads(opts);
 
     println!("FTQ depth sweep, stream engine, {width}-wide, optimized layout");
     println!("{:<10} {:>10} {:>10}", "entries", "IPC(hm)", "fetchIPC");
     for entries in [1usize, 2, 4, 8, 16] {
-        let mut ipcs = Vec::new();
-        let mut fipc = Vec::new();
-        for w in &workloads {
+        let stats = run_custom_sweep(&workloads, LayoutChoice::Optimized, width, opts, |w| {
             let engine = Box::new(StreamEngine::new(
                 width,
                 w.image(LayoutChoice::Optimized).entry(),
@@ -36,17 +31,10 @@ fn main() {
                 entries,
                 8,
             ));
-            let s = run_custom(
-                w,
-                LayoutChoice::Optimized,
-                width,
-                MemoryConfig::table2(width),
-                engine,
-                opts,
-            );
-            ipcs.push(s.ipc());
-            fipc.push(s.fetch_ipc());
-        }
+            (MemoryConfig::table2(width), engine)
+        });
+        let ipcs: Vec<f64> = stats.iter().map(|s| s.ipc()).collect();
+        let fipc: Vec<f64> = stats.iter().map(|s| s.fetch_ipc()).collect();
         println!(
             "{:<10} {:>10.3} {:>10.2}",
             entries,

@@ -8,31 +8,25 @@
 //! optimized layout; the paper's choice is 4×).
 //!
 //! ```text
-//! cargo run --release -p sfetch-bench --bin ablation_linesize [-- --inst N]
+//! cargo run --release -p sfetch-bench --bin ablation_linesize [-- --inst N --jobs N]
 //! ```
 
-use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_bench::{ablation_workloads, run_custom_sweep, HarnessOpts};
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::StreamEngine;
 use sfetch_mem::MemoryConfig;
 use sfetch_predictors::StreamPredictorConfig;
-use sfetch_workloads::{suite, LayoutChoice};
+use sfetch_workloads::LayoutChoice;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let width = 8usize;
-    let workloads: Vec<_> = ABLATION_BENCHES
-        .iter()
-        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
-        .collect();
+    let workloads = ablation_workloads(opts);
 
     println!("line-size sweep, stream engine, {width}-wide, optimized layout");
     println!("{:<12} {:>10} {:>10} {:>12}", "line", "IPC(hm)", "fetchIPC", "i-stalls/ki");
     for mult in [1u64, 2, 4, 8] {
-        let mut ipcs = Vec::new();
-        let mut fipc = Vec::new();
-        let mut stalls = Vec::new();
-        for w in &workloads {
+        let stats = run_custom_sweep(&workloads, LayoutChoice::Optimized, width, opts, |w| {
             let mut mem = MemoryConfig::table2(width);
             mem.l1i.line_bytes = mult * width as u64 * 4;
             let engine = Box::new(StreamEngine::new(
@@ -42,11 +36,14 @@ fn main() {
                 4,
                 8,
             ));
-            let s = run_custom(w, LayoutChoice::Optimized, width, mem, engine, opts);
-            ipcs.push(s.ipc());
-            fipc.push(s.fetch_ipc());
-            stalls.push(s.engine.icache_stall_cycles as f64 / (s.committed as f64 / 1000.0));
-        }
+            (mem, engine as _)
+        });
+        let ipcs: Vec<f64> = stats.iter().map(|s| s.ipc()).collect();
+        let fipc: Vec<f64> = stats.iter().map(|s| s.fetch_ipc()).collect();
+        let stalls: Vec<f64> = stats
+            .iter()
+            .map(|s| s.engine.icache_stall_cycles as f64 / (s.committed as f64 / 1000.0))
+            .collect();
         println!(
             "{:<12} {:>10.3} {:>10.2} {:>12.2}",
             format!("{}x ({}B)", mult, mult * width as u64 * 4),

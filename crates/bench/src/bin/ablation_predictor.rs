@@ -5,23 +5,20 @@
 //! holding *overlapping streams* — this ablation quantifies that choice.
 //!
 //! ```text
-//! cargo run --release -p sfetch-bench --bin ablation_predictor [-- --inst N]
+//! cargo run --release -p sfetch-bench --bin ablation_predictor [-- --inst N --jobs N]
 //! ```
 
-use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_bench::{ablation_workloads, run_custom_sweep, HarnessOpts};
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::StreamEngine;
 use sfetch_mem::MemoryConfig;
 use sfetch_predictors::StreamPredictorConfig;
-use sfetch_workloads::{suite, LayoutChoice};
+use sfetch_workloads::LayoutChoice;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let width = 8usize;
-    let workloads: Vec<_> = ABLATION_BENCHES
-        .iter()
-        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
-        .collect();
+    let workloads = ablation_workloads(opts);
 
     println!("stream predictor organization, {width}-wide, optimized layout");
     println!("{:<22} {:>10} {:>12} {:>12}", "organization", "IPC(hm)", "mispred", "2nd-lvl hits");
@@ -29,10 +26,7 @@ fn main() {
         ("cascaded (Table 2)", StreamPredictorConfig::table2()),
         ("single-level", StreamPredictorConfig::single_level()),
     ] {
-        let mut ipcs = Vec::new();
-        let mut mis = Vec::new();
-        let mut second = Vec::new();
-        for w in &workloads {
+        let stats = run_custom_sweep(&workloads, LayoutChoice::Optimized, width, opts, |w| {
             let engine = Box::new(StreamEngine::new(
                 width,
                 w.image(LayoutChoice::Optimized).entry(),
@@ -40,18 +34,11 @@ fn main() {
                 4,
                 8,
             ));
-            let s = run_custom(
-                w,
-                LayoutChoice::Optimized,
-                width,
-                MemoryConfig::table2(width),
-                engine,
-                opts,
-            );
-            ipcs.push(s.ipc());
-            mis.push(s.mispred_rate() * 100.0);
-            second.push(s.engine.predictor_hits as f64);
-        }
+            (MemoryConfig::table2(width), engine as _)
+        });
+        let ipcs: Vec<f64> = stats.iter().map(|s| s.ipc()).collect();
+        let mis: Vec<f64> = stats.iter().map(|s| s.mispred_rate() * 100.0).collect();
+        let second: Vec<f64> = stats.iter().map(|s| s.engine.predictor_hits as f64).collect();
         println!(
             "{:<22} {:>10.3} {:>11.2}% {:>12.0}",
             name,

@@ -5,39 +5,38 @@
 //! the non-sequential ("red") traces only the trace cache can deliver.
 //!
 //! ```text
-//! cargo run --release -p sfetch-bench --bin ablation_sts [-- --inst N]
+//! cargo run --release -p sfetch-bench --bin ablation_sts [-- --inst N --jobs N]
 //! ```
 
-use sfetch_bench::{run_custom, HarnessOpts, ABLATION_BENCHES};
+use sfetch_bench::{ablation_workloads, run_custom_sweep, HarnessOpts};
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::TraceCacheEngine;
 use sfetch_mem::MemoryConfig;
-use sfetch_workloads::{suite, LayoutChoice};
+use sfetch_workloads::LayoutChoice;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let width = 8usize;
-    let workloads: Vec<_> = ABLATION_BENCHES
-        .iter()
-        .map(|n| suite::build(suite::by_name(n).expect("known bench")))
-        .collect();
+    let workloads = ablation_workloads(opts);
 
     for layout in [LayoutChoice::Base, LayoutChoice::Optimized] {
         println!("\ntrace cache, {width}-wide, {layout} layout");
         println!("{:<20} {:>10} {:>10} {:>12}", "storage policy", "IPC(hm)", "fetchIPC", "tc hit rate");
         for (name, selective) in [("selective (paper)", true), ("store everything", false)] {
-            let mut ipcs = Vec::new();
-            let mut fipc = Vec::new();
-            let mut hit = Vec::new();
-            for w in &workloads {
+            let stats = run_custom_sweep(&workloads, layout, width, opts, |w| {
                 let engine =
                     Box::new(TraceCacheEngine::new(width, w.image(layout).entry(), selective));
-                let s = run_custom(w, layout, width, MemoryConfig::table2(width), engine, opts);
-                ipcs.push(s.ipc());
-                fipc.push(s.fetch_ipc());
-                let total = s.engine.tc_hits + s.engine.tc_misses;
-                hit.push(if total == 0 { 0.0 } else { s.engine.tc_hits as f64 / total as f64 });
-            }
+                (MemoryConfig::table2(width), engine as _)
+            });
+            let ipcs: Vec<f64> = stats.iter().map(|s| s.ipc()).collect();
+            let fipc: Vec<f64> = stats.iter().map(|s| s.fetch_ipc()).collect();
+            let hit: Vec<f64> = stats
+                .iter()
+                .map(|s| {
+                    let total = s.engine.tc_hits + s.engine.tc_misses;
+                    if total == 0 { 0.0 } else { s.engine.tc_hits as f64 / total as f64 }
+                })
+                .collect();
             println!(
                 "{:<20} {:>10.3} {:>10.2} {:>11.1}%",
                 name,

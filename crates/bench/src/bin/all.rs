@@ -1,10 +1,10 @@
 //! Runs every experiment in sequence (figures 8 and 9, tables 1–3, all
-//! ablations) by re-invoking the sibling binaries, forwarding `--inst` /
-//! `--warmup`. Results go to stdout; EXPERIMENTS.md records a reference
-//! run.
+//! ablations, perfstats) by re-invoking the sibling binaries, forwarding
+//! `--inst` / `--warmup` / `--jobs`. Results go to stdout; EXPERIMENTS.md
+//! records a reference run.
 //!
 //! ```text
-//! cargo run --release -p sfetch-bench --bin all [-- --inst N --warmup N]
+//! cargo run --release -p sfetch-bench --bin all [-- --inst N --warmup N --jobs N]
 //! ```
 
 use std::process::Command;
@@ -25,6 +25,7 @@ fn main() {
         "ablation_predictor",
         "ablation_ftq",
         "ablation_sts",
+        "perfstats",
     ] {
         println!("\n===================== {bin} =====================");
         let status = Command::new(dir.join(bin))

@@ -5,12 +5,12 @@
 //! the FTB only never-taken branches).
 //!
 //! ```text
-//! cargo run --release -p sfetch-bench --bin characterize [-- --inst N]
+//! cargo run --release -p sfetch-bench --bin characterize [-- --inst N --jobs N]
 //! ```
 
 use sfetch_bench::HarnessOpts;
 use sfetch_trace::{Executor, TraceStats};
-use sfetch_workloads::{suite, LayoutChoice, Workload};
+use sfetch_workloads::{par_map, suite, LayoutChoice, Workload};
 
 fn row(w: &Workload, layout: LayoutChoice, insts: u64) -> TraceStats {
     let image = w.image(layout);
@@ -26,10 +26,15 @@ fn main() {
     let mut agg_nt = (0.0, 0.0);
     let mut agg_stream = (0.0, 0.0);
     let mut n = 0.0;
-    for spec in suite::all_specs() {
-        let w = suite::build(spec);
+    // Build the workloads and collect both layouts' trace statistics in
+    // parallel; print serially in suite order.
+    let rows = par_map(&suite::all_specs(), opts.jobs, |_, spec| {
+        let w = suite::build(spec.clone());
         let base = row(&w, LayoutChoice::Base, opts.insts);
         let opt = row(&w, LayoutChoice::Optimized, opts.insts);
+        (w, base, opt)
+    });
+    for (w, base, opt) in rows {
         // Static characterization: fraction of static conditionals that are
         // strongly biased (>=90% one way) by their behaviour model.
         let strong = w

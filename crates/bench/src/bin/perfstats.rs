@@ -1,0 +1,132 @@
+//! Host-throughput reporter: how fast does this machine simulate?
+//!
+//! Measures, for each fetch engine, the wall-clock cost of simulating the
+//! ablation subset (8-wide, optimized layout) and reports simulated MIPS
+//! (millions of committed instructions per wall second, summed over the
+//! points in flight), plus the raw architectural executor's throughput in
+//! ns per committed instruction. Results go to stdout and to
+//! `BENCH_1.json` in the current directory, seeding the repository's
+//! performance trajectory; see README.md for the schema.
+//!
+//! ```text
+//! cargo run --release -p sfetch-bench --bin perfstats [-- --inst N --warmup N --jobs N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sfetch_bench::{ablation_workloads, run_point, timed, HarnessOpts};
+use sfetch_fetch::EngineKind;
+use sfetch_trace::Executor;
+use sfetch_workloads::{par_map, LayoutChoice, Workload};
+
+struct EngineRow {
+    engine: String,
+    points: usize,
+    simulated_insts: u64,
+    wall_s: f64,
+    mips: f64,
+}
+
+fn measure_engine(
+    workloads: &[Workload],
+    kind: EngineKind,
+    opts: HarnessOpts,
+) -> EngineRow {
+    let (points, wall_s) = timed(|| {
+        par_map(workloads, opts.jobs, |_, w| {
+            run_point(w, kind, LayoutChoice::Optimized, 8, opts)
+        })
+    });
+    let simulated_insts: u64 =
+        points.iter().map(|p| p.stats.committed + opts.warmup).sum();
+    EngineRow {
+        engine: kind.to_string(),
+        points: points.len(),
+        simulated_insts,
+        wall_s,
+        mips: simulated_insts as f64 / wall_s / 1e6,
+    }
+}
+
+/// Executor-only throughput: ns per committed instruction of the oracle walk
+/// (no timing model), the quantity the interned control table optimizes.
+fn measure_executor(workloads: &[Workload], insts: u64) -> f64 {
+    let w = &workloads[0];
+    let img = w.image(LayoutChoice::Optimized);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for d in Executor::from_image(img, w.ref_seed()).take(insts as usize) {
+        acc = acc.wrapping_add(d.pc.get());
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e9 / insts as f64
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("generating ablation subset ({} jobs)…", opts.jobs);
+    let (workloads, build_s) = timed(|| ablation_workloads(opts));
+
+    let exec_insts = (opts.insts * 4).max(1_000_000);
+    let executor_ns_per_inst = measure_executor(&workloads, exec_insts);
+    println!(
+        "oracle executor: {executor_ns_per_inst:.1} ns/inst ({:.1} Minst/s)",
+        1e3 / executor_ns_per_inst
+    );
+
+    println!(
+        "\n{:<18} {:>7} {:>12} {:>9} {:>9}",
+        "engine", "points", "sim insts", "wall (s)", "MIPS"
+    );
+    let mut rows = Vec::new();
+    let t0 = Instant::now();
+    for kind in EngineKind::ALL {
+        let row = measure_engine(&workloads, kind, opts);
+        println!(
+            "{:<18} {:>7} {:>12} {:>9.2} {:>9.2}",
+            row.engine, row.points, row.simulated_insts, row.wall_s, row.mips
+        );
+        rows.push(row);
+    }
+    let total_wall_s = t0.elapsed().as_secs_f64();
+    println!("\ntotal: {total_wall_s:.2}s simulation wall clock, {build_s:.2}s suite construction");
+
+    let json = render_json(&opts, build_s, executor_ns_per_inst, &rows, total_wall_s);
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("wrote BENCH_1.json");
+}
+
+fn render_json(
+    opts: &HarnessOpts,
+    build_s: f64,
+    executor_ns_per_inst: f64,
+    rows: &[EngineRow],
+    total_wall_s: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v1\",");
+    let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
+    let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
+    let _ = writeln!(s, "  \"jobs\": {},", opts.jobs);
+    let _ = writeln!(s, "  \"suite_build_s\": {build_s:.3},");
+    let _ = writeln!(s, "  \"executor_ns_per_inst\": {executor_ns_per_inst:.2},");
+    s.push_str("  \"engines\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"engine\": \"{}\", \"points\": {}, \"simulated_insts\": {}, \"wall_s\": {:.3}, \"mips\": {:.3}}}{}",
+            r.engine,
+            r.points,
+            r.simulated_insts,
+            r.wall_s,
+            r.mips,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");
+    s.push_str("}\n");
+    s
+}

@@ -15,17 +15,25 @@
 //! | `ablation_predictor` | cascaded vs single-level stream predictor |
 //! | `ablation_ftq` | FTQ depth sweep |
 //! | `ablation_sts` | selective trace storage on/off |
+//! | `perfstats` | host throughput: simulated MIPS per engine → `BENCH_1.json` |
 //! | `all` | everything above, in sequence |
 //!
 //! Run with `--inst N` / `--warmup N` to change the measured window
-//! (defaults: 1M measured after 200k warmup per point).
+//! (defaults: 1M measured after 200k warmup per point) and `--jobs N` to
+//! bound worker threads (default: all cores). Every grid point owns its
+//! `Processor` and derives only from its workload + configuration, so
+//! parallel runs are bit-identical to serial ones.
 
 use std::time::Instant;
 
 use sfetch_core::{metrics::harmonic_mean, simulate, Processor, ProcessorConfig, SimStats};
 use sfetch_fetch::{EngineKind, FetchEngine};
 use sfetch_mem::MemoryConfig;
-use sfetch_workloads::{LayoutChoice, Suite, Workload};
+use sfetch_workloads::{par_map, LayoutChoice, Suite, Workload};
+
+pub mod progress;
+
+pub use progress::{GridProgress, Reporter};
 
 /// Command-line options shared by all harness binaries.
 #[derive(Debug, Clone, Copy)]
@@ -34,16 +42,19 @@ pub struct HarnessOpts {
     pub insts: u64,
     /// Warmup committed instructions per point (excluded from stats).
     pub warmup: u64,
+    /// Maximum simulation worker threads.
+    pub jobs: usize,
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        HarnessOpts { insts: 1_000_000, warmup: 200_000 }
+        HarnessOpts { insts: 1_000_000, warmup: 200_000, jobs: sfetch_workloads::default_jobs() }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--inst N` and `--warmup N` from the process arguments.
+    /// Parses `--inst N`, `--warmup N` and `--jobs N` from the process
+    /// arguments.
     ///
     /// # Panics
     ///
@@ -68,7 +79,17 @@ impl HarnessOpts {
                         .expect("--warmup requires a number");
                     i += 2;
                 }
-                other => panic!("unknown argument {other}; supported: --inst N, --warmup N"),
+                "--jobs" => {
+                    o.jobs = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .expect("--jobs requires a number >= 1");
+                    i += 2;
+                }
+                other => {
+                    panic!("unknown argument {other}; supported: --inst N, --warmup N, --jobs N")
+                }
             }
         }
         o
@@ -137,11 +158,48 @@ pub fn run_custom(
     p.stats()
 }
 
+/// Runs one ablation sweep row: simulates every workload with an engine and
+/// memory configuration built per point by `mk` (engines are constructed
+/// inside the worker so nothing mutable crosses threads), up to `opts.jobs`
+/// points in flight. Results come back in workload order.
+pub fn run_custom_sweep(
+    workloads: &[Workload],
+    layout: LayoutChoice,
+    width: usize,
+    opts: HarnessOpts,
+    mk: impl Fn(&Workload) -> (MemoryConfig, Box<dyn FetchEngine>) + Sync,
+) -> Vec<SimStats> {
+    par_map(workloads, opts.jobs, |_, w| {
+        let (memcfg, engine) = mk(w);
+        run_custom(w, layout, width, memcfg, engine, opts)
+    })
+}
+
 /// The four-benchmark subset used by the quicker ablation binaries.
 pub const ABLATION_BENCHES: [&str; 4] = ["gzip", "gcc", "crafty", "twolf"];
 
-/// Runs the whole grid for the given widths/layouts/engines, printing a
-/// progress line per benchmark.
+/// Builds the ablation workload subset in parallel.
+pub fn ablation_workloads(opts: HarnessOpts) -> Vec<Workload> {
+    let suite = Suite::build_subset(&ABLATION_BENCHES, opts.jobs);
+    // Re-order to the ABLATION_BENCHES order the binaries print.
+    let mut by_name: Vec<Option<Workload>> = suite.into_workloads().into_iter().map(Some).collect();
+    ABLATION_BENCHES
+        .iter()
+        .map(|n| {
+            let i = by_name
+                .iter()
+                .position(|w| w.as_ref().is_some_and(|w| w.name() == *n))
+                .expect("subset contains every ablation bench");
+            by_name[i].take().expect("taken once")
+        })
+        .collect()
+}
+
+/// Runs the whole grid for the given widths/layouts/engines with up to
+/// `opts.jobs` points in flight, reporting progress per benchmark through a
+/// mutex-guarded reporter. Points are returned in deterministic
+/// benchmark-major order and each point's statistics are bit-identical to a
+/// serial (`jobs = 1`) run.
 pub fn run_grid(
     suite: &Suite,
     widths: &[usize],
@@ -149,19 +207,32 @@ pub fn run_grid(
     engines: &[EngineKind],
     opts: HarnessOpts,
 ) -> Vec<RunPoint> {
-    let mut out = Vec::new();
-    for w in suite.workloads() {
-        let t0 = Instant::now();
+    #[derive(Clone, Copy)]
+    struct PointSpec {
+        w_idx: usize,
+        width: usize,
+        layout: LayoutChoice,
+        engine: EngineKind,
+    }
+    let workloads = suite.workloads();
+    let mut specs = Vec::with_capacity(workloads.len() * widths.len() * layouts.len() * engines.len());
+    for w_idx in 0..workloads.len() {
         for &width in widths {
             for &layout in layouts {
                 for &engine in engines {
-                    out.push(run_point(w, engine, layout, width, opts));
+                    specs.push(PointSpec { w_idx, width, layout, engine });
                 }
             }
         }
-        eprintln!("  [{}] done in {:.1}s", w.name(), t0.elapsed().as_secs_f64());
     }
-    out
+    let per_bench = widths.len() * layouts.len() * engines.len();
+    let progress = GridProgress::new(workloads.len(), per_bench);
+    par_map(&specs, opts.jobs, |_, s| {
+        let w = &workloads[s.w_idx];
+        let p = run_point(w, s.engine, s.layout, s.width, opts);
+        progress.point_done(s.w_idx, w.name());
+        p
+    })
 }
 
 /// Harmonic-mean IPC over the suite for a (engine, layout, width) cell.
@@ -210,6 +281,13 @@ pub fn print_engine_table(
     }
 }
 
+/// Wall-clock timing of a closure, for host-throughput reporting.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +297,6 @@ mod tests {
         let o = HarnessOpts::default();
         assert!(o.insts >= 100_000);
         assert!(o.warmup < o.insts);
+        assert!(o.jobs >= 1);
     }
 }

@@ -188,6 +188,7 @@ impl ProgramGenerator {
         // there is call-graph affinity for procedure placement to exploit and
         // no recursion.
         let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        #[allow(clippy::needless_range_loop)] // i indexes both callees and funcs[i + hop]
         for i in 0..n.saturating_sub(1) {
             let k = self.rng.random_range(1..=4usize);
             for _ in 0..k {
@@ -204,15 +205,27 @@ impl ProgramGenerator {
             let mut budget =
                 self.rng.random_range(lo..=hi) as i64;
             let depth_allowed = self.params.max_depth;
+            // Each function's top level is a sequence that consumes the whole
+            // block budget. A single draw would leave most of the budget
+            // unspent — and worse, a `Plain` draw for main would collapse the
+            // program into one self-looping block spinning for 2^30
+            // iterations, a degenerate instruction stream with no branches
+            // for the front-ends to predict.
+            let mut subs = Vec::new();
+            while budget > 0 {
+                subs.push(self.gen_region(0, depth_allowed, &mut budget, &callees[i]));
+            }
+            let body = if subs.len() == 1 {
+                subs.pop().expect("one element")
+            } else {
+                Region::Seq(subs)
+            };
             let tree = if i == 0 {
                 // main: an effectively infinite outer loop so the simulated
                 // instruction stream never ends.
-                Region::Loop {
-                    body: Box::new(self.gen_region(0, depth_allowed, &mut budget, &callees[i])),
-                    trip: TripCount::Fixed(1 << 30),
-                }
+                Region::Loop { body: Box::new(body), trip: TripCount::Fixed(1 << 30) }
             } else {
-                self.gen_region(0, depth_allowed, &mut budget, &callees[i])
+                body
             };
             let (head, exit) = self.lower(&mut bld, funcs[i], &tree);
             bld.set_entry(funcs[i], head);

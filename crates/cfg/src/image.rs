@@ -23,6 +23,7 @@ use std::fmt;
 
 use sfetch_isa::{Addr, BranchKind, StaticInst, INST_BYTES};
 
+use crate::control::ControlTable;
 use crate::graph::{BlockId, Cfg, Terminator};
 use crate::layout::Layout;
 
@@ -67,6 +68,7 @@ pub struct CodeImage {
     entry: Addr,
     n_fixups: usize,
     n_elided: usize,
+    control: ControlTable,
 }
 
 impl CodeImage {
@@ -290,7 +292,8 @@ impl CodeImage {
         debug_assert_eq!(pc, cur);
 
         let entry = block_addr[cfg.entry_block().index()];
-        CodeImage { base, insts, owners, block_addr, entry, n_fixups, n_elided }
+        let control = ControlTable::build(cfg, &block_addr);
+        CodeImage { base, insts, owners, block_addr, entry, n_fixups, n_elided, control }
     }
 
     /// Base address of the code segment.
@@ -374,6 +377,15 @@ impl CodeImage {
     #[inline]
     pub fn owner(&self, idx: usize) -> BlockId {
         self.owners[idx]
+    }
+
+    /// The flattened control side-table: per-block branch behaviour with all
+    /// payloads interned and indirect targets pre-resolved to addresses. The
+    /// architectural executor resolves dynamic control through this instead
+    /// of re-matching CFG terminators (and cloning their payloads) per step.
+    #[inline]
+    pub fn control(&self) -> &ControlTable {
+        &self.control
     }
 
     /// Number of fix-up jumps the layout inserted.

@@ -37,6 +37,7 @@
 
 pub mod behavior;
 pub mod builder;
+pub mod control;
 pub mod gen;
 pub mod graph;
 pub mod image;
@@ -46,6 +47,7 @@ pub mod profile;
 
 pub use behavior::{CondBehavior, IndirectSelect, TripCount};
 pub use builder::CfgBuilder;
+pub use control::{CondCtl, ControlTable, IndirectCtl};
 pub use graph::{BasicBlock, BlockId, Cfg, FuncId, Function, Terminator};
 pub use image::{CodeImage, ControlAttr, ImageInst};
 pub use layout::{Layout, LayoutKind};

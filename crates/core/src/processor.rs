@@ -93,12 +93,19 @@ impl<'a> Processor<'a> {
         seed: u64,
     ) -> Self {
         assert_eq!(engine.width(), config.width, "engine width must match processor width");
+        // The oracle walks the image's interned control table; `cfg` is only
+        // needed to validate that the image was actually built from it.
+        assert_eq!(
+            cfg.num_blocks(),
+            image.control().num_blocks(),
+            "image was not built from this cfg"
+        );
         Processor {
             config,
             engine,
             mem: MemoryHierarchy::new(memcfg),
             image,
-            oracle: Executor::new(cfg, image, seed),
+            oracle: Executor::from_image(image, seed),
             pending_oracle: None,
             rob: VecDeque::with_capacity(config.rob_entries),
             next_seq: 0,

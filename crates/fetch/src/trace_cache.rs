@@ -534,31 +534,28 @@ impl FetchEngine for TraceCacheEngine {
         self.fill.mispredicted |= ci.mispredicted;
         let mut close_kind: Option<Option<BranchKind>> = None;
         let mut next = ci.next_pc();
-        match ci.control {
-            Some(c) => {
-                if c.kind == BranchKind::Cond {
-                    self.fill.dirs |= u8::from(c.taken) << self.fill.n_cond;
-                    self.fill.n_cond += 1;
-                }
-                match c.kind {
-                    // Trace packing keeps direct calls *inside* traces
-                    // (their targets are static, and delivery maintains the
-                    // RAS at the call's true pc); only data-dependent
-                    // control — returns and indirects — ends a trace.
-                    BranchKind::Return | BranchKind::IndirectCall | BranchKind::IndirectJump => {
-                        close_kind = Some(Some(c.kind));
-                    }
-                    BranchKind::Cond if self.fill.n_cond >= MAX_COND => {
-                        close_kind = Some(Some(c.kind));
-                    }
-                    _ => {}
-                }
-                if c.taken && close_kind.is_none() && self.fill.pcs.len() < MAX_TRACE {
-                    self.fill.interior_taken = true;
-                }
-                next = c.next_pc;
+        if let Some(c) = ci.control {
+            if c.kind == BranchKind::Cond {
+                self.fill.dirs |= u8::from(c.taken) << self.fill.n_cond;
+                self.fill.n_cond += 1;
             }
-            None => {}
+            match c.kind {
+                // Trace packing keeps direct calls *inside* traces
+                // (their targets are static, and delivery maintains the
+                // RAS at the call's true pc); only data-dependent
+                // control — returns and indirects — ends a trace.
+                BranchKind::Return | BranchKind::IndirectCall | BranchKind::IndirectJump => {
+                    close_kind = Some(Some(c.kind));
+                }
+                BranchKind::Cond if self.fill.n_cond >= MAX_COND => {
+                    close_kind = Some(Some(c.kind));
+                }
+                _ => {}
+            }
+            if c.taken && close_kind.is_none() && self.fill.pcs.len() < MAX_TRACE {
+                self.fill.interior_taken = true;
+            }
+            next = c.next_pc;
         }
         if close_kind.is_none() {
             if self.fill.pcs.len() >= MAX_TRACE {

@@ -56,7 +56,7 @@ impl Addr {
     /// Whether this address is a multiple of the instruction size.
     #[inline]
     pub const fn is_inst_aligned(self) -> bool {
-        self.0 % INST_BYTES == 0
+        self.0.is_multiple_of(INST_BYTES)
     }
 
     /// Index of the cache line containing this address, for a given line size
@@ -100,7 +100,7 @@ impl Addr {
     pub fn insts_since(self, base: Addr) -> u64 {
         assert!(self.0 >= base.0, "insts_since: {self} < {base}");
         let delta = self.0 - base.0;
-        assert!(delta % INST_BYTES == 0, "unaligned distance {delta}");
+        assert!(delta.is_multiple_of(INST_BYTES), "unaligned distance {delta}");
         delta / INST_BYTES
     }
 }

@@ -314,8 +314,8 @@ mod tests {
         p.notify_fetch(Addr::new(0x40_0000));
         let snap = p.snapshot();
         let before = p.predict(Addr::new(0x40_0100));
-        p.notify_fetch(Addr::new(0xdead_00));
-        p.notify_fetch(Addr::new(0xbeef_00));
+        p.notify_fetch(Addr::new(0x00de_ad00));
+        p.notify_fetch(Addr::new(0x00be_ef00));
         p.restore(snap);
         assert_eq!(p.predict(Addr::new(0x40_0100)), before);
     }

@@ -205,7 +205,7 @@ mod tests {
         for i in 0..4000u64 {
             lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let hist = lcg >> 32; // uncorrelated noise history
-            let outcome = (lcg >> 16) % 10 != 0; // 90% taken
+            let outcome = !(lcg >> 16).is_multiple_of(10); // 90% taken
             let pred = p.predict(pc, hist);
             if i > 1000 {
                 total += 1;

@@ -1,23 +1,21 @@
 //! The architectural executor: deterministic committed-path generation.
 
-use std::collections::VecDeque;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use sfetch_cfg::{Cfg, CodeImage, CondBehavior, IndirectSelect, Terminator, TripCount};
+use sfetch_cfg::{Cfg, CodeImage, CondCtl, ControlTable, IndirectCtl, TripCount};
 use sfetch_isa::Addr;
 
 use crate::record::{DynControl, DynInst};
 
 /// Maximum conditional-outcome history retained for
-/// [`CondBehavior::Correlated`] evaluation.
-const HIST_LEN: usize = 16;
+/// [`sfetch_cfg::CondBehavior::Correlated`] evaluation.
+const HIST_LEN: u32 = 16;
 
 /// Per-branch evaluation state.
 #[derive(Debug, Clone, Default)]
 struct CondState {
-    /// Next index into a [`CondBehavior::Pattern`].
+    /// Next index into a [`CondCtl::Pattern`].
     pattern_idx: u32,
     /// Remaining latch evaluations of the current loop execution.
     loop_remaining: Option<u32>,
@@ -29,23 +27,34 @@ struct CondState {
 /// the CFG's behaviour models at control transfers, maintaining the call
 /// stack, and generating load/store addresses from each instruction's
 /// [`sfetch_isa::MemPattern`]. It is an **infinite**, deterministic iterator:
-/// the same `(cfg, image, seed)` triple always produces the same trace, and
-/// `main` is generated with an effectively unbounded outer loop.
+/// the same `(image, seed)` pair always produces the same trace, and `main`
+/// is generated with an effectively unbounded outer loop.
 ///
 /// The executor is the simulator's *oracle*: fetch engines speculate against
 /// the image, and the processor compares their predictions with the
 /// executor's outcomes.
+///
+/// The per-instruction path is allocation-free: control transfers resolve
+/// through the image's interned [`ControlTable`] (built once per image)
+/// instead of re-matching CFG terminators and cloning their payloads, and
+/// the correlated-branch history lives in a bitmask.
 #[derive(Debug)]
 pub struct Executor<'a> {
-    cfg: &'a Cfg,
     image: &'a CodeImage,
+    ctl: &'a ControlTable,
+    /// Cached `image.base()` / `image.len_insts()` for the slot fast path.
+    base: Addr,
+    n_slots: usize,
     rng: SmallRng,
     pc: Addr,
     seq: u64,
     cond_state: Vec<CondState>,
     indirect_idx: Vec<u32>,
     call_stack: Vec<Addr>,
-    hist: VecDeque<bool>,
+    /// Recent conditional outcomes, bit 0 = most recent instance.
+    hist: u16,
+    /// How many history bits are valid (saturates at [`HIST_LEN`]).
+    hist_len: u32,
     exec_count: Vec<u64>,
 }
 
@@ -54,19 +63,35 @@ impl<'a> Executor<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `image` was not built from `cfg` (detected lazily when an
-    /// instruction's owner block is inconsistent).
+    /// Panics if `image` was not built from `cfg` (block-count mismatch is
+    /// detected eagerly; finer inconsistencies when an instruction's owner
+    /// block resolves to the wrong control class).
     pub fn new(cfg: &'a Cfg, image: &'a CodeImage, seed: u64) -> Self {
+        assert_eq!(
+            cfg.num_blocks(),
+            image.control().num_blocks(),
+            "image was not built from this cfg"
+        );
+        Self::from_image(image, seed)
+    }
+
+    /// Creates an executor from the image alone: the interned control table
+    /// carries everything the oracle needs, so no CFG borrow is required.
+    pub fn from_image(image: &'a CodeImage, seed: u64) -> Self {
+        let ctl = image.control();
         Executor {
-            cfg,
             image,
+            ctl,
+            base: image.base(),
+            n_slots: image.len_insts(),
             rng: SmallRng::seed_from_u64(seed),
             pc: image.entry(),
             seq: 0,
-            cond_state: vec![CondState::default(); cfg.num_blocks()],
-            indirect_idx: vec![0; cfg.num_blocks()],
+            cond_state: vec![CondState::default(); ctl.num_blocks()],
+            indirect_idx: vec![0; ctl.num_blocks()],
             call_stack: Vec::with_capacity(64),
-            hist: VecDeque::with_capacity(HIST_LEN),
+            hist: 0,
+            hist_len: 0,
             exec_count: vec![0; image.len_insts()],
         }
     }
@@ -89,23 +114,25 @@ impl<'a> Executor<'a> {
         self.call_stack.len()
     }
 
-    fn eval_cond(&mut self, owner: sfetch_cfg::BlockId, beh: &CondBehavior) -> bool {
+    fn eval_cond(&mut self, owner: sfetch_cfg::BlockId, ctl: CondCtl) -> bool {
         let st = &mut self.cond_state[owner.index()];
-        let logical = match beh {
-            CondBehavior::Bernoulli { p_taken } => self.rng.random_bool(p_taken.clamp(0.0, 1.0)),
-            CondBehavior::Pattern(pat) => {
-                if pat.is_empty() {
+        let logical = match ctl {
+            // Probabilities are pre-clamped by the control table.
+            CondCtl::Bernoulli { p_taken } => self.rng.random::<f64>() < p_taken,
+            CondCtl::Pattern { off, len } => {
+                if len == 0 {
                     false
                 } else {
-                    let v = pat[st.pattern_idx as usize % pat.len()];
-                    st.pattern_idx = st.pattern_idx.wrapping_add(1);
+                    // Invariant: pattern_idx < len, so no per-instance modulo.
+                    let v = self.ctl.pattern_bits(off, len)[st.pattern_idx as usize];
+                    st.pattern_idx = if st.pattern_idx + 1 == len { 0 } else { st.pattern_idx + 1 };
                     v
                 }
             }
-            CondBehavior::Loop { trip } => {
+            CondCtl::Loop { trip } => {
                 let remaining = match st.loop_remaining {
                     Some(r) => r,
-                    None => sample_trip(&mut self.rng, *trip),
+                    None => sample_trip(&mut self.rng, trip),
                 };
                 if remaining > 1 {
                     st.loop_remaining = Some(remaining - 1);
@@ -115,28 +142,24 @@ impl<'a> Executor<'a> {
                     false
                 }
             }
-            CondBehavior::Correlated { dist, invert, noise } => {
-                let noisy = self.rng.random_bool(noise.clamp(0.0, 1.0));
-                let base = if noisy || (*dist as usize) > self.hist.len() {
+            CondCtl::Correlated { dist, invert, noise } => {
+                let noisy = self.rng.random::<f64>() < noise;
+                let base = if noisy || u32::from(dist) > self.hist_len {
                     self.rng.random_bool(0.5)
                 } else {
-                    self.hist[self.hist.len() - *dist as usize]
+                    self.hist >> (dist - 1) & 1 == 1
                 };
                 base ^ invert
             }
         };
-        if self.hist.len() == HIST_LEN {
-            self.hist.pop_front();
-        }
-        self.hist.push_back(logical);
+        self.hist = self.hist << 1 | u16::from(logical);
+        self.hist_len = (self.hist_len + 1).min(HIST_LEN);
         logical
     }
 
-    fn pick_weighted<T: Copy>(&mut self, items: &[(T, u32)]) -> T {
-        let total: u64 = items.iter().map(|&(_, w)| u64::from(w.max(1))).sum();
+    fn pick_weighted(&mut self, items: &[(Addr, u64)], total: u64) -> Addr {
         let mut r = self.rng.random_range(0..total.max(1));
         for &(item, w) in items {
-            let w = u64::from(w.max(1));
             if r < w {
                 return item;
             }
@@ -145,33 +168,29 @@ impl<'a> Executor<'a> {
         items.last().expect("non-empty weighted list").0
     }
 
-    fn pick_indirect<T: Copy>(
-        &mut self,
-        owner: sfetch_cfg::BlockId,
-        items: &[(T, u32)],
-        select: &IndirectSelect,
-    ) -> T {
-        match select {
-            IndirectSelect::Weighted => self.pick_weighted(items),
-            IndirectSelect::Cyclic(seq) => {
-                if seq.is_empty() {
-                    return self.pick_weighted(items);
-                }
-                let idx = &mut self.indirect_idx[owner.index()];
-                let slot = seq[*idx as usize % seq.len()] as usize % items.len();
-                *idx = idx.wrapping_add(1);
-                items[slot].0
-            }
+    fn pick_indirect(&mut self, owner: sfetch_cfg::BlockId, ic: IndirectCtl) -> Addr {
+        let cycle = self.ctl.cycle_of(ic);
+        let targets = self.ctl.targets_of(ic);
+        if cycle.is_empty() {
+            self.pick_weighted(targets, ic.total_weight)
+        } else {
+            // Invariant: indirect_idx < cycle.len(); cycle entries are
+            // pre-reduced to valid target slots by the control table.
+            let idx = &mut self.indirect_idx[owner.index()];
+            let slot = cycle[*idx as usize] as usize;
+            *idx = if *idx as usize + 1 == cycle.len() { 0 } else { *idx + 1 };
+            targets[slot].0
         }
     }
 
     /// Executes one instruction and advances the architectural state.
     fn step(&mut self) -> DynInst {
-        let slot = self
-            .image
-            .slot_of(self.pc)
-            .unwrap_or_else(|| panic!("executor left the image at {}", self.pc));
-        let ii = *self.image.inst(slot);
+        // Fast slot resolution: the committed path only ever produces
+        // in-image, instruction-aligned pcs, so the alignment check of the
+        // general `slot_of` lookup is unnecessary here.
+        let slot = self.pc.insts_since(self.base) as usize;
+        assert!(slot < self.n_slots, "executor left the image at {}", self.pc);
+        let ii = self.image.inst(slot);
         let pc = self.pc;
 
         let mem_addr = ii.inst.mem_pattern().map(|p| {
@@ -189,11 +208,8 @@ impl<'a> Executor<'a> {
                 match attr.kind {
                     BK::Jump => (true, attr.target.expect("jumps are direct")),
                     BK::Cond => {
-                        let beh = match self.cfg.block(owner).terminator() {
-                            Terminator::Cond { behavior, .. } => behavior.clone(),
-                            t => panic!("image cond branch at {pc} maps to {t:?}"),
-                        };
-                        let logical = self.eval_cond(owner, &beh);
+                        let ctl = self.ctl.cond_of(owner);
+                        let logical = self.eval_cond(owner, ctl);
                         let physical = logical ^ attr.flipped;
                         (physical, attr.target.expect("cond branches are direct"))
                     }
@@ -202,16 +218,10 @@ impl<'a> Executor<'a> {
                         (true, attr.target.expect("calls are direct"))
                     }
                     BK::IndirectCall => {
-                        let (callees, select) = match self.cfg.block(owner).terminator() {
-                            Terminator::IndirectCall { callees, select, .. } => {
-                                (callees.clone(), select.clone())
-                            }
-                            t => panic!("image indirect call at {pc} maps to {t:?}"),
-                        };
-                        let callee = self.pick_indirect(owner, &callees, &select);
+                        let ic = self.ctl.indirect_of(owner);
+                        let entry = self.pick_indirect(owner, ic);
                         self.call_stack.push(attr.fallthrough);
-                        let entry = self.cfg.func(callee).entry();
-                        (true, self.image.block_addr(entry))
+                        (true, entry)
                     }
                     BK::Return => {
                         // An empty stack means `main` returned; restart the
@@ -221,14 +231,8 @@ impl<'a> Executor<'a> {
                         (true, t)
                     }
                     BK::IndirectJump => {
-                        let (targets, select) = match self.cfg.block(owner).terminator() {
-                            Terminator::IndirectJump { targets, select } => {
-                                (targets.clone(), select.clone())
-                            }
-                            t => panic!("image indirect jump at {pc} maps to {t:?}"),
-                        };
-                        let tb = self.pick_indirect(owner, &targets, &select);
-                        (true, self.image.block_addr(tb))
+                        let ic = self.ctl.indirect_of(owner);
+                        (true, self.pick_indirect(owner, ic))
                     }
                 }
             };
@@ -276,7 +280,7 @@ mod tests {
     use super::*;
     use sfetch_cfg::builder::CfgBuilder;
     use sfetch_cfg::gen::{GenParams, ProgramGenerator};
-    use sfetch_cfg::{layout, CodeImage};
+    use sfetch_cfg::{layout, CodeImage, CondBehavior};
     use sfetch_isa::BranchKind;
 
     fn loop_cfg(trip: u32) -> Cfg {
@@ -317,6 +321,16 @@ mod tests {
         let img = CodeImage::build(&cfg, &lay);
         let a: Vec<_> = Executor::new(&cfg, &img, 11).take(5000).collect();
         let b: Vec<_> = Executor::new(&cfg, &img, 11).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_image_matches_new() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 3).generate();
+        let lay = layout::natural(&cfg);
+        let img = CodeImage::build(&cfg, &lay);
+        let a: Vec<_> = Executor::new(&cfg, &img, 11).take(5000).collect();
+        let b: Vec<_> = Executor::from_image(&img, 11).take(5000).collect();
         assert_eq!(a, b);
     }
 

@@ -101,7 +101,7 @@ mod tests {
         let p2 = profile_cfg(&cfg, &img, 200, 50_000);
         // Hot blocks under one seed are hot under the other.
         let mut hot1: Vec<_> = cfg.blocks().iter().map(|b| (p1.block_count(b.id()), b.id())).collect();
-        hot1.sort_by(|a, b| b.0.cmp(&a.0));
+        hot1.sort_by_key(|&(w, _)| std::cmp::Reverse(w));
         let top = &hot1[..hot1.len().min(5)];
         for &(w, b) in top {
             if w > 0 {

@@ -29,8 +29,10 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod par;
 pub mod suite;
 pub mod workload;
 
+pub use par::{default_jobs, par_map};
 pub use suite::{BenchSpec, Suite};
 pub use workload::{LayoutChoice, Workload};

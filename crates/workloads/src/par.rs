@@ -1,0 +1,99 @@
+//! Minimal scoped-thread parallel map, shared by `Suite` construction and
+//! the bench harness's simulation grid.
+//!
+//! `std::thread::scope` is all the machinery needed: work items are
+//! independent (each simulation point owns its `Processor`; each workload
+//! build owns its generator), so workers pull indices from one atomic
+//! counter and write results into per-slot cells. Results come back in input
+//! order regardless of completion order, which is what keeps parallel runs
+//! bit-identical to serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` with up to `jobs` worker threads, preserving input
+/// order in the result. `jobs <= 1` (or a single item) degrades to a plain
+/// serial loop on the calling thread with no thread or lock overhead.
+///
+/// `f` receives `(index, item)` so callers can report progress or look up
+/// per-item context.
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panicked (the panic is propagated once
+/// all workers have stopped).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed slot")
+        })
+        .collect()
+}
+
+/// The host's available parallelism (1 if it cannot be determined) — the
+/// default for `--jobs`.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 8, 200] {
+            let out = par_map(&items, jobs, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 8, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_stateful_work() {
+        // Each item derives its result only from its own index — the
+        // contract that makes grid simulation order-independent.
+        let items: Vec<u64> = (0..64).collect();
+        let serial = par_map(&items, 1, |_, &x| x.wrapping_mul(0x9e37).rotate_left(7));
+        let parallel = par_map(&items, 8, |_, &x| x.wrapping_mul(0x9e37).rotate_left(7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -156,14 +156,43 @@ pub struct Suite {
 }
 
 impl Suite {
-    /// Generates all eleven benchmarks (a few seconds of work).
+    /// Generates all eleven benchmarks, using every available core.
     pub fn build_all() -> Self {
-        Suite { workloads: all_specs().into_iter().map(build).collect() }
+        Self::build_all_jobs(crate::par::default_jobs())
+    }
+
+    /// Generates all eleven benchmarks with up to `jobs` worker threads.
+    /// Workload construction (program generation + train-seed profiling +
+    /// both layouts) is independent per benchmark, so it parallelizes
+    /// perfectly; the resulting suite is identical for any `jobs`.
+    pub fn build_all_jobs(jobs: usize) -> Self {
+        Suite { workloads: crate::par::par_map(&all_specs(), jobs, |_, s| build(s.clone())) }
+    }
+
+    /// Generates a named subset of the suite (suite order preserved), with
+    /// up to `jobs` worker threads. Used by the quicker ablation binaries
+    /// and by tests that don't need all eleven members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not a suite member.
+    pub fn build_subset(names: &[&str], jobs: usize) -> Self {
+        let specs: Vec<BenchSpec> = all_specs()
+            .into_iter()
+            .filter(|s| names.contains(&s.name))
+            .collect();
+        assert_eq!(specs.len(), names.len(), "unknown benchmark in {names:?}");
+        Suite { workloads: crate::par::par_map(&specs, jobs, |_, s| build(s.clone())) }
     }
 
     /// The workloads, in Fig. 9 order.
     pub fn workloads(&self) -> &[Workload] {
         &self.workloads
+    }
+
+    /// Consumes the suite, yielding the workloads.
+    pub fn into_workloads(self) -> Vec<Workload> {
+        self.workloads
     }
 
     /// Looks up one workload.

@@ -1,0 +1,53 @@
+//! Parallel simulation must be bit-identical to serial simulation: every
+//! grid point owns its `Processor` and derives only from its workload +
+//! configuration, so `--jobs N` may change scheduling but never results.
+
+use sfetch_bench::{run_grid, HarnessOpts, RunPoint};
+use sfetch_fetch::EngineKind;
+use sfetch_workloads::{LayoutChoice, Suite};
+
+fn grid(suite: &Suite, jobs: usize) -> Vec<RunPoint> {
+    let opts = HarnessOpts { insts: 10_000, warmup: 1_000, jobs };
+    run_grid(
+        suite,
+        &[4],
+        &[LayoutChoice::Base, LayoutChoice::Optimized],
+        &[EngineKind::Stream, EngineKind::Ftb],
+        opts,
+    )
+}
+
+#[test]
+fn run_grid_is_bit_identical_across_jobs() {
+    let suite = Suite::build_subset(&["gzip", "twolf"], 2);
+    let serial = grid(&suite, 1);
+    let parallel = grid(&suite, 8);
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(serial.len(), 2 * 2 * 2, "2 benches x 2 layouts x 2 engines");
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.bench, b.bench);
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.layout, b.layout);
+        assert_eq!(a.width, b.width);
+        assert_eq!(a.stats, b.stats, "{}/{}/{} diverged under --jobs 8", a.bench, a.engine, a.layout);
+    }
+}
+
+#[test]
+fn suite_construction_is_jobs_invariant() {
+    let a = Suite::build_subset(&["gzip"], 1);
+    let b = Suite::build_subset(&["gzip"], 4);
+    let (wa, wb) = (&a.workloads()[0], &b.workloads()[0]);
+    assert_eq!(wa.name(), wb.name());
+    assert_eq!(
+        wa.image(LayoutChoice::Optimized).len_insts(),
+        wb.image(LayoutChoice::Optimized).len_insts()
+    );
+    // Identical layouts imply identical block placement everywhere.
+    for blk in wa.cfg().blocks() {
+        assert_eq!(
+            wa.image(LayoutChoice::Optimized).block_addr(blk.id()),
+            wb.image(LayoutChoice::Optimized).block_addr(blk.id())
+        );
+    }
+}

@@ -103,7 +103,7 @@ proptest! {
         for (idx, tag, val) in ops {
             t.insert_lru(idx, tag, val);
             inserted.insert((idx % 8, tag), val);
-            if let Some(&got) = t.probe(idx, tag).as_deref() {
+            if let Some(&got) = t.probe(idx, tag) {
                 // A hit must return the *latest* value inserted under that
                 // (set, tag).
                 prop_assert_eq!(got, inserted[&(idx % 8, tag)]);
@@ -153,8 +153,8 @@ proptest! {
                 mispredicted: false,
             });
         }
-        for i in 0..n {
-            if let Some(pred) = p.predict(Addr::new(starts[i] * 4)) {
+        for start in starts.iter().take(n) {
+            if let Some(pred) = p.predict(Addr::new(start * 4)) {
                 prop_assert!(pred.len >= 1);
                 prop_assert!(pred.len <= p.config().max_len);
             }

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::throughput`], [`BenchmarkGroup::sample_size`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a straightforward
+//! wall-clock measurement loop instead of criterion's statistical machinery:
+//! one warmup iteration, then timed iterations until a time budget or the
+//! sample budget is exhausted, reporting mean and best ns/iter (and derived
+//! throughput when declared).
+//!
+//! Set `BENCH_TIME_MS` to change the per-benchmark time budget (default 300).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample budget groups start from (builder style, as
+    /// criterion's configuration API works).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n## {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _c: self, name, throughput: None, sample_size }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the maximum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its result line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), budget: time_budget(), max_samples: self.sample_size };
+        f(&mut b);
+        let (mean_ns, best_ns) = b.summarize();
+        let mut line = format!("{}/{:<32} mean {:>12}  best {:>12}", self.name, id, fmt_ns(mean_ns), fmt_ns(best_ns));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns * 1e-9);
+                line.push_str(&format!("  thrpt {:>10.2} Melem/s", per_sec / 1e6));
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns * 1e-9);
+                line.push_str(&format!("  thrpt {:>10.2} MiB/s", per_sec / (1024.0 * 1024.0)));
+            }
+            _ => {}
+        }
+        eprintln!("{line}");
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+fn time_budget() -> Duration {
+    let ms = std::env::var("BENCH_TIME_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// benchmarked routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup iteration.
+        std::hint::black_box(f());
+        let started = Instant::now();
+        let min_samples = 5usize;
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64() * 1e9);
+            let done = self.samples.len();
+            if done >= self.max_samples {
+                break;
+            }
+            if done >= min_samples && started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn summarize(&self) -> (f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let best = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        (mean, best)
+    }
+}
+
+/// Bundles benchmark functions into one callable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups. Accepts and ignores the
+/// harness arguments cargo passes (`--bench`, filters); skips the run when
+/// invoked as a test binary (`--test`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

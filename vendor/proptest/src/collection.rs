@@ -1,0 +1,29 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A vector strategy: each case draws a length in `len`, then generates that
+/// many elements.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = if self.len.is_empty() { 0 } else { rng.random_range(self.len.clone()) };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

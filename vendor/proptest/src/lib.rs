@@ -1,0 +1,222 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range and
+//! [`any`]`::<T>()` strategies, tuple strategies, [`collection::vec`], and
+//! the `prop_assert*` macros. Unsupported upstream features (shrinking,
+//! persistence, `prop_oneof`, mapped strategies) are intentionally absent.
+//!
+//! Cases are generated deterministically from the test function's name and
+//! the case index, so failures reproduce across runs without a persistence
+//! file. No shrinking is performed: a failing case reports the assertion it
+//! tripped (via plain `panic!`/`assert!`) with the generated inputs captured
+//! in the panic location's scope.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod prelude;
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Derives the deterministic RNG for `(test name, case index)`.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Property assertion; identical to `assert!` in this stand-in.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion; identical to `assert_eq!` in this stand-in.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Property inequality assertion; identical to `assert_ne!` in this stand-in.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests. Each `arg in strategy` binding is generated per
+/// case; the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); ) => {};
+    (@impl ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_case_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_case_rng);)*
+                $body
+            }
+        }
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vectors_generate_in_bounds(
+            x in 3u64..17,
+            flip in any::<bool>(),
+            v in prop::collection::vec((0u32..4, 1u64..9), 2..6),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!((1..9).contains(&b), "b out of range: {b}");
+            }
+            let _ = flip;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5).map(|c| (3u64..1000).generate(&mut crate::case_rng("t", c))).collect();
+        let b: Vec<u64> = (0..5).map(|c| (3u64..1000).generate(&mut crate::case_rng("t", c))).collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "distinct cases should differ");
+    }
+}

@@ -1,0 +1,4 @@
+//! The things property tests import with `use proptest::prelude::*`.
+
+pub use crate as prop;
+pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy};
