@@ -1,4 +1,5 @@
-//! Ablation C: selective trace storage on/off ([29], used in §4.1).
+//! Ablation C: selective trace storage on/off (the paper's ref. \[29\],
+//! used in §4.1).
 //!
 //! With STS, sequential ("blue") traces are not stored in the trace cache —
 //! the wide-line I-cache serves them just as fast — leaving capacity for

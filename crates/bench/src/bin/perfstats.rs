@@ -3,49 +3,106 @@
 //! Measures, for each fetch engine, the wall-clock cost of simulating the
 //! ablation subset (8-wide, optimized layout) and reports simulated MIPS
 //! (millions of committed instructions per wall second, summed over the
-//! points in flight), plus the raw architectural executor's throughput in
-//! ns per committed instruction. Results go to stdout and to
-//! `BENCH_1.json` in the current directory, seeding the repository's
-//! performance trajectory; see README.md for the schema.
+//! points in flight) and ns per simulated cycle, plus the raw
+//! architectural executor's throughput in ns per committed instruction.
+//! A large-ROB A/B point (1024 entries, where the legacy per-cycle ROB
+//! scan is quadratic in flight-depth) measures the event-driven
+//! scheduler's speedup against `--legacy-scan`. Results go to stdout and
+//! to `BENCH_2.json` in the current directory, extending the repository's
+//! performance trajectory (`BENCH_1.json` was the scan-based baseline);
+//! see README.md for the `sfetch-perfstats-v2` schema.
 //!
 //! ```text
-//! cargo run --release -p sfetch-bench --bin perfstats [-- --inst N --warmup N --jobs N]
+//! cargo run --release -p sfetch-bench --bin perfstats \
+//!     [-- --inst N --warmup N --jobs N --legacy-scan]
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use sfetch_bench::{ablation_workloads, run_point, timed, HarnessOpts};
+use sfetch_bench::{ablation_workloads, timed, HarnessOpts};
+use sfetch_core::{Processor, ProcessorConfig};
 use sfetch_fetch::EngineKind;
 use sfetch_trace::Executor;
 use sfetch_workloads::{par_map, LayoutChoice, Workload};
+
+/// ROB capacity of the large-flight-depth A/B point.
+const LARGE_ROB: usize = 1024;
 
 struct EngineRow {
     engine: String,
     points: usize,
     simulated_insts: u64,
+    sim_cycles: u64,
     wall_s: f64,
     mips: f64,
+    ns_per_cycle: f64,
 }
 
-fn measure_engine(
-    workloads: &[Workload],
+/// One timed simulation leg: wall seconds and cycles of the measured
+/// window (warmup excluded from both, so `ns_per_cycle` is exact).
+struct TimedLeg {
+    wall_s: f64,
+    cycles: u64,
+    committed: u64,
+}
+
+impl TimedLeg {
+    fn ns_per_cycle(&self) -> f64 {
+        self.wall_s * 1e9 / self.cycles as f64
+    }
+
+    fn mips(&self) -> f64 {
+        self.committed as f64 / self.wall_s / 1e6
+    }
+}
+
+/// Warms up a fresh processor, then times exactly the measured window.
+fn timed_run(
+    w: &Workload,
     kind: EngineKind,
-    opts: HarnessOpts,
-) -> EngineRow {
+    mut pc: ProcessorConfig,
+    legacy_scan: bool,
+    warmup: u64,
+    insts: u64,
+) -> (sfetch_core::SimStats, TimedLeg) {
+    pc.legacy_scan = legacy_scan;
+    let image = w.image(LayoutChoice::Optimized);
+    let engine = kind.build(pc.width, image.entry());
+    let mut p = Processor::new(pc, engine, w.cfg(), image, w.ref_seed());
+    p.run(warmup);
+    p.reset_stats();
+    let t0 = Instant::now();
+    p.run(insts);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = p.stats();
+    (stats, TimedLeg { wall_s, cycles: stats.cycles, committed: stats.committed })
+}
+
+fn measure_engine(workloads: &[Workload], kind: EngineKind, opts: HarnessOpts) -> EngineRow {
     let (points, wall_s) = timed(|| {
         par_map(workloads, opts.jobs, |_, w| {
-            run_point(w, kind, LayoutChoice::Optimized, 8, opts)
+            timed_run(
+                w,
+                kind,
+                ProcessorConfig::table2(8),
+                opts.legacy_scan,
+                opts.warmup,
+                opts.insts,
+            )
         })
     });
-    let simulated_insts: u64 =
-        points.iter().map(|p| p.stats.committed + opts.warmup).sum();
+    let simulated_insts: u64 = points.iter().map(|(s, _)| s.committed + opts.warmup).sum();
+    let sim_cycles: u64 = points.iter().map(|(_, l)| l.cycles).sum();
+    let measured_wall: f64 = points.iter().map(|(_, l)| l.wall_s).sum();
     EngineRow {
         engine: kind.to_string(),
         points: points.len(),
         simulated_insts,
+        sim_cycles,
         wall_s,
         mips: simulated_insts as f64 / wall_s / 1e6,
+        ns_per_cycle: measured_wall * 1e9 / sim_cycles as f64,
     }
 }
 
@@ -63,9 +120,40 @@ fn measure_executor(workloads: &[Workload], insts: u64) -> f64 {
     t0.elapsed().as_secs_f64() * 1e9 / insts as f64
 }
 
+/// The large-flight-depth A/B point: one benchmark, 8-wide, 1024-entry
+/// ROB, event-driven vs legacy scan. The two legs retire bit-identical
+/// windows (asserted), so the wall-clock ratio is a pure scheduler
+/// speedup. Each leg is best-of-3 (the window is short enough that a
+/// single run is at the mercy of scheduler noise).
+fn measure_large_rob(w: &Workload, opts: HarnessOpts) -> (TimedLeg, TimedLeg) {
+    let mut pc = ProcessorConfig::table2(8);
+    pc.rob_entries = LARGE_ROB;
+    let mut best: [Option<(sfetch_core::SimStats, TimedLeg)>; 2] = [None, None];
+    for _rep in 0..3 {
+        for (slot, legacy) in [(0, false), (1, true)] {
+            let (stats, leg) = timed_run(w, EngineKind::Stream, pc, legacy, opts.warmup, opts.insts);
+            match &best[slot] {
+                Some((prev_stats, prev)) => {
+                    assert_eq!(&stats, prev_stats, "repeat runs must be deterministic");
+                    if leg.wall_s < prev.wall_s {
+                        best[slot] = Some((stats, leg));
+                    }
+                }
+                None => best[slot] = Some((stats, leg)),
+            }
+        }
+    }
+    let [ev, sc] = best;
+    let (ev_stats, event) = ev.expect("ran");
+    let (sc_stats, scan) = sc.expect("ran");
+    assert_eq!(ev_stats, sc_stats, "back-ends diverged — the A/B ratio would be meaningless");
+    (event, scan)
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
-    eprintln!("generating ablation subset ({} jobs)…", opts.jobs);
+    let backend = if opts.legacy_scan { "legacy-scan" } else { "event" };
+    eprintln!("generating ablation subset ({} jobs, {backend} back-end)…", opts.jobs);
     let (workloads, build_s) = timed(|| ablation_workloads(opts));
 
     let exec_insts = (opts.insts * 4).max(1_000_000);
@@ -76,56 +164,99 @@ fn main() {
     );
 
     println!(
-        "\n{:<18} {:>7} {:>12} {:>9} {:>9}",
-        "engine", "points", "sim insts", "wall (s)", "MIPS"
+        "\n{:<18} {:>7} {:>12} {:>9} {:>9} {:>9}",
+        "engine", "points", "sim insts", "wall (s)", "MIPS", "ns/cyc"
     );
     let mut rows = Vec::new();
     let t0 = Instant::now();
     for kind in EngineKind::ALL {
         let row = measure_engine(&workloads, kind, opts);
         println!(
-            "{:<18} {:>7} {:>12} {:>9.2} {:>9.2}",
-            row.engine, row.points, row.simulated_insts, row.wall_s, row.mips
+            "{:<18} {:>7} {:>12} {:>9.2} {:>9.2} {:>9.2}",
+            row.engine, row.points, row.simulated_insts, row.wall_s, row.mips, row.ns_per_cycle
         );
         rows.push(row);
     }
+
+    // gzip keeps the deepest average flight depth of the ablation subset,
+    // so it is where the scan's O(rob)-per-cycle cost shows clearest.
+    let large_w = &workloads[0];
+    let (event, scan) = measure_large_rob(large_w, opts);
+    let speedup = scan.ns_per_cycle() / event.ns_per_cycle();
+    println!(
+        "\nlarge-ROB point (rob_entries = {LARGE_ROB}, Streams/{}, 8-wide):\n  \
+         event-driven {:.2} ns/cyc, legacy scan {:.2} ns/cyc → {speedup:.2}× speedup",
+        large_w.name(),
+        event.ns_per_cycle(),
+        scan.ns_per_cycle()
+    );
     let total_wall_s = t0.elapsed().as_secs_f64();
     println!("\ntotal: {total_wall_s:.2}s simulation wall clock, {build_s:.2}s suite construction");
 
-    let json = render_json(&opts, build_s, executor_ns_per_inst, &rows, total_wall_s);
-    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
-    println!("wrote BENCH_1.json");
+    let json = render_json(
+        &opts,
+        backend,
+        build_s,
+        executor_ns_per_inst,
+        &rows,
+        (large_w.name(), &event, &scan, speedup),
+        total_wall_s,
+    );
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("wrote BENCH_2.json");
 }
 
 fn render_json(
     opts: &HarnessOpts,
+    backend: &str,
     build_s: f64,
     executor_ns_per_inst: f64,
     rows: &[EngineRow],
+    large_rob: (&str, &TimedLeg, &TimedLeg, f64),
     total_wall_s: f64,
 ) -> String {
+    let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v2\",");
+    let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
     let _ = writeln!(s, "  \"jobs\": {},", opts.jobs);
+    let _ = writeln!(s, "  \"rob_entries\": {},", ProcessorConfig::table2(8).rob_entries);
     let _ = writeln!(s, "  \"suite_build_s\": {build_s:.3},");
     let _ = writeln!(s, "  \"executor_ns_per_inst\": {executor_ns_per_inst:.2},");
     s.push_str("  \"engines\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"engine\": \"{}\", \"points\": {}, \"simulated_insts\": {}, \"wall_s\": {:.3}, \"mips\": {:.3}}}{}",
+            "    {{\"engine\": \"{}\", \"points\": {}, \"simulated_insts\": {}, \"sim_cycles\": {}, \"wall_s\": {:.3}, \"mips\": {:.3}, \"ns_per_cycle\": {:.2}}}{}",
             r.engine,
             r.points,
             r.simulated_insts,
+            r.sim_cycles,
             r.wall_s,
             r.mips,
+            r.ns_per_cycle,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
     s.push_str("  ],\n");
+    s.push_str("  \"large_rob\": {\n");
+    let _ = writeln!(s, "    \"bench\": \"{bench}\", \"engine\": \"Streams\", \"width\": 8,");
+    let _ = writeln!(s, "    \"rob_entries\": {LARGE_ROB}, \"insts\": {},", opts.insts);
+    for (name, leg) in [("event", event), ("legacy_scan", scan)] {
+        let _ = writeln!(
+            s,
+            "    \"{name}\": {{\"wall_s\": {:.3}, \"cycles\": {}, \"ns_per_cycle\": {:.2}, \"mips\": {:.3}}},",
+            leg.wall_s,
+            leg.cycles,
+            leg.ns_per_cycle(),
+            leg.mips()
+        );
+    }
+    let _ = writeln!(s, "    \"speedup\": {speedup:.2}");
+    s.push_str("  },\n");
     let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");
     s.push_str("}\n");
     s

@@ -24,6 +24,9 @@
 //! `Processor` and derives only from its workload + configuration, so
 //! parallel runs are bit-identical to serial ones.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::time::Instant;
 
 use sfetch_core::{metrics::harmonic_mean, simulate, Processor, ProcessorConfig, SimStats};
@@ -44,17 +47,26 @@ pub struct HarnessOpts {
     pub warmup: u64,
     /// Maximum simulation worker threads.
     pub jobs: usize,
+    /// Simulate with the legacy per-cycle ROB scan instead of the
+    /// event-driven scheduler (differential testing / A-B measurement;
+    /// results are bit-identical, only host throughput differs).
+    pub legacy_scan: bool,
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        HarnessOpts { insts: 1_000_000, warmup: 200_000, jobs: sfetch_workloads::default_jobs() }
+        HarnessOpts {
+            insts: 1_000_000,
+            warmup: 200_000,
+            jobs: sfetch_workloads::default_jobs(),
+            legacy_scan: false,
+        }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--inst N`, `--warmup N` and `--jobs N` from the process
-    /// arguments.
+    /// Parses `--inst N`, `--warmup N`, `--jobs N` and `--legacy-scan`
+    /// from the process arguments.
     ///
     /// # Panics
     ///
@@ -87,8 +99,14 @@ impl HarnessOpts {
                         .expect("--jobs requires a number >= 1");
                     i += 2;
                 }
+                "--legacy-scan" => {
+                    o.legacy_scan = true;
+                    i += 1;
+                }
                 other => {
-                    panic!("unknown argument {other}; supported: --inst N, --warmup N, --jobs N")
+                    panic!(
+                        "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, --legacy-scan"
+                    )
                 }
             }
         }
@@ -120,15 +138,9 @@ pub fn run_point(
     opts: HarnessOpts,
 ) -> RunPoint {
     let image = w.image(layout);
-    let stats = simulate(
-        w.cfg(),
-        image,
-        engine,
-        ProcessorConfig::table2(width),
-        w.ref_seed(),
-        opts.warmup,
-        opts.insts,
-    );
+    let mut pc = ProcessorConfig::table2(width);
+    pc.legacy_scan = opts.legacy_scan;
+    let stats = simulate(w.cfg(), image, engine, pc, w.ref_seed(), opts.warmup, opts.insts);
     RunPoint { bench: w.name(), engine, layout, width, stats }
 }
 
@@ -144,14 +156,9 @@ pub fn run_custom(
     opts: HarnessOpts,
 ) -> SimStats {
     let image = w.image(layout);
-    let mut p = Processor::with_memory(
-        ProcessorConfig::table2(width),
-        memcfg,
-        engine,
-        w.cfg(),
-        image,
-        w.ref_seed(),
-    );
+    let mut pc = ProcessorConfig::table2(width);
+    pc.legacy_scan = opts.legacy_scan;
+    let mut p = Processor::with_memory(pc, memcfg, engine, w.cfg(), image, w.ref_seed());
     p.run(opts.warmup);
     p.reset_stats();
     p.run(opts.insts);

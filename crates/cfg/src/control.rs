@@ -2,7 +2,7 @@
 //!
 //! The architectural executor resolves every dynamic control transfer by
 //! asking "what does the owner block's terminator do?". Matching on
-//! [`Terminator`](crate::Terminator) per instruction forces a heap clone of
+//! [`Terminator`] per instruction forces a heap clone of
 //! the behaviour payloads (`Pattern` vectors, weighted callee/target lists,
 //! cyclic selection sequences) on *every dynamic branch instance* — the
 //! dominant allocation source in the simulator's hot loop.

@@ -15,6 +15,12 @@ pub struct ProcessorConfig {
     /// Cycles of no forward progress before the watchdog force-resyncs the
     /// front-end (safety net; ~never fires in practice).
     pub watchdog_cycles: u64,
+    /// Use the legacy O(rob)-per-cycle issue scan instead of the
+    /// event-driven scheduler. The two back-ends retire the bit-identical
+    /// instruction/cycle sequence (asserted by the differential tests);
+    /// the scan exists only as the oracle for that comparison and for
+    /// measuring the scheduler's speedup (`perfstats --legacy-scan`).
+    pub legacy_scan: bool,
 }
 
 impl ProcessorConfig {
@@ -32,6 +38,7 @@ impl ProcessorConfig {
             rob_entries: (32 * width).max(64),
             decode_redirect_lat: 3,
             watchdog_cycles: 10_000,
+            legacy_scan: false,
         }
     }
 

@@ -18,7 +18,11 @@
 //!   pipe width, distance-coded register dependencies, execution latencies
 //!   and a full L1D/L2/memory hierarchy; branches resolve at execute and
 //!   misfetches at decode, so the misprediction penalty emerges from the
-//!   16-stage pipeline of Table 2.
+//!   16-stage pipeline of Table 2. Issue is driven by the event-driven
+//!   [`scheduler::EventScheduler`] (completion wheel + ready queue), which
+//!   touches each ROB entry O(1) times between dispatch and retire; the
+//!   original per-cycle ROB scan survives behind
+//!   [`ProcessorConfig::legacy_scan`] as a differential-testing oracle.
 //!
 //! The one-call entry point is [`sim::simulate`]:
 //!
@@ -42,9 +46,11 @@
 pub mod config;
 pub mod metrics;
 pub mod processor;
+pub mod scheduler;
 pub mod sim;
 
 pub use config::ProcessorConfig;
 pub use metrics::SimStats;
 pub use processor::Processor;
+pub use scheduler::EventScheduler;
 pub use sim::simulate;

@@ -14,9 +14,18 @@ use sfetch_trace::{DynInst, Executor};
 
 use crate::config::ProcessorConfig;
 use crate::metrics::SimStats;
+use crate::scheduler::{EventScheduler, Seq};
 
 /// Completion-time ring size (must exceed any ROB + dependence distance).
 const COMPLETION_RING: usize = 4096;
+
+/// Completion-wheel horizon in cycles. Must merely be ≥ 2: wakes farther
+/// out than the horizon are clamped and re-parked when they fire early
+/// (see [`EventScheduler::park`]), so the value only trades memory for
+/// re-park frequency. 512 covers the deepest Table 2 event (a full
+/// L1→L2→memory miss of 116 cycles, or the front-pipeline latency) with
+/// no re-parks.
+const WHEEL_HORIZON: usize = 512;
 
 /// One reorder-buffer entry.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +43,9 @@ struct RobEntry {
     ready_at: u64,
     issued: bool,
     done_at: u64,
+    /// Some later entry is registered in this entry's waiter list
+    /// (event-driven back-end only): issue must drain and re-park them.
+    has_waiters: bool,
 }
 
 /// The in-flight recovery for the oldest divergence.
@@ -64,9 +76,32 @@ pub struct Processor<'a> {
     last_progress: u64,
     last_cp: Checkpoint,
     completion: Vec<u64>,
+    sched: EventScheduler,
+    /// Position keys for O(1) seq → ROB-index resolution: `pos_key[seq %
+    /// ring] - total_pops` is the entry's current index from the ROB
+    /// front (commits shift every index by one; squashes pop from the
+    /// back and shift nothing). A token is live iff the index is in
+    /// bounds and the entry there carries the same seq.
+    pos_key: Vec<u64>,
+    /// Lifetime count of ROB front pops (commits).
+    total_pops: u64,
+    /// Scratch for draining wheel slots and waiter lists (capacity reused
+    /// across cycles).
+    wake_buf: Vec<Seq>,
     fetch_buf: Vec<FetchedInst>,
     stats: SimStats,
     engine_baseline: FetchEngineStats,
+}
+
+/// The obstacle currently blocking an unissued ROB entry from issue.
+enum Block {
+    /// All obstacles cleared: eligible now.
+    None,
+    /// Blocked on a producer that has not issued (completion unknown).
+    OnProducer(Seq),
+    /// Blocked until a known future cycle (producer completion or
+    /// front-pipeline arrival).
+    AtCycle(u64),
 }
 
 impl<'a> Processor<'a> {
@@ -100,6 +135,14 @@ impl<'a> Processor<'a> {
             image.control().num_blocks(),
             "image was not built from this cfg"
         );
+        // The completion ring is indexed by sequence number; it must not
+        // alias across the largest seq span simultaneously in flight
+        // (ROB + squash gaps + the 255-max dependence distance).
+        assert!(
+            config.rob_entries * 2 + 512 <= COMPLETION_RING,
+            "rob_entries {} too large for the completion ring",
+            config.rob_entries
+        );
         Processor {
             config,
             engine,
@@ -116,6 +159,10 @@ impl<'a> Processor<'a> {
             last_progress: 0,
             last_cp: Checkpoint::default(),
             completion: vec![u64::MAX; COMPLETION_RING],
+            sched: EventScheduler::new(WHEEL_HORIZON, COMPLETION_RING),
+            pos_key: vec![u64::MAX; COMPLETION_RING],
+            total_pops: 0,
+            wake_buf: Vec::with_capacity(32),
             fetch_buf: Vec::with_capacity(16),
             stats: SimStats::default(),
             engine_baseline: FetchEngineStats::default(),
@@ -168,7 +215,11 @@ impl<'a> Processor<'a> {
     /// Advances the simulation by one clock cycle.
     pub fn cycle(&mut self) {
         self.commit_stage();
-        self.execute_stage();
+        if self.config.legacy_scan {
+            self.execute_stage_scan();
+        } else {
+            self.execute_stage_event();
+        }
         self.recovery_stage();
         self.fetch_stage();
         self.watchdog();
@@ -191,6 +242,7 @@ impl<'a> Processor<'a> {
                 break;
             }
             let e = self.rob.pop_front().expect("head exists");
+            self.total_pops += 1;
             let d = e.oracle.expect("checked above");
             let control = d.control.map(|c| CommittedControl {
                 kind: c.kind,
@@ -222,55 +274,139 @@ impl<'a> Processor<'a> {
         }
     }
 
-    fn execute_stage(&mut self) {
+    /// The legacy O(rob)-per-cycle issue stage: walk every in-flight entry
+    /// oldest-first and issue the first `width` eligible ones. Kept behind
+    /// [`ProcessorConfig::legacy_scan`] for differential testing against
+    /// the event-driven scheduler.
+    fn execute_stage_scan(&mut self) {
         let mut issued = 0;
         let width = self.config.width;
         let now = self.now;
-        // Collect issue candidates first to appease the borrow checker: the
-        // D-cache access needs &mut self.mem while iterating the ROB.
         for i in 0..self.rob.len() {
             if issued == width {
                 break;
             }
-            let e = self.rob[i];
-            if e.issued || e.ready_at > now {
-                continue;
-            }
-            if !self.deps_done(&e) {
-                continue;
-            }
-            let mut lat = u64::from(e.fi.inst.class().base_latency());
-            match e.fi.inst.class() {
-                InstClass::Load => {
-                    if let Some(addr) = e.oracle.and_then(|d| d.mem_addr) {
-                        lat = u64::from(self.mem.data_access(addr, false));
-                    }
+            {
+                let e = &self.rob[i];
+                if e.issued || e.ready_at > now {
+                    continue;
                 }
-                InstClass::Store => {
-                    if let Some(addr) = e.oracle.and_then(|d| d.mem_addr) {
-                        // Stores retire through a store buffer: access the
-                        // cache (for fills/stats) but complete in a cycle.
-                        let _ = self.mem.data_access(addr, true);
-                    }
-                }
-                _ => {}
-            }
-            let entry = &mut self.rob[i];
-            entry.issued = true;
-            entry.done_at = now + lat;
-            self.completion[(entry.seq % COMPLETION_RING as u64) as usize] = entry.done_at;
-            if entry.anchor {
-                if let Some(r) = self.recovery.as_mut() {
-                    if r.anchor_seq == entry.seq {
-                        r.resolve_at = Some(entry.done_at);
-                    }
+                if !self.deps_done(e) {
+                    continue;
                 }
             }
+            self.issue_entry(i);
             issued += 1;
         }
     }
 
-    fn deps_done(&self, e: &RobEntry) -> bool {
+    /// The event-driven issue stage: wake front-pipeline arrivals and this
+    /// cycle's completion-wheel slot, re-evaluate each woken entry's
+    /// obstacles, then issue up to `width` entries from the ready queue
+    /// oldest-first — the same set in the same order as the scan, at
+    /// O(width + events) per cycle.
+    fn execute_stage_event(&mut self) {
+        let now = self.now;
+        let width = self.config.width;
+        // Dispatches arrive in FIFO wake-cycle order: pop while due.
+        // Squashed tokens (no live ROB slot) are discarded on the way.
+        while let Some(seq) = self.sched.peek_arrival() {
+            match self.rob_index(seq) {
+                None => {
+                    self.sched.pop_arrival();
+                }
+                Some(i) => {
+                    if self.rob[i].ready_at > now {
+                        break;
+                    }
+                    self.sched.pop_arrival();
+                    self.classify(seq, i);
+                }
+            }
+        }
+        // Entries parked until a known completion cycle.
+        let mut due = std::mem::take(&mut self.wake_buf);
+        self.sched.drain_due(now, &mut due);
+        for &seq in &due {
+            if let Some(i) = self.rob_index(seq) {
+                self.classify(seq, i);
+            }
+        }
+        due.clear();
+        let mut issued = 0;
+        while issued < width {
+            let Some(seq) = self.sched.pop_ready() else { break };
+            // Validate the token: squashed entries' tokens no longer
+            // resolve to a live ROB slot and are dropped here.
+            let Some(i) = self.rob_index(seq) else { continue };
+            if self.rob[i].issued {
+                continue;
+            }
+            let done_at = self.issue_entry(i);
+            if self.rob[i].has_waiters {
+                // The producer's completion cycle is now known: park
+                // everyone who was waiting on it.
+                self.rob[i].has_waiters = false;
+                self.sched.take_waiters(seq, &mut due);
+                for &w in &due {
+                    self.sched.park(w, done_at, now);
+                }
+                due.clear();
+            }
+            issued += 1;
+        }
+        self.wake_buf = due;
+    }
+
+    /// Re-evaluates a woken live entry's obstacles: enter the ready
+    /// queue, or re-park on the next obstacle (producer issue / known
+    /// future cycle).
+    fn classify(&mut self, seq: Seq, i: usize) {
+        let e = &self.rob[i];
+        if e.issued {
+            return;
+        }
+        if e.ready_at > self.now {
+            // A beyond-horizon park fired early; re-park at arrival.
+            self.sched.park(seq, e.ready_at, self.now);
+            return;
+        }
+        match self.first_block(e) {
+            Block::None => self.sched.push_ready(seq),
+            Block::OnProducer(p) => {
+                // Flag the producer so its issue drains the waiter list;
+                // if it cannot be resolved (it should always be live when
+                // its completion is still unknown), retry next cycle
+                // rather than risk a lost wake.
+                match self.rob_index(p) {
+                    Some(pi) => {
+                        self.rob[pi].has_waiters = true;
+                        self.sched.wait_on(seq, p);
+                    }
+                    None => self.sched.park(seq, self.now + 1, self.now),
+                }
+            }
+            Block::AtCycle(t) => self.sched.park(seq, t, self.now),
+        }
+    }
+
+    /// Locates a sequence number in the ROB in O(1) via the position-key
+    /// ring; `None` means the entry committed or was squashed (sequence
+    /// numbers are never reused, so a stale token can only miss).
+    fn rob_index(&self, seq: Seq) -> Option<usize> {
+        let key = self.pos_key[(seq % COMPLETION_RING as u64) as usize];
+        let idx = key.wrapping_sub(self.total_pops) as usize;
+        if idx < self.rob.len() && self.rob[idx].seq == seq {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// The first obstacle blocking `e` from issue, mirroring [`Self::deps_done`]
+    /// exactly: a dependence on an unissued producer, a dependence on a
+    /// known future completion, or nothing.
+    fn first_block(&self, e: &RobEntry) -> Block {
         for dist in [e.fi.inst.dep1().get(), e.fi.inst.dep2().get()] {
             if dist == 0 {
                 continue;
@@ -281,11 +417,65 @@ impl<'a> Processor<'a> {
             }
             let producer = e.seq - dist;
             let done = self.completion[(producer % COMPLETION_RING as u64) as usize];
+            if done == u64::MAX {
+                return Block::OnProducer(producer);
+            }
             if done > self.now {
-                return false;
+                return Block::AtCycle(done);
             }
         }
-        true
+        Block::None
+    }
+
+    /// Issues the ROB entry at index `i`: computes its execution latency
+    /// (loads pay the D-cache access; stores access the cache but retire
+    /// through a store buffer), stamps the completion ring, and arms the
+    /// pending recovery if this is its anchor. Returns the completion
+    /// cycle. Shared verbatim by both issue stages so their memory-system
+    /// side effects are identical.
+    fn issue_entry(&mut self, i: usize) -> u64 {
+        let (class, mem_addr) = {
+            let e = &self.rob[i];
+            (e.fi.inst.class(), e.oracle.and_then(|d| d.mem_addr))
+        };
+        let now = self.now;
+        let mut lat = u64::from(class.base_latency());
+        match class {
+            InstClass::Load => {
+                if let Some(addr) = mem_addr {
+                    lat = u64::from(self.mem.data_access(addr, false));
+                }
+            }
+            InstClass::Store => {
+                if let Some(addr) = mem_addr {
+                    // Stores retire through a store buffer: access the
+                    // cache (for fills/stats) but complete in a cycle.
+                    let _ = self.mem.data_access(addr, true);
+                }
+            }
+            _ => {}
+        }
+        let entry = &mut self.rob[i];
+        entry.issued = true;
+        entry.done_at = now + lat;
+        self.completion[(entry.seq % COMPLETION_RING as u64) as usize] = entry.done_at;
+        if entry.anchor {
+            if let Some(r) = self.recovery.as_mut() {
+                if r.anchor_seq == entry.seq {
+                    r.resolve_at = Some(entry.done_at);
+                }
+            }
+        }
+        entry.done_at
+    }
+
+    /// Whether all of `e`'s producers have completed. Defined in terms of
+    /// [`Self::first_block`] so the legacy scan and the event scheduler
+    /// share one dependence-check implementation — their bit-identical
+    /// guarantee is structural, not by convention (an unissued producer's
+    /// `u64::MAX` completion is "not done" either way).
+    fn deps_done(&self, e: &RobEntry) -> bool {
+        matches!(self.first_block(e), Block::None)
     }
 
     fn recovery_stage(&mut self) {
@@ -420,16 +610,25 @@ impl<'a> Processor<'a> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.completion[(seq % COMPLETION_RING as u64) as usize] = u64::MAX;
+        self.pos_key[(seq % COMPLETION_RING as u64) as usize] =
+            self.rob.len() as u64 + self.total_pops;
+        let ready_at = self.now + u64::from(self.config.front_latency());
         self.rob.push_back(RobEntry {
             seq,
             fi,
             oracle,
             anchor,
             misfetch,
-            ready_at: self.now + u64::from(self.config.front_latency()),
+            ready_at,
             issued: false,
             done_at: u64::MAX,
+            has_waiters: false,
         });
+        if !self.config.legacy_scan {
+            // Dispatch event: the entry sleeps until it clears the front
+            // pipeline, then re-evaluates its dependence obstacles.
+            self.sched.push_arrival(seq);
+        }
     }
 
     fn peek_oracle(&mut self) -> DynInst {

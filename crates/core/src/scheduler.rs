@@ -1,0 +1,219 @@
+//! Event-driven issue scheduler: a completion wheel plus a ready queue.
+//!
+//! The scan-based back-end touched every in-flight ROB entry once per
+//! cycle looking for issue candidates — O(rob) per cycle, quadratic in
+//! flight-depth for back-end-bound windows where the ROB sits full. The
+//! event-driven scheduler touches each entry O(1) times between dispatch
+//! and retire instead:
+//!
+//! * **arrival queue** — dispatches enter the back-end a constant
+//!   `front_latency` after fetch, so their wake cycles are already in
+//!   FIFO order: a plain `VecDeque` popped while the head's `ready_at`
+//!   has arrived. This keeps the overwhelmingly common wake (an entry
+//!   clearing the front pipeline) a pointer increment instead of a
+//!   wheel-slot access.
+//! * **completion wheel** — a `Vec<Vec<Seq>>` indexed by `cycle %
+//!   horizon`, holding entries blocked until a *known* future cycle (a
+//!   producer's completion). Each simulated cycle drains exactly one
+//!   slot.
+//! * **ready queue** — a min-heap on sequence number holding entries
+//!   whose obstacles have all cleared. The processor pops at most
+//!   `width` per cycle, oldest first — the same set, in the same order,
+//!   as the scan would have issued (the scan also walked oldest-first
+//!   and stopped at `width`).
+//! * **dependency waiters** — an entry blocked on a producer that has
+//!   not even issued yet (completion cycle unknown) registers in the
+//!   producer's waiter list; when the producer issues, its waiters are
+//!   parked in the wheel slot of its completion cycle. The processor
+//!   keeps a `has_waiters` flag on each ROB entry so issues that nobody
+//!   waits on (the common case) never touch the waiter ring.
+//!
+//! At any instant an unissued entry holds **at most one** pending token
+//! (arrival queue, one wheel slot, *or* one waiter registration); each
+//! wake re-examines all of its obstacles and either re-parks on the
+//! next one or enters the ready queue. Squashes do not eagerly unlink
+//! tokens: sequence numbers are never reused and every pop validates
+//! the token against the live ROB in O(1) — a squashed entry's token
+//! simply no longer resolves and is dropped (see
+//! [`Processor`](crate::Processor) for the validation). The
+//! differential tests in `crates/core/tests/event_scheduler.rs` and the
+//! squash proptest in `tests/tests/squash_scheduler.rs` pin this
+//! machinery cycle-for-cycle against the legacy scan.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Instruction sequence number (the ROB entry identity; never reused).
+pub type Seq = u64;
+
+/// The arrival-queue + wheel + ready-queue scheduler state.
+///
+/// The structure is deliberately free of per-cycle allocation on the
+/// steady path: wheel slots and waiter lists are drained with
+/// [`Vec::append`] so their capacity is retained across reuse, and the
+/// queues only grow to their high-water marks.
+#[derive(Debug)]
+pub struct EventScheduler {
+    /// Dispatched entries in FIFO (= wake-cycle) order, awaiting their
+    /// front-pipeline arrival.
+    arrivals: VecDeque<Seq>,
+    /// `wheel[cycle % horizon]` holds the entries to wake at `cycle`.
+    wheel: Vec<Vec<Seq>>,
+    /// Entries whose obstacles have cleared, ordered oldest-first.
+    ready: BinaryHeap<Reverse<Seq>>,
+    /// `waiters[producer % ring]`: consumers blocked on an unissued
+    /// producer's unknown completion cycle.
+    waiters: Vec<Vec<Seq>>,
+}
+
+impl EventScheduler {
+    /// Creates a scheduler with a wake horizon of `horizon` cycles and a
+    /// waiter ring of `ring` sequence numbers. `horizon` bounds how far
+    /// ahead a wake can be parked directly (farther wakes re-park when
+    /// they fire early); `ring` must exceed the largest sequence-number
+    /// span simultaneously in flight.
+    pub fn new(horizon: usize, ring: usize) -> Self {
+        assert!(horizon >= 2 && ring >= 2, "degenerate scheduler geometry");
+        EventScheduler {
+            arrivals: VecDeque::new(),
+            wheel: vec![Vec::new(); horizon],
+            ready: BinaryHeap::new(),
+            waiters: vec![Vec::new(); ring],
+        }
+    }
+
+    /// Enqueues a freshly dispatched `seq` awaiting front-pipeline
+    /// arrival. Dispatch latency is constant, so successive calls are
+    /// already in wake-cycle order.
+    pub fn push_arrival(&mut self, seq: Seq) {
+        self.arrivals.push_back(seq);
+    }
+
+    /// The oldest not-yet-arrived dispatch, if any.
+    pub fn peek_arrival(&self) -> Option<Seq> {
+        self.arrivals.front().copied()
+    }
+
+    /// Pops the oldest dispatch (the caller decided its wake cycle came,
+    /// or that the token is stale).
+    pub fn pop_arrival(&mut self) -> Option<Seq> {
+        self.arrivals.pop_front()
+    }
+
+    /// Parks `seq` to wake at cycle `at` (seen from cycle `now`).
+    ///
+    /// Wakes farther out than the horizon are clamped to the farthest
+    /// slot; the early wake re-examines its obstacle and re-parks, so
+    /// arbitrary latencies stay correct at a small constant cost.
+    pub fn park(&mut self, seq: Seq, at: u64, now: u64) {
+        debug_assert!(at > now, "wakes must be in the future (at={at}, now={now})");
+        let horizon = self.wheel.len() as u64;
+        let slot_cycle = if at - now >= horizon { now + horizon - 1 } else { at };
+        self.wheel[(slot_cycle % horizon) as usize].push(seq);
+    }
+
+    /// Drains the wheel slot for cycle `now` into `out` (appending).
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Seq>) {
+        let horizon = self.wheel.len() as u64;
+        let slot = &mut self.wheel[(now % horizon) as usize];
+        if !slot.is_empty() {
+            out.append(slot);
+        }
+    }
+
+    /// Registers `consumer` to be woken when `producer` issues.
+    pub fn wait_on(&mut self, consumer: Seq, producer: Seq) {
+        let ring = self.waiters.len() as u64;
+        self.waiters[(producer % ring) as usize].push(consumer);
+    }
+
+    /// Drains the consumers waiting on `producer` into `out` (appending).
+    /// Called when `producer` issues and its completion cycle becomes
+    /// known; the caller re-parks each waiter at that cycle.
+    pub fn take_waiters(&mut self, producer: Seq, out: &mut Vec<Seq>) {
+        let ring = self.waiters.len() as u64;
+        out.append(&mut self.waiters[(producer % ring) as usize]);
+    }
+
+    /// Enqueues `seq` as ready to issue.
+    pub fn push_ready(&mut self, seq: Seq) {
+        self.ready.push(Reverse(seq));
+    }
+
+    /// Pops the oldest ready entry, if any. The caller must validate the
+    /// token against the live ROB (it may have been squashed since).
+    pub fn pop_ready(&mut self) -> Option<Seq> {
+        self.ready.pop().map(|Reverse(s)| s)
+    }
+
+    /// Number of entries currently in the ready queue (including tokens
+    /// stale-ified by squashes that have not been popped yet).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_wakes_at_the_parked_cycle() {
+        let mut s = EventScheduler::new(8, 16);
+        s.park(1, 5, 0);
+        s.park(2, 5, 0);
+        s.park(3, 6, 0);
+        let mut out = Vec::new();
+        for now in 0..5 {
+            s.drain_due(now, &mut out);
+            assert!(out.is_empty(), "nothing due at {now}");
+        }
+        s.drain_due(5, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        out.clear();
+        s.drain_due(6, &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn beyond_horizon_wakes_clamp_to_farthest_slot() {
+        let mut s = EventScheduler::new(8, 16);
+        s.park(9, 1_000, 0); // far beyond the 8-cycle horizon
+        let mut out = Vec::new();
+        for now in 0..7 {
+            s.drain_due(now, &mut out);
+            assert!(out.is_empty(), "nothing due at {now}");
+        }
+        s.drain_due(7, &mut out); // now + horizon - 1
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn ready_queue_pops_oldest_first() {
+        let mut s = EventScheduler::new(4, 8);
+        s.push_ready(30);
+        s.push_ready(10);
+        s.push_ready(20);
+        assert_eq!(s.ready_len(), 3);
+        assert_eq!(s.pop_ready(), Some(10));
+        assert_eq!(s.pop_ready(), Some(20));
+        assert_eq!(s.pop_ready(), Some(30));
+        assert_eq!(s.pop_ready(), None);
+    }
+
+    #[test]
+    fn waiters_round_trip_through_the_ring() {
+        let mut s = EventScheduler::new(4, 8);
+        s.wait_on(5, 3);
+        s.wait_on(6, 3);
+        s.wait_on(7, 4);
+        let mut out = Vec::new();
+        s.take_waiters(3, &mut out);
+        assert_eq!(out, vec![5, 6]);
+        out.clear();
+        s.take_waiters(3, &mut out);
+        assert!(out.is_empty(), "waiters drain exactly once");
+        s.take_waiters(4, &mut out);
+        assert_eq!(out, vec![7]);
+    }
+}

@@ -5,7 +5,7 @@
 //! Traces are built by the commit-side fill unit: up to 16 instructions,
 //! at most 3 conditional branches, ending early at RAS-affecting or
 //! indirect control (calls/returns/indirect jumps). Selective trace
-//! storage ([29]: red/blue traces) skips traces with no *interior* taken
+//! storage (the paper's ref. \[29\]: red/blue traces) skips traces with no *interior* taken
 //! branch — the wide-line instruction cache supplies those equally well,
 //! so storing them would only waste trace-cache capacity.
 //!

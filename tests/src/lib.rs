@@ -1,5 +1,8 @@
 //! Shared helpers for the cross-crate integration test suite.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use sfetch_cfg::gen::{GenParams, ProgramGenerator};
 use sfetch_core::{simulate, ProcessorConfig, SimStats};
 use sfetch_fetch::EngineKind;
