@@ -7,10 +7,14 @@
 //! architectural executor's throughput in ns per committed instruction.
 //! A large-ROB A/B point (1024 entries, where the legacy per-cycle ROB
 //! scan is quadratic in flight-depth) measures the event-driven
-//! scheduler's speedup against `--legacy-scan`. Results go to stdout and
-//! to `BENCH_2.json` in the current directory, extending the repository's
-//! performance trajectory (`BENCH_1.json` was the scan-based baseline);
-//! see README.md for the `sfetch-perfstats-v2` schema.
+//! scheduler's speedup against `--legacy-scan`, and a per-engine
+//! prefetch A/B (each engine's natural policy vs the blocking L1i, on
+//! the `icache_walker` microbench — the suite's own benchmarks fit the
+//! L1i once warm) records how much fetch-stall time the non-blocking
+//! miss pipeline recovers. Results go to stdout and to `BENCH_3.json` in the
+//! current directory, extending the repository's performance trajectory
+//! (`BENCH_1.json`: scan-based baseline; `BENCH_2.json`: event-driven
+//! back-end); see README.md for the `sfetch-perfstats-v3` schema.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin perfstats \
@@ -21,7 +25,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sfetch_bench::{ablation_workloads, timed, HarnessOpts};
-use sfetch_core::{Processor, ProcessorConfig};
+use sfetch_core::{PrefetchConfig, Processor, ProcessorConfig};
 use sfetch_fetch::EngineKind;
 use sfetch_trace::Executor;
 use sfetch_workloads::{par_map, LayoutChoice, Workload};
@@ -68,7 +72,7 @@ fn timed_run(
 ) -> (sfetch_core::SimStats, TimedLeg) {
     pc.legacy_scan = legacy_scan;
     let image = w.image(LayoutChoice::Optimized);
-    let engine = kind.build(pc.width, image.entry());
+    let engine = kind.build_with_prefetch(pc.width, image.entry(), &pc.prefetch);
     let mut p = Processor::new(pc, engine, w.cfg(), image, w.ref_seed());
     p.run(warmup);
     p.reset_stats();
@@ -150,6 +154,45 @@ fn measure_large_rob(w: &Workload, opts: HarnessOpts) -> (TimedLeg, TimedLeg) {
     (event, scan)
 }
 
+/// One leg of the prefetch A/B: simulated (not wall-clock) quantities.
+struct PrefetchLeg {
+    cycles: u64,
+    ipc: f64,
+    stall_cycles: u64,
+    issued: u64,
+    useful: u64,
+    late: u64,
+    polluting: u64,
+}
+
+/// The A/B workload: the suite's benchmarks fit their hot code inside the
+/// 64KB L1i once warm, so the prefetch point runs the `icache_walker`
+/// microbench instead — ~92KB of cyclically-touched straight-line code,
+/// where every line misses every iteration under the blocking model.
+fn prefetch_ab_workload() -> Workload {
+    Workload::from_cfg("icache_walker", sfetch_workloads::microbench::icache_walker(64), 100, 7)
+}
+
+/// The per-engine prefetch A/B on one benchmark: the engine's natural
+/// policy (8 MSHRs) against the legacy blocking L1i. Simulated results
+/// are deterministic, so one run per leg suffices.
+fn measure_prefetch_ab(w: &Workload, kind: EngineKind, opts: HarnessOpts) -> [PrefetchLeg; 2] {
+    [PrefetchConfig::none(), PrefetchConfig::enabled(kind.natural_prefetch())].map(|pf| {
+        let mut pc = ProcessorConfig::table2(8);
+        pc.prefetch = pf;
+        let (stats, _) = timed_run(w, kind, pc, opts.legacy_scan, opts.warmup, opts.insts);
+        PrefetchLeg {
+            cycles: stats.cycles,
+            ipc: stats.ipc(),
+            stall_cycles: stats.engine.icache_stall_cycles,
+            issued: stats.prefetch.issued,
+            useful: stats.prefetch.useful,
+            late: stats.prefetch.late,
+            polluting: stats.prefetch.polluting,
+        }
+    })
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
     let backend = if opts.legacy_scan { "legacy-scan" } else { "event" };
@@ -190,6 +233,34 @@ fn main() {
         event.ns_per_cycle(),
         scan.ns_per_cycle()
     );
+    // Prefetch A/B: each engine's natural policy vs the blocking L1i.
+    let ab_w = prefetch_ab_workload();
+    println!("\nprefetch A/B ({}, 8-wide, natural policy per engine):", ab_w.name());
+    println!(
+        "{:<18} {:<12} {:>11} {:>11} {:>8} {:>8} {:>8}",
+        "engine", "policy", "stall off", "stall on", "Δstall", "ΔIPC", "useful"
+    );
+    let mut ab_rows = Vec::new();
+    for kind in EngineKind::ALL {
+        let [off, on] = measure_prefetch_ab(&ab_w, kind, opts);
+        let dstall = if off.stall_cycles == 0 {
+            0.0
+        } else {
+            100.0 * (on.stall_cycles as f64 / off.stall_cycles as f64 - 1.0)
+        };
+        println!(
+            "{:<18} {:<12} {:>11} {:>11} {:>7.1}% {:>7.2}% {:>8}",
+            kind.to_string(),
+            kind.natural_prefetch().to_string(),
+            off.stall_cycles,
+            on.stall_cycles,
+            dstall,
+            100.0 * (on.ipc / off.ipc - 1.0),
+            on.useful
+        );
+        ab_rows.push((kind, off, on));
+    }
+
     let total_wall_s = t0.elapsed().as_secs_f64();
     println!("\ntotal: {total_wall_s:.2}s simulation wall clock, {build_s:.2}s suite construction");
 
@@ -200,12 +271,14 @@ fn main() {
         executor_ns_per_inst,
         &rows,
         (large_w.name(), &event, &scan, speedup),
+        (ab_w.name(), &ab_rows),
         total_wall_s,
     );
-    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
-    println!("wrote BENCH_2.json");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("wrote BENCH_3.json");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     opts: &HarnessOpts,
     backend: &str,
@@ -213,12 +286,13 @@ fn render_json(
     executor_ns_per_inst: f64,
     rows: &[EngineRow],
     large_rob: (&str, &TimedLeg, &TimedLeg, f64),
+    prefetch_ab: (&str, &[(EngineKind, PrefetchLeg, PrefetchLeg)]),
     total_wall_s: f64,
 ) -> String {
     let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v2\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v3\",");
     let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
@@ -256,6 +330,34 @@ fn render_json(
         );
     }
     let _ = writeln!(s, "    \"speedup\": {speedup:.2}");
+    s.push_str("  },\n");
+    let (ab_bench, ab_rows) = prefetch_ab;
+    s.push_str("  \"prefetch_ab\": {\n");
+    let _ = writeln!(s, "    \"bench\": \"{ab_bench}\", \"width\": 8, \"mshrs\": 8,");
+    s.push_str("    \"engines\": [\n");
+    for (i, (kind, off, on)) in ab_rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{\"engine\": \"{kind}\", \"policy\": \"{}\",",
+            kind.natural_prefetch()
+        );
+        for (name, leg, comma) in [("off", off, ","), ("on", on, "}")] {
+            let _ = writeln!(
+                s,
+                "       \"{name}\": {{\"cycles\": {}, \"ipc\": {:.4}, \"fetch_stall_cycles\": {}, \
+                 \"issued\": {}, \"useful\": {}, \"late\": {}, \"polluting\": {}}}{comma}{}",
+                leg.cycles,
+                leg.ipc,
+                leg.stall_cycles,
+                leg.issued,
+                leg.useful,
+                leg.late,
+                leg.polluting,
+                if comma == "}" && i + 1 < ab_rows.len() { "," } else { "" }
+            );
+        }
+    }
+    s.push_str("    ]\n");
     s.push_str("  },\n");
     let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");
     s.push_str("}\n");

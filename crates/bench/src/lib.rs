@@ -29,7 +29,10 @@
 
 use std::time::Instant;
 
-use sfetch_core::{metrics::harmonic_mean, simulate, Processor, ProcessorConfig, SimStats};
+use sfetch_core::{
+    metrics::harmonic_mean, simulate, PrefetchConfig, PrefetchKind, Processor, ProcessorConfig,
+    SimStats,
+};
 use sfetch_fetch::{EngineKind, FetchEngine};
 use sfetch_mem::MemoryConfig;
 use sfetch_workloads::{par_map, LayoutChoice, Suite, Workload};
@@ -51,6 +54,12 @@ pub struct HarnessOpts {
     /// event-driven scheduler (differential testing / A-B measurement;
     /// results are bit-identical, only host throughput differs).
     pub legacy_scan: bool,
+    /// Instruction-prefetch configuration applied to every grid point
+    /// (default: disabled — the legacy blocking L1i). Honored by the
+    /// `run_point`-based grids and `ablation_prefetch`; the
+    /// custom-engine ablation sweeps (`run_custom`) ignore it, since
+    /// their hand-built engines carry no prefetcher.
+    pub prefetch: PrefetchConfig,
 }
 
 impl Default for HarnessOpts {
@@ -60,12 +69,14 @@ impl Default for HarnessOpts {
             warmup: 200_000,
             jobs: sfetch_workloads::default_jobs(),
             legacy_scan: false,
+            prefetch: PrefetchConfig::none(),
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--inst N`, `--warmup N`, `--jobs N` and `--legacy-scan`
+    /// Parses `--inst N`, `--warmup N`, `--jobs N`, `--legacy-scan`,
+    /// `--prefetch KIND` (`none|next-line|stream|mana`) and `--mshrs N`
     /// from the process arguments.
     ///
     /// # Panics
@@ -73,6 +84,8 @@ impl HarnessOpts {
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> Self {
         let mut o = Self::default();
+        let mut pf_kind = PrefetchKind::None;
+        let mut mshrs_override: Option<usize> = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -103,13 +116,39 @@ impl HarnessOpts {
                     o.legacy_scan = true;
                     i += 1;
                 }
+                "--prefetch" => {
+                    pf_kind = args
+                        .get(i + 1)
+                        .and_then(|v| PrefetchKind::parse(v))
+                        .expect("--prefetch requires one of: none, next-line, stream, mana");
+                    i += 2;
+                }
+                "--mshrs" => {
+                    mshrs_override = Some(
+                        args.get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .expect("--mshrs requires a number"),
+                    );
+                    i += 2;
+                }
                 other => {
                     panic!(
-                        "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, --legacy-scan"
+                        "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, \
+                         --legacy-scan, --prefetch none|next-line|stream|mana, --mshrs N"
                     )
                 }
             }
         }
+        // Combine after parsing so --prefetch / --mshrs are order-free.
+        o.prefetch = if pf_kind == PrefetchKind::None {
+            PrefetchConfig::none()
+        } else {
+            PrefetchConfig::enabled(pf_kind)
+        };
+        if let Some(m) = mshrs_override {
+            o.prefetch.mshrs = m;
+        }
+        o.prefetch.validate();
         o
     }
 }
@@ -140,6 +179,7 @@ pub fn run_point(
     let image = w.image(layout);
     let mut pc = ProcessorConfig::table2(width);
     pc.legacy_scan = opts.legacy_scan;
+    pc.prefetch = opts.prefetch;
     let stats = simulate(w.cfg(), image, engine, pc, w.ref_seed(), opts.warmup, opts.insts);
     RunPoint { bench: w.name(), engine, layout, width, stats }
 }
@@ -158,6 +198,11 @@ pub fn run_custom(
     let image = w.image(layout);
     let mut pc = ProcessorConfig::table2(width);
     pc.legacy_scan = opts.legacy_scan;
+    // `opts.prefetch` is deliberately NOT applied here: the caller built
+    // the engine without a prefetcher attached, so enabling the miss
+    // pipeline alone would change the timing model while the output
+    // still reads as a plain blocking-I-cache sweep. Prefetch studies go
+    // through `run_point`/`simulate` or the `ablation_prefetch` binary.
     let mut p = Processor::with_memory(pc, memcfg, engine, w.cfg(), image, w.ref_seed());
     p.run(opts.warmup);
     p.reset_stats();

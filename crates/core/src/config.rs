@@ -1,5 +1,7 @@
 //! Processor configuration (Table 2's "common settings").
 
+use sfetch_prefetch::PrefetchConfig;
+
 /// Back-end and pipeline parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcessorConfig {
@@ -21,6 +23,11 @@ pub struct ProcessorConfig {
     /// the scan exists only as the oracle for that comparison and for
     /// measuring the scheduler's speedup (`perfstats --legacy-scan`).
     pub legacy_scan: bool,
+    /// Instruction-prefetch subsystem: policy selection and L1i MSHR
+    /// count. The default ([`PrefetchConfig::none`]) keeps the legacy
+    /// blocking I-cache, bit-identical to the pre-prefetch simulator;
+    /// `mshrs > 0` enables the non-blocking miss pipeline.
+    pub prefetch: PrefetchConfig,
 }
 
 impl ProcessorConfig {
@@ -39,6 +46,7 @@ impl ProcessorConfig {
             decode_redirect_lat: 3,
             watchdog_cycles: 10_000,
             legacy_scan: false,
+            prefetch: PrefetchConfig::none(),
         }
     }
 

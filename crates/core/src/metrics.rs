@@ -1,7 +1,7 @@
 //! Simulation metrics — the quantities the paper reports.
 
 use sfetch_fetch::FetchEngineStats;
-use sfetch_mem::CacheStats;
+use sfetch_mem::{CacheStats, PrefetchStats};
 
 /// Aggregate statistics of one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -48,6 +48,8 @@ pub struct SimStats {
     pub l1d: CacheStats,
     /// Unified L2 statistics.
     pub l2: CacheStats,
+    /// Instruction-prefetch counters (all zero with the blocking L1i).
+    pub prefetch: PrefetchStats,
     /// Front-end storage cost in bits (Table 1's cost column).
     pub storage_bits: u64,
 }

@@ -89,6 +89,10 @@ pub struct Processor<'a> {
     /// across cycles).
     wake_buf: Vec<Seq>,
     fetch_buf: Vec<FetchedInst>,
+    /// This cycle's commit group, handed to the engine in one
+    /// `commit_block` call (one virtual dispatch per cycle, not per
+    /// instruction).
+    commit_buf: Vec<CommittedInst>,
     stats: SimStats,
     engine_baseline: FetchEngineStats,
 }
@@ -128,6 +132,7 @@ impl<'a> Processor<'a> {
         seed: u64,
     ) -> Self {
         assert_eq!(engine.width(), config.width, "engine width must match processor width");
+        config.prefetch.validate();
         // The oracle walks the image's interned control table; `cfg` is only
         // needed to validate that the image was actually built from it.
         assert_eq!(
@@ -143,10 +148,14 @@ impl<'a> Processor<'a> {
             "rob_entries {} too large for the completion ring",
             config.rob_entries
         );
+        let mut mem = MemoryHierarchy::new(memcfg);
+        if config.prefetch.pipelined() {
+            mem.enable_inst_pipeline(config.prefetch.mshrs);
+        }
         Processor {
             config,
             engine,
-            mem: MemoryHierarchy::new(memcfg),
+            mem,
             image,
             oracle: Executor::from_image(image, seed),
             pending_oracle: None,
@@ -164,6 +173,7 @@ impl<'a> Processor<'a> {
             total_pops: 0,
             wake_buf: Vec::with_capacity(32),
             fetch_buf: Vec::with_capacity(16),
+            commit_buf: Vec::with_capacity(config.width),
             stats: SimStats::default(),
             engine_baseline: FetchEngineStats::default(),
         }
@@ -203,6 +213,7 @@ impl<'a> Processor<'a> {
         s.l1i = self.mem.l1i_stats();
         s.l1d = self.mem.l1d_stats();
         s.l2 = self.mem.l2_stats();
+        s.prefetch = self.mem.prefetch_stats();
         s.storage_bits = self.engine.storage_bits();
         s
     }
@@ -230,6 +241,11 @@ impl<'a> Processor<'a> {
     // --- pipeline stages -------------------------------------------------
 
     fn commit_stage(&mut self) {
+        // Pops and statistics run per instruction; engine training is
+        // batched into one `commit_block` call per cycle. The pops never
+        // consult the engine, so the batched call sees the identical
+        // program-order sequence the per-instruction calls did.
+        self.commit_buf.clear();
         for _ in 0..self.config.width {
             let Some(head) = self.rob.front() else { break };
             if !(head.issued && head.done_at <= self.now) {
@@ -251,7 +267,7 @@ impl<'a> Processor<'a> {
                 next_pc: c.next_pc,
                 is_fixup: c.is_fixup,
             });
-            self.engine.commit(&CommittedInst {
+            self.commit_buf.push(CommittedInst {
                 pc: d.pc,
                 control,
                 mispredicted: e.anchor || e.misfetch,
@@ -271,6 +287,9 @@ impl<'a> Processor<'a> {
                 }
             }
             self.last_progress = self.now;
+        }
+        if !self.commit_buf.is_empty() {
+            self.engine.commit_block(&self.commit_buf);
         }
     }
 
@@ -683,6 +702,9 @@ fn diff_engine(cur: FetchEngineStats, base: FetchEngineStats) -> FetchEngineStat
         tc_hits: cur.tc_hits - base.tc_hits,
         tc_misses: cur.tc_misses - base.tc_misses,
         icache_stall_cycles: cur.icache_stall_cycles - base.icache_stall_cycles,
+        stall_l2_cycles: cur.stall_l2_cycles - base.stall_l2_cycles,
+        stall_mem_cycles: cur.stall_mem_cycles - base.stall_mem_cycles,
+        stall_mshr_cycles: cur.stall_mshr_cycles - base.stall_mshr_cycles,
     }
 }
 

@@ -24,6 +24,15 @@ pub struct FetchEngineStats {
     pub tc_misses: u64,
     /// Cycles spent stalled on I-cache misses.
     pub icache_stall_cycles: u64,
+    /// Demand-miss stall cycles served by the L2 (subset of
+    /// `icache_stall_cycles`).
+    pub stall_l2_cycles: u64,
+    /// Demand-miss stall cycles served by memory (subset of
+    /// `icache_stall_cycles`).
+    pub stall_mem_cycles: u64,
+    /// Cycles a demand miss could not start its fill for want of a free
+    /// MSHR (non-blocking miss pipeline only).
+    pub stall_mshr_cycles: u64,
 }
 
 impl FetchEngineStats {
@@ -72,6 +81,18 @@ pub trait FetchEngine {
     /// retired-history maintenance. Called in program order.
     fn commit(&mut self, ci: &CommittedInst);
 
+    /// Reports one commit group (all instructions retired in one cycle) in
+    /// program order. The processor's commit stage calls this once per
+    /// cycle instead of [`FetchEngine::commit`] once per instruction:
+    /// default trait methods are instantiated per engine type, so the
+    /// inner `commit` calls dispatch statically — one virtual call per
+    /// group instead of one per instruction on the commit hot path.
+    fn commit_block(&mut self, cis: &[CommittedInst]) {
+        for ci in cis {
+            self.commit(ci);
+        }
+    }
+
     /// Engine statistics.
     fn stats(&self) -> FetchEngineStats;
 
@@ -100,15 +121,45 @@ impl EngineKind {
         [EngineKind::Ev8, EngineKind::Ftb, EngineKind::Stream, EngineKind::TraceCache];
 
     /// Builds the engine with its Table 2 configuration for the given
-    /// pipeline width, starting fetch at `entry`.
+    /// pipeline width, starting fetch at `entry` (no prefetcher).
     pub fn build(self, width: usize, entry: Addr) -> Box<dyn FetchEngine> {
+        self.build_with_prefetch(width, entry, &sfetch_prefetch::PrefetchConfig::none())
+    }
+
+    /// Builds the engine with an I-cache prefetch configuration attached.
+    /// `PrefetchConfig::none()` is identical to [`EngineKind::build`].
+    pub fn build_with_prefetch(
+        self,
+        width: usize,
+        entry: Addr,
+        pf: &sfetch_prefetch::PrefetchConfig,
+    ) -> Box<dyn FetchEngine> {
         match self {
-            EngineKind::Stream => Box::new(crate::stream::StreamEngine::table2(width, entry)),
-            EngineKind::Ev8 => Box::new(crate::ev8::Ev8Engine::table2(width, entry)),
-            EngineKind::Ftb => Box::new(crate::ftb_engine::FtbEngine::table2(width, entry)),
-            EngineKind::TraceCache => {
-                Box::new(crate::trace_cache::TraceCacheEngine::table2(width, entry))
+            EngineKind::Stream => {
+                Box::new(crate::stream::StreamEngine::table2(width, entry).with_prefetch(pf))
             }
+            EngineKind::Ev8 => {
+                Box::new(crate::ev8::Ev8Engine::table2(width, entry).with_prefetch(pf))
+            }
+            EngineKind::Ftb => {
+                Box::new(crate::ftb_engine::FtbEngine::table2(width, entry).with_prefetch(pf))
+            }
+            EngineKind::TraceCache => Box::new(
+                crate::trace_cache::TraceCacheEngine::table2(width, entry).with_prefetch(pf),
+            ),
+        }
+    }
+
+    /// The prefetch policy each engine's lookahead structure supports
+    /// best: the decoupled front-ends (stream, FTB) direct prefetch from
+    /// their FTQ + next-unit prediction; EV8 has no lookahead beyond the
+    /// fetch cursor (next-line); the trace cache's misses are what the
+    /// MANA-style record prefetcher is built for.
+    pub fn natural_prefetch(self) -> sfetch_prefetch::PrefetchKind {
+        match self {
+            EngineKind::Stream | EngineKind::Ftb => sfetch_prefetch::PrefetchKind::StreamDirected,
+            EngineKind::Ev8 => sfetch_prefetch::PrefetchKind::NextLine,
+            EngineKind::TraceCache => sfetch_prefetch::PrefetchKind::Mana,
         }
     }
 }

@@ -12,11 +12,13 @@ use sfetch_cfg::CodeImage;
 use sfetch_isa::{Addr, BranchKind};
 use sfetch_mem::MemoryHierarchy;
 use sfetch_predictors::{Btb, GlobalHistory, Ras, TwoBcGskew};
+use sfetch_prefetch::{Lookahead, PrefetchConfig};
 
 use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
 use crate::engine::{FetchEngine, FetchEngineStats};
+use crate::port::IcachePort;
 
 /// The EV8-style fetch engine.
 #[derive(Debug)]
@@ -27,7 +29,7 @@ pub struct Ev8Engine {
     ras: Ras,
     ghist: GlobalHistory,
     pc: Addr,
-    stall_until: u64,
+    port: IcachePort,
     stats: FetchEngineStats,
 }
 
@@ -42,9 +44,30 @@ impl Ev8Engine {
             ras: Ras::new(8),
             ghist: GlobalHistory::new(),
             pc: entry,
-            stall_until: 0,
+            port: IcachePort::blocking(),
             stats: FetchEngineStats::default(),
         }
+    }
+
+    /// Attaches an I-cache prefetch configuration (builder-style). EV8 has
+    /// no lookahead structure beyond its fetch cursor, so only the demand
+    /// address reaches the prefetcher — next-line territory.
+    pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
+        self.port = IcachePort::from_config(pf);
+        self
+    }
+
+    fn drive_prefetch(&mut self, now: u64, mem: &mut MemoryHierarchy) {
+        if !self.port.has_prefetcher() {
+            return;
+        }
+        let ctx = Lookahead {
+            demand: Some(self.pc),
+            queued: &[],
+            predicted_next: None,
+            line_bytes: mem.l1i_line_bytes(),
+        };
+        self.port.drive(now, mem, &ctx);
     }
 }
 
@@ -64,14 +87,12 @@ impl FetchEngine for Ev8Engine {
         mem: &mut MemoryHierarchy,
         out: &mut Vec<FetchedInst>,
     ) {
-        if now < self.stall_until {
-            self.stats.icache_stall_cycles += 1;
+        self.port.begin_cycle(now, mem);
+        self.drive_prefetch(now, mem);
+        if self.port.stalled(now, &mut self.stats) {
             return;
         }
-        let lat = mem.inst_fetch(self.pc);
-        if lat > 1 {
-            self.stall_until = now + u64::from(lat) - 1;
-            self.stats.icache_stall_cycles += 1;
+        if !self.port.demand(now, mem, self.pc, &mut self.stats) {
             return;
         }
         // EV8 fetches *aligned* instruction blocks: the cycle's window runs
@@ -209,7 +230,7 @@ impl FetchEngine for Ev8Engine {
             self.ghist.push_spec(resolved.taken);
         }
         self.ras.restore(cp.ras);
-        self.stall_until = now + 1;
+        self.port.redirect(now);
     }
 
     fn commit(&mut self, ci: &CommittedInst) {
@@ -233,7 +254,10 @@ impl FetchEngine for Ev8Engine {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.pred.storage_bits() + self.btb.storage_bits() + self.ras.storage_bits()
+        self.pred.storage_bits()
+            + self.btb.storage_bits()
+            + self.ras.storage_bits()
+            + self.port.storage_bits()
     }
 }
 

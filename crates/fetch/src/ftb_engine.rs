@@ -15,12 +15,14 @@ use sfetch_cfg::CodeImage;
 use sfetch_isa::{Addr, BranchKind};
 use sfetch_mem::MemoryHierarchy;
 use sfetch_predictors::{Ftb, FtbEntry, GlobalHistory, PerceptronPredictor, Ras};
+use sfetch_prefetch::{Lookahead, PrefetchConfig};
 
 use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
 use crate::engine::{FetchEngine, FetchEngineStats};
 use crate::ftq::{FetchRequest, Ftq};
+use crate::port::IcachePort;
 
 /// Maximum fetch-block length in instructions (bounded length field).
 const MAX_BLOCK: u32 = 64;
@@ -42,11 +44,13 @@ pub struct FtbEngine {
     ghist: GlobalHistory,
     ftq: Ftq,
     pred_pc: Addr,
-    stall_until: u64,
+    port: IcachePort,
     /// Branch pcs ever observed taken — the commit-side terminator set
     /// (idealized as unbounded; the FTB itself is the bounded structure).
     taken_ever: HashSet<Addr>,
     builder: BlockBuilder,
+    /// Reusable lookahead scratch for the prefetch drive stage.
+    la_buf: Vec<(Addr, u32)>,
     stats: FetchEngineStats,
 }
 
@@ -62,11 +66,34 @@ impl FtbEngine {
             ghist: GlobalHistory::new(),
             ftq: Ftq::new(4),
             pred_pc: entry,
-            stall_until: 0,
+            port: IcachePort::blocking(),
             taken_ever: HashSet::new(),
             builder: BlockBuilder::default(),
+            la_buf: Vec::with_capacity(4),
             stats: FetchEngineStats::default(),
         }
+    }
+
+    /// Attaches an I-cache prefetch configuration (builder-style).
+    pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
+        self.port = IcachePort::from_config(pf);
+        self
+    }
+
+    /// Prefetch drive stage over the FTQ occupancy + prediction cursor.
+    fn drive_prefetch(&mut self, now: u64, mem: &mut MemoryHierarchy) {
+        if !self.port.has_prefetcher() {
+            return;
+        }
+        self.la_buf.clear();
+        self.la_buf.extend(self.ftq.iter().map(|r| (r.cur, r.remaining.max(1))));
+        let ctx = Lookahead {
+            demand: self.ftq.head_addr(),
+            queued: &self.la_buf,
+            predicted_next: Some(self.pred_pc),
+            line_bytes: mem.l1i_line_bytes(),
+        };
+        self.port.drive(now, mem, &ctx);
     }
 
     fn prediction_stage(&mut self, mem: &MemoryHierarchy) {
@@ -162,17 +189,15 @@ impl FetchEngine for FtbEngine {
         mem: &mut MemoryHierarchy,
         out: &mut Vec<FetchedInst>,
     ) {
+        self.port.begin_cycle(now, mem);
         self.prediction_stage(mem);
-        if now < self.stall_until {
-            self.stats.icache_stall_cycles += 1;
+        self.drive_prefetch(now, mem);
+        if self.port.stalled(now, &mut self.stats) {
             return;
         }
         let Some(head) = self.ftq.head() else { return };
         let req = *head;
-        let lat = mem.inst_fetch(req.cur);
-        if lat > 1 {
-            self.stall_until = now + u64::from(lat) - 1;
-            self.stats.icache_stall_cycles += 1;
+        if !self.port.demand(now, mem, req.cur, &mut self.stats) {
             return;
         }
         let line = mem.l1i_line_bytes();
@@ -219,7 +244,7 @@ impl FetchEngine for FtbEngine {
             self.ghist.push_spec(resolved.taken);
         }
         self.ras.restore(cp.ras);
-        self.stall_until = now + 1;
+        self.port.redirect(now);
     }
 
     fn commit(&mut self, ci: &CommittedInst) {
@@ -264,7 +289,10 @@ impl FetchEngine for FtbEngine {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.ftb.storage_bits() + self.pred.storage_bits() + self.ras.storage_bits()
+        self.ftb.storage_bits()
+            + self.pred.storage_bits()
+            + self.ras.storage_bits()
+            + self.port.storage_bits()
     }
 }
 

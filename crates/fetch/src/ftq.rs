@@ -118,6 +118,17 @@ impl Ftq {
         self.entries.first_mut()
     }
 
+    /// The head request's current fetch address, if any (the address the
+    /// I-cache stage demands next).
+    pub fn head_addr(&self) -> Option<Addr> {
+        self.entries.first().map(|r| r.cur)
+    }
+
+    /// Iterates the queued requests, head first (prefetch lookahead).
+    pub fn iter(&self) -> impl Iterator<Item = &FetchRequest> {
+        self.entries.iter()
+    }
+
     /// Pops the (satisfied) head request.
     pub fn pop(&mut self) -> Option<FetchRequest> {
         if self.entries.is_empty() {

@@ -18,6 +18,11 @@
 //! [`Checkpoint`]s on every delivered instruction so the processor can
 //! repair speculative predictor state at recovery, exactly as §3.2/§4.1
 //! describe.
+//!
+//! Every engine demand-fetches through one [`port::IcachePort`], which
+//! also issues `sfetch_prefetch` probes from the engine's lookahead
+//! structure (FTQ occupancy, predicted next stream, next trace) when the
+//! non-blocking L1i miss pipeline is enabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +32,7 @@ pub mod engine;
 pub mod ev8;
 pub mod ftb_engine;
 pub mod ftq;
+pub mod port;
 pub mod stream;
 pub mod trace_cache;
 
@@ -37,5 +43,6 @@ pub use engine::{EngineKind, FetchEngine, FetchEngineStats};
 pub use ev8::Ev8Engine;
 pub use ftb_engine::FtbEngine;
 pub use ftq::{FetchRequest, Ftq};
+pub use port::IcachePort;
 pub use stream::StreamEngine;
 pub use trace_cache::TraceCacheEngine;

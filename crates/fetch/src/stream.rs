@@ -14,12 +14,14 @@ use sfetch_mem::MemoryHierarchy;
 use sfetch_predictors::{
     NextStreamPredictor, Ras, StreamPredictorConfig, StreamUpdate,
 };
+use sfetch_prefetch::{Lookahead, PrefetchConfig};
 
 use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
 use crate::engine::{FetchEngine, FetchEngineStats};
 use crate::ftq::{FetchRequest, Ftq};
+use crate::port::IcachePort;
 
 /// One open (still accumulating) stream on the commit side.
 ///
@@ -56,9 +58,11 @@ pub struct StreamEngine {
     ras: Ras,
     ftq: Ftq,
     pred_pc: Addr,
-    stall_until: u64,
+    port: IcachePort,
     max_stream: u32,
     open: Vec<OpenStream>,
+    /// Reusable lookahead scratch for the prefetch drive stage.
+    la_buf: Vec<(Addr, u32)>,
     stats: FetchEngineStats,
 }
 
@@ -84,17 +88,42 @@ impl StreamEngine {
             ras: Ras::new(ras_entries),
             ftq: Ftq::new(ftq_entries),
             pred_pc: entry,
-            stall_until: 0,
+            port: IcachePort::blocking(),
             max_stream,
             open: Vec::with_capacity(MAX_OPEN),
+            la_buf: Vec::with_capacity(ftq_entries),
             stats: FetchEngineStats::default(),
         }
+    }
+
+    /// Attaches an I-cache prefetch configuration (builder-style).
+    pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
+        self.port = IcachePort::from_config(pf);
+        self
     }
 
     /// The underlying next stream predictor (for inspection in tests and
     /// ablation reports).
     pub fn predictor(&self) -> &NextStreamPredictor {
         &self.pred
+    }
+
+    /// Prefetch drive stage: hand the engine's whole lookahead — every
+    /// FTQ request (the head's unread tail included) and the predicted
+    /// next stream start — to the prefetcher (§3.3's lookahead argument).
+    fn drive_prefetch(&mut self, now: u64, mem: &mut MemoryHierarchy) {
+        if !self.port.has_prefetcher() {
+            return;
+        }
+        self.la_buf.clear();
+        self.la_buf.extend(self.ftq.iter().map(|r| (r.cur, r.remaining.max(1))));
+        let ctx = Lookahead {
+            demand: self.ftq.head_addr(),
+            queued: &self.la_buf,
+            predicted_next: Some(self.pred_pc),
+            line_bytes: mem.l1i_line_bytes(),
+        };
+        self.port.drive(now, mem, &ctx);
     }
 
     /// Prediction stage: one lookup per cycle when the FTQ has space.
@@ -181,20 +210,19 @@ impl FetchEngine for StreamEngine {
         mem: &mut MemoryHierarchy,
         out: &mut Vec<FetchedInst>,
     ) {
+        self.port.begin_cycle(now, mem);
         // The prediction stage keeps running while the I-cache waits — the
-        // decoupling the FTQ provides (§3.3).
+        // decoupling the FTQ provides (§3.3) — and the prefetcher runs
+        // ahead of fetch over everything the FTQ already names.
         self.prediction_stage(mem);
+        self.drive_prefetch(now, mem);
 
-        if now < self.stall_until {
-            self.stats.icache_stall_cycles += 1;
+        if self.port.stalled(now, &mut self.stats) {
             return;
         }
         let Some(head) = self.ftq.head() else { return };
         let req = *head;
-        let lat = mem.inst_fetch(req.cur);
-        if lat > 1 {
-            self.stall_until = now + u64::from(lat) - 1;
-            self.stats.icache_stall_cycles += 1;
+        if !self.port.demand(now, mem, req.cur, &mut self.stats) {
             return;
         }
         let line = mem.l1i_line_bytes();
@@ -236,7 +264,7 @@ impl FetchEngine for StreamEngine {
         self.pred_pc = target;
         self.pred.restore(cp.path);
         self.ras.restore(cp.ras);
-        self.stall_until = now + 1;
+        self.port.redirect(now);
     }
 
     fn commit(&mut self, ci: &CommittedInst) {
@@ -323,7 +351,7 @@ impl FetchEngine for StreamEngine {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.pred.storage_bits() + self.ras.storage_bits()
+        self.pred.storage_bits() + self.ras.storage_bits() + self.port.storage_bits()
     }
 }
 

@@ -23,11 +23,13 @@ use sfetch_predictors::{
     TracePredictorConfig,
 };
 use sfetch_predictors::trace_pred::TraceUpdate;
+use sfetch_prefetch::{Lookahead, PrefetchConfig};
 
 use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
 use crate::engine::{FetchEngine, FetchEngineStats};
+use crate::port::IcachePort;
 
 /// Maximum trace length in instructions (16-wide trace lines).
 pub const MAX_TRACE: usize = 16;
@@ -91,7 +93,7 @@ pub struct TraceCacheEngine {
     ras: Ras,
     pc: Addr,
     delivering: Option<Delivering>,
-    stall_until: u64,
+    port: IcachePort,
     fill: FillUnit,
     /// Speculative pseudo-trace accumulation over the backup path, applying
     /// the fill unit's closing rules so the speculative path register stays
@@ -122,12 +124,37 @@ impl TraceCacheEngine {
             ras: Ras::new(8),
             pc: entry,
             delivering: None,
-            stall_until: 0,
+            port: IcachePort::blocking(),
             fill: FillUnit::default(),
             spec_fill: None,
             selective,
             stats: FetchEngineStats::default(),
         }
+    }
+
+    /// Attaches an I-cache prefetch configuration (builder-style). The
+    /// trace-cache engine's lookahead is the active trace's *next-trace*
+    /// address plus the rebuild/backup fetch cursor.
+    pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
+        self.port = IcachePort::from_config(pf);
+        self
+    }
+
+    fn drive_prefetch(&mut self, now: u64, mem: &mut MemoryHierarchy) {
+        if !self.port.has_prefetcher() {
+            return;
+        }
+        let (demand, predicted_next) = match &self.delivering {
+            Some(d) => ((!d.from_tc).then_some(d.cur_pc), Some(d.next)),
+            None => (Some(self.pc), None),
+        };
+        let ctx = Lookahead {
+            demand,
+            queued: &[],
+            predicted_next,
+            line_bytes: mem.l1i_line_bytes(),
+        };
+        self.port.drive(now, mem, &ctx);
     }
 
     /// Advances the speculative pseudo-trace over one backup-path
@@ -181,10 +208,7 @@ impl TraceCacheEngine {
         let line_bytes = mem.l1i_line_bytes();
         if !d.from_tc {
             // Rebuild mode pays an I-cache access for the current block.
-            let lat = mem.inst_fetch(d.cur_pc);
-            if lat > 1 {
-                self.stall_until = now + u64::from(lat) - 1;
-                self.stats.icache_stall_cycles += 1;
+            if !self.port.demand(now, mem, d.cur_pc, &mut self.stats) {
                 self.delivering = Some(d);
                 return;
             }
@@ -301,10 +325,7 @@ impl TraceCacheEngine {
         mem: &mut MemoryHierarchy,
         out: &mut Vec<FetchedInst>,
     ) {
-        let lat = mem.inst_fetch(self.pc);
-        if lat > 1 {
-            self.stall_until = now + u64::from(lat) - 1;
-            self.stats.icache_stall_cycles += 1;
+        if !self.port.demand(now, mem, self.pc, &mut self.stats) {
             return;
         }
         let line = mem.l1i_line_bytes();
@@ -442,8 +463,9 @@ impl FetchEngine for TraceCacheEngine {
         mem: &mut MemoryHierarchy,
         out: &mut Vec<FetchedInst>,
     ) {
-        if now < self.stall_until {
-            self.stats.icache_stall_cycles += 1;
+        self.port.begin_cycle(now, mem);
+        self.drive_prefetch(now, mem);
+        if self.port.stalled(now, &mut self.stats) {
             return;
         }
         if self.delivering.is_some() {
@@ -508,7 +530,7 @@ impl FetchEngine for TraceCacheEngine {
             self.ghist.push_spec(resolved.taken);
         }
         self.ras.restore(cp.ras);
-        self.stall_until = now + 1;
+        self.port.redirect(now);
     }
 
     fn commit(&mut self, ci: &CommittedInst) {
@@ -584,6 +606,7 @@ impl FetchEngine for TraceCacheEngine {
             + self.backup_btb.storage_bits()
             + self.backup_dir.storage_bits()
             + self.ras.storage_bits()
+            + self.port.storage_bits()
     }
 }
 

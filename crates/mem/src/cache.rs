@@ -54,6 +54,24 @@ struct Line {
     valid: bool,
     tag: u64,
     lru: u64,
+    /// Filled by a prefetch and not yet demand-touched (cleared — and
+    /// reported as *useful* — on the first demand hit).
+    prefetched: bool,
+}
+
+/// Outcome of a [`SetAssocCache::demand_access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandOutcome {
+    /// Line resident; `first_use_of_prefetch` is `true` on the first
+    /// demand touch of a prefetched line (the prefetch was *useful*).
+    Hit {
+        /// First demand touch of a prefetch-filled line.
+        first_use_of_prefetch: bool,
+    },
+    /// Line not resident. Unlike [`SetAssocCache::access`], the miss does
+    /// **not** fill — the fill arrives later through
+    /// [`SetAssocCache::fill_line`] when the miss pipeline completes it.
+    Miss,
 }
 
 /// A blocking set-associative cache with true-LRU replacement.
@@ -121,7 +139,55 @@ impl SetAssocCache {
         victim.valid = true;
         victim.tag = tag;
         victim.lru = self.tick;
+        victim.prefetched = false;
         false
+    }
+
+    /// A demand access for the non-blocking miss pipeline: hits update LRU
+    /// and report first-use of prefetched lines; misses count but do
+    /// **not** fill (the MSHR fill installs the line later via
+    /// [`SetAssocCache::fill_line`]).
+    pub fn demand_access(&mut self, addr: Addr) -> DemandOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.locate(addr);
+        let base = set * self.config.assoc;
+        let ways = &mut self.lines[base..base + self.config.assoc];
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = self.tick;
+            let first = l.prefetched;
+            l.prefetched = false;
+            return DemandOutcome::Hit { first_use_of_prefetch: first };
+        }
+        self.stats.misses += 1;
+        DemandOutcome::Miss
+    }
+
+    /// Installs the line containing `addr` (LRU victim), marking it as
+    /// prefetch-filled when `prefetched`. Counts no access; returns `true`
+    /// when the evicted line was a prefetched line that was never
+    /// demand-touched (a *polluting* prefetch).
+    pub fn fill_line(&mut self, addr: Addr, prefetched: bool) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.locate(addr);
+        let base = set * self.config.assoc;
+        let ways = &mut self.lines[base..base + self.config.assoc];
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            // Already resident (e.g. a racing wrong-path fill): refresh.
+            l.lru = self.tick;
+            l.prefetched = l.prefetched && prefetched;
+            return false;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("assoc >= 1");
+        let polluted = victim.valid && victim.prefetched;
+        victim.valid = true;
+        victim.tag = tag;
+        victim.lru = self.tick;
+        victim.prefetched = prefetched;
+        polluted
     }
 
     /// Checks residency without filling or touching LRU.
@@ -231,6 +297,41 @@ mod tests {
             });
             assert!(c.storage_bits() > size * 8);
         }
+    }
+
+    #[test]
+    fn demand_access_counts_but_does_not_fill() {
+        let mut c = small();
+        assert_eq!(c.demand_access(Addr::new(0x80)), DemandOutcome::Miss);
+        assert!(!c.probe(Addr::new(0x80)), "miss must not fill");
+        assert_eq!(c.stats().accesses, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!(!c.fill_line(Addr::new(0x80), false));
+        assert_eq!(
+            c.demand_access(Addr::new(0x80)),
+            DemandOutcome::Hit { first_use_of_prefetch: false }
+        );
+    }
+
+    #[test]
+    fn prefetched_lines_report_first_use_and_pollution() {
+        let mut c = small();
+        // Set 0 holds lines 0x000 / 0x100 / 0x200 (4 sets × 64B lines).
+        c.fill_line(Addr::new(0x000), true);
+        c.fill_line(Addr::new(0x100), true);
+        // First demand touch: useful; second touch: bit consumed.
+        assert_eq!(
+            c.demand_access(Addr::new(0x000)),
+            DemandOutcome::Hit { first_use_of_prefetch: true }
+        );
+        assert_eq!(
+            c.demand_access(Addr::new(0x000)),
+            DemandOutcome::Hit { first_use_of_prefetch: false }
+        );
+        // 0x100 is now LRU, prefetched and untouched: evicting it pollutes.
+        assert!(c.fill_line(Addr::new(0x200), false), "evicts unused prefetch 0x100");
+        // Evicting the demand-touched 0x000 does not.
+        assert!(!c.fill_line(Addr::new(0x100), false));
     }
 
     #[test]

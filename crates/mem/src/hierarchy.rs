@@ -1,8 +1,10 @@
-//! The three-level memory hierarchy of Table 2.
+//! The three-level memory hierarchy of Table 2, with an optional
+//! non-blocking L1i miss pipeline (MSHRs + in-flight fill queue).
 
 use sfetch_isa::Addr;
 
-use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
+use crate::cache::{CacheConfig, CacheStats, DemandOutcome, SetAssocCache};
+use crate::mshr::{Mshr, MshrFile};
 
 /// Latencies and geometries of the full hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,17 +47,84 @@ impl MemoryConfig {
     }
 }
 
+/// Prefetch-effectiveness counters of the L1i miss pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetch probes that started a fill (missed L1i, MSHR allocated).
+    pub issued: u64,
+    /// Demand hits whose line was brought in by a prefetch (first touch).
+    pub useful: u64,
+    /// Demand fetches that coalesced onto an in-flight prefetch — the
+    /// prefetch was on the right line but issued too late to hide the
+    /// whole miss.
+    pub late: u64,
+    /// Prefetched lines evicted without ever being demand-touched.
+    pub polluting: u64,
+    /// Probes dropped without a fill (line resident, already in flight,
+    /// or no free MSHR).
+    pub dropped: u64,
+}
+
+/// Outcome of a pipelined instruction demand fetch
+/// ([`MemoryHierarchy::inst_demand`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstDemand {
+    /// L1i hit: the line's data is usable this cycle.
+    Ready,
+    /// The line is (now) in flight; usable at `fill_at`.
+    Wait {
+        /// Completion cycle of the fill.
+        fill_at: u64,
+        /// Whether memory (vs the L2) serves the fill.
+        from_mem: bool,
+        /// Whether this call allocated the MSHR (vs coalescing onto an
+        /// earlier demand or prefetch fill).
+        allocated: bool,
+    },
+    /// No free MSHR: the demand cannot even start its fill this cycle.
+    Blocked,
+}
+
+/// Outcome of a prefetch probe ([`MemoryHierarchy::inst_prefetch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstPrefetch {
+    /// A fill was started.
+    Started,
+    /// The line is resident or already in flight — nothing to do, ever.
+    Redundant,
+    /// No free MSHR this cycle; the line may be worth re-probing later.
+    NoMshr,
+}
+
+/// The L1i miss pipeline: outstanding fills and prefetch accounting.
+#[derive(Debug, Clone)]
+struct InstPipeline {
+    mshrs: MshrFile,
+    drain: Vec<Mshr>,
+    stats: PrefetchStats,
+}
+
 /// The simulated memory hierarchy: L1I + L1D over a unified L2 over memory.
 ///
 /// Accesses return the total latency in cycles and perform fills along the
 /// way — including for wrong-path instruction fetches, reproducing the
 /// pollution/prefetch effects the paper's simulator models (§4.1).
+///
+/// The instruction side has two modes. The default is the paper's
+/// blocking model ([`MemoryHierarchy::inst_fetch`]): a miss stalls fetch
+/// for its whole latency. [`MemoryHierarchy::enable_inst_pipeline`]
+/// switches it to a non-blocking miss pipeline: demand misses allocate
+/// MSHRs and complete through an in-flight fill queue
+/// ([`MemoryHierarchy::inst_tick`]), so fetch can hit under miss, fills
+/// overlap, and prefetch probes ([`MemoryHierarchy::inst_prefetch`]) run
+/// ahead of the fetch cursor.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
     config: MemoryConfig,
     l1i: SetAssocCache,
     l1d: SetAssocCache,
     l2: SetAssocCache,
+    pipeline: Option<InstPipeline>,
 }
 
 impl MemoryHierarchy {
@@ -66,7 +135,123 @@ impl MemoryHierarchy {
             l1i: SetAssocCache::new(config.l1i),
             l1d: SetAssocCache::new(config.l1d),
             l2: SetAssocCache::new(config.l2),
+            pipeline: None,
         }
+    }
+
+    /// Switches the instruction side to the non-blocking miss pipeline
+    /// with `mshr_entries` outstanding fills. Demand fetch must then go
+    /// through [`MemoryHierarchy::inst_demand`] and the owner must call
+    /// [`MemoryHierarchy::inst_tick`] once per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mshr_entries == 0`.
+    pub fn enable_inst_pipeline(&mut self, mshr_entries: usize) {
+        self.pipeline = Some(InstPipeline {
+            mshrs: MshrFile::new(mshr_entries),
+            drain: Vec::with_capacity(mshr_entries),
+            stats: PrefetchStats::default(),
+        });
+    }
+
+    /// Whether the non-blocking L1i miss pipeline is active.
+    pub fn inst_pipeline_enabled(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Outstanding L1i fills (0 when the pipeline is disabled).
+    pub fn inst_fills_in_flight(&self) -> usize {
+        self.pipeline.as_ref().map_or(0, |p| p.mshrs.in_flight())
+    }
+
+    /// Completes every fill due at `now`, installing the lines into the
+    /// L1i in completion order. Call once per cycle, before this cycle's
+    /// demand and prefetch traffic. A no-op when the pipeline is disabled.
+    pub fn inst_tick(&mut self, now: u64) {
+        let Some(p) = self.pipeline.as_mut() else { return };
+        let mut drain = std::mem::take(&mut p.drain);
+        drain.clear();
+        p.mshrs.drain_due(now, &mut drain);
+        for m in &drain {
+            let pure_prefetch = m.prefetch && !m.demanded;
+            let line_addr = Addr::new(m.line * self.config.l1i.line_bytes);
+            if self.l1i.fill_line(line_addr, pure_prefetch) {
+                p.stats.polluting += 1;
+            }
+        }
+        p.drain = drain;
+    }
+
+    /// A pipelined instruction demand fetch for the line containing
+    /// `addr`: hits are [`InstDemand::Ready`]; misses allocate an MSHR
+    /// (or coalesce onto one in flight) and report their fill cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline is disabled (use
+    /// [`MemoryHierarchy::inst_fetch`] for the blocking model).
+    pub fn inst_demand(&mut self, now: u64, addr: Addr) -> InstDemand {
+        let line_bytes = self.config.l1i.line_bytes;
+        let p = self.pipeline.as_mut().expect("inst pipeline disabled");
+        let line = addr.line_index(line_bytes);
+        if let Some(m) = p.mshrs.lookup_mut(line) {
+            if m.prefetch && !m.demanded {
+                p.stats.late += 1;
+            }
+            m.demanded = true;
+            return InstDemand::Wait { fill_at: m.fill_at, from_mem: m.from_mem, allocated: false };
+        }
+        if !p.mshrs.has_free() && !self.l1i.probe(addr) {
+            // Would miss but cannot start the fill; retry next cycle
+            // without perturbing hit/miss statistics. (MSHR check first:
+            // it is cheap and usually passes, skipping the extra tag
+            // probe on the hot path.)
+            return InstDemand::Blocked;
+        }
+        match self.l1i.demand_access(addr) {
+            DemandOutcome::Hit { first_use_of_prefetch } => {
+                if first_use_of_prefetch {
+                    p.stats.useful += 1;
+                }
+                InstDemand::Ready
+            }
+            DemandOutcome::Miss => {
+                let from_mem = !self.l2.access(addr);
+                let fill_at = now + fill_latency(&self.config, from_mem);
+                p.mshrs.allocate(line, fill_at, from_mem, false);
+                InstDemand::Wait { fill_at, from_mem, allocated: true }
+            }
+        }
+    }
+
+    /// Issues a prefetch probe for the line containing `addr`. Probes for
+    /// resident or in-flight lines are redundant; probes finding no free
+    /// MSHR cannot start (the caller may retry the line later). Both are
+    /// counted as dropped. Always [`InstPrefetch::Redundant`] when the
+    /// pipeline is disabled.
+    pub fn inst_prefetch(&mut self, now: u64, addr: Addr) -> InstPrefetch {
+        let line_bytes = self.config.l1i.line_bytes;
+        let Some(p) = self.pipeline.as_mut() else { return InstPrefetch::Redundant };
+        let line = addr.line_index(line_bytes);
+        if p.mshrs.lookup(line).is_some() || self.l1i.probe(addr) {
+            p.stats.dropped += 1;
+            return InstPrefetch::Redundant;
+        }
+        if !p.mshrs.has_free() {
+            p.stats.dropped += 1;
+            return InstPrefetch::NoMshr;
+        }
+        let from_mem = !self.l2.access(addr);
+        let fill_at = now + fill_latency(&self.config, from_mem);
+        p.mshrs.allocate(line, fill_at, from_mem, true);
+        p.stats.issued += 1;
+        InstPrefetch::Started
+    }
+
+    /// Prefetch counters (all zero when the pipeline is disabled).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.pipeline.as_ref().map_or_else(PrefetchStats::default, |p| p.stats)
     }
 
     /// The configuration.
@@ -125,12 +310,27 @@ impl MemoryHierarchy {
         self.l2.stats()
     }
 
-    /// Clears all statistics (after warmup).
+    /// Clears all statistics (after warmup). In-flight fills are *not*
+    /// cancelled — only counters restart, like the caches.
     pub fn reset_stats(&mut self) {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
         self.l2.reset_stats();
+        if let Some(p) = self.pipeline.as_mut() {
+            p.stats = PrefetchStats::default();
+        }
     }
+}
+
+/// Cycles from a miss starting now until its line is usable, matching the
+/// blocking model's delivery cycle: a blocking access at `t` returning
+/// latency `lat` delivers at `t + lat - 1`, so an isolated pipelined miss
+/// completes on exactly the cycle the blocking model would deliver.
+fn fill_latency(config: &MemoryConfig, from_mem: bool) -> u64 {
+    let lat = config.l1_latency
+        + config.l2_latency
+        + if from_mem { config.mem_latency } else { 0 };
+    u64::from(lat) - 1
 }
 
 #[cfg(test)]
@@ -180,6 +380,96 @@ mod tests {
         assert_eq!(m.inst_fetch(a), 16);
         assert_eq!(m.l1d_stats().accesses, 2);
         assert_eq!(m.l1i_stats().accesses, 1);
+    }
+
+    #[test]
+    fn pipelined_demand_miss_matches_blocking_delivery_cycle() {
+        let mut blocking = MemoryHierarchy::new(MemoryConfig::table2(8));
+        let mut piped = MemoryHierarchy::new(MemoryConfig::table2(8));
+        piped.enable_inst_pipeline(8);
+        let a = Addr::new(0x40_0000);
+        // Blocking: access at 0 returns 116 → data usable at cycle 115.
+        let lat = blocking.inst_fetch(a);
+        assert_eq!(lat, 116);
+        // Pipelined: miss at 0 fills at 115; demand hits at 115.
+        piped.inst_tick(0);
+        let InstDemand::Wait { fill_at, from_mem, allocated } = piped.inst_demand(0, a) else {
+            panic!("cold miss must wait");
+        };
+        assert_eq!(fill_at, 115);
+        assert!(from_mem);
+        assert!(allocated);
+        for t in 1..115 {
+            piped.inst_tick(t);
+            assert!(
+                matches!(piped.inst_demand(t, a), InstDemand::Wait { allocated: false, .. }),
+                "cycle {t}: still in flight, coalesced"
+            );
+        }
+        piped.inst_tick(115);
+        assert_eq!(piped.inst_demand(115, a), InstDemand::Ready);
+        // One allocate + waiting coalesces count one access/miss + final hit.
+        assert_eq!(piped.l1i_stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_under_miss_overlaps_fills() {
+        let mut m = MemoryHierarchy::new(MemoryConfig::table2(8));
+        m.enable_inst_pipeline(4);
+        let hot = Addr::new(0x1000);
+        m.inst_tick(0);
+        assert!(matches!(m.inst_demand(0, hot), InstDemand::Wait { .. }));
+        m.inst_tick(200);
+        assert_eq!(m.inst_demand(200, hot), InstDemand::Ready, "filled");
+        // Start a demand miss, then keep hitting the hot line under it.
+        m.inst_tick(201);
+        assert!(matches!(m.inst_demand(201, Addr::new(0x80_0000)), InstDemand::Wait { .. }));
+        m.inst_tick(202);
+        assert_eq!(m.inst_demand(202, hot), InstDemand::Ready, "hit under miss");
+        assert_eq!(m.inst_fills_in_flight(), 1);
+    }
+
+    #[test]
+    fn prefetch_lifecycle_counts_issued_useful_late_polluting() {
+        let mut m = MemoryHierarchy::new(MemoryConfig::table2(8));
+        m.enable_inst_pipeline(4);
+        let a = Addr::new(0x2000);
+        m.inst_tick(0);
+        assert_eq!(m.inst_prefetch(0, a), InstPrefetch::Started, "cold prefetch starts a fill");
+        assert_eq!(m.inst_prefetch(0, a), InstPrefetch::Redundant, "in-flight duplicate dropped");
+        assert_eq!(m.prefetch_stats().issued, 1);
+        assert_eq!(m.prefetch_stats().dropped, 1);
+        // Demand arrives before the fill completes: late.
+        m.inst_tick(5);
+        assert!(matches!(m.inst_demand(5, a), InstDemand::Wait { allocated: false, .. }));
+        assert_eq!(m.prefetch_stats().late, 1);
+        // A second prefetched line demand-touched after filling: useful.
+        let b = Addr::new(0x4000);
+        assert_eq!(m.inst_prefetch(5, b), InstPrefetch::Started);
+        m.inst_tick(400);
+        assert_eq!(m.inst_demand(400, b), InstDemand::Ready);
+        assert_eq!(m.prefetch_stats().useful, 1);
+        // A demanded-while-in-flight line does not count useful on hit.
+        assert_eq!(m.inst_demand(400, a), InstDemand::Ready);
+        assert_eq!(m.prefetch_stats().useful, 1);
+    }
+
+    #[test]
+    fn blocked_when_mshrs_exhausted() {
+        let mut m = MemoryHierarchy::new(MemoryConfig::table2(8));
+        m.enable_inst_pipeline(1);
+        m.inst_tick(0);
+        assert_eq!(m.inst_prefetch(0, Addr::new(0x10_0000)), InstPrefetch::Started);
+        assert_eq!(m.inst_demand(0, Addr::new(0x20_0000)), InstDemand::Blocked);
+        assert_eq!(
+            m.inst_prefetch(0, Addr::new(0x30_0000)),
+            InstPrefetch::NoMshr,
+            "full file drops probes as retryable"
+        );
+        let before = m.l1i_stats();
+        // Blocked demands must not perturb hit/miss statistics.
+        assert_eq!(m.inst_demand(1, Addr::new(0x20_0000)), InstDemand::Blocked);
+        assert_eq!(m.l1i_stats(), before);
     }
 
     #[test]

@@ -10,10 +10,16 @@
 //! * Unified L2 — 1MB, 4-way, 64B lines, 15 cycles.
 //! * Memory — 100 cycles.
 //!
-//! Caches are blocking and latency-oriented: an access returns the number
-//! of cycles until the data is available and fills all levels it traversed
-//! (so wrong-path fetch *prefetches into and pollutes* the I-cache, which
-//! the paper's simulator explicitly models).
+//! Caches are blocking and latency-oriented by default: an access returns
+//! the number of cycles until the data is available and fills all levels
+//! it traversed (so wrong-path fetch *prefetches into and pollutes* the
+//! I-cache, which the paper's simulator explicitly models).
+//!
+//! The instruction side can additionally run a **non-blocking miss
+//! pipeline** ([`MemoryHierarchy::enable_inst_pipeline`]): demand misses
+//! allocate [`mshr::Mshr`]s, fills complete through an in-flight queue,
+//! and prefetch probes ([`MemoryHierarchy::inst_prefetch`]) overlap with
+//! demand fetch — the substrate of the `sfetch-prefetch` policies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +27,8 @@
 pub mod cache;
 pub mod cost;
 pub mod hierarchy;
+pub mod mshr;
 
-pub use cache::{CacheConfig, CacheStats, SetAssocCache};
-pub use hierarchy::{MemoryConfig, MemoryHierarchy};
+pub use cache::{CacheConfig, CacheStats, DemandOutcome, SetAssocCache};
+pub use hierarchy::{InstDemand, InstPrefetch, MemoryConfig, MemoryHierarchy, PrefetchStats};
+pub use mshr::{Mshr, MshrFile};

@@ -1,0 +1,190 @@
+//! Miss-status holding registers: the in-flight fill queue of the
+//! non-blocking L1i miss pipeline.
+//!
+//! Each entry tracks one outstanding line fill — its completion cycle,
+//! which level serves it, and whether it was started by a demand fetch or
+//! a prefetch probe. Demand fetches for a line already in flight
+//! *coalesce* onto the existing entry instead of allocating a second one,
+//! so a line is never fetched twice concurrently and never filled twice.
+
+/// One in-flight L1i line fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mshr {
+    /// Line index (byte address divided by the line size).
+    pub line: u64,
+    /// Cycle at which the fill completes (the data is usable that cycle).
+    pub fill_at: u64,
+    /// Whether memory (rather than the L2) serves the fill.
+    pub from_mem: bool,
+    /// Whether a prefetch probe allocated the entry.
+    pub prefetch: bool,
+    /// Whether a demand fetch has coalesced onto the entry.
+    pub demanded: bool,
+    /// Allocation order, for deterministic fill draining.
+    seq: u64,
+}
+
+/// A fixed-capacity file of [`Mshr`]s.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    slots: Vec<Option<Mshr>>,
+    live: usize,
+    next_seq: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `entries` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "MSHR file needs at least one entry");
+        MshrFile { slots: vec![None; entries], live: 0, next_seq: 0 }
+    }
+
+    /// Total registers.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Outstanding fills.
+    pub fn in_flight(&self) -> usize {
+        self.live
+    }
+
+    /// Whether another fill can be started.
+    pub fn has_free(&self) -> bool {
+        self.live < self.slots.len()
+    }
+
+    /// The in-flight entry for `line`, if any.
+    pub fn lookup(&self, line: u64) -> Option<&Mshr> {
+        self.slots.iter().flatten().find(|m| m.line == line)
+    }
+
+    /// Mutable access to the in-flight entry for `line` (coalescing).
+    pub fn lookup_mut(&mut self, line: u64) -> Option<&mut Mshr> {
+        self.slots.iter_mut().flatten().find(|m| m.line == line)
+    }
+
+    /// Starts a fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full or the line is already in flight
+    /// (callers must check [`MshrFile::has_free`] / [`MshrFile::lookup`]).
+    pub fn allocate(&mut self, line: u64, fill_at: u64, from_mem: bool, prefetch: bool) {
+        assert!(self.lookup(line).is_none(), "line {line:#x} already in flight");
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("MSHR file full — caller must check has_free()");
+        *slot = Some(Mshr {
+            line,
+            fill_at,
+            from_mem,
+            prefetch,
+            demanded: false,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        self.live += 1;
+    }
+
+    /// Removes every fill due at or before `now`, appending them to `out`
+    /// ordered by `(fill_at, allocation order)` — the order the fills
+    /// actually complete, independent of slot reuse.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Mshr>) {
+        let start = out.len();
+        for slot in &mut self.slots {
+            if slot.is_some_and(|m| m.fill_at <= now) {
+                out.push(slot.take().expect("checked above"));
+                self.live -= 1;
+            }
+        }
+        out[start..].sort_unstable_by_key(|m| (m.fill_at, m.seq));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lookup_drain_roundtrip() {
+        let mut f = MshrFile::new(4);
+        assert!(f.has_free());
+        f.allocate(10, 16, false, false);
+        f.allocate(11, 116, true, true);
+        assert_eq!(f.in_flight(), 2);
+        assert!(f.lookup(10).is_some());
+        assert!(f.lookup(12).is_none());
+        let mut out = Vec::new();
+        f.drain_due(15, &mut out);
+        assert!(out.is_empty(), "nothing due yet");
+        f.drain_due(16, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 10);
+        assert_eq!(f.in_flight(), 1);
+        f.drain_due(1000, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].line, 11);
+        assert_eq!(f.in_flight(), 0);
+    }
+
+    #[test]
+    fn drain_orders_by_fill_time_then_allocation() {
+        let mut f = MshrFile::new(4);
+        f.allocate(1, 50, false, false);
+        f.allocate(2, 20, false, false);
+        f.allocate(3, 20, false, true);
+        let mut out = Vec::new();
+        f.drain_due(100, &mut out);
+        let lines: Vec<u64> = out.iter().map(|m| m.line).collect();
+        assert_eq!(lines, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn slot_reuse_preserves_completion_order() {
+        let mut f = MshrFile::new(2);
+        f.allocate(1, 10, false, false);
+        f.allocate(2, 30, false, false);
+        let mut out = Vec::new();
+        f.drain_due(10, &mut out);
+        assert_eq!(out[0].line, 1);
+        // Reuses slot 0 but completes after line 2.
+        f.allocate(3, 40, false, false);
+        out.clear();
+        f.drain_due(100, &mut out);
+        let lines: Vec<u64> = out.iter().map(|m| m.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn duplicate_line_panics() {
+        let mut f = MshrFile::new(2);
+        f.allocate(7, 10, false, false);
+        f.allocate(7, 20, false, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overflow_panics() {
+        let mut f = MshrFile::new(1);
+        f.allocate(1, 10, false, false);
+        f.allocate(2, 10, false, false);
+    }
+
+    #[test]
+    fn coalescing_marks_demanded() {
+        let mut f = MshrFile::new(2);
+        f.allocate(5, 100, true, true);
+        let m = f.lookup_mut(5).expect("in flight");
+        assert!(m.prefetch && !m.demanded);
+        m.demanded = true;
+        assert!(f.lookup(5).expect("still in flight").demanded);
+    }
+}

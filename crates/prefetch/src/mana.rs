@@ -1,0 +1,175 @@
+//! MANA-style record prefetcher keyed on miss history.
+
+use sfetch_isa::Addr;
+
+use crate::{Lookahead, Prefetcher};
+
+/// Successor miss lines recorded per trigger.
+const RECORD_LEN: usize = 4;
+
+/// Staged-probe buffer bound (records chained by back-to-back misses).
+const PENDING_CAP: usize = 16;
+
+/// One record: the miss lines that followed `tag` the last times it
+/// missed.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    tag: u64,
+    succ: [u64; RECORD_LEN],
+    n: u8,
+}
+
+const EMPTY: Record = Record { tag: u64::MAX, succ: [0; RECORD_LEN], n: 0 };
+
+/// A record prefetcher in the spirit of MANA (Ansari et al., HPCA 2020,
+/// see PAPERS.md): every L1i miss becomes a *trigger* whose table entry
+/// accumulates the miss lines observed next; when the trigger misses
+/// again, its recorded successors are replayed as prefetches. Unlike the
+/// stream-directed policy it needs no lookahead structure — it learns
+/// the miss stream itself — so it also covers front-ends without an FTQ
+/// and miss sequences that cross predicted-stream boundaries.
+#[derive(Debug)]
+pub struct Mana {
+    records: Vec<Record>,
+    mask: u64,
+    last_miss: u64,
+    pending: Vec<u64>,
+}
+
+impl Mana {
+    /// Builds the prefetcher with a direct-mapped record table of
+    /// `entries` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "record table must be a power of two");
+        Mana {
+            records: vec![EMPTY; entries],
+            mask: entries as u64 - 1,
+            last_miss: u64::MAX,
+            pending: Vec::with_capacity(PENDING_CAP),
+        }
+    }
+
+    /// The default geometry: 1K records × 4 successors (≈13KB).
+    pub fn table2() -> Self {
+        Self::new(1024)
+    }
+
+    #[inline]
+    fn index(&self, line: u64) -> usize {
+        // Lines are sequential integers; spread them before masking.
+        ((line.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17) & self.mask) as usize
+    }
+}
+
+impl Prefetcher for Mana {
+    fn name(&self) -> &'static str {
+        "mana"
+    }
+
+    fn observe_demand(&mut self, line: u64, hit: bool) {
+        if hit {
+            return;
+        }
+        // Train: append this miss to the previous trigger's record.
+        if self.last_miss != u64::MAX && self.last_miss != line {
+            let idx = self.index(self.last_miss);
+            let r = &mut self.records[idx];
+            if r.tag != self.last_miss {
+                *r = Record { tag: self.last_miss, ..EMPTY };
+            }
+            let known = r.succ[..usize::from(r.n)].contains(&line);
+            if !known {
+                if usize::from(r.n) < RECORD_LEN {
+                    r.succ[usize::from(r.n)] = line;
+                    r.n += 1;
+                } else {
+                    // FIFO replacement inside the record.
+                    r.succ.rotate_left(1);
+                    r.succ[RECORD_LEN - 1] = line;
+                }
+            }
+        }
+        self.last_miss = line;
+        // Replay: stage this trigger's recorded successors.
+        let r = self.records[self.index(line)];
+        if r.tag == line {
+            for &s in &r.succ[..usize::from(r.n)] {
+                if self.pending.len() < PENDING_CAP && !self.pending.contains(&s) {
+                    self.pending.push(s);
+                }
+            }
+        }
+    }
+
+    fn probes(&mut self, ctx: &Lookahead<'_>, budget: usize, out: &mut Vec<Addr>) {
+        let n = self.pending.len().min(budget);
+        for line in self.pending.drain(..n) {
+            out.push(Addr::new(line * ctx.line_bytes));
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Tag (~26 bits of line index) + 4 successors + valid count.
+        self.records.len() as u64 * (26 + RECORD_LEN as u64 * 26 + 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Lookahead<'static> {
+        Lookahead { demand: None, queued: &[], predicted_next: None, line_bytes: 128 }
+    }
+
+    #[test]
+    fn replays_recorded_miss_successors() {
+        let mut p = Mana::new(64);
+        // Teach the miss chain 10 -> 20 -> 30.
+        p.observe_demand(10, false);
+        p.observe_demand(20, false);
+        p.observe_demand(30, false);
+        let mut out = Vec::new();
+        p.probes(&ctx(), 8, &mut out);
+        out.clear();
+        // Re-trigger at 10: its record holds 20.
+        p.observe_demand(10, false);
+        p.probes(&ctx(), 8, &mut out);
+        assert_eq!(out, vec![Addr::new(20 * 128)]);
+        // And 20's record holds 30 (triggered by the *observed* miss).
+        out.clear();
+        p.observe_demand(20, false);
+        p.probes(&ctx(), 8, &mut out);
+        assert_eq!(out, vec![Addr::new(30 * 128)]);
+    }
+
+    #[test]
+    fn hits_do_not_train() {
+        let mut p = Mana::new(64);
+        p.observe_demand(10, false);
+        p.observe_demand(20, true); // hit: not a successor
+        p.observe_demand(30, false);
+        let mut out = Vec::new();
+        p.observe_demand(10, false);
+        p.probes(&ctx(), 8, &mut out);
+        assert_eq!(out, vec![Addr::new(30 * 128)], "only misses enter records");
+    }
+
+    #[test]
+    fn record_replacement_is_bounded() {
+        let mut p = Mana::new(64);
+        for succ in 100..120 {
+            p.observe_demand(10, false);
+            p.observe_demand(succ, false);
+        }
+        p.pending.clear();
+        p.observe_demand(10, false);
+        let mut out = Vec::new();
+        p.probes(&ctx(), 32, &mut out);
+        assert!(out.len() <= RECORD_LEN, "record holds at most {RECORD_LEN} successors");
+    }
+}

@@ -1,0 +1,100 @@
+//! Next-N-line prefetch — the no-lookahead baseline.
+
+use sfetch_isa::Addr;
+
+use crate::{Lookahead, Prefetcher};
+
+/// Prefetches the `degree` lines following each new demand line.
+///
+/// This is the policy any front-end can drive without lookahead
+/// structures: it sees only the fetch cursor. On sequential code it
+/// covers exactly what the stream-directed policy covers; at every taken
+/// branch its guess is wasted, which is why the paper's lookahead
+/// argument (§3.3) favors prefetching along the *predicted* path instead.
+#[derive(Debug)]
+pub struct NextLine {
+    degree: u64,
+    last_line: u64,
+}
+
+impl NextLine {
+    /// Creates the policy prefetching `degree` lines ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "next-line degree must be at least 1");
+        NextLine { degree, last_line: u64::MAX }
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn observe_demand(&mut self, _line: u64, _hit: bool) {}
+
+    fn probes(&mut self, ctx: &Lookahead<'_>, budget: usize, out: &mut Vec<Addr>) {
+        let Some(demand) = ctx.demand else { return };
+        let line = demand.line_index(ctx.line_bytes);
+        if line == self.last_line {
+            return; // already covered this demand line
+        }
+        self.last_line = line;
+        for i in 1..=self.degree.min(budget as u64) {
+            out.push(Addr::new((line + i) * ctx.line_bytes));
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        64 // the last-line register
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(demand: u64) -> Lookahead<'static> {
+        Lookahead {
+            demand: Some(Addr::new(demand)),
+            queued: &[],
+            predicted_next: None,
+            line_bytes: 128,
+        }
+    }
+
+    #[test]
+    fn emits_following_lines_once_per_demand_line() {
+        let mut p = NextLine::new(2);
+        let mut out = Vec::new();
+        p.probes(&ctx(0x1000), 4, &mut out);
+        assert_eq!(out, vec![Addr::new(0x1080), Addr::new(0x1100)]);
+        out.clear();
+        // Same line again (later insts of the same line): nothing new.
+        p.probes(&ctx(0x1040), 4, &mut out);
+        assert!(out.is_empty());
+        // Next line: advances.
+        p.probes(&ctx(0x1080), 4, &mut out);
+        assert_eq!(out, vec![Addr::new(0x1100), Addr::new(0x1180)]);
+    }
+
+    #[test]
+    fn budget_caps_emission() {
+        let mut p = NextLine::new(4);
+        let mut out = Vec::new();
+        p.probes(&ctx(0x0), 1, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn no_demand_no_probes() {
+        let mut p = NextLine::new(2);
+        let mut out = Vec::new();
+        let c = Lookahead { demand: None, queued: &[], predicted_next: None, line_bytes: 128 };
+        p.probes(&c, 4, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Stream-directed prefetch — runs ahead of fetch along the predicted
+//! stream path.
+
+use sfetch_isa::Addr;
+
+use crate::{Lookahead, Prefetcher};
+
+/// Recently-emitted line ring: stops the policy from re-probing the same
+/// lines every cycle while the FTQ contents are unchanged.
+const RECENT: usize = 64;
+
+/// Lines prefetched beyond the predicted next stream's start (its length
+/// is unknown until the predictor is consulted there).
+const NEXT_STREAM_LINES: u64 = 2;
+
+/// Prefetches every L1i line covered by the engine's lookahead: the
+/// unread tail of the FTQ head request, every queued request behind it,
+/// and the first lines of the predicted next stream.
+///
+/// This is the paper's stream-lookahead argument (§3.3) turned into a
+/// prefetcher: the FTQ names, in program-fetch order, more than a cache
+/// line's worth of future addresses per entry, so by the time the
+/// I-cache stage reaches a line the fill has been in flight for as long
+/// as the FTQ was ahead — misses overlap with useful fetch instead of
+/// serializing behind it.
+#[derive(Debug)]
+pub struct StreamDirected {
+    recent: [u64; RECENT],
+    pos: usize,
+}
+
+impl StreamDirected {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        StreamDirected { recent: [u64::MAX; RECENT], pos: 0 }
+    }
+
+    /// Emits `line` unless it was recently emitted; returns whether a
+    /// probe was produced.
+    fn emit(&mut self, line: u64, line_bytes: u64, out: &mut Vec<Addr>) -> bool {
+        if self.recent.contains(&line) {
+            return false;
+        }
+        self.recent[self.pos] = line;
+        self.pos = (self.pos + 1) % RECENT;
+        out.push(Addr::new(line * line_bytes));
+        true
+    }
+}
+
+impl Default for StreamDirected {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for StreamDirected {
+    fn name(&self) -> &'static str {
+        "stream-directed"
+    }
+
+    fn observe_demand(&mut self, _line: u64, _hit: bool) {}
+
+    fn probes(&mut self, ctx: &Lookahead<'_>, budget: usize, out: &mut Vec<Addr>) {
+        let lb = ctx.line_bytes;
+        let mut left = budget;
+        // The demand line itself is being fetched; start one line past it
+        // so probes never compete with the demand access.
+        let demand_line = ctx.demand.map(|d| d.line_index(lb));
+        for &(start, insts) in ctx.queued {
+            if left == 0 {
+                return;
+            }
+            let first = start.line_index(lb);
+            let last = start.offset_insts(u64::from(insts.max(1)) - 1).line_index(lb);
+            for line in first..=last {
+                if left == 0 {
+                    return;
+                }
+                if Some(line) == demand_line {
+                    continue;
+                }
+                if self.emit(line, lb, out) {
+                    left -= 1;
+                }
+            }
+        }
+        if let Some(next) = ctx.predicted_next {
+            let first = next.line_index(lb);
+            for line in first..first + NEXT_STREAM_LINES {
+                if left == 0 {
+                    return;
+                }
+                if self.emit(line, lb, out) {
+                    left -= 1;
+                }
+            }
+        }
+    }
+
+    fn unissued(&mut self, line: u64) {
+        // The fill never started: forget the line so the next cycle's
+        // walk re-emits it instead of waiting ~RECENT emissions.
+        for slot in &mut self.recent {
+            if *slot == line {
+                *slot = u64::MAX;
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (RECENT as u64) * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_queued_ranges_and_next_stream() {
+        let mut p = StreamDirected::new();
+        let mut out = Vec::new();
+        // Head at 0x1000 (demand), 40 insts = 160 bytes: lines 0x1000,
+        // 0x1080; queued request at 0x4000, 8 insts: line 0x4000; next
+        // stream predicted at 0x8000.
+        let queued = [(Addr::new(0x1000), 40u32), (Addr::new(0x4000), 8u32)];
+        let ctx = Lookahead {
+            demand: Some(Addr::new(0x1000)),
+            queued: &queued,
+            predicted_next: Some(Addr::new(0x8000)),
+            line_bytes: 128,
+        };
+        p.probes(&ctx, 16, &mut out);
+        assert_eq!(
+            out,
+            vec![Addr::new(0x1080), Addr::new(0x4000), Addr::new(0x8000), Addr::new(0x8080)],
+            "demand line skipped, tails + queued + next stream covered"
+        );
+        // Re-probing with unchanged lookahead emits nothing new.
+        out.clear();
+        p.probes(&ctx, 16, &mut out);
+        assert!(out.is_empty(), "recent ring suppresses re-probes");
+    }
+
+    #[test]
+    fn unissued_lines_are_re_emitted() {
+        let mut p = StreamDirected::new();
+        let mut out = Vec::new();
+        let queued = [(Addr::new(0x1000), 8u32)];
+        let ctx =
+            Lookahead { demand: None, queued: &queued, predicted_next: None, line_bytes: 128 };
+        p.probes(&ctx, 4, &mut out);
+        assert_eq!(out, vec![Addr::new(0x1000)]);
+        out.clear();
+        p.probes(&ctx, 4, &mut out);
+        assert!(out.is_empty(), "suppressed while considered covered");
+        // The memory system reported no free MSHR: forget and re-emit.
+        p.unissued(0x1000 / 128);
+        p.probes(&ctx, 4, &mut out);
+        assert_eq!(out, vec![Addr::new(0x1000)]);
+    }
+
+    #[test]
+    fn budget_bounds_probes_per_cycle() {
+        let mut p = StreamDirected::new();
+        let mut out = Vec::new();
+        let queued = [(Addr::new(0x0), 256u32)]; // 1KB: 8 lines of 128B
+        let ctx = Lookahead {
+            demand: None,
+            queued: &queued,
+            predicted_next: None,
+            line_bytes: 128,
+        };
+        p.probes(&ctx, 3, &mut out);
+        assert_eq!(out.len(), 3);
+        // The rest of the range arrives on later cycles.
+        out.clear();
+        p.probes(&ctx, 3, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Addr::new(0x180));
+    }
+}

@@ -36,6 +36,39 @@ pub fn figure1() -> (Cfg, [sfetch_cfg::BlockId; 4]) {
     (cfg, [a, bb, c, d])
 }
 
+/// An instruction-cache walker: a hot loop calling `funcs` straight-line
+/// leaf functions in sequence, each 12 blocks of 30 instructions. With
+/// `funcs * 12 * 30 * 4` bytes beyond the L1i capacity, LRU evicts every
+/// line before the loop returns to it, so *every* line misses *every*
+/// iteration — the worst case for a blocking fetch path and the best
+/// case for stream-directed prefetch (long, perfectly predictable
+/// sequential runs; 64 leaves ≈ 92KB against the 64KB Table 2 L1i).
+pub fn icache_walker(funcs: usize) -> Cfg {
+    let mut b = CfgBuilder::new();
+    let main = b.add_func("main");
+    let callees: Vec<_> = (0..funcs)
+        .map(|i| {
+            let f = b.add_func(&format!("leaf{i}"));
+            let blocks: Vec<_> = (0..12).map(|_| b.add_block(f, 30)).collect();
+            for w in blocks.windows(2) {
+                b.set_fallthrough(w[0], w[1]);
+            }
+            b.set_return(blocks[11]);
+            f
+        })
+        .collect();
+    let sites: Vec<_> = (0..funcs).map(|_| b.add_block(main, 2)).collect();
+    let latch = b.add_block(main, 1);
+    let exit = b.add_block(main, 1);
+    for (i, (&site, &callee)) in sites.iter().zip(&callees).enumerate() {
+        let ret_to = if i + 1 < funcs { sites[i + 1] } else { latch };
+        b.set_call(site, callee, ret_to);
+    }
+    b.set_cond(latch, sites[0], exit, CondBehavior::Loop { trip: TripCount::Fixed(1 << 30) });
+    b.set_return(exit);
+    b.finish().expect("valid icache walker")
+}
+
 /// A minimal single-loop program used by quick tests and examples.
 pub fn tight_loop(body_len: usize, trip: u32) -> Cfg {
     let mut b = CfgBuilder::new();
@@ -102,5 +135,15 @@ mod tests {
         let cfg = tight_loop(6, 10);
         let img = CodeImage::build(&cfg, &layout::natural(&cfg));
         assert_eq!(img.len_insts(), 6 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn icache_walker_overflows_a_64kb_l1i() {
+        let cfg = icache_walker(64);
+        let img = CodeImage::build(&cfg, &layout::natural(&cfg));
+        assert!(img.len_insts() * 4 > 64 << 10, "footprint {} insts", img.len_insts());
+        // Executes end to end: the loop visits every leaf each iteration.
+        let insts: Vec<_> = Executor::new(&cfg, &img, 1).take(50_000).collect();
+        assert_eq!(insts.len(), 50_000);
     }
 }

@@ -7,7 +7,7 @@ use sfetch_fetch::EngineKind;
 use sfetch_workloads::{LayoutChoice, Suite};
 
 fn grid(suite: &Suite, jobs: usize) -> Vec<RunPoint> {
-    let opts = HarnessOpts { insts: 10_000, warmup: 1_000, jobs, legacy_scan: false };
+    let opts = HarnessOpts { insts: 10_000, warmup: 1_000, jobs, ..HarnessOpts::default() };
     run_grid(
         suite,
         &[4],
