@@ -12,12 +12,14 @@
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin ablation_prefetch \
-//!     [-- --inst N --warmup N --jobs N --mshrs N]
+//!     [-- --inst N --warmup N --jobs N --mshrs N --long]
 //! ```
 //!
 //! `--mshrs N` resizes the MSHR file of every non-`none` row (default
 //! 8); the `--prefetch` flag is ignored here — this binary sweeps all
-//! policies by construction.
+//! policies by construction. `--long` appends the long-horizon phased
+//! workload (`sfetch_workloads::phased`), whose rotating hot sets
+//! overflow the L1i and give every policy real misses to chase.
 
 use sfetch_bench::{ablation_workloads, HarnessOpts};
 use sfetch_core::metrics::harmonic_mean;
@@ -60,7 +62,8 @@ fn main() {
     let opts = HarnessOpts::from_args();
     let workloads = ablation_workloads(opts);
 
-    println!("prefetch ablation, 8-wide, optimized layout (suite: gzip gcc crafty twolf)");
+    let names: Vec<&str> = workloads.iter().map(Workload::name).collect();
+    println!("prefetch ablation, 8-wide, optimized layout (suite: {})", names.join(" "));
     for engine in EngineKind::ALL {
         println!("\n{engine}");
         println!(

@@ -15,12 +15,16 @@
 //! | `ablation_predictor` | cascaded vs single-level stream predictor |
 //! | `ablation_ftq` | FTQ depth sweep |
 //! | `ablation_sts` | selective trace storage on/off |
-//! | `perfstats` | host throughput: simulated MIPS per engine → `BENCH_1.json` |
+//! | `perfstats` | host throughput per engine + the sampling/redecode A/Bs → `BENCH_4.json` |
+//! | `shard_runner` | multi-process sampled simulation: windows × engines fanned across OS processes via architectural checkpoints, merged bit-identically |
 //! | `all` | everything above, in sequence |
 //!
 //! Run with `--inst N` / `--warmup N` to change the measured window
 //! (defaults: 1M measured after 200k warmup per point) and `--jobs N` to
-//! bound worker threads (default: all cores). Every grid point owns its
+//! bound worker threads (default: all cores). `--long` appends the
+//! long-horizon phased workload to the ablation set; `--sample` /
+//! `--sample-total` configure the sampled-simulation schedule (see
+//! [`sfetch_sample::SampleConfig`]). Every grid point owns its
 //! `Processor` and derives only from its workload + configuration, so
 //! parallel runs are bit-identical to serial ones.
 
@@ -35,7 +39,8 @@ use sfetch_core::{
 };
 use sfetch_fetch::{EngineKind, FetchEngine};
 use sfetch_mem::MemoryConfig;
-use sfetch_workloads::{par_map, LayoutChoice, Suite, Workload};
+use sfetch_sample::SampleConfig;
+use sfetch_workloads::{par_map, phased, LayoutChoice, Suite, Workload};
 
 pub mod progress;
 
@@ -60,6 +65,15 @@ pub struct HarnessOpts {
     /// custom-engine ablation sweeps (`run_custom`) ignore it, since
     /// their hand-built engines carry no prefetcher.
     pub prefetch: PrefetchConfig,
+    /// Include the long-horizon phased workload (`--long`). Off by
+    /// default so tier-1 runtimes stay bounded; `ablation_workloads`
+    /// appends it when set.
+    pub long: bool,
+    /// Committed instructions of the sampling A/B's long run
+    /// (`--sample-total N`; `perfstats` and `shard_runner` only).
+    pub sample_total: u64,
+    /// The U/W/D sampling schedule (`--sample U,Wf,Wd,D`).
+    pub sample: SampleConfig,
 }
 
 impl Default for HarnessOpts {
@@ -70,23 +84,35 @@ impl Default for HarnessOpts {
             jobs: sfetch_workloads::default_jobs(),
             legacy_scan: false,
             prefetch: PrefetchConfig::none(),
+            long: false,
+            sample_total: 50_000_000,
+            sample: SampleConfig::default(),
         }
     }
 }
 
 impl HarnessOpts {
     /// Parses `--inst N`, `--warmup N`, `--jobs N`, `--legacy-scan`,
-    /// `--prefetch KIND` (`none|next-line|stream|mana`) and `--mshrs N`
-    /// from the process arguments.
+    /// `--prefetch KIND` (`none|next-line|stream|mana`), `--mshrs N`,
+    /// `--long`, `--sample-total N` and `--sample U,Wf,Wd,D` from the
+    /// process arguments.
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> Self {
+        Self::from_arg_list(&std::env::args().skip(1).collect::<Vec<String>>())
+    }
+
+    /// Parses an explicit argument list (see [`HarnessOpts::from_args`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_arg_list(args: &[String]) -> Self {
         let mut o = Self::default();
         let mut pf_kind = PrefetchKind::None;
         let mut mshrs_override: Option<usize> = None;
-        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -131,10 +157,28 @@ impl HarnessOpts {
                     );
                     i += 2;
                 }
+                "--long" => {
+                    o.long = true;
+                    i += 1;
+                }
+                "--sample-total" => {
+                    o.sample_total = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--sample-total requires a number");
+                    i += 2;
+                }
+                "--sample" => {
+                    let spec = args.get(i + 1).expect("--sample requires U,Wf,Wd,D");
+                    o.sample = SampleConfig::parse(spec)
+                        .unwrap_or_else(|e| panic!("bad --sample schedule: {e}"));
+                    i += 2;
+                }
                 other => {
                     panic!(
                         "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, \
-                         --legacy-scan, --prefetch none|next-line|stream|mana, --mshrs N"
+                         --legacy-scan, --prefetch none|next-line|stream|mana, --mshrs N, \
+                         --long, --sample-total N, --sample U,Wf,Wd,D"
                     )
                 }
             }
@@ -230,12 +274,15 @@ pub fn run_custom_sweep(
 /// The four-benchmark subset used by the quicker ablation binaries.
 pub const ABLATION_BENCHES: [&str; 4] = ["gzip", "gcc", "crafty", "twolf"];
 
-/// Builds the ablation workload subset in parallel.
+/// Builds the ablation workload subset in parallel. With
+/// [`HarnessOpts::long`] set, the long-horizon phased workload
+/// (`sfetch_workloads::phased`) rides along at the end of the list —
+/// behind the flag so tier-1 runtimes stay bounded.
 pub fn ablation_workloads(opts: HarnessOpts) -> Vec<Workload> {
     let suite = Suite::build_subset(&ABLATION_BENCHES, opts.jobs);
     // Re-order to the ABLATION_BENCHES order the binaries print.
     let mut by_name: Vec<Option<Workload>> = suite.into_workloads().into_iter().map(Some).collect();
-    ABLATION_BENCHES
+    let mut out: Vec<Workload> = ABLATION_BENCHES
         .iter()
         .map(|n| {
             let i = by_name
@@ -244,7 +291,27 @@ pub fn ablation_workloads(opts: HarnessOpts) -> Vec<Workload> {
                 .expect("subset contains every ablation bench");
             by_name[i].take().expect("taken once")
         })
-        .collect()
+        .collect();
+    if opts.long {
+        out.push(phased::long_workload());
+    }
+    out
+}
+
+/// Builds a named workload: a suite member, or the registered phased
+/// long-horizon workload under its [`phased::LONG_NAME`].
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn workload_by_name(name: &str) -> Workload {
+    if name == phased::LONG_NAME {
+        return phased::long_workload();
+    }
+    sfetch_workloads::suite::build(
+        sfetch_workloads::suite::by_name(name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name:?} (suite member or \"phased\")")),
+    )
 }
 
 /// Runs the whole grid for the given widths/layouts/engines with up to

@@ -131,8 +131,6 @@ impl<'a> Processor<'a> {
         image: &'a CodeImage,
         seed: u64,
     ) -> Self {
-        assert_eq!(engine.width(), config.width, "engine width must match processor width");
-        config.prefetch.validate();
         // The oracle walks the image's interned control table; `cfg` is only
         // needed to validate that the image was actually built from it.
         assert_eq!(
@@ -140,6 +138,40 @@ impl<'a> Processor<'a> {
             image.control().num_blocks(),
             "image was not built from this cfg"
         );
+        let mut mem = MemoryHierarchy::new(memcfg);
+        if config.prefetch.pipelined() {
+            mem.enable_inst_pipeline(config.prefetch.mshrs);
+        }
+        Self::with_state(config, engine, image, Executor::from_image(image, seed), mem)
+    }
+
+    /// Creates a processor around pre-built architectural and memory
+    /// state: an [`Executor`] positioned anywhere in its trace (e.g.
+    /// resumed from an [`sfetch_trace::ArchCheckpoint`]) and a
+    /// [`MemoryHierarchy`] that may already be warm. This is the sampled
+    /// simulator's entry point: each sample window functionally warms
+    /// caches/predictors along the fast-forwarded path, then hands the
+    /// state here for the detailed window.
+    ///
+    /// The caller is responsible for the engine's fetch cursor pointing
+    /// at the executor's current pc (engines start at their construction
+    /// `entry`; redirect them when resuming mid-trace) and for the memory
+    /// hierarchy's inst pipeline matching `config.prefetch` (fresh
+    /// hierarchies are upgraded here as a convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine width disagrees with the configuration or the
+    /// ROB does not fit the completion ring.
+    pub fn with_state(
+        config: ProcessorConfig,
+        engine: Box<dyn FetchEngine>,
+        image: &'a CodeImage,
+        oracle: Executor<'a>,
+        mut mem: MemoryHierarchy,
+    ) -> Self {
+        assert_eq!(engine.width(), config.width, "engine width must match processor width");
+        config.prefetch.validate();
         // The completion ring is indexed by sequence number; it must not
         // alias across the largest seq span simultaneously in flight
         // (ROB + squash gaps + the 255-max dependence distance).
@@ -148,8 +180,7 @@ impl<'a> Processor<'a> {
             "rob_entries {} too large for the completion ring",
             config.rob_entries
         );
-        let mut mem = MemoryHierarchy::new(memcfg);
-        if config.prefetch.pipelined() {
+        if config.prefetch.pipelined() && !mem.inst_pipeline_enabled() {
             mem.enable_inst_pipeline(config.prefetch.mshrs);
         }
         Processor {
@@ -157,7 +188,7 @@ impl<'a> Processor<'a> {
             engine,
             mem,
             image,
-            oracle: Executor::from_image(image, seed),
+            oracle,
             pending_oracle: None,
             rob: VecDeque::with_capacity(config.rob_entries),
             next_seq: 0,

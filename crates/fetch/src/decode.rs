@@ -1,0 +1,202 @@
+//! Decoded-line cache: host-side memoization of the per-instruction
+//! decode work in the fetch inner loop.
+//!
+//! Every delivered instruction used to pay an [`CodeImage::inst_at`]
+//! lookup (alignment + bounds checks) plus control-attribute extraction.
+//! On the *correct* path that work is done once per dynamic instruction,
+//! but on wrong paths it is redone from scratch after **every** squash:
+//! the recovery point re-fetches the same lines, and at large ROBs (deep
+//! speculation, long resolve latencies) the same bytes are re-decoded
+//! many times per misprediction. The cache keys decoded instruction runs
+//! by I-cache line, so a post-recovery re-fetch of a recently decoded
+//! line serves from the cache.
+//!
+//! Correctness is structural: the [`CodeImage`] is immutable for the
+//! lifetime of a simulation, so a cached decode can never go stale, and
+//! the cached fields are exactly the ones the fetch loop read from
+//! [`sfetch_cfg::ImageInst`] — simulated results are bit-identical with
+//! the cache on or off (asserted by differential tests). Only host time
+//! changes; the `redecode_ab` entry of `BENCH_4.json` records the delta.
+
+use sfetch_cfg::CodeImage;
+use sfetch_isa::{Addr, StaticInst};
+
+/// One decoded instruction slot: the subset of [`sfetch_cfg::ImageInst`]
+/// the fetch inner loops consume.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInst {
+    /// The static instruction.
+    pub inst: StaticInst,
+    /// Whether the slot is a control transfer.
+    pub is_control: bool,
+    /// Static branch target ([`Addr::NULL`] for non-branches and
+    /// data-dependent targets), pre-flattened from the control attribute.
+    pub target: Addr,
+}
+
+/// One cached line of decoded instructions.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Line base address; [`Addr::NULL`] marks an invalid entry. (The
+    /// code segment never starts at address zero — `CODE_BASE` — so NULL
+    /// is unambiguous.)
+    base: Addr,
+    /// Address of the first decoded slot (`max(base, image base)`).
+    first: Addr,
+    /// Decoded slots from `first` to the end of line or image.
+    insts: Vec<DecodedInst>,
+}
+
+/// Direct-mapped cache of decoded I-cache lines.
+#[derive(Debug)]
+pub struct DecodeCache {
+    entries: Vec<Entry>,
+    line_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache entries: enough to cover the wrong-path working set between a
+/// squash and the re-fetch of the recovery region (a handful of lines),
+/// with headroom for the correct-path hot loop.
+const ENTRIES: usize = 64;
+
+impl DecodeCache {
+    /// Builds an empty cache.
+    pub fn new() -> Self {
+        DecodeCache {
+            entries: vec![
+                Entry { base: Addr::NULL, first: Addr::NULL, insts: Vec::new() };
+                ENTRIES
+            ],
+            line_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Host-side effectiveness counters `(hits, misses)`. Deliberately
+    /// **not** part of [`crate::FetchEngineStats`]: simulated statistics
+    /// must stay bit-identical with the cache on or off.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The decoded run starting at `start`, up to `k` instructions, all
+    /// within the I-cache line containing `start` (the caller's fetch
+    /// group never crosses a line). The returned slice is shorter than
+    /// `k` when the image ends mid-run, and empty when `start` is outside
+    /// the image — mirroring what per-slot [`CodeImage::inst_at`] lookups
+    /// would have reported.
+    pub fn run(&mut self, image: &CodeImage, start: Addr, k: u32, line_bytes: u64) -> &[DecodedInst] {
+        if self.line_bytes != line_bytes {
+            // Line geometry changed (only ever once, at first use): reset.
+            self.line_bytes = line_bytes;
+            for e in &mut self.entries {
+                e.base = Addr::NULL;
+            }
+        }
+        let base = start.line_base(line_bytes);
+        let idx = (start.line_index(line_bytes) as usize) % ENTRIES;
+        if self.entries[idx].base != base {
+            self.misses += 1;
+            Self::fill(&mut self.entries[idx], image, base, line_bytes);
+        } else {
+            self.hits += 1;
+        }
+        let e = &self.entries[idx];
+        if start < e.first || !start.is_inst_aligned() {
+            return &[];
+        }
+        let off = start.insts_since(e.first) as usize;
+        let end = (off + k as usize).min(e.insts.len());
+        if off >= end {
+            return &[];
+        }
+        &e.insts[off..end]
+    }
+
+    /// Decodes one whole line (clipped to the image) into `e`.
+    fn fill(e: &mut Entry, image: &CodeImage, base: Addr, line_bytes: u64) {
+        e.base = base;
+        e.first = base.max(image.base());
+        e.insts.clear();
+        let line_end = Addr::new(base.get() + line_bytes).min(image.end());
+        let mut pc = e.first;
+        while pc < line_end {
+            let Some(ii) = image.inst_at(pc) else { break };
+            e.insts.push(DecodedInst {
+                inst: ii.inst,
+                is_control: ii.control.is_some(),
+                target: ii.control.and_then(|a| a.target).unwrap_or(Addr::NULL),
+            });
+            pc = pc.next_inst();
+        }
+    }
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_cfg::builder::CfgBuilder;
+    use sfetch_cfg::{layout, CondBehavior, TripCount};
+
+    fn image() -> CodeImage {
+        let mut bld = CfgBuilder::new();
+        let f = bld.add_func("main");
+        let body = bld.add_block(f, 40);
+        let exit = bld.add_block(f, 1);
+        bld.set_cond(body, body, exit, CondBehavior::Loop { trip: TripCount::Fixed(1 << 20) });
+        bld.set_return(exit);
+        let cfg = bld.finish().expect("valid");
+        let lay = layout::natural(&cfg);
+        CodeImage::build(&cfg, &lay)
+    }
+
+    #[test]
+    fn cached_runs_match_image_lookups() {
+        let img = image();
+        let mut dc = DecodeCache::new();
+        let lb = 128u64;
+        for round in 0..3 {
+            for slot in 0..img.len_insts() {
+                let pc = img.base().offset_insts(slot as u64);
+                let k = (pc.insts_to_line_end(lb) as u32).clamp(1, 8);
+                let run = dc.run(&img, pc, k, lb);
+                for (i, di) in run.iter().enumerate() {
+                    let ii = img.inst_at(pc.offset_insts(i as u64)).expect("in image");
+                    assert_eq!(di.inst, ii.inst, "round {round}");
+                    assert_eq!(di.is_control, ii.control.is_some());
+                    assert_eq!(di.target, ii.control.and_then(|a| a.target).unwrap_or(Addr::NULL));
+                }
+                // The run is exactly as long as the in-image span.
+                let expect = (0..k as u64)
+                    .take_while(|&i| img.inst_at(pc.offset_insts(i)).is_some())
+                    .count();
+                assert_eq!(run.len(), expect);
+            }
+        }
+        let (hits, misses) = dc.counters();
+        assert!(hits > misses * 10, "second/third rounds must hit ({hits} hits, {misses} misses)");
+    }
+
+    #[test]
+    fn off_image_and_end_clipping() {
+        let img = image();
+        let mut dc = DecodeCache::new();
+        let lb = 64u64;
+        assert!(dc.run(&img, Addr::new(0x1000), 8, lb).is_empty(), "below image");
+        assert!(dc.run(&img, img.end(), 8, lb).is_empty(), "at image end");
+        // A run straddling the image end is clipped, not dropped.
+        let last = img.base().offset_insts(img.len_insts() as u64 - 1);
+        let k = (last.insts_to_line_end(lb) as u32).max(2);
+        let run = dc.run(&img, last, k, lb);
+        assert_eq!(run.len(), 1);
+    }
+}

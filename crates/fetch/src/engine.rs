@@ -93,6 +93,27 @@ pub trait FetchEngine {
         }
     }
 
+    /// Functional-warming path: trains the engine's commit-side structures
+    /// from a block of architecturally committed instructions **without**
+    /// a timing model driving it. Sampled simulation's fast-forward mode
+    /// calls this so predictor tables and histories reach each detailed
+    /// window warm. The default routes through [`FetchEngine::commit_block`]
+    /// — commit-side training is already timing-free — with the caveat
+    /// that warming records carry `mispredicted: false` (no front-end ran,
+    /// so no redirects were observed).
+    fn warm_block(&mut self, cis: &[CommittedInst]) {
+        self.commit_block(cis);
+    }
+
+    /// Host-side decoded-line-cache counters `(hits, misses)`; `(0, 0)`
+    /// for engines without one or with the cache disabled. Deliberately
+    /// separate from [`FetchEngine::stats`]: the cache is a host
+    /// optimization and simulated statistics are bit-identical with it
+    /// on or off.
+    fn decode_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     /// Engine statistics.
     fn stats(&self) -> FetchEngineStats;
 

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod bundle;
+pub mod decode;
 pub mod engine;
 pub mod ev8;
 pub mod ftb_engine;
@@ -39,6 +40,7 @@ pub mod trace_cache;
 pub use bundle::{
     BranchPrediction, Checkpoint, CommittedControl, CommittedInst, FetchedInst, ResolvedBranch,
 };
+pub use decode::{DecodeCache, DecodedInst};
 pub use engine::{EngineKind, FetchEngine, FetchEngineStats};
 pub use ev8::Ev8Engine;
 pub use ftb_engine::FtbEngine;

@@ -19,6 +19,7 @@ use sfetch_prefetch::{Lookahead, PrefetchConfig};
 use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
+use crate::decode::DecodeCache;
 use crate::engine::{FetchEngine, FetchEngineStats};
 use crate::ftq::{FetchRequest, Ftq};
 use crate::port::IcachePort;
@@ -63,6 +64,16 @@ pub struct StreamEngine {
     open: Vec<OpenStream>,
     /// Reusable lookahead scratch for the prefetch drive stage.
     la_buf: Vec<(Addr, u32)>,
+    /// Decoded-line cache serving the fetch inner loop; survives
+    /// redirects, so post-squash re-fetches of recently decoded lines
+    /// skip the per-slot image walk. Simulated results are bit-identical
+    /// with it on or off. **Off by default**: the ROADMAP hypothesis that
+    /// wrong-path re-decode costs host time did not survive measurement —
+    /// with the interned image a decode is one bounds-checked array read,
+    /// and the cache's indexing overhead makes it a ~2–3% *loss* at ROB
+    /// 1024 (`redecode_ab` in BENCH_4.json). Kept behind this builder
+    /// for measurement and as the hook if decode ever grows real work.
+    decode: Option<DecodeCache>,
     stats: FetchEngineStats,
 }
 
@@ -92,6 +103,7 @@ impl StreamEngine {
             max_stream,
             open: Vec::with_capacity(MAX_OPEN),
             la_buf: Vec::with_capacity(ftq_entries),
+            decode: None,
             stats: FetchEngineStats::default(),
         }
     }
@@ -100,6 +112,57 @@ impl StreamEngine {
     pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
         self.port = IcachePort::from_config(pf);
         self
+    }
+
+    /// Enables the decoded-line cache (builder-style). Used by the
+    /// `redecode_ab` measurement leg and the differential tests; the
+    /// simulated results are bit-identical with the cache on or off.
+    pub fn with_decode_cache(mut self) -> Self {
+        self.decode = Some(DecodeCache::new());
+        self
+    }
+
+    /// Disables the decoded-line cache (builder-style; the default).
+    pub fn without_decode_cache(mut self) -> Self {
+        self.decode = None;
+        self
+    }
+
+    /// Host-side decoded-line cache counters `(hits, misses)`; zeros when
+    /// the cache is disabled.
+    pub fn decode_counters(&self) -> (u64, u64) {
+        self.decode.as_ref().map_or((0, 0), DecodeCache::counters)
+    }
+
+    /// Whether a front-end tracking this engine's predictor state would
+    /// have mispredicted the committing branch `c` — evaluated against
+    /// the *retired*-path probe of the cascade (the speculative register
+    /// tracks the retired one in steady state). Used only by functional
+    /// warming to synthesize misprediction bits.
+    fn would_mispredict(&self, c: &crate::bundle::CommittedControl) -> bool {
+        let Some(o) = self.open.first() else {
+            // No open stream yet (cold start): the sequential fallback
+            // fetches not-taken paths, so any taken branch redirects.
+            return c.taken;
+        };
+        // Stream length including this branch, as commit() will count it.
+        let would_len = o.len + 1;
+        match self.pred.probe_retired(o.start) {
+            Some(p) => {
+                let terminates = p.kind.is_some() && p.len == would_len;
+                if c.taken {
+                    // Correct iff the stream was predicted to end at this
+                    // instruction toward the right target (returns resolve
+                    // through the RAS and are assumed repaired).
+                    !(terminates && (p.kind == Some(BranchKind::Return) || p.next == c.next_pc))
+                } else {
+                    // Fell through: wrong iff predicted to terminate here.
+                    terminates
+                }
+            }
+            // Predictor miss: sequential fallback predicts not-taken.
+            None => c.taken,
+        }
     }
 
     /// The underlying next stream predictor (for inspection in tests and
@@ -231,24 +294,55 @@ impl FetchEngine for StreamEngine {
             .min(req.cur.insts_to_line_end(line) as u32)
             .max(1);
         let term_pc = req.term_pc();
-        for i in 0..k {
-            let pc = req.cur.offset_insts(u64::from(i));
-            let Some(ii) = image.inst_at(pc) else {
+        if let Some(dc) = self.decode.as_mut() {
+            // Cached decode: the fetch group never crosses a line (`k` is
+            // clipped to the line end), so one cache lookup serves it. A
+            // short run means the group ran off the image mid-way — the
+            // per-slot path below would have delivered the same prefix
+            // before going idle.
+            let run = dc.run(image, req.cur, k, line);
+            let mut pc = req.cur;
+            for di in run {
+                let is_term = req.term.is_some() && pc == term_pc;
+                let pred = if di.is_control {
+                    Some(if is_term {
+                        BranchPrediction { taken: true, target: req.next }
+                    } else {
+                        // Embedded branches are implicitly not-taken (§3.2).
+                        BranchPrediction { taken: false, target: di.target }
+                    })
+                } else {
+                    None
+                };
+                let cp = if is_term { req.cp_term } else { req.cp_embedded };
+                out.push(FetchedInst { pc, inst: di.inst, pred, cp });
+                pc = pc.next_inst();
+            }
+            if run.len() < k as usize {
                 // Wrong path ran off the image: go idle until redirected.
                 self.ftq.clear();
                 return;
-            };
-            let is_term = req.term.is_some() && pc == term_pc;
-            let pred = ii.control.map(|attr| {
-                if is_term {
-                    BranchPrediction { taken: true, target: req.next }
-                } else {
-                    // Embedded branches are implicitly not-taken (§3.2).
-                    BranchPrediction { taken: false, target: attr.target.unwrap_or(Addr::NULL) }
-                }
-            });
-            let cp = if is_term { req.cp_term } else { req.cp_embedded };
-            out.push(FetchedInst { pc, inst: ii.inst, pred, cp });
+            }
+        } else {
+            for i in 0..k {
+                let pc = req.cur.offset_insts(u64::from(i));
+                let Some(ii) = image.inst_at(pc) else {
+                    // Wrong path ran off the image: go idle until redirected.
+                    self.ftq.clear();
+                    return;
+                };
+                let is_term = req.term.is_some() && pc == term_pc;
+                let pred = ii.control.map(|attr| {
+                    if is_term {
+                        BranchPrediction { taken: true, target: req.next }
+                    } else {
+                        // Embedded branches are implicitly not-taken (§3.2).
+                        BranchPrediction { taken: false, target: attr.target.unwrap_or(Addr::NULL) }
+                    }
+                });
+                let cp = if is_term { req.cp_term } else { req.cp_embedded };
+                out.push(FetchedInst { pc, inst: ii.inst, pred, cp });
+            }
         }
         let head = self.ftq.head().expect("head exists");
         head.consume(k);
@@ -340,6 +434,30 @@ impl FetchEngine for StreamEngine {
                 self.open.push(OpenStream { start: next, len: 0, mispredicted: false });
             }
         }
+    }
+
+    /// Self-checking functional warming: the sampler cannot know which
+    /// instructions a real front-end would have mispredicted (no timing
+    /// model runs during fast-forward), but the engine can — by probing
+    /// its own predictor under the retired path before each branch
+    /// commits. The synthesized `mispredicted` bits then drive the normal
+    /// commit logic, which opens *partial streams* at exactly the
+    /// recovery points a real run trains (§1). Without this, warmed
+    /// predictors lack every partial-stream entry and post-recovery
+    /// lookups all miss — measured as a double-digit IPC underestimate
+    /// in sampled windows.
+    fn warm_block(&mut self, cis: &[CommittedInst]) {
+        for ci in cis {
+            let mut ci = *ci;
+            if let Some(c) = ci.control {
+                ci.mispredicted = self.would_mispredict(&c);
+            }
+            self.commit(&ci);
+        }
+    }
+
+    fn decode_counters(&self) -> (u64, u64) {
+        StreamEngine::decode_counters(self)
     }
 
     fn stats(&self) -> FetchEngineStats {

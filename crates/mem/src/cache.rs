@@ -119,11 +119,13 @@ impl SetAssocCache {
         (set, tag)
     }
 
-    /// Accesses the line containing `addr`; returns `true` on hit. A miss
-    /// fills the line (LRU victim).
-    pub fn access(&mut self, addr: Addr) -> bool {
+    /// The shared touch-or-fill state transition: hit refreshes LRU, miss
+    /// installs the line over the LRU victim. `access` and `warm_access`
+    /// are this transition with and without statistics — one
+    /// implementation, so the functional-warming path can never drift
+    /// from the timed path's residency/LRU decisions.
+    fn touch_fill(&mut self, addr: Addr) -> bool {
         self.tick += 1;
-        self.stats.accesses += 1;
         let (set, tag) = self.locate(addr);
         let base = set * self.config.assoc;
         let ways = &mut self.lines[base..base + self.config.assoc];
@@ -131,7 +133,6 @@ impl SetAssocCache {
             l.lru = self.tick;
             return true;
         }
-        self.stats.misses += 1;
         let victim = ways
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
@@ -141,6 +142,17 @@ impl SetAssocCache {
         victim.lru = self.tick;
         victim.prefetched = false;
         false
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit. A miss
+    /// fills the line (LRU victim).
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.stats.accesses += 1;
+        let hit = self.touch_fill(addr);
+        if !hit {
+            self.stats.misses += 1;
+        }
+        hit
     }
 
     /// A demand access for the non-blocking miss pipeline: hits update LRU
@@ -188,6 +200,16 @@ impl SetAssocCache {
         victim.lru = self.tick;
         victim.prefetched = prefetched;
         polluted
+    }
+
+    /// Functional-warming touch: updates residency and LRU exactly like
+    /// [`SetAssocCache::access`] (they share one transition) but counts
+    /// **no** statistics. This is the warmup-only path used by sampled
+    /// simulation's fast-forward mode, where cache *state* must track the
+    /// architectural path without polluting the measured window's
+    /// hit/miss counters. Returns `true` on hit.
+    pub fn warm_access(&mut self, addr: Addr) -> bool {
+        self.touch_fill(addr)
     }
 
     /// Checks residency without filling or touching LRU.

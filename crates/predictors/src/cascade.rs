@@ -98,6 +98,18 @@ impl<T: Default + Clone + PartialEq> Cascade<T> {
         None
     }
 
+    /// Side-effect-free lookup: like [`Cascade::predict`] but counts no
+    /// statistics and refreshes no LRU state. Used by functional warming
+    /// to ask "what would the front-end have predicted here?" without
+    /// perturbing the tables it is warming.
+    pub fn probe(&self, path: &PathHistory, addr: Addr) -> Option<(T, bool)> {
+        let tag = Self::tag(addr);
+        if let Some(h) = self.second.probe(self.second_index(path, addr), tag) {
+            return Some((h.data.clone(), true));
+        }
+        self.first.probe(self.first_index(addr), tag).map(|h| (h.data.clone(), false))
+    }
+
     /// Commit-time update with the observed unit `data` starting at `addr`,
     /// under the **retired** path (the history state *before* this unit).
     ///

@@ -176,6 +176,24 @@ impl NextStreamPredictor {
         self.spec_path.restore(snap);
     }
 
+    /// Side-effect-free lookup under the **retired** path: what the
+    /// front-end would have predicted for a stream starting at `pc`,
+    /// assuming its speculative path register tracked the retired one (it
+    /// does in steady state). Functional warming uses this to synthesize
+    /// misprediction bits — and through them the partial-stream entries a
+    /// real front-end trains at recovery points — without counting
+    /// statistics or touching LRU state.
+    pub fn probe_retired(&self, pc: Addr) -> Option<StreamPrediction> {
+        let (d, from_second) = self.cascade.probe(&self.retired_path, pc)?;
+        Some(StreamPrediction {
+            start: pc,
+            len: d.len.min(self.config.max_len).max(1),
+            kind: d.kind,
+            next: d.next,
+            from_second,
+        })
+    }
+
     /// Trains the predictor with a completed stream and advances the
     /// retired *update* path register.
     pub fn commit_stream(&mut self, up: StreamUpdate) {

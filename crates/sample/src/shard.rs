@@ -1,0 +1,143 @@
+//! Shard math: splitting a sampled run's windows across processes and
+//! merging their results.
+//!
+//! Windows are assigned in **contiguous chunks** (not round-robin) so a
+//! shard needs exactly one architectural checkpoint — the unit boundary
+//! of its first window — instead of one per window. Because every window
+//! simulates on fresh warmed structures derived only from the master
+//! executor's state at its own boundary, the merged result of any shard
+//! split is bit-identical to the single-process run.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::runner::SamplePoint;
+
+/// One shard's identity within a run: `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index.
+    pub index: u64,
+    /// Total shards.
+    pub count: u64,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `i/N` (e.g. `--shard 1/4`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed text, `N == 0`, and `i >= N`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, n) = s.split_once('/').ok_or_else(|| format!("expected i/N, got {s:?}"))?;
+        let index: u64 = i.trim().parse().map_err(|e| format!("bad shard index {i:?}: {e}"))?;
+        let count: u64 = n.trim().parse().map_err(|e| format!("bad shard count {n:?}: {e}"))?;
+        if count == 0 {
+            return Err("shard count must be >= 1".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for {count} shards"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The contiguous window range shard `spec` owns out of `total_windows`.
+/// Ranges partition `0..total_windows`; the first `total % count` shards
+/// take one extra window.
+pub fn window_range(total_windows: u64, spec: ShardSpec) -> Range<u64> {
+    let base = total_windows / spec.count;
+    let extra = total_windows % spec.count;
+    let lo = spec.index * base + spec.index.min(extra);
+    let hi = lo + base + u64::from(spec.index < extra);
+    lo..hi
+}
+
+/// Merges per-shard window results back into one run: sorts by window
+/// index and verifies the set is exactly `0..n` with no duplicates or
+/// holes.
+///
+/// # Errors
+///
+/// Reports the first duplicate or missing window index.
+pub fn merge_points(mut all: Vec<SamplePoint>) -> Result<Vec<SamplePoint>, String> {
+    all.sort_by_key(|p| p.window);
+    for (i, p) in all.iter().enumerate() {
+        let expect = i as u64;
+        if p.window != expect {
+            return Err(if p.window < expect || (i > 0 && all[i - 1].window == p.window) {
+                format!("duplicate window {} in merged shard output", p.window)
+            } else {
+                format!("missing window {expect} in merged shard output")
+            });
+        }
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let s = ShardSpec::parse("1/4").expect("valid");
+        assert_eq!(s, ShardSpec { index: 1, count: 4 });
+        assert_eq!(s.to_string(), "1/4");
+        assert!(ShardSpec::parse("4/4").is_err(), "index out of range");
+        assert!(ShardSpec::parse("0/0").is_err(), "zero shards");
+        assert!(ShardSpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn ranges_partition_the_windows() {
+        for total in [0u64, 1, 7, 100, 101, 103] {
+            for count in [1u64, 2, 3, 8] {
+                let mut covered = Vec::new();
+                let mut last_hi = 0;
+                for index in 0..count {
+                    let r = window_range(total, ShardSpec { index, count });
+                    assert_eq!(r.start, last_hi, "contiguous chunks");
+                    last_hi = r.end;
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>(), "total {total} count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for index in 0..8 {
+            let r = window_range(100, ShardSpec { index, count: 8 });
+            let len = r.end - r.start;
+            assert!((12..=13).contains(&len));
+        }
+    }
+
+    fn point(window: u64) -> SamplePoint {
+        SamplePoint {
+            window,
+            start_inst: 0,
+            committed: 1,
+            cycles: 1,
+            stall_cycles: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[test]
+    fn merge_detects_holes_and_duplicates() {
+        let merged = merge_points(vec![point(2), point(0), point(1)]).expect("complete");
+        assert_eq!(merged.iter().map(|p| p.window).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(merge_points(vec![point(0), point(2)]).expect_err("hole").contains("missing"));
+        assert!(merge_points(vec![point(0), point(0)]).expect_err("dup").contains("duplicate"));
+        assert!(merge_points(Vec::new()).expect("empty ok").is_empty());
+    }
+}

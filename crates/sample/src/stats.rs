@@ -1,0 +1,141 @@
+//! CLT aggregation of per-window measurements.
+
+use crate::config::Confidence;
+use crate::runner::SamplePoint;
+
+/// The aggregate estimate over a set of sample windows.
+///
+/// Windows are equal-sized in *instructions*, so the unweighted mean of
+/// per-window CPIs estimates whole-run CPI (total cycles / total
+/// instructions); IPC is its reciprocal. The confidence interval is the
+/// CLT interval on the CPI mean, transformed to IPC bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Number of windows aggregated.
+    pub windows: u64,
+    /// Mean per-window CPI.
+    pub mean_cpi: f64,
+    /// Sample standard deviation of per-window CPI.
+    pub cpi_stddev: f64,
+    /// Half-width of the CPI confidence interval (`z * s / sqrt(n)`).
+    pub cpi_half_width: f64,
+    /// Point estimate of IPC (`1 / mean_cpi`).
+    pub ipc: f64,
+    /// Lower IPC confidence bound.
+    pub ipc_lo: f64,
+    /// Upper IPC confidence bound.
+    pub ipc_hi: f64,
+    /// Relative half-width (`cpi_half_width / mean_cpi`) — the error bound
+    /// SMARTS reports (e.g. "±3% at 95% confidence").
+    pub rel_half_width: f64,
+    /// Confidence level used.
+    pub confidence: Confidence,
+}
+
+/// Aggregates sample windows into an [`Estimate`]. With zero windows the
+/// estimate is all-zero; with one window the interval degenerates to a
+/// point (no variance information).
+pub fn estimate(points: &[SamplePoint], confidence: Confidence) -> Estimate {
+    let n = points.len() as u64;
+    if n == 0 {
+        return Estimate {
+            windows: 0,
+            mean_cpi: 0.0,
+            cpi_stddev: 0.0,
+            cpi_half_width: 0.0,
+            ipc: 0.0,
+            ipc_lo: 0.0,
+            ipc_hi: 0.0,
+            rel_half_width: 0.0,
+            confidence,
+        };
+    }
+    let cpis: Vec<f64> = points.iter().map(SamplePoint::cpi).collect();
+    let mean = cpis.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        cpis.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let stddev = var.sqrt();
+    let half = confidence.z() * stddev / (n as f64).sqrt();
+    let ipc = if mean > 0.0 { 1.0 / mean } else { 0.0 };
+    let lo_cpi = (mean - half).max(f64::MIN_POSITIVE);
+    let ipc_hi = 1.0 / lo_cpi;
+    let ipc_lo = if mean + half > 0.0 { 1.0 / (mean + half) } else { 0.0 };
+    Estimate {
+        windows: n,
+        mean_cpi: mean,
+        cpi_stddev: stddev,
+        cpi_half_width: half,
+        ipc,
+        ipc_lo,
+        ipc_hi,
+        rel_half_width: if mean > 0.0 { half / mean } else { 0.0 },
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(window: u64, committed: u64, cycles: u64) -> SamplePoint {
+        SamplePoint {
+            window,
+            start_inst: window * 1000,
+            committed,
+            cycles,
+            stall_cycles: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[test]
+    fn empty_and_single_window_edge_cases() {
+        let e = estimate(&[], Confidence::C95);
+        assert_eq!(e.windows, 0);
+        assert_eq!(e.ipc, 0.0);
+        let e = estimate(&[point(0, 1000, 500)], Confidence::C95);
+        assert_eq!(e.windows, 1);
+        assert!((e.ipc - 2.0).abs() < 1e-12);
+        assert_eq!(e.cpi_half_width, 0.0, "no variance info from one window");
+        assert_eq!(e.ipc_lo, e.ipc_hi);
+    }
+
+    #[test]
+    fn identical_windows_have_zero_width_interval() {
+        let pts: Vec<_> = (0..20).map(|w| point(w, 1000, 800)).collect();
+        let e = estimate(&pts, Confidence::C95);
+        assert!((e.ipc - 1.25).abs() < 1e-12);
+        assert!(e.cpi_half_width < 1e-12);
+        assert!((e.ipc_lo - e.ipc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_brackets_the_mean_and_shrinks_with_n() {
+        // Alternating 1.0 / 3.0 CPI windows: mean CPI 2.0, IPC 0.5.
+        let mk = |n: u64| -> Vec<SamplePoint> {
+            (0..n).map(|w| point(w, 1000, if w % 2 == 0 { 1000 } else { 3000 })).collect()
+        };
+        let small = estimate(&mk(10), Confidence::C95);
+        let large = estimate(&mk(1000), Confidence::C95);
+        for e in [&small, &large] {
+            assert!((e.mean_cpi - 2.0).abs() < 1e-12);
+            assert!((e.ipc - 0.5).abs() < 1e-12);
+            assert!(e.ipc_lo < e.ipc && e.ipc < e.ipc_hi);
+        }
+        assert!(large.cpi_half_width < small.cpi_half_width / 5.0, "width ~ 1/sqrt(n)");
+        assert!(large.rel_half_width < 0.05);
+    }
+
+    #[test]
+    fn wider_confidence_widens_the_interval() {
+        let pts: Vec<_> =
+            (0..50).map(|w| point(w, 1000, 900 + (w % 7) * 40)).collect();
+        let c90 = estimate(&pts, Confidence::C90);
+        let c99 = estimate(&pts, Confidence::C99);
+        assert!(c99.cpi_half_width > c90.cpi_half_width);
+        assert_eq!(c90.ipc, c99.ipc, "point estimate is level-independent");
+    }
+}

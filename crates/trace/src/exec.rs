@@ -38,7 +38,14 @@ struct CondState {
 /// through the image's interned [`ControlTable`] (built once per image)
 /// instead of re-matching CFG terminators and cloning their payloads, and
 /// the correlated-branch history lives in a bitmask.
-#[derive(Debug)]
+///
+/// The executor's whole dynamic state is *architectural* — program
+/// counter, RNG, per-branch pattern/loop/indirect cursors, call stack and
+/// per-slot execution counts — so it can be captured into an
+/// [`crate::ArchCheckpoint`] ([`Executor::checkpoint`]) and resumed
+/// bit-identically ([`Executor::from_checkpoint`]), which is what lets
+/// sampled simulation split one long run into independent shards.
+#[derive(Debug, Clone)]
 pub struct Executor<'a> {
     image: &'a CodeImage,
     ctl: &'a ControlTable,
@@ -112,6 +119,73 @@ impl<'a> Executor<'a> {
     #[inline]
     pub fn call_depth(&self) -> usize {
         self.call_stack.len()
+    }
+
+    /// Captures the executor's complete architectural state. Resuming from
+    /// the checkpoint ([`Executor::from_checkpoint`]) continues the trace
+    /// bit-identically — same instructions, same branch outcomes, same
+    /// memory addresses.
+    pub fn checkpoint(&self) -> crate::ArchCheckpoint {
+        crate::ArchCheckpoint {
+            rng: self.rng.state(),
+            pc: self.pc,
+            seq: self.seq,
+            hist: self.hist,
+            hist_len: self.hist_len,
+            cond_pattern_idx: self.cond_state.iter().map(|s| s.pattern_idx).collect(),
+            cond_loop_remaining: self
+                .cond_state
+                .iter()
+                .map(|s| s.loop_remaining.unwrap_or(u32::MAX))
+                .collect(),
+            indirect_idx: self.indirect_idx.clone(),
+            call_stack: self.call_stack.clone(),
+            exec_count: self.exec_count.clone(),
+        }
+    }
+
+    /// Resumes an executor from a checkpoint over the *same* image the
+    /// checkpoint was captured on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's table sizes do not match `image` (the
+    /// checkpoint was taken on a different program or layout).
+    pub fn from_checkpoint(image: &'a CodeImage, cp: &crate::ArchCheckpoint) -> Self {
+        let ctl = image.control();
+        assert_eq!(
+            cp.cond_pattern_idx.len(),
+            ctl.num_blocks(),
+            "checkpoint was not captured on this image (block count mismatch)"
+        );
+        assert_eq!(
+            cp.exec_count.len(),
+            image.len_insts(),
+            "checkpoint was not captured on this image (slot count mismatch)"
+        );
+        Executor {
+            image,
+            ctl,
+            base: image.base(),
+            n_slots: image.len_insts(),
+            rng: SmallRng::from_state(cp.rng),
+            pc: cp.pc,
+            seq: cp.seq,
+            cond_state: cp
+                .cond_pattern_idx
+                .iter()
+                .zip(&cp.cond_loop_remaining)
+                .map(|(&pattern_idx, &lr)| CondState {
+                    pattern_idx,
+                    loop_remaining: (lr != u32::MAX).then_some(lr),
+                })
+                .collect(),
+            indirect_idx: cp.indirect_idx.clone(),
+            call_stack: cp.call_stack.clone(),
+            hist: cp.hist,
+            hist_len: cp.hist_len,
+            exec_count: cp.exec_count.clone(),
+        }
     }
 
     fn eval_cond(&mut self, owner: sfetch_cfg::BlockId, ctl: CondCtl) -> bool {

@@ -12,6 +12,9 @@
 //!
 //! * [`Executor`] — deterministic, infinite iterator of [`DynInst`]s (the
 //!   trace; seeded, so *train* vs *ref* inputs are just different seeds),
+//! * [`ArchCheckpoint`] — serializable architectural state so a long
+//!   trace can be suspended and resumed bit-identically (the basis of the
+//!   `sfetch-sample` shard runner),
 //! * [`profile_cfg`] — runs a training execution to produce the
 //!   [`sfetch_cfg::EdgeProfile`] consumed by the layout optimizer,
 //! * [`stream::StreamExtractor`] — segments a trace into *instruction
@@ -35,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod exec;
 pub mod profile;
 pub mod record;
 pub mod stats;
 pub mod stream;
 
+pub use ckpt::ArchCheckpoint;
 pub use exec::Executor;
 pub use profile::profile_cfg;
 pub use record::{DynControl, DynInst};

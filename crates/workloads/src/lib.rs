@@ -30,6 +30,7 @@
 
 pub mod microbench;
 pub mod par;
+pub mod phased;
 pub mod suite;
 pub mod workload;
 

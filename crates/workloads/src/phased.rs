@@ -1,0 +1,421 @@
+//! Long-horizon **phased** workloads: multi-phase hot sets over a
+//! shared-library-style hot/cold code split.
+//!
+//! The synthetic SPEC-like suite is L1i-resident once warm (ROADMAP's
+//! calibration note), so million-instruction windows never exercise the
+//! miss pipeline the way the paper's 300M-instruction traces do. This
+//! generator builds programs whose *time-varying* instruction working set
+//! makes long horizons matter:
+//!
+//! * the program cycles through `phases` distinct **hot sets** of
+//!   functions (an indirect call dispatches phase drivers through a
+//!   deterministic cycle — think request classes in a server loop);
+//! * every phase also calls a **shared** function pool (the
+//!   shared-library analogue: hot everywhere);
+//! * a large **cold** pool (init/error/rare paths) pads the static
+//!   footprint and is visited only on low-probability branches;
+//! * static footprints land in the 128KB–1MB range, with per-phase hot
+//!   sets sized just above the 64KB Table 2 L1i so phase residency shows
+//!   steady-state behaviour and phase *changes* show miss storms.
+//!
+//! A phase residency lasts roughly a million instructions, so 50M+
+//! instruction runs see dozens of phase changes — the scenario axis the
+//! `sfetch-sample` subsystem exists to measure.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sfetch_cfg::{
+    Cfg, CfgBuilder, CondBehavior, FuncId, IndirectSelect, TripCount,
+};
+use sfetch_isa::{Addr, DepDistance, InstClass, MemPattern, StaticInst};
+
+use crate::workload::Workload;
+
+/// Generation parameters of a phased program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasedParams {
+    /// Number of distinct phase hot sets.
+    pub phases: usize,
+    /// Hot functions private to each phase.
+    pub funcs_per_phase: usize,
+    /// Shared-library-style functions called from every phase.
+    pub shared_funcs: usize,
+    /// Cold functions (rare paths; mostly static footprint).
+    pub cold_funcs: usize,
+    /// Structured segments per function (each is a block plus its
+    /// hammock/loop/call scaffolding).
+    pub segments_per_func: usize,
+    /// Straight-line instructions per segment body, `[lo, hi]`.
+    pub insts_per_segment: (usize, usize),
+    /// Driver-loop iterations per phase residency; one iteration walks
+    /// the phase's whole hot set once.
+    pub phase_iters: u32,
+    /// Probability that a driver iteration detours into a cold function.
+    pub p_cold_visit: f64,
+}
+
+impl PhasedParams {
+    /// The long-horizon flagship: 4 phases whose hot sets each slightly
+    /// overflow the 64KB L1i, ≈300KB static footprint, ≈1M-instruction
+    /// phase residencies.
+    pub fn long() -> Self {
+        PhasedParams {
+            phases: 4,
+            funcs_per_phase: 48,
+            shared_funcs: 12,
+            cold_funcs: 64,
+            segments_per_func: 12,
+            insts_per_segment: (10, 24),
+            phase_iters: 45,
+            p_cold_visit: 0.02,
+        }
+    }
+
+    /// A scaled-down variant for tests (two phases, small pools, short
+    /// residencies).
+    pub fn small() -> Self {
+        PhasedParams {
+            phases: 2,
+            funcs_per_phase: 6,
+            shared_funcs: 3,
+            cold_funcs: 6,
+            segments_per_func: 6,
+            insts_per_segment: (6, 12),
+            phase_iters: 16,
+            p_cold_visit: 0.05,
+        }
+    }
+}
+
+/// Base of the synthetic data segment; each function strides its own
+/// region above it.
+const DATA_BASE: u64 = 0x2000_0000;
+/// Data-region spacing per function (64KB).
+const DATA_STRIDE: u64 = 1 << 16;
+
+/// Builds one structured work function: `segments_per_func` segments,
+/// each a straight-line body closed by a biased hammock, a predictable
+/// pattern, a short loop, a correlated branch, a call into `callees`, or
+/// plain fall-through.
+fn build_work_func(
+    b: &mut CfgBuilder,
+    name: &str,
+    p: &PhasedParams,
+    rng: &mut SmallRng,
+    func_idx: usize,
+    callees: &[FuncId],
+) -> FuncId {
+    let f = b.add_func(name);
+    let data = DATA_BASE + func_idx as u64 * DATA_STRIDE;
+    let (lo, hi) = p.insts_per_segment;
+    let body = |rng: &mut SmallRng, n_mem: usize| -> Vec<StaticInst> {
+        let n = rng.random_range(lo..=hi);
+        (0..n)
+            .map(|i| {
+                if i < n_mem {
+                    let class = if rng.random_bool(0.7) { InstClass::Load } else { InstClass::Store };
+                    let off = rng.random_range(0..DATA_STRIDE / 2);
+                    let stride = 8 << rng.random_range(0..3u32); // 8/16/32
+                    let span = 16 << rng.random_range(0..4u32); // 16..128
+                    let dep = DepDistance::new(rng.random_range(0..6u8));
+                    StaticInst::memory(class, MemPattern::new(Addr::new(data + off), stride, span), dep)
+                } else if rng.random_bool(0.4) {
+                    let d1 = DepDistance::new(rng.random_range(1..16u8));
+                    let d2 = DepDistance::new(rng.random_range(0..8u8));
+                    StaticInst::with_deps(InstClass::IntAlu, d1, d2)
+                } else {
+                    StaticInst::simple(InstClass::IntAlu)
+                }
+            })
+            .collect()
+    };
+    // Each segment's head must be terminated toward the next segment's
+    // head; build heads first… instead, chain as we go: keep the block
+    // that still needs a terminator into the next segment.
+    let entry = b.add_block_with(f, body(rng, 1));
+    let mut cur = entry;
+    for _ in 0..p.segments_per_func {
+        let n_mem = usize::from(rng.random_bool(0.5));
+        let next = b.add_block_with(f, body(rng, n_mem));
+        match rng.random_range(0..100u32) {
+            // Strongly biased hammock: rare arm out of line.
+            0..=34 => {
+                let arm = b.add_block_with(f, body(rng, 0));
+                let p_taken = if rng.random_bool(0.5) {
+                    rng.random_range(0.01..0.12)
+                } else {
+                    rng.random_range(0.88..0.99)
+                };
+                // Logical-taken edge = the arm; layout decides physics.
+                b.set_cond(cur, arm, next, CondBehavior::Bernoulli { p_taken });
+                b.set_fallthrough(arm, next);
+            }
+            // History-predictable pattern hammock.
+            35..=49 => {
+                let arm = b.add_block_with(f, body(rng, 0));
+                let len = rng.random_range(2..=8usize);
+                let pat: Vec<bool> = (0..len).map(|_| rng.random_bool(0.5)).collect();
+                b.set_cond(cur, arm, next, CondBehavior::Pattern(pat));
+                b.set_fallthrough(arm, next);
+            }
+            // Short inner loop.
+            50..=64 => {
+                let lbody = b.add_block_with(f, body(rng, 1));
+                b.set_fallthrough(cur, lbody);
+                let lo_t = rng.random_range(2..6u32);
+                let hi_t = lo_t + rng.random_range(1..8u32);
+                b.set_cond(
+                    lbody,
+                    lbody,
+                    next,
+                    CondBehavior::Loop { trip: TripCount::Uniform { lo: lo_t, hi: hi_t } },
+                );
+            }
+            // Correlated branch (global-history predictable).
+            65..=79 => {
+                let arm = b.add_block_with(f, body(rng, 0));
+                let beh = CondBehavior::Correlated {
+                    dist: rng.random_range(1..8u8),
+                    invert: rng.random_bool(0.5),
+                    noise: 0.02,
+                };
+                b.set_cond(cur, arm, next, beh);
+                b.set_fallthrough(arm, next);
+            }
+            // Call into the shared pool.
+            80..=89 if !callees.is_empty() => {
+                let callee = callees[rng.random_range(0..callees.len())];
+                b.set_call(cur, callee, next);
+            }
+            // Plain fall-through.
+            _ => b.set_fallthrough(cur, next),
+        }
+        cur = next;
+    }
+    b.set_return(cur);
+    f
+}
+
+/// Builds one phase driver: a loop of `phase_iters` iterations, each
+/// walking the phase's hot set in sequence with rare cold detours.
+fn build_driver(
+    b: &mut CfgBuilder,
+    name: &str,
+    p: &PhasedParams,
+    rng: &mut SmallRng,
+    hot: &[FuncId],
+    cold: &[FuncId],
+) -> FuncId {
+    let f = b.add_func(name);
+    let head = b.add_block(f, 2);
+    let mut sites: Vec<_> = hot.iter().map(|_| b.add_block(f, 1)).collect();
+    let latch = b.add_block(f, 1);
+    let exit = b.add_block(f, 1);
+    b.set_fallthrough(head, sites[0]);
+    sites.push(latch); // sentinel: the last call returns to the latch
+    for (i, &callee) in hot.iter().enumerate() {
+        let site = sites[i];
+        let ret_to = sites[i + 1];
+        if !cold.is_empty() && rng.random_bool(0.25) {
+            // This site may detour into a cold function first.
+            let detour = b.add_block(f, 1);
+            let merge = b.add_block(f, 0);
+            b.set_cond(
+                site,
+                detour,
+                merge,
+                CondBehavior::Bernoulli { p_taken: p.p_cold_visit },
+            );
+            let cold_callee = cold[rng.random_range(0..cold.len())];
+            b.set_call(detour, cold_callee, merge);
+            b.set_call(merge, callee, ret_to);
+        } else {
+            b.set_call(site, callee, ret_to);
+        }
+    }
+    b.set_cond(
+        latch,
+        head,
+        exit,
+        CondBehavior::Loop { trip: TripCount::Fixed(p.phase_iters.max(1)) },
+    );
+    b.set_return(exit);
+    f
+}
+
+/// Generates a phased program.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (zero phases or empty hot sets) —
+/// the builder would reject the graph anyway.
+pub fn generate(p: &PhasedParams, seed: u64) -> Cfg {
+    assert!(p.phases >= 1 && p.funcs_per_phase >= 1, "need at least one phase hot set");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5048_4153_4544); // "PHASED"
+    let mut b = CfgBuilder::new();
+    // main first: function 0 is the program entry.
+    let main = b.add_func("main");
+    let mut func_idx = 0usize;
+    let mut next_idx = || {
+        func_idx += 1;
+        func_idx
+    };
+    let shared: Vec<FuncId> = (0..p.shared_funcs)
+        .map(|i| build_work_func(&mut b, &format!("shared{i}"), p, &mut rng, next_idx(), &[]))
+        .collect();
+    let cold: Vec<FuncId> = (0..p.cold_funcs)
+        .map(|i| build_work_func(&mut b, &format!("cold{i}"), p, &mut rng, next_idx(), &shared))
+        .collect();
+    let mut drivers: Vec<FuncId> = Vec::with_capacity(p.phases);
+    for phase in 0..p.phases {
+        let hot: Vec<FuncId> = (0..p.funcs_per_phase)
+            .map(|i| {
+                build_work_func(&mut b, &format!("p{phase}_f{i}"), p, &mut rng, next_idx(), &shared)
+            })
+            .collect();
+        drivers.push(build_driver(&mut b, &format!("phase{phase}"), p, &mut rng, &hot, &cold));
+    }
+    // main: an endless dispatch loop rotating through the phase drivers.
+    let entry = b.add_block(main, 2);
+    let dispatch = b.add_block(main, 1);
+    let latch = b.add_block(main, 1);
+    let exit = b.add_block(main, 1);
+    b.set_fallthrough(entry, dispatch);
+    let callees: Vec<(FuncId, u32)> = drivers.iter().map(|&d| (d, 1)).collect();
+    let cycle: Vec<u16> = (0..p.phases as u16).collect();
+    b.set_indirect_call(dispatch, callees, latch, IndirectSelect::Cyclic(cycle));
+    b.set_cond(latch, dispatch, exit, CondBehavior::Loop { trip: TripCount::Fixed(1 << 30) });
+    b.set_return(exit);
+    b.finish().expect("phased program is structurally valid")
+}
+
+/// Seeds of the registered long-horizon workload (train ≠ ref, as the
+/// suite requires).
+const TRAIN_SEED: u64 = 7001;
+const REF_SEED: u64 = 9103;
+
+/// Name under which the long-horizon phased workload registers in the
+/// suite (`--long`).
+pub const LONG_NAME: &str = "phased";
+
+/// Builds the registered long-horizon phased workload (both layouts +
+/// training profile, like every suite member).
+pub fn long_workload() -> Workload {
+    Workload::from_cfg(LONG_NAME, generate(&PhasedParams::long(), 2026), TRAIN_SEED, REF_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayoutChoice;
+    use sfetch_cfg::{layout, CodeImage};
+    use sfetch_isa::BranchKind;
+    use sfetch_trace::Executor;
+
+    #[test]
+    fn long_footprint_is_in_the_target_range() {
+        let cfg = generate(&PhasedParams::long(), 1);
+        let img = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let bytes = img.code_bytes();
+        assert!(
+            (128 << 10..=1 << 20).contains(&bytes),
+            "footprint {bytes} outside 128KB..1MB"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&PhasedParams::small(), 5);
+        let b = generate(&PhasedParams::small(), 5);
+        assert_eq!(a.num_blocks(), b.num_blocks());
+        let ia = CodeImage::build(&a, &layout::natural(&a));
+        let ib = CodeImage::build(&b, &layout::natural(&b));
+        let ta: Vec<_> = Executor::from_image(&ia, 3).take(20_000).collect();
+        let tb: Vec<_> = Executor::from_image(&ib, 3).take(20_000).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn phases_rotate_through_distinct_hot_sets() {
+        // Observe the dispatch indirect call's targets over time: the
+        // cyclic selector must visit all `phases` drivers in rotation.
+        let p = PhasedParams::small();
+        let cfg = generate(&p, 9);
+        let img = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let mut driver_entries = Vec::new();
+        let mut depth0_calls = 0;
+        let mut depth = 0usize;
+        for d in Executor::from_image(&img, 4).take(500_000) {
+            if let Some(c) = d.control {
+                match c.kind {
+                    BranchKind::IndirectCall if depth == 0 => {
+                        driver_entries.push(c.target);
+                        depth0_calls += 1;
+                        depth += 1;
+                        if depth0_calls >= 8 {
+                            break;
+                        }
+                    }
+                    BranchKind::Call | BranchKind::IndirectCall => depth += 1,
+                    BranchKind::Return => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+        }
+        assert!(driver_entries.len() >= 4, "saw {} phase dispatches", driver_entries.len());
+        let mut uniq = driver_entries.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), p.phases, "dispatch rotates through all drivers");
+        // Rotation order repeats with period `phases`.
+        for (i, t) in driver_entries.iter().enumerate().skip(p.phases) {
+            assert_eq!(*t, driver_entries[i - p.phases], "cyclic dispatch");
+        }
+    }
+
+    #[test]
+    fn phase_residency_is_long() {
+        // Between two consecutive top-level dispatches, the driver runs
+        // its whole hot set `phase_iters` times — tens of thousands of
+        // instructions even in the small configuration.
+        let p = PhasedParams::small();
+        let cfg = generate(&p, 9);
+        let img = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let mut last_dispatch = None;
+        let mut residencies = Vec::new();
+        let mut depth = 0usize;
+        for d in Executor::from_image(&img, 4).take(2_000_000) {
+            if let Some(c) = d.control {
+                match c.kind {
+                    BranchKind::IndirectCall if depth == 0 => {
+                        if let Some(prev) = last_dispatch {
+                            residencies.push(d.seq - prev);
+                        }
+                        last_dispatch = Some(d.seq);
+                        depth += 1;
+                        if residencies.len() >= 3 {
+                            break;
+                        }
+                    }
+                    BranchKind::Call | BranchKind::IndirectCall => depth += 1,
+                    BranchKind::Return => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+        }
+        assert!(residencies.len() >= 2, "too few residencies observed");
+        for r in &residencies {
+            assert!(*r > 10_000, "phase residency {r} too short");
+        }
+    }
+
+    #[test]
+    fn long_workload_builds_and_registers() {
+        let w = long_workload();
+        assert_eq!(w.name(), LONG_NAME);
+        assert!(w.image(LayoutChoice::Base).len_insts() > 0);
+        assert!(w.image(LayoutChoice::Optimized).len_insts() > 0);
+        assert_ne!(TRAIN_SEED, REF_SEED);
+    }
+}

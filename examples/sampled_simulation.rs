@@ -1,0 +1,65 @@
+//! Sampled vs full simulation on the long-horizon phased workload.
+//!
+//! Runs the phased workload (rotating hot sets that overflow the L1i)
+//! both straight through and under SMARTS-style systematic sampling
+//! (`sfetch-sample`), printing the IPC estimate, its confidence interval
+//! and the wall-clock speedup. Pass a total instruction count (default
+//! 20M):
+//!
+//! ```text
+//! cargo run --release -p sfetch-tests --example sampled_simulation -- 50000000
+//! ```
+
+use std::time::Instant;
+
+use sfetch_core::ProcessorConfig;
+use sfetch_fetch::EngineKind;
+use sfetch_sample::{run_full_detailed, run_sampled, SampleConfig};
+use sfetch_workloads::{phased, LayoutChoice};
+
+fn main() {
+    let w = phased::long_workload();
+    let img = w.image(LayoutChoice::Optimized);
+    let pc = ProcessorConfig::table2(8);
+    let total: u64 =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(20_000_000);
+
+    let t0 = Instant::now();
+    let full = run_full_detailed(img, EngineKind::Stream, pc, w.ref_seed(), 0, total);
+    let full_wall = t0.elapsed().as_secs_f64();
+    println!("full detailed run: IPC {:.4} in {full_wall:.2}s", full.ipc());
+
+    let scfg = SampleConfig::default();
+    let t1 = Instant::now();
+    let run = run_sampled(img, EngineKind::Stream, pc, w.ref_seed(), total, &scfg);
+    let wall = t1.elapsed().as_secs_f64();
+    let est = run.estimate;
+    println!(
+        "sampled ({} windows of U={}, Wf={}, Wd={}, D={}):",
+        run.points.len(),
+        scfg.interval,
+        scfg.warm_func,
+        scfg.warm_detail,
+        scfg.measure
+    );
+    println!(
+        "  IPC {:.4} [{:.4}, {:.4}] @{} in {wall:.2}s — {:+.2}% vs full, {:.1}× speedup",
+        est.ipc,
+        est.ipc_lo,
+        est.ipc_hi,
+        est.confidence,
+        100.0 * (est.ipc - full.ipc()) / full.ipc(),
+        full_wall / wall
+    );
+    println!("\nper-window IPC / fetch-stall cycles:");
+    for p in &run.points {
+        println!(
+            "  w{:<3} @{:>9}: ipc {:.4}  stalls {:>6}  mispredicts {:>5}",
+            p.window,
+            p.start_inst,
+            p.ipc(),
+            p.stall_cycles,
+            p.mispredictions
+        );
+    }
+}

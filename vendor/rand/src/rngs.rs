@@ -18,6 +18,23 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl SmallRng {
+    /// The raw internal state, for architectural checkpointing. Combined
+    /// with [`SmallRng::from_state`] this lets a simulator snapshot a
+    /// generator mid-stream and resume it bit-identically — upstream
+    /// `rand` offers the same capability through `serde`; this shim keeps
+    /// it dependency-free.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+    /// The resulting stream continues exactly where the captured one was.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;
