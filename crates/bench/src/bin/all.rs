@@ -19,6 +19,8 @@ fn main() {
         "table2",
         "figure8",
         "figure9",
+        "figure8_sampled",
+        "figure9_sampled",
         "table1",
         "table3",
         "ablation_linesize",

@@ -6,6 +6,7 @@
 //! cargo run --release -p sfetch-bench --bin figure8 [-- --inst N --warmup N]
 //! ```
 
+use sfetch_bench::grid::{grid_engines, FIG8_WIDTHS};
 use sfetch_bench::{hmean_ipc, print_engine_table, run_grid, HarnessOpts};
 use sfetch_fetch::EngineKind;
 use sfetch_workloads::{LayoutChoice, Suite};
@@ -14,9 +15,11 @@ fn main() {
     let opts = HarnessOpts::from_args();
     eprintln!("generating suite…");
     let suite = Suite::build_all();
-    let widths = [2usize, 4, 8];
+    // Axes come from the shared grid definition (`sfetch_bench::grid`),
+    // so this binary and `figure8_sampled` always sweep the same grid.
+    let widths = FIG8_WIDTHS;
     let layouts = [LayoutChoice::Base, LayoutChoice::Optimized];
-    let points = run_grid(&suite, &widths, &layouts, &EngineKind::ALL, opts);
+    let points = run_grid(&suite, &widths, &layouts, &grid_engines(), opts);
 
     for &w in &widths {
         print_engine_table(

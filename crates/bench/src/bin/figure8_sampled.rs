@@ -1,0 +1,269 @@
+//! Figure 8 at **paper-scale horizons**: the engines × widths grid on
+//! the long-horizon phased workload, measured by SMARTS-style sampling
+//! through the reusable checkpoint store.
+//!
+//! The classic `figure8` binary measures million-instruction windows on
+//! the L1i-resident synthetic suite; this one runs the same grid (the
+//! axes come from the shared `sfetch_bench::grid` definition, so the
+//! two binaries can never drift apart) on the ~330KB-footprint phased
+//! workload over tens of millions of instructions — the regime where
+//! the paper's fetch-architecture spread actually opens up. Every
+//! window resumes from the checkpoint store: the first run pays the
+//! architectural fast-forward once, every later run (any engine or
+//! width) starts directly at functional warming.
+//!
+//! ```text
+//! cargo run --release -p sfetch-bench --bin figure8_sampled -- \
+//!     [--bench phased] [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] \
+//!     [--engines all|…] [--widths all|…] [--store DIR] \
+//!     [--procs N] [--verify] [--jobs N] [--legacy-scan] [--prefetch K]
+//! ```
+//!
+//! With `--procs N` the grid — windows × engines × widths — fans out
+//! across OS processes through the store (same machinery as
+//! `shard_runner`); `--verify` then reruns every cell through a
+//! **storeless** live sampler and asserts the merged result is
+//! bit-identical, so the store machinery itself is under test. With
+//! `--store DIR` checkpoints persist across invocations.
+//!
+//! Per-point output is the sampled IPC with its 95% confidence
+//! interval; the closing lines report the 8-wide engine spread against
+//! the paper's ~3.5× (Fig. 8c) and the store traffic (how much
+//! fast-forward work was reused vs computed).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use sfetch_bench::grid::{
+    cells, engine_key, merge_grid, parse_engines, parse_widths, print_grid_table,
+    run_sampled_grid, shard_file_text, spawn_shards, spread_at_width, verify_merged, CellRun,
+};
+use sfetch_bench::{workload_by_name, HarnessOpts};
+use sfetch_fetch::EngineKind;
+use sfetch_sample::{CheckpointStore, ShardSpec, StoredSampler};
+use sfetch_workloads::LayoutChoice;
+
+struct Args {
+    opts: HarnessOpts,
+    bench: String,
+    engines: Vec<EngineKind>,
+    widths: Vec<usize>,
+    procs: usize,
+    verify: bool,
+    shard: Option<ShardSpec>,
+    out: Option<String>,
+    store: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut bench = "phased".to_owned();
+    let mut engines = "all".to_owned();
+    let mut widths = "all".to_owned();
+    let mut procs = 1usize;
+    let mut verify = false;
+    let mut shard = None;
+    let mut out = None;
+    let mut store = None;
+    let mut rest: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let take = |i: usize, what: &str| -> String {
+        args.get(i + 1).unwrap_or_else(|| panic!("{what} requires a value")).clone()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                bench = take(i, "--bench");
+                i += 2;
+            }
+            "--engines" => {
+                engines = take(i, "--engines");
+                i += 2;
+            }
+            "--widths" => {
+                widths = take(i, "--widths");
+                i += 2;
+            }
+            "--procs" => {
+                procs = take(i, "--procs").parse().expect("--procs requires a number >= 1");
+                i += 2;
+            }
+            "--verify" => {
+                verify = true;
+                i += 1;
+            }
+            "--shard" => {
+                shard = Some(ShardSpec::parse(&take(i, "--shard")).expect("bad --shard"));
+                i += 2;
+            }
+            "--out" => {
+                out = Some(take(i, "--out"));
+                i += 2;
+            }
+            "--store" => {
+                store = Some(take(i, "--store"));
+                i += 2;
+            }
+            flag @ ("--legacy-scan" | "--long") => {
+                rest.push(flag.to_owned());
+                i += 1;
+            }
+            other => {
+                rest.push(other.to_owned());
+                rest.push(take(i, other));
+                i += 2;
+            }
+        }
+    }
+    let opts = HarnessOpts::from_arg_list(&rest);
+    assert!(procs >= 1, "--procs must be >= 1");
+    Args {
+        opts,
+        bench,
+        engines: parse_engines(&engines),
+        widths: parse_widths(&widths),
+        procs,
+        verify,
+        shard,
+        out,
+        store,
+    }
+}
+
+fn run_child(a: &Args, shard: ShardSpec) {
+    let w = workload_by_name(&a.bench);
+    let grid = cells(&a.engines, &a.widths);
+    let windows = a.opts.grid_sample.windows(a.opts.grid_total);
+    let store = CheckpointStore::open(a.store.as_ref().expect("child needs --store"))
+        .expect("open checkpoint store");
+    let text = shard_file_text(&w, &grid, windows, a.opts.grid_sample, &a.opts, &store, shard);
+    match &a.out {
+        Some(path) => std::fs::write(path, &text).expect("write shard file"),
+        None => print!("{text}"),
+    }
+}
+
+fn print_panels(a: &Args, runs: &[CellRun]) {
+    for (panel, &width) in a.widths.iter().enumerate() {
+        println!(
+            "\nFigure 8({}) sampled: {width}-wide, optimized layout, IPC [95% CI]",
+            (b'a' + panel as u8) as char
+        );
+        for run in runs.iter().filter(|r| r.cell.width == width) {
+            println!(
+                "  {:<18} {:>7.3}  [{:.3}, {:.3}]  ±{:.2}%",
+                run.cell.engine.to_string(),
+                run.estimate.ipc,
+                run.estimate.ipc_lo,
+                run.estimate.ipc_hi,
+                100.0 * run.estimate.rel_half_width
+            );
+        }
+    }
+    if let Some((min, max, ratio)) = spread_at_width(runs, 8) {
+        println!(
+            "\n8-wide engine spread: {max:.3} / {min:.3} = {ratio:.2}× (paper Fig. 8c: ~3.5× \
+             across its engine set)"
+        );
+    }
+}
+
+fn run_parent(a: &Args) {
+    let w = workload_by_name(&a.bench);
+    let grid = cells(&a.engines, &a.widths);
+    let scfg = a.opts.grid_sample;
+    let windows = scfg.windows(a.opts.grid_total);
+    assert!(windows >= 1, "grid-total {} yields no windows", a.opts.grid_total);
+    eprintln!(
+        "{}: sampled Fig. 8 grid — {} cells × {} windows over {} insts",
+        w.name(),
+        grid.len(),
+        windows,
+        a.opts.grid_total
+    );
+
+    let tmp = std::env::temp_dir().join(format!("sfetch-fig8s-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let (store_dir, store_is_temp) = match &a.store {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (tmp.join("store"), true),
+    };
+    let store = CheckpointStore::open(&store_dir).expect("open checkpoint store");
+
+    let runs = if a.procs > 1 {
+        // Populate once, then fan the flattened grid across processes.
+        let img = w.image(LayoutChoice::Optimized);
+        let fp = w.fingerprint(LayoutChoice::Optimized);
+        let mut populate = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store);
+        let computed = populate.populate(windows);
+        eprintln!(
+            "store {}: {windows} windows ready ({computed} computed, {} loaded warm)",
+            store_dir.display(),
+            populate.stats().hits
+        );
+        let procs = a.procs.min((grid.len() as u64 * windows) as usize).max(1);
+        let all = spawn_shards(procs, &tmp, |i, out| {
+            let mut args: Vec<std::ffi::OsString> = vec![
+                "--bench".into(),
+                a.bench.clone().into(),
+                "--engines".into(),
+                a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
+                "--widths".into(),
+                a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
+                "--grid-total".into(),
+                a.opts.grid_total.to_string().into(),
+                "--grid-sample".into(),
+                a.opts.grid_sample.to_spec().into(),
+                "--jobs".into(),
+                a.opts.jobs.to_string().into(),
+            ];
+            if a.opts.legacy_scan {
+                args.push("--legacy-scan".into());
+            }
+            if a.opts.prefetch.mshrs > 0 {
+                args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
+                args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
+            }
+            args.extend(["--shard".into(), format!("{i}/{procs}").into()]);
+            args.extend(["--store".into(), store_dir.clone().into()]);
+            args.extend(["--out".into(), out.as_os_str().to_owned()]);
+            args
+        });
+        merge_grid(&grid, windows, &all, scfg.confidence)
+    } else {
+        let (runs, traffic) =
+            run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
+        eprintln!(
+            "store traffic: {} hits, {} computed, {} rejected",
+            traffic.hits, traffic.misses, traffic.rejected
+        );
+        runs
+    };
+
+    print_grid_table(&runs);
+    print_panels(a, &runs);
+
+    if a.verify {
+        eprintln!("\nverifying merged grid against a storeless in-process rerun…");
+        verify_merged(&w, &runs, scfg, &a.opts, windows);
+        println!(
+            "verify OK: store-backed grid is bit-identical to a storeless single-process run"
+        );
+    }
+
+    if store_is_temp {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    } else {
+        println!("store kept at {} ({} entries)", store_dir.display(), store.entries());
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    let _ = std::io::stdout().flush();
+}
+
+fn main() {
+    let a = parse_args();
+    match a.shard {
+        Some(spec) => run_child(&a, spec),
+        None => run_parent(&a),
+    }
+}

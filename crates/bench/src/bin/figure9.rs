@@ -5,6 +5,7 @@
 //! cargo run --release -p sfetch-bench --bin figure9 [-- --inst N --warmup N]
 //! ```
 
+use sfetch_bench::grid::{grid_engines, FIG9_WIDTH};
 use sfetch_bench::{run_grid, HarnessOpts, RunPoint};
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::EngineKind;
@@ -14,7 +15,10 @@ fn main() {
     let opts = HarnessOpts::from_args();
     eprintln!("generating suite…");
     let suite = Suite::build_all();
-    let points = run_grid(&suite, &[8], &[LayoutChoice::Optimized], &EngineKind::ALL, opts);
+    // Axes come from the shared grid definition (`sfetch_bench::grid`),
+    // so this binary and `figure9_sampled` always sweep the same grid.
+    let points =
+        run_grid(&suite, &[FIG9_WIDTH], &[LayoutChoice::Optimized], &grid_engines(), opts);
 
     let ipc = |bench: &str, kind: EngineKind| -> f64 {
         points

@@ -1,0 +1,173 @@
+//! Figure 9 at **paper-scale horizons**: per-benchmark sampled IPC for
+//! the 8-wide optimized configuration, through the checkpoint store.
+//!
+//! Where `figure9` measures million-instruction windows, this binary
+//! samples tens of millions of committed instructions per benchmark
+//! (the long-horizon phased workload rides along by default — the one
+//! bench where instruction footprints actually overflow the L1i) and
+//! reports per-benchmark IPC with 95% confidence intervals. The engine
+//! axis and the 8-wide width come from the shared `sfetch_bench::grid`
+//! definition, so this binary can never drift from `figure9` or
+//! `figure8_sampled`.
+//!
+//! Each benchmark keys its own checkpoints (per-workload trace
+//! fingerprints), so one shared `--store DIR` serves the whole suite:
+//! the first invocation banks every benchmark's fast-forward state,
+//! every later one — any engine subset — starts warm.
+//!
+//! ```text
+//! cargo run --release -p sfetch-bench --bin figure9_sampled -- \
+//!     [--benches gzip,gcc,crafty,twolf,phased] [--engines all|…] \
+//!     [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] [--store DIR] \
+//!     [--jobs N] [--legacy-scan] [--prefetch K]
+//! ```
+
+use std::path::PathBuf;
+
+use sfetch_bench::grid::{
+    cells, parse_engines, run_sampled_grid, CellRun, FIG9_WIDTH,
+};
+use sfetch_bench::{workload_by_name, HarnessOpts};
+use sfetch_core::metrics::harmonic_mean;
+use sfetch_fetch::EngineKind;
+use sfetch_sample::CheckpointStore;
+
+/// Default benchmark set: the quick ablation subset plus the
+/// long-horizon phased workload.
+const DEFAULT_BENCHES: &str = "gzip,gcc,crafty,twolf,phased";
+
+struct Args {
+    opts: HarnessOpts,
+    benches: Vec<String>,
+    engines: Vec<EngineKind>,
+    store: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut benches = DEFAULT_BENCHES.to_owned();
+    let mut engines = "all".to_owned();
+    let mut store = None;
+    let mut rest: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let take = |i: usize, what: &str| -> String {
+        args.get(i + 1).unwrap_or_else(|| panic!("{what} requires a value")).clone()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--benches" => {
+                benches = take(i, "--benches");
+                i += 2;
+            }
+            "--engines" => {
+                engines = take(i, "--engines");
+                i += 2;
+            }
+            "--store" => {
+                store = Some(take(i, "--store"));
+                i += 2;
+            }
+            flag @ ("--legacy-scan" | "--long") => {
+                rest.push(flag.to_owned());
+                i += 1;
+            }
+            other => {
+                rest.push(other.to_owned());
+                rest.push(take(i, other));
+                i += 2;
+            }
+        }
+    }
+    Args {
+        opts: HarnessOpts::from_arg_list(&rest),
+        benches: benches.split(',').map(|b| b.trim().to_owned()).collect(),
+        engines: parse_engines(&engines),
+        store,
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let scfg = a.opts.grid_sample;
+    let windows = scfg.windows(a.opts.grid_total);
+    assert!(windows >= 1, "grid-total {} yields no windows", a.opts.grid_total);
+
+    let tmp = std::env::temp_dir().join(format!("sfetch-fig9s-{}", std::process::id()));
+    let (store_dir, store_is_temp) = match &a.store {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (tmp.clone(), true),
+    };
+    let store = CheckpointStore::open(&store_dir).expect("open checkpoint store");
+    let grid = cells(&a.engines, &[FIG9_WIDTH]);
+
+    println!(
+        "\nFigure 9 sampled: per-benchmark IPC [±rel 95% CI], {FIG9_WIDTH}-wide, optimized, \
+         {} insts sampled per bench ({windows} windows)",
+        a.opts.grid_total
+    );
+    println!(
+        "{:<10} {}",
+        "bench",
+        a.engines
+            .iter()
+            .map(|k| format!("{:>22}", k.to_string()))
+            .collect::<String>()
+    );
+    let mut per_engine: Vec<(EngineKind, Vec<f64>)> =
+        a.engines.iter().map(|&k| (k, Vec::new())).collect();
+    for bench in &a.benches {
+        let w = workload_by_name(bench);
+        let (runs, traffic): (Vec<CellRun>, _) =
+            run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
+        let row: String = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:>13.2} ±{:>5.2}%",
+                    r.estimate.ipc,
+                    100.0 * r.estimate.rel_half_width
+                )
+            })
+            .collect();
+        println!("{:<10} {row}", w.name());
+        for (slot, r) in per_engine.iter_mut().zip(&runs) {
+            slot.1.push(r.estimate.ipc);
+        }
+        eprintln!(
+            "  [{}] store: {} hits, {} computed, {} rejected",
+            w.name(),
+            traffic.hits,
+            traffic.misses,
+            traffic.rejected
+        );
+    }
+    let hmeans: String = per_engine
+        .iter()
+        .map(|(_, v)| format!("{:>13.2}        ", harmonic_mean(v)))
+        .collect();
+    println!("{:<10} {hmeans}", "Hmean");
+
+    // The paper's Fig. 9 observation, restated for the sampled run:
+    // where does the stream engine rank per benchmark?
+    if let Some(stream_col) = a.engines.iter().position(|&k| k == EngineKind::Stream) {
+        let mut rank_counts = vec![0usize; a.engines.len()];
+        let n_benches = per_engine[0].1.len();
+        for b in 0..n_benches {
+            let mut row: Vec<(f64, usize)> =
+                per_engine.iter().enumerate().map(|(i, (_, v))| (v[b], i)).collect();
+            row.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite IPC"));
+            let rank = row.iter().position(|&(_, i)| i == stream_col).expect("ranked");
+            rank_counts[rank] += 1;
+        }
+        println!(
+            "\nstreams rank histogram over benchmarks (1st..{}th): {rank_counts:?}",
+            a.engines.len()
+        );
+    }
+
+    if store_is_temp {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    } else {
+        println!("store kept at {} ({} entries)", store_dir.display(), store.entries());
+    }
+}

@@ -19,26 +19,42 @@
 //! or off; and `sampling_ab` runs the 50M-instruction phased workload
 //! both straight through and under SMARTS sampling (`sfetch-sample`),
 //! recording the IPC estimate, its confidence interval, the relative
-//! error against the full run, and the wall-clock speedup. Results go to
-//! stdout and to `BENCH_4.json` in the current directory, extending the
+//! error against the full run, and the wall-clock speedup.
+//!
+//! The v5 addition is the **`calibration_grid`** section: the full
+//! Fig. 8 engines × widths grid on the 50M phased workload, measured by
+//! sampling through the reusable checkpoint store
+//! (`sfetch_sample::store`). Per grid point it records the sampled IPC
+//! with its 95% confidence interval; `store_ab` records the cold-store
+//! run (fast-forward computed and banked) against the warm-store rerun
+//! of the same cell (fast-forward amortized away — the rerun's windows
+//! are asserted byte-identical), and `spread_8wide` compares the engine
+//! IPC spread against the paper's ~3.5× (Fig. 8c). Results go to stdout
+//! and to `BENCH_5.json` in the current directory, extending the
 //! repository's performance trajectory (`BENCH_1.json`: scan-based
 //! baseline; `BENCH_2.json`: event-driven back-end; `BENCH_3.json`:
-//! prefetch subsystem); see README.md for the `sfetch-perfstats-v4`
-//! schema — all v3 sections carry over unchanged.
+//! prefetch subsystem; `BENCH_4.json`: sampled simulation); see
+//! README.md for the `sfetch-perfstats-v5` schema — all v4 sections
+//! carry over unchanged.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin perfstats \
 //!     [-- --inst N --warmup N --jobs N --legacy-scan \
-//!         --sample-total N --sample U,Wf,Wd,D]
+//!         --sample-total N --sample U,Wf,Wd,D \
+//!         --grid-total N --grid-sample U,Wf,Wd,D[,Wm]]
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use sfetch_bench::grid::{
+    cells, engine_key, grid_engines, run_cell_range, spread_at_width, CellRun, GridCell,
+    FIG8_WIDTHS,
+};
 use sfetch_bench::{ablation_workloads, timed, HarnessOpts};
 use sfetch_core::{PrefetchConfig, Processor, ProcessorConfig};
 use sfetch_fetch::{EngineKind, FetchEngine, StreamEngine};
-use sfetch_sample::{run_full_detailed, run_sampled_jobs, Estimate};
+use sfetch_sample::{estimate, run_full_detailed, run_sampled_jobs, CheckpointStore, Estimate};
 use sfetch_trace::Executor;
 use sfetch_workloads::{par_map, phased, LayoutChoice, Workload};
 
@@ -308,6 +324,80 @@ fn measure_sampling_ab(
     (full, sampled, run.estimate, run.points.len() as u64)
 }
 
+/// The finished calibration grid plus its store A/B record.
+struct CalibrationGrid {
+    runs: Vec<CellRun>,
+    windows: u64,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    store_entries: usize,
+    /// 8-wide engine spread (min IPC, max IPC, ratio).
+    spread: Option<(f64, f64, f64)>,
+}
+
+/// The headline cell whose cold-store vs warm-store rerun is recorded.
+const AB_CELL: GridCell = GridCell { engine: EngineKind::Stream, width: 8 };
+
+/// Runs the Fig. 8 engines × widths grid on the phased workload by
+/// sampling through a fresh checkpoint store.
+///
+/// The first leg runs the headline cell against the **cold** store: its
+/// wall clock includes computing (and banking) every window's
+/// fast-forward checkpoint — the cost the PR 4 sampler paid on *every*
+/// run. The second leg reruns the identical cell against the now-warm
+/// store and is asserted byte-identical; its wall clock is what every
+/// subsequent experiment pays. The remaining cells then sweep the grid
+/// entirely from the warm store.
+fn measure_calibration_grid(w: &Workload, opts: HarnessOpts) -> CalibrationGrid {
+    let scfg = opts.grid_sample;
+    let total = opts.grid_total;
+    let windows = scfg.windows(total);
+    assert!(windows >= 1, "grid-total {total} yields no windows under the grid schedule");
+    let store_dir = std::env::temp_dir().join(format!("sfetch-calib-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = CheckpointStore::open(&store_dir).expect("open calibration store");
+
+    let (cold, cold_wall_s) = timed(|| run_cell_range(w, AB_CELL, scfg, &opts, &store, 0..windows));
+    let (cold_points, cold_traffic) = cold;
+    assert_eq!(cold_traffic.hits, 0, "store A/B cold leg must start from an empty store");
+
+    let (warm, warm_wall_s) = timed(|| run_cell_range(w, AB_CELL, scfg, &opts, &store, 0..windows));
+    let (warm_points, warm_traffic) = warm;
+    assert_eq!(
+        cold_points, warm_points,
+        "warm-store rerun must replay the cold run byte-identically"
+    );
+    assert_eq!(
+        warm_traffic.misses + warm_traffic.rejected,
+        0,
+        "store A/B warm leg must run entirely from the store"
+    );
+
+    let grid = cells(&grid_engines(), &FIG8_WIDTHS);
+    let runs: Vec<CellRun> = grid
+        .iter()
+        .map(|&cell| {
+            let points = if cell == AB_CELL {
+                cold_points.clone()
+            } else {
+                run_cell_range(w, cell, scfg, &opts, &store, 0..windows).0
+            };
+            let est = estimate(&points, scfg.confidence);
+            CellRun { cell, points, estimate: est }
+        })
+        .collect();
+    let store_entries = store.entries();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    CalibrationGrid {
+        spread: spread_at_width(&runs, 8),
+        runs,
+        windows,
+        cold_wall_s,
+        warm_wall_s,
+        store_entries,
+    }
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
     let backend = if opts.legacy_scan { "legacy-scan" } else { "event" };
@@ -419,6 +509,41 @@ fn main() {
         rel_err * 100.0,
     );
 
+    // Calibration grid: Fig. 8 engines × widths, sampled via the store.
+    eprintln!(
+        "calibration grid: {} cells × {} windows over {} insts (store-backed)…",
+        grid_engines().len() * FIG8_WIDTHS.len(),
+        opts.grid_sample.windows(opts.grid_total),
+        opts.grid_total
+    );
+    let calib = measure_calibration_grid(&phased_w, opts);
+    let store_speedup = calib.cold_wall_s / calib.warm_wall_s;
+    println!(
+        "\ncalibration grid ({}/{} insts, {} windows, store-backed):",
+        phased_w.name(),
+        opts.grid_total,
+        calib.windows
+    );
+    for run in &calib.runs {
+        println!(
+            "  {:<18} {}-wide  IPC {:.4} [{:.4}, {:.4}] ±{:.2}%",
+            run.cell.engine.to_string(),
+            run.cell.width,
+            run.estimate.ipc,
+            run.estimate.ipc_lo,
+            run.estimate.ipc_hi,
+            100.0 * run.estimate.rel_half_width
+        );
+    }
+    if let Some((min, max, ratio)) = calib.spread {
+        println!("  8-wide engine spread {max:.3}/{min:.3} = {ratio:.2}× (paper Fig. 8c ~3.5×)");
+    }
+    println!(
+        "  store A/B (Streams, 8-wide): cold {:.3}s → warm rerun {:.3}s = {store_speedup:.2}× \
+         (fast-forward amortized into {} store entries)",
+        calib.cold_wall_s, calib.warm_wall_s, calib.store_entries
+    );
+
     let total_wall_s = t0.elapsed().as_secs_f64();
     println!("\ntotal: {total_wall_s:.2}s simulation wall clock, {build_s:.2}s suite construction");
 
@@ -432,10 +557,11 @@ fn main() {
         (ab_w.name(), &ab_rows),
         (large_w.name(), &dec_on, &dec_off, dec_speedup, (dec_hits, dec_misses)),
         (phased_w.name(), &full, &sampled, &est, windows, phased_build_s),
+        (phased_w.name(), &calib, full.ipc),
         total_wall_s,
     );
-    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
-    println!("wrote BENCH_4.json");
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("wrote BENCH_5.json");
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -449,12 +575,13 @@ fn render_json(
     prefetch_ab: (&str, &[(EngineKind, PrefetchLeg, PrefetchLeg)]),
     redecode_ab: (&str, &TimedLeg, &TimedLeg, f64, (u64, u64)),
     sampling_ab: (&str, &SamplingLeg, &SamplingLeg, &Estimate, u64, f64),
+    calibration: (&str, &CalibrationGrid, f64),
     total_wall_s: f64,
 ) -> String {
     let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v4\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v5\",");
     let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
@@ -582,6 +709,72 @@ fn render_json(
         s,
         "    \"rel_error\": {sa_rel_err:.4}, \"speedup\": {:.2}",
         sa_full.wall_s / sa_sampled.wall_s
+    );
+    s.push_str("  },\n");
+    let (cg_bench, cg, full_ipc) = calibration;
+    s.push_str("  \"calibration_grid\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"bench\": \"{cg_bench}\", \"total_insts\": {}, \"windows\": {}, \"layout\": \"optimized\",",
+        opts.grid_total, cg.windows
+    );
+    let _ = writeln!(
+        s,
+        "    \"schedule\": {{\"interval\": {}, \"warm_func\": {}, \"warm_mem\": {}, \
+         \"warm_detail\": {}, \"measure\": {}, \"confidence\": \"{}\"}},",
+        opts.grid_sample.interval,
+        opts.grid_sample.warm_func,
+        opts.grid_sample.warm_mem,
+        opts.grid_sample.warm_detail,
+        opts.grid_sample.measure,
+        opts.grid_sample.confidence,
+    );
+    s.push_str("    \"points\": [\n");
+    for (i, run) in cg.runs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{\"engine\": \"{}\", \"width\": {}, \"ipc\": {:.4}, \"ipc_lo\": {:.4}, \
+             \"ipc_hi\": {:.4}, \"rel_half_width\": {:.4}, \"windows\": {}}}{}",
+            engine_key(run.cell.engine),
+            run.cell.width,
+            run.estimate.ipc,
+            run.estimate.ipc_lo,
+            run.estimate.ipc_hi,
+            run.estimate.rel_half_width,
+            run.estimate.windows,
+            if i + 1 < cg.runs.len() { "," } else { "" }
+        );
+    }
+    s.push_str("    ],\n");
+    if let Some((min, max, ratio)) = cg.spread {
+        let _ = writeln!(
+            s,
+            "    \"spread_8wide\": {{\"min_ipc\": {min:.4}, \"max_ipc\": {max:.4}, \
+             \"ratio\": {ratio:.3}, \"paper_ratio\": 3.5}},"
+        );
+    }
+    let cg_stream8 = cg
+        .runs
+        .iter()
+        .find(|r| r.cell == AB_CELL)
+        .map(|r| r.estimate.ipc)
+        .unwrap_or(0.0);
+    let cg_rel = if full_ipc > 0.0 { (cg_stream8 - full_ipc).abs() / full_ipc } else { 0.0 };
+    let _ = writeln!(
+        s,
+        "    \"stream8_vs_full\": {{\"grid_ipc\": {cg_stream8:.4}, \"sampling_ab_full_ipc\": \
+         {full_ipc:.4}, \"rel_error\": {cg_rel:.4}}},"
+    );
+    let _ = writeln!(
+        s,
+        "    \"store_ab\": {{\"engine\": \"{}\", \"width\": {}, \"cold_wall_s\": {:.3}, \
+         \"warm_wall_s\": {:.3}, \"speedup\": {:.2}, \"store_entries\": {}}}",
+        engine_key(AB_CELL.engine),
+        AB_CELL.width,
+        cg.cold_wall_s,
+        cg.warm_wall_s,
+        cg.cold_wall_s / cg.warm_wall_s,
+        cg.store_entries
     );
     s.push_str("  },\n");
     let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");

@@ -1,33 +1,37 @@
-//! Multi-process sampled-simulation runner: fans sample windows × fetch
-//! engines across OS processes and merges the per-shard results.
+//! Multi-process sampled-simulation runner: fans the **full grid** —
+//! sample windows × fetch engines × pipe widths — across OS processes
+//! through the shared checkpoint store.
 //!
-//! The parent builds the workload, walks the architectural trace once to
-//! write one [`sfetch_trace::ArchCheckpoint`] per shard (at the unit
-//! boundary of the shard's first window), then re-spawns **itself** with
-//! `--shard i/N`. Each child restores its checkpoint — skipping the
-//! fast-forward the parent already did — runs its contiguous window
-//! range for every requested engine, and writes a line-oriented JSON
-//! shard file. The parent merges the shards per engine and reports the
-//! aggregate estimate with its confidence interval.
+//! The parent opens (or creates) a [`sfetch_sample::CheckpointStore`],
+//! populates it with one architectural walk (each window's warming-start
+//! checkpoint is written once, keyed on the workload fingerprint), then
+//! re-spawns **itself** with `--shard i/N`. Each child claims a
+//! contiguous slice of the flattened (engine, width, window) work list,
+//! resumes every window straight from the store — no per-shard
+//! fast-forward, unlike the PR 4 design where each shard re-walked its
+//! span — and writes a line-oriented JSON shard file. The parent merges
+//! the shards per grid cell and reports each cell's IPC estimate with
+//! its confidence interval.
 //!
-//! Because every window derives only from the master executor's state at
-//! its own unit boundary, the merged result is **bit-identical** to a
-//! single-process run; `--verify` asserts exactly that (the CI smoke leg
-//! runs it with `--procs 2`).
+//! Because every window derives only from the trace state at its own
+//! warming start, the merged result is **bit-identical** to a
+//! single-process run; `--verify` asserts exactly that (the CI smoke
+//! leg runs it with `--procs 2`). The verify oracle is deliberately
+//! **storeless** — a live `Sampler` re-walks the trace itself — so a
+//! defect anywhere in the checkpoint save/load/resume path surfaces as
+//! a divergence instead of being replayed on both sides.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin shard_runner -- \
 //!     [--bench phased|gzip|…] [--engines all|stream,ev8,ftb,tcache] \
-//!     [--sample-total N] [--sample U,Wf,Wd,D[,Wm]] [--procs N] [--verify] \
+//!     [--widths all|2,4,8] [--sample-total N] [--sample U,Wf,Wd,D[,Wm]] \
+//!     [--procs N] [--verify] [--store DIR] \
 //!     [--jobs N] [--legacy-scan] [--prefetch K --mshrs N]
 //! ```
 //!
-//! Of the shared harness flags, this binary honors `--sample`,
-//! `--sample-total`, `--jobs` (window threads per shard),
-//! `--legacy-scan` and `--prefetch`/`--mshrs` (all forwarded to the
-//! shard children); `--inst`/`--warmup`/`--long` have no meaning here —
-//! the sampling schedule defines the measured windows and `--bench`
-//! names the workload.
+//! With `--store DIR` the checkpoints persist, so a later invocation —
+//! any engine or width set, same workload and schedule — starts warm;
+//! without it a temporary store lives for this invocation only.
 //!
 //! Accuracy note: sampled-IPC accuracy is validated (BENCH_4
 //! `sampling_ab`) for the **stream** engine, whose self-checking
@@ -38,65 +42,39 @@
 //! levels, as the signal.
 
 use std::io::Write as _;
-use std::process::{Command, Stdio};
+use std::path::PathBuf;
 
-use sfetch_bench::{workload_by_name, HarnessOpts};
-use sfetch_core::ProcessorConfig;
-use sfetch_fetch::EngineKind;
-use sfetch_sample::{
-    estimate, merge_points, window_range, SamplePoint, Sampler, ShardSpec,
+use sfetch_bench::grid::{
+    cells, engine_key, merge_grid, parse_engines, parse_widths, print_grid_table,
+    shard_file_text, spawn_shards, verify_merged,
 };
-use sfetch_trace::ArchCheckpoint;
-use sfetch_workloads::{LayoutChoice, Workload};
-
-/// Shard-file schema tag.
-const SHARD_SCHEMA: &str = "sfetch-shard-v1";
-
-/// Short CLI keys for the four engines.
-fn engine_key(kind: EngineKind) -> &'static str {
-    match kind {
-        EngineKind::Stream => "stream",
-        EngineKind::Ev8 => "ev8",
-        EngineKind::Ftb => "ftb",
-        EngineKind::TraceCache => "tcache",
-    }
-}
-
-fn parse_engines(spec: &str) -> Vec<EngineKind> {
-    if spec == "all" {
-        return EngineKind::ALL.to_vec();
-    }
-    spec.split(',')
-        .map(|k| match k.trim() {
-            "stream" => EngineKind::Stream,
-            "ev8" => EngineKind::Ev8,
-            "ftb" => EngineKind::Ftb,
-            "tcache" => EngineKind::TraceCache,
-            other => panic!("unknown engine {other:?} (stream|ev8|ftb|tcache|all)"),
-        })
-        .collect()
-}
+use sfetch_bench::{workload_by_name, HarnessOpts};
+use sfetch_fetch::EngineKind;
+use sfetch_sample::{CheckpointStore, ShardSpec, StoredSampler};
+use sfetch_workloads::LayoutChoice;
 
 /// Arguments beyond [`HarnessOpts`] (which handles `--sample*`/`--jobs`).
 struct ShardArgs {
     opts: HarnessOpts,
     bench: String,
     engines: Vec<EngineKind>,
+    widths: Vec<usize>,
     procs: usize,
     verify: bool,
     shard: Option<ShardSpec>,
     out: Option<String>,
-    ckpt: Option<String>,
+    store: Option<String>,
 }
 
 fn parse_args() -> ShardArgs {
     let mut bench = "phased".to_owned();
     let mut engines = "stream".to_owned();
+    let mut widths = "8".to_owned();
     let mut procs = 2usize;
     let mut verify = false;
     let mut shard = None;
     let mut out = None;
-    let mut ckpt = None;
+    let mut store = None;
     let mut rest: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let take = |i: usize, what: &str| -> String {
@@ -111,6 +89,10 @@ fn parse_args() -> ShardArgs {
             }
             "--engines" => {
                 engines = take(i, "--engines");
+                i += 2;
+            }
+            "--widths" => {
+                widths = take(i, "--widths");
                 i += 2;
             }
             "--procs" => {
@@ -129,8 +111,8 @@ fn parse_args() -> ShardArgs {
                 out = Some(take(i, "--out"));
                 i += 2;
             }
-            "--ckpt" => {
-                ckpt = Some(take(i, "--ckpt"));
+            "--store" => {
+                store = Some(take(i, "--store"));
                 i += 2;
             }
             // Bool flags HarnessOpts understands.
@@ -153,246 +135,113 @@ fn parse_args() -> ShardArgs {
         opts,
         bench,
         engines: parse_engines(&engines),
+        widths: parse_widths(&widths),
         procs,
         verify,
         shard,
         out,
-        ckpt,
+        store,
     }
 }
 
-/// Runs one engine's contiguous window range from a boundary sampler.
-fn run_range(
-    w: &Workload,
-    kind: EngineKind,
-    a: &ShardArgs,
-    from_ckpt: Option<&ArchCheckpoint>,
-    lo: u64,
-    hi: u64,
-) -> Vec<SamplePoint> {
-    let img = w.image(LayoutChoice::Optimized);
-    let mut pcfg = ProcessorConfig::table2(8);
-    pcfg.legacy_scan = a.opts.legacy_scan;
-    pcfg.prefetch = a.opts.prefetch;
-    let mut s = match from_ckpt {
-        Some(cp) => Sampler::resume(img, kind, pcfg, a.opts.sample, cp),
-        None => Sampler::new(img, kind, pcfg, a.opts.sample, w.ref_seed()),
-    };
-    assert!(s.window() <= lo, "checkpoint is past the shard's first window");
-    s.skip(lo - s.window());
-    s.run_parallel(hi - lo, a.opts.jobs)
-}
-
-fn point_line(kind: EngineKind, p: &SamplePoint) -> String {
-    format!(
-        "{{\"engine\": \"{}\", \"window\": {}, \"start_inst\": {}, \"committed\": {}, \
-         \"cycles\": {}, \"stall_cycles\": {}, \"mispredictions\": {}}}",
-        engine_key(kind),
-        p.window,
-        p.start_inst,
-        p.committed,
-        p.cycles,
-        p.stall_cycles,
-        p.mispredictions
-    )
-}
-
-/// Pulls `"key": value` out of a shard-file line (the files are our own
-/// fixed format; no general JSON parser needed or vendored).
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    let tag = format!("\"{key}\": ");
-    let at = line.find(&tag)? + tag.len();
-    let rest = &line[at..];
-    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let tag = format!("\"{key}\": \"");
-    let at = line.find(&tag)? + tag.len();
-    let rest = &line[at..];
-    Some(&rest[..rest.find('"')?])
-}
-
-fn parse_shard_file(text: &str) -> Vec<(String, SamplePoint)> {
-    text.lines()
-        .filter(|l| l.contains("\"window\""))
-        .map(|l| {
-            let engine = field_str(l, "engine").expect("engine key").to_owned();
-            let p = SamplePoint {
-                window: field_u64(l, "window").expect("window"),
-                start_inst: field_u64(l, "start_inst").expect("start_inst"),
-                committed: field_u64(l, "committed").expect("committed"),
-                cycles: field_u64(l, "cycles").expect("cycles"),
-                stall_cycles: field_u64(l, "stall_cycles").expect("stall_cycles"),
-                mispredictions: field_u64(l, "mispredictions").expect("mispredictions"),
-            };
-            (engine, p)
-        })
-        .collect()
-}
-
-/// Child mode: run this shard's windows and write the shard file.
+/// Child mode: run this shard's slice of the grid and write the shard file.
 fn run_child(a: &ShardArgs, shard: ShardSpec) {
     let w = workload_by_name(&a.bench);
+    let grid = cells(&a.engines, &a.widths);
     let windows = a.opts.sample.windows(a.opts.sample_total);
-    let range = window_range(windows, shard);
-    let cp = a.ckpt.as_ref().map(|path| {
-        let bytes = std::fs::read(path).expect("read checkpoint file");
-        ArchCheckpoint::from_bytes(&bytes).expect("parse checkpoint file")
-    });
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{{\"schema\": \"{SHARD_SCHEMA}\", \"shard\": \"{shard}\", \"bench\": \"{}\",\n",
-        w.name()
-    ));
-    out.push_str(" \"points\": [\n");
-    let mut first = true;
-    for &kind in &a.engines {
-        for p in run_range(&w, kind, a, cp.as_ref(), range.start, range.end) {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            out.push_str("  ");
-            out.push_str(&point_line(kind, &p));
-        }
-    }
-    out.push_str("\n]}\n");
+    let store = CheckpointStore::open(a.store.as_ref().expect("child needs --store"))
+        .expect("open checkpoint store");
+    let text = shard_file_text(&w, &grid, windows, a.opts.sample, &a.opts, &store, shard);
     match &a.out {
-        Some(path) => std::fs::write(path, &out).expect("write shard file"),
-        None => print!("{out}"),
+        Some(path) => std::fs::write(path, &text).expect("write shard file"),
+        None => print!("{text}"),
     }
 }
 
-/// Parent mode: checkpoint, spawn shards, merge, report (and verify).
+/// Parent mode: populate the store, spawn shards, merge, report (and
+/// verify).
 fn run_parent(a: &ShardArgs) {
     let w = workload_by_name(&a.bench);
-    let img = w.image(LayoutChoice::Optimized);
-    let pcfg = ProcessorConfig::table2(8);
+    let grid = cells(&a.engines, &a.widths);
     let windows = a.opts.sample.windows(a.opts.sample_total);
     assert!(windows >= 1, "sample-total {} yields no windows", a.opts.sample_total);
-    let procs = a.procs.min(windows as usize).max(1);
+    let items = grid.len() as u64 * windows;
+    let procs = a.procs.min(items as usize).max(1);
     eprintln!(
-        "{}: {} windows over {} insts, {} engines, {procs} shard processes",
+        "{}: {} windows × {} grid cells over {} insts, {procs} shard processes",
         w.name(),
         windows,
-        a.opts.sample_total,
-        a.engines.len()
+        grid.len(),
+        a.opts.sample_total
     );
 
-    // One fast-forward pass writes each shard's boundary checkpoint. The
-    // sampler's engine kind is irrelevant here — skip() never simulates.
     let tmp = std::env::temp_dir().join(format!("sfetch-shards-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create shard temp dir");
-    let mut walker = Sampler::new(img, EngineKind::Stream, pcfg, a.opts.sample, w.ref_seed());
-    let mut ckpt_paths = Vec::new();
-    for i in 0..procs {
-        let spec = ShardSpec { index: i as u64, count: procs as u64 };
-        let lo = window_range(windows, spec).start;
-        walker.skip(lo - walker.window());
-        let path = tmp.join(format!("ckpt-{i}.bin"));
-        std::fs::write(&path, walker.checkpoint().to_bytes()).expect("write checkpoint");
-        ckpt_paths.push(path);
-    }
+    let (store_dir, store_is_temp) = match &a.store {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (tmp.join("store"), true),
+    };
+    let store = CheckpointStore::open(&store_dir).expect("open checkpoint store");
 
-    // Spawn self once per shard.
-    let exe = std::env::current_exe().expect("current exe");
-    let mut children = Vec::new();
-    let mut out_paths = Vec::new();
-    for (i, ckpt_path) in ckpt_paths.iter().enumerate() {
-        let out = tmp.join(format!("shard-{i}.json"));
-        let mut cmd = Command::new(&exe);
-        cmd.arg("--bench")
-            .arg(&a.bench)
-            .arg("--engines")
-            .arg(a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(","))
-            .arg("--sample-total")
-            .arg(a.opts.sample_total.to_string())
-            .arg("--sample")
-            .arg(format!(
-                "{},{},{},{},{}",
-                a.opts.sample.interval,
-                a.opts.sample.warm_func,
-                a.opts.sample.warm_detail,
-                a.opts.sample.measure,
-                a.opts.sample.warm_mem
-            ))
-            .arg("--jobs")
-            .arg(a.opts.jobs.to_string());
+    // One architectural walk banks every window's warming-start
+    // checkpoint; on a warm store this is pure verification traffic.
+    let img = w.image(LayoutChoice::Optimized);
+    let fp = w.fingerprint(LayoutChoice::Optimized);
+    let mut populate = StoredSampler::new(img, fp, w.ref_seed(), a.opts.sample, &store);
+    let computed = populate.populate(windows);
+    eprintln!(
+        "store {}: {} windows ready ({} computed, {} loaded warm)",
+        store_dir.display(),
+        windows,
+        computed,
+        populate.stats().hits
+    );
+
+    // Spawn self once per shard and merge per grid cell.
+    let all = spawn_shards(procs, &tmp, |i, out| {
+        let mut args: Vec<std::ffi::OsString> = vec![
+            "--bench".into(),
+            a.bench.clone().into(),
+            "--engines".into(),
+            a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
+            "--widths".into(),
+            a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
+            "--sample-total".into(),
+            a.opts.sample_total.to_string().into(),
+            "--sample".into(),
+            a.opts.sample.to_spec().into(),
+            "--jobs".into(),
+            a.opts.jobs.to_string().into(),
+        ];
         // Forward the simulation-model flags so children build the same
         // processors the parent's verify leg does.
         if a.opts.legacy_scan {
-            cmd.arg("--legacy-scan");
+            args.push("--legacy-scan".into());
         }
         if a.opts.prefetch.mshrs > 0 {
-            cmd.arg("--prefetch")
-                .arg(a.opts.prefetch.kind.to_string())
-                .arg("--mshrs")
-                .arg(a.opts.prefetch.mshrs.to_string());
+            args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
+            args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
         }
-        cmd.arg("--shard")
-            .arg(format!("{i}/{procs}"))
-            .arg("--ckpt")
-            .arg(ckpt_path)
-            .arg("--out")
-            .arg(&out)
-            .stdout(Stdio::inherit())
-            .stderr(Stdio::inherit());
-        children.push(cmd.spawn().expect("spawn shard process"));
-        out_paths.push(out);
-    }
-    for (i, c) in children.iter_mut().enumerate() {
-        let status = c.wait().expect("wait for shard");
-        assert!(status.success(), "shard {i} failed: {status}");
-    }
+        args.extend(["--shard".into(), format!("{i}/{procs}").into()]);
+        args.extend(["--store".into(), store_dir.clone().into()]);
+        args.extend(["--out".into(), out.as_os_str().to_owned()]);
+        args
+    });
+    let merged = merge_grid(&grid, windows, &all, a.opts.sample.confidence);
+    print_grid_table(&merged);
 
-    // Merge per engine.
-    let mut merged: Vec<(EngineKind, Vec<SamplePoint>)> = Vec::new();
-    let mut all: Vec<(String, SamplePoint)> = Vec::new();
-    for p in &out_paths {
-        all.extend(parse_shard_file(&std::fs::read_to_string(p).expect("read shard file")));
-    }
-    for &kind in &a.engines {
-        let pts: Vec<SamplePoint> = all
-            .iter()
-            .filter(|(k, _)| k == engine_key(kind))
-            .map(|(_, p)| *p)
-            .collect();
-        let pts = merge_points(pts).expect("shard outputs merge cleanly");
-        assert_eq!(pts.len() as u64, windows, "{kind}: merged window count");
-        merged.push((kind, pts));
-    }
-
-    println!(
-        "\n{:<18} {:>8} {:>9} {:>9} {:>9} {:>10}",
-        "engine", "windows", "IPC", "ci lo", "ci hi", "±rel"
-    );
-    for (kind, pts) in &merged {
-        let est = estimate(pts, a.opts.sample.confidence);
+    if a.verify {
+        eprintln!("verifying merged shards against a storeless single-process run…");
+        verify_merged(&w, &merged, a.opts.sample, &a.opts, windows);
         println!(
-            "{:<18} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.2}%",
-            kind.to_string(),
-            est.windows,
-            est.ipc,
-            est.ipc_lo,
-            est.ipc_hi,
-            100.0 * est.rel_half_width
+            "verify OK: merged {procs}-process result is bit-identical to a storeless \
+             single-process run"
         );
     }
 
-    if a.verify {
-        eprintln!("verifying merged shards against a single-process run…");
-        for (kind, pts) in &merged {
-            let single = run_range(&w, *kind, a, None, 0, windows);
-            assert_eq!(
-                &single, pts,
-                "{kind}: merged shard windows differ from the single-process run"
-            );
-        }
-        println!("verify OK: merged {procs}-process result is bit-identical to single-process");
+    if store_is_temp {
+        let _ = std::fs::remove_dir_all(&store_dir);
     }
-
     let _ = std::fs::remove_dir_all(&tmp);
     let _ = std::io::stdout().flush();
 }

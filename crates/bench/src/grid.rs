@@ -1,0 +1,508 @@
+//! The **single source of truth** for the paper's evaluation grid —
+//! engines × pipe widths — plus the store-backed sampled-grid runner
+//! and the shard-file plumbing the multi-process binaries share.
+//!
+//! Before this module, every figure binary re-declared its own engine
+//! and width axes; a drifted axis would have silently compared
+//! different grids. `figure8`/`figure9` and their `_sampled` siblings,
+//! `shard_runner`, and `perfstats`' calibration section all pull the
+//! axes, the sampled-grid schedule, and the engine-key spellings from
+//! here.
+
+use std::ops::Range;
+
+use sfetch_core::ProcessorConfig;
+use sfetch_fetch::EngineKind;
+use sfetch_sample::{
+    estimate, CheckpointStore, Estimate, SampleConfig, SamplePoint, StoreStats, StoredSampler,
+};
+use sfetch_workloads::{LayoutChoice, Workload};
+
+use crate::HarnessOpts;
+
+/// Pipe widths of the Fig. 8 grid (panels a, b, c).
+pub const FIG8_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// The single width of the Fig. 9 per-benchmark comparison.
+pub const FIG9_WIDTH: usize = 8;
+
+/// The engines of the paper's comparison, in presentation order.
+pub fn grid_engines() -> [EngineKind; 4] {
+    EngineKind::ALL
+}
+
+/// One cell of the engines × widths grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Fetch engine under test.
+    pub engine: EngineKind,
+    /// Pipe width.
+    pub width: usize,
+}
+
+/// The full cell list for given axes, width-major (matching the Fig. 8
+/// presentation: one panel per width, engines within).
+pub fn cells(engines: &[EngineKind], widths: &[usize]) -> Vec<GridCell> {
+    let mut out = Vec::with_capacity(engines.len() * widths.len());
+    for &width in widths {
+        for &engine in engines {
+            out.push(GridCell { engine, width });
+        }
+    }
+    out
+}
+
+/// The sampled calibration-grid schedule: sparse SimPoint-style units
+/// (one measured window per 12.5M instructions) under the validated
+/// ~1M-instruction warming horizon.
+///
+/// The sparsity is deliberate: per window, the fast-forward span
+/// (~11.6M instructions at plain-walk speed) dominates the warm + .
+/// detailed span (~910k at warming speed), which is exactly the cost
+/// the checkpoint store amortizes — a warm-store rerun of a grid cell
+/// skips the fast-forward entirely and runs ≥3× faster (recorded in
+/// `BENCH_5.json`'s `calibration_grid.store_ab`). The denser SMARTS
+/// schedule ([`SampleConfig::default`]) remains the accuracy reference
+/// (BENCH_4 `sampling_ab`: 0.64% error at 18 windows); this one trades
+/// window count for per-experiment cost, and every grid point records
+/// its own 95% CI so the trade stays visible.
+pub fn calibration_schedule() -> SampleConfig {
+    SampleConfig {
+        interval: 12_500_000,
+        warm_func: 900_000,
+        warm_mem: 900_000,
+        warm_detail: 5_000,
+        measure: 5_000,
+        ..SampleConfig::default()
+    }
+}
+
+/// Short CLI/JSON key of an engine (`stream`, `ev8`, `ftb`, `tcache`).
+pub fn engine_key(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Stream => "stream",
+        EngineKind::Ev8 => "ev8",
+        EngineKind::Ftb => "ftb",
+        EngineKind::TraceCache => "tcache",
+    }
+}
+
+/// Parses a comma-separated engine list (or `all`).
+///
+/// # Panics
+///
+/// Panics on an unknown engine key.
+pub fn parse_engines(spec: &str) -> Vec<EngineKind> {
+    if spec == "all" {
+        return grid_engines().to_vec();
+    }
+    spec.split(',')
+        .map(|k| match k.trim() {
+            "stream" => EngineKind::Stream,
+            "ev8" => EngineKind::Ev8,
+            "ftb" => EngineKind::Ftb,
+            "tcache" => EngineKind::TraceCache,
+            other => panic!("unknown engine {other:?} (stream|ev8|ftb|tcache|all)"),
+        })
+        .collect()
+}
+
+/// Parses a comma-separated width list (or `all` = the Fig. 8 widths).
+///
+/// # Panics
+///
+/// Panics on a malformed or zero width.
+pub fn parse_widths(spec: &str) -> Vec<usize> {
+    if spec == "all" {
+        return FIG8_WIDTHS.to_vec();
+    }
+    spec.split(',')
+        .map(|w| {
+            w.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&w| w >= 1)
+                .unwrap_or_else(|| panic!("bad width {w:?}"))
+        })
+        .collect()
+}
+
+/// The processor configuration of a grid cell under the harness options
+/// (Table 2 at the cell's width, honoring `--legacy-scan`/`--prefetch`).
+pub fn cell_config(cell: GridCell, opts: &HarnessOpts) -> ProcessorConfig {
+    let mut pcfg = ProcessorConfig::table2(cell.width);
+    pcfg.legacy_scan = opts.legacy_scan;
+    pcfg.prefetch = opts.prefetch;
+    pcfg
+}
+
+/// One finished grid cell of a sampled run.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The cell.
+    pub cell: GridCell,
+    /// Per-window measurements, in window order.
+    pub points: Vec<SamplePoint>,
+    /// Student-t aggregate over the windows.
+    pub estimate: Estimate,
+}
+
+/// Runs one cell's window range through the checkpoint store with the
+/// given sampling schedule (`--sample` for `shard_runner`,
+/// `--grid-sample` for the figure bins).
+pub fn run_cell_range(
+    w: &Workload,
+    cell: GridCell,
+    scfg: SampleConfig,
+    opts: &HarnessOpts,
+    store: &CheckpointStore,
+    range: Range<u64>,
+) -> (Vec<SamplePoint>, StoreStats) {
+    let img = w.image(LayoutChoice::Optimized);
+    let fp = w.fingerprint(LayoutChoice::Optimized);
+    let mut s = StoredSampler::new(img, fp, w.ref_seed(), scfg, store);
+    let pts = s.run_range(cell.engine, cell_config(cell, opts), range, opts.jobs);
+    (pts, s.stats())
+}
+
+/// Runs the whole grid for one workload through the store, cell by
+/// cell, returning per-cell estimates plus the total store traffic.
+pub fn run_sampled_grid(
+    w: &Workload,
+    cells: &[GridCell],
+    scfg: SampleConfig,
+    total_insts: u64,
+    opts: &HarnessOpts,
+    store: &CheckpointStore,
+) -> (Vec<CellRun>, StoreStats) {
+    let windows = scfg.windows(total_insts);
+    let mut total = StoreStats::default();
+    let runs = cells
+        .iter()
+        .map(|&cell| {
+            let (points, st) = run_cell_range(w, cell, scfg, opts, store, 0..windows);
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.rejected += st.rejected;
+            let estimate = estimate(&points, scfg.confidence);
+            CellRun { cell, points, estimate }
+        })
+        .collect();
+    (runs, total)
+}
+
+/// Shard-file schema tag of the grid shard format (engine × width ×
+/// window lines).
+pub const GRID_SHARD_SCHEMA: &str = "sfetch-grid-shard-v2";
+
+/// Renders one grid sample point as a shard-file JSON line.
+pub fn point_line(cell: GridCell, p: &SamplePoint) -> String {
+    format!(
+        "{{\"engine\": \"{}\", \"width\": {}, \"window\": {}, \"start_inst\": {}, \
+         \"committed\": {}, \"cycles\": {}, \"stall_cycles\": {}, \"mispredictions\": {}}}",
+        engine_key(cell.engine),
+        cell.width,
+        p.window,
+        p.start_inst,
+        p.committed,
+        p.cycles,
+        p.stall_cycles,
+        p.mispredictions
+    )
+}
+
+/// Pulls `"key": value` out of a shard-file line (the files are our own
+/// fixed format; no general JSON parser needed or vendored).
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parses a grid shard file's point lines back into `(engine key,
+/// width, point)` tuples.
+pub fn parse_shard_file(text: &str) -> Vec<(String, usize, SamplePoint)> {
+    text.lines()
+        .filter(|l| l.contains("\"window\""))
+        .map(|l| {
+            let engine = field_str(l, "engine").expect("engine key").to_owned();
+            let width = field_u64(l, "width").expect("width") as usize;
+            let p = SamplePoint {
+                window: field_u64(l, "window").expect("window"),
+                start_inst: field_u64(l, "start_inst").expect("start_inst"),
+                committed: field_u64(l, "committed").expect("committed"),
+                cycles: field_u64(l, "cycles").expect("cycles"),
+                stall_cycles: field_u64(l, "stall_cycles").expect("stall_cycles"),
+                mispredictions: field_u64(l, "mispredictions").expect("mispredictions"),
+            };
+            (engine, width, p)
+        })
+        .collect()
+}
+
+/// Renders one shard's slice of the grid as a complete shard file: the
+/// child-mode body both multi-process binaries (`shard_runner`,
+/// `figure8_sampled`) share.
+pub fn shard_file_text(
+    w: &Workload,
+    grid: &[GridCell],
+    windows: u64,
+    scfg: SampleConfig,
+    opts: &HarnessOpts,
+    store: &CheckpointStore,
+    shard: sfetch_sample::ShardSpec,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\": \"{GRID_SHARD_SCHEMA}\", \"shard\": \"{shard}\", \"bench\": \"{}\",\n",
+        w.name()
+    ));
+    out.push_str(" \"points\": [\n");
+    let mut first = true;
+    for (cell_idx, range) in grid_shard_items(grid.len(), windows, shard) {
+        let cell = grid[cell_idx];
+        let (pts, _) = run_cell_range(w, cell, scfg, opts, store, range);
+        for p in pts {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  ");
+            out.push_str(&point_line(cell, &p));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Spawns `procs` copies of the **current executable** (one per shard),
+/// waits for all of them, and parses their shard files back into
+/// `(engine key, width, point)` tuples. `child_args` builds the full
+/// argument list for shard `i` with its output file path.
+///
+/// # Panics
+///
+/// Panics if a shard cannot be spawned or exits unsuccessfully.
+pub fn spawn_shards(
+    procs: usize,
+    tmp: &std::path::Path,
+    child_args: impl Fn(usize, &std::path::Path) -> Vec<std::ffi::OsString>,
+) -> Vec<(String, usize, SamplePoint)> {
+    use std::process::{Command, Stdio};
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children = Vec::new();
+    let mut outs = Vec::new();
+    for i in 0..procs {
+        let out = tmp.join(format!("shard-{i}.json"));
+        let mut cmd = Command::new(&exe);
+        cmd.args(child_args(i, &out)).stdout(Stdio::inherit()).stderr(Stdio::inherit());
+        children.push(cmd.spawn().expect("spawn shard process"));
+        outs.push(out);
+    }
+    for (i, c) in children.iter_mut().enumerate() {
+        let status = c.wait().expect("wait for shard");
+        assert!(status.success(), "shard {i} failed: {status}");
+    }
+    let mut all = Vec::new();
+    for p in &outs {
+        all.extend(parse_shard_file(&std::fs::read_to_string(p).expect("read shard file")));
+    }
+    all
+}
+
+/// Verifies merged shard output against a **storeless** in-process
+/// rerun of every cell: the live [`sfetch_sample::Sampler`] walks the
+/// trace itself, so this oracle is independent of the checkpoint
+/// save/load/resume path the shards used — a defect anywhere in the
+/// store machinery shows up here as a divergence instead of being
+/// replayed on both sides. Panics (with the offending cell) on any
+/// divergence; used by the `--verify` legs.
+pub fn verify_merged(
+    w: &Workload,
+    merged: &[CellRun],
+    scfg: SampleConfig,
+    opts: &HarnessOpts,
+    windows: u64,
+) {
+    let img = w.image(LayoutChoice::Optimized);
+    for run in merged {
+        let mut oracle =
+            sfetch_sample::Sampler::new(img, run.cell.engine, cell_config(run.cell, opts), scfg, w.ref_seed());
+        let single = oracle.run_parallel(windows, opts.jobs);
+        assert_eq!(
+            &single, &run.points,
+            "{}/{}: merged shard windows differ from the storeless single-process run",
+            engine_key(run.cell.engine),
+            run.cell.width
+        );
+    }
+}
+
+/// The contiguous slice of the flattened (cell-major) grid-work list a
+/// shard owns: item `i` is `(cell[i / windows], window i % windows)`.
+/// Reuses the window-range math so chunk sizes differ by at most one.
+pub fn grid_shard_items(
+    n_cells: usize,
+    windows: u64,
+    shard: sfetch_sample::ShardSpec,
+) -> Vec<(usize, Range<u64>)> {
+    let flat = sfetch_sample::window_range(n_cells as u64 * windows, shard);
+    let mut out: Vec<(usize, Range<u64>)> = Vec::new();
+    let mut i = flat.start;
+    while i < flat.end {
+        let cell = (i / windows) as usize;
+        let w_lo = i % windows;
+        let w_hi = (w_lo + (flat.end - i)).min(windows);
+        out.push((cell, w_lo..w_hi));
+        i += w_hi - w_lo;
+    }
+    out
+}
+
+/// Merges shard-file tuples back into per-cell window lists, verifying
+/// every cell has exactly windows `0..windows`.
+///
+/// # Panics
+///
+/// Panics on missing/duplicate windows or unknown cells — a shard bug,
+/// not an input error.
+pub fn merge_grid(
+    cells: &[GridCell],
+    windows: u64,
+    all: &[(String, usize, SamplePoint)],
+    confidence: sfetch_sample::Confidence,
+) -> Vec<CellRun> {
+    cells
+        .iter()
+        .map(|&cell| {
+            let pts: Vec<SamplePoint> = all
+                .iter()
+                .filter(|(k, w, _)| k == engine_key(cell.engine) && *w == cell.width)
+                .map(|(_, _, p)| *p)
+                .collect();
+            let points = sfetch_sample::merge_points(pts).expect("shard outputs merge cleanly");
+            assert_eq!(
+                points.len() as u64,
+                windows,
+                "{}/{}: merged window count",
+                engine_key(cell.engine),
+                cell.width
+            );
+            let estimate = estimate(&points, confidence);
+            CellRun { cell, points, estimate }
+        })
+        .collect()
+}
+
+/// Prints the per-cell estimate table the sampled grid binaries share.
+pub fn print_grid_table(runs: &[CellRun]) {
+    println!(
+        "\n{:<18} {:>6} {:>8} {:>9} {:>9} {:>9} {:>8}",
+        "engine", "width", "windows", "IPC", "ci lo", "ci hi", "±rel"
+    );
+    for r in runs {
+        println!(
+            "{:<18} {:>6} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>7.2}%",
+            r.cell.engine.to_string(),
+            r.cell.width,
+            r.estimate.windows,
+            r.estimate.ipc,
+            r.estimate.ipc_lo,
+            r.estimate.ipc_hi,
+            100.0 * r.estimate.rel_half_width
+        );
+    }
+}
+
+/// The engine IPC spread (max/min) among `runs` at one width — the
+/// quantity compared against the paper's Fig. 8 (~3.5× at 8-wide
+/// optimized).
+pub fn spread_at_width(runs: &[CellRun], width: usize) -> Option<(f64, f64, f64)> {
+    let ipcs: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.cell.width == width && r.estimate.ipc > 0.0)
+        .map(|r| r.estimate.ipc)
+        .collect();
+    let min = ipcs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ipcs.iter().copied().fold(0.0f64, f64::max);
+    (ipcs.len() >= 2).then_some((min, max, max / min))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_sample::ShardSpec;
+
+    #[test]
+    fn cells_are_width_major_and_complete() {
+        let cs = cells(&grid_engines(), &FIG8_WIDTHS);
+        assert_eq!(cs.len(), 12);
+        assert_eq!(cs[0], GridCell { engine: EngineKind::Ev8, width: 2 });
+        assert_eq!(cs[4], GridCell { engine: EngineKind::Ev8, width: 4 });
+        let mut uniq = cs.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 12, "no duplicate cells");
+    }
+
+    #[test]
+    fn calibration_schedule_is_valid_and_sparse() {
+        let s = calibration_schedule();
+        s.validate();
+        assert_eq!(s.windows(50_000_000), 4);
+        assert!(
+            s.fast_forward() > 2 * (s.warm_func + s.warm_detail + s.measure),
+            "fast-forward must dominate the per-window work the store cannot amortize"
+        );
+    }
+
+    #[test]
+    fn engine_keys_roundtrip() {
+        for kind in grid_engines() {
+            assert_eq!(parse_engines(engine_key(kind)), vec![kind]);
+        }
+        assert_eq!(parse_engines("all").len(), 4);
+        assert_eq!(parse_widths("all"), FIG8_WIDTHS.to_vec());
+        assert_eq!(parse_widths("2, 8"), vec![2, 8]);
+    }
+
+    #[test]
+    fn shard_items_partition_the_flat_grid() {
+        for (n_cells, windows, procs) in [(12usize, 4u64, 2u64), (3, 7, 4), (2, 2, 5)] {
+            let mut seen = vec![0u32; n_cells * windows as usize];
+            for index in 0..procs {
+                for (cell, range) in
+                    grid_shard_items(n_cells, windows, ShardSpec { index, count: procs })
+                {
+                    for w in range {
+                        seen[cell * windows as usize + w as usize] += 1;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "every (cell, window) exactly once");
+        }
+    }
+
+    #[test]
+    fn point_lines_parse_back() {
+        let cell = GridCell { engine: EngineKind::Stream, width: 8 };
+        let p = SamplePoint {
+            window: 3,
+            start_inst: 123,
+            committed: 5000,
+            cycles: 2100,
+            stall_cycles: 17,
+            mispredictions: 9,
+        };
+        let parsed = parse_shard_file(&point_line(cell, &p));
+        assert_eq!(parsed, vec![("stream".to_owned(), 8, p)]);
+    }
+}

@@ -15,8 +15,10 @@
 //! | `ablation_predictor` | cascaded vs single-level stream predictor |
 //! | `ablation_ftq` | FTQ depth sweep |
 //! | `ablation_sts` | selective trace storage on/off |
-//! | `perfstats` | host throughput per engine + the sampling/redecode A/Bs → `BENCH_4.json` |
-//! | `shard_runner` | multi-process sampled simulation: windows × engines fanned across OS processes via architectural checkpoints, merged bit-identically |
+//! | `figure8_sampled` | Fig. 8 grid at paper-scale horizons via the sampler + checkpoint store |
+//! | `figure9_sampled` | Fig. 9 per-benchmark comparison, sampled through the store |
+//! | `perfstats` | host throughput per engine + the sampling/redecode A/Bs + the store-backed calibration grid → `BENCH_5.json` |
+//! | `shard_runner` | multi-process sampled simulation: windows × engines × widths fanned across OS processes via the checkpoint store, merged bit-identically |
 //! | `all` | everything above, in sequence |
 //!
 //! Run with `--inst N` / `--warmup N` to change the measured window
@@ -42,6 +44,7 @@ use sfetch_mem::MemoryConfig;
 use sfetch_sample::SampleConfig;
 use sfetch_workloads::{par_map, phased, LayoutChoice, Suite, Workload};
 
+pub mod grid;
 pub mod progress;
 
 pub use progress::{GridProgress, Reporter};
@@ -74,6 +77,12 @@ pub struct HarnessOpts {
     pub sample_total: u64,
     /// The U/W/D sampling schedule (`--sample U,Wf,Wd,D`).
     pub sample: SampleConfig,
+    /// Committed instructions of the sampled calibration grid
+    /// (`--grid-total N`; the `*_sampled` bins and `perfstats`).
+    pub grid_total: u64,
+    /// The calibration grid's sampling schedule (`--grid-sample
+    /// U,Wf,Wd,D[,Wm]`; default [`grid::calibration_schedule`]).
+    pub grid_sample: SampleConfig,
 }
 
 impl Default for HarnessOpts {
@@ -87,6 +96,8 @@ impl Default for HarnessOpts {
             long: false,
             sample_total: 50_000_000,
             sample: SampleConfig::default(),
+            grid_total: 50_000_000,
+            grid_sample: grid::calibration_schedule(),
         }
     }
 }
@@ -94,7 +105,8 @@ impl Default for HarnessOpts {
 impl HarnessOpts {
     /// Parses `--inst N`, `--warmup N`, `--jobs N`, `--legacy-scan`,
     /// `--prefetch KIND` (`none|next-line|stream|mana`), `--mshrs N`,
-    /// `--long`, `--sample-total N` and `--sample U,Wf,Wd,D` from the
+    /// `--long`, `--sample-total N`, `--sample U,Wf,Wd,D`,
+    /// `--grid-total N` and `--grid-sample U,Wf,Wd,D[,Wm]` from the
     /// process arguments.
     ///
     /// # Panics
@@ -174,11 +186,25 @@ impl HarnessOpts {
                         .unwrap_or_else(|e| panic!("bad --sample schedule: {e}"));
                     i += 2;
                 }
+                "--grid-total" => {
+                    o.grid_total = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--grid-total requires a number");
+                    i += 2;
+                }
+                "--grid-sample" => {
+                    let spec = args.get(i + 1).expect("--grid-sample requires U,Wf,Wd,D");
+                    o.grid_sample = SampleConfig::parse(spec)
+                        .unwrap_or_else(|e| panic!("bad --grid-sample schedule: {e}"));
+                    i += 2;
+                }
                 other => {
                     panic!(
                         "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, \
                          --legacy-scan, --prefetch none|next-line|stream|mana, --mshrs N, \
-                         --long, --sample-total N, --sample U,Wf,Wd,D"
+                         --long, --sample-total N, --sample U,Wf,Wd,D, --grid-total N, \
+                         --grid-sample U,Wf,Wd,D"
                     )
                 }
             }

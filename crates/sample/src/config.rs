@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// Confidence level for the CLT interval on the aggregate estimate.
+/// Confidence level for the Student-t interval on the aggregate estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Confidence {
     /// 90% two-sided confidence.
@@ -14,6 +14,25 @@ pub enum Confidence {
     C99,
 }
 
+/// Two-sided Student-t quantiles for 1..=30 degrees of freedom, per
+/// confidence level (beyond 30, [`Confidence::quantile`] switches to a
+/// Cornish–Fisher tail that decays smoothly to the normal quantile).
+const T90: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+const T99: [f64; 30] = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+    2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+    2.771, 2.763, 2.756, 2.750,
+];
+
 impl Confidence {
     /// The two-sided normal quantile `z` for this level.
     pub fn z(self) -> f64 {
@@ -22,6 +41,33 @@ impl Confidence {
             Confidence::C95 => 1.9600,
             Confidence::C99 => 2.5758,
         }
+    }
+
+    /// The two-sided Student-t quantile for `df` degrees of freedom —
+    /// what the interval on a sample mean with estimated variance
+    /// actually calls for. Sparse checkpoint-grid schedules measure
+    /// only a handful of windows, where the normal quantile undersizes
+    /// the interval badly (df = 3 needs 3.18σ, not 1.96σ). Tabulated
+    /// through df = 30; beyond that the first-order Cornish–Fisher
+    /// expansion `z + (z³ + z)/(4·df)` carries the quantile smoothly
+    /// down to [`Confidence::z`] (within 0.2% of the true t quantile at
+    /// df = 31, converging as df grows — no jump at the table edge).
+    pub fn quantile(self, df: u64) -> f64 {
+        if df == 0 {
+            // One window: no variance information; the interval
+            // degenerates to a point regardless of the quantile.
+            return self.z();
+        }
+        if df > 30 {
+            let z = self.z();
+            return z + (z * z * z + z) / (4.0 * df as f64);
+        }
+        let table = match self {
+            Confidence::C90 => &T90,
+            Confidence::C95 => &T95,
+            Confidence::C99 => &T99,
+        };
+        table[df as usize - 1]
     }
 
     /// The level as a fraction (0.95 for [`Confidence::C95`]).
@@ -164,6 +210,17 @@ impl SampleConfig {
         }
         Ok(cfg)
     }
+
+    /// Renders the schedule in the `U,Wf,Wd,D,Wm` form
+    /// [`SampleConfig::parse`] accepts — the one way shard parents hand
+    /// their schedule to child processes, so the field order can never
+    /// drift between a binary's formatter and the parser.
+    pub fn to_spec(&self) -> String {
+        format!(
+            "{},{},{},{},{}",
+            self.interval, self.warm_func, self.warm_detail, self.measure, self.warm_mem
+        )
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +246,11 @@ mod tests {
         assert_eq!(c.measure, 5_000);
         let c5 = SampleConfig::parse("100000,10000,1000,5000,4000").expect("valid with Wm");
         assert_eq!(c5.warm_mem, 4_000);
+        assert_eq!(
+            SampleConfig::parse(&c5.to_spec()).expect("spec round-trips"),
+            c5,
+            "to_spec must stay parseable by parse"
+        );
         assert!(SampleConfig::parse("1,2,3").is_err(), "wrong arity");
         assert!(SampleConfig::parse("10,20,30,x").is_err(), "bad number");
         assert!(SampleConfig::parse("10,20,30,40").is_err(), "does not fit");
@@ -215,5 +277,27 @@ mod tests {
         assert!((Confidence::C95.z() - 1.96).abs() < 1e-6);
         assert!(Confidence::C99.z() > Confidence::C95.z());
         assert_eq!(Confidence::C95.to_string(), "95%");
+    }
+
+    #[test]
+    fn t_quantiles_widen_small_samples_and_converge_to_z() {
+        // df = 3 (a 4-window sparse grid) needs 3.18σ at 95%.
+        assert!((Confidence::C95.quantile(3) - 3.182).abs() < 1e-9);
+        // The Cornish–Fisher tail tracks the true t quantile closely
+        // (t(40) at 95% is 2.021, at 99% 2.704).
+        assert!((Confidence::C95.quantile(40) - 2.021).abs() < 5e-3);
+        assert!((Confidence::C99.quantile(40) - 2.704).abs() < 2e-2);
+        // Monotone nonincreasing in df — no jump at the table edge —
+        // always at least z, converging to z for large df.
+        for c in [Confidence::C90, Confidence::C95, Confidence::C99] {
+            let mut prev = f64::INFINITY;
+            for df in 1..=200 {
+                let q = c.quantile(df);
+                assert!(q <= prev + 1e-12, "{c} df {df}");
+                assert!(q >= c.z() - 1e-12, "{c} df {df}");
+                prev = q;
+            }
+            assert!((c.quantile(100_000) - c.z()).abs() < 1e-4, "{c} converges to z");
+        }
     }
 }

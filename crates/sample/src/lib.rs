@@ -7,7 +7,7 @@
 //! for. This crate implements the standard recipe (Wunderlich et al.,
 //! *SMARTS: Accelerating Microarchitecture Simulation via Rigorous
 //! Statistical Sampling*, ISCA 2003): systematic sampling of short
-//! detailed windows over a cheap functional fast-forward, with CLT-based
+//! detailed windows over a cheap functional fast-forward, with Student-t
 //! confidence intervals on the aggregate estimate.
 //!
 //! Each sampling unit of `U` instructions ([`SampleConfig::interval`]) is
@@ -36,6 +36,14 @@
 //! executor from an [`sfetch_trace::ArchCheckpoint`] at its first window
 //! and produces *bit-identical* [`SamplePoint`]s to the single-process
 //! run (asserted in CI by the `shard_runner --verify` smoke leg).
+//!
+//! Window independence also makes the fast-forward pass *reusable*: the
+//! state at each window's warming start depends only on the trace, never
+//! on the engine or width under test. The [`store`] module banks those
+//! states in a content-addressed, versioned [`CheckpointStore`] so that
+//! one experiment's fast-forward work is every later experiment's too —
+//! a warm store turns the whole configurations × windows grid into jobs
+//! that start directly at functional warming ([`StoredSampler`]).
 //!
 //! With sampling disabled, [`run_full_detailed`] is today's sim loop —
 //! bit-identical to [`sfetch_core::simulate`], locksteped in tests.
@@ -68,6 +76,7 @@ pub mod config;
 pub mod runner;
 pub mod shard;
 pub mod stats;
+pub mod store;
 
 pub use config::{Confidence, SampleConfig};
 pub use runner::{
@@ -75,3 +84,4 @@ pub use runner::{
 };
 pub use shard::{merge_points, window_range, ShardSpec};
 pub use stats::{estimate, Estimate};
+pub use store::{CheckpointStore, StoreKey, StoreMiss, StoreStats, StoredSampler, STORE_VERSION};

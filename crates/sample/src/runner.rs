@@ -45,7 +45,7 @@ impl SamplePoint {
         }
     }
 
-    /// Cycles per instruction of this window (the quantity the CLT
+    /// Cycles per instruction of this window (the quantity the t-interval
     /// estimate averages: windows are equal-sized in instructions, so the
     /// mean of per-window CPIs estimates whole-run CPI without weighting).
     pub fn cpi(&self) -> f64 {
@@ -62,7 +62,7 @@ impl SamplePoint {
 pub struct SampledRun {
     /// Per-window measurements, in window order.
     pub points: Vec<SamplePoint>,
-    /// CLT aggregate over the windows.
+    /// Student-t aggregate over the windows.
     pub estimate: Estimate,
 }
 
@@ -261,7 +261,9 @@ fn committed_record(d: &DynInst) -> CommittedInst {
 /// after functional warming (= the snapshot advanced `Wf` instructions),
 /// which the serial sampler adopts as its master to avoid re-walking the
 /// horizon; the parallel path skips the clone (it would be discarded).
-fn window_point<'a>(
+/// Crate-visible so the checkpoint store's [`crate::StoredSampler`] runs
+/// byte-for-byte the same window simulation as the live [`Sampler`].
+pub(crate) fn window_point<'a>(
     image: &'a CodeImage,
     kind: EngineKind,
     pcfg: ProcessorConfig,

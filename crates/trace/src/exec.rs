@@ -332,6 +332,41 @@ impl Iterator for Executor<'_> {
     }
 }
 
+/// Deterministic fingerprint of the architectural trace `(image, seed)`
+/// yields: the image's static shape folded with the first `prefix`
+/// committed instructions of the walk.
+///
+/// Two workloads that differ in *any* input to trace generation —
+/// program structure, branch-behaviour models, layout (addresses), or
+/// input seed — diverge in the committed path and therefore in this
+/// fingerprint, which is what lets the `sfetch-sample` checkpoint store
+/// key cached state on it: a checkpoint is only ever replayed against
+/// the exact trace that produced it. The prefix walk costs microseconds
+/// (a few ns per instruction) against the minutes of simulation the
+/// store amortizes.
+pub fn trace_fingerprint(image: &CodeImage, seed: u64, prefix: u64) -> u64 {
+    let mut d = crate::ckpt::Digest::new();
+    d.write_u64(image.base().get());
+    d.write_u64(image.entry().get());
+    d.write_u64(image.len_insts() as u64);
+    d.write_u64(seed);
+    d.write_u64(prefix);
+    for rec in Executor::from_image(image, seed).take(prefix as usize) {
+        d.write_u64(rec.pc.get());
+        match rec.control {
+            Some(c) => {
+                d.write_u64(1 | (u64::from(c.taken) << 1) | ((c.kind as u64) << 2));
+                d.write_u64(c.next_pc.get());
+            }
+            None => d.write_u64(0),
+        }
+        if let Some(a) = rec.mem_addr {
+            d.write_u64(a.get());
+        }
+    }
+    d.finish()
+}
+
 fn sample_trip(rng: &mut SmallRng, trip: TripCount) -> u32 {
     match trip {
         TripCount::Fixed(n) => n.max(1),

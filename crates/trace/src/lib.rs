@@ -45,8 +45,8 @@ pub mod record;
 pub mod stats;
 pub mod stream;
 
-pub use ckpt::ArchCheckpoint;
-pub use exec::Executor;
+pub use ckpt::{digest_bytes, ArchCheckpoint, Digest};
+pub use exec::{trace_fingerprint, Executor};
 pub use profile::profile_cfg;
 pub use record::{DynControl, DynInst};
 pub use stats::TraceStats;

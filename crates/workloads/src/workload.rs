@@ -36,6 +36,11 @@ pub struct Workload {
 /// profile (the paper's pixie + train-input step).
 pub const TRAIN_INSTS: u64 = 2_000_000;
 
+/// Committed-trace prefix folded into [`Workload::fingerprint`]. Long
+/// enough to reach steady-state control flow in every generated
+/// workload, short enough to cost well under a millisecond.
+pub const FINGERPRINT_PREFIX: u64 = 65_536;
+
 impl Workload {
     /// Builds a workload: generates nothing itself — callers provide the
     /// program — but derives the profile (train seed) and both layouts.
@@ -75,6 +80,17 @@ impl Workload {
     pub fn ref_seed(&self) -> u64 {
         self.ref_seed
     }
+
+    /// Deterministic fingerprint of the measured (*ref*-seed) trace on
+    /// one layout flavour — the identity under which the `sfetch-sample`
+    /// checkpoint store caches this workload's architectural state. Any
+    /// change to the generated program, its branch-behaviour models, the
+    /// layout, or the ref seed changes the committed path and therefore
+    /// the fingerprint, invalidating cached checkpoints instead of
+    /// silently replaying stale ones.
+    pub fn fingerprint(&self, choice: LayoutChoice) -> u64 {
+        sfetch_trace::trace_fingerprint(self.image(choice), self.ref_seed, FINGERPRINT_PREFIX)
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +109,24 @@ mod tests {
             w.image(LayoutChoice::Optimized).len_insts() > 0
         );
         assert_ne!(w.ref_seed(), 100, "ref and train seeds must differ");
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_distinguish_workloads() {
+        let cfg = ProgramGenerator::new(GenParams::small(), 5).generate();
+        let w = Workload::from_cfg("test", cfg, 100, 200);
+        assert_eq!(
+            w.fingerprint(LayoutChoice::Base),
+            w.fingerprint(LayoutChoice::Base),
+            "same workload + layout must fingerprint identically"
+        );
+        let cfg2 = ProgramGenerator::new(GenParams::small(), 6).generate();
+        let other = Workload::from_cfg("other", cfg2, 100, 200);
+        assert_ne!(
+            w.fingerprint(LayoutChoice::Base),
+            other.fingerprint(LayoutChoice::Base),
+            "different programs must fingerprint differently"
+        );
     }
 
     #[test]

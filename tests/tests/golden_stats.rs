@@ -1,0 +1,143 @@
+//! Golden-statistics regression harness: the seed suite's simulated
+//! behaviour, pinned exactly.
+//!
+//! The repository's determinism story has so far lived in the BENCH
+//! trajectory: `BENCH_3.json` and `BENCH_4.json` record bit-identical
+//! per-engine `sim_cycles` (251057 / 268839 / 249240 / 244461 summed
+//! over the ablation subset at 200k measured instructions), proving no
+//! PR silently changed simulated behaviour — but a BENCH diff only
+//! surfaces when someone regenerates the file and reads it. This test
+//! moves that contract into tier-1: it snapshots the key [`SimStats`]
+//! fields for **all four engines × all four seed-suite benchmarks**
+//! under exactly the BENCH configuration (8-wide Table 2, optimized
+//! layout, event back-end, no prefetch, 40k warmup + 200k measured) and
+//! fails the build on any deviation.
+//!
+//! If a PR *intends* to change simulated behaviour (a timing-model fix,
+//! a new default), regenerate the table with:
+//!
+//! ```text
+//! cargo test --release -p sfetch-tests --test golden_stats -- --ignored --nocapture
+//! ```
+//!
+//! paste the printed rows over `GOLDEN`, and say so in the PR — the
+//! point is that the change is *declared*, never silent.
+
+use sfetch_core::SimStats;
+use sfetch_fetch::EngineKind;
+use sfetch_workloads::{LayoutChoice, Suite};
+
+/// The BENCH perfstats measurement window.
+const WARMUP: u64 = 40_000;
+const INSTS: u64 = 200_000;
+
+/// The seed-suite subset the BENCH engine table measures, in order.
+const BENCHES: [&str; 4] = ["gzip", "gcc", "crafty", "twolf"];
+
+/// One pinned measurement: `(bench, engine_index-in-ALL, committed,
+/// cycles, fetched_correct, branches, mispredictions, misfetches,
+/// l1i_misses, l2_misses)`.
+type GoldenRow = (&'static str, usize, u64, u64, u64, u64, u64, u64, u64, u64);
+
+/// Regenerate with the `--ignored` printer below (see module docs).
+const GOLDEN: [GoldenRow; 16] = [
+    ("gzip", 0, 200000, 56710, 200249, 21452, 547, 1, 0, 37),
+    ("gzip", 1, 200000, 62043, 200249, 21452, 441, 1, 0, 37),
+    ("gzip", 2, 200000, 56193, 200249, 21452, 518, 1, 0, 37),
+    ("gzip", 3, 200001, 54009, 200252, 21453, 538, 21, 0, 37),
+    ("gcc", 0, 200007, 62405, 199956, 18412, 1112, 0, 0, 124),
+    ("gcc", 1, 200000, 78194, 200040, 18412, 2660, 0, 0, 124),
+    ("gcc", 2, 200000, 66222, 200159, 18412, 1327, 1, 0, 124),
+    ("gcc", 3, 200000, 65042, 200006, 18412, 1494, 81, 0, 124),
+    ("crafty", 0, 200001, 79674, 200102, 17555, 1628, 54, 67, 1540),
+    ("crafty", 1, 200001, 74790, 200068, 17555, 1388, 58, 70, 1543),
+    ("crafty", 2, 200001, 75006, 200105, 17555, 1452, 66, 70, 1543),
+    ("crafty", 3, 200001, 75319, 200144, 17555, 1979, 309, 66, 1539),
+    ("twolf", 0, 200007, 52268, 199994, 18528, 850, 1, 0, 84),
+    ("twolf", 1, 200007, 53812, 199988, 18528, 998, 1, 0, 84),
+    ("twolf", 2, 200007, 51819, 199994, 18528, 863, 1, 0, 84),
+    ("twolf", 3, 200007, 50091, 200046, 18528, 1182, 86, 0, 84),
+];
+
+/// The BENCH_3/BENCH_4 per-engine `sim_cycles` totals over the subset —
+/// the bit-identity anchor tying this harness to the recorded BENCH
+/// trajectory.
+const BENCH_SIM_CYCLES: [u64; 4] = [251_057, 268_839, 249_240, 244_461];
+
+fn measure(suite: &Suite) -> Vec<(usize, usize, SimStats)> {
+    let mut out = Vec::new();
+    for (b, name) in BENCHES.iter().enumerate() {
+        let w = suite.get(name).expect("subset member");
+        for (e, &kind) in EngineKind::ALL.iter().enumerate() {
+            let stats = sfetch_core::simulate(
+                w.cfg(),
+                w.image(LayoutChoice::Optimized),
+                kind,
+                sfetch_core::ProcessorConfig::table2(8),
+                w.ref_seed(),
+                WARMUP,
+                INSTS,
+            );
+            out.push((b, e, stats));
+        }
+    }
+    out
+}
+
+#[test]
+fn seed_suite_stats_match_golden_snapshot() {
+    let suite = Suite::build_subset(&BENCHES, sfetch_workloads::default_jobs());
+    let measured = measure(&suite);
+
+    let mut engine_cycles = [0u64; 4];
+    for (b, e, stats) in &measured {
+        let got: GoldenRow = (
+            BENCHES[*b],
+            *e,
+            stats.committed,
+            stats.cycles,
+            stats.fetched_correct,
+            stats.branches,
+            stats.mispredictions,
+            stats.misfetches,
+            stats.l1i.misses,
+            stats.l2.misses,
+        );
+        let want = GOLDEN[b * EngineKind::ALL.len() + e];
+        assert_eq!(
+            got, want,
+            "{}/{}: simulated behaviour deviates from the golden snapshot — if this \
+             change is intentional, regenerate GOLDEN (see module docs) and declare it",
+            BENCHES[*b],
+            EngineKind::ALL[*e]
+        );
+        engine_cycles[*e] += stats.cycles;
+    }
+    assert_eq!(
+        engine_cycles, BENCH_SIM_CYCLES,
+        "per-engine sim_cycles totals no longer match the BENCH_3/BENCH_4 record"
+    );
+}
+
+/// Golden-table printer (not a test): run with `--ignored --nocapture`
+/// and paste the output over `GOLDEN`.
+#[test]
+#[ignore = "generator: prints the golden table for manual regeneration"]
+fn print_golden_table() {
+    let suite = Suite::build_subset(&BENCHES, sfetch_workloads::default_jobs());
+    for (b, e, s) in measure(&suite) {
+        println!(
+            "    ({:?}, {}, {}, {}, {}, {}, {}, {}, {}, {}),",
+            BENCHES[b],
+            e,
+            s.committed,
+            s.cycles,
+            s.fetched_correct,
+            s.branches,
+            s.mispredictions,
+            s.misfetches,
+            s.l1i.misses,
+            s.l2.misses
+        );
+    }
+}

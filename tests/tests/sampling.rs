@@ -1,7 +1,7 @@
 //! Cross-crate correctness of the sampled-simulation subsystem
 //! (`sfetch-sample`): the sampling-disabled path locksteps with the
 //! canonical sim loop, checkpointed shards merge bit-identically, and
-//! the CLT estimate brackets the truth on deterministic workloads.
+//! the sampled estimate brackets the truth on deterministic workloads.
 
 use proptest::prelude::*;
 
