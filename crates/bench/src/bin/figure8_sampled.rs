@@ -16,15 +16,23 @@
 //! cargo run --release -p sfetch-bench --bin figure8_sampled -- \
 //!     [--bench phased] [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] \
 //!     [--engines all|…] [--widths all|…] [--store DIR] \
-//!     [--procs N] [--verify] [--jobs N] [--legacy-scan] [--prefetch K]
+//!     [--procs N] [--verify] [--chaos SEED] [--max-retries N] \
+//!     [--cell-timeout SECS] [--no-fleet] \
+//!     [--jobs N] [--legacy-scan] [--prefetch K]
 //! ```
 //!
 //! With `--procs N` the grid — windows × engines × widths — fans out
-//! across OS processes through the store (same machinery as
-//! `shard_runner`); `--verify` then reruns every cell through a
-//! **storeless** live sampler and asserts the merged result is
-//! bit-identical, so the store machinery itself is under test. With
-//! `--store DIR` checkpoints persist across invocations.
+//! across OS processes through the store under the **fleet supervisor**
+//! (`sfetch_fleet`): cells are leased from a persistent ledger, crashed
+//! or hung workers are retried with backoff, and a killed parent
+//! resumes mid-grid on re-invocation. `--chaos SEED` injects
+//! deterministic worker faults to prove the merged output stays
+//! byte-identical; `--no-fleet` falls back to the plain one-shot
+//! fan-out. `--verify` reruns every cell through a **storeless** live
+//! sampler and asserts the merged result is bit-identical, so the store
+//! machinery itself is under test. With `--store DIR` checkpoints
+//! persist across invocations. Exit status: 0 complete, 2 degraded,
+//! 1 error.
 //!
 //! Per-point output is the sampled IPC with its 95% confidence
 //! interval; the closing lines report the 8-wide engine spread against
@@ -33,7 +41,11 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
+use sfetch_bench::fleet_grid::{
+    degradation_exit, maybe_run_fleet_child, run_fleet_grid, FleetGridSpec,
+};
 use sfetch_bench::grid::{
     cells, engine_key, merge_grid, parse_engines, parse_widths, print_grid_table,
     run_sampled_grid, shard_file_text, spawn_shards, spread_at_width, verify_merged, CellRun,
@@ -42,6 +54,14 @@ use sfetch_bench::{workload_by_name, HarnessOpts};
 use sfetch_fetch::EngineKind;
 use sfetch_sample::{CheckpointStore, ShardSpec, StoredSampler};
 use sfetch_workloads::LayoutChoice;
+
+/// Exits with a readable message instead of a panic backtrace.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
 
 struct Args {
     opts: HarnessOpts,
@@ -53,6 +73,10 @@ struct Args {
     shard: Option<ShardSpec>,
     out: Option<String>,
     store: Option<String>,
+    chaos: Option<u64>,
+    max_retries: u32,
+    cell_timeout: Option<u64>,
+    no_fleet: bool,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +88,10 @@ fn parse_args() -> Args {
     let mut shard = None;
     let mut out = None;
     let mut store = None;
+    let mut chaos = None;
+    let mut max_retries = 3u32;
+    let mut cell_timeout = None;
+    let mut no_fleet = false;
     let mut rest: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let take = |i: usize, what: &str| -> String {
@@ -104,6 +132,25 @@ fn parse_args() -> Args {
                 store = Some(take(i, "--store"));
                 i += 2;
             }
+            "--chaos" => {
+                chaos = Some(take(i, "--chaos").parse().expect("--chaos requires a seed"));
+                i += 2;
+            }
+            "--max-retries" => {
+                max_retries =
+                    take(i, "--max-retries").parse().expect("--max-retries requires a number");
+                i += 2;
+            }
+            "--cell-timeout" => {
+                cell_timeout = Some(
+                    take(i, "--cell-timeout").parse().expect("--cell-timeout requires seconds"),
+                );
+                i += 2;
+            }
+            "--no-fleet" => {
+                no_fleet = true;
+                i += 1;
+            }
             flag @ ("--legacy-scan" | "--long") => {
                 rest.push(flag.to_owned());
                 i += 1;
@@ -120,27 +167,37 @@ fn parse_args() -> Args {
     Args {
         opts,
         bench,
-        engines: parse_engines(&engines),
-        widths: parse_widths(&widths),
+        engines: or_die(parse_engines(&engines)),
+        widths: or_die(parse_widths(&widths)),
         procs,
         verify,
         shard,
         out,
         store,
+        chaos,
+        max_retries,
+        cell_timeout,
+        no_fleet,
     }
 }
 
-fn run_child(a: &Args, shard: ShardSpec) {
+fn run_child(a: &Args, shard: ShardSpec) -> ExitCode {
     let w = workload_by_name(&a.bench);
     let grid = cells(&a.engines, &a.widths);
     let windows = a.opts.grid_sample.windows(a.opts.grid_total);
-    let store = CheckpointStore::open(a.store.as_ref().expect("child needs --store"))
-        .expect("open checkpoint store");
+    let Some(store_path) = a.store.as_deref() else {
+        eprintln!("error: shard child needs --store");
+        return ExitCode::FAILURE;
+    };
+    let store = or_die(CheckpointStore::open(store_path));
     let text = shard_file_text(&w, &grid, windows, a.opts.grid_sample, &a.opts, &store, shard);
     match &a.out {
-        Some(path) => std::fs::write(path, &text).expect("write shard file"),
-        None => print!("{text}"),
+        Some(path) => {
+            or_die(sfetch_bench::grid::write_shard_atomic(std::path::Path::new(path), &text))
+        }
+        None => print!("{}", sfetch_fleet::seal(&text)),
     }
+    ExitCode::SUCCESS
 }
 
 fn print_panels(a: &Args, runs: &[CellRun]) {
@@ -168,7 +225,7 @@ fn print_panels(a: &Args, runs: &[CellRun]) {
     }
 }
 
-fn run_parent(a: &Args) {
+fn run_parent(a: &Args) -> ExitCode {
     let w = workload_by_name(&a.bench);
     let grid = cells(&a.engines, &a.widths);
     let scfg = a.opts.grid_sample;
@@ -188,8 +245,9 @@ fn run_parent(a: &Args) {
         Some(dir) => (PathBuf::from(dir), false),
         None => (tmp.join("store"), true),
     };
-    let store = CheckpointStore::open(&store_dir).expect("open checkpoint store");
+    let store = or_die(CheckpointStore::open(&store_dir));
 
+    let mut degraded = false;
     let runs = if a.procs > 1 {
         // Populate once, then fan the flattened grid across processes.
         let img = w.image(LayoutChoice::Optimized);
@@ -202,34 +260,51 @@ fn run_parent(a: &Args) {
             populate.stats().hits
         );
         let procs = a.procs.min((grid.len() as u64 * windows) as usize).max(1);
-        let all = spawn_shards(procs, &tmp, |i, out| {
-            let mut args: Vec<std::ffi::OsString> = vec![
-                "--bench".into(),
-                a.bench.clone().into(),
-                "--engines".into(),
-                a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
-                "--widths".into(),
-                a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
-                "--grid-total".into(),
-                a.opts.grid_total.to_string().into(),
-                "--grid-sample".into(),
-                a.opts.grid_sample.to_spec().into(),
-                "--jobs".into(),
-                a.opts.jobs.to_string().into(),
-            ];
-            if a.opts.legacy_scan {
-                args.push("--legacy-scan".into());
-            }
-            if a.opts.prefetch.mshrs > 0 {
-                args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
-                args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
-            }
-            args.extend(["--shard".into(), format!("{i}/{procs}").into()]);
-            args.extend(["--store".into(), store_dir.clone().into()]);
-            args.extend(["--out".into(), out.as_os_str().to_owned()]);
-            args
-        });
-        merge_grid(&grid, windows, &all, scfg.confidence)
+        if a.no_fleet {
+            let all = or_die(spawn_shards(procs, &tmp, |i, out| {
+                let mut args: Vec<std::ffi::OsString> = vec![
+                    "--bench".into(),
+                    a.bench.clone().into(),
+                    "--engines".into(),
+                    a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
+                    "--widths".into(),
+                    a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
+                    "--grid-total".into(),
+                    a.opts.grid_total.to_string().into(),
+                    "--grid-sample".into(),
+                    a.opts.grid_sample.to_spec().into(),
+                    "--jobs".into(),
+                    a.opts.jobs.to_string().into(),
+                ];
+                if a.opts.legacy_scan {
+                    args.push("--legacy-scan".into());
+                }
+                if a.opts.prefetch.mshrs > 0 {
+                    args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
+                    args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
+                }
+                args.extend(["--no-fleet".into(), "--shard".into(), format!("{i}/{procs}").into()]);
+                args.extend(["--store".into(), store_dir.clone().into()]);
+                args.extend(["--out".into(), out.as_os_str().to_owned()]);
+                args
+            }));
+            or_die(merge_grid(&grid, windows, &all, scfg.confidence))
+        } else {
+            let outcome = or_die(run_fleet_grid(&FleetGridSpec {
+                bench: &a.bench,
+                grid: &grid,
+                scfg,
+                total: a.opts.grid_total,
+                opts: &a.opts,
+                store_dir: &store_dir,
+                procs,
+                chaos: a.chaos,
+                max_retries: a.max_retries,
+                cell_timeout_s: a.cell_timeout,
+            }));
+            degraded = degradation_exit(&outcome) != 0;
+            outcome.runs
+        }
     } else {
         let (runs, traffic) =
             run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
@@ -243,12 +318,14 @@ fn run_parent(a: &Args) {
     print_grid_table(&runs);
     print_panels(a, &runs);
 
-    if a.verify {
+    if a.verify && !degraded {
         eprintln!("\nverifying merged grid against a storeless in-process rerun…");
         verify_merged(&w, &runs, scfg, &a.opts, windows);
         println!(
             "verify OK: store-backed grid is bit-identical to a storeless single-process run"
         );
+    } else if a.verify {
+        eprintln!("verify skipped: degraded result has incomplete cells");
     }
 
     if store_is_temp {
@@ -258,9 +335,11 @@ fn run_parent(a: &Args) {
     }
     let _ = std::fs::remove_dir_all(&tmp);
     let _ = std::io::stdout().flush();
+    if degraded { ExitCode::from(2) } else { ExitCode::SUCCESS }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    maybe_run_fleet_child();
     let a = parse_args();
     match a.shard {
         Some(spec) => run_child(&a, spec),

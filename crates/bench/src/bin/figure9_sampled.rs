@@ -15,38 +15,65 @@
 //! the first invocation banks every benchmark's fast-forward state,
 //! every later one — any engine subset — starts warm.
 //!
+//! With `--procs N` each benchmark's windows × engines fan out across
+//! OS processes under the fleet supervisor (`sfetch_fleet`): leased
+//! cells, retry/backoff on worker crashes, resumable ledger. `--chaos`,
+//! `--max-retries` and `--cell-timeout` behave as in `figure8_sampled`.
+//! Exit status: 0 complete, 2 degraded (some cells permanently failed),
+//! 1 error.
+//!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin figure9_sampled -- \
 //!     [--benches gzip,gcc,crafty,twolf,phased] [--engines all|…] \
 //!     [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] [--store DIR] \
+//!     [--procs N] [--chaos SEED] [--max-retries N] [--cell-timeout S] \
 //!     [--jobs N] [--legacy-scan] [--prefetch K]
 //! ```
 
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use sfetch_bench::grid::{
-    cells, parse_engines, run_sampled_grid, CellRun, FIG9_WIDTH,
+use sfetch_bench::fleet_grid::{
+    degradation_exit, maybe_run_fleet_child, run_fleet_grid, FleetGridSpec,
 };
+use sfetch_bench::grid::{cells, parse_engines, run_sampled_grid, CellRun, FIG9_WIDTH};
 use sfetch_bench::{workload_by_name, HarnessOpts};
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::EngineKind;
-use sfetch_sample::CheckpointStore;
+use sfetch_sample::{CheckpointStore, StoredSampler};
+use sfetch_workloads::LayoutChoice;
 
 /// Default benchmark set: the quick ablation subset plus the
 /// long-horizon phased workload.
 const DEFAULT_BENCHES: &str = "gzip,gcc,crafty,twolf,phased";
+
+/// Exits with a readable message instead of a panic backtrace.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
 
 struct Args {
     opts: HarnessOpts,
     benches: Vec<String>,
     engines: Vec<EngineKind>,
     store: Option<String>,
+    procs: usize,
+    chaos: Option<u64>,
+    max_retries: u32,
+    cell_timeout: Option<u64>,
 }
 
 fn parse_args() -> Args {
     let mut benches = DEFAULT_BENCHES.to_owned();
     let mut engines = "all".to_owned();
     let mut store = None;
+    let mut procs = 1usize;
+    let mut chaos = None;
+    let mut max_retries = 3u32;
+    let mut cell_timeout = None;
     let mut rest: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let take = |i: usize, what: &str| -> String {
@@ -67,6 +94,25 @@ fn parse_args() -> Args {
                 store = Some(take(i, "--store"));
                 i += 2;
             }
+            "--procs" => {
+                procs = take(i, "--procs").parse().expect("--procs requires a number >= 1");
+                i += 2;
+            }
+            "--chaos" => {
+                chaos = Some(take(i, "--chaos").parse().expect("--chaos requires a seed"));
+                i += 2;
+            }
+            "--max-retries" => {
+                max_retries =
+                    take(i, "--max-retries").parse().expect("--max-retries requires a number");
+                i += 2;
+            }
+            "--cell-timeout" => {
+                cell_timeout = Some(
+                    take(i, "--cell-timeout").parse().expect("--cell-timeout requires seconds"),
+                );
+                i += 2;
+            }
             flag @ ("--legacy-scan" | "--long") => {
                 rest.push(flag.to_owned());
                 i += 1;
@@ -78,15 +124,21 @@ fn parse_args() -> Args {
             }
         }
     }
+    assert!(procs >= 1, "--procs must be >= 1");
     Args {
         opts: HarnessOpts::from_arg_list(&rest),
         benches: benches.split(',').map(|b| b.trim().to_owned()).collect(),
-        engines: parse_engines(&engines),
+        engines: or_die(parse_engines(&engines)),
         store,
+        procs,
+        chaos,
+        max_retries,
+        cell_timeout,
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    maybe_run_fleet_child();
     let a = parse_args();
     let scfg = a.opts.grid_sample;
     let windows = scfg.windows(a.opts.grid_total);
@@ -97,8 +149,9 @@ fn main() {
         Some(dir) => (PathBuf::from(dir), false),
         None => (tmp.clone(), true),
     };
-    let store = CheckpointStore::open(&store_dir).expect("open checkpoint store");
+    let store = or_die(CheckpointStore::open(&store_dir));
     let grid = cells(&a.engines, &[FIG9_WIDTH]);
+    let mut degraded = false;
 
     println!(
         "\nFigure 9 sampled: per-benchmark IPC [±rel 95% CI], {FIG9_WIDTH}-wide, optimized, \
@@ -117,8 +170,44 @@ fn main() {
         a.engines.iter().map(|&k| (k, Vec::new())).collect();
     for bench in &a.benches {
         let w = workload_by_name(bench);
-        let (runs, traffic): (Vec<CellRun>, _) =
-            run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
+        let runs: Vec<CellRun> = if a.procs > 1 {
+            // Populate this benchmark's checkpoints once, then fan the
+            // engine × window cells across fleet workers.
+            let img = w.image(LayoutChoice::Optimized);
+            let fp = w.fingerprint(LayoutChoice::Optimized);
+            let mut populate = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store);
+            let computed = populate.populate(windows);
+            eprintln!(
+                "  [{}] store: {windows} windows ready ({computed} computed, {} loaded warm)",
+                w.name(),
+                populate.stats().hits
+            );
+            let outcome = or_die(run_fleet_grid(&FleetGridSpec {
+                bench,
+                grid: &grid,
+                scfg,
+                total: a.opts.grid_total,
+                opts: &a.opts,
+                store_dir: &store_dir,
+                procs: a.procs,
+                chaos: a.chaos,
+                max_retries: a.max_retries,
+                cell_timeout_s: a.cell_timeout,
+            }));
+            degraded |= degradation_exit(&outcome) != 0;
+            outcome.runs
+        } else {
+            let (runs, traffic) =
+                run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
+            eprintln!(
+                "  [{}] store: {} hits, {} computed, {} rejected",
+                w.name(),
+                traffic.hits,
+                traffic.misses,
+                traffic.rejected
+            );
+            runs
+        };
         let row: String = runs
             .iter()
             .map(|r| {
@@ -133,13 +222,6 @@ fn main() {
         for (slot, r) in per_engine.iter_mut().zip(&runs) {
             slot.1.push(r.estimate.ipc);
         }
-        eprintln!(
-            "  [{}] store: {} hits, {} computed, {} rejected",
-            w.name(),
-            traffic.hits,
-            traffic.misses,
-            traffic.rejected
-        );
     }
     let hmeans: String = per_engine
         .iter()
@@ -170,4 +252,5 @@ fn main() {
     } else {
         println!("store kept at {} ({} entries)", store_dir.display(), store.entries());
     }
+    if degraded { ExitCode::from(2) } else { ExitCode::SUCCESS }
 }

@@ -29,13 +29,22 @@
 //! run (fast-forward computed and banked) against the warm-store rerun
 //! of the same cell (fast-forward amortized away — the rerun's windows
 //! are asserted byte-identical), and `spread_8wide` compares the engine
-//! IPC spread against the paper's ~3.5× (Fig. 8c). Results go to stdout
-//! and to `BENCH_5.json` in the current directory, extending the
-//! repository's performance trajectory (`BENCH_1.json`: scan-based
-//! baseline; `BENCH_2.json`: event-driven back-end; `BENCH_3.json`:
-//! prefetch subsystem; `BENCH_4.json`: sampled simulation); see
-//! README.md for the `sfetch-perfstats-v5` schema — all v4 sections
-//! carry over unchanged.
+//! IPC spread against the paper's ~3.5× (Fig. 8c).
+//!
+//! The v6 addition is the **`fleet_resilience`** section: a 2-engine ×
+//! 2-width slice of the grid run twice under the fault-tolerant fleet
+//! supervisor (`sfetch_fleet`) against a shared pre-populated store —
+//! once clean, once with deterministic chaos injection (`--chaos`-style
+//! worker crashes, stalls, and corrupted shard files). The merged
+//! results are asserted byte-identical; the record is the wall-clock
+//! overhead the retries cost plus the supervisor's spawn/retry/kill
+//! accounting. Results go to stdout and to `BENCH_6.json` in the
+//! current directory, extending the repository's performance trajectory
+//! (`BENCH_1.json`: scan-based baseline; `BENCH_2.json`: event-driven
+//! back-end; `BENCH_3.json`: prefetch subsystem; `BENCH_4.json`:
+//! sampled simulation; `BENCH_5.json`: checkpoint store); see README.md
+//! for the `sfetch-perfstats-v6` schema — all v5 sections carry over
+//! unchanged.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin perfstats \
@@ -47,14 +56,19 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use sfetch_bench::fleet_grid::{
+    maybe_run_fleet_child, run_fleet_grid, FleetGridOutcome, FleetGridSpec,
+};
 use sfetch_bench::grid::{
-    cells, engine_key, grid_engines, run_cell_range, spread_at_width, CellRun, GridCell,
-    FIG8_WIDTHS,
+    cells, engine_key, grid_engines, point_line, run_cell_range, spread_at_width, CellRun,
+    GridCell, FIG8_WIDTHS,
 };
 use sfetch_bench::{ablation_workloads, timed, HarnessOpts};
 use sfetch_core::{PrefetchConfig, Processor, ProcessorConfig};
 use sfetch_fetch::{EngineKind, FetchEngine, StreamEngine};
-use sfetch_sample::{estimate, run_full_detailed, run_sampled_jobs, CheckpointStore, Estimate};
+use sfetch_sample::{
+    estimate, run_full_detailed, run_sampled_jobs, CheckpointStore, Estimate, StoredSampler,
+};
 use sfetch_trace::Executor;
 use sfetch_workloads::{par_map, phased, LayoutChoice, Workload};
 
@@ -398,7 +412,92 @@ fn measure_calibration_grid(w: &Workload, opts: HarnessOpts) -> CalibrationGrid 
     }
 }
 
+/// The chaos A/B record: the same fleet grid run clean and under
+/// deterministic fault injection, against one shared warm store.
+struct FleetResilience {
+    procs: usize,
+    fleet_cells: usize,
+    chaos_seed: u64,
+    clean_wall_s: f64,
+    chaos_wall_s: f64,
+    clean_spawned: u64,
+    chaos_spawned: u64,
+    chaos_retries: u64,
+    chaos_kills: u64,
+    identical: bool,
+}
+
+/// Chaos seed for the resilience A/B (fixed, so the fault schedule —
+/// and therefore the measurement — is reproducible run to run).
+const FLEET_CHAOS_SEED: u64 = 42;
+
+/// Worker-pool width of the resilience A/B.
+const FLEET_PROCS: usize = 2;
+
+/// Runs a 2-engine × 2-width slice of the grid under the fleet
+/// supervisor twice — clean, then with deterministic fault injection —
+/// and asserts the merged results are byte-identical. Both legs fan out
+/// over the same pre-populated store, so the wall-clock delta is pure
+/// supervision + retry cost.
+fn measure_fleet_resilience(w: &Workload, opts: HarnessOpts) -> FleetResilience {
+    let scfg = opts.grid_sample;
+    let windows = scfg.windows(opts.grid_total);
+    let grid = cells(&[EngineKind::Stream, EngineKind::Ev8], &[4, 8]);
+    let store_dir = std::env::temp_dir().join(format!("sfetch-fleetab-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    {
+        let store = CheckpointStore::open(&store_dir).expect("open fleet A/B store");
+        let img = w.image(LayoutChoice::Optimized);
+        let fp = w.fingerprint(LayoutChoice::Optimized);
+        StoredSampler::new(img, fp, w.ref_seed(), scfg, &store).populate(windows);
+    }
+
+    let run = |chaos: Option<u64>| {
+        timed(|| {
+            run_fleet_grid(&FleetGridSpec {
+                bench: w.name(),
+                grid: &grid,
+                scfg,
+                total: opts.grid_total,
+                opts: &opts,
+                store_dir: &store_dir,
+                procs: FLEET_PROCS,
+                chaos,
+                max_retries: 3,
+                cell_timeout_s: None,
+            })
+            .expect("fleet A/B run")
+        })
+    };
+    let (clean, clean_wall_s) = run(None);
+    let (chaos, chaos_wall_s) = run(Some(FLEET_CHAOS_SEED));
+    assert!(
+        clean.report.incomplete.is_empty() && chaos.report.incomplete.is_empty(),
+        "fleet A/B legs must converge to a complete grid"
+    );
+    let lines = |o: &FleetGridOutcome| -> Vec<String> {
+        o.runs.iter().flat_map(|r| r.points.iter().map(|p| point_line(r.cell, p))).collect()
+    };
+    let identical = lines(&clean) == lines(&chaos);
+    assert!(identical, "chaos run must merge byte-identically to the clean run");
+    let fleet_cells = clean.report.done.len();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    FleetResilience {
+        procs: FLEET_PROCS,
+        fleet_cells,
+        chaos_seed: FLEET_CHAOS_SEED,
+        clean_wall_s,
+        chaos_wall_s,
+        clean_spawned: clean.report.spawned,
+        chaos_spawned: chaos.report.spawned,
+        chaos_retries: chaos.report.retries,
+        chaos_kills: chaos.report.kills,
+        identical,
+    }
+}
+
 fn main() {
+    maybe_run_fleet_child();
     let opts = HarnessOpts::from_args();
     let backend = if opts.legacy_scan { "legacy-scan" } else { "event" };
     eprintln!("generating ablation subset ({} jobs, {backend} back-end)…", opts.jobs);
@@ -544,6 +643,30 @@ fn main() {
         calib.cold_wall_s, calib.warm_wall_s, calib.store_entries
     );
 
+    // Fleet resilience: the same grid slice clean vs chaos-injected.
+    eprintln!(
+        "fleet resilience A/B: 4 cells × {} windows, {FLEET_PROCS} workers, chaos seed \
+         {FLEET_CHAOS_SEED}…",
+        opts.grid_sample.windows(opts.grid_total)
+    );
+    let fleet = measure_fleet_resilience(&phased_w, opts);
+    let fleet_overhead =
+        100.0 * (fleet.chaos_wall_s / fleet.clean_wall_s - 1.0);
+    println!(
+        "\nfleet resilience ({}, {} cells, {} workers):\n  \
+         clean {:.2}s ({} spawned) vs chaos {:.2}s ({} spawned, {} retries, {} kills) → \
+         {fleet_overhead:+.1}% wall overhead, merged output byte-identical",
+        phased_w.name(),
+        fleet.fleet_cells,
+        fleet.procs,
+        fleet.clean_wall_s,
+        fleet.clean_spawned,
+        fleet.chaos_wall_s,
+        fleet.chaos_spawned,
+        fleet.chaos_retries,
+        fleet.chaos_kills,
+    );
+
     let total_wall_s = t0.elapsed().as_secs_f64();
     println!("\ntotal: {total_wall_s:.2}s simulation wall clock, {build_s:.2}s suite construction");
 
@@ -558,10 +681,11 @@ fn main() {
         (large_w.name(), &dec_on, &dec_off, dec_speedup, (dec_hits, dec_misses)),
         (phased_w.name(), &full, &sampled, &est, windows, phased_build_s),
         (phased_w.name(), &calib, full.ipc),
+        (phased_w.name(), &fleet),
         total_wall_s,
     );
-    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
-    println!("wrote BENCH_5.json");
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("wrote BENCH_6.json");
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -576,12 +700,13 @@ fn render_json(
     redecode_ab: (&str, &TimedLeg, &TimedLeg, f64, (u64, u64)),
     sampling_ab: (&str, &SamplingLeg, &SamplingLeg, &Estimate, u64, f64),
     calibration: (&str, &CalibrationGrid, f64),
+    fleet: (&str, &FleetResilience),
     total_wall_s: f64,
 ) -> String {
     let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v5\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v6\",");
     let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
@@ -775,6 +900,34 @@ fn render_json(
         cg.warm_wall_s,
         cg.cold_wall_s / cg.warm_wall_s,
         cg.store_entries
+    );
+    s.push_str("  },\n");
+    let (fr_bench, fr) = fleet;
+    s.push_str("  \"fleet_resilience\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"bench\": \"{fr_bench}\", \"engines\": [\"stream\", \"ev8\"], \"widths\": [4, 8],"
+    );
+    let _ = writeln!(
+        s,
+        "    \"procs\": {}, \"fleet_cells\": {}, \"chaos_seed\": {},",
+        fr.procs, fr.fleet_cells, fr.chaos_seed
+    );
+    let _ = writeln!(
+        s,
+        "    \"clean\": {{\"wall_s\": {:.3}, \"spawned\": {}}},",
+        fr.clean_wall_s, fr.clean_spawned
+    );
+    let _ = writeln!(
+        s,
+        "    \"chaos\": {{\"wall_s\": {:.3}, \"spawned\": {}, \"retries\": {}, \"kills\": {}}},",
+        fr.chaos_wall_s, fr.chaos_spawned, fr.chaos_retries, fr.chaos_kills
+    );
+    let _ = writeln!(
+        s,
+        "    \"overhead_pct\": {:.1}, \"identical\": {}",
+        100.0 * (fr.chaos_wall_s / fr.clean_wall_s - 1.0),
+        fr.identical
     );
     s.push_str("  },\n");
     let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");

@@ -26,12 +26,26 @@
 //!     [--bench phased|gzip|…] [--engines all|stream,ev8,ftb,tcache] \
 //!     [--widths all|2,4,8] [--sample-total N] [--sample U,Wf,Wd,D[,Wm]] \
 //!     [--procs N] [--verify] [--store DIR] \
+//!     [--chaos SEED] [--max-retries N] [--cell-timeout SECS] [--no-fleet] \
 //!     [--jobs N] [--legacy-scan] [--prefetch K --mshrs N]
 //! ```
 //!
 //! With `--store DIR` the checkpoints persist, so a later invocation —
 //! any engine or width set, same workload and schedule — starts warm;
 //! without it a temporary store lives for this invocation only.
+//!
+//! By default the fan-out runs under the **fleet supervisor**
+//! (`sfetch_fleet`): the grid decomposes into leased (engine, width,
+//! window-range) cells persisted in a ledger next to the store, crashed
+//! or hung workers are killed and their cells retried with backoff, and
+//! a re-invocation after a `SIGKILL` resumes mid-grid without
+//! recomputing finished cells. `--chaos SEED` injects deterministic
+//! worker faults (crashes, stalls, truncated/corrupt files, lying
+//! exits) to prove it; the merged output is asserted byte-identical to
+//! a fault-free run in CI. `--no-fleet` falls back to the plain
+//! one-shot `--shard i/N` fan-out. Exit status: 0 complete, 2 degraded
+//! (some cells exhausted retries; estimates cover completed windows
+//! only), 1 error.
 //!
 //! Accuracy note: sampled-IPC accuracy is validated (BENCH_4
 //! `sampling_ab`) for the **stream** engine, whose self-checking
@@ -43,15 +57,27 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
+use sfetch_bench::fleet_grid::{
+    degradation_exit, maybe_run_fleet_child, run_fleet_grid, FleetGridSpec,
+};
 use sfetch_bench::grid::{
     cells, engine_key, merge_grid, parse_engines, parse_widths, print_grid_table,
-    shard_file_text, spawn_shards, verify_merged,
+    shard_file_text, spawn_shards, verify_merged, write_shard_atomic,
 };
 use sfetch_bench::{workload_by_name, HarnessOpts};
 use sfetch_fetch::EngineKind;
 use sfetch_sample::{CheckpointStore, ShardSpec, StoredSampler};
 use sfetch_workloads::LayoutChoice;
+
+/// Exits with a readable message instead of a panic backtrace.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
 
 /// Arguments beyond [`HarnessOpts`] (which handles `--sample*`/`--jobs`).
 struct ShardArgs {
@@ -64,6 +90,10 @@ struct ShardArgs {
     shard: Option<ShardSpec>,
     out: Option<String>,
     store: Option<String>,
+    chaos: Option<u64>,
+    max_retries: u32,
+    cell_timeout: Option<u64>,
+    no_fleet: bool,
 }
 
 fn parse_args() -> ShardArgs {
@@ -75,6 +105,10 @@ fn parse_args() -> ShardArgs {
     let mut shard = None;
     let mut out = None;
     let mut store = None;
+    let mut chaos = None;
+    let mut max_retries = 3u32;
+    let mut cell_timeout = None;
+    let mut no_fleet = false;
     let mut rest: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let take = |i: usize, what: &str| -> String {
@@ -115,6 +149,25 @@ fn parse_args() -> ShardArgs {
                 store = Some(take(i, "--store"));
                 i += 2;
             }
+            "--chaos" => {
+                chaos = Some(take(i, "--chaos").parse().expect("--chaos requires a seed"));
+                i += 2;
+            }
+            "--max-retries" => {
+                max_retries =
+                    take(i, "--max-retries").parse().expect("--max-retries requires a number");
+                i += 2;
+            }
+            "--cell-timeout" => {
+                cell_timeout = Some(
+                    take(i, "--cell-timeout").parse().expect("--cell-timeout requires seconds"),
+                );
+                i += 2;
+            }
+            "--no-fleet" => {
+                no_fleet = true;
+                i += 1;
+            }
             // Bool flags HarnessOpts understands.
             flag @ ("--legacy-scan" | "--long") => {
                 rest.push(flag.to_owned());
@@ -134,33 +187,43 @@ fn parse_args() -> ShardArgs {
     ShardArgs {
         opts,
         bench,
-        engines: parse_engines(&engines),
-        widths: parse_widths(&widths),
+        engines: or_die(parse_engines(&engines)),
+        widths: or_die(parse_widths(&widths)),
         procs,
         verify,
         shard,
         out,
         store,
+        chaos,
+        max_retries,
+        cell_timeout,
+        no_fleet,
     }
 }
 
-/// Child mode: run this shard's slice of the grid and write the shard file.
-fn run_child(a: &ShardArgs, shard: ShardSpec) {
+/// Child mode (`--no-fleet` protocol): run this shard's slice of the
+/// grid and write the sealed shard file atomically.
+fn run_child(a: &ShardArgs, shard: ShardSpec) -> ExitCode {
     let w = workload_by_name(&a.bench);
     let grid = cells(&a.engines, &a.widths);
     let windows = a.opts.sample.windows(a.opts.sample_total);
-    let store = CheckpointStore::open(a.store.as_ref().expect("child needs --store"))
-        .expect("open checkpoint store");
+    let Some(store_path) = a.store.as_deref() else {
+        eprintln!("error: shard child needs --store");
+        return ExitCode::FAILURE;
+    };
+    let store = or_die(CheckpointStore::open(store_path));
     let text = shard_file_text(&w, &grid, windows, a.opts.sample, &a.opts, &store, shard);
     match &a.out {
-        Some(path) => std::fs::write(path, &text).expect("write shard file"),
-        None => print!("{text}"),
+        Some(path) => or_die(write_shard_atomic(std::path::Path::new(path), &text)),
+        None => print!("{}", sfetch_fleet::seal(&text)),
     }
+    ExitCode::SUCCESS
 }
 
-/// Parent mode: populate the store, spawn shards, merge, report (and
-/// verify).
-fn run_parent(a: &ShardArgs) {
+/// Parent mode: populate the store, fan out (fleet supervisor by
+/// default, plain one-shot shards with `--no-fleet`), merge, report
+/// (and verify).
+fn run_parent(a: &ShardArgs) -> ExitCode {
     let w = workload_by_name(&a.bench);
     let grid = cells(&a.engines, &a.widths);
     let windows = a.opts.sample.windows(a.opts.sample_total);
@@ -181,7 +244,7 @@ fn run_parent(a: &ShardArgs) {
         Some(dir) => (PathBuf::from(dir), false),
         None => (tmp.join("store"), true),
     };
-    let store = CheckpointStore::open(&store_dir).expect("open checkpoint store");
+    let store = or_die(CheckpointStore::open(&store_dir));
 
     // One architectural walk banks every window's warming-start
     // checkpoint; on a warm store this is pure verification traffic.
@@ -197,46 +260,77 @@ fn run_parent(a: &ShardArgs) {
         populate.stats().hits
     );
 
-    // Spawn self once per shard and merge per grid cell.
-    let all = spawn_shards(procs, &tmp, |i, out| {
-        let mut args: Vec<std::ffi::OsString> = vec![
-            "--bench".into(),
-            a.bench.clone().into(),
-            "--engines".into(),
-            a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
-            "--widths".into(),
-            a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
-            "--sample-total".into(),
-            a.opts.sample_total.to_string().into(),
-            "--sample".into(),
-            a.opts.sample.to_spec().into(),
-            "--jobs".into(),
-            a.opts.jobs.to_string().into(),
-        ];
-        // Forward the simulation-model flags so children build the same
-        // processors the parent's verify leg does.
-        if a.opts.legacy_scan {
-            args.push("--legacy-scan".into());
+    let mut exit = ExitCode::SUCCESS;
+    if a.no_fleet {
+        // Plain one-shot fan-out: spawn self once per shard, merge
+        // strictly, fail the whole run on any shard trouble.
+        let all = or_die(spawn_shards(procs, &tmp, |i, out| {
+            let mut args: Vec<std::ffi::OsString> = vec![
+                "--bench".into(),
+                a.bench.clone().into(),
+                "--engines".into(),
+                a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
+                "--widths".into(),
+                a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
+                "--sample-total".into(),
+                a.opts.sample_total.to_string().into(),
+                "--sample".into(),
+                a.opts.sample.to_spec().into(),
+                "--jobs".into(),
+                a.opts.jobs.to_string().into(),
+            ];
+            // Forward the simulation-model flags so children build the
+            // same processors the parent's verify leg does.
+            if a.opts.legacy_scan {
+                args.push("--legacy-scan".into());
+            }
+            if a.opts.prefetch.mshrs > 0 {
+                args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
+                args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
+            }
+            args.extend(["--no-fleet".into(), "--shard".into(), format!("{i}/{procs}").into()]);
+            args.extend(["--store".into(), store_dir.clone().into()]);
+            args.extend(["--out".into(), out.as_os_str().to_owned()]);
+            args
+        }));
+        let merged = or_die(merge_grid(&grid, windows, &all, a.opts.sample.confidence));
+        print_grid_table(&merged);
+        if a.verify {
+            eprintln!("verifying merged shards against a storeless single-process run…");
+            verify_merged(&w, &merged, a.opts.sample, &a.opts, windows);
+            println!(
+                "verify OK: merged {procs}-process result is bit-identical to a storeless \
+                 single-process run"
+            );
         }
-        if a.opts.prefetch.mshrs > 0 {
-            args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
-            args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
+    } else {
+        // Fleet supervisor: leased cells, retries, resume, chaos.
+        let outcome = or_die(run_fleet_grid(&FleetGridSpec {
+            bench: &a.bench,
+            grid: &grid,
+            scfg: a.opts.sample,
+            total: a.opts.sample_total,
+            opts: &a.opts,
+            store_dir: &store_dir,
+            procs,
+            chaos: a.chaos,
+            max_retries: a.max_retries,
+            cell_timeout_s: a.cell_timeout,
+        }));
+        print_grid_table(&outcome.runs);
+        if a.verify && outcome.incomplete.is_empty() {
+            eprintln!("verifying merged shards against a storeless single-process run…");
+            verify_merged(&w, &outcome.runs, a.opts.sample, &a.opts, windows);
+            println!(
+                "verify OK: merged {procs}-process result is bit-identical to a storeless \
+                 single-process run"
+            );
+        } else if a.verify {
+            eprintln!("verify skipped: degraded result has incomplete cells");
         }
-        args.extend(["--shard".into(), format!("{i}/{procs}").into()]);
-        args.extend(["--store".into(), store_dir.clone().into()]);
-        args.extend(["--out".into(), out.as_os_str().to_owned()]);
-        args
-    });
-    let merged = merge_grid(&grid, windows, &all, a.opts.sample.confidence);
-    print_grid_table(&merged);
-
-    if a.verify {
-        eprintln!("verifying merged shards against a storeless single-process run…");
-        verify_merged(&w, &merged, a.opts.sample, &a.opts, windows);
-        println!(
-            "verify OK: merged {procs}-process result is bit-identical to a storeless \
-             single-process run"
-        );
+        if degradation_exit(&outcome) != 0 {
+            exit = ExitCode::from(2);
+        }
     }
 
     if store_is_temp {
@@ -244,9 +338,11 @@ fn run_parent(a: &ShardArgs) {
     }
     let _ = std::fs::remove_dir_all(&tmp);
     let _ = std::io::stdout().flush();
+    exit
 }
 
-fn main() {
+fn main() -> ExitCode {
+    maybe_run_fleet_child();
     let a = parse_args();
     match a.shard {
         Some(spec) => run_child(&a, spec),

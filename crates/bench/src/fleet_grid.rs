@@ -1,0 +1,530 @@
+//! The fleet-backed grid runner: `sfetch_fleet`'s leased-cell
+//! supervisor specialized to the sampled engines × widths grid.
+//!
+//! This module owns both halves of the worker protocol:
+//!
+//! * **Parent** — [`run_fleet_grid`] decomposes the grid into
+//!   *(engine, width, window-range)* cells, opens the cell ledger next
+//!   to the checkpoint store (keyed by a config fingerprint, so a
+//!   re-invocation with the same experiment resumes and anything else
+//!   starts fresh), and drives [`sfetch_fleet::run_fleet`] over
+//!   re-spawns of the current executable. Completed cells merge through
+//!   [`crate::grid::merge_grid`] (strict) or
+//!   [`crate::grid::merge_grid_partial`] (degraded, with an explicit
+//!   incomplete-cell report) — never a panic.
+//! * **Child** — [`maybe_run_fleet_child`], called first thing in every
+//!   grid binary's `main`, recognizes the `--fleet-cell` protocol,
+//!   runs exactly one cell's window range through the shared checkpoint
+//!   store, writes the sealed shard file atomically, and exits. Under
+//!   [`sfetch_fleet::chaos::CHAOS_ENV`] the child consults the
+//!   deterministic fault schedule first and crashes / stalls / mangles
+//!   its output accordingly — the parent is deliberately left unaware.
+//!
+//! Because each cell's windows resume from checkpoints that derive only
+//! from the workload (never from which worker ran them or how often),
+//! any interleaving of crashes, retries, and resumes converges to the
+//! same merged bytes — the property the chaos tests and the CI leg
+//! assert.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use sfetch_fleet::{
+    chaos, fnv64, now_ms, seal, CellId, FleetConfig, FleetError, FleetReport, HeartbeatGuard,
+    Ledger, ProcessLauncher,
+};
+use sfetch_sample::{window_range, SampleConfig, SamplePoint, ShardSpec};
+
+use crate::grid::{
+    engine_key, merge_grid, merge_grid_partial, parse_engines, parse_shard_body,
+    parse_shard_file, point_line, run_cell_range, CellRun, GridCell, GridError,
+    GRID_SHARD_SCHEMA,
+};
+use crate::{workload_by_name, HarnessOpts};
+
+/// How often fleet workers touch their heartbeat file.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+
+/// Everything [`run_fleet_grid`] needs beyond the harness options.
+pub struct FleetGridSpec<'a> {
+    /// Benchmark name (resolved via [`workload_by_name`] in children).
+    pub bench: &'a str,
+    /// The (engine, width) grid.
+    pub grid: &'a [GridCell],
+    /// Sampling schedule.
+    pub scfg: SampleConfig,
+    /// Total committed instructions (determines the window count).
+    pub total: u64,
+    /// Simulation-model options forwarded to workers.
+    pub opts: &'a HarnessOpts,
+    /// The (already populated) checkpoint store directory; the fleet's
+    /// ledger and cell outputs live under `<store>/fleet/`.
+    pub store_dir: &'a Path,
+    /// Maximum concurrent workers.
+    pub procs: usize,
+    /// Chaos seed (`--chaos N`): exported to workers via
+    /// [`chaos::CHAOS_ENV`]. Part of the ledger fingerprint, so chaos
+    /// runs never resume a clean run's ledger or vice versa.
+    pub chaos: Option<u64>,
+    /// Per-cell retry budget (`--max-retries N`).
+    pub max_retries: u32,
+    /// Optional per-cell timeout override in seconds
+    /// (`--cell-timeout SECS`): sets the timeout floor/initial guess
+    /// and caps heartbeat staleness, for tests and smoke legs that
+    /// need fast straggler detection.
+    pub cell_timeout_s: Option<u64>,
+}
+
+/// What a fleet grid run produced.
+pub struct FleetGridOutcome {
+    /// Merged per-cell estimates. Complete runs carry every window;
+    /// degraded runs carry the windows that exist (wider CIs).
+    pub runs: Vec<CellRun>,
+    /// Grid cells short of the full window count: `(cell, have, want)`.
+    /// Empty on a fully successful run.
+    pub incomplete: Vec<(GridCell, u64, u64)>,
+    /// The supervisor's accounting (spawns, retries, kills, resume).
+    pub report: FleetReport,
+}
+
+/// Errors out of the parent orchestration: fleet infrastructure or grid
+/// merge trouble.
+#[derive(Debug)]
+pub enum FleetGridError {
+    /// The fleet layer failed (ledger, spawn).
+    Fleet(FleetError),
+    /// The grid layer failed (merge inconsistency, shard parse).
+    Grid(GridError),
+}
+
+impl std::fmt::Display for FleetGridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetGridError::Fleet(e) => e.fmt(f),
+            FleetGridError::Grid(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FleetGridError {}
+
+impl From<FleetError> for FleetGridError {
+    fn from(e: FleetError) -> Self {
+        FleetGridError::Fleet(e)
+    }
+}
+
+impl From<GridError> for FleetGridError {
+    fn from(e: GridError) -> Self {
+        FleetGridError::Grid(e)
+    }
+}
+
+/// Decomposes the grid into fleet cells: every (engine, width) pair
+/// split into enough window chunks that the pool stays busy (≈ 2 cells
+/// per worker), chunk sizes differing by at most one window.
+pub fn decompose(grid: &[GridCell], windows: u64, procs: usize) -> Vec<CellId> {
+    let pairs = grid.len().max(1);
+    let target = (2 * procs.max(1)).div_ceil(pairs) as u64;
+    let n_chunks = target.clamp(1, windows.max(1));
+    let mut out = Vec::new();
+    for cell in grid {
+        for j in 0..n_chunks {
+            let r = window_range(windows, ShardSpec { index: j, count: n_chunks });
+            if r.start < r.end {
+                out.push(CellId::new(engine_key(cell.engine), cell.width, r.start, r.end));
+            }
+        }
+    }
+    out
+}
+
+/// The experiment fingerprint keying the ledger: everything a cell's
+/// output bytes depend on. Same fingerprint → safe to resume; anything
+/// else → fresh ledger.
+fn config_tag(spec: &FleetGridSpec<'_>) -> u64 {
+    let engines: Vec<&str> =
+        spec.grid.iter().map(|c| engine_key(c.engine)).collect::<Vec<_>>();
+    let widths: Vec<String> = spec.grid.iter().map(|c| c.width.to_string()).collect();
+    let key = format!(
+        "{GRID_SHARD_SCHEMA}|{}|{}|{}|{}|{}|legacy={}|pf={}:{}|chaos={:?}",
+        spec.bench,
+        spec.scfg.to_spec(),
+        spec.total,
+        engines.join(","),
+        widths.join(","),
+        spec.opts.legacy_scan,
+        spec.opts.prefetch.kind,
+        spec.opts.prefetch.mshrs,
+        spec.chaos,
+    );
+    fnv64(key.as_bytes())
+}
+
+/// The shard-file validator shared by the ledger (resume verification)
+/// and the supervisor (fresh-output verification): the trailer must
+/// verify and every point line must parse. Returns the digest of the
+/// full sealed text.
+fn validate_shard(text: &str) -> Result<u64, String> {
+    parse_shard_file(text).map_err(|e| e.to_string())?;
+    Ok(fnv64(text.as_bytes()))
+}
+
+/// Runs the grid under the fleet supervisor. The checkpoint store at
+/// `spec.store_dir` must already be populated (one architectural walk —
+/// the caller does this exactly as for `spawn_shards`).
+///
+/// # Errors
+///
+/// Infrastructure failures only; worker failures are retried and, past
+/// the budget, reported via [`FleetGridOutcome::incomplete`].
+pub fn run_fleet_grid(spec: &FleetGridSpec<'_>) -> Result<FleetGridOutcome, FleetGridError> {
+    let windows = spec.scfg.windows(spec.total);
+    let cell_ids = decompose(spec.grid, windows, spec.procs);
+    let tag = config_tag(spec);
+    let work_dir = spec.store_dir.join("fleet").join(format!("{tag:016x}"));
+    std::fs::create_dir_all(&work_dir)
+        .map_err(|e| FleetError::io("create fleet work dir", &work_dir, e))?;
+
+    let (mut ledger, resume) = Ledger::open(
+        work_dir.join("cells.ledger"),
+        tag,
+        &cell_ids,
+        now_ms(),
+        &validate_shard,
+    )?;
+    if resume.resumed_done > 0 || resume.expired_leases > 0 || resume.invalidated > 0 {
+        eprintln!(
+            "fleet: resumed ledger — {} done cells kept, {} expired leases re-offered, \
+             {} invalidated outputs recomputed",
+            resume.resumed_done, resume.expired_leases, resume.invalidated
+        );
+    }
+
+    let mut cfg = FleetConfig::new(spec.procs.min(cell_ids.len()).max(1));
+    cfg.max_retries = spec.max_retries;
+    if let Some(s) = spec.cell_timeout_s {
+        let ms = s.max(1) * 1000;
+        cfg.timeout_floor_ms = ms;
+        cfg.timeout_initial_ms = ms;
+        cfg.heartbeat_stale_ms = cfg.heartbeat_stale_ms.min(ms);
+    }
+
+    let exe = std::env::current_exe()
+        .map_err(|e| FleetError::Spawn { cell: "<any>".into(), err: e.to_string() })?;
+    let launcher = ProcessLauncher::new(|cell: &CellId, attempt: u32, out: &Path, hb: &Path| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--fleet-cell")
+            .arg(cell.to_string())
+            .arg("--fleet-bench")
+            .arg(spec.bench)
+            .arg("--fleet-sample")
+            .arg(spec.scfg.to_spec())
+            .arg("--fleet-store")
+            .arg(spec.store_dir)
+            .arg("--fleet-jobs")
+            .arg(spec.opts.jobs.to_string())
+            .arg("--fleet-attempt")
+            .arg(attempt.to_string())
+            .arg("--fleet-out")
+            .arg(out)
+            .arg("--fleet-heartbeat")
+            .arg(hb);
+        if spec.opts.legacy_scan {
+            cmd.arg("--fleet-legacy-scan");
+        }
+        if spec.opts.prefetch.mshrs > 0 {
+            cmd.arg("--fleet-prefetch").arg(spec.opts.prefetch.kind.to_string());
+            cmd.arg("--fleet-mshrs").arg(spec.opts.prefetch.mshrs.to_string());
+        }
+        if let Some(seed) = spec.chaos {
+            cmd.env(chaos::CHAOS_ENV, seed.to_string());
+        }
+        // Workers own no part of the report: stdout must stay clean so
+        // chaos and fault-free parent runs diff byte-identically.
+        cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
+        cmd
+    });
+
+    let report = sfetch_fleet::run_fleet(
+        &cfg,
+        &mut ledger,
+        &launcher,
+        &validate_shard,
+        resume,
+        &mut |msg| eprintln!("fleet: {msg}"),
+    )?;
+
+    // Merge the verified cell outputs.
+    let mut all: Vec<(String, usize, SamplePoint)> = Vec::new();
+    for d in &report.done {
+        all.extend(parse_shard_file(&d.text)?);
+    }
+    let (runs, incomplete) = if report.incomplete.is_empty() {
+        (merge_grid(spec.grid, windows, &all, spec.scfg.confidence)?, Vec::new())
+    } else {
+        let partial = merge_grid_partial(spec.grid, windows, &all, spec.scfg.confidence)?;
+        (partial.runs, partial.incomplete)
+    };
+    Ok(FleetGridOutcome { runs, incomplete, report })
+}
+
+/// Prints the degradation report (stderr) for a partial outcome and
+/// returns the process exit code the binary should use: 0 when
+/// complete, 2 when degraded.
+pub fn degradation_exit(outcome: &FleetGridOutcome) -> u8 {
+    if outcome.incomplete.is_empty() && outcome.report.incomplete.is_empty() {
+        return 0;
+    }
+    eprintln!(
+        "fleet: DEGRADED RESULT — {} fleet cells failed permanently; estimates below use \
+         the completed windows only (wider confidence intervals)",
+        outcome.report.incomplete.len()
+    );
+    for (cell, why) in &outcome.report.incomplete {
+        eprintln!("fleet:   {cell}: {why}");
+    }
+    eprintln!("incomplete_cells: {}", outcome.report.incomplete.len());
+    for (cell, have, want) in &outcome.incomplete {
+        eprintln!(
+            "fleet:   {}/{}: {have}/{want} windows merged",
+            engine_key(cell.engine),
+            cell.width
+        );
+    }
+    2
+}
+
+// ---------------------------------------------------------------------
+// Child protocol
+// ---------------------------------------------------------------------
+
+struct ChildArgs {
+    cell: CellId,
+    bench: String,
+    scfg: SampleConfig,
+    store: PathBuf,
+    out: PathBuf,
+    heartbeat: PathBuf,
+    attempt: u32,
+    opts: HarnessOpts,
+}
+
+fn parse_child_args(args: &[String]) -> Result<ChildArgs, String> {
+    let mut cell = None;
+    let mut bench = None;
+    let mut scfg = None;
+    let mut store = None;
+    let mut out = None;
+    let mut heartbeat = None;
+    let mut attempt = 0u32;
+    let mut opts = HarnessOpts::default();
+    let mut pf_kind: Option<String> = None;
+    let mut mshrs: Option<usize> = None;
+    let mut i = 0;
+    let take = |i: usize| -> Result<&String, String> {
+        args.get(i + 1).ok_or_else(|| format!("{} requires a value", args[i]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fleet-cell" => cell = Some(CellId::parse(take(i)?)?),
+            "--fleet-bench" => bench = Some(take(i)?.clone()),
+            "--fleet-sample" => {
+                scfg = Some(SampleConfig::parse(take(i)?).map_err(|e| e.to_string())?)
+            }
+            "--fleet-store" => store = Some(PathBuf::from(take(i)?)),
+            "--fleet-out" => out = Some(PathBuf::from(take(i)?)),
+            "--fleet-heartbeat" => heartbeat = Some(PathBuf::from(take(i)?)),
+            "--fleet-attempt" => {
+                attempt = take(i)?.parse().map_err(|e| format!("--fleet-attempt: {e}"))?
+            }
+            "--fleet-jobs" => {
+                opts.jobs = take(i)?.parse().map_err(|e| format!("--fleet-jobs: {e}"))?
+            }
+            "--fleet-legacy-scan" => {
+                opts.legacy_scan = true;
+                i += 1;
+                continue;
+            }
+            "--fleet-prefetch" => pf_kind = Some(take(i)?.clone()),
+            "--fleet-mshrs" => {
+                mshrs = Some(take(i)?.parse().map_err(|e| format!("--fleet-mshrs: {e}"))?)
+            }
+            other => return Err(format!("unknown fleet child argument {other:?}")),
+        }
+        i += 2;
+    }
+    if let Some(kind) = pf_kind {
+        let kind = sfetch_core::PrefetchKind::parse(&kind)
+            .ok_or_else(|| format!("bad --fleet-prefetch {kind:?}"))?;
+        opts.prefetch = sfetch_core::PrefetchConfig::enabled(kind);
+        if let Some(m) = mshrs {
+            opts.prefetch.mshrs = m;
+        }
+    }
+    Ok(ChildArgs {
+        cell: cell.ok_or("--fleet-cell is required")?,
+        bench: bench.ok_or("--fleet-bench is required")?,
+        scfg: scfg.ok_or("--fleet-sample is required")?,
+        store: store.ok_or("--fleet-store is required")?,
+        out: out.ok_or("--fleet-out is required")?,
+        heartbeat: heartbeat.ok_or("--fleet-heartbeat is required")?,
+        attempt,
+        opts,
+    })
+}
+
+fn run_fleet_child(a: &ChildArgs) -> Result<bool, String> {
+    // Chaos first: the fault schedule is a pure function of
+    // (seed, cell, attempt), consulted before any real work.
+    let fault = match chaos::seed_from_env() {
+        Some(seed) => chaos::fault_for(seed, &a.cell, a.attempt),
+        None => chaos::Fault::None,
+    };
+    match fault {
+        chaos::Fault::CrashEarly => {
+            // Die the ugly way — no output, nonzero "signal" exit.
+            std::process::abort();
+        }
+        chaos::Fault::Stall => {
+            // Hang *without ever heartbeating*, so staleness detection
+            // (not just the cell deadline) is what catches us.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        _ => {}
+    }
+
+    let _hb = HeartbeatGuard::start(&a.heartbeat, HEARTBEAT_EVERY);
+    let w = workload_by_name(&a.bench);
+    let engine = *parse_engines(&a.cell.engine)
+        .map_err(|e| e.to_string())?
+        .first()
+        .ok_or("empty engine")?;
+    let grid_cell = GridCell { engine, width: a.cell.width };
+    let store =
+        sfetch_sample::CheckpointStore::open(&a.store).map_err(|e| format!("open store: {e}"))?;
+    let (pts, _) =
+        run_cell_range(&w, grid_cell, a.scfg, &a.opts, &store, a.cell.lo..a.cell.hi);
+
+    let mut body = format!(
+        "{{\"schema\": \"{GRID_SHARD_SCHEMA}\", \"cell\": \"{}\", \"bench\": \"{}\"}}\n",
+        a.cell,
+        w.name()
+    );
+    for p in &pts {
+        body.push_str(&point_line(grid_cell, p));
+        body.push('\n');
+    }
+    debug_assert!(parse_shard_body(&body).is_ok(), "child must emit parseable bodies");
+
+    let sealed = seal(&body);
+    let (text, exit_nonzero) = chaos::mangle_output(fault, &sealed);
+    // Atomic even when chaos-mangled: the injected faults model
+    // *logical* corruption; torn physical writes are prevented by the
+    // temp + rename discipline itself.
+    let tmp = a.out.with_extension("part");
+    std::fs::write(&tmp, text.as_bytes()).map_err(|e| format!("write shard: {e}"))?;
+    std::fs::rename(&tmp, &a.out).map_err(|e| format!("rename shard: {e}"))?;
+    Ok(exit_nonzero)
+}
+
+/// Call **first** in every grid binary's `main`: when the process was
+/// spawned as a fleet worker (`--fleet-cell …`), runs the cell and
+/// exits; otherwise returns so the binary proceeds normally.
+pub fn maybe_run_fleet_child() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.iter().any(|a| a == "--fleet-cell") {
+        return;
+    }
+    match parse_child_args(&args).and_then(|a| run_fleet_child(&a)) {
+        Ok(false) => std::process::exit(0),
+        Ok(true) => std::process::exit(3), // chaos: valid file, lying exit
+        Err(msg) => {
+            eprintln!("fleet worker: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::cells;
+    use sfetch_fetch::EngineKind;
+
+    #[test]
+    fn decompose_partitions_every_pair() {
+        let grid = cells(&[EngineKind::Stream, EngineKind::Ev8], &[4, 8]);
+        for (windows, procs) in [(4u64, 2usize), (7, 3), (1, 8), (16, 1)] {
+            let ids = decompose(&grid, windows, procs);
+            for pair in &grid {
+                let mut covered: Vec<bool> = vec![false; windows as usize];
+                for id in ids.iter().filter(|c| {
+                    c.engine == engine_key(pair.engine) && c.width == pair.width
+                }) {
+                    for w in id.lo..id.hi {
+                        assert!(!covered[w as usize], "window {w} covered twice");
+                        covered[w as usize] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "every window covered exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn child_args_roundtrip() {
+        let args: Vec<String> = [
+            "--fleet-cell",
+            "stream:8:0-4",
+            "--fleet-bench",
+            "phased",
+            "--fleet-sample",
+            "1000000,50000,5000,5000",
+            "--fleet-store",
+            "/tmp/store",
+            "--fleet-jobs",
+            "2",
+            "--fleet-attempt",
+            "1",
+            "--fleet-out",
+            "/tmp/out.json",
+            "--fleet-heartbeat",
+            "/tmp/out.hb",
+            "--fleet-legacy-scan",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let a = parse_child_args(&args).expect("parses");
+        assert_eq!(a.cell, CellId::new("stream", 8, 0, 4));
+        assert_eq!(a.bench, "phased");
+        assert_eq!(a.attempt, 1);
+        assert_eq!(a.opts.jobs, 2);
+        assert!(a.opts.legacy_scan);
+        assert!(parse_child_args(&args[2..]).is_err(), "missing --fleet-cell is an error");
+    }
+
+    #[test]
+    fn validator_accepts_sealed_and_rejects_mangled() {
+        let cell = GridCell { engine: EngineKind::Stream, width: 8 };
+        let p = SamplePoint {
+            window: 0,
+            start_inst: 1,
+            committed: 2,
+            cycles: 3,
+            stall_cycles: 4,
+            mispredictions: 5,
+        };
+        let body = format!("{}\n", point_line(cell, &p));
+        let sealed = seal(&body);
+        assert!(validate_shard(&sealed).is_ok());
+        for fault in [chaos::Fault::WriteTruncated, chaos::Fault::WriteCorrupt] {
+            let (mangled, _) = chaos::mangle_output(fault, &sealed);
+            assert!(validate_shard(&mangled).is_err(), "{fault:?} must be rejected");
+        }
+    }
+}

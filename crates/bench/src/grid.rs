@@ -9,7 +9,9 @@
 //! axes, the sampled-grid schedule, and the engine-key spellings from
 //! here.
 
+use std::fmt;
 use std::ops::Range;
+use std::path::{Path, PathBuf};
 
 use sfetch_core::ProcessorConfig;
 use sfetch_fetch::EngineKind;
@@ -19,6 +21,76 @@ use sfetch_sample::{
 use sfetch_workloads::{LayoutChoice, Workload};
 
 use crate::HarnessOpts;
+
+/// What can go wrong in the grid plumbing — CLI axis specs, shard
+/// files, child processes, merging. Every path that used to
+/// `expect`/`panic!` now reports one of these so the binaries can exit
+/// nonzero with a readable message (and the fleet supervisor can charge
+/// the failure to a cell and retry) instead of tearing the run down.
+#[derive(Debug)]
+pub enum GridError {
+    /// A malformed command-line axis spec (engine or width list).
+    Cli(String),
+    /// Filesystem failure on a shard-file path.
+    Io {
+        /// What the grid was doing.
+        what: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error, stringified.
+        err: String,
+    },
+    /// A shard child process could not be spawned.
+    Spawn {
+        /// Shard index.
+        shard: usize,
+        /// The underlying error, stringified.
+        err: String,
+    },
+    /// A shard child exited unsuccessfully. Raised **before** its
+    /// output file is even read: a nonzero exit fails the shard even if
+    /// a parseable file exists (the process may know something the file
+    /// doesn't).
+    ShardFailed {
+        /// Shard index.
+        shard: usize,
+        /// The exit status, stringified.
+        status: String,
+    },
+    /// A shard file is truncated, corrupt, or malformed.
+    ShardParse {
+        /// 1-based line number (0 = whole-file, e.g. a checksum-trailer
+        /// failure).
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// Shard outputs do not merge into a consistent grid.
+    Merge {
+        /// The offending `engine/width` cell.
+        cell: String,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Cli(msg) => f.write_str(msg),
+            GridError::Io { what, path, err } => write!(f, "{what} {}: {err}", path.display()),
+            GridError::Spawn { shard, err } => write!(f, "spawn shard {shard}: {err}"),
+            GridError::ShardFailed { shard, status } => {
+                write!(f, "shard {shard} failed: {status}")
+            }
+            GridError::ShardParse { line: 0, what } => write!(f, "shard file: {what}"),
+            GridError::ShardParse { line, what } => write!(f, "shard file line {line}: {what}"),
+            GridError::Merge { cell, what } => write!(f, "cell {cell}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
 
 /// Pipe widths of the Fig. 8 grid (panels a, b, c).
 pub const FIG8_WIDTHS: [usize; 3] = [2, 4, 8];
@@ -89,32 +161,34 @@ pub fn engine_key(kind: EngineKind) -> &'static str {
 
 /// Parses a comma-separated engine list (or `all`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown engine key.
-pub fn parse_engines(spec: &str) -> Vec<EngineKind> {
+/// [`GridError::Cli`] on an unknown engine key.
+pub fn parse_engines(spec: &str) -> Result<Vec<EngineKind>, GridError> {
     if spec == "all" {
-        return grid_engines().to_vec();
+        return Ok(grid_engines().to_vec());
     }
     spec.split(',')
         .map(|k| match k.trim() {
-            "stream" => EngineKind::Stream,
-            "ev8" => EngineKind::Ev8,
-            "ftb" => EngineKind::Ftb,
-            "tcache" => EngineKind::TraceCache,
-            other => panic!("unknown engine {other:?} (stream|ev8|ftb|tcache|all)"),
+            "stream" => Ok(EngineKind::Stream),
+            "ev8" => Ok(EngineKind::Ev8),
+            "ftb" => Ok(EngineKind::Ftb),
+            "tcache" => Ok(EngineKind::TraceCache),
+            other => Err(GridError::Cli(format!(
+                "unknown engine {other:?} (stream|ev8|ftb|tcache|all)"
+            ))),
         })
         .collect()
 }
 
 /// Parses a comma-separated width list (or `all` = the Fig. 8 widths).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on a malformed or zero width.
-pub fn parse_widths(spec: &str) -> Vec<usize> {
+/// [`GridError::Cli`] on a malformed or zero width.
+pub fn parse_widths(spec: &str) -> Result<Vec<usize>, GridError> {
     if spec == "all" {
-        return FIG8_WIDTHS.to_vec();
+        return Ok(FIG8_WIDTHS.to_vec());
     }
     spec.split(',')
         .map(|w| {
@@ -122,7 +196,7 @@ pub fn parse_widths(spec: &str) -> Vec<usize> {
                 .parse::<usize>()
                 .ok()
                 .filter(|&w| w >= 1)
-                .unwrap_or_else(|| panic!("bad width {w:?}"))
+                .ok_or_else(|| GridError::Cli(format!("bad width {w:?}")))
         })
         .collect()
 }
@@ -192,8 +266,11 @@ pub fn run_sampled_grid(
 }
 
 /// Shard-file schema tag of the grid shard format (engine × width ×
-/// window lines).
-pub const GRID_SHARD_SCHEMA: &str = "sfetch-grid-shard-v2";
+/// window lines). v3 = v2 sealed with the fleet's end-of-file checksum
+/// trailer, written atomically (temp + rename): a worker that dies
+/// mid-write can no longer leave a plausible-looking prefix that merges
+/// short.
+pub const GRID_SHARD_SCHEMA: &str = "sfetch-grid-shard-v3";
 
 /// Renders one grid sample point as a shard-file JSON line.
 pub fn point_line(cell: GridCell, p: &SamplePoint) -> String {
@@ -228,25 +305,101 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..rest.find('"')?])
 }
 
-/// Parses a grid shard file's point lines back into `(engine key,
-/// width, point)` tuples.
-pub fn parse_shard_file(text: &str) -> Vec<(String, usize, SamplePoint)> {
-    text.lines()
-        .filter(|l| l.contains("\"window\""))
-        .map(|l| {
-            let engine = field_str(l, "engine").expect("engine key").to_owned();
-            let width = field_u64(l, "width").expect("width") as usize;
-            let p = SamplePoint {
-                window: field_u64(l, "window").expect("window"),
-                start_inst: field_u64(l, "start_inst").expect("start_inst"),
-                committed: field_u64(l, "committed").expect("committed"),
-                cycles: field_u64(l, "cycles").expect("cycles"),
-                stall_cycles: field_u64(l, "stall_cycles").expect("stall_cycles"),
-                mispredictions: field_u64(l, "mispredictions").expect("mispredictions"),
-            };
-            (engine, width, p)
-        })
-        .collect()
+/// Parses a sealed grid shard file — checksum trailer first, then the
+/// point lines — into `(engine key, width, point)` tuples.
+///
+/// # Errors
+///
+/// [`GridError::ShardParse`] on a missing/failing trailer (truncation,
+/// corruption), a schema mismatch, or a malformed point line.
+pub fn parse_shard_file(text: &str) -> Result<Vec<(String, usize, SamplePoint)>, GridError> {
+    let body = sfetch_fleet::unseal(text)
+        .map_err(|e| GridError::ShardParse { line: 0, what: e.to_string() })?;
+    parse_shard_body(body)
+}
+
+/// Parses the point lines of an already-unsealed shard body.
+///
+/// # Errors
+///
+/// [`GridError::ShardParse`] on a schema mismatch or malformed line.
+pub fn parse_shard_body(body: &str) -> Result<Vec<(String, usize, SamplePoint)>, GridError> {
+    let mut out = Vec::new();
+    for (i, l) in body.lines().enumerate() {
+        let line_no = i + 1;
+        if let Some(schema) = field_str(l, "schema") {
+            if schema != GRID_SHARD_SCHEMA {
+                return Err(GridError::ShardParse {
+                    line: line_no,
+                    what: format!(
+                        "schema {schema:?}, this build reads {GRID_SHARD_SCHEMA:?} \
+                         (delete stale shard files)"
+                    ),
+                });
+            }
+        }
+        if !l.contains("\"window\"") {
+            continue;
+        }
+        let want = |key: &'static str| {
+            field_u64(l, key).ok_or(GridError::ShardParse {
+                line: line_no,
+                what: format!("missing or non-numeric field {key:?}"),
+            })
+        };
+        let engine = field_str(l, "engine")
+            .ok_or(GridError::ShardParse {
+                line: line_no,
+                what: "missing field \"engine\"".to_owned(),
+            })?
+            .to_owned();
+        let width = want("width")? as usize;
+        let p = SamplePoint {
+            window: want("window")?,
+            start_inst: want("start_inst")?,
+            committed: want("committed")?,
+            cycles: want("cycles")?,
+            stall_cycles: want("stall_cycles")?,
+            mispredictions: want("mispredictions")?,
+        };
+        out.push((engine, width, p));
+    }
+    Ok(out)
+}
+
+/// Seals `body` with the checksum trailer and writes it **atomically**
+/// (temp sibling + rename), so a reader never observes a half-written
+/// shard file and a died writer leaves either nothing or a complete,
+/// verifiable file.
+///
+/// # Errors
+///
+/// [`GridError::Io`] on any filesystem failure.
+pub fn write_shard_atomic(path: &Path, body: &str) -> Result<(), GridError> {
+    let sealed = sfetch_fleet::seal(body);
+    let tmp = path.with_extension("part");
+    std::fs::write(&tmp, sealed.as_bytes())
+        .map_err(|e| GridError::Io { what: "write shard file", path: tmp.clone(), err: e.to_string() })?;
+    std::fs::rename(&tmp, path).map_err(|e| GridError::Io {
+        what: "rename shard file into place",
+        path: path.to_path_buf(),
+        err: e.to_string(),
+    })
+}
+
+/// Reads and parses a sealed shard file.
+///
+/// # Errors
+///
+/// [`GridError::Io`] on read failure, [`GridError::ShardParse`] on
+/// verification/parse failure.
+pub fn read_shard_file(path: &Path) -> Result<Vec<(String, usize, SamplePoint)>, GridError> {
+    let text = std::fs::read_to_string(path).map_err(|e| GridError::Io {
+        what: "read shard file",
+        path: path.to_path_buf(),
+        err: e.to_string(),
+    })?;
+    parse_shard_file(&text)
 }
 
 /// Renders one shard's slice of the grid as a complete shard file: the
@@ -289,34 +442,69 @@ pub fn shard_file_text(
 /// `(engine key, width, point)` tuples. `child_args` builds the full
 /// argument list for shard `i` with its output file path.
 ///
-/// # Panics
+/// This is the plain one-shot fan-out (`--no-fleet`); the fleet
+/// supervisor (`sfetch_fleet::run_fleet` driven by
+/// [`crate::fleet_grid`]) supersedes it with leases, retries, and
+/// resume. Exit statuses are checked for **every** child before any
+/// shard file is read: a nonzero exit fails the run even if that child
+/// left a parseable file behind.
 ///
-/// Panics if a shard cannot be spawned or exits unsuccessfully.
+/// # Errors
+///
+/// [`GridError::Spawn`]/[`GridError::ShardFailed`] on child trouble,
+/// [`GridError::Io`]/[`GridError::ShardParse`] on output trouble.
 pub fn spawn_shards(
     procs: usize,
-    tmp: &std::path::Path,
-    child_args: impl Fn(usize, &std::path::Path) -> Vec<std::ffi::OsString>,
-) -> Vec<(String, usize, SamplePoint)> {
+    tmp: &Path,
+    child_args: impl Fn(usize, &Path) -> Vec<std::ffi::OsString>,
+) -> Result<Vec<(String, usize, SamplePoint)>, GridError> {
     use std::process::{Command, Stdio};
-    let exe = std::env::current_exe().expect("current exe");
+    let exe = std::env::current_exe()
+        .map_err(|e| GridError::Spawn { shard: 0, err: format!("no current exe: {e}") })?;
     let mut children = Vec::new();
     let mut outs = Vec::new();
+    let mut first_err = None;
     for i in 0..procs {
         let out = tmp.join(format!("shard-{i}.json"));
         let mut cmd = Command::new(&exe);
         cmd.args(child_args(i, &out)).stdout(Stdio::inherit()).stderr(Stdio::inherit());
-        children.push(cmd.spawn().expect("spawn shard process"));
-        outs.push(out);
+        match cmd.spawn() {
+            Ok(child) => {
+                children.push((i, child));
+                outs.push(out);
+            }
+            Err(e) => {
+                first_err = Some(GridError::Spawn { shard: i, err: e.to_string() });
+                break;
+            }
+        }
     }
-    for (i, c) in children.iter_mut().enumerate() {
-        let status = c.wait().expect("wait for shard");
-        assert!(status.success(), "shard {i} failed: {status}");
+    // Reap everything we started even on error — no orphan simulators.
+    for (i, c) in &mut children {
+        match c.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                first_err.get_or_insert(GridError::ShardFailed {
+                    shard: *i,
+                    status: status.to_string(),
+                });
+            }
+            Err(e) => {
+                first_err.get_or_insert(GridError::ShardFailed {
+                    shard: *i,
+                    status: format!("wait failed: {e}"),
+                });
+            }
+        }
+    }
+    if let Some(err) = first_err {
+        return Err(err);
     }
     let mut all = Vec::new();
     for p in &outs {
-        all.extend(parse_shard_file(&std::fs::read_to_string(p).expect("read shard file")));
+        all.extend(read_shard_file(p)?);
     }
-    all
+    Ok(all)
 }
 
 /// Verifies merged shard output against a **storeless** in-process
@@ -371,36 +559,103 @@ pub fn grid_shard_items(
 /// Merges shard-file tuples back into per-cell window lists, verifying
 /// every cell has exactly windows `0..windows`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on missing/duplicate windows or unknown cells — a shard bug,
-/// not an input error.
+/// [`GridError::Merge`] on missing/duplicate windows — a shard bug, not
+/// an input error, but one the caller reports and exits on instead of
+/// panicking.
 pub fn merge_grid(
     cells: &[GridCell],
     windows: u64,
     all: &[(String, usize, SamplePoint)],
     confidence: sfetch_sample::Confidence,
-) -> Vec<CellRun> {
+) -> Result<Vec<CellRun>, GridError> {
     cells
         .iter()
         .map(|&cell| {
+            let name = format!("{}/{}", engine_key(cell.engine), cell.width);
             let pts: Vec<SamplePoint> = all
                 .iter()
                 .filter(|(k, w, _)| k == engine_key(cell.engine) && *w == cell.width)
                 .map(|(_, _, p)| *p)
                 .collect();
-            let points = sfetch_sample::merge_points(pts).expect("shard outputs merge cleanly");
-            assert_eq!(
-                points.len() as u64,
-                windows,
-                "{}/{}: merged window count",
-                engine_key(cell.engine),
-                cell.width
-            );
+            let points = sfetch_sample::merge_points(pts)
+                .map_err(|what| GridError::Merge { cell: name.clone(), what })?;
+            if points.len() as u64 != windows {
+                return Err(GridError::Merge {
+                    cell: name,
+                    what: format!("merged {} windows, expected {windows}", points.len()),
+                });
+            }
             let estimate = estimate(&points, confidence);
-            CellRun { cell, points, estimate }
+            Ok(CellRun { cell, points, estimate })
         })
         .collect()
+}
+
+/// A degraded merge: what [`merge_grid_partial`] salvaged when some
+/// cells never completed.
+#[derive(Debug)]
+pub struct PartialMerge {
+    /// Cells with at least one window, estimated over the windows that
+    /// exist (fewer windows → wider Student-t interval, so the
+    /// degradation is visible in the CI, not hidden).
+    pub runs: Vec<CellRun>,
+    /// Cells short of the full window count, with `(have, want)`.
+    pub incomplete: Vec<(GridCell, u64, u64)>,
+}
+
+/// Merges whatever shard output exists, tolerating **missing** windows
+/// (a fleet cell that exhausted its retry budget) but still rejecting
+/// **duplicates** (two workers' outputs for the same window would mean
+/// the lease exclusion failed — that is corruption, not degradation).
+///
+/// # Errors
+///
+/// [`GridError::Merge`] on duplicate windows or windows outside
+/// `0..windows`.
+pub fn merge_grid_partial(
+    cells: &[GridCell],
+    windows: u64,
+    all: &[(String, usize, SamplePoint)],
+    confidence: sfetch_sample::Confidence,
+) -> Result<PartialMerge, GridError> {
+    let mut runs = Vec::new();
+    let mut incomplete = Vec::new();
+    for &cell in cells {
+        let name = format!("{}/{}", engine_key(cell.engine), cell.width);
+        let mut pts: Vec<SamplePoint> = all
+            .iter()
+            .filter(|(k, w, _)| k == engine_key(cell.engine) && *w == cell.width)
+            .map(|(_, _, p)| *p)
+            .collect();
+        pts.sort_by_key(|p| p.window);
+        for pair in pts.windows(2) {
+            if pair[0].window == pair[1].window {
+                return Err(GridError::Merge {
+                    cell: name,
+                    what: format!("duplicate window {}", pair[0].window),
+                });
+            }
+        }
+        if let Some(p) = pts.last() {
+            if p.window >= windows {
+                return Err(GridError::Merge {
+                    cell: name,
+                    what: format!("window {} out of range 0..{windows}", p.window),
+                });
+            }
+        }
+        let have = pts.len() as u64;
+        if have < windows {
+            incomplete.push((cell, have, windows));
+        }
+        if have > 0 {
+            let estimate = estimate(&pts, confidence);
+            runs.push(CellRun { cell, points: pts, estimate });
+        }
+    }
+    Ok(PartialMerge { runs, incomplete })
 }
 
 /// Prints the per-cell estimate table the sampled grid binaries share.
@@ -467,11 +722,13 @@ mod tests {
     #[test]
     fn engine_keys_roundtrip() {
         for kind in grid_engines() {
-            assert_eq!(parse_engines(engine_key(kind)), vec![kind]);
+            assert_eq!(parse_engines(engine_key(kind)).expect("known key"), vec![kind]);
         }
-        assert_eq!(parse_engines("all").len(), 4);
-        assert_eq!(parse_widths("all"), FIG8_WIDTHS.to_vec());
-        assert_eq!(parse_widths("2, 8"), vec![2, 8]);
+        assert_eq!(parse_engines("all").expect("all").len(), 4);
+        assert_eq!(parse_widths("all").expect("all"), FIG8_WIDTHS.to_vec());
+        assert_eq!(parse_widths("2, 8").expect("list"), vec![2, 8]);
+        assert!(parse_engines("warp-drive").is_err(), "unknown engine is a CLI error");
+        assert!(parse_widths("0").is_err(), "zero width is a CLI error");
     }
 
     #[test]
@@ -491,18 +748,74 @@ mod tests {
         }
     }
 
-    #[test]
-    fn point_lines_parse_back() {
-        let cell = GridCell { engine: EngineKind::Stream, width: 8 };
-        let p = SamplePoint {
-            window: 3,
-            start_inst: 123,
+    fn point(window: u64) -> SamplePoint {
+        SamplePoint {
+            window,
+            start_inst: 123 + window,
             committed: 5000,
-            cycles: 2100,
+            cycles: 2100 + window,
             stall_cycles: 17,
             mispredictions: 9,
-        };
-        let parsed = parse_shard_file(&point_line(cell, &p));
+        }
+    }
+
+    #[test]
+    fn point_lines_parse_back_through_the_seal() {
+        let cell = GridCell { engine: EngineKind::Stream, width: 8 };
+        let p = point(3);
+        let body = format!("{}\n", point_line(cell, &p));
+        let parsed = parse_shard_body(&body).expect("body parses");
         assert_eq!(parsed, vec![("stream".to_owned(), 8, p)]);
+        // The sealed full-file path verifies the trailer first.
+        let sealed = sfetch_fleet::seal(&body);
+        assert_eq!(parse_shard_file(&sealed).expect("sealed parses").len(), 1);
+        // Truncation (the fault the trailer exists for) is rejected.
+        let truncated = &sealed[..sealed.len() - 10];
+        assert!(matches!(
+            parse_shard_file(truncated),
+            Err(GridError::ShardParse { line: 0, .. })
+        ));
+        // A malformed point line is rejected with its line number.
+        let bad = sfetch_fleet::seal("{\"engine\": \"stream\", \"window\": oops}\n");
+        assert!(matches!(
+            parse_shard_file(&bad),
+            Err(GridError::ShardParse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("sfetch-grid-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tmp");
+        let path = dir.join("shard-0.json");
+        let cell = GridCell { engine: EngineKind::Ev8, width: 4 };
+        let body = format!("{}\n{}\n", point_line(cell, &point(0)), point_line(cell, &point(1)));
+        write_shard_atomic(&path, &body).expect("atomic write");
+        assert!(!path.with_extension("part").exists(), "temp renamed away");
+        assert_eq!(read_shard_file(&path).expect("read back").len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_grid_reports_instead_of_panicking() {
+        let cell = GridCell { engine: EngineKind::Stream, width: 8 };
+        let conf = sfetch_sample::Confidence::default();
+        let tuples =
+            vec![("stream".to_owned(), 8, point(0)), ("stream".to_owned(), 8, point(1))];
+        let runs = merge_grid(&[cell], 2, &tuples, conf).expect("complete grid merges");
+        assert_eq!(runs[0].points.len(), 2);
+        // Short a window: strict merge errors, partial merge degrades.
+        let short = &tuples[..1];
+        assert!(matches!(merge_grid(&[cell], 2, short, conf), Err(GridError::Merge { .. })));
+        let partial = merge_grid_partial(&[cell], 2, short, conf).expect("partial merge");
+        assert_eq!(partial.runs.len(), 1);
+        assert_eq!(partial.incomplete, vec![(cell, 1, 2)]);
+        // Duplicate windows are corruption, not degradation.
+        let dup = vec![tuples[0].clone(), tuples[0].clone()];
+        assert!(matches!(
+            merge_grid_partial(&[cell], 2, &dup, conf),
+            Err(GridError::Merge { .. })
+        ));
     }
 }

@@ -44,6 +44,7 @@ use sfetch_mem::MemoryConfig;
 use sfetch_sample::SampleConfig;
 use sfetch_workloads::{par_map, phased, LayoutChoice, Suite, Workload};
 
+pub mod fleet_grid;
 pub mod grid;
 pub mod progress;
 

@@ -1,0 +1,98 @@
+//! The identity of one idempotent work cell.
+
+use std::fmt;
+
+/// One cell of the decomposed grid: an *(engine, width, window-range)*
+/// slice. The engine is an opaque key string (this crate carries no
+/// simulator types); the range is half-open `[lo, hi)` in window
+/// indices.
+///
+/// A cell's output must derive only from the cell identity plus state
+/// the whole fleet shares (the workload, the checkpoint store), never
+/// from which worker ran it or how many times it was attempted — that
+/// idempotence is what makes retry, re-lease, and resume free.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Engine key (e.g. `stream`).
+    pub engine: String,
+    /// Pipe width.
+    pub width: usize,
+    /// First window (inclusive).
+    pub lo: u64,
+    /// Past-the-end window (exclusive).
+    pub hi: u64,
+}
+
+impl CellId {
+    /// Builds a cell id.
+    pub fn new(engine: impl Into<String>, width: usize, lo: u64, hi: u64) -> Self {
+        CellId { engine: engine.into(), width, lo, hi }
+    }
+
+    /// Number of windows the cell covers.
+    pub fn windows(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// Parses the canonical `engine:width:lo-hi` form ([`fmt::Display`]
+    /// renders it), the spelling used on worker command lines and in
+    /// ledger events.
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed text (wrong arity, non-numeric fields, an
+    /// empty or inverted window range).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.splitn(3, ':');
+        let engine = parts.next().filter(|e| !e.is_empty()).ok_or("empty engine key")?;
+        let width: usize = parts
+            .next()
+            .ok_or_else(|| format!("cell {s:?}: missing width"))?
+            .parse()
+            .map_err(|e| format!("cell {s:?}: bad width: {e}"))?;
+        let range = parts.next().ok_or_else(|| format!("cell {s:?}: missing window range"))?;
+        let (lo, hi) = range
+            .split_once('-')
+            .ok_or_else(|| format!("cell {s:?}: window range must be lo-hi"))?;
+        let lo: u64 = lo.parse().map_err(|e| format!("cell {s:?}: bad lo: {e}"))?;
+        let hi: u64 = hi.parse().map_err(|e| format!("cell {s:?}: bad hi: {e}"))?;
+        if lo >= hi {
+            return Err(format!("cell {s:?}: empty window range"));
+        }
+        Ok(CellId { engine: engine.to_owned(), width, lo, hi })
+    }
+
+    /// A filesystem-safe stem for the cell's output files
+    /// (`engine-width-lo-hi`).
+    pub fn file_stem(&self) -> String {
+        format!("{}-{}-{}-{}", self.engine, self.width, self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}-{}", self.engine, self.width, self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let c = CellId::new("stream", 8, 2, 6);
+        assert_eq!(c.to_string(), "stream:8:2-6");
+        assert_eq!(CellId::parse("stream:8:2-6").expect("parses"), c);
+        assert_eq!(c.windows(), 4);
+        assert_eq!(c.file_stem(), "stream-8-2-6");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_cells() {
+        for bad in ["", "stream", "stream:8", "stream:8:6-2", "stream:8:1-1", "stream:x:0-1",
+                    ":8:0-1", "stream:8:0..1"] {
+            assert!(CellId::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Worker-side liveness: a background thread that touches a heartbeat
+//! file, whose mtime the supervisor health-checks.
+//!
+//! Exit status only reports death; it cannot report a *hang*. The
+//! heartbeat closes that gap with the cheapest possible channel — file
+//! mtimes on a path the supervisor already owns — so a stalled worker
+//! (deadlock, runaway loop, chaos [`Stall`](crate::chaos::Fault::Stall))
+//! goes quiet, its mtime ages past the staleness bound, and the
+//! supervisor kills and re-leases the cell *before* the full cell
+//! deadline would fire.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// RAII heartbeat: spawns a thread on construction that rewrites the
+/// heartbeat file every `interval`, and stops it on drop. Dropping the
+/// guard (including via panic unwind) ends the heartbeat, so a worker
+/// that stops making progress stops looking alive.
+pub struct HeartbeatGuard {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatGuard {
+    /// Starts heartbeating `path` every `interval`. The first beat is
+    /// written synchronously so the supervisor sees a fresh mtime from
+    /// the moment the guard exists; later beats best-effort (a missed
+    /// write only ages the mtime, which is exactly the signal).
+    pub fn start(path: impl Into<PathBuf>, interval: Duration) -> Self {
+        let path = path.into();
+        beat(&path);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                beat(&path);
+            }
+        });
+        HeartbeatGuard { stop, thread: Some(thread) }
+    }
+}
+
+fn beat(path: &Path) {
+    let _ = std::fs::write(path, b"beat\n");
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_writes_and_stops() {
+        let dir = std::env::temp_dir().join(format!("sfetch-hb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tmp");
+        let hb = dir.join("worker.hb");
+        {
+            let _guard = HeartbeatGuard::start(&hb, Duration::from_millis(10));
+            assert!(hb.exists(), "first beat is synchronous");
+            std::thread::sleep(Duration::from_millis(35));
+        }
+        // After drop, the file stops being refreshed.
+        let mtime = std::fs::metadata(&hb).and_then(|m| m.modified()).expect("mtime");
+        std::thread::sleep(Duration::from_millis(30));
+        let mtime2 = std::fs::metadata(&hb).and_then(|m| m.modified()).expect("mtime");
+        assert_eq!(mtime, mtime2, "no beats after the guard is dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,84 @@
+//! # sfetch-fleet
+//!
+//! The **fault-tolerant execution layer** between an experiment grid
+//! and the operating system.
+//!
+//! PR 5's shard runner fans the sampled windows × engines × widths grid
+//! across OS processes through the checkpoint store, but its
+//! orchestration was brittle: one lost worker — a crash, a hang, a
+//! truncated output file — killed a multi-hour paper-scale run. The
+//! fix is the same move the paper makes for instruction fetch (a
+//! squashed stream is *re-fetchable* because streams derive only from
+//! the program) and MANA makes for prefetch records (a mispredicted
+//! record is *re-derivable*): make every unit of work **idempotent and
+//! re-offerable**, then survive any individual failure by simply
+//! re-running the cell.
+//!
+//! The pieces:
+//!
+//! * [`CellId`] — one idempotent work cell: an *(engine, width,
+//!   window-range)* slice of the grid. Cells derive only from the
+//!   workload and the checkpoint store, so running a cell twice
+//!   produces byte-identical output.
+//! * [`Ledger`] — the persistent cell state machine, one line-JSON
+//!   event per transition: `Pending → Leased(worker, deadline) →
+//!   Done(digest) | Failed(attempts)`. Leases expire on deadline, so a
+//!   crashed or hung worker's cells are re-offered; `Done` cells are
+//!   skipped on restart (their verified output is reloaded from disk),
+//!   so a `SIGKILL`ed parent resumes mid-grid for free.
+//! * [`Supervisor`](supervisor::run_fleet) — the worker pool: spawns up
+//!   to `procs` workers, health-checks them through shard-file
+//!   heartbeat mtimes, enforces per-cell timeouts derived from observed
+//!   cell durations (p95 × k with a floor), kills and re-leases
+//!   stragglers, retries failed cells with capped exponential backoff +
+//!   deterministic jitter, and degrades gracefully: after the retry
+//!   budget, a cell is marked `Failed` and the run completes over the
+//!   remaining cells with an explicit incomplete count instead of
+//!   panicking.
+//! * [`trailer`] — the end-of-file checksum trailer every worker output
+//!   carries, so a truncated or corrupt shard file is *detected and the
+//!   cell re-run* rather than silently merged short.
+//! * [`chaos`] — the deterministic fault-injection harness
+//!   (`--chaos <seed>` / [`chaos::CHAOS_ENV`]): workers randomly crash
+//!   mid-cell, stall past their deadline, write truncated or corrupt
+//!   shard files, or exit nonzero. Faults are a pure function of
+//!   *(seed, cell, attempt)* and never fire past attempt 1, so every
+//!   chaos run provably converges — and is asserted (in tests and a CI
+//!   leg) to merge **bit-identically** to a fault-free run.
+//!
+//! The crate is deliberately simulator-agnostic (std only): workers are
+//! launched through the [`supervisor::Launcher`] trait, and output
+//! validation is a caller-supplied closure. `sfetch-bench` supplies the
+//! grid semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod chaos;
+pub mod error;
+pub mod heartbeat;
+pub mod ledger;
+pub mod supervisor;
+pub mod trailer;
+
+pub use cell::CellId;
+pub use chaos::{Fault, CHAOS_ENV};
+pub use error::FleetError;
+pub use heartbeat::HeartbeatGuard;
+pub use ledger::{CellState, Ledger, ResumeSummary, LEDGER_SCHEMA};
+pub use supervisor::{
+    run_fleet, CellDone, FleetConfig, FleetReport, Launcher, PollResult, ProcessLauncher,
+    WorkerHandle,
+};
+pub use trailer::{fnv64, seal, unseal, TrailerError};
+
+/// Milliseconds since the Unix epoch — the wall-clock the ledger
+/// persists (leases must stay meaningful across process restarts, so
+/// a monotonic in-process clock is not enough).
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}

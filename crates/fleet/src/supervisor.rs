@@ -1,0 +1,729 @@
+//! The supervisor loop: a self-healing worker pool over the ledger.
+//!
+//! Where PR 5's `spawn_shards` spawned N children and blocked on each
+//! in order — so one crashed, hung, or lying worker wedged or killed
+//! the whole run — the supervisor treats workers as cattle:
+//!
+//! * keeps up to `procs` workers alive, leasing each the next claimable
+//!   cell from the [`Ledger`];
+//! * health-checks workers two ways: a hard per-cell deadline (adapted
+//!   from observed cell durations: p95 × `timeout_mult`, floored) and a
+//!   soft heartbeat-staleness bound (a hung worker goes quiet long
+//!   before its deadline);
+//! * on any failure — nonzero exit, missing/truncated/corrupt output,
+//!   timeout, stale heartbeat — kills the worker if needed and charges
+//!   the cell a failure, re-offering it after capped exponential
+//!   backoff with deterministic jitter;
+//! * **trusts exit status over file contents**: a worker that exits
+//!   nonzero fails its cell even if it left a parseable output behind
+//!   (the process may know something the file doesn't);
+//! * degrades gracefully: once a cell exhausts its retry budget it is
+//!   `Failed` and the run completes over the remaining cells, reporting
+//!   an explicit incomplete list instead of panicking.
+//!
+//! Workers are abstract ([`Launcher`] / [`WorkerHandle`]) so tests can
+//! drive the loop with scripted in-process workers; production uses
+//! [`ProcessLauncher`] over `std::process::Command`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::Duration;
+
+use crate::cell::CellId;
+use crate::error::FleetError;
+use crate::ledger::{CellState, Ledger, ResumeSummary};
+use crate::now_ms;
+use crate::trailer::fnv64;
+
+/// Tuning for [`run_fleet`]. [`FleetConfig::new`]`(procs)` gives the
+/// production defaults; tests shrink the time constants.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Maximum concurrent workers.
+    pub procs: usize,
+    /// Failures a cell may accrue beyond its first attempt before it is
+    /// marked `Failed` (so a cell is attempted at most
+    /// `max_retries + 1` times).
+    pub max_retries: u32,
+    /// Lower bound on any per-cell timeout, ms.
+    pub timeout_floor_ms: u64,
+    /// Per-cell timeout before enough durations are observed, ms.
+    pub timeout_initial_ms: u64,
+    /// Multiplier over the observed p95 cell duration.
+    pub timeout_mult: f64,
+    /// Base of the exponential retry backoff, ms.
+    pub backoff_base_ms: u64,
+    /// Cap on the exponential retry backoff, ms.
+    pub backoff_cap_ms: u64,
+    /// A worker whose heartbeat mtime is older than this is presumed
+    /// hung and killed, ms.
+    pub heartbeat_stale_ms: u64,
+    /// Supervisor poll interval, ms.
+    pub poll_ms: u64,
+}
+
+impl FleetConfig {
+    /// Production defaults for a pool of `procs` workers.
+    pub fn new(procs: usize) -> Self {
+        FleetConfig {
+            procs: procs.max(1),
+            max_retries: 3,
+            timeout_floor_ms: 20_000,
+            timeout_initial_ms: 600_000,
+            timeout_mult: 4.0,
+            backoff_base_ms: 200,
+            backoff_cap_ms: 10_000,
+            heartbeat_stale_ms: 15_000,
+            poll_ms: 25,
+        }
+    }
+}
+
+/// What [`WorkerHandle::poll`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollResult {
+    /// Still running.
+    Running,
+    /// Exited.
+    Exited {
+        /// Whether the exit status was zero.
+        success: bool,
+        /// Human-readable exit detail (code or signal).
+        detail: String,
+    },
+}
+
+/// A live worker the supervisor can poll and kill.
+pub trait WorkerHandle {
+    /// Non-blocking status check.
+    fn poll(&mut self) -> PollResult;
+    /// Terminates the worker (idempotent; reaps what it can).
+    fn kill(&mut self);
+    /// Stable worker identity for the ledger (e.g. the OS pid).
+    fn worker_id(&self) -> u64;
+}
+
+/// Launches a worker for one (cell, attempt). The worker must write its
+/// sealed output to `out` (atomically — temp + rename) and touch
+/// `heartbeat` while it makes progress.
+pub trait Launcher {
+    /// The handle type for launched workers.
+    type Handle: WorkerHandle;
+    /// Starts a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Spawn`] when the worker cannot be started at all
+    /// (this aborts the run — distinct from the worker *failing*, which
+    /// is an expected, retried event).
+    fn launch(
+        &self,
+        cell: &CellId,
+        attempt: u32,
+        out: &Path,
+        heartbeat: &Path,
+    ) -> Result<Self::Handle, FleetError>;
+}
+
+/// [`Launcher`] over real OS processes: a closure builds the
+/// `Command` for each (cell, attempt, out, heartbeat).
+pub struct ProcessLauncher<F: Fn(&CellId, u32, &Path, &Path) -> Command> {
+    build: F,
+}
+
+impl<F: Fn(&CellId, u32, &Path, &Path) -> Command> ProcessLauncher<F> {
+    /// Wraps the command builder.
+    pub fn new(build: F) -> Self {
+        ProcessLauncher { build }
+    }
+}
+
+/// Handle to a spawned OS worker process.
+pub struct ProcessHandle {
+    child: Child,
+}
+
+impl WorkerHandle for ProcessHandle {
+    fn poll(&mut self) -> PollResult {
+        match self.child.try_wait() {
+            Ok(None) => PollResult::Running,
+            Ok(Some(status)) => {
+                PollResult::Exited { success: status.success(), detail: status.to_string() }
+            }
+            Err(e) => PollResult::Exited { success: false, detail: format!("wait failed: {e}") },
+        }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn worker_id(&self) -> u64 {
+        u64::from(self.child.id())
+    }
+}
+
+impl<F: Fn(&CellId, u32, &Path, &Path) -> Command> Launcher for ProcessLauncher<F> {
+    type Handle = ProcessHandle;
+
+    fn launch(
+        &self,
+        cell: &CellId,
+        attempt: u32,
+        out: &Path,
+        heartbeat: &Path,
+    ) -> Result<ProcessHandle, FleetError> {
+        let mut cmd = (self.build)(cell, attempt, out, heartbeat);
+        let child = cmd
+            .spawn()
+            .map_err(|e| FleetError::Spawn { cell: cell.to_string(), err: e.to_string() })?;
+        Ok(ProcessHandle { child })
+    }
+}
+
+/// One completed cell in a [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct CellDone {
+    /// The cell.
+    pub cell: CellId,
+    /// Its verified output body (trailer already stripped by the
+    /// caller's validator contract — the text is exactly what was
+    /// validated).
+    pub text: String,
+    /// Failures charged before the successful attempt (0 = first try).
+    pub attempts: u32,
+    /// Whether the cell was resumed from a previous run's ledger rather
+    /// than computed in this one.
+    pub resumed: bool,
+    /// Duration of the successful attempt, ms (0 for resumed cells).
+    pub dur_ms: u64,
+}
+
+/// What [`run_fleet`] achieved.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Completed cells, in deterministic (cell-order) sequence.
+    pub done: Vec<CellDone>,
+    /// Cells that exhausted their retry budget, with the last error.
+    /// Non-empty means the run **degraded**: merge what completed,
+    /// widen the confidence intervals, and say so.
+    pub incomplete: Vec<(CellId, String)>,
+    /// Workers spawned this run.
+    pub spawned: u64,
+    /// Failures charged this run (each implies a retry or a permanent
+    /// failure).
+    pub retries: u64,
+    /// Workers killed (deadline or stale heartbeat).
+    pub kills: u64,
+    /// `Done` cells resumed from a previous run without recomputation.
+    pub resumed_done: u64,
+    /// Previously-`Done` cells whose recorded output no longer
+    /// verified and had to be recomputed.
+    pub invalidated: u64,
+}
+
+impl FleetReport {
+    /// The one-line machine-greppable summary (CI asserts on
+    /// `recomputed=0` after a resume).
+    pub fn summary_line(&self) -> String {
+        let recomputed = self.done.iter().filter(|d| !d.resumed).count();
+        format!(
+            "fleet-summary: done={} incomplete={} resumed_done={} recomputed={} retries={} \
+             kills={} spawned={}",
+            self.done.len(),
+            self.incomplete.len(),
+            self.resumed_done,
+            recomputed,
+            self.retries,
+            self.kills,
+            self.spawned,
+        )
+    }
+}
+
+/// Per-cell timeout from observed durations: `p95 × mult` once at least
+/// three cells have completed, floored; the generous initial guess
+/// before that.
+fn cell_timeout_ms(cfg: &FleetConfig, durations: &[u64]) -> u64 {
+    if durations.len() < 3 {
+        return cfg.timeout_initial_ms.max(cfg.timeout_floor_ms);
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 * 0.95).ceil() as usize).clamp(1, sorted.len()) - 1;
+    let p95 = sorted[idx];
+    ((p95 as f64 * cfg.timeout_mult) as u64).max(cfg.timeout_floor_ms)
+}
+
+/// Capped exponential backoff with deterministic jitter: the jitter is
+/// hashed from (cell, attempt), so reruns reproduce their schedule and
+/// simultaneous failers do not re-arrive in lockstep.
+fn backoff_ms(cfg: &FleetConfig, cell: &CellId, attempts: u32) -> u64 {
+    let exp = cfg
+        .backoff_base_ms
+        .saturating_mul(1u64 << (attempts.saturating_sub(1)).min(20))
+        .min(cfg.backoff_cap_ms);
+    let jitter_span = cfg.backoff_base_ms / 2 + 1;
+    let jitter = fnv64(format!("{cell}\u{1f}{attempts}").as_bytes()) % jitter_span;
+    exp + jitter
+}
+
+fn mtime_ms(path: &Path) -> Option<u64> {
+    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+    modified
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .ok()
+        .map(|d| d.as_millis() as u64)
+}
+
+struct Active<H> {
+    cell: CellId,
+    handle: H,
+    out: PathBuf,
+    heartbeat: PathBuf,
+    started_ms: u64,
+    deadline_ms: u64,
+    attempt: u32,
+}
+
+/// Runs the fleet to quiescence: every cell `Done` or `Failed`.
+///
+/// `validate` receives a candidate output text and returns its digest
+/// when (and only when) the text is complete and well-formed — the same
+/// closure the [`Ledger`] used to re-verify resumed cells, so "done"
+/// means the same thing on every path. `resume` is the summary that
+/// `Ledger::open` returned, folded into the report. `log` receives
+/// human-readable progress lines (callers route it to stderr so stdout
+/// stays byte-comparable across chaos and clean runs).
+///
+/// # Errors
+///
+/// Infrastructure failures only ([`FleetError`]): an unwritable ledger,
+/// an unspawnable worker. Cell failures are *not* errors — they are
+/// retried and, past the budget, reported in
+/// [`FleetReport::incomplete`].
+pub fn run_fleet<L: Launcher>(
+    cfg: &FleetConfig,
+    ledger: &mut Ledger,
+    launcher: &L,
+    validate: &dyn Fn(&str) -> Result<u64, String>,
+    resume: ResumeSummary,
+    log: &mut dyn FnMut(&str),
+) -> Result<FleetReport, FleetError> {
+    let work_dir = ledger.path().parent().map(Path::to_path_buf).unwrap_or_default();
+    let mut active: Vec<Active<L::Handle>> = Vec::new();
+    let mut durations: Vec<u64> = Vec::new();
+    let mut completed_in_run: Vec<CellId> = Vec::new();
+    let mut spawned = 0u64;
+    let mut retries = 0u64;
+    let mut kills = 0u64;
+
+    // One failure path for every way a worker can disappoint us.
+    let charge = |ledger: &mut Ledger,
+                      cell: &CellId,
+                      attempt: u32,
+                      why: &str,
+                      retries: &mut u64,
+                      log: &mut dyn FnMut(&str)|
+     -> Result<(), FleetError> {
+        let attempts_after = attempt + 1;
+        let now = now_ms();
+        let not_before = now + backoff_ms(cfg, cell, attempts_after);
+        let permanent = ledger.fail(cell, why, not_before, cfg.max_retries)?;
+        *retries += 1;
+        if permanent {
+            log(&format!("cell {cell}: attempt {attempt} failed permanently: {why}"));
+        } else {
+            log(&format!(
+                "cell {cell}: attempt {attempt} failed ({why}); retry in {}ms",
+                not_before - now
+            ));
+        }
+        Ok(())
+    };
+
+    loop {
+        let now = now_ms();
+
+        // ---- Reap: exits, deadlines, stale heartbeats. -------------
+        let mut i = 0;
+        while i < active.len() {
+            let a = &mut active[i];
+            match a.handle.poll() {
+                PollResult::Exited { success: true, .. } => {
+                    let a = active.swap_remove(i);
+                    let finished = now_ms();
+                    match std::fs::read_to_string(&a.out) {
+                        Ok(text) => match validate(&text) {
+                            Ok(digest) => {
+                                let dur = finished.saturating_sub(a.started_ms);
+                                ledger.complete(&a.cell, digest, &a.out, dur, text)?;
+                                durations.push(dur);
+                                completed_in_run.push(a.cell.clone());
+                                log(&format!(
+                                    "cell {} done in {dur}ms (attempt {})",
+                                    a.cell, a.attempt
+                                ));
+                            }
+                            Err(why) => charge(
+                                ledger,
+                                &a.cell,
+                                a.attempt,
+                                &format!("output rejected: {why}"),
+                                &mut retries,
+                                log,
+                            )?,
+                        },
+                        Err(e) => charge(
+                            ledger,
+                            &a.cell,
+                            a.attempt,
+                            &format!("no output file: {e}"),
+                            &mut retries,
+                            log,
+                        )?,
+                    }
+                    continue;
+                }
+                PollResult::Exited { success: false, detail } => {
+                    // Exit status wins even if a parseable file exists:
+                    // the worker itself reported failure.
+                    let a = active.swap_remove(i);
+                    charge(
+                        ledger,
+                        &a.cell,
+                        a.attempt,
+                        &format!("worker exited abnormally ({detail})"),
+                        &mut retries,
+                        log,
+                    )?;
+                    continue;
+                }
+                PollResult::Running => {
+                    let hb_baseline = mtime_ms(&a.heartbeat).unwrap_or(0).max(a.started_ms);
+                    let stale = now.saturating_sub(hb_baseline) > cfg.heartbeat_stale_ms;
+                    if now >= a.deadline_ms || stale {
+                        let why = if stale {
+                            format!(
+                                "heartbeat stale for {}ms — presumed hung",
+                                now.saturating_sub(hb_baseline)
+                            )
+                        } else {
+                            format!(
+                                "cell deadline exceeded ({}ms)",
+                                a.deadline_ms.saturating_sub(a.started_ms)
+                            )
+                        };
+                        let mut a = active.swap_remove(i);
+                        a.handle.kill();
+                        kills += 1;
+                        charge(ledger, &a.cell, a.attempt, &why, &mut retries, log)?;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // ---- Launch: fill the pool from the ledger. ----------------
+        while active.len() < cfg.procs {
+            let Some(cell) = ledger.next_claimable(now) else { break };
+            let timeout = cell_timeout_ms(cfg, &durations);
+            let attempt_hint = match ledger.state(&cell)? {
+                CellState::Pending { attempts, .. } => *attempts,
+                CellState::Leased { attempt, .. } => *attempt,
+                _ => 0,
+            };
+            let stem = cell.file_stem();
+            let out = work_dir.join(format!("{stem}.cell.json"));
+            let heartbeat = work_dir.join(format!("{stem}.hb"));
+            // A fresh attempt must not inherit a stale heartbeat mtime
+            // or a previous attempt's output.
+            let _ = std::fs::remove_file(&heartbeat);
+            let _ = std::fs::remove_file(&out);
+            let handle = launcher.launch(&cell, attempt_hint, &out, &heartbeat)?;
+            let deadline = now + timeout;
+            let attempt = ledger.lease(&cell, handle.worker_id(), deadline, now)?;
+            spawned += 1;
+            log(&format!(
+                "cell {cell}: leased to worker {} (attempt {attempt}, timeout {timeout}ms)",
+                handle.worker_id()
+            ));
+            active.push(Active {
+                cell,
+                handle,
+                out,
+                heartbeat,
+                started_ms: now,
+                deadline_ms: deadline,
+                attempt,
+            });
+        }
+
+        // ---- Quiesce or sleep. -------------------------------------
+        if active.is_empty() {
+            if ledger.all_terminal() {
+                break;
+            }
+            // Nothing running and nothing claimable: cells are waiting
+            // out their retry backoff. Sleep until the earliest wakes.
+            match ledger.next_wakeup_ms(now) {
+                Some(at) => {
+                    std::thread::sleep(Duration::from_millis((at - now).clamp(1, 1000)))
+                }
+                None => break, // defensive: nothing can ever progress
+            }
+        } else {
+            std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+        }
+    }
+
+    // ---- Report. ---------------------------------------------------
+    let mut done = Vec::new();
+    let mut incomplete = Vec::new();
+    for cell in ledger.cells().cloned().collect::<Vec<_>>() {
+        match ledger.state(&cell)? {
+            CellState::Done { attempts, dur_ms, .. } => {
+                let resumed = !completed_in_run.contains(&cell);
+                done.push(CellDone {
+                    cell: cell.clone(),
+                    text: ledger.done_text(&cell).unwrap_or_default().to_owned(),
+                    attempts: *attempts,
+                    resumed,
+                    dur_ms: if resumed { 0 } else { *dur_ms },
+                });
+            }
+            CellState::Failed { last_error, .. } => {
+                incomplete.push((cell.clone(), last_error.clone()));
+            }
+            other => {
+                return Err(FleetError::BadTransition {
+                    cell: cell.to_string(),
+                    err: format!("non-terminal state {other:?} after quiescence"),
+                })
+            }
+        }
+    }
+    let report = FleetReport {
+        done,
+        incomplete,
+        spawned,
+        retries,
+        kills,
+        resumed_done: resume.resumed_done,
+        invalidated: resume.invalidated,
+    };
+    log(&report.summary_line());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    /// Scripted in-process "worker": decides per (cell, attempt) what to
+    /// leave on disk and how to exit, all instantly.
+    enum Script {
+        /// Write `validate`-passing output and exit 0.
+        Ok,
+        /// Exit nonzero (optionally leaving a valid file behind).
+        FailExit { leave_valid_file: bool },
+        /// Never exit, never heartbeat.
+        Hang,
+    }
+
+    struct TestLauncher {
+        scripts: RefCell<HashMap<(String, u32), Script>>,
+    }
+
+    struct TestHandle {
+        result: Option<PollResult>,
+        id: u64,
+    }
+
+    impl WorkerHandle for TestHandle {
+        fn poll(&mut self) -> PollResult {
+            self.result.clone().unwrap_or(PollResult::Running)
+        }
+        fn kill(&mut self) {
+            self.result =
+                Some(PollResult::Exited { success: false, detail: "killed".into() });
+        }
+        fn worker_id(&self) -> u64 {
+            self.id
+        }
+    }
+
+    impl Launcher for TestLauncher {
+        type Handle = TestHandle;
+        fn launch(
+            &self,
+            cell: &CellId,
+            attempt: u32,
+            out: &Path,
+            _hb: &Path,
+        ) -> Result<TestHandle, FleetError> {
+            let mut scripts = self.scripts.borrow_mut();
+            let script =
+                scripts.remove(&(cell.to_string(), attempt)).unwrap_or(Script::Ok);
+            let result = match script {
+                Script::Ok => {
+                    std::fs::write(out, format!("OUT {cell}\n")).expect("write out");
+                    Some(PollResult::Exited { success: true, detail: "ok".into() })
+                }
+                Script::FailExit { leave_valid_file } => {
+                    if leave_valid_file {
+                        std::fs::write(out, format!("OUT {cell}\n")).expect("write out");
+                    }
+                    Some(PollResult::Exited { success: false, detail: "exit 3".into() })
+                }
+                Script::Hang => None,
+            };
+            Ok(TestHandle { result, id: 1000 + u64::from(attempt) })
+        }
+    }
+
+    fn validate_out(text: &str) -> Result<u64, String> {
+        if text.starts_with("OUT ") {
+            Ok(fnv64(text.as_bytes()))
+        } else {
+            Err("not a worker output".into())
+        }
+    }
+
+    fn fast_cfg() -> FleetConfig {
+        FleetConfig {
+            procs: 2,
+            max_retries: 2,
+            timeout_floor_ms: 40,
+            timeout_initial_ms: 40,
+            timeout_mult: 4.0,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 8,
+            heartbeat_stale_ms: 30,
+            poll_ms: 1,
+        }
+    }
+
+    fn setup(tag: &str, cells: &[CellId]) -> (Ledger, ResumeSummary, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("sfetch-sup-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tmp");
+        let (ledger, resume) =
+            Ledger::open(dir.join("l.ledger"), 1, cells, now_ms(), &validate_out).expect("open");
+        (ledger, resume, dir)
+    }
+
+    fn run(
+        cfg: &FleetConfig,
+        ledger: &mut Ledger,
+        resume: ResumeSummary,
+        scripts: Vec<((&CellId, u32), Script)>,
+    ) -> FleetReport {
+        let launcher = TestLauncher {
+            scripts: RefCell::new(
+                scripts.into_iter().map(|((c, a), s)| ((c.to_string(), a), s)).collect(),
+            ),
+        };
+        run_fleet(cfg, ledger, &launcher, &validate_out, resume, &mut |_msg| {})
+            .expect("run_fleet")
+    }
+
+    #[test]
+    fn clean_run_completes_every_cell() {
+        let cells =
+            vec![CellId::new("a", 4, 0, 2), CellId::new("a", 8, 0, 2), CellId::new("b", 4, 0, 2)];
+        let (mut ledger, resume, dir) = setup("clean", &cells);
+        let report = run(&fast_cfg(), &mut ledger, resume, vec![]);
+        assert_eq!(report.done.len(), 3);
+        assert!(report.incomplete.is_empty());
+        assert_eq!(report.retries, 0);
+        assert!(report.done.iter().all(|d| !d.resumed && d.attempts == 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_attempt_is_retried_and_succeeds() {
+        let cells = vec![CellId::new("a", 4, 0, 2)];
+        let (mut ledger, resume, dir) = setup("retry", &cells);
+        let report = run(
+            &fast_cfg(),
+            &mut ledger,
+            resume,
+            vec![((&cells[0], 0), Script::FailExit { leave_valid_file: true })],
+        );
+        // Satellite: the valid file left by the failing exit must NOT
+        // have been trusted — the cell was retried.
+        assert_eq!(report.done.len(), 1);
+        assert_eq!(report.done[0].attempts, 1, "succeeded on the retry");
+        assert_eq!(report.retries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_gracefully() {
+        let cells = vec![CellId::new("bad", 4, 0, 2), CellId::new("good", 4, 0, 2)];
+        let (mut ledger, resume, dir) = setup("degrade", &cells);
+        let report = run(
+            &fast_cfg(), // max_retries = 2 → 3 attempts
+            &mut ledger,
+            resume,
+            vec![
+                ((&cells[0], 0), Script::FailExit { leave_valid_file: false }),
+                ((&cells[0], 1), Script::FailExit { leave_valid_file: false }),
+                ((&cells[0], 2), Script::FailExit { leave_valid_file: false }),
+            ],
+        );
+        assert_eq!(report.done.len(), 1, "the healthy cell still completes");
+        assert_eq!(report.done[0].cell, cells[1]);
+        assert_eq!(report.incomplete.len(), 1);
+        assert_eq!(report.incomplete[0].0, cells[0]);
+        assert!(report.summary_line().contains("incomplete=1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hung_worker_is_killed_and_cell_recovered() {
+        let cells = vec![CellId::new("slow", 4, 0, 2)];
+        let (mut ledger, resume, dir) = setup("hang", &cells);
+        let report =
+            run(&fast_cfg(), &mut ledger, resume, vec![((&cells[0], 0), Script::Hang)]);
+        assert_eq!(report.done.len(), 1, "recovered after the kill");
+        assert!(report.kills >= 1);
+        assert!(report.done[0].attempts >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timeout_adapts_to_observed_durations() {
+        let cfg = FleetConfig::new(2);
+        assert_eq!(cell_timeout_ms(&cfg, &[]), 600_000, "initial guess before data");
+        assert_eq!(cell_timeout_ms(&cfg, &[100, 200]), 600_000, "needs ≥ 3 samples");
+        // p95 of 20 samples 100..2000 is 1900; × 4 = 7600 < floor 20s.
+        let d: Vec<u64> = (1..=20).map(|i| i * 100).collect();
+        assert_eq!(cell_timeout_ms(&cfg, &d), cfg.timeout_floor_ms, "floor binds");
+        let d: Vec<u64> = (1..=20).map(|i| i * 10_000).collect();
+        assert_eq!(cell_timeout_ms(&cfg, &d), 190_000 * 4, "p95 × mult above the floor");
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let cfg = FleetConfig::new(2);
+        let cell = CellId::new("a", 4, 0, 2);
+        let b1 = backoff_ms(&cfg, &cell, 1);
+        let b2 = backoff_ms(&cfg, &cell, 2);
+        let b3 = backoff_ms(&cfg, &cell, 3);
+        assert!(b1 >= cfg.backoff_base_ms && b1 < 2 * cfg.backoff_base_ms);
+        assert!(b2 >= 2 * cfg.backoff_base_ms, "exponential growth");
+        assert!(b3 > b2);
+        let huge = backoff_ms(&cfg, &cell, 30);
+        assert!(huge <= cfg.backoff_cap_ms + cfg.backoff_base_ms / 2 + 1, "cap binds");
+        assert_eq!(b1, backoff_ms(&cfg, &cell, 1), "jitter is deterministic");
+        let other = CellId::new("b", 8, 0, 2);
+        // Not guaranteed distinct, but these two particular cells are.
+        assert_ne!(backoff_ms(&cfg, &cell, 1), backoff_ms(&cfg, &other, 1));
+    }
+}

@@ -1,0 +1,165 @@
+//! The end-of-file checksum trailer worker outputs carry.
+//!
+//! A worker that dies mid-write, a full disk, or an injected chaos
+//! fault can all leave a shard file that *looks* plausible but is
+//! short or mangled. Before this module the merge path would happily
+//! parse whatever point lines survived and merge the cell short. The
+//! trailer closes that hole: [`seal`] appends a final line recording
+//! the body's byte length and FNV-1a digest, and [`unseal`] refuses any
+//! file whose trailer is missing, malformed, or disagrees with the
+//! bytes — the supervisor then fails the cell and re-runs it.
+
+use std::fmt;
+
+/// Schema tag of the trailer line.
+pub const TRAILER_SCHEMA: &str = "sfetch-shard-trailer-v1";
+
+/// 64-bit FNV-1a over `bytes` — the fleet's output digest. Matches the
+/// classic parameters (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`); self-contained so the crate stays std-only.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why [`unseal`] rejected a worker output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrailerError {
+    /// No trailer line at all — the classic truncation signature.
+    Missing,
+    /// A trailer line exists but cannot be parsed.
+    Malformed(String),
+    /// The trailer's recorded body length disagrees with the bytes.
+    LengthMismatch {
+        /// Bytes the trailer claims the body has.
+        recorded: u64,
+        /// Bytes actually present before the trailer line.
+        actual: u64,
+    },
+    /// The body's digest disagrees with the trailer (corruption).
+    DigestMismatch,
+}
+
+impl fmt::Display for TrailerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrailerError::Missing => f.write_str("no checksum trailer (truncated file?)"),
+            TrailerError::Malformed(why) => write!(f, "malformed checksum trailer: {why}"),
+            TrailerError::LengthMismatch { recorded, actual } => write!(
+                f,
+                "trailer records a {recorded}-byte body but {actual} bytes are present \
+                 (truncated file)"
+            ),
+            TrailerError::DigestMismatch => {
+                f.write_str("body digest does not match the checksum trailer (corrupt file)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrailerError {}
+
+/// Appends the checksum trailer line to `body`, returning the complete
+/// file text a worker should write. The trailer is line-oriented:
+/// `body` must be empty or newline-terminated (every line-JSON shard
+/// body is), otherwise its last line and the trailer would fuse.
+pub fn seal(body: &str) -> String {
+    debug_assert!(
+        body.is_empty() || body.ends_with('\n'),
+        "seal() requires an empty or newline-terminated body"
+    );
+    format!(
+        "{body}{{\"trailer\": \"{TRAILER_SCHEMA}\", \"bytes\": {}, \"fnv\": {}}}\n",
+        body.len(),
+        fnv64(body.as_bytes())
+    )
+}
+
+/// Verifies `text`'s checksum trailer and returns the body (everything
+/// before the trailer line).
+///
+/// # Errors
+///
+/// Any missing, malformed, or disagreeing trailer — see
+/// [`TrailerError`]. Callers treat every variant the same way: the
+/// output is untrustworthy and the cell must be re-run.
+pub fn unseal(text: &str) -> Result<&str, TrailerError> {
+    // The trailer is the last newline-terminated line.
+    let stripped = text.strip_suffix('\n').ok_or(TrailerError::Missing)?;
+    let line_start = stripped.rfind('\n').map_or(0, |i| i + 1);
+    let line = &stripped[line_start..];
+    if !line.contains(TRAILER_SCHEMA) {
+        return Err(TrailerError::Missing);
+    }
+    let field = |key: &str| -> Result<u64, TrailerError> {
+        let tag = format!("\"{key}\": ");
+        let at = line
+            .find(&tag)
+            .ok_or_else(|| TrailerError::Malformed(format!("missing field {key:?}")))?
+            + tag.len();
+        let rest = &line[at..];
+        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .map_err(|e| TrailerError::Malformed(format!("field {key:?}: {e}")))
+    };
+    let recorded = field("bytes")?;
+    let digest = field("fnv")?;
+    let body = &text[..line_start];
+    if body.len() as u64 != recorded {
+        return Err(TrailerError::LengthMismatch { recorded, actual: body.len() as u64 });
+    }
+    if fnv64(body.as_bytes()) != digest {
+        return Err(TrailerError::DigestMismatch);
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        for body in ["", "one line\n", "{\"a\": 1}\n{\"b\": 2}\n"] {
+            let sealed = seal(body);
+            assert_eq!(unseal(&sealed).expect("roundtrip"), body);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let sealed = seal("{\"w\": 0}\n{\"w\": 1}\n{\"w\": 2}\n");
+        // Any strict prefix must be rejected: either the trailer line is
+        // gone entirely or its recorded length no longer matches.
+        for cut in 1..sealed.len() {
+            assert!(
+                unseal(&sealed[..cut]).is_err(),
+                "prefix of {cut} bytes must not verify"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let sealed = seal("{\"w\": 0, \"cycles\": 123}\n");
+        let mut bytes = sealed.clone().into_bytes();
+        // Flip one digit in the body, keeping the length unchanged.
+        let at = sealed.find("123").expect("payload digit");
+        bytes[at] = b'9';
+        let corrupt = String::from_utf8(bytes).expect("still utf-8");
+        assert_eq!(unseal(&corrupt), Err(TrailerError::DigestMismatch));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the digest function: ledger digests persist across runs,
+        // so the algorithm must never drift silently.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}
