@@ -17,8 +17,9 @@
 //!     [--bench phased] [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] \
 //!     [--engines all|…] [--widths all|…] [--store DIR] \
 //!     [--procs N] [--verify] [--chaos SEED] [--max-retries N] \
-//!     [--cell-timeout SECS] [--no-fleet] \
-//!     [--jobs N] [--legacy-scan] [--prefetch K]
+//!     [--cell-timeout SECS] [--no-fleet] [--spread-floor F] \
+//!     [--jobs N] [--legacy-scan] [--prefetch K] \
+//!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural]
 //! ```
 //!
 //! With `--procs N` the grid — windows × engines × widths — fans out
@@ -38,6 +39,14 @@
 //! interval; the closing lines report the 8-wide engine spread against
 //! the paper's ~3.5× (Fig. 8c) and the store traffic (how much
 //! fast-forward work was reused vs computed).
+//!
+//! By default each cell simulates its engine's **own** front-pipeline
+//! model and natural prefetch policy (`--front-pipeline engine
+//! --grid-prefetch natural`) — the Fig. 8 calibration this binary
+//! exists to measure; `--front-pipeline legacy --grid-prefetch shared`
+//! reproduces the historical shared-front grid bit-for-bit.
+//! `--spread-floor F` makes the run fail (exit 1) when the 8-wide
+//! engine spread falls below `F` — the CI calibration leg's guard.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -77,6 +86,7 @@ struct Args {
     max_retries: u32,
     cell_timeout: Option<u64>,
     no_fleet: bool,
+    spread_floor: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -92,6 +102,7 @@ fn parse_args() -> Args {
     let mut max_retries = 3u32;
     let mut cell_timeout = None;
     let mut no_fleet = false;
+    let mut spread_floor = None;
     let mut rest: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let take = |i: usize, what: &str| -> String {
@@ -151,6 +162,12 @@ fn parse_args() -> Args {
                 no_fleet = true;
                 i += 1;
             }
+            "--spread-floor" => {
+                spread_floor = Some(
+                    take(i, "--spread-floor").parse().expect("--spread-floor requires a ratio"),
+                );
+                i += 2;
+            }
             flag @ ("--legacy-scan" | "--long") => {
                 rest.push(flag.to_owned());
                 i += 1;
@@ -178,6 +195,7 @@ fn parse_args() -> Args {
         max_retries,
         cell_timeout,
         no_fleet,
+        spread_floor,
     }
 }
 
@@ -275,6 +293,10 @@ fn run_parent(a: &Args) -> ExitCode {
                     a.opts.grid_sample.to_spec().into(),
                     "--jobs".into(),
                     a.opts.jobs.to_string().into(),
+                    "--front-pipeline".into(),
+                    a.opts.front.as_str().into(),
+                    "--grid-prefetch".into(),
+                    a.opts.grid_prefetch.as_str().into(),
                 ];
                 if a.opts.legacy_scan {
                     args.push("--legacy-scan".into());
@@ -334,8 +356,34 @@ fn run_parent(a: &Args) -> ExitCode {
         println!("store kept at {} ({} entries)", store_dir.display(), store.entries());
     }
     let _ = std::fs::remove_dir_all(&tmp);
+
+    let mut floor_failed = false;
+    if let Some(floor) = a.spread_floor {
+        match spread_at_width(&runs, 8) {
+            Some((_, _, ratio)) if ratio >= floor => {
+                println!("spread floor OK: {ratio:.3}× >= {floor:.3}×");
+            }
+            Some((_, _, ratio)) => {
+                eprintln!(
+                    "error: 8-wide engine spread {ratio:.3}× is below the required floor \
+                     {floor:.3}× — the per-engine calibration regressed"
+                );
+                floor_failed = true;
+            }
+            None => {
+                eprintln!("error: --spread-floor needs >= 2 engines at width 8");
+                floor_failed = true;
+            }
+        }
+    }
     let _ = std::io::stdout().flush();
-    if degraded { ExitCode::from(2) } else { ExitCode::SUCCESS }
+    if floor_failed {
+        ExitCode::FAILURE
+    } else if degraded {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {

@@ -27,7 +27,8 @@
 //!     [--benches gzip,gcc,crafty,twolf,phased] [--engines all|…] \
 //!     [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] [--store DIR] \
 //!     [--procs N] [--chaos SEED] [--max-retries N] [--cell-timeout S] \
-//!     [--jobs N] [--legacy-scan] [--prefetch K]
+//!     [--jobs N] [--legacy-scan] [--prefetch K] \
+//!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural]
 //! ```
 
 use std::path::PathBuf;

@@ -38,13 +38,25 @@
 //! worker crashes, stalls, and corrupted shard files). The merged
 //! results are asserted byte-identical; the record is the wall-clock
 //! overhead the retries cost plus the supervisor's spawn/retry/kill
-//! accounting. Results go to stdout and to `BENCH_6.json` in the
-//! current directory, extending the repository's performance trajectory
-//! (`BENCH_1.json`: scan-based baseline; `BENCH_2.json`: event-driven
-//! back-end; `BENCH_3.json`: prefetch subsystem; `BENCH_4.json`:
-//! sampled simulation; `BENCH_5.json`: checkpoint store); see README.md
-//! for the `sfetch-perfstats-v6` schema — all v5 sections carry over
-//! unchanged.
+//! accounting.
+//!
+//! The v7 addition is the **`front_pipeline`** section: per engine, the
+//! golden-window cycle sums under that engine's own front-pipeline
+//! model ([`sfetch_fetch::FrontPipeline::for_engine`]) against the
+//! legacy shared front, with the model parameters and the
+//! stall-decomposition counters on the record. The `engines` section
+//! stays on the legacy front (Table 2 defaults), so its `sim_cycles`
+//! remain comparable to `BENCH_6.json`, and the `calibration_grid` now
+//! runs each cell under its engine's front model and natural prefetch
+//! policy (the `--front-pipeline` / `--grid-prefetch` defaults) — the
+//! Fig. 8 differentiation the per-engine models exist to recover.
+//! Results go to stdout and to `BENCH_7.json` in the current directory,
+//! extending the repository's performance trajectory (`BENCH_1.json`:
+//! scan-based baseline; `BENCH_2.json`: event-driven back-end;
+//! `BENCH_3.json`: prefetch subsystem; `BENCH_4.json`: sampled
+//! simulation; `BENCH_5.json`: checkpoint store; `BENCH_6.json`: fleet
+//! supervisor); see README.md for the `sfetch-perfstats-v7` schema —
+//! all v6 sections carry over unchanged.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin perfstats \
@@ -137,7 +149,7 @@ fn timed_run(
     insts: u64,
 ) -> (sfetch_core::SimStats, TimedLeg) {
     let image = w.image(LayoutChoice::Optimized);
-    let engine = kind.build_with_prefetch(pc.width, image.entry(), &pc.prefetch);
+    let engine = kind.build_for(pc.width, image.entry(), &pc.prefetch, &pc.front);
     let (stats, leg, _) = timed_run_engine(w, engine, pc, legacy_scan, warmup, insts);
     (stats, leg)
 }
@@ -167,6 +179,57 @@ fn measure_engine(workloads: &[Workload], kind: EngineKind, opts: HarnessOpts) -
         mips: simulated_insts as f64 / wall_s / 1e6,
         ns_per_cycle: measured_wall * 1e9 / sim_cycles as f64,
     }
+}
+
+/// One engine's row of the front-pipeline calibration record: the
+/// golden-window cycle sums under the engine's own front model vs the
+/// legacy shared front, plus the model parameters and the new
+/// stall-decomposition counters.
+struct FrontRow {
+    engine: EngineKind,
+    front: sfetch_fetch::FrontPipeline,
+    /// Summed `sim_cycles` over the ablation subset, per-engine front.
+    sim_cycles: u64,
+    /// The same sum under [`sfetch_fetch::FrontPipeline::legacy`] —
+    /// must match the `engines` section (and `BENCH_6.json`).
+    legacy_cycles: u64,
+    /// Summed redirect-penalty holds under the per-engine front.
+    hold_redirect_cycles: u64,
+    /// Summed decode-redirect holds under the per-engine front.
+    hold_decode_cycles: u64,
+    /// Summed shadow-branch installs under the per-engine front.
+    shadow_installs: u64,
+}
+
+/// Measures every engine at 8-wide optimized under its own front model
+/// and under the legacy front, on the same windows the `engines`
+/// section times. The legacy sums double as a cross-check that the
+/// front threading is exactly neutral at its neutral setting.
+fn measure_front_pipeline(workloads: &[Workload], opts: HarnessOpts) -> Vec<FrontRow> {
+    EngineKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let front = sfetch_fetch::FrontPipeline::for_engine(kind);
+            let run = |f: sfetch_fetch::FrontPipeline| {
+                par_map(workloads, opts.jobs, |_, w| {
+                    let mut pc = ProcessorConfig::table2(8);
+                    pc.front = f;
+                    timed_run(w, kind, pc, opts.legacy_scan, opts.warmup, opts.insts).0
+                })
+            };
+            let engine_stats = run(front);
+            let legacy_stats = run(sfetch_fetch::FrontPipeline::legacy());
+            FrontRow {
+                engine: kind,
+                front,
+                sim_cycles: engine_stats.iter().map(|s| s.cycles).sum(),
+                legacy_cycles: legacy_stats.iter().map(|s| s.cycles).sum(),
+                hold_redirect_cycles: engine_stats.iter().map(|s| s.hold_redirect_cycles).sum(),
+                hold_decode_cycles: engine_stats.iter().map(|s| s.hold_decode_cycles).sum(),
+                shadow_installs: engine_stats.iter().map(|s| s.engine.shadow_installs).sum(),
+            }
+        })
+        .collect()
 }
 
 /// Executor-only throughput: ns per committed instruction of the oracle walk
@@ -525,6 +588,36 @@ fn main() {
         rows.push(row);
     }
 
+    // Front-pipeline calibration: each engine under its own front model
+    // vs the legacy shared front, on the same windows as above.
+    let front_rows = measure_front_pipeline(&workloads, opts);
+    println!(
+        "\nfront pipeline (8-wide, per-engine model vs legacy shared front):\n\
+         {:<18} {:>5} {:>7} {:>7} {:>6} {:>12} {:>12} {:>8}",
+        "engine", "depth", "redir", "decode", "shadow", "cycles", "legacy", "Δcyc"
+    );
+    for r in &front_rows {
+        assert_eq!(
+            r.legacy_cycles,
+            rows.iter()
+                .find(|e| e.engine == r.engine.to_string())
+                .expect("engine row")
+                .sim_cycles,
+            "legacy front must reproduce the engines section bit-for-bit"
+        );
+        println!(
+            "{:<18} {:>5} {:>7} {:>7} {:>6} {:>12} {:>12} {:>7.2}%",
+            r.engine.to_string(),
+            r.front.depth,
+            r.front.redirect_penalty,
+            r.front.decode_redirect_lat,
+            r.front.shadow_decode,
+            r.sim_cycles,
+            r.legacy_cycles,
+            100.0 * (r.sim_cycles as f64 / r.legacy_cycles as f64 - 1.0)
+        );
+    }
+
     // gzip keeps the deepest average flight depth of the ablation subset,
     // so it is where the scan's O(rob)-per-cycle cost shows clearest.
     let large_w = &workloads[0];
@@ -676,6 +769,7 @@ fn main() {
         build_s,
         executor_ns_per_inst,
         &rows,
+        &front_rows,
         (large_w.name(), &event, &scan, speedup),
         (ab_w.name(), &ab_rows),
         (large_w.name(), &dec_on, &dec_off, dec_speedup, (dec_hits, dec_misses)),
@@ -684,8 +778,8 @@ fn main() {
         (phased_w.name(), &fleet),
         total_wall_s,
     );
-    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
-    println!("wrote BENCH_6.json");
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+    println!("wrote BENCH_7.json");
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -695,6 +789,7 @@ fn render_json(
     build_s: f64,
     executor_ns_per_inst: f64,
     rows: &[EngineRow],
+    front_rows: &[FrontRow],
     large_rob: (&str, &TimedLeg, &TimedLeg, f64),
     prefetch_ab: (&str, &[(EngineKind, PrefetchLeg, PrefetchLeg)]),
     redecode_ab: (&str, &TimedLeg, &TimedLeg, f64, (u64, u64)),
@@ -706,7 +801,7 @@ fn render_json(
     let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v6\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v7\",");
     let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
@@ -727,6 +822,28 @@ fn render_json(
             r.mips,
             r.ns_per_cycle,
             if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"front_pipeline\": [\n");
+    for (i, r) in front_rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"engine\": \"{}\", \"depth\": {}, \"redirect_penalty\": {}, \
+             \"decode_redirect_lat\": {}, \"shadow_decode\": {}, \"sim_cycles\": {}, \
+             \"legacy_cycles\": {}, \"hold_redirect_cycles\": {}, \"hold_decode_cycles\": {}, \
+             \"shadow_installs\": {}}}{}",
+            engine_key(r.engine),
+            r.front.depth,
+            r.front.redirect_penalty,
+            r.front.decode_redirect_lat,
+            r.front.shadow_decode,
+            r.sim_cycles,
+            r.legacy_cycles,
+            r.hold_redirect_cycles,
+            r.hold_decode_cycles,
+            r.shadow_installs,
+            if i + 1 < front_rows.len() { "," } else { "" }
         );
     }
     s.push_str("  ],\n");
@@ -842,6 +959,12 @@ fn render_json(
         s,
         "    \"bench\": \"{cg_bench}\", \"total_insts\": {}, \"windows\": {}, \"layout\": \"optimized\",",
         opts.grid_total, cg.windows
+    );
+    let _ = writeln!(
+        s,
+        "    \"front_pipeline\": \"{}\", \"grid_prefetch\": \"{}\",",
+        opts.front.as_str(),
+        opts.grid_prefetch.as_str()
     );
     let _ = writeln!(
         s,

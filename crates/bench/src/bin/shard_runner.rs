@@ -27,7 +27,8 @@
 //!     [--widths all|2,4,8] [--sample-total N] [--sample U,Wf,Wd,D[,Wm]] \
 //!     [--procs N] [--verify] [--store DIR] \
 //!     [--chaos SEED] [--max-retries N] [--cell-timeout SECS] [--no-fleet] \
-//!     [--jobs N] [--legacy-scan] [--prefetch K --mshrs N]
+//!     [--jobs N] [--legacy-scan] [--prefetch K --mshrs N] \
+//!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural]
 //! ```
 //!
 //! With `--store DIR` the checkpoints persist, so a later invocation —
@@ -278,6 +279,10 @@ fn run_parent(a: &ShardArgs) -> ExitCode {
                 a.opts.sample.to_spec().into(),
                 "--jobs".into(),
                 a.opts.jobs.to_string().into(),
+                "--front-pipeline".into(),
+                a.opts.front.as_str().into(),
+                "--grid-prefetch".into(),
+                a.opts.grid_prefetch.as_str().into(),
             ];
             // Forward the simulation-model flags so children build the
             // same processors the parent's verify leg does.

@@ -148,7 +148,7 @@ fn config_tag(spec: &FleetGridSpec<'_>) -> u64 {
         spec.grid.iter().map(|c| engine_key(c.engine)).collect::<Vec<_>>();
     let widths: Vec<String> = spec.grid.iter().map(|c| c.width.to_string()).collect();
     let key = format!(
-        "{GRID_SHARD_SCHEMA}|{}|{}|{}|{}|{}|legacy={}|pf={}:{}|chaos={:?}",
+        "{GRID_SHARD_SCHEMA}|{}|{}|{}|{}|{}|legacy={}|pf={}:{}|front={}|gridpf={}|chaos={:?}",
         spec.bench,
         spec.scfg.to_spec(),
         spec.total,
@@ -157,6 +157,8 @@ fn config_tag(spec: &FleetGridSpec<'_>) -> u64 {
         spec.opts.legacy_scan,
         spec.opts.prefetch.kind,
         spec.opts.prefetch.mshrs,
+        spec.opts.front.as_str(),
+        spec.opts.grid_prefetch.as_str(),
         spec.chaos,
     );
     fnv64(key.as_bytes())
@@ -230,7 +232,13 @@ pub fn run_fleet_grid(spec: &FleetGridSpec<'_>) -> Result<FleetGridOutcome, Flee
             .arg("--fleet-out")
             .arg(out)
             .arg("--fleet-heartbeat")
-            .arg(hb);
+            .arg(hb)
+            // Always explicit: the child's defaults must never decide
+            // the simulated front or prefetch model.
+            .arg("--fleet-front")
+            .arg(spec.opts.front.as_str())
+            .arg("--fleet-grid-prefetch")
+            .arg(spec.opts.grid_prefetch.as_str());
         if spec.opts.legacy_scan {
             cmd.arg("--fleet-legacy-scan");
         }
@@ -348,6 +356,14 @@ fn parse_child_args(args: &[String]) -> Result<ChildArgs, String> {
                 continue;
             }
             "--fleet-prefetch" => pf_kind = Some(take(i)?.clone()),
+            "--fleet-front" => {
+                opts.front = crate::FrontMode::parse(take(i)?)
+                    .ok_or_else(|| format!("bad --fleet-front {:?}", args[i + 1]))?
+            }
+            "--fleet-grid-prefetch" => {
+                opts.grid_prefetch = crate::GridPrefetchMode::parse(take(i)?)
+                    .ok_or_else(|| format!("bad --fleet-grid-prefetch {:?}", args[i + 1]))?
+            }
             "--fleet-mshrs" => {
                 mshrs = Some(take(i)?.parse().map_err(|e| format!("--fleet-mshrs: {e}"))?)
             }
@@ -494,6 +510,10 @@ mod tests {
             "/tmp/out.json",
             "--fleet-heartbeat",
             "/tmp/out.hb",
+            "--fleet-front",
+            "legacy",
+            "--fleet-grid-prefetch",
+            "shared",
             "--fleet-legacy-scan",
         ]
         .iter()
@@ -505,6 +525,8 @@ mod tests {
         assert_eq!(a.attempt, 1);
         assert_eq!(a.opts.jobs, 2);
         assert!(a.opts.legacy_scan);
+        assert_eq!(a.opts.front, crate::FrontMode::Legacy);
+        assert_eq!(a.opts.grid_prefetch, crate::GridPrefetchMode::Shared);
         assert!(parse_child_args(&args[2..]).is_err(), "missing --fleet-cell is an error");
     }
 

@@ -201,12 +201,27 @@ pub fn parse_widths(spec: &str) -> Result<Vec<usize>, GridError> {
         .collect()
 }
 
-/// The processor configuration of a grid cell under the harness options
-/// (Table 2 at the cell's width, honoring `--legacy-scan`/`--prefetch`).
+/// The processor configuration of a grid cell under the harness options:
+/// Table 2 at the cell's width, honoring `--legacy-scan`,
+/// `--front-pipeline` (the cell engine's front model under
+/// [`crate::FrontMode::PerEngine`]), and the cell's prefetch policy —
+/// `--prefetch` under [`crate::GridPrefetchMode::Shared`], the engine's
+/// [`sfetch_fetch::EngineKind::natural_prefetch`] under
+/// [`crate::GridPrefetchMode::Natural`].
+///
+/// The checkpoint store is content-addressed on the trace alone, so
+/// every (front, prefetch) variant of a cell reuses the same stored
+/// windows — sweeping these axes inside the grid is warm-store cheap.
 pub fn cell_config(cell: GridCell, opts: &HarnessOpts) -> ProcessorConfig {
     let mut pcfg = ProcessorConfig::table2(cell.width);
     pcfg.legacy_scan = opts.legacy_scan;
-    pcfg.prefetch = opts.prefetch;
+    pcfg.prefetch = match opts.grid_prefetch {
+        crate::GridPrefetchMode::Shared => opts.prefetch,
+        crate::GridPrefetchMode::Natural => {
+            sfetch_core::PrefetchConfig::enabled(cell.engine.natural_prefetch())
+        }
+    };
+    pcfg.front = opts.front.front_for(cell.engine);
     pcfg
 }
 

@@ -36,8 +36,8 @@
 use std::time::Instant;
 
 use sfetch_core::{
-    metrics::harmonic_mean, simulate, PrefetchConfig, PrefetchKind, Processor, ProcessorConfig,
-    SimStats,
+    metrics::harmonic_mean, simulate, FrontPipeline, PrefetchConfig, PrefetchKind, Processor,
+    ProcessorConfig, SimStats,
 };
 use sfetch_fetch::{EngineKind, FetchEngine};
 use sfetch_mem::MemoryConfig;
@@ -49,6 +49,85 @@ pub mod grid;
 pub mod progress;
 
 pub use progress::{GridProgress, Reporter};
+
+/// Which front-pipeline model the grids simulate
+/// (`--front-pipeline legacy|engine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontMode {
+    /// [`FrontPipeline::legacy`] for every engine — the pre-calibration
+    /// shared front end; bit-identical to the historical harness.
+    Legacy,
+    /// [`FrontPipeline::for_engine`]: each engine pays its own decode
+    /// depth, redirect penalty and decode-redirect bubble, and the
+    /// shadow-decode engines get their BTB/FTB shadow scan. The default:
+    /// this is the Fig. 8 calibration the grid exists to measure.
+    #[default]
+    PerEngine,
+}
+
+impl FrontMode {
+    /// Parses a `--front-pipeline` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "legacy" => Some(FrontMode::Legacy),
+            "engine" => Some(FrontMode::PerEngine),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (`legacy` / `engine`), round-tripping
+    /// [`FrontMode::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrontMode::Legacy => "legacy",
+            FrontMode::PerEngine => "engine",
+        }
+    }
+
+    /// The front pipeline this mode assigns to `engine`.
+    pub fn front_for(self, engine: EngineKind) -> FrontPipeline {
+        match self {
+            FrontMode::Legacy => FrontPipeline::legacy(),
+            FrontMode::PerEngine => FrontPipeline::for_engine(engine),
+        }
+    }
+}
+
+/// Which instruction-prefetch policy the **sampled calibration grid**
+/// assigns per cell (`--grid-prefetch shared|natural`). Distinct from
+/// the global [`HarnessOpts::prefetch`] so the A/B sweeps that compare
+/// one explicit policy across engines keep working unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridPrefetchMode {
+    /// Every cell runs [`HarnessOpts::prefetch`] (the historical
+    /// behavior; the default opts make that the blocking L1i).
+    Shared,
+    /// Each cell runs its engine's [`EngineKind::natural_prefetch`]
+    /// policy — the front ends compete at their best, as the paper's
+    /// configuration table intends. The default for the grid.
+    #[default]
+    Natural,
+}
+
+impl GridPrefetchMode {
+    /// Parses a `--grid-prefetch` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "shared" => Some(GridPrefetchMode::Shared),
+            "natural" => Some(GridPrefetchMode::Natural),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (`shared` / `natural`), round-tripping
+    /// [`GridPrefetchMode::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GridPrefetchMode::Shared => "shared",
+            GridPrefetchMode::Natural => "natural",
+        }
+    }
+}
 
 /// Command-line options shared by all harness binaries.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +163,16 @@ pub struct HarnessOpts {
     /// The calibration grid's sampling schedule (`--grid-sample
     /// U,Wf,Wd,D[,Wm]`; default [`grid::calibration_schedule`]).
     pub grid_sample: SampleConfig,
+    /// Front-pipeline model selection (`--front-pipeline
+    /// legacy|engine`). Applied by [`run_point`] and by the sampled
+    /// grid's [`grid::cell_config`]; `run_custom` ignores it (hand-built
+    /// ablation engines model their own organization).
+    pub front: FrontMode,
+    /// Per-cell prefetch policy of the sampled calibration grid
+    /// (`--grid-prefetch shared|natural`). Only [`grid::cell_config`]
+    /// reads it; the flat `run_point` grids keep honoring
+    /// [`HarnessOpts::prefetch`].
+    pub grid_prefetch: GridPrefetchMode,
 }
 
 impl Default for HarnessOpts {
@@ -99,6 +188,8 @@ impl Default for HarnessOpts {
             sample: SampleConfig::default(),
             grid_total: 50_000_000,
             grid_sample: grid::calibration_schedule(),
+            front: FrontMode::default(),
+            grid_prefetch: GridPrefetchMode::default(),
         }
     }
 }
@@ -107,8 +198,9 @@ impl HarnessOpts {
     /// Parses `--inst N`, `--warmup N`, `--jobs N`, `--legacy-scan`,
     /// `--prefetch KIND` (`none|next-line|stream|mana`), `--mshrs N`,
     /// `--long`, `--sample-total N`, `--sample U,Wf,Wd,D`,
-    /// `--grid-total N` and `--grid-sample U,Wf,Wd,D[,Wm]` from the
-    /// process arguments.
+    /// `--grid-total N`, `--grid-sample U,Wf,Wd,D[,Wm]`,
+    /// `--front-pipeline legacy|engine` and `--grid-prefetch
+    /// shared|natural` from the process arguments.
     ///
     /// # Panics
     ///
@@ -200,12 +292,27 @@ impl HarnessOpts {
                         .unwrap_or_else(|e| panic!("bad --grid-sample schedule: {e}"));
                     i += 2;
                 }
+                "--front-pipeline" => {
+                    o.front = args
+                        .get(i + 1)
+                        .and_then(|v| FrontMode::parse(v))
+                        .expect("--front-pipeline requires one of: legacy, engine");
+                    i += 2;
+                }
+                "--grid-prefetch" => {
+                    o.grid_prefetch = args
+                        .get(i + 1)
+                        .and_then(|v| GridPrefetchMode::parse(v))
+                        .expect("--grid-prefetch requires one of: shared, natural");
+                    i += 2;
+                }
                 other => {
                     panic!(
                         "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, \
                          --legacy-scan, --prefetch none|next-line|stream|mana, --mshrs N, \
                          --long, --sample-total N, --sample U,Wf,Wd,D, --grid-total N, \
-                         --grid-sample U,Wf,Wd,D"
+                         --grid-sample U,Wf,Wd,D, --front-pipeline legacy|engine, \
+                         --grid-prefetch shared|natural"
                     )
                 }
             }
@@ -251,6 +358,7 @@ pub fn run_point(
     let mut pc = ProcessorConfig::table2(width);
     pc.legacy_scan = opts.legacy_scan;
     pc.prefetch = opts.prefetch;
+    pc.front = opts.front.front_for(engine);
     let stats = simulate(w.cfg(), image, engine, pc, w.ref_seed(), opts.warmup, opts.insts);
     RunPoint { bench: w.name(), engine, layout, width, stats }
 }
@@ -444,5 +552,31 @@ mod tests {
         assert!(o.insts >= 100_000);
         assert!(o.warmup < o.insts);
         assert!(o.jobs >= 1);
+        // The calibration defaults: per-engine fronts competing at
+        // their natural prefetch policies.
+        assert_eq!(o.front, FrontMode::PerEngine);
+        assert_eq!(o.grid_prefetch, GridPrefetchMode::Natural);
+    }
+
+    #[test]
+    fn front_mode_flags_parse_and_round_trip() {
+        for m in [FrontMode::Legacy, FrontMode::PerEngine] {
+            assert_eq!(FrontMode::parse(m.as_str()), Some(m));
+        }
+        for m in [GridPrefetchMode::Shared, GridPrefetchMode::Natural] {
+            assert_eq!(GridPrefetchMode::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(FrontMode::parse("bogus"), None);
+        assert_eq!(GridPrefetchMode::parse("bogus"), None);
+        let o = HarnessOpts::from_arg_list(&[
+            "--front-pipeline".to_owned(),
+            "legacy".to_owned(),
+            "--grid-prefetch".to_owned(),
+            "shared".to_owned(),
+        ]);
+        assert_eq!(o.front, FrontMode::Legacy);
+        assert_eq!(o.grid_prefetch, GridPrefetchMode::Shared);
+        assert!(o.front.front_for(EngineKind::Ev8).is_legacy());
+        assert!(!FrontMode::PerEngine.front_for(EngineKind::Ev8).is_legacy());
     }
 }

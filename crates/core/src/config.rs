@@ -1,5 +1,6 @@
 //! Processor configuration (Table 2's "common settings").
 
+use sfetch_fetch::FrontPipeline;
 use sfetch_prefetch::PrefetchConfig;
 
 /// Back-end and pipeline parameters.
@@ -11,9 +12,13 @@ pub struct ProcessorConfig {
     pub depth: u32,
     /// Reorder-buffer capacity.
     pub rob_entries: usize,
-    /// Decode-stage redirect bubble for misfetches (unidentified direct
-    /// jumps discovered at decode).
-    pub decode_redirect_lat: u32,
+    /// Front-pipeline timing model: fetch→decode→rename depth, post-squash
+    /// redirect penalty, misfetch bubble, shadow-branch discovery. The
+    /// default ([`FrontPipeline::legacy`]) reproduces the shared pre-
+    /// per-engine model cycle-for-cycle;
+    /// [`FrontPipeline::for_engine`](sfetch_fetch::FrontPipeline::for_engine)
+    /// gives each engine the model its predictor organization implies.
+    pub front: FrontPipeline,
     /// Cycles of no forward progress before the watchdog force-resyncs the
     /// front-end (safety net; ~never fires in practice).
     pub watchdog_cycles: u64,
@@ -43,7 +48,7 @@ impl ProcessorConfig {
             width,
             depth: 16,
             rob_entries: (32 * width).max(64),
-            decode_redirect_lat: 3,
+            front: FrontPipeline::legacy(),
             watchdog_cycles: 10_000,
             legacy_scan: false,
             prefetch: PrefetchConfig::none(),
@@ -51,9 +56,13 @@ impl ProcessorConfig {
     }
 
     /// Front-pipeline latency: cycles from fetch to execute eligibility.
-    /// Four stages are reserved for issue/execute/commit.
+    /// The front model owns the nominal fetch→rename depth (the legacy
+    /// model's 12 = Table 2's 16-deep pipe minus four
+    /// issue/execute/commit stages); deviations of [`Self::depth`] from
+    /// the nominal 16 shift it, so depth sweeps keep working under any
+    /// front model.
     pub fn front_latency(&self) -> u32 {
-        self.depth.saturating_sub(4).max(1)
+        (self.front.depth + self.depth).saturating_sub(16).max(1)
     }
 }
 
@@ -79,6 +88,22 @@ mod tests {
         let c = ProcessorConfig::table2(8);
         assert_eq!(c.front_latency(), 12);
         assert_eq!(c.depth, 16);
+        assert!(c.front.is_legacy(), "table2 defaults to the neutral front pipeline");
+    }
+
+    #[test]
+    fn front_latency_follows_the_front_model() {
+        let mut c = ProcessorConfig::table2(8);
+        c.front.depth = 7;
+        assert_eq!(c.front_latency(), 7);
+        c.front.depth = 0;
+        assert_eq!(c.front_latency(), 1, "depth is clamped to at least one stage");
+        // Pipe-depth sweeps still shift the latency under any front model.
+        c.front.depth = 12;
+        c.depth = 24;
+        assert_eq!(c.front_latency(), 20);
+        c.depth = 8;
+        assert_eq!(c.front_latency(), 4);
     }
 
     #[test]

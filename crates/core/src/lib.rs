@@ -53,5 +53,6 @@ pub use config::ProcessorConfig;
 pub use metrics::SimStats;
 pub use processor::Processor;
 pub use scheduler::EventScheduler;
+pub use sfetch_fetch::FrontPipeline;
 pub use sfetch_prefetch::{PrefetchConfig, PrefetchKind};
 pub use sim::simulate;

@@ -40,6 +40,21 @@ pub struct SimStats {
     pub mispred_other: u64,
     /// Watchdog resynchronizations (should be ~0; counted for honesty).
     pub watchdog_resyncs: u64,
+    /// Cycles the fetch stage was held by a front-pipeline redirect of
+    /// either kind. Decomposes exactly as `hold_decode_cycles +
+    /// hold_redirect_cycles` (asserted by the stall-accounting proptest).
+    pub fetch_hold_cycles: u64,
+    /// Subset of [`SimStats::fetch_hold_cycles`]: decode-redirect
+    /// (misfetch) bubbles.
+    pub hold_decode_cycles: u64,
+    /// Subset of [`SimStats::fetch_hold_cycles`]: post-squash redirect
+    /// penalties ([`sfetch_fetch::FrontPipeline::redirect_penalty`]; zero
+    /// under the legacy front pipeline).
+    pub hold_redirect_cycles: u64,
+    /// Execute-time squashes that charged a redirect penalty (one per
+    /// misprediction recovery when the penalty is non-zero; watchdog
+    /// resyncs never charge).
+    pub redirect_penalties: u64,
     /// Front-end statistics.
     pub engine: FetchEngineStats,
     /// L1 instruction cache statistics.

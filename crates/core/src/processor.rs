@@ -72,6 +72,7 @@ pub struct Processor<'a> {
     on_correct: bool,
     recovery: Option<Recovery>,
     fetch_hold_until: u64,
+    redirect_hold_until: u64,
     now: u64,
     last_progress: u64,
     last_cp: Checkpoint,
@@ -195,6 +196,7 @@ impl<'a> Processor<'a> {
             on_correct: true,
             recovery: None,
             fetch_hold_until: 0,
+            redirect_hold_until: 0,
             now: 0,
             last_progress: 0,
             last_cp: Checkpoint::default(),
@@ -544,6 +546,15 @@ impl<'a> Processor<'a> {
             self.rob.pop_back();
         }
         self.engine.redirect(self.now, r.target, &r.cp, &r.resolved);
+        // Front-pipeline recovery cost: hold fetch for the engine's
+        // post-squash redirect penalty (history/RAS repair, overriding-
+        // cascade re-steer, fill-unit flush). Zero under the legacy model
+        // keeps `redirect_hold_until` at 0 — bit-identical behavior.
+        let penalty = self.config.front.redirect_penalty;
+        if penalty > 0 {
+            self.redirect_hold_until = self.now + u64::from(penalty);
+            self.stats.redirect_penalties += 1;
+        }
         self.stats.mispredictions += 1;
         match r.resolved.kind {
             Some(BranchKind::Cond) => self.stats.mispred_cond += 1,
@@ -558,7 +569,18 @@ impl<'a> Processor<'a> {
     }
 
     fn fetch_stage(&mut self) {
-        if self.now < self.fetch_hold_until {
+        // Front-pipeline holds, with the stall decomposition: every held
+        // cycle is attributed to exactly one cause (redirect penalties
+        // take precedence when both overlap), so `hold_decode_cycles +
+        // hold_redirect_cycles == fetch_hold_cycles` by construction.
+        let held_redirect = self.now < self.redirect_hold_until;
+        if held_redirect || self.now < self.fetch_hold_until {
+            self.stats.fetch_hold_cycles += 1;
+            if held_redirect {
+                self.stats.hold_redirect_cycles += 1;
+            } else {
+                self.stats.hold_decode_cycles += 1;
+            }
             return;
         }
         if self.rob.len() + self.config.width > self.config.rob_entries {
@@ -653,7 +675,7 @@ impl<'a> Processor<'a> {
 
     fn decode_redirect(&mut self, cp: Checkpoint, target: Addr, resolved: ResolvedBranch) {
         self.engine.redirect(self.now, target, &cp, &resolved);
-        self.fetch_hold_until = self.now + u64::from(self.config.decode_redirect_lat);
+        self.fetch_hold_until = self.now + u64::from(self.config.front.decode_redirect_lat);
     }
 
     fn push_rob(&mut self, fi: FetchedInst, oracle: Option<DynInst>, anchor: bool, misfetch: bool) {
@@ -736,6 +758,7 @@ fn diff_engine(cur: FetchEngineStats, base: FetchEngineStats) -> FetchEngineStat
         stall_l2_cycles: cur.stall_l2_cycles - base.stall_l2_cycles,
         stall_mem_cycles: cur.stall_mem_cycles - base.stall_mem_cycles,
         stall_mshr_cycles: cur.stall_mshr_cycles - base.stall_mshr_cycles,
+        shadow_installs: cur.shadow_installs - base.shadow_installs,
     }
 }
 

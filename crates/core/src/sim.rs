@@ -34,7 +34,7 @@ pub fn simulate(
     warmup: u64,
     insts: u64,
 ) -> SimStats {
-    let engine = kind.build_with_prefetch(config.width, image.entry(), &config.prefetch);
+    let engine = kind.build_for(config.width, image.entry(), &config.prefetch, &config.front);
     let mut p = Processor::new(config, engine, cfg, image, seed);
     p.run(warmup);
     p.reset_stats();

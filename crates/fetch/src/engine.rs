@@ -33,6 +33,11 @@ pub struct FetchEngineStats {
     /// Cycles a demand miss could not start its fill for want of a free
     /// MSHR (non-blocking miss pipeline only).
     pub stall_mshr_cycles: u64,
+    /// Branch-structure entries pre-installed by decode-time shadow-branch
+    /// discovery ([`crate::front::FrontPipeline::shadow_decode`]): direct
+    /// unconditional branches found in the fetched-but-unconsumed
+    /// remainder of a line/fetch group. Zero when shadow decode is off.
+    pub shadow_installs: u64,
 }
 
 impl FetchEngineStats {
@@ -149,24 +154,47 @@ impl EngineKind {
 
     /// Builds the engine with an I-cache prefetch configuration attached.
     /// `PrefetchConfig::none()` is identical to [`EngineKind::build`].
+    /// Uses the neutral [`crate::front::FrontPipeline::legacy`] front
+    /// pipeline (shadow-branch discovery off).
     pub fn build_with_prefetch(
         self,
         width: usize,
         entry: Addr,
         pf: &sfetch_prefetch::PrefetchConfig,
     ) -> Box<dyn FetchEngine> {
+        self.build_for(width, entry, pf, &crate::front::FrontPipeline::legacy())
+    }
+
+    /// Builds the engine with a prefetch configuration and a front-pipeline
+    /// model. The [`crate::front::FrontPipeline`]'s timing knobs (depth,
+    /// redirect penalty, misfetch bubble) live in the processor; the
+    /// engine itself consumes only the shadow-branch-discovery switch.
+    pub fn build_for(
+        self,
+        width: usize,
+        entry: Addr,
+        pf: &sfetch_prefetch::PrefetchConfig,
+        front: &crate::front::FrontPipeline,
+    ) -> Box<dyn FetchEngine> {
         match self {
             EngineKind::Stream => {
+                // Streams end at taken branches by construction, so there is
+                // no shadow region to mine — the stream engine has no
+                // shadow-decode hook.
                 Box::new(crate::stream::StreamEngine::table2(width, entry).with_prefetch(pf))
             }
-            EngineKind::Ev8 => {
-                Box::new(crate::ev8::Ev8Engine::table2(width, entry).with_prefetch(pf))
-            }
-            EngineKind::Ftb => {
-                Box::new(crate::ftb_engine::FtbEngine::table2(width, entry).with_prefetch(pf))
-            }
+            EngineKind::Ev8 => Box::new(
+                crate::ev8::Ev8Engine::table2(width, entry).with_prefetch(pf).with_front(front),
+            ),
+            EngineKind::Ftb => Box::new(
+                crate::ftb_engine::FtbEngine::table2(width, entry)
+                    .with_prefetch(pf)
+                    .with_front(front),
+            ),
             EngineKind::TraceCache => Box::new(
-                crate::trace_cache::TraceCacheEngine::table2(width, entry).with_prefetch(pf),
+                crate::trace_cache::TraceCacheEngine::table2(width, entry)
+                    .with_prefetch(pf)
+                    .with_front(front),
             ),
         }
     }

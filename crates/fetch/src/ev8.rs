@@ -18,6 +18,7 @@ use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
 use crate::engine::{FetchEngine, FetchEngineStats};
+use crate::front::FrontPipeline;
 use crate::port::IcachePort;
 
 /// The EV8-style fetch engine.
@@ -30,6 +31,7 @@ pub struct Ev8Engine {
     ghist: GlobalHistory,
     pc: Addr,
     port: IcachePort,
+    shadow: bool,
     stats: FetchEngineStats,
 }
 
@@ -45,6 +47,7 @@ impl Ev8Engine {
             ghist: GlobalHistory::new(),
             pc: entry,
             port: IcachePort::blocking(),
+            shadow: false,
             stats: FetchEngineStats::default(),
         }
     }
@@ -55,6 +58,37 @@ impl Ev8Engine {
     pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
         self.port = IcachePort::from_config(pf);
         self
+    }
+
+    /// Applies a front-pipeline model (builder-style). The engine consumes
+    /// only the shadow-branch-discovery switch; the timing knobs live in
+    /// the processor.
+    pub fn with_front(mut self, front: &FrontPipeline) -> Self {
+        self.shadow = front.shadow_decode;
+        self
+    }
+
+    /// Decode-time shadow-branch discovery: the whole aligned fetch group
+    /// was read from the I-cache, so decode can see the instructions past
+    /// the group's exit point. Pre-install direct unconditional branches
+    /// (always taken, statically-known target — exactly the class whose
+    /// first encounter otherwise costs a misfetch) found there into the
+    /// BTB. `probe` first so already-resident entries keep their LRU state.
+    fn shadow_scan(&mut self, image: &CodeImage, mut pc: Addr, end: Addr) {
+        while pc < end {
+            let Some(ii) = image.inst_at(pc) else { break };
+            if let Some(attr) = ii.control {
+                if matches!(attr.kind, BranchKind::Jump | BranchKind::Call) {
+                    if let Some(target) = attr.target {
+                        if self.btb.probe(pc).is_none() {
+                            self.btb.update(pc, target, attr.kind);
+                            self.stats.shadow_installs += 1;
+                        }
+                    }
+                }
+            }
+            pc = pc.next_inst();
+        }
     }
 
     fn drive_prefetch(&mut self, now: u64, mem: &mut MemoryHierarchy) {
@@ -105,6 +139,7 @@ impl FetchEngine for Ev8Engine {
             (group_start.get() / group_bytes + 1) * group_bytes,
         );
         let mut delivered = 0u64;
+        let mut scan_from = group_start;
         while delivered < self.width as u64 {
             let pc = self.pc;
             if delivered > 0 && pc >= group_end {
@@ -114,6 +149,7 @@ impl FetchEngine for Ev8Engine {
                 // Wrong path off the image: idle until redirect.
                 break;
             };
+            scan_from = pc.next_inst();
             if ii.control.is_none() {
                 out.push(FetchedInst { pc, inst: ii.inst, pred: None, cp: Checkpoint::default() });
                 self.pc = pc.next_inst();
@@ -220,6 +256,9 @@ impl FetchEngine for Ev8Engine {
         if delivered > 0 {
             self.stats.units += 1;
             self.stats.unit_insts += delivered;
+            if self.shadow {
+                self.shadow_scan(image, scan_from, group_end);
+            }
         }
     }
 

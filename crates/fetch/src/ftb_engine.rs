@@ -21,6 +21,7 @@ use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
 use crate::engine::{FetchEngine, FetchEngineStats};
+use crate::front::FrontPipeline;
 use crate::ftq::{FetchRequest, Ftq};
 use crate::port::IcachePort;
 
@@ -51,6 +52,7 @@ pub struct FtbEngine {
     builder: BlockBuilder,
     /// Reusable lookahead scratch for the prefetch drive stage.
     la_buf: Vec<(Addr, u32)>,
+    shadow: bool,
     stats: FetchEngineStats,
 }
 
@@ -70,6 +72,7 @@ impl FtbEngine {
             taken_ever: HashSet::new(),
             builder: BlockBuilder::default(),
             la_buf: Vec::with_capacity(4),
+            shadow: false,
             stats: FetchEngineStats::default(),
         }
     }
@@ -78,6 +81,40 @@ impl FtbEngine {
     pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
         self.port = IcachePort::from_config(pf);
         self
+    }
+
+    /// Applies a front-pipeline model (builder-style). The engine consumes
+    /// only the shadow-branch-discovery switch; the timing knobs live in
+    /// the processor.
+    pub fn with_front(mut self, front: &FrontPipeline) -> Self {
+        self.shadow = front.shadow_decode;
+        self
+    }
+
+    /// Decode-time shadow-branch discovery on a sequential (FTB-miss)
+    /// fetch: the whole line region was read from the I-cache, so decode
+    /// can see a direct unconditional branch before it executes. Install
+    /// the fetch block it terminates, so the *next* lookup at `start`
+    /// predicts it instead of misfetching — one encounter earlier than the
+    /// commit-side builder learns it. `probe` keeps resident entries' LRU
+    /// state untouched; commit-side training corrects the entry if an
+    /// earlier embedded conditional turns out taken.
+    fn shadow_scan(&mut self, image: &CodeImage, start: Addr, len: u32) {
+        if self.ftb.probe(start).is_some() {
+            return;
+        }
+        for i in 0..len {
+            let pc = start.offset_insts(u64::from(i));
+            let Some(ii) = image.inst_at(pc) else { return };
+            let Some(attr) = ii.control else { continue };
+            if matches!(attr.kind, BranchKind::Jump | BranchKind::Call) {
+                if let Some(target) = attr.target {
+                    self.ftb.update(start, FtbEntry { len: i + 1, kind: attr.kind, target });
+                    self.stats.shadow_installs += 1;
+                }
+                return;
+            }
+        }
     }
 
     /// Prefetch drive stage over the FTQ occupancy + prediction cursor.
@@ -226,6 +263,12 @@ impl FetchEngine for FtbEngine {
             });
             let cp = if is_term { req.cp_term } else { req.cp_embedded };
             out.push(FetchedInst { pc, inst: ii.inst, pred, cp });
+        }
+        if self.shadow && !req.predicted && req.cur == req.start {
+            // First delivery chunk of an unpredicted sequential request:
+            // decode sees the whole fetched region — mine it for shadow
+            // branches.
+            self.shadow_scan(image, req.start, req.remaining);
         }
         let head = self.ftq.head().expect("head exists");
         head.consume(k);

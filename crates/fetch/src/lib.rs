@@ -31,6 +31,7 @@ pub mod bundle;
 pub mod decode;
 pub mod engine;
 pub mod ev8;
+pub mod front;
 pub mod ftb_engine;
 pub mod ftq;
 pub mod port;
@@ -43,6 +44,7 @@ pub use bundle::{
 pub use decode::{DecodeCache, DecodedInst};
 pub use engine::{EngineKind, FetchEngine, FetchEngineStats};
 pub use ev8::Ev8Engine;
+pub use front::FrontPipeline;
 pub use ftb_engine::FtbEngine;
 pub use ftq::{FetchRequest, Ftq};
 pub use port::IcachePort;

@@ -29,6 +29,7 @@ use crate::bundle::{
     BranchPrediction, Checkpoint, CommittedInst, FetchedInst, ResolvedBranch,
 };
 use crate::engine::{FetchEngine, FetchEngineStats};
+use crate::front::FrontPipeline;
 use crate::port::IcachePort;
 
 /// Maximum trace length in instructions (16-wide trace lines).
@@ -100,6 +101,7 @@ pub struct TraceCacheEngine {
     /// aligned with the retired one across trace-predictor misses.
     spec_fill: Option<(Addr, u8, u8)>,
     selective: bool,
+    shadow: bool,
     stats: FetchEngineStats,
 }
 
@@ -128,6 +130,7 @@ impl TraceCacheEngine {
             fill: FillUnit::default(),
             spec_fill: None,
             selective,
+            shadow: false,
             stats: FetchEngineStats::default(),
         }
     }
@@ -138,6 +141,37 @@ impl TraceCacheEngine {
     pub fn with_prefetch(mut self, pf: &PrefetchConfig) -> Self {
         self.port = IcachePort::from_config(pf);
         self
+    }
+
+    /// Applies a front-pipeline model (builder-style). The engine consumes
+    /// only the shadow-branch-discovery switch; the timing knobs live in
+    /// the processor.
+    pub fn with_front(mut self, front: &FrontPipeline) -> Self {
+        self.shadow = front.shadow_decode;
+        self
+    }
+
+    /// Decode-time shadow-branch discovery on the backup path: the whole
+    /// I-cache line was read, so decode can see direct unconditional
+    /// branches past the block's exit point. Pre-install them into the
+    /// backup BTB so their first encounter doesn't misfetch. `probe` first
+    /// keeps already-resident entries' LRU state untouched. Trace-path
+    /// deliveries carry exact recorded paths and need no discovery.
+    fn shadow_scan(&mut self, image: &CodeImage, mut pc: Addr, line_base: Addr, line: u64) {
+        while pc.line_base(line) == line_base {
+            let Some(ii) = image.inst_at(pc) else { break };
+            if let Some(attr) = ii.control {
+                if matches!(attr.kind, BranchKind::Jump | BranchKind::Call) {
+                    if let Some(target) = attr.target {
+                        if self.backup_btb.probe(pc).is_none() {
+                            self.backup_btb.update(pc, target, attr.kind);
+                            self.stats.shadow_installs += 1;
+                        }
+                    }
+                }
+            }
+            pc = pc.next_inst();
+        }
     }
 
     fn drive_prefetch(&mut self, now: u64, mem: &mut MemoryHierarchy) {
@@ -331,12 +365,14 @@ impl TraceCacheEngine {
         let line = mem.l1i_line_bytes();
         let start = self.pc;
         let mut delivered = 0u64;
+        let mut scan_from = start;
         while delivered < self.width as u64 {
             let pc = self.pc;
             if delivered > 0 && pc.line_base(line) != start.line_base(line) {
                 break;
             }
             let Some(ii) = image.inst_at(pc) else { break };
+            scan_from = pc.next_inst();
             let Some(attr) = ii.control else {
                 out.push(FetchedInst { pc, inst: ii.inst, pred: None, cp: self.current_cp() });
                 self.spec_fill_step(pc, None);
@@ -399,6 +435,9 @@ impl TraceCacheEngine {
         if delivered > 0 {
             self.stats.units += 1;
             self.stats.unit_insts += delivered;
+            if self.shadow {
+                self.shadow_scan(image, scan_from, start.line_base(line), line);
+            }
         }
     }
 

@@ -302,7 +302,7 @@ fn simulate_window<'a>(
     capture_post: bool,
 ) -> (SimStats, Option<Executor<'a>>) {
     let mut mem = MemoryHierarchy::new(MemoryConfig::table2(pcfg.width));
-    let mut engine = kind.build_with_prefetch(pcfg.width, exec.pc(), &pcfg.prefetch);
+    let mut engine = kind.build_for(pcfg.width, exec.pc(), &pcfg.prefetch, &pcfg.front);
     let line_bytes = mem.l1i_line_bytes();
     let mem_from = scfg.warm_func - scfg.warm_mem;
     let mut last_line = u64::MAX;
@@ -388,7 +388,7 @@ pub fn run_full_detailed(
     warmup: u64,
     insts: u64,
 ) -> SimStats {
-    let engine = kind.build_with_prefetch(pcfg.width, image.entry(), &pcfg.prefetch);
+    let engine = kind.build_for(pcfg.width, image.entry(), &pcfg.prefetch, &pcfg.front);
     let mem = MemoryHierarchy::new(MemoryConfig::table2(pcfg.width));
     let mut p = Processor::with_state(pcfg, engine, image, Executor::from_image(image, seed), mem);
     p.run(warmup);

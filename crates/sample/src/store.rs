@@ -532,6 +532,45 @@ mod tests {
         let _ = std::fs::remove_dir_all(store.root());
     }
 
+    /// Checkpoints are content-addressed on the trace alone, never on
+    /// the simulated configuration — so a store populated by one grid
+    /// cell serves *every* other cell of the same benchmark warm. This
+    /// is what makes calibration-grid axis sweeps (engine × width ×
+    /// front model × prefetch policy) cheap: only the first cell pays
+    /// the fast-forward cost.
+    #[test]
+    fn checkpoints_are_config_independent_across_grid_cells() {
+        let img = image();
+        let scfg = quick_cfg();
+        let store = tmp_store("xconfig");
+        let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+
+        // Populate with one cell: Stream engine, 4-wide, legacy front,
+        // no prefetch.
+        let mut first = StoredSampler::new(&img, fp, 7, scfg, &store);
+        let _ = first.run_range(EngineKind::Stream, ProcessorConfig::table2(4), 0..4, 1);
+        assert_eq!(first.stats().misses, 4, "first cell computes every checkpoint");
+
+        // A maximally different cell: EV8 engine, 8-wide, its own front
+        // model, its natural prefetch policy enabled.
+        let mut pcfg = ProcessorConfig::table2(8);
+        pcfg.front = sfetch_core::FrontPipeline::for_engine(EngineKind::Ev8);
+        pcfg.prefetch =
+            sfetch_core::PrefetchConfig::enabled(EngineKind::Ev8.natural_prefetch());
+
+        let mut warm = StoredSampler::new(&img, fp, 7, scfg, &store);
+        let got = warm.run_range(EngineKind::Ev8, pcfg, 0..4, 1);
+        assert_eq!(warm.stats().misses, 0, "cross-config cell must recompute nothing");
+        assert_eq!(warm.stats().hits, 4, "cross-config cell resumes fully warm");
+
+        // And the warm-store points are bit-identical to a live sampler
+        // running the same cell with no store at all.
+        let mut live = crate::Sampler::new(&img, EngineKind::Ev8, pcfg, scfg, 7);
+        let want = live.run(4);
+        assert_eq!(want, got, "warm-store windows must match the live sampler");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
     #[test]
     fn out_of_order_windows_restart_from_nearest_stored_state() {
         let img = image();

@@ -1,0 +1,209 @@
+//! The per-engine front-pipeline model's contracts:
+//!
+//! * **`FrontPipeline::legacy()` lockstep** — engines built through the
+//!   front-aware constructor with the neutral model match the pre-front
+//!   construction path cycle-for-cycle, on generated programs and on
+//!   the full seed-suite subset (complete [`SimStats`] equality): the
+//!   threading refactor is exactly neutral at its neutral setting.
+//! * **Stall accounting** — under *random* front models, the fetch-hold
+//!   decomposition sums exactly (`hold_decode_cycles +
+//!   hold_redirect_cycles == fetch_hold_cycles`), redirect penalties
+//!   are charged once per execute-time squash and never under a zero
+//!   penalty, and the event-driven back-end stays bit-identical to the
+//!   legacy scan oracle (proptests).
+//! * **The models differentiate** — each engine's own front model moves
+//!   its cycle count off the legacy shared front (EV8's deeper,
+//!   penalized front strictly costs cycles), and the shadow-decode
+//!   engines actually install shadow branches.
+
+use proptest::prelude::*;
+
+use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+use sfetch_cfg::{layout, CodeImage};
+use sfetch_core::{FrontPipeline, Processor, ProcessorConfig, SimStats};
+use sfetch_fetch::EngineKind;
+use sfetch_workloads::{LayoutChoice, Suite};
+
+/// Runs `insts` committed instructions (no warmup/reset) with an
+/// explicit front model and back-end selection.
+fn run_with_front(
+    cfg: &sfetch_cfg::Cfg,
+    image: &CodeImage,
+    kind: EngineKind,
+    front: FrontPipeline,
+    legacy_scan: bool,
+    seed: u64,
+    insts: u64,
+) -> SimStats {
+    let mut pc = ProcessorConfig::table2(4);
+    pc.front = front;
+    pc.legacy_scan = legacy_scan;
+    let engine = kind.build_for(4, image.entry(), &pc.prefetch, &front);
+    let mut p = Processor::new(pc, engine, cfg, image, seed);
+    p.run(insts);
+    p.stats()
+}
+
+/// The neutral front model must reproduce the pre-front construction
+/// path (`build_with_prefetch`, no `with_front`) cycle-for-cycle.
+#[test]
+fn legacy_front_locksteps_the_pre_front_construction() {
+    let cfg = ProgramGenerator::new(GenParams::small(), 42).generate();
+    let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+    for kind in EngineKind::ALL {
+        let pc = ProcessorConfig::table2(4);
+        assert!(pc.front.is_legacy(), "table2 must default to the neutral front");
+        let pre = kind.build_with_prefetch(4, image.entry(), &pc.prefetch);
+        let via_front = kind.build_for(4, image.entry(), &pc.prefetch, &FrontPipeline::legacy());
+        let mut pa = Processor::new(pc, pre, &cfg, &image, 7);
+        let mut pb = Processor::new(pc, via_front, &cfg, &image, 7);
+        for t in 0..30_000u64 {
+            pa.cycle();
+            pb.cycle();
+            if t % 512 == 0 {
+                assert_eq!(pa.stats(), pb.stats(), "{kind}: diverged by cycle {t}");
+            }
+        }
+        assert_eq!(pa.stats(), pb.stats(), "{kind}: diverged");
+        assert!(pa.stats().committed > 0, "{kind}: no progress");
+        let s = pa.stats();
+        assert_eq!(s.hold_redirect_cycles, 0, "{kind}: legacy front charged redirect holds");
+        assert_eq!(s.redirect_penalties, 0, "{kind}: legacy front charged penalties");
+        assert_eq!(s.engine.shadow_installs, 0, "{kind}: legacy front ran shadow decode");
+        assert_eq!(
+            s.fetch_hold_cycles, s.hold_decode_cycles,
+            "{kind}: under the legacy front every hold is a decode-redirect bubble"
+        );
+    }
+}
+
+/// Full-[`SimStats`] equality on the seed-suite subset: the same
+/// engines × benchmarks window the golden harness pins, measured once
+/// through the pre-front path and once through the front-aware path.
+#[test]
+fn legacy_front_matches_pre_front_stats_on_the_seed_suite() {
+    const BENCHES: [&str; 4] = ["gzip", "gcc", "crafty", "twolf"];
+    const WARMUP: u64 = 10_000;
+    const INSTS: u64 = 50_000;
+    let suite = Suite::build_subset(&BENCHES, sfetch_workloads::default_jobs());
+    for name in BENCHES {
+        let w = suite.get(name).expect("subset member");
+        let image = w.image(LayoutChoice::Optimized);
+        for kind in EngineKind::ALL {
+            let pc = ProcessorConfig::table2(8);
+            let run = |engine: Box<dyn sfetch_fetch::FetchEngine>| {
+                let mut p = Processor::new(pc, engine, w.cfg(), image, w.ref_seed());
+                p.run(WARMUP);
+                p.reset_stats();
+                p.run(INSTS);
+                p.stats()
+            };
+            let pre = run(kind.build_with_prefetch(8, image.entry(), &pc.prefetch));
+            let via =
+                run(kind.build_for(8, image.entry(), &pc.prefetch, &FrontPipeline::legacy()));
+            assert_eq!(pre, via, "{name}/{kind}: front threading is not neutral");
+        }
+    }
+}
+
+/// The per-engine models must actually differentiate: every engine's
+/// cycle count moves off the legacy shared front — in the direction its
+/// own depth implies — and the shadow-decode engines install shadow
+/// branches.
+#[test]
+fn per_engine_fronts_differentiate_and_shadow_decode_installs() {
+    let cfg = ProgramGenerator::new(GenParams::small(), 9).generate();
+    let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+    for kind in EngineKind::ALL {
+        let legacy = run_with_front(&cfg, &image, kind, FrontPipeline::legacy(), false, 5, 40_000);
+        let own = run_with_front(&cfg, &image, kind, FrontPipeline::for_engine(kind), false, 5, 40_000);
+        assert_ne!(
+            own.cycles, legacy.cycles,
+            "{kind}: own front model is indistinguishable from the legacy shared front"
+        );
+        if kind == EngineKind::Ev8 {
+            // The one unambiguous direction: EV8's front is both deeper
+            // than legacy and the most heavily penalized, so it must
+            // cost cycles (this is what widens the Fig. 8 spread).
+            assert!(
+                own.cycles > legacy.cycles,
+                "EV8's deeper, penalized front ({} cycles) must cost more than legacy ({})",
+                own.cycles,
+                legacy.cycles
+            );
+        }
+        assert!(own.redirect_penalties > 0, "{kind}: no redirect penalties charged");
+        assert!(own.hold_redirect_cycles > 0, "{kind}: no redirect hold cycles");
+        if FrontPipeline::for_engine(kind).shadow_decode {
+            assert!(
+                own.engine.shadow_installs > 0,
+                "{kind}: shadow decode enabled but nothing installed"
+            );
+        } else {
+            assert_eq!(own.engine.shadow_installs, 0, "{kind}: phantom shadow installs");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under random front models: the stall decomposition sums exactly,
+    /// penalties are charged once per execute-time squash (and never
+    /// with a zero penalty), and committed progress is unharmed.
+    #[test]
+    fn stall_decomposition_sums_exactly_under_random_fronts(
+        depth in 1u32..24,
+        redirect_penalty in 0u32..8,
+        decode_redirect_lat in 1u32..6,
+        shadow_decode in any::<bool>(),
+        engine_idx in 0usize..4,
+        seed in 0u64..1024,
+    ) {
+        let kind = EngineKind::ALL[engine_idx];
+        let front = FrontPipeline { depth, redirect_penalty, decode_redirect_lat, shadow_decode };
+        let cfg = ProgramGenerator::new(GenParams::small(), seed % 8).generate();
+        let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let s = run_with_front(&cfg, &image, kind, front, false, seed, 15_000);
+        prop_assert!(s.committed >= 15_000, "{kind}: no forward progress");
+        prop_assert_eq!(
+            s.hold_decode_cycles + s.hold_redirect_cycles,
+            s.fetch_hold_cycles,
+            "{}: stall decomposition does not sum", kind
+        );
+        if redirect_penalty == 0 {
+            prop_assert_eq!(s.redirect_penalties, 0, "{}: penalty charged at zero", kind);
+            prop_assert_eq!(s.hold_redirect_cycles, 0, "{}: redirect hold at zero penalty", kind);
+        } else {
+            prop_assert_eq!(
+                s.redirect_penalties, s.mispredictions,
+                "{}: penalties must be charged exactly once per squash", kind
+            );
+        }
+    }
+
+    /// The event-driven back-end and the legacy scan oracle stay
+    /// bit-identical under random front models — the front pipeline is
+    /// entirely a fetch-side concern.
+    #[test]
+    fn event_backend_matches_scan_oracle_under_random_fronts(
+        depth in 1u32..20,
+        redirect_penalty in 0u32..6,
+        shadow_decode in any::<bool>(),
+        engine_idx in 0usize..4,
+        seed in 0u64..512,
+    ) {
+        let kind = EngineKind::ALL[engine_idx];
+        let front = FrontPipeline {
+            depth,
+            redirect_penalty,
+            decode_redirect_lat: 2,
+            shadow_decode,
+        };
+        let cfg = ProgramGenerator::new(GenParams::small(), seed % 8).generate();
+        let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let event = run_with_front(&cfg, &image, kind, front, false, seed, 10_000);
+        let scan = run_with_front(&cfg, &image, kind, front, true, seed, 10_000);
+        prop_assert_eq!(event, scan, "{}: back-ends diverged under a random front", kind);
+    }
+}

@@ -2,7 +2,7 @@
 //! behaviour, pinned exactly.
 //!
 //! The repository's determinism story has so far lived in the BENCH
-//! trajectory: `BENCH_3.json` and `BENCH_4.json` record bit-identical
+//! trajectory: `BENCH_3.json` through `BENCH_7.json` record bit-identical
 //! per-engine `sim_cycles` (251057 / 268839 / 249240 / 244461 summed
 //! over the ablation subset at 200k measured instructions), proving no
 //! PR silently changed simulated behaviour — but a BENCH diff only
@@ -13,17 +13,26 @@
 //! layout, event back-end, no prefetch, 40k warmup + 200k measured) and
 //! fails the build on any deviation.
 //!
+//! Two tables are pinned:
+//!
+//! * [`GOLDEN`] — the **legacy shared front** ([`FrontPipeline::legacy`]):
+//!   this is the bit-identity anchor tying the harness to the whole
+//!   recorded BENCH trajectory, unchanged since BENCH_3.
+//! * [`GOLDEN_FRONT`] — the **per-engine front models**
+//!   ([`FrontPipeline::for_engine`]): the calibration behaviour BENCH_7's
+//!   `front_pipeline` section records, pinned by [`FRONT_SIM_CYCLES`].
+//!
 //! If a PR *intends* to change simulated behaviour (a timing-model fix,
-//! a new default), regenerate the table with:
+//! a new default), regenerate the affected table with:
 //!
 //! ```text
 //! cargo test --release -p sfetch-tests --test golden_stats -- --ignored --nocapture
 //! ```
 //!
-//! paste the printed rows over `GOLDEN`, and say so in the PR — the
-//! point is that the change is *declared*, never silent.
+//! paste the printed rows over `GOLDEN` / `GOLDEN_FRONT`, and say so in
+//! the PR — the point is that the change is *declared*, never silent.
 
-use sfetch_core::SimStats;
+use sfetch_core::{FrontPipeline, SimStats};
 use sfetch_fetch::EngineKind;
 use sfetch_workloads::{LayoutChoice, Suite};
 
@@ -36,44 +45,82 @@ const BENCHES: [&str; 4] = ["gzip", "gcc", "crafty", "twolf"];
 
 /// One pinned measurement: `(bench, engine_index-in-ALL, committed,
 /// cycles, fetched_correct, branches, mispredictions, misfetches,
-/// l1i_misses, l2_misses)`.
-type GoldenRow = (&'static str, usize, u64, u64, u64, u64, u64, u64, u64, u64);
+/// l1i_misses, l2_misses, fetch_hold_cycles, shadow_installs)`.
+type GoldenRow =
+    (&'static str, usize, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64);
 
-/// Regenerate with the `--ignored` printer below (see module docs).
+/// Legacy-front table. Regenerate with the `--ignored` printer below
+/// (see module docs). Columns 0–9 are unchanged since BENCH_3; the two
+/// trailing columns (fetch-hold cycles, shadow installs) were appended
+/// when the front-pipeline model landed — under the legacy front the
+/// holds are pure decode-redirect bubbles and shadow decode is off.
 const GOLDEN: [GoldenRow; 16] = [
-    ("gzip", 0, 200000, 56710, 200249, 21452, 547, 1, 0, 37),
-    ("gzip", 1, 200000, 62043, 200249, 21452, 441, 1, 0, 37),
-    ("gzip", 2, 200000, 56193, 200249, 21452, 518, 1, 0, 37),
-    ("gzip", 3, 200001, 54009, 200252, 21453, 538, 21, 0, 37),
-    ("gcc", 0, 200007, 62405, 199956, 18412, 1112, 0, 0, 124),
-    ("gcc", 1, 200000, 78194, 200040, 18412, 2660, 0, 0, 124),
-    ("gcc", 2, 200000, 66222, 200159, 18412, 1327, 1, 0, 124),
-    ("gcc", 3, 200000, 65042, 200006, 18412, 1494, 81, 0, 124),
-    ("crafty", 0, 200001, 79674, 200102, 17555, 1628, 54, 67, 1540),
-    ("crafty", 1, 200001, 74790, 200068, 17555, 1388, 58, 70, 1543),
-    ("crafty", 2, 200001, 75006, 200105, 17555, 1452, 66, 70, 1543),
-    ("crafty", 3, 200001, 75319, 200144, 17555, 1979, 309, 66, 1539),
-    ("twolf", 0, 200007, 52268, 199994, 18528, 850, 1, 0, 84),
-    ("twolf", 1, 200007, 53812, 199988, 18528, 998, 1, 0, 84),
-    ("twolf", 2, 200007, 51819, 199994, 18528, 863, 1, 0, 84),
-    ("twolf", 3, 200007, 50091, 200046, 18528, 1182, 86, 0, 84),
+    ("gzip", 0, 200000, 56710, 200249, 21452, 547, 1, 0, 37, 2, 0),
+    ("gzip", 1, 200000, 62043, 200249, 21452, 441, 1, 0, 37, 2, 0),
+    ("gzip", 2, 200000, 56193, 200249, 21452, 518, 1, 0, 37, 2, 0),
+    ("gzip", 3, 200001, 54009, 200252, 21453, 538, 21, 0, 37, 42, 0),
+    ("gcc", 0, 200007, 62405, 199956, 18412, 1112, 0, 0, 124, 0, 0),
+    ("gcc", 1, 200000, 78194, 200040, 18412, 2660, 0, 0, 124, 0, 0),
+    ("gcc", 2, 200000, 66222, 200159, 18412, 1327, 1, 0, 124, 2, 0),
+    ("gcc", 3, 200000, 65042, 200006, 18412, 1494, 81, 0, 124, 162, 0),
+    ("crafty", 0, 200001, 79674, 200102, 17555, 1628, 54, 67, 1540, 108, 0),
+    ("crafty", 1, 200001, 74790, 200068, 17555, 1388, 58, 70, 1543, 116, 0),
+    ("crafty", 2, 200001, 75006, 200105, 17555, 1452, 66, 70, 1543, 132, 0),
+    ("crafty", 3, 200001, 75319, 200144, 17555, 1979, 309, 66, 1539, 618, 0),
+    ("twolf", 0, 200007, 52268, 199994, 18528, 850, 1, 0, 84, 2, 0),
+    ("twolf", 1, 200007, 53812, 199988, 18528, 998, 1, 0, 84, 2, 0),
+    ("twolf", 2, 200007, 51819, 199994, 18528, 863, 1, 0, 84, 2, 0),
+    ("twolf", 3, 200007, 50091, 200046, 18528, 1182, 86, 0, 84, 172, 0),
 ];
 
-/// The BENCH_3/BENCH_4 per-engine `sim_cycles` totals over the subset —
-/// the bit-identity anchor tying this harness to the recorded BENCH
-/// trajectory.
+/// Per-engine-front table: the same grid measured with
+/// [`FrontPipeline::for_engine`]. Regenerate with the `--ignored`
+/// printer below.
+const GOLDEN_FRONT: [GoldenRow; 16] = [
+    ("gzip", 0, 200000, 59549, 200249, 21452, 543, 1, 0, 37, 3266, 0),
+    ("gzip", 1, 200000, 60920, 200249, 21452, 441, 1, 0, 37, 884, 1),
+    ("gzip", 2, 200000, 54087, 200249, 21452, 518, 1, 0, 37, 519, 0),
+    ("gzip", 3, 200001, 54527, 200252, 21453, 558, 16, 0, 37, 2267, 0),
+    ("gcc", 0, 200007, 68272, 200028, 18412, 1110, 0, 0, 124, 6660, 0),
+    ("gcc", 1, 200000, 73032, 200032, 18412, 2665, 0, 0, 124, 5330, 0),
+    ("gcc", 2, 200000, 61306, 200009, 18412, 1374, 1, 0, 124, 1375, 0),
+    ("gcc", 3, 200004, 66961, 200126, 18412, 1587, 86, 0, 124, 6520, 0),
+    ("crafty", 0, 200001, 88379, 200136, 17555, 1587, 53, 69, 1542, 9681, 0),
+    ("crafty", 1, 200000, 72086, 200071, 17555, 1395, 38, 68, 1541, 2828, 69),
+    ("crafty", 2, 200000, 69897, 200105, 17555, 1465, 66, 67, 1540, 1531, 0),
+    ("crafty", 3, 200002, 79043, 200114, 17555, 1947, 306, 60, 1532, 8401, 82),
+    ("twolf", 0, 200007, 57908, 200003, 18528, 849, 1, 0, 84, 5097, 0),
+    ("twolf", 1, 200007, 51705, 199977, 18528, 995, 0, 0, 84, 1990, 0),
+    ("twolf", 2, 200007, 48453, 199969, 18528, 869, 1, 0, 84, 870, 0),
+    ("twolf", 3, 200007, 52637, 200038, 18528, 1199, 57, 1, 85, 4910, 4),
+];
+
+/// The BENCH_3..BENCH_7 per-engine `sim_cycles` totals over the subset
+/// under the legacy front — the bit-identity anchor tying this harness
+/// to the recorded BENCH trajectory.
 const BENCH_SIM_CYCLES: [u64; 4] = [251_057, 268_839, 249_240, 244_461];
 
-fn measure(suite: &Suite) -> Vec<(usize, usize, SimStats)> {
+/// BENCH_7's `front_pipeline.sim_cycles` per-engine totals: the same
+/// subset measured under [`FrontPipeline::for_engine`].
+const FRONT_SIM_CYCLES: [u64; 4] = [274_108, 257_743, 233_743, 253_168];
+
+/// Front-model selector for one measurement sweep.
+fn front_for(kind: EngineKind, per_engine: bool) -> FrontPipeline {
+    if per_engine { FrontPipeline::for_engine(kind) } else { FrontPipeline::legacy() }
+}
+
+fn measure(suite: &Suite, per_engine_front: bool) -> Vec<(usize, usize, SimStats)> {
     let mut out = Vec::new();
     for (b, name) in BENCHES.iter().enumerate() {
         let w = suite.get(name).expect("subset member");
         for (e, &kind) in EngineKind::ALL.iter().enumerate() {
+            let mut pc = sfetch_core::ProcessorConfig::table2(8);
+            pc.front = front_for(kind, per_engine_front);
             let stats = sfetch_core::simulate(
                 w.cfg(),
                 w.image(LayoutChoice::Optimized),
                 kind,
-                sfetch_core::ProcessorConfig::table2(8),
+                pc,
                 w.ref_seed(),
                 WARMUP,
                 INSTS,
@@ -84,60 +131,87 @@ fn measure(suite: &Suite) -> Vec<(usize, usize, SimStats)> {
     out
 }
 
-#[test]
-fn seed_suite_stats_match_golden_snapshot() {
-    let suite = Suite::build_subset(&BENCHES, sfetch_workloads::default_jobs());
-    let measured = measure(&suite);
+fn to_row(b: usize, stats: &SimStats) -> GoldenRow {
+    (
+        BENCHES[b],
+        0, // engine index is filled in by the caller
+        stats.committed,
+        stats.cycles,
+        stats.fetched_correct,
+        stats.branches,
+        stats.mispredictions,
+        stats.misfetches,
+        stats.l1i.misses,
+        stats.l2.misses,
+        stats.fetch_hold_cycles,
+        stats.engine.shadow_installs,
+    )
+}
 
+fn check_table(
+    measured: &[(usize, usize, SimStats)],
+    golden: &[GoldenRow; 16],
+    anchor: &[u64; 4],
+    what: &str,
+) {
     let mut engine_cycles = [0u64; 4];
-    for (b, e, stats) in &measured {
-        let got: GoldenRow = (
-            BENCHES[*b],
-            *e,
-            stats.committed,
-            stats.cycles,
-            stats.fetched_correct,
-            stats.branches,
-            stats.mispredictions,
-            stats.misfetches,
-            stats.l1i.misses,
-            stats.l2.misses,
-        );
-        let want = GOLDEN[b * EngineKind::ALL.len() + e];
+    for (b, e, stats) in measured {
+        let mut got = to_row(*b, stats);
+        got.1 = *e;
+        let want = golden[b * EngineKind::ALL.len() + e];
         assert_eq!(
             got, want,
-            "{}/{}: simulated behaviour deviates from the golden snapshot — if this \
-             change is intentional, regenerate GOLDEN (see module docs) and declare it",
+            "{}/{} [{what}]: simulated behaviour deviates from the golden snapshot — if \
+             this change is intentional, regenerate the table (see module docs) and \
+             declare it",
             BENCHES[*b],
             EngineKind::ALL[*e]
         );
         engine_cycles[*e] += stats.cycles;
     }
     assert_eq!(
-        engine_cycles, BENCH_SIM_CYCLES,
-        "per-engine sim_cycles totals no longer match the BENCH_3/BENCH_4 record"
+        &engine_cycles, anchor,
+        "[{what}] per-engine sim_cycles totals no longer match the BENCH record"
+    );
+}
+
+#[test]
+fn seed_suite_stats_match_golden_snapshot() {
+    let suite = Suite::build_subset(&BENCHES, sfetch_workloads::default_jobs());
+    check_table(&measure(&suite, false), &GOLDEN, &BENCH_SIM_CYCLES, "legacy front");
+}
+
+#[test]
+fn seed_suite_stats_match_golden_snapshot_per_engine_front() {
+    let suite = Suite::build_subset(&BENCHES, sfetch_workloads::default_jobs());
+    check_table(
+        &measure(&suite, true),
+        &GOLDEN_FRONT,
+        &FRONT_SIM_CYCLES,
+        "per-engine front",
     );
 }
 
 /// Golden-table printer (not a test): run with `--ignored --nocapture`
-/// and paste the output over `GOLDEN`.
+/// and paste the output over `GOLDEN` / `GOLDEN_FRONT` (and the summed
+/// `FRONT_SIM_CYCLES`).
 #[test]
-#[ignore = "generator: prints the golden table for manual regeneration"]
+#[ignore = "generator: prints both golden tables for manual regeneration"]
 fn print_golden_table() {
     let suite = Suite::build_subset(&BENCHES, sfetch_workloads::default_jobs());
-    for (b, e, s) in measure(&suite) {
-        println!(
-            "    ({:?}, {}, {}, {}, {}, {}, {}, {}, {}, {}),",
-            BENCHES[b],
-            e,
-            s.committed,
-            s.cycles,
-            s.fetched_correct,
-            s.branches,
-            s.mispredictions,
-            s.misfetches,
-            s.l1i.misses,
-            s.l2.misses
-        );
+    for (per_engine, label) in [(false, "GOLDEN"), (true, "GOLDEN_FRONT")] {
+        println!("// {label}:");
+        let mut engine_cycles = [0u64; 4];
+        for (b, e, s) in measure(&suite, per_engine) {
+            let mut row = to_row(b, &s);
+            row.1 = e;
+            println!(
+                "    ({:?}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}),",
+                row.0, row.1, row.2, row.3, row.4, row.5, row.6, row.7, row.8, row.9,
+                row.10, row.11
+            );
+            engine_cycles[e] += s.cycles;
+        }
+        println!("// {label} per-engine sim_cycles: {engine_cycles:?}");
     }
 }
