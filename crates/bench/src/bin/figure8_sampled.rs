@@ -19,8 +19,17 @@
 //!     [--procs N] [--verify] [--chaos SEED] [--max-retries N] \
 //!     [--cell-timeout SECS] [--no-fleet] [--spread-floor F] \
 //!     [--jobs N] [--legacy-scan] [--prefetch K] \
-//!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural]
+//!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural] \
+//!     [--obs-dir DIR] [--interval N] [--ptrace LO-HI]
 //! ```
+//!
+//! With `--obs-dir DIR` the run additionally emits the observability
+//! artifacts (see `sfetch_bench::obs`): a per-cell cycle-accounting
+//! time series (`ts_<engine>_<width>.jsonl`, one row per `--interval N`
+//! committed instructions; 0 = per window) and, with `--ptrace LO-HI`,
+//! a Konata pipeline trace per engine. Sinks are side passes through
+//! the warm checkpoint store — the measured grid stays bit-identical
+//! with them on or off.
 //!
 //! With `--procs N` the grid — windows × engines × widths — fans out
 //! across OS processes through the store under the **fleet supervisor**
@@ -59,6 +68,7 @@ use sfetch_bench::grid::{
     cells, engine_key, merge_grid, parse_engines, parse_widths, print_grid_table,
     run_sampled_grid, shard_file_text, spawn_shards, spread_at_width, verify_merged, CellRun,
 };
+use sfetch_bench::obs::{write_sampled_obs, ObsOpts};
 use sfetch_bench::{workload_by_name, HarnessOpts};
 use sfetch_fetch::EngineKind;
 use sfetch_sample::{CheckpointStore, ShardSpec, StoredSampler};
@@ -87,6 +97,7 @@ struct Args {
     cell_timeout: Option<u64>,
     no_fleet: bool,
     spread_floor: Option<f64>,
+    obs: ObsOpts,
 }
 
 fn parse_args() -> Args {
@@ -179,6 +190,7 @@ fn parse_args() -> Args {
             }
         }
     }
+    let obs = ObsOpts::extract(&mut rest);
     let opts = HarnessOpts::from_arg_list(&rest);
     assert!(procs >= 1, "--procs must be >= 1");
     Args {
@@ -196,6 +208,7 @@ fn parse_args() -> Args {
         cell_timeout,
         no_fleet,
         spread_floor,
+        obs,
     }
 }
 
@@ -339,6 +352,10 @@ fn run_parent(a: &Args) -> ExitCode {
 
     print_grid_table(&runs);
     print_panels(a, &runs);
+
+    if a.obs.enabled() {
+        or_die(write_sampled_obs(&w, &grid, scfg, windows, &a.opts, &a.obs, &store));
+    }
 
     if a.verify && !degraded {
         eprintln!("\nverifying merged grid against a storeless in-process rerun…");

@@ -28,8 +28,14 @@
 //!     [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] [--store DIR] \
 //!     [--procs N] [--chaos SEED] [--max-retries N] [--cell-timeout S] \
 //!     [--jobs N] [--legacy-scan] [--prefetch K] \
-//!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural]
+//!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural] \
+//!     [--obs-dir DIR] [--interval N] [--ptrace LO-HI]
 //! ```
+//!
+//! With `--obs-dir DIR` each benchmark additionally writes its
+//! cycle-accounting time series (and, with `--ptrace`, Konata pipeline
+//! traces) into `DIR/<bench>/` — a pure side pass over the warm
+//! checkpoint store that leaves the reported IPC numbers untouched.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,6 +44,7 @@ use sfetch_bench::fleet_grid::{
     degradation_exit, maybe_run_fleet_child, run_fleet_grid, FleetGridSpec,
 };
 use sfetch_bench::grid::{cells, parse_engines, run_sampled_grid, CellRun, FIG9_WIDTH};
+use sfetch_bench::obs::{write_sampled_obs, ObsOpts};
 use sfetch_bench::{workload_by_name, HarnessOpts};
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::EngineKind;
@@ -65,6 +72,7 @@ struct Args {
     chaos: Option<u64>,
     max_retries: u32,
     cell_timeout: Option<u64>,
+    obs: ObsOpts,
 }
 
 fn parse_args() -> Args {
@@ -126,6 +134,7 @@ fn parse_args() -> Args {
         }
     }
     assert!(procs >= 1, "--procs must be >= 1");
+    let obs = ObsOpts::extract(&mut rest);
     Args {
         opts: HarnessOpts::from_arg_list(&rest),
         benches: benches.split(',').map(|b| b.trim().to_owned()).collect(),
@@ -135,6 +144,7 @@ fn parse_args() -> Args {
         chaos,
         max_retries,
         cell_timeout,
+        obs,
     }
 }
 
@@ -209,6 +219,13 @@ fn main() -> ExitCode {
             );
             runs
         };
+        if a.obs.enabled() {
+            // Per-benchmark subdirectory: one time-series file per
+            // engine, plus optional pipeline traces, per bench.
+            let mut per_bench = a.obs.clone();
+            per_bench.dir = a.obs.dir.as_ref().map(|d| d.join(bench));
+            or_die(write_sampled_obs(&w, &grid, scfg, windows, &a.opts, &per_bench, &store));
+        }
         let row: String = runs
             .iter()
             .map(|r| {

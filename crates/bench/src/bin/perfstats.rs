@@ -50,20 +50,40 @@
 //! runs each cell under its engine's front model and natural prefetch
 //! policy (the `--front-pipeline` / `--grid-prefetch` defaults) — the
 //! Fig. 8 differentiation the per-engine models exist to recover.
-//! Results go to stdout and to `BENCH_7.json` in the current directory,
-//! extending the repository's performance trajectory (`BENCH_1.json`:
-//! scan-based baseline; `BENCH_2.json`: event-driven back-end;
-//! `BENCH_3.json`: prefetch subsystem; `BENCH_4.json`: sampled
+//!
+//! The v8 addition is the **`cycle_accounting`** section, recording the
+//! top-down cycle decomposition (`sfetch_core::CycleBuckets`) the
+//! observability layer attributes per cycle: per-engine bucket shares on
+//! the seed suite (legacy front — the `engines` section's own windows,
+//! so `sum(buckets) == sim_cycles` is asserted against the identical
+//! totals) and on the phased calibration grid at 8-wide (per-engine
+//! front, sampled through the warm store). Two contracts ride along and
+//! are **asserted**, not just recorded: at the BENCH window (`--inst
+//! 200000 --warmup 40000`, event back-end) the per-engine `sim_cycles`
+//! must still equal `BENCH_7.json`'s — cycle accounting observes timing,
+//! it never alters it — and a tracing-off vs tracing-on A/B (NullObserver
+//! against an attached but out-of-range Konata observer, best-of-5) must
+//! stay bit-identical in simulated statistics with under 2% wall-clock
+//! overhead. Results go to stdout and to `BENCH_8.json` in the current
+//! directory, extending the repository's performance trajectory
+//! (`BENCH_1.json`: scan-based baseline; `BENCH_2.json`: event-driven
+//! back-end; `BENCH_3.json`: prefetch subsystem; `BENCH_4.json`: sampled
 //! simulation; `BENCH_5.json`: checkpoint store; `BENCH_6.json`: fleet
-//! supervisor); see README.md for the `sfetch-perfstats-v7` schema —
-//! all v6 sections carry over unchanged.
+//! supervisor; `BENCH_7.json`: front-pipeline calibration); see README.md
+//! for the `sfetch-perfstats-v8` schema — all v7 sections carry over
+//! unchanged.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin perfstats \
 //!     [-- --inst N --warmup N --jobs N --legacy-scan \
 //!         --sample-total N --sample U,Wf,Wd,D \
-//!         --grid-total N --grid-sample U,Wf,Wd,D[,Wm]]
+//!         --grid-total N --grid-sample U,Wf,Wd,D[,Wm] \
+//!         --obs-dir DIR --interval N --ptrace LO-HI]
 //! ```
+//!
+//! With `--obs-dir DIR` the calibration grid additionally writes its
+//! cycle-accounting time series (and, with `--ptrace`, Konata pipeline
+//! traces) into `DIR` — a pure side pass over the warm checkpoint store.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -72,11 +92,15 @@ use sfetch_bench::fleet_grid::{
     maybe_run_fleet_child, run_fleet_grid, FleetGridOutcome, FleetGridSpec,
 };
 use sfetch_bench::grid::{
-    cells, engine_key, grid_engines, point_line, run_cell_range, spread_at_width, CellRun,
-    GridCell, FIG8_WIDTHS,
+    cell_config, cells, engine_key, grid_engines, point_line, run_cell_range, spread_at_width,
+    CellRun, GridCell, FIG8_WIDTHS,
 };
+use sfetch_bench::obs::{write_sampled_obs, KonataObserver, ObsOpts};
 use sfetch_bench::{ablation_workloads, timed, HarnessOpts};
-use sfetch_core::{PrefetchConfig, Processor, ProcessorConfig};
+use sfetch_core::{
+    CycleBuckets, NullObserver, Observer, PrefetchConfig, Processor, ProcessorConfig, SimStats,
+};
+use sfetch_obs::KonataTrace;
 use sfetch_fetch::{EngineKind, FetchEngine, StreamEngine};
 use sfetch_sample::{
     estimate, run_full_detailed, run_sampled_jobs, CheckpointStore, Estimate, StoredSampler,
@@ -87,6 +111,20 @@ use sfetch_workloads::{par_map, phased, LayoutChoice, Workload};
 /// ROB capacity of the large-flight-depth A/B point.
 const LARGE_ROB: usize = 1024;
 
+/// The BENCH measurement window: `(insts, warmup)` per point. Whenever
+/// this binary runs that window on the event back-end, the per-engine
+/// `sim_cycles` totals are asserted against the `BENCH_7.json` record —
+/// cycle accounting observes simulated time, it must never move it.
+const BENCH_WINDOW: (u64, u64) = (200_000, 40_000);
+
+/// `BENCH_7.json` `engines[].sim_cycles` (legacy front), in
+/// [`EngineKind::ALL`] order.
+const BENCH7_SIM_CYCLES: [u64; 4] = [251_057, 268_839, 249_240, 244_461];
+
+/// `BENCH_7.json` `front_pipeline[].sim_cycles` (per-engine front), in
+/// [`EngineKind::ALL`] order.
+const BENCH7_FRONT_SIM_CYCLES: [u64; 4] = [274_108, 257_743, 233_743, 253_168];
+
 struct EngineRow {
     engine: String,
     points: usize,
@@ -95,6 +133,9 @@ struct EngineRow {
     wall_s: f64,
     mips: f64,
     ns_per_cycle: f64,
+    /// Top-down cycle accounting summed over the measured windows; its
+    /// total equals `sim_cycles` by construction (asserted).
+    buckets: CycleBuckets,
 }
 
 /// One timed simulation leg: wall seconds and cycles of the measured
@@ -170,6 +211,12 @@ fn measure_engine(workloads: &[Workload], kind: EngineKind, opts: HarnessOpts) -
     let simulated_insts: u64 = points.iter().map(|(s, _)| s.committed + opts.warmup).sum();
     let sim_cycles: u64 = points.iter().map(|(_, l)| l.cycles).sum();
     let measured_wall: f64 = points.iter().map(|(_, l)| l.wall_s).sum();
+    let mut buckets = CycleBuckets::default();
+    for (s, _) in &points {
+        assert_eq!(s.buckets.sum(), s.cycles, "cycle accounting must attribute every cycle");
+        assert_eq!(s.watchdog_resyncs, 0, "seed suite must run without watchdog resyncs");
+        buckets.add(&s.buckets);
+    }
     EngineRow {
         engine: kind.to_string(),
         points: points.len(),
@@ -178,6 +225,7 @@ fn measure_engine(workloads: &[Workload], kind: EngineKind, opts: HarnessOpts) -
         wall_s,
         mips: simulated_insts as f64 / wall_s / 1e6,
         ns_per_cycle: measured_wall * 1e9 / sim_cycles as f64,
+        buckets,
     }
 }
 
@@ -356,6 +404,102 @@ fn measure_redecode(w: &Workload, opts: HarnessOpts) -> (TimedLeg, TimedLeg, (u6
     (on_leg, off_leg, counters)
 }
 
+/// The tracing-off vs tracing-on A/B record.
+struct ObsOverhead {
+    off: TimedLeg,
+    on: TimedLeg,
+    overhead_pct: f64,
+}
+
+/// Wall-clock guard of the observability layer: tracing on may cost at
+/// most this much over tracing off (asserted).
+const OBS_MAX_OVERHEAD_PCT: f64 = 2.0;
+
+/// One timed leg under an explicit [`Observer`] instantiation: warmed
+/// up, then exactly the measured window. Both A/B legs build the
+/// processor through this one path, so the only difference between them
+/// is the observer type parameter.
+fn observed_leg<O: Observer>(
+    w: &Workload,
+    mut pc: ProcessorConfig,
+    legacy_scan: bool,
+    warmup: u64,
+    insts: u64,
+    obs: O,
+) -> (SimStats, TimedLeg) {
+    pc.legacy_scan = legacy_scan;
+    let image = w.image(LayoutChoice::Optimized);
+    let engine = EngineKind::Stream.build_for(pc.width, image.entry(), &pc.prefetch, &pc.front);
+    let mem = sfetch_mem::MemoryHierarchy::new(sfetch_mem::MemoryConfig::table2(pc.width));
+    let oracle = Executor::from_image(image, w.ref_seed());
+    let mut p = Processor::with_state_observed(pc, engine, image, oracle, mem, obs);
+    p.run(warmup);
+    p.reset_stats();
+    let t0 = Instant::now();
+    p.run(insts);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = p.stats();
+    (stats, TimedLeg { wall_s, cycles: stats.cycles, committed: stats.committed })
+}
+
+/// The observability overhead A/B: the disabled [`NullObserver`] (hooks
+/// monomorphized away — the configuration every measurement run uses)
+/// against an attached [`KonataObserver`] whose capture window never
+/// matches (hooks compiled in and called every event, nothing buffered —
+/// the steady-state cost of leaving tracing compiled in). Simulated
+/// statistics are asserted bit-identical and the wall-clock overhead is
+/// asserted under [`OBS_MAX_OVERHEAD_PCT`]. Always measured on the
+/// event back-end — the configuration every tracing run uses — with the
+/// window floored well past the pin window.
+///
+/// The reported overhead is the **minimum of paired per-rep ratios**
+/// (off and on run back to back, nine reps): host scheduler noise is
+/// one-sided and uncorrelated across pairs, so it inflates most ratios
+/// but not the quietest pair, while a real per-hook cost shows up in
+/// every pair and survives the minimum. The recorded `ns_per_cycle`
+/// legs are the per-leg best walls.
+fn measure_obs_overhead(w: &Workload, opts: HarnessOpts) -> ObsOverhead {
+    let pc = ProcessorConfig::table2(8);
+    let (insts, warmup) = (opts.insts.max(2 * BENCH_WINDOW.0), opts.warmup.max(BENCH_WINDOW.1));
+    let mut best: [Option<(SimStats, TimedLeg)>; 2] = [None, None];
+    let mut min_ratio = f64::INFINITY;
+    for _rep in 0..9 {
+        let (off_stats, off_leg) = observed_leg(w, pc, false, warmup, insts, NullObserver);
+        // The capture range sits past any reachable sequence number, so
+        // the trace buffers nothing while every hook still fires.
+        let trace = KonataTrace::new(u64::MAX - 1, u64::MAX);
+        let (on_stats, on_leg) =
+            observed_leg(w, pc, false, warmup, insts, KonataObserver(trace));
+        assert_eq!(
+            off_stats, on_stats,
+            "an attached observer must never alter simulated statistics"
+        );
+        min_ratio = min_ratio.min(on_leg.wall_s / off_leg.wall_s);
+        for (entry, (stats, leg)) in
+            best.iter_mut().zip([(off_stats, off_leg), (on_stats, on_leg)])
+        {
+            match entry {
+                Some((prev_stats, prev)) => {
+                    assert_eq!(&stats, prev_stats, "repeat runs must be deterministic");
+                    if leg.wall_s < prev.wall_s {
+                        *entry = Some((stats, leg));
+                    }
+                }
+                None => *entry = Some((stats, leg)),
+            }
+        }
+    }
+    let [off, on] = best;
+    let (_, off) = off.expect("ran");
+    let (_, on) = on.expect("ran");
+    let overhead_pct = 100.0 * (min_ratio - 1.0);
+    assert!(
+        overhead_pct < OBS_MAX_OVERHEAD_PCT,
+        "tracing-on overhead {overhead_pct:.2}% breaches the {OBS_MAX_OVERHEAD_PCT}% contract"
+    );
+    ObsOverhead { off, on, overhead_pct }
+}
+
 /// One leg of the sampling A/B.
 struct SamplingLeg {
     ipc: f64,
@@ -410,6 +554,10 @@ struct CalibrationGrid {
     store_entries: usize,
     /// 8-wide engine spread (min IPC, max IPC, ratio).
     spread: Option<(f64, f64, f64)>,
+    /// Per-engine aggregate [`SimStats`] at 8-wide (per-engine front,
+    /// natural prefetch — the grid defaults), re-simulated through the
+    /// warm store for the `cycle_accounting.phased_grid_8wide` record.
+    bucket_rows: Vec<(EngineKind, SimStats)>,
 }
 
 /// The headline cell whose cold-store vs warm-store rerun is recorded.
@@ -425,7 +573,7 @@ const AB_CELL: GridCell = GridCell { engine: EngineKind::Stream, width: 8 };
 /// store and is asserted byte-identical; its wall clock is what every
 /// subsequent experiment pays. The remaining cells then sweep the grid
 /// entirely from the warm store.
-fn measure_calibration_grid(w: &Workload, opts: HarnessOpts) -> CalibrationGrid {
+fn measure_calibration_grid(w: &Workload, opts: HarnessOpts, obs: &ObsOpts) -> CalibrationGrid {
     let scfg = opts.grid_sample;
     let total = opts.grid_total;
     let windows = scfg.windows(total);
@@ -463,6 +611,31 @@ fn measure_calibration_grid(w: &Workload, opts: HarnessOpts) -> CalibrationGrid 
             CellRun { cell, points, estimate: est }
         })
         .collect();
+    // Phased-grid cycle accounting: re-simulate every 8-wide cell's
+    // windows through the now-warm store, this time keeping the full
+    // per-window `SimStats`, and aggregate. A pure side pass — the grid
+    // estimates above are already final.
+    let img = w.image(LayoutChoice::Optimized);
+    let fp = w.fingerprint(LayoutChoice::Optimized);
+    let bucket_rows: Vec<(EngineKind, SimStats)> = grid_engines()
+        .iter()
+        .map(|&kind| {
+            let cell = GridCell { engine: kind, width: 8 };
+            let mut sampler = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store);
+            let results =
+                sampler.run_range_stats(kind, cell_config(cell, &opts), 0..windows, opts.jobs);
+            let mut agg = SimStats::default();
+            for (_, s) in &results {
+                agg.accumulate(s);
+            }
+            assert_eq!(agg.buckets.sum(), agg.cycles, "grid cycle accounting must be exhaustive");
+            (kind, agg)
+        })
+        .collect();
+    if obs.enabled() {
+        write_sampled_obs(w, &grid, scfg, windows, &opts, obs, &store)
+            .expect("write observability artifacts");
+    }
     let store_entries = store.entries();
     let _ = std::fs::remove_dir_all(&store_dir);
     CalibrationGrid {
@@ -472,6 +645,7 @@ fn measure_calibration_grid(w: &Workload, opts: HarnessOpts) -> CalibrationGrid 
         cold_wall_s,
         warm_wall_s,
         store_entries,
+        bucket_rows,
     }
 }
 
@@ -561,7 +735,9 @@ fn measure_fleet_resilience(w: &Workload, opts: HarnessOpts) -> FleetResilience 
 
 fn main() {
     maybe_run_fleet_child();
-    let opts = HarnessOpts::from_args();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let obs_opts = ObsOpts::extract(&mut raw);
+    let opts = HarnessOpts::from_arg_list(&raw);
     let backend = if opts.legacy_scan { "legacy-scan" } else { "event" };
     eprintln!("generating ablation subset ({} jobs, {backend} back-end)…", opts.jobs);
     let (workloads, build_s) = timed(|| ablation_workloads(opts));
@@ -617,6 +793,57 @@ fn main() {
             100.0 * (r.sim_cycles as f64 / r.legacy_cycles as f64 - 1.0)
         );
     }
+
+    // BENCH_7 pin: at the BENCH window, cycle accounting must not have
+    // moved a single simulated cycle anywhere in either sweep.
+    let pinned = !opts.legacy_scan && (opts.insts, opts.warmup) == BENCH_WINDOW;
+    if pinned {
+        let got: Vec<u64> = rows.iter().map(|r| r.sim_cycles).collect();
+        assert_eq!(
+            got,
+            BENCH7_SIM_CYCLES.to_vec(),
+            "engines sim_cycles deviate from the BENCH_7 record"
+        );
+        let front_got: Vec<u64> = front_rows.iter().map(|r| r.sim_cycles).collect();
+        assert_eq!(
+            front_got,
+            BENCH7_FRONT_SIM_CYCLES.to_vec(),
+            "front_pipeline sim_cycles deviate from the BENCH_7 record"
+        );
+        println!("\nBENCH_7 pin: per-engine sim_cycles bit-identical (engines + front_pipeline)");
+    }
+
+    // Top-down cycle accounting on the windows the engines section timed.
+    println!(
+        "\ncycle accounting (8-wide, legacy front, % of cycles):\n{:<18} {}",
+        "engine",
+        CycleBuckets::NAMES.iter().map(|n| format!("{n:>14}")).collect::<String>()
+    );
+    for r in &rows {
+        let total = r.sim_cycles as f64;
+        println!(
+            "{:<18} {}",
+            r.engine,
+            r.buckets
+                .to_array()
+                .iter()
+                .map(|&c| format!("{:>13.2}%", 100.0 * c as f64 / total))
+                .collect::<String>()
+        );
+    }
+
+    // Observability overhead: tracing off vs on, stats bit-identical.
+    let obs_ab = measure_obs_overhead(&workloads[0], opts);
+    println!(
+        "\nobservability overhead (Streams/{}, 8-wide, tracing off vs on):\n  \
+         off {:.2} ns/cyc, on {:.2} ns/cyc → {:+.2}% systematic overhead \
+         (min paired on/off ratio, < {OBS_MAX_OVERHEAD_PCT}% asserted, \
+         simulated stats bit-identical)",
+        workloads[0].name(),
+        obs_ab.off.ns_per_cycle(),
+        obs_ab.on.ns_per_cycle(),
+        obs_ab.overhead_pct,
+    );
 
     // gzip keeps the deepest average flight depth of the ablation subset,
     // so it is where the scan's O(rob)-per-cycle cost shows clearest.
@@ -708,7 +935,7 @@ fn main() {
         opts.grid_sample.windows(opts.grid_total),
         opts.grid_total
     );
-    let calib = measure_calibration_grid(&phased_w, opts);
+    let calib = measure_calibration_grid(&phased_w, opts, &obs_opts);
     let store_speedup = calib.cold_wall_s / calib.warm_wall_s;
     println!(
         "\ncalibration grid ({}/{} insts, {} windows, store-backed):",
@@ -776,10 +1003,11 @@ fn main() {
         (phased_w.name(), &full, &sampled, &est, windows, phased_build_s),
         (phased_w.name(), &calib, full.ipc),
         (phased_w.name(), &fleet),
+        (workloads[0].name(), &obs_ab, pinned),
         total_wall_s,
     );
-    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
-    println!("wrote BENCH_7.json");
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    println!("wrote BENCH_8.json");
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -796,12 +1024,13 @@ fn render_json(
     sampling_ab: (&str, &SamplingLeg, &SamplingLeg, &Estimate, u64, f64),
     calibration: (&str, &CalibrationGrid, f64),
     fleet: (&str, &FleetResilience),
+    accounting: (&str, &ObsOverhead, bool),
     total_wall_s: f64,
 ) -> String {
     let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v7\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v8\",");
     let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
@@ -1051,6 +1280,70 @@ fn render_json(
         "    \"overhead_pct\": {:.1}, \"identical\": {}",
         100.0 * (fr.chaos_wall_s / fr.clean_wall_s - 1.0),
         fr.identical
+    );
+    s.push_str("  },\n");
+    let (ob_bench, ob, pinned) = accounting;
+    let bucket_list = |b: &CycleBuckets| -> (String, String) {
+        let counts = b.to_array();
+        let total = b.sum().max(1) as f64;
+        (
+            counts.iter().map(u64::to_string).collect::<Vec<_>>().join(", "),
+            counts
+                .iter()
+                .map(|&c| format!("{:.4}", c as f64 / total))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    };
+    s.push_str("  \"cycle_accounting\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"buckets\": [{}],",
+        CycleBuckets::NAMES.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ")
+    );
+    s.push_str("    \"seed_suite\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let (counts, shares) = bucket_list(&r.buckets);
+        let _ = writeln!(
+            s,
+            "      {{\"engine\": \"{}\", \"sim_cycles\": {}, \"counts\": [{counts}], \
+             \"shares\": [{shares}]}}{}",
+            r.engine,
+            r.sim_cycles,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("    ],\n");
+    let (_, cg, _) = calibration;
+    s.push_str("    \"phased_grid_8wide\": [\n");
+    for (i, (kind, agg)) in cg.bucket_rows.iter().enumerate() {
+        let (counts, shares) = bucket_list(&agg.buckets);
+        let _ = writeln!(
+            s,
+            "      {{\"engine\": \"{}\", \"sim_cycles\": {}, \"counts\": [{counts}], \
+             \"shares\": [{shares}]}}{}",
+            engine_key(*kind),
+            agg.cycles,
+            if i + 1 < cg.bucket_rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("    ],\n");
+    let _ = writeln!(
+        s,
+        "    \"bench7_pin\": {{\"checked\": {pinned}, \"engines_sim_cycles\": [{}], \
+         \"front_sim_cycles\": [{}]}},",
+        BENCH7_SIM_CYCLES.map(|c| c.to_string()).join(", "),
+        BENCH7_FRONT_SIM_CYCLES.map(|c| c.to_string()).join(", "),
+    );
+    let _ = writeln!(
+        s,
+        "    \"tracing_overhead\": {{\"bench\": \"{ob_bench}\", \"engine\": \"Streams\", \
+         \"width\": 8, \"off_ns_per_cycle\": {:.2}, \"on_ns_per_cycle\": {:.2}, \
+         \"overhead_pct\": {:.2}, \"asserted_max_pct\": {OBS_MAX_OVERHEAD_PCT}, \
+         \"identical\": true}}",
+        ob.off.ns_per_cycle(),
+        ob.on.ns_per_cycle(),
+        ob.overhead_pct,
     );
     s.push_str("  },\n");
     let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");

@@ -86,6 +86,9 @@ pub struct FleetGridOutcome {
     pub incomplete: Vec<(GridCell, u64, u64)>,
     /// The supervisor's accounting (spawns, retries, kills, resume).
     pub report: FleetReport,
+    /// The run's ledger directory (also holds `events.jsonl` and, after
+    /// a degraded exit, `degraded.json`).
+    pub work_dir: PathBuf,
 }
 
 /// Errors out of the parent orchestration: fleet infrastructure or grid
@@ -275,12 +278,25 @@ pub fn run_fleet_grid(spec: &FleetGridSpec<'_>) -> Result<FleetGridOutcome, Flee
         let partial = merge_grid_partial(spec.grid, windows, &all, spec.scfg.confidence)?;
         (partial.runs, partial.incomplete)
     };
-    Ok(FleetGridOutcome { runs, incomplete, report })
+
+    // Merge summary: how long the cells computed this run actually took
+    // (resumed cells carried no fresh work, so they are excluded).
+    let mut hist = sfetch_obs::Histogram::new();
+    for d in report.done.iter().filter(|d| !d.resumed) {
+        hist.record(d.dur_ms);
+    }
+    if !hist.is_empty() {
+        eprintln!("fleet: cell wall-time histogram ({} computed cells):", hist.len());
+        eprint!("{}", hist.render("fleet:   "));
+    }
+
+    Ok(FleetGridOutcome { runs, incomplete, report, work_dir })
 }
 
-/// Prints the degradation report (stderr) for a partial outcome and
-/// returns the process exit code the binary should use: 0 when
-/// complete, 2 when degraded.
+/// Prints the degradation report (stderr) for a partial outcome,
+/// records it machine-readably as `degraded.json` in the ledger
+/// directory, and returns the process exit code the binary should use:
+/// 0 when complete, 2 when degraded.
 pub fn degradation_exit(outcome: &FleetGridOutcome) -> u8 {
     if outcome.incomplete.is_empty() && outcome.report.incomplete.is_empty() {
         return 0;
@@ -290,8 +306,8 @@ pub fn degradation_exit(outcome: &FleetGridOutcome) -> u8 {
          the completed windows only (wider confidence intervals)",
         outcome.report.incomplete.len()
     );
-    for (cell, why) in &outcome.report.incomplete {
-        eprintln!("fleet:   {cell}: {why}");
+    for (cell, attempts, why) in &outcome.report.incomplete {
+        eprintln!("fleet:   {cell} ({attempts} attempts): {why}");
     }
     eprintln!("incomplete_cells: {}", outcome.report.incomplete.len());
     for (cell, have, want) in &outcome.incomplete {
@@ -301,7 +317,51 @@ pub fn degradation_exit(outcome: &FleetGridOutcome) -> u8 {
             cell.width
         );
     }
+    let path = outcome.work_dir.join("degraded.json");
+    match std::fs::write(&path, degraded_json(outcome)) {
+        Ok(()) => eprintln!("fleet: degradation record written to {}", path.display()),
+        Err(e) => eprintln!("fleet: could not write {}: {e}", path.display()),
+    }
     2
+}
+
+/// The machine-readable degradation record: every permanently failed
+/// fleet cell with its final attempt count and last error, plus the
+/// merged-grid window shortfall per (engine, width).
+fn degraded_json(outcome: &FleetGridOutcome) -> String {
+    use sfetch_obs::Row;
+    let cells: Vec<String> = outcome
+        .report
+        .incomplete
+        .iter()
+        .map(|(cell, attempts, why)| {
+            Row::new()
+                .s("cell", &cell.to_string())
+                .u("attempts", u64::from(*attempts))
+                .s("last_error", why)
+                .finish()
+        })
+        .collect();
+    let shortfalls: Vec<String> = outcome
+        .incomplete
+        .iter()
+        .map(|(cell, have, want)| {
+            Row::new()
+                .s("engine", engine_key(cell.engine))
+                .u("width", cell.width as u64)
+                .u("windows_merged", *have)
+                .u("windows_wanted", *want)
+                .finish()
+        })
+        .collect();
+    let mut out = Row::new()
+        .s("schema", "sfetch-fleet-degraded-v1")
+        .u("t_ms", now_ms())
+        .raw("failed_cells", &format!("[{}]", cells.join(",")))
+        .raw("grid_shortfall", &format!("[{}]", shortfalls.join(",")))
+        .finish();
+    out.push('\n');
+    out
 }
 
 // ---------------------------------------------------------------------

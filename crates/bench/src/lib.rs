@@ -46,6 +46,7 @@ use sfetch_workloads::{par_map, phased, LayoutChoice, Suite, Workload};
 
 pub mod fleet_grid;
 pub mod grid;
+pub mod obs;
 pub mod progress;
 
 pub use progress::{GridProgress, Reporter};

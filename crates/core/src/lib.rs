@@ -45,12 +45,14 @@
 
 pub mod config;
 pub mod metrics;
+pub mod obs;
 pub mod processor;
 pub mod scheduler;
 pub mod sim;
 
 pub use config::ProcessorConfig;
-pub use metrics::SimStats;
+pub use metrics::{CycleBuckets, SimStats};
+pub use obs::{NullObserver, Observer};
 pub use processor::Processor;
 pub use scheduler::EventScheduler;
 pub use sfetch_fetch::FrontPipeline;

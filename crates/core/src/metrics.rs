@@ -3,6 +3,117 @@
 use sfetch_fetch::FetchEngineStats;
 use sfetch_mem::{CacheStats, PrefetchStats};
 
+/// Top-down cycle accounting: every elapsed cycle is attributed to
+/// **exactly one** bucket by the processor's end-of-cycle classifier, so
+/// `sum() == SimStats::cycles` holds by construction (and is
+/// property-tested under random front pipelines for all four engines).
+///
+/// Classification priority, first match wins:
+///
+/// 1. [`commit`](CycleBuckets::commit) — at least one instruction retired.
+/// 2. [`watchdog`](CycleBuckets::watchdog) — the forward-progress watchdog
+///    resynchronized (expected never; see `SimStats::watchdog_resyncs`).
+/// 3. [`hold_redirect`](CycleBuckets::hold_redirect) /
+///    [`hold_decode`](CycleBuckets::hold_decode) — fetch held by a
+///    front-pipeline squash-redirect penalty / decode-misfetch bubble.
+/// 4. [`rob_full`](CycleBuckets::rob_full) — no ROB space for a fetch
+///    group (back-end window full).
+/// 5. [`backend`](CycleBuckets::backend) — fetch delivered correct-path
+///    instructions but nothing retired: latency-bound in the back-end.
+/// 6. Fetch supplied nothing: the engine's stall probe splits the cycle
+///    into [`fetch_l2`](CycleBuckets::fetch_l2) /
+///    [`fetch_mem`](CycleBuckets::fetch_mem) /
+///    [`fetch_mshr`](CycleBuckets::fetch_mshr) (L1i demand-miss service
+///    level — an L1i *hit* costs one cycle and never stalls, so there is
+///    no separate L1i bucket), [`squash`](CycleBuckets::squash)
+///    (wrong-path fetch awaiting a resolution, or the one-cycle
+///    post-redirect restart bubble), or
+///    [`ftq_empty`](CycleBuckets::ftq_empty) (the engine had no
+///    prediction/fetch unit to consume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBuckets {
+    /// At least one instruction committed this cycle.
+    pub commit: u64,
+    /// Correct-path fetch progressed but no commit: back-end latency
+    /// (dependence chains, D-cache misses, execution latency).
+    pub backend: u64,
+    /// Fetch blocked on ROB occupancy (back-end window full).
+    pub rob_full: u64,
+    /// Fetch held by a decode-redirect (misfetch) bubble.
+    pub hold_decode: u64,
+    /// Fetch held by a post-squash redirect penalty.
+    pub hold_redirect: u64,
+    /// Fetch stalled on an L1i demand miss served by the L2.
+    pub fetch_l2: u64,
+    /// Fetch stalled on an L1i demand miss served by memory.
+    pub fetch_mem: u64,
+    /// Fetch demand miss could not allocate an MSHR (non-blocking L1i).
+    pub fetch_mshr: u64,
+    /// The engine had nothing to deliver: empty FTQ / no prediction /
+    /// wrong path ran off the image.
+    pub ftq_empty: u64,
+    /// Squash recovery: wrong-path fetch while a misprediction awaits
+    /// resolution, or the engine's one-cycle post-redirect restart.
+    pub squash: u64,
+    /// The forward-progress watchdog resynchronized fetch.
+    pub watchdog: u64,
+}
+
+impl CycleBuckets {
+    /// Bucket names, in [`CycleBuckets::to_array`] order.
+    pub const NAMES: [&'static str; 11] = [
+        "commit",
+        "backend",
+        "rob_full",
+        "hold_decode",
+        "hold_redirect",
+        "fetch_l2",
+        "fetch_mem",
+        "fetch_mshr",
+        "ftq_empty",
+        "squash",
+        "watchdog",
+    ];
+
+    /// The buckets as an array, ordered as [`CycleBuckets::NAMES`].
+    pub fn to_array(&self) -> [u64; 11] {
+        [
+            self.commit,
+            self.backend,
+            self.rob_full,
+            self.hold_decode,
+            self.hold_redirect,
+            self.fetch_l2,
+            self.fetch_mem,
+            self.fetch_mshr,
+            self.ftq_empty,
+            self.squash,
+            self.watchdog,
+        ]
+    }
+
+    /// Total attributed cycles — equals `SimStats::cycles` for any window
+    /// measured by the processor.
+    pub fn sum(&self) -> u64 {
+        self.to_array().iter().sum()
+    }
+
+    /// Adds another window's buckets into this one.
+    pub fn add(&mut self, o: &CycleBuckets) {
+        self.commit += o.commit;
+        self.backend += o.backend;
+        self.rob_full += o.rob_full;
+        self.hold_decode += o.hold_decode;
+        self.hold_redirect += o.hold_redirect;
+        self.fetch_l2 += o.fetch_l2;
+        self.fetch_mem += o.fetch_mem;
+        self.fetch_mshr += o.fetch_mshr;
+        self.ftq_empty += o.ftq_empty;
+        self.squash += o.squash;
+        self.watchdog += o.watchdog;
+    }
+}
+
 /// Aggregate statistics of one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
@@ -55,6 +166,8 @@ pub struct SimStats {
     /// misprediction recovery when the penalty is non-zero; watchdog
     /// resyncs never charge).
     pub redirect_penalties: u64,
+    /// Top-down cycle accounting: `buckets.sum() == cycles` always.
+    pub buckets: CycleBuckets,
     /// Front-end statistics.
     pub engine: FetchEngineStats,
     /// L1 instruction cache statistics.
@@ -98,6 +211,57 @@ impl SimStats {
         } else {
             self.mispredictions as f64 / self.branches as f64
         }
+    }
+
+    /// Accumulates another measurement window into this one, field by
+    /// field — the inverse of windowed measurement: summing every
+    /// window's stats reproduces the whole-run aggregate exactly (the
+    /// time-series sink's sum-exactness contract rests on this).
+    /// `storage_bits` is a configuration constant, not a counter, and is
+    /// carried over from the incoming window.
+    pub fn accumulate(&mut self, o: &SimStats) {
+        self.committed += o.committed;
+        self.cycles += o.cycles;
+        self.fetched_correct += o.fetched_correct;
+        self.fetch_active_cycles += o.fetch_active_cycles;
+        self.branches += o.branches;
+        self.cond_branches += o.cond_branches;
+        self.cond_taken += o.cond_taken;
+        self.mispredictions += o.mispredictions;
+        self.misfetches += o.misfetches;
+        self.mispred_cond += o.mispred_cond;
+        self.mispred_return += o.mispred_return;
+        self.mispred_indirect += o.mispred_indirect;
+        self.mispred_other += o.mispred_other;
+        self.watchdog_resyncs += o.watchdog_resyncs;
+        self.fetch_hold_cycles += o.fetch_hold_cycles;
+        self.hold_decode_cycles += o.hold_decode_cycles;
+        self.hold_redirect_cycles += o.hold_redirect_cycles;
+        self.redirect_penalties += o.redirect_penalties;
+        self.buckets.add(&o.buckets);
+        self.engine.predictor_lookups += o.engine.predictor_lookups;
+        self.engine.predictor_hits += o.engine.predictor_hits;
+        self.engine.units += o.engine.units;
+        self.engine.unit_insts += o.engine.unit_insts;
+        self.engine.tc_hits += o.engine.tc_hits;
+        self.engine.tc_misses += o.engine.tc_misses;
+        self.engine.icache_stall_cycles += o.engine.icache_stall_cycles;
+        self.engine.stall_l2_cycles += o.engine.stall_l2_cycles;
+        self.engine.stall_mem_cycles += o.engine.stall_mem_cycles;
+        self.engine.stall_mshr_cycles += o.engine.stall_mshr_cycles;
+        self.engine.shadow_installs += o.engine.shadow_installs;
+        self.l1i.accesses += o.l1i.accesses;
+        self.l1i.misses += o.l1i.misses;
+        self.l1d.accesses += o.l1d.accesses;
+        self.l1d.misses += o.l1d.misses;
+        self.l2.accesses += o.l2.accesses;
+        self.l2.misses += o.l2.misses;
+        self.prefetch.issued += o.prefetch.issued;
+        self.prefetch.useful += o.prefetch.useful;
+        self.prefetch.late += o.prefetch.late;
+        self.prefetch.polluting += o.prefetch.polluting;
+        self.prefetch.dropped += o.prefetch.dropped;
+        self.storage_bits = o.storage_bits;
     }
 
     /// Fraction of conditional instances not taken.
@@ -150,6 +314,39 @@ mod tests {
         assert!((s.fetch_ipc() - 5.5).abs() < 1e-12);
         assert!((s.mispred_rate() - 0.02).abs() < 1e-12);
         assert!((s.cond_not_taken_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_sum_and_names_agree() {
+        let mut b = CycleBuckets::default();
+        let arr = b.to_array();
+        assert_eq!(arr.len(), CycleBuckets::NAMES.len());
+        b.commit = 3;
+        b.fetch_mem = 2;
+        b.squash = 1;
+        assert_eq!(b.sum(), 6);
+        let mut c = b;
+        c.add(&b);
+        assert_eq!(c.sum(), 12);
+        assert_eq!(c.commit, 6);
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let mut a = SimStats { committed: 10, cycles: 7, ..Default::default() };
+        a.buckets.commit = 4;
+        a.l1i.misses = 2;
+        a.engine.units = 3;
+        a.prefetch.issued = 5;
+        let mut total = SimStats::default();
+        total.accumulate(&a);
+        total.accumulate(&a);
+        assert_eq!(total.committed, 20);
+        assert_eq!(total.cycles, 14);
+        assert_eq!(total.buckets.commit, 8);
+        assert_eq!(total.l1i.misses, 4);
+        assert_eq!(total.engine.units, 6);
+        assert_eq!(total.prefetch.issued, 10);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 use sfetch_cfg::{Cfg, CodeImage};
 use sfetch_fetch::{
     Checkpoint, CommittedControl, CommittedInst, FetchEngine, FetchEngineStats, FetchedInst,
-    ResolvedBranch,
+    ResolvedBranch, StallCause,
 };
 use sfetch_isa::{Addr, BranchKind, InstClass};
 use sfetch_mem::{MemoryConfig, MemoryHierarchy};
@@ -14,6 +14,7 @@ use sfetch_trace::{DynInst, Executor};
 
 use crate::config::ProcessorConfig;
 use crate::metrics::SimStats;
+use crate::obs::{NullObserver, Observer};
 use crate::scheduler::{EventScheduler, Seq};
 
 /// Completion-time ring size (must exceed any ROB + dependence distance).
@@ -60,8 +61,14 @@ struct Recovery {
 
 /// The simulated processor: one fetch engine + memory hierarchy + ROB
 /// back-end, verified against the architectural executor.
-pub struct Processor<'a> {
+///
+/// Generic over an [`Observer`] receiving per-instruction pipeline
+/// events; the default [`NullObserver`] compiles every hook away (see
+/// [`crate::obs`]), keeping the untraced simulator bit-identical and
+/// overhead-free.
+pub struct Processor<'a, O: Observer = NullObserver> {
     config: ProcessorConfig,
+    obs: O,
     engine: Box<dyn FetchEngine>,
     mem: MemoryHierarchy,
     image: &'a CodeImage,
@@ -96,6 +103,26 @@ pub struct Processor<'a> {
     commit_buf: Vec<CommittedInst>,
     stats: SimStats,
     engine_baseline: FetchEngineStats,
+}
+
+/// What the fetch stage did this cycle — the front-end leg of the
+/// top-down cycle classifier ([`crate::metrics::CycleBuckets`]).
+enum FetchOutcome {
+    /// Fetch held by a front-pipeline bubble.
+    Held {
+        /// `true` for a post-squash redirect penalty, `false` for a
+        /// decode-misfetch bubble.
+        redirect: bool,
+    },
+    /// No ROB space for a full fetch group.
+    RobFull,
+    /// The engine ran.
+    Ran {
+        /// Correct-path instructions accepted by verification.
+        accepted: u64,
+        /// A decode redirect (misfetch) fired this cycle.
+        redirected: bool,
+    },
 }
 
 /// The obstacle currently blocking an unissued ROB entry from issue.
@@ -169,7 +196,24 @@ impl<'a> Processor<'a> {
         engine: Box<dyn FetchEngine>,
         image: &'a CodeImage,
         oracle: Executor<'a>,
+        mem: MemoryHierarchy,
+    ) -> Self {
+        Processor::with_state_observed(config, engine, image, oracle, mem, NullObserver)
+    }
+}
+
+impl<'a, O: Observer> Processor<'a, O> {
+    /// [`Processor::with_state`] with an explicit pipeline-event
+    /// [`Observer`] attached. This is the only observed constructor:
+    /// tracing runs are short windows resumed from the same pre-built
+    /// state the sampled simulator uses.
+    pub fn with_state_observed(
+        config: ProcessorConfig,
+        engine: Box<dyn FetchEngine>,
+        image: &'a CodeImage,
+        oracle: Executor<'a>,
         mut mem: MemoryHierarchy,
+        obs: O,
     ) -> Self {
         assert_eq!(engine.width(), config.width, "engine width must match processor width");
         config.prefetch.validate();
@@ -186,6 +230,7 @@ impl<'a> Processor<'a> {
         }
         Processor {
             config,
+            obs,
             engine,
             mem,
             image,
@@ -256,6 +301,17 @@ impl<'a> Processor<'a> {
         self.engine.as_ref()
     }
 
+    /// Direct access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consumes the processor, returning the observer (to flush a trace
+    /// sink after the traced window).
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+
     /// Advances the simulation by one clock cycle.
     pub fn cycle(&mut self) {
         self.commit_stage();
@@ -265,10 +321,49 @@ impl<'a> Processor<'a> {
             self.execute_stage_event();
         }
         self.recovery_stage();
-        self.fetch_stage();
-        self.watchdog();
+        let fetched = self.fetch_stage();
+        let resynced = self.watchdog();
+        self.account_cycle(fetched, resynced);
         self.now += 1;
         self.stats.cycles += 1;
+    }
+
+    /// Attributes the elapsing cycle to exactly one
+    /// [`crate::metrics::CycleBuckets`] bucket (priority order documented
+    /// there). Pure counting — never feeds back into timing — so the
+    /// simulated behaviour is bit-identical with accounting compiled in.
+    fn account_cycle(&mut self, fetched: FetchOutcome, resynced: bool) {
+        let b = &mut self.stats.buckets;
+        if !self.commit_buf.is_empty() {
+            b.commit += 1;
+            return;
+        }
+        if resynced {
+            b.watchdog += 1;
+            return;
+        }
+        match fetched {
+            FetchOutcome::Held { redirect: true } => b.hold_redirect += 1,
+            FetchOutcome::Held { redirect: false } => b.hold_decode += 1,
+            FetchOutcome::RobFull => b.rob_full += 1,
+            FetchOutcome::Ran { accepted, redirected } => {
+                if accepted > 0 {
+                    b.backend += 1;
+                } else if redirected {
+                    b.hold_decode += 1;
+                } else if self.recovery.is_some() || !self.on_correct {
+                    b.squash += 1;
+                } else {
+                    match self.engine.stall_probe() {
+                        StallCause::Mem => self.stats.buckets.fetch_mem += 1,
+                        StallCause::L2 => self.stats.buckets.fetch_l2 += 1,
+                        StallCause::Mshr => self.stats.buckets.fetch_mshr += 1,
+                        StallCause::Redirect => self.stats.buckets.squash += 1,
+                        StallCause::None => self.stats.buckets.ftq_empty += 1,
+                    }
+                }
+            }
+        }
     }
 
     // --- pipeline stages -------------------------------------------------
@@ -292,6 +387,9 @@ impl<'a> Processor<'a> {
             }
             let e = self.rob.pop_front().expect("head exists");
             self.total_pops += 1;
+            if O::ENABLED {
+                self.obs.committed(self.now, e.seq);
+            }
             let d = e.oracle.expect("checked above");
             let control = d.control.map(|c| CommittedControl {
                 kind: c.kind,
@@ -510,15 +608,19 @@ impl<'a> Processor<'a> {
         let entry = &mut self.rob[i];
         entry.issued = true;
         entry.done_at = now + lat;
-        self.completion[(entry.seq % COMPLETION_RING as u64) as usize] = entry.done_at;
+        let (seq, done_at) = (entry.seq, entry.done_at);
+        self.completion[(seq % COMPLETION_RING as u64) as usize] = done_at;
         if entry.anchor {
             if let Some(r) = self.recovery.as_mut() {
-                if r.anchor_seq == entry.seq {
-                    r.resolve_at = Some(entry.done_at);
+                if r.anchor_seq == seq {
+                    r.resolve_at = Some(done_at);
                 }
             }
         }
-        entry.done_at
+        if O::ENABLED {
+            self.obs.issued(now, seq, done_at);
+        }
+        done_at
     }
 
     /// Whether all of `e`'s producers have completed. Defined in terms of
@@ -544,6 +646,9 @@ impl<'a> Processor<'a> {
             let seq = back.seq;
             self.completion[(seq % COMPLETION_RING as u64) as usize] = self.now;
             self.rob.pop_back();
+            if O::ENABLED {
+                self.obs.squashed(self.now, seq);
+            }
         }
         self.engine.redirect(self.now, r.target, &r.cp, &r.resolved);
         // Front-pipeline recovery cost: hold fetch for the engine's
@@ -568,7 +673,7 @@ impl<'a> Processor<'a> {
         self.recovery = None;
     }
 
-    fn fetch_stage(&mut self) {
+    fn fetch_stage(&mut self) -> FetchOutcome {
         // Front-pipeline holds, with the stall decomposition: every held
         // cycle is attributed to exactly one cause (redirect penalties
         // take precedence when both overlap), so `hold_decode_cycles +
@@ -581,15 +686,16 @@ impl<'a> Processor<'a> {
             } else {
                 self.stats.hold_decode_cycles += 1;
             }
-            return;
+            return FetchOutcome::Held { redirect: held_redirect };
         }
         if self.rob.len() + self.config.width > self.config.rob_entries {
-            return; // no ROB space for a full fetch group
+            return FetchOutcome::RobFull; // no ROB space for a full fetch group
         }
         let mut buf = std::mem::take(&mut self.fetch_buf);
         buf.clear();
         self.engine.cycle(self.now, self.image, &mut self.mem, &mut buf);
         let mut accepted = 0u64;
+        let mut redirected = false;
         for (i, fi) in buf.iter().enumerate() {
             let fi = *fi;
             if !self.on_correct {
@@ -607,6 +713,7 @@ impl<'a> Processor<'a> {
                 let resolved =
                     ResolvedBranch { pc: fi.pc, kind: None, taken: false, target };
                 self.decode_redirect(fi.cp, target, resolved);
+                redirected = true;
                 break; // drop the rest of the bundle
             }
             let d = self.take_oracle();
@@ -634,6 +741,7 @@ impl<'a> Processor<'a> {
                             target: c.target,
                         };
                         self.decode_redirect(fi.cp, c.next_pc, resolved);
+                        redirected = true;
                         let _ = i;
                         break;
                     } else {
@@ -671,6 +779,7 @@ impl<'a> Processor<'a> {
             self.stats.fetch_active_cycles += 1;
             self.last_progress = self.now;
         }
+        FetchOutcome::Ran { accepted, redirected }
     }
 
     fn decode_redirect(&mut self, cp: Checkpoint, target: Addr, resolved: ResolvedBranch) {
@@ -681,6 +790,9 @@ impl<'a> Processor<'a> {
     fn push_rob(&mut self, fi: FetchedInst, oracle: Option<DynInst>, anchor: bool, misfetch: bool) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        if O::ENABLED {
+            self.obs.fetched(self.now, seq, fi.pc, oracle.is_none());
+        }
         self.completion[(seq % COMPLETION_RING as u64) as usize] = u64::MAX;
         self.pos_key[(seq % COMPLETION_RING as u64) as usize] =
             self.rob.len() as u64 + self.total_pops;
@@ -719,9 +831,10 @@ impl<'a> Processor<'a> {
     /// Safety net: if the front-end wedges on a wrong path without an
     /// anchored recovery (possible only through pathological predictor
     /// state), resynchronize it to the oracle. Counted; expected ~never.
-    fn watchdog(&mut self) {
+    /// Returns whether it fired (for the cycle classifier).
+    fn watchdog(&mut self) -> bool {
         if self.now - self.last_progress <= self.config.watchdog_cycles {
-            return;
+            return false;
         }
         self.stats.watchdog_resyncs += 1;
         // Squash all wrong-path work and restart cleanly from the oracle.
@@ -730,8 +843,12 @@ impl<'a> Processor<'a> {
                 if back.seq <= r.anchor_seq {
                     break;
                 }
-                self.completion[(back.seq % COMPLETION_RING as u64) as usize] = self.now;
+                let seq = back.seq;
+                self.completion[(seq % COMPLETION_RING as u64) as usize] = self.now;
                 self.rob.pop_back();
+                if O::ENABLED {
+                    self.obs.squashed(self.now, seq);
+                }
             }
             self.engine.redirect(self.now, r.target, &r.cp, &r.resolved);
             self.on_correct = true;
@@ -743,6 +860,7 @@ impl<'a> Processor<'a> {
             self.engine.redirect(self.now, d.pc, &cp, &resolved);
         }
         self.last_progress = self.now;
+        true
     }
 }
 

@@ -119,6 +119,16 @@ pub trait FetchEngine {
         (0, 0)
     }
 
+    /// Why the engine delivered nothing during the *current* cycle (the
+    /// most recent [`FetchEngine::cycle`] call):
+    /// [`crate::StallCause::None`] when it delivered, was never asked, or
+    /// simply had no fetch unit to consume. The processor's top-down
+    /// cycle classifier probes this on empty fetch cycles; the default
+    /// suits engines without an I-cache port.
+    fn stall_probe(&self) -> crate::StallCause {
+        crate::StallCause::None
+    }
+
     /// Engine statistics.
     fn stats(&self) -> FetchEngineStats;
 

@@ -288,6 +288,10 @@ impl FetchEngine for Ev8Engine {
         }
     }
 
+    fn stall_probe(&self) -> crate::StallCause {
+        self.port.last_stall()
+    }
+
     fn stats(&self) -> FetchEngineStats {
         self.stats
     }

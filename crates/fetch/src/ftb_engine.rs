@@ -327,6 +327,10 @@ impl FetchEngine for FtbEngine {
         }
     }
 
+    fn stall_probe(&self) -> crate::StallCause {
+        self.port.last_stall()
+    }
+
     fn stats(&self) -> FetchEngineStats {
         self.stats
     }

@@ -47,6 +47,6 @@ pub use ev8::Ev8Engine;
 pub use front::FrontPipeline;
 pub use ftb_engine::FtbEngine;
 pub use ftq::{FetchRequest, Ftq};
-pub use port::IcachePort;
+pub use port::{IcachePort, StallCause};
 pub use stream::StreamEngine;
 pub use trace_cache::TraceCacheEngine;

@@ -14,6 +14,26 @@ use sfetch_prefetch::{Lookahead, PrefetchConfig, Prefetcher};
 
 use crate::engine::FetchEngineStats;
 
+/// Why the fetch port delivered nothing this cycle — the per-cycle stall
+/// probe behind [`crate::FetchEngine::stall_probe`], consumed by the
+/// processor's top-down cycle classifier. Reset at
+/// [`IcachePort::begin_cycle`] and set by whichever gate fired, so it
+/// always describes the *current* cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StallCause {
+    /// No port-side stall (delivered, or nothing was demanded).
+    #[default]
+    None,
+    /// The one-cycle post-redirect restart bubble.
+    Redirect,
+    /// Demand miss served by the L2.
+    L2,
+    /// Demand miss served by memory.
+    Mem,
+    /// Demand miss found no free MSHR (non-blocking miss pipeline).
+    Mshr,
+}
+
 /// The I-cache access port of a fetch engine.
 #[derive(Debug)]
 pub struct IcachePort {
@@ -25,6 +45,8 @@ pub struct IcachePort {
     /// redirect bubbles — so the decomposed stall buckets count the
     /// cycles actually spent stalled (a redirect cuts a stall short).
     stall_from_mem: Option<bool>,
+    /// Why the port blocked this cycle (reset each [`IcachePort::begin_cycle`]).
+    last_stall: StallCause,
     probe_buf: Vec<Addr>,
 }
 
@@ -36,6 +58,7 @@ impl IcachePort {
             degree: 0,
             stall_until: 0,
             stall_from_mem: None,
+            last_stall: StallCause::None,
             probe_buf: Vec::new(),
         }
     }
@@ -48,6 +71,7 @@ impl IcachePort {
             degree: cfg.degree,
             stall_until: 0,
             stall_from_mem: None,
+            last_stall: StallCause::None,
             probe_buf: Vec::with_capacity(cfg.degree.max(1)),
         }
     }
@@ -58,9 +82,17 @@ impl IcachePort {
     }
 
     /// Per-cycle upkeep: completes due MSHR fills (no-op when the memory
-    /// hierarchy runs the blocking model). Call first in the engine cycle.
+    /// hierarchy runs the blocking model) and resets the stall probe.
+    /// Call first in the engine cycle.
     pub fn begin_cycle(&mut self, now: u64, mem: &mut MemoryHierarchy) {
+        self.last_stall = StallCause::None;
         mem.inst_tick(now);
+    }
+
+    /// Why the port blocked during the current cycle ([`StallCause::None`]
+    /// if it didn't). Valid after [`IcachePort::begin_cycle`].
+    pub fn last_stall(&self) -> StallCause {
+        self.last_stall
     }
 
     /// The engine-wide stall gate: redirect bubbles, and in blocking mode
@@ -69,9 +101,15 @@ impl IcachePort {
         if now < self.stall_until {
             stats.icache_stall_cycles += 1;
             match self.stall_from_mem {
-                Some(true) => stats.stall_mem_cycles += 1,
-                Some(false) => stats.stall_l2_cycles += 1,
-                None => {} // redirect bubble, not a miss stall
+                Some(true) => {
+                    stats.stall_mem_cycles += 1;
+                    self.last_stall = StallCause::Mem;
+                }
+                Some(false) => {
+                    stats.stall_l2_cycles += 1;
+                    self.last_stall = StallCause::L2;
+                }
+                None => self.last_stall = StallCause::Redirect, // redirect bubble
             }
             true
         } else {
@@ -103,8 +141,10 @@ impl IcachePort {
                 self.stall_from_mem = Some(from_mem);
                 if from_mem {
                     stats.stall_mem_cycles += 1;
+                    self.last_stall = StallCause::Mem;
                 } else {
                     stats.stall_l2_cycles += 1;
+                    self.last_stall = StallCause::L2;
                 }
                 return false;
             }
@@ -122,8 +162,10 @@ impl IcachePort {
                 stats.icache_stall_cycles += 1;
                 if from_mem {
                     stats.stall_mem_cycles += 1;
+                    self.last_stall = StallCause::Mem;
                 } else {
                     stats.stall_l2_cycles += 1;
+                    self.last_stall = StallCause::L2;
                 }
                 if allocated {
                     if let Some(p) = self.prefetcher.as_mut() {
@@ -135,6 +177,7 @@ impl IcachePort {
             InstDemand::Blocked => {
                 stats.icache_stall_cycles += 1;
                 stats.stall_mshr_cycles += 1;
+                self.last_stall = StallCause::Mshr;
                 false
             }
         }

@@ -460,6 +460,10 @@ impl FetchEngine for StreamEngine {
         StreamEngine::decode_counters(self)
     }
 
+    fn stall_probe(&self) -> crate::StallCause {
+        self.port.last_stall()
+    }
+
     fn stats(&self) -> FetchEngineStats {
         let mut s = self.stats;
         let ps = self.pred.stats();

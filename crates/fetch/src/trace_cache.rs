@@ -632,6 +632,10 @@ impl FetchEngine for TraceCacheEngine {
         }
     }
 
+    fn stall_probe(&self) -> crate::StallCause {
+        self.port.last_stall()
+    }
+
     fn stats(&self) -> FetchEngineStats {
         self.stats
     }

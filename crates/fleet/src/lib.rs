@@ -46,10 +46,12 @@
 //!   chaos run provably converges — and is asserted (in tests and a CI
 //!   leg) to merge **bit-identically** to a fault-free run.
 //!
-//! The crate is deliberately simulator-agnostic (std only): workers are
-//! launched through the [`supervisor::Launcher`] trait, and output
-//! validation is a caller-supplied closure. `sfetch-bench` supplies the
-//! grid semantics.
+//! The crate is deliberately simulator-agnostic (its only dependency is
+//! the std-only `sfetch-obs` observability layer, through which the
+//! supervisor writes a structured `events.jsonl` decision log next to
+//! the ledger): workers are launched through the
+//! [`supervisor::Launcher`] trait, and output validation is a
+//! caller-supplied closure. `sfetch-bench` supplies the grid semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

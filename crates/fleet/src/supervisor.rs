@@ -29,6 +29,8 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 use std::time::Duration;
 
+use sfetch_obs::{JsonlFile, Row};
+
 use crate::cell::CellId;
 use crate::error::FleetError;
 use crate::ledger::{CellState, Ledger, ResumeSummary};
@@ -205,10 +207,10 @@ pub struct CellDone {
 pub struct FleetReport {
     /// Completed cells, in deterministic (cell-order) sequence.
     pub done: Vec<CellDone>,
-    /// Cells that exhausted their retry budget, with the last error.
-    /// Non-empty means the run **degraded**: merge what completed,
-    /// widen the confidence intervals, and say so.
-    pub incomplete: Vec<(CellId, String)>,
+    /// Cells that exhausted their retry budget: `(cell, attempts
+    /// charged, last error)`. Non-empty means the run **degraded**:
+    /// merge what completed, widen the confidence intervals, and say so.
+    pub incomplete: Vec<(CellId, u32, String)>,
     /// Workers spawned this run.
     pub spawned: u64,
     /// Failures charged this run (each implies a retry or a permanent
@@ -277,6 +279,31 @@ fn mtime_ms(path: &Path) -> Option<u64> {
         .map(|d| d.as_millis() as u64)
 }
 
+/// The supervisor's structured decision log: `events.jsonl` next to the
+/// ledger, one line-JSON event per lease/completion/kill/retry/degrade
+/// decision plus a run-start and run-summary record. Opened in append
+/// mode so a resumed run extends the same history. Best-effort by
+/// design: an unwritable log never fails the run (the ledger, not the
+/// event log, is the source of truth).
+struct EventLog(Option<JsonlFile>);
+
+impl EventLog {
+    fn open(dir: &Path) -> Self {
+        EventLog(JsonlFile::append(&dir.join("events.jsonl")).ok())
+    }
+
+    /// Starts an event row stamped with the wall clock and event kind.
+    fn at(kind: &str) -> Row {
+        Row::new().u("t_ms", now_ms()).s("event", kind)
+    }
+
+    fn emit(&mut self, row: Row) {
+        if let Some(f) = self.0.as_mut() {
+            let _ = f.write_row(row);
+        }
+    }
+}
+
 struct Active<H> {
     cell: CellId,
     handle: H,
@@ -312,6 +339,15 @@ pub fn run_fleet<L: Launcher>(
     log: &mut dyn FnMut(&str),
 ) -> Result<FleetReport, FleetError> {
     let work_dir = ledger.path().parent().map(Path::to_path_buf).unwrap_or_default();
+    let mut events = EventLog::open(&work_dir);
+    events.emit(
+        EventLog::at("run_start")
+            .u("cells", ledger.cells().count() as u64)
+            .u("procs", cfg.procs as u64)
+            .u("max_retries", u64::from(cfg.max_retries))
+            .u("resumed_done", resume.resumed_done)
+            .u("invalidated", resume.invalidated),
+    );
     let mut active: Vec<Active<L::Handle>> = Vec::new();
     let mut durations: Vec<u64> = Vec::new();
     let mut completed_in_run: Vec<CellId> = Vec::new();
@@ -325,6 +361,7 @@ pub fn run_fleet<L: Launcher>(
                       attempt: u32,
                       why: &str,
                       retries: &mut u64,
+                      events: &mut EventLog,
                       log: &mut dyn FnMut(&str)|
      -> Result<(), FleetError> {
         let attempts_after = attempt + 1;
@@ -333,8 +370,21 @@ pub fn run_fleet<L: Launcher>(
         let permanent = ledger.fail(cell, why, not_before, cfg.max_retries)?;
         *retries += 1;
         if permanent {
+            events.emit(
+                EventLog::at("degrade")
+                    .s("cell", &cell.to_string())
+                    .u("attempt", u64::from(attempt))
+                    .s("why", why),
+            );
             log(&format!("cell {cell}: attempt {attempt} failed permanently: {why}"));
         } else {
+            events.emit(
+                EventLog::at("retry")
+                    .s("cell", &cell.to_string())
+                    .u("attempt", u64::from(attempt))
+                    .u("backoff_ms", not_before - now)
+                    .s("why", why),
+            );
             log(&format!(
                 "cell {cell}: attempt {attempt} failed ({why}); retry in {}ms",
                 not_before - now
@@ -361,6 +411,12 @@ pub fn run_fleet<L: Launcher>(
                                 ledger.complete(&a.cell, digest, &a.out, dur, text)?;
                                 durations.push(dur);
                                 completed_in_run.push(a.cell.clone());
+                                events.emit(
+                                    EventLog::at("done")
+                                        .s("cell", &a.cell.to_string())
+                                        .u("attempt", u64::from(a.attempt))
+                                        .u("dur_ms", dur),
+                                );
                                 log(&format!(
                                     "cell {} done in {dur}ms (attempt {})",
                                     a.cell, a.attempt
@@ -372,6 +428,7 @@ pub fn run_fleet<L: Launcher>(
                                 a.attempt,
                                 &format!("output rejected: {why}"),
                                 &mut retries,
+                                &mut events,
                                 log,
                             )?,
                         },
@@ -381,6 +438,7 @@ pub fn run_fleet<L: Launcher>(
                             a.attempt,
                             &format!("no output file: {e}"),
                             &mut retries,
+                            &mut events,
                             log,
                         )?,
                     }
@@ -396,6 +454,7 @@ pub fn run_fleet<L: Launcher>(
                         a.attempt,
                         &format!("worker exited abnormally ({detail})"),
                         &mut retries,
+                        &mut events,
                         log,
                     )?;
                     continue;
@@ -418,7 +477,14 @@ pub fn run_fleet<L: Launcher>(
                         let mut a = active.swap_remove(i);
                         a.handle.kill();
                         kills += 1;
-                        charge(ledger, &a.cell, a.attempt, &why, &mut retries, log)?;
+                        events.emit(
+                            EventLog::at("kill")
+                                .s("cell", &a.cell.to_string())
+                                .u("attempt", u64::from(a.attempt))
+                                .b("heartbeat_stale", stale)
+                                .s("why", &why),
+                        );
+                        charge(ledger, &a.cell, a.attempt, &why, &mut retries, &mut events, log)?;
                         continue;
                     }
                 }
@@ -446,6 +512,13 @@ pub fn run_fleet<L: Launcher>(
             let deadline = now + timeout;
             let attempt = ledger.lease(&cell, handle.worker_id(), deadline, now)?;
             spawned += 1;
+            events.emit(
+                EventLog::at("lease")
+                    .s("cell", &cell.to_string())
+                    .u("worker", handle.worker_id())
+                    .u("attempt", u64::from(attempt))
+                    .u("timeout_ms", timeout),
+            );
             log(&format!(
                 "cell {cell}: leased to worker {} (attempt {attempt}, timeout {timeout}ms)",
                 handle.worker_id()
@@ -494,8 +567,8 @@ pub fn run_fleet<L: Launcher>(
                     dur_ms: if resumed { 0 } else { *dur_ms },
                 });
             }
-            CellState::Failed { last_error, .. } => {
-                incomplete.push((cell.clone(), last_error.clone()));
+            CellState::Failed { attempts, last_error, .. } => {
+                incomplete.push((cell.clone(), *attempts, last_error.clone()));
             }
             other => {
                 return Err(FleetError::BadTransition {
@@ -514,6 +587,16 @@ pub fn run_fleet<L: Launcher>(
         resumed_done: resume.resumed_done,
         invalidated: resume.invalidated,
     };
+    events.emit(
+        EventLog::at("summary")
+            .u("done", report.done.len() as u64)
+            .u("incomplete", report.incomplete.len() as u64)
+            .u("retries", report.retries)
+            .u("kills", report.kills)
+            .u("spawned", report.spawned)
+            .u("resumed_done", report.resumed_done)
+            .u("invalidated", report.invalidated),
+    );
     log(&report.summary_line());
     Ok(report)
 }
@@ -681,7 +764,13 @@ mod tests {
         assert_eq!(report.done[0].cell, cells[1]);
         assert_eq!(report.incomplete.len(), 1);
         assert_eq!(report.incomplete[0].0, cells[0]);
+        assert_eq!(report.incomplete[0].1, 3, "attempt count surfaces in the report");
         assert!(report.summary_line().contains("incomplete=1"));
+        // The supervisor's decisions land in the structured event log.
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl");
+        for kind in ["run_start", "lease", "retry", "degrade", "done", "summary"] {
+            assert!(events.contains(&format!("\"event\":\"{kind}\"")), "missing {kind}: {events}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,107 @@
+//! Logarithmic wall-time histograms for fleet cell-duration reports.
+
+/// A base-2 logarithmic histogram of millisecond durations: bucket `i`
+/// holds samples in `[2^i, 2^(i+1))` ms (bucket 0 additionally holds 0).
+/// Renders as a compact multi-line summary for the merge report, so
+/// stragglers and retry-inflated cells stand out after a chaos run.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration in milliseconds.
+    pub fn record(&mut self, ms: u64) {
+        let bucket = (64 - ms.leading_zeros()).saturating_sub(1) as usize;
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.samples.push(ms);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) of the recorded durations, by
+    /// nearest-rank on the sorted samples; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Renders the histogram: one line per occupied bucket with a scaled
+    /// bar, then a quantile summary line. `indent` prefixes every line.
+    pub fn render(&self, indent: &str) -> String {
+        let mut out = String::new();
+        if self.samples.is_empty() {
+            out.push_str(indent);
+            out.push_str("(no samples)\n");
+            return out;
+        }
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = if i == 0 { 0 } else { 1u64 << i };
+            let hi = (1u64 << (i + 1)) - 1;
+            let bar = "#".repeat(((c * 40).div_ceil(max)) as usize);
+            out.push_str(&format!("{indent}{lo:>7}-{hi:<7} ms |{bar} {c}\n"));
+        }
+        out.push_str(&format!(
+            "{indent}n={} p50={}ms p95={}ms max={}ms\n",
+            self.samples.len(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(1.0),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for ms in [0, 1, 3, 4, 100, 1000] {
+            h.record(ms);
+        }
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 1000);
+        let text = h.render("  ");
+        assert!(text.contains("n=6"), "{text}");
+        assert!(text.contains("p95=1000ms"), "{text}");
+        // 0 and 1 share bucket 0; 3 is bucket 1; 4 bucket 2.
+        assert!(text.contains("      0-1       ms |"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_renders() {
+        assert!(Histogram::new().render("").contains("no samples"));
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        assert!(Histogram::new().is_empty());
+    }
+}

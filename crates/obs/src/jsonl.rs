@@ -1,0 +1,198 @@
+//! Minimal line-JSON (JSONL) building blocks shared by every sink.
+//!
+//! Nothing here knows about simulator types: a [`Row`] is built field by
+//! field from plain scalars, and a [`JsonlFile`] appends finished rows to
+//! a file, flushing each line so readers (and crash post-mortems) always
+//! see whole records.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON object, built left to right. Keys are written in call order;
+/// the caller is responsible for not repeating them.
+#[derive(Debug)]
+pub struct Row {
+    buf: String,
+}
+
+impl Row {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Row { buf: String::from("{") }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&esc(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Appends a float field (`null` for non-finite values, which JSON
+    /// cannot represent).
+    pub fn f(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a string field.
+    pub fn s(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&esc(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn b(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a pre-serialized JSON value verbatim (arrays, nested
+    /// objects).
+    pub fn raw(mut self, k: &str, json: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serializes a string slice as a JSON array of strings (for [`Row::raw`]).
+pub fn str_array(items: &[&str]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&esc(s));
+        out.push('"');
+    }
+    out.push(']');
+    out
+}
+
+/// An append-only JSONL file: one [`Row`] per line, flushed per line.
+#[derive(Debug)]
+pub struct JsonlFile {
+    path: PathBuf,
+    w: BufWriter<File>,
+}
+
+impl JsonlFile {
+    /// Creates (truncating) a JSONL file, creating parent directories.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let f = File::create(path)?;
+        Ok(JsonlFile { path: path.to_path_buf(), w: BufWriter::new(f) })
+    }
+
+    /// Opens a JSONL file for appending (creating it if absent).
+    pub fn append(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlFile { path: path.to_path_buf(), w: BufWriter::new(f) })
+    }
+
+    /// Writes one finished row as a line and flushes it.
+    pub fn write_row(&mut self, row: Row) -> io::Result<()> {
+        let line = row.finish();
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")?;
+        self.w.flush()
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_builds_valid_json() {
+        let r = Row::new()
+            .s("event", "lease \"x\"\n")
+            .u("cell", 3)
+            .f("ipc", 2.5)
+            .b("ok", true)
+            .f("bad", f64::NAN)
+            .raw("cols", &str_array(&["a", "b"]));
+        assert_eq!(
+            r.finish(),
+            "{\"event\":\"lease \\\"x\\\"\\n\",\"cell\":3,\"ipc\":2.5,\"ok\":true,\
+             \"bad\":null,\"cols\":[\"a\",\"b\"]}"
+        );
+    }
+
+    #[test]
+    fn jsonl_file_appends_lines() {
+        let dir = std::env::temp_dir().join(format!("sfetch-obs-jsonl-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        {
+            let mut f = JsonlFile::create(&path).unwrap();
+            f.write_row(Row::new().u("a", 1)).unwrap();
+        }
+        {
+            let mut f = JsonlFile::append(&path).unwrap();
+            f.write_row(Row::new().u("a", 2)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,361 @@
+//! Per-instruction pipeline event traces in the Konata log format.
+//!
+//! [Konata](https://github.com/shioyadan/Konata) is a pipeline visualizer
+//! whose log format (`Kanata\t0004`) stamps per-instruction stage
+//! occupancy cycle by cycle. A [`KonataTrace`] buffers the pipeline
+//! events of a short, gated window of instructions (by fetch sequence
+//! number) and serializes them on [`KonataTrace::write`]; [`validate`]
+//! parses a trace back (used by tests and the CI smoke leg).
+//!
+//! The trace maps this simulator's lumped pipeline onto three lane-0
+//! stages: `F` (front pipeline: fetch through rename, the
+//! `FrontPipeline::depth` region), `X` (issue to completion), and `W`
+//! (completed, waiting to commit). Squashed instructions close their open
+//! stage at the squash cycle and retire with Konata's flush type.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Event record of one traced instruction.
+#[derive(Debug, Clone, Copy)]
+struct TraceInst {
+    seq: u64,
+    pc: u64,
+    wrong_path: bool,
+    fetch_at: u64,
+    issue_at: Option<u64>,
+    done_at: Option<u64>,
+    retire_at: Option<u64>,
+    squashed: bool,
+}
+
+/// A buffered Konata pipeline trace of the fetch-sequence window
+/// `[start, end)`; see the [module docs](self).
+#[derive(Debug)]
+pub struct KonataTrace {
+    start: u64,
+    end: u64,
+    first: Option<u64>,
+    insts: Vec<TraceInst>,
+}
+
+impl KonataTrace {
+    /// Creates a trace capturing fetch sequence numbers in `[start, end)`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty trace range");
+        KonataTrace { start, end, first: None, insts: Vec::new() }
+    }
+
+    /// Whether `seq` falls in the traced window.
+    #[inline]
+    pub fn in_range(&self, seq: u64) -> bool {
+        seq >= self.start && seq < self.end
+    }
+
+    #[inline]
+    fn idx(&self, seq: u64) -> Option<usize> {
+        let first = self.first?;
+        if seq < first {
+            return None;
+        }
+        let i = (seq - first) as usize;
+        (i < self.insts.len() && self.insts[i].seq == seq).then_some(i)
+    }
+
+    /// Records an instruction entering the front pipeline. Sequence
+    /// numbers must arrive in increasing order (fetch order).
+    #[inline]
+    pub fn fetched(&mut self, now: u64, seq: u64, pc: u64, wrong_path: bool) {
+        if !self.in_range(seq) {
+            return;
+        }
+        if self.first.is_none() {
+            self.first = Some(seq);
+        }
+        debug_assert_eq!(
+            self.first.map(|f| f + self.insts.len() as u64),
+            Some(seq),
+            "fetch sequence numbers must be contiguous"
+        );
+        self.insts.push(TraceInst {
+            seq,
+            pc,
+            wrong_path,
+            fetch_at: now,
+            issue_at: None,
+            done_at: None,
+            retire_at: None,
+            squashed: false,
+        });
+    }
+
+    /// Records an instruction issuing to execute, completing at `done_at`.
+    #[inline]
+    pub fn issued(&mut self, now: u64, seq: u64, done_at: u64) {
+        if let Some(i) = self.idx(seq) {
+            self.insts[i].issue_at = Some(now);
+            self.insts[i].done_at = Some(done_at);
+        }
+    }
+
+    /// Records an instruction committing.
+    #[inline]
+    pub fn committed(&mut self, now: u64, seq: u64) {
+        if let Some(i) = self.idx(seq) {
+            self.insts[i].retire_at = Some(now);
+        }
+    }
+
+    /// Records an instruction squashed by a recovery.
+    #[inline]
+    pub fn squashed(&mut self, now: u64, seq: u64) {
+        if let Some(i) = self.idx(seq) {
+            self.insts[i].retire_at = Some(now);
+            self.insts[i].squashed = true;
+        }
+    }
+
+    /// Instructions captured so far.
+    pub fn captured(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Serializes the trace. Instructions still in flight (no retire
+    /// event) are closed out at their last recorded event and flagged as
+    /// flushed, so a trace cut off mid-run still parses.
+    pub fn write<W: Write>(&self, mut w: W) -> io::Result<()> {
+        // (cycle, id, order, command) — stable-sorted so all commands land
+        // on their cycle with I/L/E before S before R within one id.
+        let mut cmds: Vec<(u64, usize, u8, String)> = Vec::with_capacity(self.insts.len() * 8);
+        for (id, t) in self.insts.iter().enumerate() {
+            let path = if t.wrong_path { "wrong-path" } else { "correct-path" };
+            cmds.push((t.fetch_at, id, 0, format!("I\t{id}\t{}\t0", t.seq)));
+            cmds.push((t.fetch_at, id, 1, format!("L\t{id}\t0\tseq {} pc {:#x} {path}", t.seq, t.pc)));
+            cmds.push((t.fetch_at, id, 2, format!("S\t{id}\t0\tF")));
+            // The retire cycle caps every later stage edge: a squash can
+            // land while execution is still in flight.
+            let cap = t.retire_at;
+            let clamp = |at: u64| cap.map_or(at, |c| at.min(c));
+            let mut open = "F";
+            if let Some(at) = t.issue_at {
+                let at = clamp(at);
+                cmds.push((at, id, 3, format!("E\t{id}\t0\tF")));
+                cmds.push((at, id, 4, format!("S\t{id}\t0\tX")));
+                open = "X";
+                if let Some(done) = t.done_at {
+                    let done = clamp(done);
+                    if !t.squashed || done < cap.unwrap_or(u64::MAX) {
+                        cmds.push((done, id, 5, format!("E\t{id}\t0\tX")));
+                        cmds.push((done, id, 6, format!("S\t{id}\t0\tW")));
+                        open = "W";
+                    }
+                }
+            }
+            let (retire_at, flushed) = match t.retire_at {
+                Some(at) => (at, t.squashed),
+                // In flight at end of trace: close at the last known edge.
+                None => (t.done_at.unwrap_or(t.issue_at.unwrap_or(t.fetch_at)), true),
+            };
+            cmds.push((retire_at, id, 7, format!("E\t{id}\t0\t{open}")));
+            cmds.push((
+                retire_at,
+                id,
+                8,
+                format!("R\t{id}\t{}\t{}", t.seq, u8::from(flushed)),
+            ));
+        }
+        cmds.sort_by_key(|&(cycle, id, ord, _)| (cycle, id, ord));
+        writeln!(w, "Kanata\t0004")?;
+        let mut cursor = None;
+        for (cycle, _, _, cmd) in cmds {
+            match cursor {
+                None => writeln!(w, "C=\t{cycle}")?,
+                Some(c) if cycle > c => writeln!(w, "C\t{}", cycle - c)?,
+                _ => {}
+            }
+            cursor = Some(cycle);
+            writeln!(w, "{cmd}")?;
+        }
+        w.flush()
+    }
+
+    /// Writes the trace to a file, creating parent directories.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        self.write(io::BufWriter::new(std::fs::File::create(path)?))
+    }
+}
+
+/// Summary returned by [`validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidateSummary {
+    /// Instructions declared (`I` commands).
+    pub insts: u64,
+    /// Instructions retired normally.
+    pub retired: u64,
+    /// Instructions flushed (squashed or cut off).
+    pub flushed: u64,
+    /// Cycles spanned by the trace.
+    pub cycles: u64,
+}
+
+/// Parses a Konata trace, checking structural invariants: the header, a
+/// monotone cycle cursor, stage starts/ends that match per instruction,
+/// and a retire command for every declared instruction. Returns counts on
+/// success and a description of the first violation otherwise.
+pub fn validate(text: &str) -> Result<ValidateSummary, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "Kanata\t0004")) => {}
+        other => return Err(format!("bad header: {:?}", other.map(|(_, l)| l))),
+    }
+    let mut cursor: Option<u64> = None;
+    let mut first_cycle = None;
+    // Per declared id: the currently open stage and whether it retired.
+    let mut open: Vec<Option<String>> = Vec::new();
+    let mut retired: Vec<bool> = Vec::new();
+    let mut n_retired = 0u64;
+    let mut n_flushed = 0u64;
+    let err = |n: usize, msg: String| Err(format!("line {}: {msg}", n + 1));
+    let parse_id = |f: &[&str], declared: usize| -> Result<usize, String> {
+        f.get(1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&id| id < declared)
+            .ok_or_else(|| format!("bad or undeclared id in {f:?}"))
+    };
+    for (n, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        match f[0] {
+            "C=" => {
+                let c: u64 = f[1].parse().map_err(|_| format!("line {}: bad C=", n + 1))?;
+                cursor = Some(c);
+                first_cycle = Some(c);
+            }
+            "C" => {
+                let d: u64 = f[1].parse().map_err(|_| format!("line {}: bad C", n + 1))?;
+                match cursor.as_mut() {
+                    Some(c) => *c += d,
+                    None => return err(n, "C before C=".into()),
+                }
+            }
+            "I" => {
+                open.push(None);
+                retired.push(false);
+                if f.len() < 4 {
+                    return err(n, format!("short I command {line:?}"));
+                }
+            }
+            "L" => {
+                if let Err(e) = parse_id(&f, open.len()) {
+                    return err(n, e);
+                }
+            }
+            "S" => {
+                let id = match parse_id(&f, open.len()) {
+                    Ok(id) => id,
+                    Err(e) => return err(n, e),
+                };
+                if retired[id] {
+                    return err(n, format!("stage start after retire for id {id}"));
+                }
+                if let Some(s) = &open[id] {
+                    return err(n, format!("stage {s} still open for id {id}"));
+                }
+                open[id] = Some(f.get(3).unwrap_or(&"").to_string());
+            }
+            "E" => {
+                let id = match parse_id(&f, open.len()) {
+                    Ok(id) => id,
+                    Err(e) => return err(n, e),
+                };
+                let stage = f.get(3).unwrap_or(&"").to_string();
+                if open[id].as_deref() != Some(stage.as_str()) {
+                    return err(
+                        n,
+                        format!("stage end {stage:?} does not match open {:?}", open[id]),
+                    );
+                }
+                open[id] = None;
+            }
+            "R" => {
+                let id = match parse_id(&f, open.len()) {
+                    Ok(id) => id,
+                    Err(e) => return err(n, e),
+                };
+                if retired[id] {
+                    return err(n, format!("double retire for id {id}"));
+                }
+                if open[id].is_some() {
+                    return err(n, format!("retire with open stage for id {id}"));
+                }
+                retired[id] = true;
+                match f.get(3) {
+                    Some(&"0") => n_retired += 1,
+                    Some(&"1") => n_flushed += 1,
+                    other => return err(n, format!("bad retire type {other:?}")),
+                }
+            }
+            other => return err(n, format!("unknown command {other:?}")),
+        }
+    }
+    if let Some(id) = retired.iter().position(|&r| !r) {
+        return Err(format!("instruction id {id} never retired"));
+    }
+    Ok(ValidateSummary {
+        insts: open.len() as u64,
+        retired: n_retired,
+        flushed: n_flushed,
+        cycles: match (first_cycle, cursor) {
+            (Some(a), Some(b)) => b - a + 1,
+            _ => 0,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips_through_validate() {
+        let mut t = KonataTrace::new(10, 14);
+        t.fetched(100, 9, 0x40, false); // below range: ignored
+        t.fetched(100, 10, 0x44, false);
+        t.fetched(100, 11, 0x48, false);
+        t.fetched(101, 12, 0x4c, true);
+        t.fetched(101, 14, 0x50, false); // above range: ignored
+        t.issued(112, 10, 113);
+        t.issued(113, 11, 120);
+        t.committed(114, 10);
+        t.squashed(115, 11); // squash before its completion at 120
+        t.squashed(115, 12); // squash before issue
+        assert_eq!(t.captured(), 3);
+        let mut buf = Vec::new();
+        t.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let s = validate(&text).expect("trace must validate");
+        assert_eq!(s.insts, 3);
+        assert_eq!(s.retired, 1);
+        assert_eq!(s.flushed, 2);
+        assert_eq!(s.cycles, 16, "cycles 100..=115");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_traces() {
+        assert!(validate("nonsense").is_err());
+        assert!(validate("Kanata\t0004\nS\t0\t0\tF\n").is_err(), "undeclared id");
+        assert!(
+            validate("Kanata\t0004\nC=\t5\nI\t0\t0\t0\n").is_err(),
+            "unretired instruction"
+        );
+        assert!(
+            validate("Kanata\t0004\nC=\t5\nI\t0\t0\t0\nS\t0\t0\tF\nE\t0\t0\tX\n").is_err(),
+            "mismatched stage end"
+        );
+    }
+}

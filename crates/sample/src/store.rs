@@ -408,6 +408,51 @@ impl<'a> StoredSampler<'a> {
         out
     }
 
+    /// [`StoredSampler::run_range`], but returning each window's full
+    /// measured-phase [`SimStats`] alongside its [`SamplePoint`] — the
+    /// sampled runners' time-series sinks consume the per-window stats
+    /// while the grid aggregation keeps using the points. Same chunked
+    /// serial/parallel structure, bit-identical for any `jobs`.
+    pub fn run_range_stats(
+        &mut self,
+        kind: EngineKind,
+        pcfg: ProcessorConfig,
+        range: std::ops::Range<u64>,
+        jobs: usize,
+    ) -> Vec<(SamplePoint, SimStats)> {
+        let jobs = jobs.max(1);
+        let (image, scfg) = (self.image, self.scfg);
+        let mut out = Vec::with_capacity((range.end - range.start) as usize);
+        let mut w = range.start;
+        while w < range.end {
+            let chunk = (range.end - w).min(jobs as u64);
+            let snaps: Vec<(u64, Executor<'a>)> =
+                (w..w + chunk).map(|i| (i, self.snapshot(i))).collect();
+            if jobs == 1 {
+                for (i, snap) in snaps {
+                    let (p, s, _) = window_point(image, kind, pcfg, &scfg, i, snap, false);
+                    out.push((p, s));
+                }
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = snaps
+                        .into_iter()
+                        .map(|(i, snap)| {
+                            s.spawn(move || {
+                                let (p, st, _) =
+                                    window_point(image, kind, pcfg, &scfg, i, snap, false);
+                                (p, st)
+                            })
+                        })
+                        .collect();
+                    out.extend(handles.into_iter().map(|h| h.join().expect("window worker")));
+                });
+            }
+            w += chunk;
+        }
+        out
+    }
+
     /// Ensures every window in `0..windows` has a stored checkpoint
     /// (the shard parent's one-pass populate), returning the number
     /// that had to be computed.

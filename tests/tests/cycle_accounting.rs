@@ -1,0 +1,166 @@
+//! The top-down cycle-accounting contracts:
+//!
+//! * **The identity** — every simulated cycle is attributed to exactly
+//!   one [`CycleBuckets`] bucket, so `buckets.sum() == cycles` — not as
+//!   a tolerance but as an equality, property-tested for all four
+//!   engines under *random* front-pipeline models (the same generator
+//!   space `front_pipeline.rs` exercises).
+//! * **Observation never moves time** — attaching a real observer
+//!   (Konata pipeline tracing, capture window *inside* the run) yields
+//!   bit-identical [`SimStats`] to the monomorphized-away
+//!   [`NullObserver`] default, again under random fronts.
+//! * **Bucket semantics** — the commit bucket bounds committed
+//!   throughput (`committed <= commit * width`), redirect-hold
+//!   attributions never exceed the redirect-hold counter, a zero
+//!   redirect penalty attributes zero redirect holds, and the seed
+//!   programs never trip the watchdog.
+
+use proptest::prelude::*;
+
+use sfetch_bench::obs::KonataObserver;
+use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+use sfetch_cfg::{layout, CodeImage};
+use sfetch_core::{FrontPipeline, Processor, ProcessorConfig, SimStats};
+use sfetch_fetch::EngineKind;
+use sfetch_obs::KonataTrace;
+
+/// Simulation width of every run in this harness.
+const WIDTH: usize = 4;
+
+/// Runs `insts` committed instructions (no warmup/reset) with an
+/// explicit front model, with the default disabled observer.
+fn run_with_front(
+    cfg: &sfetch_cfg::Cfg,
+    image: &CodeImage,
+    kind: EngineKind,
+    front: FrontPipeline,
+    seed: u64,
+    insts: u64,
+) -> SimStats {
+    let mut pc = ProcessorConfig::table2(WIDTH);
+    pc.front = front;
+    let engine = kind.build_for(WIDTH, image.entry(), &pc.prefetch, &front);
+    let mut p = Processor::new(pc, engine, cfg, image, seed);
+    p.run(insts);
+    p.stats()
+}
+
+/// The identical run with a Konata observer attached and actively
+/// capturing (the window sits inside the run, so the hooks do real
+/// buffering work — the strongest perturbation the tracing layer can
+/// exert).
+fn run_observed(
+    image: &CodeImage,
+    kind: EngineKind,
+    front: FrontPipeline,
+    seed: u64,
+    insts: u64,
+) -> (SimStats, KonataTrace) {
+    let mut pc = ProcessorConfig::table2(WIDTH);
+    pc.front = front;
+    let engine = kind.build_for(WIDTH, image.entry(), &pc.prefetch, &front);
+    let mem = sfetch_mem::MemoryHierarchy::new(sfetch_mem::MemoryConfig::table2(WIDTH));
+    let oracle = sfetch_trace::Executor::from_image(image, seed);
+    let obs = KonataObserver(KonataTrace::new(insts / 4, insts / 2));
+    let mut p = Processor::with_state_observed(pc, engine, image, oracle, mem, obs);
+    p.run(insts);
+    let stats = p.stats();
+    (stats, p.into_observer().0)
+}
+
+/// Checks every structural bucket contract on one finished run.
+fn assert_accounting(kind: EngineKind, front: &FrontPipeline, s: &SimStats) {
+    assert_eq!(
+        s.buckets.sum(),
+        s.cycles,
+        "{kind}: cycle accounting must attribute every cycle exactly once \
+         (front {front:?}, buckets {:?})",
+        s.buckets
+    );
+    assert_eq!(s.buckets.watchdog, 0, "{kind}: watchdog bucket charged on a healthy run");
+    assert_eq!(s.watchdog_resyncs, 0, "{kind}: watchdog resynced on a healthy run");
+    assert!(s.buckets.commit > 0, "{kind}: a committing run must have commit cycles");
+    assert!(
+        s.committed <= s.buckets.commit * WIDTH as u64,
+        "{kind}: committed {} exceeds commit-bucket capacity {} × width {WIDTH}",
+        s.committed,
+        s.buckets.commit
+    );
+    assert!(
+        s.buckets.hold_redirect <= s.hold_redirect_cycles,
+        "{kind}: more redirect-hold attributions than redirect-hold cycles"
+    );
+    if front.redirect_penalty == 0 {
+        assert_eq!(
+            s.buckets.hold_redirect, 0,
+            "{kind}: redirect holds attributed under a zero penalty"
+        );
+    }
+}
+
+/// Deterministic smoke: the identity and the observer neutrality on one
+/// generated program, all four engines, both front models.
+#[test]
+fn accounting_sums_and_observer_is_neutral_on_generated_programs() {
+    let cfg = ProgramGenerator::new(GenParams::small(), 42).generate();
+    let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+    for kind in EngineKind::ALL {
+        for front in [FrontPipeline::legacy(), FrontPipeline::for_engine(kind)] {
+            let s = run_with_front(&cfg, &image, kind, front, 7, 20_000);
+            assert_accounting(kind, &front, &s);
+            let (observed, trace) = run_observed(&image, kind, front, 7, 20_000);
+            assert_eq!(s, observed, "{kind}: attaching tracing moved simulated statistics");
+            assert!(trace.captured() > 0, "{kind}: in-range capture recorded nothing");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The accounting identity under random front-pipeline models: for
+    /// any engine, any front geometry, and any seed, every cycle lands
+    /// in exactly one bucket.
+    #[test]
+    fn every_cycle_is_attributed_under_random_fronts(
+        depth in 1u32..24,
+        redirect_penalty in 0u32..8,
+        decode_redirect_lat in 1u32..6,
+        shadow_decode in any::<bool>(),
+        engine_idx in 0usize..4,
+        seed in 0u64..1024,
+    ) {
+        let kind = EngineKind::ALL[engine_idx];
+        let front = FrontPipeline { depth, redirect_penalty, decode_redirect_lat, shadow_decode };
+        let cfg = ProgramGenerator::new(GenParams::small(), seed % 8).generate();
+        let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let s = run_with_front(&cfg, &image, kind, front, seed, 15_000);
+        prop_assert!(s.committed >= 15_000, "{}: no forward progress", kind);
+        assert_accounting(kind, &front, &s);
+    }
+
+    /// Observer neutrality under random fronts: a live, actively
+    /// capturing pipeline tracer yields the same [`SimStats`] as the
+    /// compiled-away default, bit for bit.
+    #[test]
+    fn tracing_never_moves_time_under_random_fronts(
+        depth in 1u32..20,
+        redirect_penalty in 0u32..6,
+        shadow_decode in any::<bool>(),
+        engine_idx in 0usize..4,
+        seed in 0u64..512,
+    ) {
+        let kind = EngineKind::ALL[engine_idx];
+        let front = FrontPipeline {
+            depth,
+            redirect_penalty,
+            decode_redirect_lat: 2,
+            shadow_decode,
+        };
+        let cfg = ProgramGenerator::new(GenParams::small(), seed % 8).generate();
+        let image = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let plain = run_with_front(&cfg, &image, kind, front, seed, 10_000);
+        let (observed, _) = run_observed(&image, kind, front, seed, 10_000);
+        prop_assert_eq!(plain, observed, "{}: tracing perturbed the run", kind);
+    }
+}
