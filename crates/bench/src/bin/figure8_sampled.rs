@@ -18,8 +18,9 @@
 //!     [--engines all|…] [--widths all|…] [--store DIR] \
 //!     [--procs N] [--verify] [--chaos SEED] [--max-retries N] \
 //!     [--cell-timeout SECS] [--no-fleet] [--spread-floor F] \
-//!     [--jobs N] [--legacy-scan] [--prefetch K] \
+//!     [--jobs N] [--legacy-scan] [--prefetch K] [--warm-bank] \
 //!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural] \
+//!     [--serve SOCKET] [--req ID] \
 //!     [--obs-dir DIR] [--interval N] [--ptrace LO-HI]
 //! ```
 //!
@@ -44,6 +45,14 @@
 //! persist across invocations. Exit status: 0 complete, 2 degraded,
 //! 1 error.
 //!
+//! With `--serve SOCKET` the grid is not simulated locally at all: the
+//! request is submitted to a resident `sfetch-serve` daemon, the
+//! per-window points are collected from its result stream, and the
+//! identical merge renders the identical table — byte-for-byte the
+//! one-shot stdout, while the daemon's warm store and ledger dedupe the
+//! work across every concurrent client. `--verify` still works (the
+//! oracle is storeless), which puts the entire daemon path under test.
+//!
 //! Per-point output is the sampled IPC with its 95% confidence
 //! interval; the closing lines report the 8-wide engine spread against
 //! the paper's ~3.5× (Fig. 8c) and the store traffic (how much
@@ -58,180 +67,24 @@
 //! engine spread falls below `F` — the CI calibration leg's guard.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::Path;
 use std::process::ExitCode;
 
-use sfetch_bench::fleet_grid::{
-    degradation_exit, maybe_run_fleet_child, run_fleet_grid, FleetGridSpec,
+use sfetch_bench::driver::{
+    finish_store, or_die, populate_store, resolve_store, run_fleet_cells, run_no_fleet,
+    run_shard_child, submit_and_collect, ArgDefaults, CommonArgs, ScheduleAxis, ServeEvent,
 };
+use sfetch_bench::fleet_grid::maybe_run_fleet_child;
 use sfetch_bench::grid::{
-    cells, engine_key, merge_grid, parse_engines, parse_widths, print_grid_table,
-    run_sampled_grid, shard_file_text, spawn_shards, spread_at_width, verify_merged, CellRun,
+    cells, merge_grid, print_grid_table, run_sampled_grid, spread_at_width, verify_merged, CellRun,
 };
-use sfetch_bench::obs::{write_sampled_obs, ObsOpts};
-use sfetch_bench::{workload_by_name, HarnessOpts};
-use sfetch_fetch::EngineKind;
-use sfetch_sample::{CheckpointStore, ShardSpec, StoredSampler};
-use sfetch_workloads::LayoutChoice;
+use sfetch_bench::obs::write_sampled_obs;
+use sfetch_bench::workload_by_name;
+use sfetch_sample::CheckpointStore;
 
-/// Exits with a readable message instead of a panic backtrace.
-fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
-    r.unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    })
-}
+const AXIS: ScheduleAxis = ScheduleAxis::Grid;
 
-struct Args {
-    opts: HarnessOpts,
-    bench: String,
-    engines: Vec<EngineKind>,
-    widths: Vec<usize>,
-    procs: usize,
-    verify: bool,
-    shard: Option<ShardSpec>,
-    out: Option<String>,
-    store: Option<String>,
-    chaos: Option<u64>,
-    max_retries: u32,
-    cell_timeout: Option<u64>,
-    no_fleet: bool,
-    spread_floor: Option<f64>,
-    obs: ObsOpts,
-}
-
-fn parse_args() -> Args {
-    let mut bench = "phased".to_owned();
-    let mut engines = "all".to_owned();
-    let mut widths = "all".to_owned();
-    let mut procs = 1usize;
-    let mut verify = false;
-    let mut shard = None;
-    let mut out = None;
-    let mut store = None;
-    let mut chaos = None;
-    let mut max_retries = 3u32;
-    let mut cell_timeout = None;
-    let mut no_fleet = false;
-    let mut spread_floor = None;
-    let mut rest: Vec<String> = Vec::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let take = |i: usize, what: &str| -> String {
-        args.get(i + 1).unwrap_or_else(|| panic!("{what} requires a value")).clone()
-    };
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--bench" => {
-                bench = take(i, "--bench");
-                i += 2;
-            }
-            "--engines" => {
-                engines = take(i, "--engines");
-                i += 2;
-            }
-            "--widths" => {
-                widths = take(i, "--widths");
-                i += 2;
-            }
-            "--procs" => {
-                procs = take(i, "--procs").parse().expect("--procs requires a number >= 1");
-                i += 2;
-            }
-            "--verify" => {
-                verify = true;
-                i += 1;
-            }
-            "--shard" => {
-                shard = Some(ShardSpec::parse(&take(i, "--shard")).expect("bad --shard"));
-                i += 2;
-            }
-            "--out" => {
-                out = Some(take(i, "--out"));
-                i += 2;
-            }
-            "--store" => {
-                store = Some(take(i, "--store"));
-                i += 2;
-            }
-            "--chaos" => {
-                chaos = Some(take(i, "--chaos").parse().expect("--chaos requires a seed"));
-                i += 2;
-            }
-            "--max-retries" => {
-                max_retries =
-                    take(i, "--max-retries").parse().expect("--max-retries requires a number");
-                i += 2;
-            }
-            "--cell-timeout" => {
-                cell_timeout = Some(
-                    take(i, "--cell-timeout").parse().expect("--cell-timeout requires seconds"),
-                );
-                i += 2;
-            }
-            "--no-fleet" => {
-                no_fleet = true;
-                i += 1;
-            }
-            "--spread-floor" => {
-                spread_floor = Some(
-                    take(i, "--spread-floor").parse().expect("--spread-floor requires a ratio"),
-                );
-                i += 2;
-            }
-            flag @ ("--legacy-scan" | "--long") => {
-                rest.push(flag.to_owned());
-                i += 1;
-            }
-            other => {
-                rest.push(other.to_owned());
-                rest.push(take(i, other));
-                i += 2;
-            }
-        }
-    }
-    let obs = ObsOpts::extract(&mut rest);
-    let opts = HarnessOpts::from_arg_list(&rest);
-    assert!(procs >= 1, "--procs must be >= 1");
-    Args {
-        opts,
-        bench,
-        engines: or_die(parse_engines(&engines)),
-        widths: or_die(parse_widths(&widths)),
-        procs,
-        verify,
-        shard,
-        out,
-        store,
-        chaos,
-        max_retries,
-        cell_timeout,
-        no_fleet,
-        spread_floor,
-        obs,
-    }
-}
-
-fn run_child(a: &Args, shard: ShardSpec) -> ExitCode {
-    let w = workload_by_name(&a.bench);
-    let grid = cells(&a.engines, &a.widths);
-    let windows = a.opts.grid_sample.windows(a.opts.grid_total);
-    let Some(store_path) = a.store.as_deref() else {
-        eprintln!("error: shard child needs --store");
-        return ExitCode::FAILURE;
-    };
-    let store = or_die(CheckpointStore::open(store_path));
-    let text = shard_file_text(&w, &grid, windows, a.opts.grid_sample, &a.opts, &store, shard);
-    match &a.out {
-        Some(path) => {
-            or_die(sfetch_bench::grid::write_shard_atomic(std::path::Path::new(path), &text))
-        }
-        None => print!("{}", sfetch_fleet::seal(&text)),
-    }
-    ExitCode::SUCCESS
-}
-
-fn print_panels(a: &Args, runs: &[CellRun]) {
+fn print_panels(a: &CommonArgs, runs: &[CellRun]) {
     for (panel, &width) in a.widths.iter().enumerate() {
         println!(
             "\nFigure 8({}) sampled: {width}-wide, optimized layout, IPC [95% CI]",
@@ -256,10 +109,88 @@ fn print_panels(a: &Args, runs: &[CellRun]) {
     }
 }
 
-fn run_parent(a: &Args) -> ExitCode {
-    let w = workload_by_name(&a.bench);
+/// `--spread-floor` guard; returns whether the floor failed.
+fn check_spread_floor(a: &CommonArgs, runs: &[CellRun]) -> bool {
+    let Some(floor) = a.spread_floor else {
+        return false;
+    };
+    match spread_at_width(runs, 8) {
+        Some((_, _, ratio)) if ratio >= floor => {
+            println!("spread floor OK: {ratio:.3}× >= {floor:.3}×");
+            false
+        }
+        Some((_, _, ratio)) => {
+            eprintln!(
+                "error: 8-wide engine spread {ratio:.3}× is below the required floor \
+                 {floor:.3}× — the per-engine calibration regressed"
+            );
+            true
+        }
+        None => {
+            eprintln!("error: --spread-floor needs >= 2 engines at width 8");
+            true
+        }
+    }
+}
+
+/// `--verify` leg — the oracle is **storeless**, so it validates the
+/// local store path and the daemon stream path alike.
+fn maybe_verify(a: &CommonArgs, runs: &[CellRun], windows: u64, degraded: bool) {
+    if a.verify && !degraded {
+        eprintln!("\nverifying merged grid against a storeless in-process rerun…");
+        let w = workload_by_name(a.bench());
+        verify_merged(&w, runs, AXIS.scfg(&a.opts), &a.opts, windows);
+        println!("verify OK: store-backed grid is bit-identical to a storeless single-process run");
+    } else if a.verify {
+        eprintln!("verify skipped: degraded result has incomplete cells");
+    }
+}
+
+fn exit_for(floor_failed: bool, degraded: bool) -> ExitCode {
+    let _ = std::io::stdout().flush();
+    if floor_failed {
+        ExitCode::FAILURE
+    } else if degraded {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--serve SOCKET`: submit to the resident daemon, merge the streamed
+/// points client-side, render the identical table.
+fn run_serve(a: &CommonArgs, sock: &Path) -> ExitCode {
+    let req = a.request(a.bench(), AXIS);
+    let grid = req.grid();
+    let windows = req.windows();
+    let id = a.req_id.clone().unwrap_or_else(|| format!("fig8-{}", std::process::id()));
+    eprintln!(
+        "serve: submitting {id} ({} cells × {windows} windows) to {}",
+        grid.len(),
+        sock.display()
+    );
+    let out = or_die(submit_and_collect(sock, &id, &req, |line| {
+        if let Ok(ServeEvent::Cell { cell, resumed, .. }) = ServeEvent::parse(line) {
+            eprintln!("  [{id}] cell {cell} {}", if resumed { "resumed" } else { "done" });
+        }
+    }));
+    let degraded = out.status != "complete";
+    let runs = or_die(merge_grid(&grid, windows, &out.points, req.scfg.confidence));
+    print_grid_table(&runs);
+    print_panels(a, &runs);
+    eprintln!(
+        "serve: {} cells computed, {} resumed, {} shared with concurrent requests",
+        out.computed, out.resumed, out.shared
+    );
+    maybe_verify(a, &runs, windows, degraded);
+    let floor_failed = check_spread_floor(a, &runs);
+    exit_for(floor_failed, degraded)
+}
+
+fn run_parent(a: &CommonArgs) -> ExitCode {
+    let w = workload_by_name(a.bench());
     let grid = cells(&a.engines, &a.widths);
-    let scfg = a.opts.grid_sample;
+    let scfg = AXIS.scfg(&a.opts);
     let windows = scfg.windows(a.opts.grid_total);
     assert!(windows >= 1, "grid-total {} yields no windows", a.opts.grid_total);
     eprintln!(
@@ -272,77 +203,23 @@ fn run_parent(a: &Args) -> ExitCode {
 
     let tmp = std::env::temp_dir().join(format!("sfetch-fig8s-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create temp dir");
-    let (store_dir, store_is_temp) = match &a.store {
-        Some(dir) => (PathBuf::from(dir), false),
-        None => (tmp.join("store"), true),
-    };
+    let (store_dir, store_is_temp) = resolve_store(a.store.as_deref(), tmp.join("store"));
     let store = or_die(CheckpointStore::open(&store_dir));
 
     let mut degraded = false;
     let runs = if a.procs > 1 {
         // Populate once, then fan the flattened grid across processes.
-        let img = w.image(LayoutChoice::Optimized);
-        let fp = w.fingerprint(LayoutChoice::Optimized);
-        let mut populate = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store);
-        let computed = populate.populate(windows);
-        eprintln!(
-            "store {}: {windows} windows ready ({computed} computed, {} loaded warm)",
-            store_dir.display(),
-            populate.stats().hits
-        );
+        populate_store(&w, scfg, windows, &store, &format!("store {}", store_dir.display()));
         let procs = a.procs.min((grid.len() as u64 * windows) as usize).max(1);
         if a.no_fleet {
-            let all = or_die(spawn_shards(procs, &tmp, |i, out| {
-                let mut args: Vec<std::ffi::OsString> = vec![
-                    "--bench".into(),
-                    a.bench.clone().into(),
-                    "--engines".into(),
-                    a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
-                    "--widths".into(),
-                    a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
-                    "--grid-total".into(),
-                    a.opts.grid_total.to_string().into(),
-                    "--grid-sample".into(),
-                    a.opts.grid_sample.to_spec().into(),
-                    "--jobs".into(),
-                    a.opts.jobs.to_string().into(),
-                    "--front-pipeline".into(),
-                    a.opts.front.as_str().into(),
-                    "--grid-prefetch".into(),
-                    a.opts.grid_prefetch.as_str().into(),
-                ];
-                if a.opts.legacy_scan {
-                    args.push("--legacy-scan".into());
-                }
-                if a.opts.prefetch.mshrs > 0 {
-                    args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
-                    args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
-                }
-                args.extend(["--no-fleet".into(), "--shard".into(), format!("{i}/{procs}").into()]);
-                args.extend(["--store".into(), store_dir.clone().into()]);
-                args.extend(["--out".into(), out.as_os_str().to_owned()]);
-                args
-            }));
-            or_die(merge_grid(&grid, windows, &all, scfg.confidence))
+            or_die(run_no_fleet(a, AXIS, a.bench(), &grid, windows, procs, &tmp, &store_dir))
         } else {
-            let outcome = or_die(run_fleet_grid(&FleetGridSpec {
-                bench: &a.bench,
-                grid: &grid,
-                scfg,
-                total: a.opts.grid_total,
-                opts: &a.opts,
-                store_dir: &store_dir,
-                procs,
-                chaos: a.chaos,
-                max_retries: a.max_retries,
-                cell_timeout_s: a.cell_timeout,
-            }));
-            degraded = degradation_exit(&outcome) != 0;
-            outcome.runs
+            let (runs, d) = or_die(run_fleet_cells(a, AXIS, a.bench(), &grid, &store_dir, procs));
+            degraded = d;
+            runs
         }
     } else {
-        let (runs, traffic) =
-            run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
+        let (runs, traffic) = run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
         eprintln!(
             "store traffic: {} hits, {} computed, {} rejected",
             traffic.hits, traffic.misses, traffic.rejected
@@ -357,57 +234,28 @@ fn run_parent(a: &Args) -> ExitCode {
         or_die(write_sampled_obs(&w, &grid, scfg, windows, &a.opts, &a.obs, &store));
     }
 
-    if a.verify && !degraded {
-        eprintln!("\nverifying merged grid against a storeless in-process rerun…");
-        verify_merged(&w, &runs, scfg, &a.opts, windows);
-        println!(
-            "verify OK: store-backed grid is bit-identical to a storeless single-process run"
-        );
-    } else if a.verify {
-        eprintln!("verify skipped: degraded result has incomplete cells");
-    }
+    maybe_verify(a, &runs, windows, degraded);
 
-    if store_is_temp {
-        let _ = std::fs::remove_dir_all(&store_dir);
-    } else {
-        println!("store kept at {} ({} entries)", store_dir.display(), store.entries());
-    }
+    finish_store(store_is_temp, &store_dir, &store, true);
     let _ = std::fs::remove_dir_all(&tmp);
 
-    let mut floor_failed = false;
-    if let Some(floor) = a.spread_floor {
-        match spread_at_width(&runs, 8) {
-            Some((_, _, ratio)) if ratio >= floor => {
-                println!("spread floor OK: {ratio:.3}× >= {floor:.3}×");
-            }
-            Some((_, _, ratio)) => {
-                eprintln!(
-                    "error: 8-wide engine spread {ratio:.3}× is below the required floor \
-                     {floor:.3}× — the per-engine calibration regressed"
-                );
-                floor_failed = true;
-            }
-            None => {
-                eprintln!("error: --spread-floor needs >= 2 engines at width 8");
-                floor_failed = true;
-            }
-        }
-    }
-    let _ = std::io::stdout().flush();
-    if floor_failed {
-        ExitCode::FAILURE
-    } else if degraded {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
-    }
+    let floor_failed = check_spread_floor(a, &runs);
+    exit_for(floor_failed, degraded)
 }
 
 fn main() -> ExitCode {
     maybe_run_fleet_child();
-    let a = parse_args();
+    let a = CommonArgs::parse(&ArgDefaults {
+        benches: "phased",
+        engines: "all",
+        widths: "all",
+        procs: 1,
+    });
+    if let Some(sock) = a.serve.clone() {
+        return run_serve(&a, &sock);
+    }
     match a.shard {
-        Some(spec) => run_child(&a, spec),
+        Some(spec) => run_shard_child(&a, AXIS, spec),
         None => run_parent(&a),
     }
 }

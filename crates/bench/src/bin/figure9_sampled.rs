@@ -22,13 +22,20 @@
 //! Exit status: 0 complete, 2 degraded (some cells permanently failed),
 //! 1 error.
 //!
+//! With `--serve SOCKET` nothing is simulated locally: each benchmark
+//! is submitted to a resident `sfetch-serve` daemon as its own request,
+//! the streamed points are merged client-side, and the printed table is
+//! byte-identical to a local run — while the daemon's warm store and
+//! cell ledger dedupe the suite's work across all concurrent clients.
+//!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin figure9_sampled -- \
 //!     [--benches gzip,gcc,crafty,twolf,phased] [--engines all|…] \
 //!     [--grid-total N] [--grid-sample U,Wf,Wd,D[,Wm]] [--store DIR] \
 //!     [--procs N] [--chaos SEED] [--max-retries N] [--cell-timeout S] \
-//!     [--jobs N] [--legacy-scan] [--prefetch K] \
+//!     [--jobs N] [--legacy-scan] [--prefetch K] [--warm-bank] \
 //!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural] \
+//!     [--serve SOCKET] [--req ID] \
 //!     [--obs-dir DIR] [--interval N] [--ptrace LO-HI]
 //! ```
 //!
@@ -36,132 +43,48 @@
 //! cycle-accounting time series (and, with `--ptrace`, Konata pipeline
 //! traces) into `DIR/<bench>/` — a pure side pass over the warm
 //! checkpoint store that leaves the reported IPC numbers untouched.
+//! (`--obs-dir` needs the local store, so it is ignored under
+//! `--serve`.)
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sfetch_bench::fleet_grid::{
-    degradation_exit, maybe_run_fleet_child, run_fleet_grid, FleetGridSpec,
+use sfetch_bench::driver::{
+    finish_store, or_die, populate_store, resolve_store, run_fleet_cells, submit_and_collect,
+    ArgDefaults, CommonArgs, ScheduleAxis,
 };
-use sfetch_bench::grid::{cells, parse_engines, run_sampled_grid, CellRun, FIG9_WIDTH};
-use sfetch_bench::obs::{write_sampled_obs, ObsOpts};
-use sfetch_bench::{workload_by_name, HarnessOpts};
+use sfetch_bench::fleet_grid::maybe_run_fleet_child;
+use sfetch_bench::grid::{cells, merge_grid, run_sampled_grid, CellRun, FIG9_WIDTH};
+use sfetch_bench::obs::write_sampled_obs;
+use sfetch_bench::workload_by_name;
 use sfetch_core::metrics::harmonic_mean;
 use sfetch_fetch::EngineKind;
-use sfetch_sample::{CheckpointStore, StoredSampler};
-use sfetch_workloads::LayoutChoice;
+use sfetch_sample::CheckpointStore;
 
 /// Default benchmark set: the quick ablation subset plus the
 /// long-horizon phased workload.
 const DEFAULT_BENCHES: &str = "gzip,gcc,crafty,twolf,phased";
 
-/// Exits with a readable message instead of a panic backtrace.
-fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
-    r.unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    })
-}
-
-struct Args {
-    opts: HarnessOpts,
-    benches: Vec<String>,
-    engines: Vec<EngineKind>,
-    store: Option<String>,
-    procs: usize,
-    chaos: Option<u64>,
-    max_retries: u32,
-    cell_timeout: Option<u64>,
-    obs: ObsOpts,
-}
-
-fn parse_args() -> Args {
-    let mut benches = DEFAULT_BENCHES.to_owned();
-    let mut engines = "all".to_owned();
-    let mut store = None;
-    let mut procs = 1usize;
-    let mut chaos = None;
-    let mut max_retries = 3u32;
-    let mut cell_timeout = None;
-    let mut rest: Vec<String> = Vec::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let take = |i: usize, what: &str| -> String {
-        args.get(i + 1).unwrap_or_else(|| panic!("{what} requires a value")).clone()
-    };
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--benches" => {
-                benches = take(i, "--benches");
-                i += 2;
-            }
-            "--engines" => {
-                engines = take(i, "--engines");
-                i += 2;
-            }
-            "--store" => {
-                store = Some(take(i, "--store"));
-                i += 2;
-            }
-            "--procs" => {
-                procs = take(i, "--procs").parse().expect("--procs requires a number >= 1");
-                i += 2;
-            }
-            "--chaos" => {
-                chaos = Some(take(i, "--chaos").parse().expect("--chaos requires a seed"));
-                i += 2;
-            }
-            "--max-retries" => {
-                max_retries =
-                    take(i, "--max-retries").parse().expect("--max-retries requires a number");
-                i += 2;
-            }
-            "--cell-timeout" => {
-                cell_timeout = Some(
-                    take(i, "--cell-timeout").parse().expect("--cell-timeout requires seconds"),
-                );
-                i += 2;
-            }
-            flag @ ("--legacy-scan" | "--long") => {
-                rest.push(flag.to_owned());
-                i += 1;
-            }
-            other => {
-                rest.push(other.to_owned());
-                rest.push(take(i, other));
-                i += 2;
-            }
-        }
-    }
-    assert!(procs >= 1, "--procs must be >= 1");
-    let obs = ObsOpts::extract(&mut rest);
-    Args {
-        opts: HarnessOpts::from_arg_list(&rest),
-        benches: benches.split(',').map(|b| b.trim().to_owned()).collect(),
-        engines: or_die(parse_engines(&engines)),
-        store,
-        procs,
-        chaos,
-        max_retries,
-        cell_timeout,
-        obs,
-    }
-}
+const AXIS: ScheduleAxis = ScheduleAxis::Grid;
 
 fn main() -> ExitCode {
     maybe_run_fleet_child();
-    let a = parse_args();
+    let mut a = CommonArgs::parse(&ArgDefaults {
+        benches: DEFAULT_BENCHES,
+        engines: "all",
+        widths: "8",
+        procs: 1,
+    });
+    a.widths = vec![FIG9_WIDTH];
     let scfg = a.opts.grid_sample;
     let windows = scfg.windows(a.opts.grid_total);
     assert!(windows >= 1, "grid-total {} yields no windows", a.opts.grid_total);
 
+    let serving = a.serve.is_some();
     let tmp = std::env::temp_dir().join(format!("sfetch-fig9s-{}", std::process::id()));
-    let (store_dir, store_is_temp) = match &a.store {
-        Some(dir) => (PathBuf::from(dir), false),
-        None => (tmp.clone(), true),
-    };
-    let store = or_die(CheckpointStore::open(&store_dir));
-    let grid = cells(&a.engines, &[FIG9_WIDTH]);
+    let (store_dir, store_is_temp) = resolve_store(a.store.as_deref(), tmp.clone());
+    // Under --serve the daemon owns the (warm) store; nothing local.
+    let store = if serving { None } else { Some(or_die(CheckpointStore::open(&store_dir))) };
+    let grid = cells(&a.engines, &a.widths);
     let mut degraded = false;
 
     println!(
@@ -179,37 +102,37 @@ fn main() -> ExitCode {
     );
     let mut per_engine: Vec<(EngineKind, Vec<f64>)> =
         a.engines.iter().map(|&k| (k, Vec::new())).collect();
-    for bench in &a.benches {
-        let w = workload_by_name(bench);
-        let runs: Vec<CellRun> = if a.procs > 1 {
+    for bench in &a.benches.clone() {
+        let runs: Vec<CellRun> = if let Some(sock) = &a.serve {
+            // Resident path: one request per benchmark, merged from the
+            // daemon's result stream.
+            let req = a.request(bench, AXIS);
+            let id = a
+                .req_id
+                .as_deref()
+                .map(|base| format!("{base}-{bench}"))
+                .unwrap_or_else(|| format!("fig9-{}-{bench}", std::process::id()));
+            let out = or_die(submit_and_collect(sock, &id, &req, |_| {}));
+            eprintln!(
+                "  [{bench}] serve: {} computed, {} resumed, {} shared",
+                out.computed, out.resumed, out.shared
+            );
+            degraded |= out.status != "complete";
+            or_die(merge_grid(&grid, windows, &out.points, scfg.confidence))
+        } else if a.procs > 1 {
             // Populate this benchmark's checkpoints once, then fan the
             // engine × window cells across fleet workers.
-            let img = w.image(LayoutChoice::Optimized);
-            let fp = w.fingerprint(LayoutChoice::Optimized);
-            let mut populate = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store);
-            let computed = populate.populate(windows);
-            eprintln!(
-                "  [{}] store: {windows} windows ready ({computed} computed, {} loaded warm)",
-                w.name(),
-                populate.stats().hits
-            );
-            let outcome = or_die(run_fleet_grid(&FleetGridSpec {
-                bench,
-                grid: &grid,
-                scfg,
-                total: a.opts.grid_total,
-                opts: &a.opts,
-                store_dir: &store_dir,
-                procs: a.procs,
-                chaos: a.chaos,
-                max_retries: a.max_retries,
-                cell_timeout_s: a.cell_timeout,
-            }));
-            degraded |= degradation_exit(&outcome) != 0;
-            outcome.runs
+            let w = workload_by_name(bench);
+            let store = store.as_ref().expect("local store");
+            populate_store(&w, scfg, windows, store, &format!("  [{}] store", w.name()));
+            let (runs, d) = or_die(run_fleet_cells(&a, AXIS, bench, &grid, &store_dir, a.procs));
+            degraded |= d;
+            runs
         } else {
+            let w = workload_by_name(bench);
+            let store = store.as_ref().expect("local store");
             let (runs, traffic) =
-                run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, &store);
+                run_sampled_grid(&w, &grid, scfg, a.opts.grid_total, &a.opts, store);
             eprintln!(
                 "  [{}] store: {} hits, {} computed, {} rejected",
                 w.name(),
@@ -219,12 +142,14 @@ fn main() -> ExitCode {
             );
             runs
         };
-        if a.obs.enabled() {
+        if a.obs.enabled() && !serving {
             // Per-benchmark subdirectory: one time-series file per
             // engine, plus optional pipeline traces, per bench.
+            let w = workload_by_name(bench);
             let mut per_bench = a.obs.clone();
             per_bench.dir = a.obs.dir.as_ref().map(|d| d.join(bench));
-            or_die(write_sampled_obs(&w, &grid, scfg, windows, &a.opts, &per_bench, &store));
+            let store = store.as_ref().expect("local store");
+            or_die(write_sampled_obs(&w, &grid, scfg, windows, &a.opts, &per_bench, store));
         }
         let row: String = runs
             .iter()
@@ -236,7 +161,7 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
-        println!("{:<10} {row}", w.name());
+        println!("{:<10} {row}", bench);
         for (slot, r) in per_engine.iter_mut().zip(&runs) {
             slot.1.push(r.estimate.ipc);
         }
@@ -265,10 +190,8 @@ fn main() -> ExitCode {
         );
     }
 
-    if store_is_temp {
-        let _ = std::fs::remove_dir_all(&store_dir);
-    } else {
-        println!("store kept at {} ({} entries)", store_dir.display(), store.entries());
+    if let Some(store) = &store {
+        finish_store(store_is_temp, &store_dir, store, true);
     }
     if degraded { ExitCode::from(2) } else { ExitCode::SUCCESS }
 }

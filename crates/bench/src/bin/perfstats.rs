@@ -64,14 +64,23 @@
 //! it never alters it — and a tracing-off vs tracing-on A/B (NullObserver
 //! against an attached but out-of-range Konata observer, best-of-5) must
 //! stay bit-identical in simulated statistics with under 2% wall-clock
-//! overhead. Results go to stdout and to `BENCH_8.json` in the current
-//! directory, extending the repository's performance trajectory
-//! (`BENCH_1.json`: scan-based baseline; `BENCH_2.json`: event-driven
-//! back-end; `BENCH_3.json`: prefetch subsystem; `BENCH_4.json`: sampled
-//! simulation; `BENCH_5.json`: checkpoint store; `BENCH_6.json`: fleet
-//! supervisor; `BENCH_7.json`: front-pipeline calibration); see README.md
-//! for the `sfetch-perfstats-v8` schema — all v7 sections carry over
-//! unchanged.
+//! overhead.
+//!
+//! The v9 addition is the **`serve_ab`** section, measuring the
+//! warm-engine-state banking the resident `sfetch-serve` daemon rests
+//! on: the headline cell run twice against one fresh store with
+//! banking enabled. The cold leg warms every window live and banks the
+//! warmed engine/memory state; the banked leg restores it — asserted
+//! byte-identical, with the banked per-window warming cost asserted
+//! strictly below the live one. Results go to stdout and to
+//! `BENCH_9.json` in the current directory, extending the repository's
+//! performance trajectory (`BENCH_1.json`: scan-based baseline;
+//! `BENCH_2.json`: event-driven back-end; `BENCH_3.json`: prefetch
+//! subsystem; `BENCH_4.json`: sampled simulation; `BENCH_5.json`:
+//! checkpoint store; `BENCH_6.json`: fleet supervisor; `BENCH_7.json`:
+//! front-pipeline calibration; `BENCH_8.json`: cycle accounting); see
+//! README.md for the `sfetch-perfstats-v9` schema — all v8 sections
+//! carry over unchanged.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin perfstats \
@@ -733,6 +742,73 @@ fn measure_fleet_resilience(w: &Workload, opts: HarnessOpts) -> FleetResilience 
     }
 }
 
+/// The warm-engine-state banking A/B: what a resident `sfetch-serve`
+/// rerun pays for window warming against what a cold first run pays.
+struct ServeAb {
+    windows: u64,
+    cold_wall_s: f64,
+    banked_wall_s: f64,
+    cold_warm_ns_per_window: u64,
+    banked_warm_ns_per_window: u64,
+    bank_entries_written: u64,
+    bank_hits: u64,
+    identical: bool,
+}
+
+/// Runs the headline cell twice through one fresh store with warm-state
+/// banking enabled. The first (cold) leg warms every window live and
+/// banks the warmed engine/memory state as a side effect; the second
+/// (banked) leg restores every window's warm state from the bank — an
+/// in-memory reconstruction instead of executing the warming schedule —
+/// and is asserted byte-identical. The record is each leg's per-window
+/// warming cost ([`sfetch_sample::WarmTiming`]): the host time the
+/// resident daemon's warm bank removes from every rerun.
+fn measure_serve_ab(w: &Workload, opts: HarnessOpts) -> ServeAb {
+    let scfg = opts.grid_sample;
+    let windows = scfg.windows(opts.grid_total);
+    let store_dir = std::env::temp_dir().join(format!("sfetch-serveab-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = CheckpointStore::open(&store_dir).expect("open serve A/B store");
+    let img = w.image(LayoutChoice::Optimized);
+    let fp = w.fingerprint(LayoutChoice::Optimized);
+    let pcfg = cell_config(AB_CELL, &opts);
+
+    let mut cold = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store).with_warm_bank(true);
+    let (cold_points, cold_wall_s) =
+        timed(|| cold.run_range(AB_CELL.engine, pcfg, 0..windows, opts.jobs));
+    let cold_bank = cold.warm_bank_stats();
+    assert_eq!(cold_bank.hits, 0, "serve A/B cold leg must start from an empty warm bank");
+
+    let mut banked = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store).with_warm_bank(true);
+    let (banked_points, banked_wall_s) =
+        timed(|| banked.run_range(AB_CELL.engine, pcfg, 0..windows, opts.jobs));
+    let banked_bank = banked.warm_bank_stats();
+    assert_eq!(
+        banked_bank.hits, windows,
+        "serve A/B banked leg must restore every window from the bank"
+    );
+    let identical = cold_points == banked_points;
+    assert!(identical, "banked rerun must replay the cold run byte-identically");
+    assert!(
+        banked.timing().warm_ns < cold.timing().warm_ns,
+        "restoring banked warm state must beat live warming ({} ns vs {} ns)",
+        banked.timing().warm_ns,
+        cold.timing().warm_ns
+    );
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    ServeAb {
+        windows,
+        cold_wall_s,
+        banked_wall_s,
+        cold_warm_ns_per_window: cold.timing().warm_ns_per_window(),
+        banked_warm_ns_per_window: banked.timing().warm_ns_per_window(),
+        bank_entries_written: cold_bank.misses + cold_bank.rejected,
+        bank_hits: banked_bank.hits,
+        identical,
+    }
+}
+
 fn main() {
     maybe_run_fleet_child();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
@@ -987,6 +1063,26 @@ fn main() {
         fleet.chaos_kills,
     );
 
+    // Serve A/B: live warming vs banked warm-state restore, same cell.
+    eprintln!(
+        "serve A/B: {} windows, warm bank cold vs banked (Streams, 8-wide)…",
+        opts.grid_sample.windows(opts.grid_total)
+    );
+    let serve = measure_serve_ab(&phased_w, opts);
+    let serve_speedup = serve.cold_warm_ns_per_window as f64
+        / (serve.banked_warm_ns_per_window.max(1)) as f64;
+    println!(
+        "\nserve A/B ({}, Streams, 8-wide, {} windows):\n  \
+         live warming {} ns/window → banked restore {} ns/window = {serve_speedup:.1}× \
+         ({} bank entries written, {} restored, points byte-identical)",
+        phased_w.name(),
+        serve.windows,
+        serve.cold_warm_ns_per_window,
+        serve.banked_warm_ns_per_window,
+        serve.bank_entries_written,
+        serve.bank_hits,
+    );
+
     let total_wall_s = t0.elapsed().as_secs_f64();
     println!("\ntotal: {total_wall_s:.2}s simulation wall clock, {build_s:.2}s suite construction");
 
@@ -1004,10 +1100,11 @@ fn main() {
         (phased_w.name(), &calib, full.ipc),
         (phased_w.name(), &fleet),
         (workloads[0].name(), &obs_ab, pinned),
+        (phased_w.name(), &serve),
         total_wall_s,
     );
-    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
-    println!("wrote BENCH_8.json");
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    println!("wrote BENCH_9.json");
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1025,12 +1122,13 @@ fn render_json(
     calibration: (&str, &CalibrationGrid, f64),
     fleet: (&str, &FleetResilience),
     accounting: (&str, &ObsOverhead, bool),
+    serve_ab: (&str, &ServeAb),
     total_wall_s: f64,
 ) -> String {
     let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v8\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v9\",");
     let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
@@ -1344,6 +1442,33 @@ fn render_json(
         ob.off.ns_per_cycle(),
         ob.on.ns_per_cycle(),
         ob.overhead_pct,
+    );
+    s.push_str("  },\n");
+    let (sv_bench, sv) = serve_ab;
+    s.push_str("  \"serve_ab\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"bench\": \"{sv_bench}\", \"engine\": \"{}\", \"width\": {}, \"windows\": {},",
+        engine_key(AB_CELL.engine),
+        AB_CELL.width,
+        sv.windows
+    );
+    let _ = writeln!(
+        s,
+        "    \"cold\": {{\"wall_s\": {:.3}, \"warm_ns_per_window\": {}, \
+         \"bank_entries_written\": {}}},",
+        sv.cold_wall_s, sv.cold_warm_ns_per_window, sv.bank_entries_written
+    );
+    let _ = writeln!(
+        s,
+        "    \"banked\": {{\"wall_s\": {:.3}, \"warm_ns_per_window\": {}, \"bank_hits\": {}}},",
+        sv.banked_wall_s, sv.banked_warm_ns_per_window, sv.bank_hits
+    );
+    let _ = writeln!(
+        s,
+        "    \"warm_speedup\": {:.2}, \"identical\": {}",
+        sv.cold_warm_ns_per_window as f64 / (sv.banked_warm_ns_per_window.max(1)) as f64,
+        sv.identical
     );
     s.push_str("  },\n");
     let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");

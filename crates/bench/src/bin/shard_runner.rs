@@ -27,7 +27,7 @@
 //!     [--widths all|2,4,8] [--sample-total N] [--sample U,Wf,Wd,D[,Wm]] \
 //!     [--procs N] [--verify] [--store DIR] \
 //!     [--chaos SEED] [--max-retries N] [--cell-timeout SECS] [--no-fleet] \
-//!     [--jobs N] [--legacy-scan] [--prefetch K --mshrs N] \
+//!     [--jobs N] [--legacy-scan] [--prefetch K --mshrs N] [--warm-bank] \
 //!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural]
 //! ```
 //!
@@ -48,6 +48,10 @@
 //! (some cells exhausted retries; estimates cover completed windows
 //! only), 1 error.
 //!
+//! All of the submit/populate/fan-out/merge plumbing is the shared
+//! [`sfetch_bench::driver`] module — the same code path the figure
+//! binaries and the resident `sfetch-serve` daemon run.
+//!
 //! Accuracy note: sampled-IPC accuracy is validated (BENCH_4
 //! `sampling_ab`) for the **stream** engine, whose self-checking
 //! `warm_block` trains partial streams during functional warming. The
@@ -57,175 +61,24 @@
 //! levels, as the signal.
 
 use std::io::Write as _;
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sfetch_bench::fleet_grid::{
-    degradation_exit, maybe_run_fleet_child, run_fleet_grid, FleetGridSpec,
+use sfetch_bench::driver::{
+    finish_store, or_die, populate_store, resolve_store, run_fleet_cells, run_no_fleet,
+    run_shard_child, ArgDefaults, CommonArgs, ScheduleAxis,
 };
-use sfetch_bench::grid::{
-    cells, engine_key, merge_grid, parse_engines, parse_widths, print_grid_table,
-    shard_file_text, spawn_shards, verify_merged, write_shard_atomic,
-};
-use sfetch_bench::{workload_by_name, HarnessOpts};
-use sfetch_fetch::EngineKind;
-use sfetch_sample::{CheckpointStore, ShardSpec, StoredSampler};
-use sfetch_workloads::LayoutChoice;
+use sfetch_bench::fleet_grid::maybe_run_fleet_child;
+use sfetch_bench::grid::{cells, print_grid_table, verify_merged};
+use sfetch_bench::workload_by_name;
+use sfetch_sample::CheckpointStore;
 
-/// Exits with a readable message instead of a panic backtrace.
-fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
-    r.unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    })
-}
-
-/// Arguments beyond [`HarnessOpts`] (which handles `--sample*`/`--jobs`).
-struct ShardArgs {
-    opts: HarnessOpts,
-    bench: String,
-    engines: Vec<EngineKind>,
-    widths: Vec<usize>,
-    procs: usize,
-    verify: bool,
-    shard: Option<ShardSpec>,
-    out: Option<String>,
-    store: Option<String>,
-    chaos: Option<u64>,
-    max_retries: u32,
-    cell_timeout: Option<u64>,
-    no_fleet: bool,
-}
-
-fn parse_args() -> ShardArgs {
-    let mut bench = "phased".to_owned();
-    let mut engines = "stream".to_owned();
-    let mut widths = "8".to_owned();
-    let mut procs = 2usize;
-    let mut verify = false;
-    let mut shard = None;
-    let mut out = None;
-    let mut store = None;
-    let mut chaos = None;
-    let mut max_retries = 3u32;
-    let mut cell_timeout = None;
-    let mut no_fleet = false;
-    let mut rest: Vec<String> = Vec::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let take = |i: usize, what: &str| -> String {
-        args.get(i + 1).unwrap_or_else(|| panic!("{what} requires a value")).clone()
-    };
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--bench" => {
-                bench = take(i, "--bench");
-                i += 2;
-            }
-            "--engines" => {
-                engines = take(i, "--engines");
-                i += 2;
-            }
-            "--widths" => {
-                widths = take(i, "--widths");
-                i += 2;
-            }
-            "--procs" => {
-                procs = take(i, "--procs").parse().expect("--procs requires a number >= 1");
-                i += 2;
-            }
-            "--verify" => {
-                verify = true;
-                i += 1;
-            }
-            "--shard" => {
-                shard = Some(ShardSpec::parse(&take(i, "--shard")).expect("bad --shard"));
-                i += 2;
-            }
-            "--out" => {
-                out = Some(take(i, "--out"));
-                i += 2;
-            }
-            "--store" => {
-                store = Some(take(i, "--store"));
-                i += 2;
-            }
-            "--chaos" => {
-                chaos = Some(take(i, "--chaos").parse().expect("--chaos requires a seed"));
-                i += 2;
-            }
-            "--max-retries" => {
-                max_retries =
-                    take(i, "--max-retries").parse().expect("--max-retries requires a number");
-                i += 2;
-            }
-            "--cell-timeout" => {
-                cell_timeout = Some(
-                    take(i, "--cell-timeout").parse().expect("--cell-timeout requires seconds"),
-                );
-                i += 2;
-            }
-            "--no-fleet" => {
-                no_fleet = true;
-                i += 1;
-            }
-            // Bool flags HarnessOpts understands.
-            flag @ ("--legacy-scan" | "--long") => {
-                rest.push(flag.to_owned());
-                i += 1;
-            }
-            // Everything else HarnessOpts understands takes one value
-            // (unknown flags fail inside from_arg_list with its usage).
-            other => {
-                rest.push(other.to_owned());
-                rest.push(take(i, other));
-                i += 2;
-            }
-        }
-    }
-    let opts = HarnessOpts::from_arg_list(&rest);
-    assert!(procs >= 1, "--procs must be >= 1");
-    ShardArgs {
-        opts,
-        bench,
-        engines: or_die(parse_engines(&engines)),
-        widths: or_die(parse_widths(&widths)),
-        procs,
-        verify,
-        shard,
-        out,
-        store,
-        chaos,
-        max_retries,
-        cell_timeout,
-        no_fleet,
-    }
-}
-
-/// Child mode (`--no-fleet` protocol): run this shard's slice of the
-/// grid and write the sealed shard file atomically.
-fn run_child(a: &ShardArgs, shard: ShardSpec) -> ExitCode {
-    let w = workload_by_name(&a.bench);
-    let grid = cells(&a.engines, &a.widths);
-    let windows = a.opts.sample.windows(a.opts.sample_total);
-    let Some(store_path) = a.store.as_deref() else {
-        eprintln!("error: shard child needs --store");
-        return ExitCode::FAILURE;
-    };
-    let store = or_die(CheckpointStore::open(store_path));
-    let text = shard_file_text(&w, &grid, windows, a.opts.sample, &a.opts, &store, shard);
-    match &a.out {
-        Some(path) => or_die(write_shard_atomic(std::path::Path::new(path), &text)),
-        None => print!("{}", sfetch_fleet::seal(&text)),
-    }
-    ExitCode::SUCCESS
-}
+const AXIS: ScheduleAxis = ScheduleAxis::Sample;
 
 /// Parent mode: populate the store, fan out (fleet supervisor by
 /// default, plain one-shot shards with `--no-fleet`), merge, report
 /// (and verify).
-fn run_parent(a: &ShardArgs) -> ExitCode {
-    let w = workload_by_name(&a.bench);
+fn run_parent(a: &CommonArgs) -> ExitCode {
+    let w = workload_by_name(a.bench());
     let grid = cells(&a.engines, &a.widths);
     let windows = a.opts.sample.windows(a.opts.sample_total);
     assert!(windows >= 1, "sample-total {} yields no windows", a.opts.sample_total);
@@ -241,64 +94,17 @@ fn run_parent(a: &ShardArgs) -> ExitCode {
 
     let tmp = std::env::temp_dir().join(format!("sfetch-shards-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create shard temp dir");
-    let (store_dir, store_is_temp) = match &a.store {
-        Some(dir) => (PathBuf::from(dir), false),
-        None => (tmp.join("store"), true),
-    };
+    let (store_dir, store_is_temp) = resolve_store(a.store.as_deref(), tmp.join("store"));
     let store = or_die(CheckpointStore::open(&store_dir));
 
     // One architectural walk banks every window's warming-start
     // checkpoint; on a warm store this is pure verification traffic.
-    let img = w.image(LayoutChoice::Optimized);
-    let fp = w.fingerprint(LayoutChoice::Optimized);
-    let mut populate = StoredSampler::new(img, fp, w.ref_seed(), a.opts.sample, &store);
-    let computed = populate.populate(windows);
-    eprintln!(
-        "store {}: {} windows ready ({} computed, {} loaded warm)",
-        store_dir.display(),
-        windows,
-        computed,
-        populate.stats().hits
-    );
+    populate_store(&w, a.opts.sample, windows, &store, &format!("store {}", store_dir.display()));
 
     let mut exit = ExitCode::SUCCESS;
     if a.no_fleet {
-        // Plain one-shot fan-out: spawn self once per shard, merge
-        // strictly, fail the whole run on any shard trouble.
-        let all = or_die(spawn_shards(procs, &tmp, |i, out| {
-            let mut args: Vec<std::ffi::OsString> = vec![
-                "--bench".into(),
-                a.bench.clone().into(),
-                "--engines".into(),
-                a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
-                "--widths".into(),
-                a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
-                "--sample-total".into(),
-                a.opts.sample_total.to_string().into(),
-                "--sample".into(),
-                a.opts.sample.to_spec().into(),
-                "--jobs".into(),
-                a.opts.jobs.to_string().into(),
-                "--front-pipeline".into(),
-                a.opts.front.as_str().into(),
-                "--grid-prefetch".into(),
-                a.opts.grid_prefetch.as_str().into(),
-            ];
-            // Forward the simulation-model flags so children build the
-            // same processors the parent's verify leg does.
-            if a.opts.legacy_scan {
-                args.push("--legacy-scan".into());
-            }
-            if a.opts.prefetch.mshrs > 0 {
-                args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
-                args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
-            }
-            args.extend(["--no-fleet".into(), "--shard".into(), format!("{i}/{procs}").into()]);
-            args.extend(["--store".into(), store_dir.clone().into()]);
-            args.extend(["--out".into(), out.as_os_str().to_owned()]);
-            args
-        }));
-        let merged = or_die(merge_grid(&grid, windows, &all, a.opts.sample.confidence));
+        let merged =
+            or_die(run_no_fleet(a, AXIS, a.bench(), &grid, windows, procs, &tmp, &store_dir));
         print_grid_table(&merged);
         if a.verify {
             eprintln!("verifying merged shards against a storeless single-process run…");
@@ -309,23 +115,12 @@ fn run_parent(a: &ShardArgs) -> ExitCode {
             );
         }
     } else {
-        // Fleet supervisor: leased cells, retries, resume, chaos.
-        let outcome = or_die(run_fleet_grid(&FleetGridSpec {
-            bench: &a.bench,
-            grid: &grid,
-            scfg: a.opts.sample,
-            total: a.opts.sample_total,
-            opts: &a.opts,
-            store_dir: &store_dir,
-            procs,
-            chaos: a.chaos,
-            max_retries: a.max_retries,
-            cell_timeout_s: a.cell_timeout,
-        }));
-        print_grid_table(&outcome.runs);
-        if a.verify && outcome.incomplete.is_empty() {
+        let (runs, degraded) =
+            or_die(run_fleet_cells(a, AXIS, a.bench(), &grid, &store_dir, procs));
+        print_grid_table(&runs);
+        if a.verify && !degraded {
             eprintln!("verifying merged shards against a storeless single-process run…");
-            verify_merged(&w, &outcome.runs, a.opts.sample, &a.opts, windows);
+            verify_merged(&w, &runs, a.opts.sample, &a.opts, windows);
             println!(
                 "verify OK: merged {procs}-process result is bit-identical to a storeless \
                  single-process run"
@@ -333,14 +128,12 @@ fn run_parent(a: &ShardArgs) -> ExitCode {
         } else if a.verify {
             eprintln!("verify skipped: degraded result has incomplete cells");
         }
-        if degradation_exit(&outcome) != 0 {
+        if degraded {
             exit = ExitCode::from(2);
         }
     }
 
-    if store_is_temp {
-        let _ = std::fs::remove_dir_all(&store_dir);
-    }
+    finish_store(store_is_temp, &store_dir, &store, false);
     let _ = std::fs::remove_dir_all(&tmp);
     let _ = std::io::stdout().flush();
     exit
@@ -348,9 +141,14 @@ fn run_parent(a: &ShardArgs) -> ExitCode {
 
 fn main() -> ExitCode {
     maybe_run_fleet_child();
-    let a = parse_args();
+    let a = CommonArgs::parse(&ArgDefaults {
+        benches: "phased",
+        engines: "stream",
+        widths: "8",
+        procs: 2,
+    });
     match a.shard {
-        Some(spec) => run_child(&a, spec),
+        Some(spec) => run_shard_child(&a, AXIS, spec),
         None => run_parent(&a),
     }
 }

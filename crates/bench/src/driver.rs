@@ -1,0 +1,1180 @@
+//! Shared driver plumbing for the sampled-grid binaries and the
+//! resident daemon (`sfetch-serve`).
+//!
+//! Before this module, `figure8_sampled`, `figure9_sampled` and
+//! `shard_runner` each carried a private copy of the same ~150 lines:
+//! argument parsing, store resolution, populate, the `--no-fleet`
+//! self-respawn argument list, fleet dispatch, degradation exit codes.
+//! The daemon needs exactly the same plumbing — so it lives here once,
+//! and the one-shot bins and the resident path can never drift apart.
+//!
+//! The module also defines the **line-JSON serve protocol**: a
+//! [`GridRequest`] (one experiment = one benchmark's engines × widths
+//! grid under one sampling schedule) serializes to a single `submit`
+//! line over a Unix socket, and the daemon streams [`ServeEvent`] lines
+//! back — `accepted`, one `cell` per completed ledger cell, one `point`
+//! per sampled window, per-cell `estimate` updates, and a terminal
+//! `final` carrying the request's singleflight counters. A client
+//! merges the streamed points with the same [`merge_grid`] the one-shot
+//! bins use, so the final table is **byte-identical** to a local run.
+//!
+//! Requests that must share work carry the same [`GridRequest::family_tag`]
+//! — the fingerprint of everything a cell's output bytes depend on
+//! (bench, schedule, horizon, simulated model), deliberately *excluding*
+//! the engine/width axes, job counts and warm-state banking. Two
+//! overlapping requests therefore map to the same ledger family, and the
+//! ledger's cell states are the cross-request singleflight: a cell is
+//! computed once, streamed to every subscriber, and resumed with zero
+//! recomputation on resubmit.
+
+use std::ffi::OsString;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sfetch_fetch::EngineKind;
+use sfetch_fleet::{fnv64, CellId};
+use sfetch_sample::{CheckpointStore, SampleConfig, SamplePoint, ShardSpec, StoredSampler};
+use sfetch_workloads::{LayoutChoice, Workload};
+
+use crate::fleet_grid::{degradation_exit, run_fleet_grid, FleetGridError, FleetGridSpec};
+use crate::grid::{
+    cells, engine_key, merge_grid, parse_engines, parse_widths, point_line, run_cell_range,
+    spawn_shards, write_shard_atomic, CellRun, GridCell, GridError, GRID_SHARD_SCHEMA,
+};
+use crate::obs::ObsOpts;
+use crate::{workload_by_name, HarnessOpts};
+
+/// Exits with a readable message instead of a panic backtrace.
+pub fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
+// ---------------------------------------------------------------------
+// Line-JSON field extraction
+// ---------------------------------------------------------------------
+//
+// The repo has two line-JSON writers: the shard files put a space after
+// the colon (`"key": 1`), the observability `Row` does not (`"key":1`).
+// The serve protocol reads both shapes, so these helpers tolerate an
+// optional single space — no general JSON parser needed or vendored.
+
+fn jfield_tail<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    Some(line[at..].strip_prefix(' ').unwrap_or(&line[at..]))
+}
+
+/// Pulls an unsigned integer field out of a line-JSON object.
+pub fn jfield_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = jfield_tail(line, key)?;
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls a float field out of a line-JSON object.
+pub fn jfield_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = jfield_tail(line, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls a boolean field out of a line-JSON object.
+pub fn jfield_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = jfield_tail(line, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Pulls a string field out of a line-JSON object, undoing the escapes
+/// [`sfetch_obs::jsonl::esc`] produces.
+pub fn jfield_str(line: &str, key: &str) -> Option<String> {
+    let rest = jfield_tail(line, key)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Unified CLI
+// ---------------------------------------------------------------------
+
+/// Per-binary defaults for [`CommonArgs::parse`].
+pub struct ArgDefaults {
+    /// Default `--bench`/`--benches` list.
+    pub benches: &'static str,
+    /// Default `--engines` spec.
+    pub engines: &'static str,
+    /// Default `--widths` spec.
+    pub widths: &'static str,
+    /// Default `--procs`.
+    pub procs: usize,
+}
+
+/// The command-line surface shared by `figure8_sampled`,
+/// `figure9_sampled` and `shard_runner` (each bin previously carried
+/// its own copy of this parse loop). Flags a given binary does not act
+/// on are accepted and ignored — the cost of one parser that can never
+/// drift between the one-shot and resident paths.
+pub struct CommonArgs {
+    /// Harness options (`--grid-total`, `--jobs`, `--warm-bank`, …).
+    pub opts: HarnessOpts,
+    /// `--bench NAME` / `--benches A,B,…` (synonyms).
+    pub benches: Vec<String>,
+    /// `--engines all|stream,ev8,…`, parsed.
+    pub engines: Vec<EngineKind>,
+    /// `--widths all|2,4,8`, parsed.
+    pub widths: Vec<usize>,
+    /// `--procs N`.
+    pub procs: usize,
+    /// `--verify`.
+    pub verify: bool,
+    /// `--shard i/N` (child mode).
+    pub shard: Option<ShardSpec>,
+    /// `--out FILE` (child mode output path).
+    pub out: Option<String>,
+    /// `--store DIR` (persistent checkpoint store).
+    pub store: Option<String>,
+    /// `--chaos SEED`.
+    pub chaos: Option<u64>,
+    /// `--max-retries N`.
+    pub max_retries: u32,
+    /// `--cell-timeout SECS`.
+    pub cell_timeout: Option<u64>,
+    /// `--no-fleet`.
+    pub no_fleet: bool,
+    /// `--spread-floor F`.
+    pub spread_floor: Option<f64>,
+    /// `--serve SOCKET`: submit to a resident `sfetch-serve` daemon at
+    /// this Unix socket instead of simulating locally.
+    pub serve: Option<PathBuf>,
+    /// `--req ID`: request id used with `--serve` (default: derived
+    /// from the process id).
+    pub req_id: Option<String>,
+    /// Observability options (`--obs-dir`, `--interval`, `--ptrace`).
+    pub obs: ObsOpts,
+}
+
+impl CommonArgs {
+    /// Parses the process arguments (see [`CommonArgs::parse_list`]).
+    pub fn parse(d: &ArgDefaults) -> Self {
+        Self::parse_list(std::env::args().skip(1).collect(), d)
+    }
+
+    /// Parses an explicit argument list.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (matching the
+    /// historical per-binary parsers).
+    pub fn parse_list(args: Vec<String>, d: &ArgDefaults) -> Self {
+        let mut benches = d.benches.to_owned();
+        let mut engines = d.engines.to_owned();
+        let mut widths = d.widths.to_owned();
+        let mut procs = d.procs;
+        let mut verify = false;
+        let mut shard = None;
+        let mut out = None;
+        let mut store = None;
+        let mut chaos = None;
+        let mut max_retries = 3u32;
+        let mut cell_timeout = None;
+        let mut no_fleet = false;
+        let mut spread_floor = None;
+        let mut serve = None;
+        let mut req_id = None;
+        let mut rest: Vec<String> = Vec::new();
+        let take = |i: usize, what: &str| -> String {
+            args.get(i + 1).unwrap_or_else(|| panic!("{what} requires a value")).clone()
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--bench" | "--benches" => {
+                    benches = take(i, "--bench");
+                    i += 2;
+                }
+                "--engines" => {
+                    engines = take(i, "--engines");
+                    i += 2;
+                }
+                "--widths" => {
+                    widths = take(i, "--widths");
+                    i += 2;
+                }
+                "--procs" => {
+                    procs = take(i, "--procs").parse().expect("--procs requires a number >= 1");
+                    i += 2;
+                }
+                "--verify" => {
+                    verify = true;
+                    i += 1;
+                }
+                "--shard" => {
+                    shard = Some(ShardSpec::parse(&take(i, "--shard")).expect("bad --shard"));
+                    i += 2;
+                }
+                "--out" => {
+                    out = Some(take(i, "--out"));
+                    i += 2;
+                }
+                "--store" => {
+                    store = Some(take(i, "--store"));
+                    i += 2;
+                }
+                "--chaos" => {
+                    chaos = Some(take(i, "--chaos").parse().expect("--chaos requires a seed"));
+                    i += 2;
+                }
+                "--max-retries" => {
+                    max_retries =
+                        take(i, "--max-retries").parse().expect("--max-retries requires a number");
+                    i += 2;
+                }
+                "--cell-timeout" => {
+                    cell_timeout = Some(
+                        take(i, "--cell-timeout")
+                            .parse()
+                            .expect("--cell-timeout requires seconds"),
+                    );
+                    i += 2;
+                }
+                "--no-fleet" => {
+                    no_fleet = true;
+                    i += 1;
+                }
+                "--spread-floor" => {
+                    spread_floor = Some(
+                        take(i, "--spread-floor")
+                            .parse()
+                            .expect("--spread-floor requires a ratio"),
+                    );
+                    i += 2;
+                }
+                "--serve" => {
+                    serve = Some(PathBuf::from(take(i, "--serve")));
+                    i += 2;
+                }
+                "--req" => {
+                    req_id = Some(take(i, "--req"));
+                    i += 2;
+                }
+                // Bool flags HarnessOpts understands.
+                flag @ ("--legacy-scan" | "--long" | "--warm-bank") => {
+                    rest.push(flag.to_owned());
+                    i += 1;
+                }
+                // Everything else HarnessOpts understands takes one value
+                // (unknown flags fail inside from_arg_list with its usage).
+                other => {
+                    rest.push(other.to_owned());
+                    rest.push(take(i, other));
+                    i += 2;
+                }
+            }
+        }
+        assert!(procs >= 1, "--procs must be >= 1");
+        let obs = ObsOpts::extract(&mut rest);
+        CommonArgs {
+            opts: HarnessOpts::from_arg_list(&rest),
+            benches: benches.split(',').map(|b| b.trim().to_owned()).collect(),
+            engines: or_die(parse_engines(&engines)),
+            widths: or_die(parse_widths(&widths)),
+            procs,
+            verify,
+            shard,
+            out,
+            store,
+            chaos,
+            max_retries,
+            cell_timeout,
+            no_fleet,
+            spread_floor,
+            serve,
+            req_id,
+            obs,
+        }
+    }
+
+    /// The single-benchmark binaries' bench name (first of the list).
+    pub fn bench(&self) -> &str {
+        &self.benches[0]
+    }
+
+    /// Builds this invocation's serve-protocol request for one
+    /// benchmark, on the given schedule axis.
+    pub fn request(&self, bench: &str, axis: ScheduleAxis) -> GridRequest {
+        GridRequest {
+            bench: bench.to_owned(),
+            engines: self.engines.clone(),
+            widths: self.widths.clone(),
+            total: axis.total(&self.opts),
+            scfg: axis.scfg(&self.opts),
+            opts: self.opts,
+        }
+    }
+}
+
+/// Which (total, schedule) pair of [`HarnessOpts`] a binary samples on:
+/// the figure bins use `--grid-total`/`--grid-sample`, `shard_runner`
+/// uses `--sample-total`/`--sample`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleAxis {
+    /// `--grid-total` / `--grid-sample`.
+    Grid,
+    /// `--sample-total` / `--sample`.
+    Sample,
+}
+
+impl ScheduleAxis {
+    /// The sampled instruction horizon on this axis.
+    pub fn total(self, o: &HarnessOpts) -> u64 {
+        match self {
+            ScheduleAxis::Grid => o.grid_total,
+            ScheduleAxis::Sample => o.sample_total,
+        }
+    }
+
+    /// The sampling schedule on this axis.
+    pub fn scfg(self, o: &HarnessOpts) -> SampleConfig {
+        match self {
+            ScheduleAxis::Grid => o.grid_sample,
+            ScheduleAxis::Sample => o.sample,
+        }
+    }
+
+    /// The `--*-total` flag spelling a `--no-fleet` child is re-spawned
+    /// with.
+    pub fn total_flag(self) -> &'static str {
+        match self {
+            ScheduleAxis::Grid => "--grid-total",
+            ScheduleAxis::Sample => "--sample-total",
+        }
+    }
+
+    /// The `--*-sample` flag spelling a `--no-fleet` child is
+    /// re-spawned with.
+    pub fn sample_flag(self) -> &'static str {
+        match self {
+            ScheduleAxis::Grid => "--grid-sample",
+            ScheduleAxis::Sample => "--sample",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// One-shot plumbing shared by the bins
+// ---------------------------------------------------------------------
+
+/// Child mode (`--shard i/N` under `--no-fleet`): runs this shard's
+/// slice of the grid and writes the sealed shard file atomically (or
+/// sealed stdout without `--out`).
+pub fn run_shard_child(a: &CommonArgs, axis: ScheduleAxis, shard: ShardSpec) -> ExitCode {
+    let w = workload_by_name(a.bench());
+    let grid = cells(&a.engines, &a.widths);
+    let windows = axis.scfg(&a.opts).windows(axis.total(&a.opts));
+    let Some(store_path) = a.store.as_deref() else {
+        eprintln!("error: shard child needs --store");
+        return ExitCode::FAILURE;
+    };
+    let store = or_die(CheckpointStore::open(store_path));
+    let text = crate::grid::shard_file_text(
+        &w,
+        &grid,
+        windows,
+        axis.scfg(&a.opts),
+        &a.opts,
+        &store,
+        shard,
+    );
+    match &a.out {
+        Some(path) => or_die(write_shard_atomic(Path::new(path), &text)),
+        None => print!("{}", sfetch_fleet::seal(&text)),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Resolves the checkpoint-store directory: an explicit `--store DIR`
+/// persists, otherwise `fallback` is used and flagged temporary.
+pub fn resolve_store(cli: Option<&str>, fallback: PathBuf) -> (PathBuf, bool) {
+    match cli {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (fallback, true),
+    }
+}
+
+/// Populates a workload's warming-start checkpoints (one architectural
+/// walk; pure verification traffic on a warm store) and prints the
+/// store-readiness line the CI smoke legs grep for.
+pub fn populate_store(
+    w: &Workload,
+    scfg: SampleConfig,
+    windows: u64,
+    store: &CheckpointStore,
+    prefix: &str,
+) {
+    let img = w.image(LayoutChoice::Optimized);
+    let fp = w.fingerprint(LayoutChoice::Optimized);
+    let mut populate = StoredSampler::new(img, fp, w.ref_seed(), scfg, store);
+    let computed = populate.populate(windows);
+    eprintln!(
+        "{prefix}: {windows} windows ready ({computed} computed, {} loaded warm)",
+        populate.stats().hits
+    );
+}
+
+/// Drops a temporary store, or announces a kept persistent one.
+pub fn finish_store(store_is_temp: bool, store_dir: &Path, store: &CheckpointStore, announce: bool) {
+    if store_is_temp {
+        let _ = std::fs::remove_dir_all(store_dir);
+    } else if announce {
+        println!("store kept at {} ({} entries)", store_dir.display(), store.entries());
+    }
+}
+
+/// The argument list a `--no-fleet` parent re-spawns itself with for
+/// shard `i` of `procs` (both multi-process binaries previously built
+/// this list by hand, differing only in the schedule-flag spellings).
+pub fn shard_child_args(
+    a: &CommonArgs,
+    axis: ScheduleAxis,
+    bench: &str,
+    i: usize,
+    procs: usize,
+    store_dir: &Path,
+    out: &Path,
+) -> Vec<OsString> {
+    let mut args: Vec<OsString> = vec![
+        "--bench".into(),
+        bench.to_owned().into(),
+        "--engines".into(),
+        a.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(",").into(),
+        "--widths".into(),
+        a.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",").into(),
+        axis.total_flag().into(),
+        axis.total(&a.opts).to_string().into(),
+        axis.sample_flag().into(),
+        axis.scfg(&a.opts).to_spec().into(),
+        "--jobs".into(),
+        a.opts.jobs.to_string().into(),
+        "--front-pipeline".into(),
+        a.opts.front.as_str().into(),
+        "--grid-prefetch".into(),
+        a.opts.grid_prefetch.as_str().into(),
+    ];
+    // Forward the simulation-model flags so children build the same
+    // processors the parent's verify leg does.
+    if a.opts.legacy_scan {
+        args.push("--legacy-scan".into());
+    }
+    if a.opts.warm_bank {
+        args.push("--warm-bank".into());
+    }
+    if a.opts.prefetch.mshrs > 0 {
+        args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
+        args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
+    }
+    args.extend(["--no-fleet".into(), "--shard".into(), format!("{i}/{procs}").into()]);
+    args.extend(["--store".into(), store_dir.to_path_buf().into()]);
+    args.extend(["--out".into(), out.as_os_str().to_owned()]);
+    args
+}
+
+/// The plain one-shot fan-out (`--no-fleet`): spawn self once per
+/// shard, merge strictly, fail the whole run on any shard trouble.
+///
+/// # Errors
+///
+/// Propagates [`GridError`] from spawn/merge.
+#[allow(clippy::too_many_arguments)]
+pub fn run_no_fleet(
+    a: &CommonArgs,
+    axis: ScheduleAxis,
+    bench: &str,
+    grid: &[GridCell],
+    windows: u64,
+    procs: usize,
+    tmp: &Path,
+    store_dir: &Path,
+) -> Result<Vec<CellRun>, GridError> {
+    let all = spawn_shards(procs, tmp, |i, out| {
+        shard_child_args(a, axis, bench, i, procs, store_dir, out)
+    })?;
+    merge_grid(grid, windows, &all, axis.scfg(&a.opts).confidence)
+}
+
+/// The fleet-supervised fan-out: leased cells, retries, resume, chaos.
+/// Returns the merged runs and whether the result is degraded (some
+/// cells permanently failed; the degradation report has been printed
+/// and recorded).
+///
+/// # Errors
+///
+/// Infrastructure failures only ([`FleetGridError`]).
+pub fn run_fleet_cells(
+    a: &CommonArgs,
+    axis: ScheduleAxis,
+    bench: &str,
+    grid: &[GridCell],
+    store_dir: &Path,
+    procs: usize,
+) -> Result<(Vec<CellRun>, bool), FleetGridError> {
+    let outcome = run_fleet_grid(&FleetGridSpec {
+        bench,
+        grid,
+        scfg: axis.scfg(&a.opts),
+        total: axis.total(&a.opts),
+        opts: &a.opts,
+        store_dir,
+        procs,
+        chaos: a.chaos,
+        max_retries: a.max_retries,
+        cell_timeout_s: a.cell_timeout,
+    })?;
+    let degraded = degradation_exit(&outcome) != 0;
+    Ok((outcome.runs, degraded))
+}
+
+/// Runs one [`CellId`] end-to-end through the checkpoint store and
+/// renders its shard body — the **single code path** behind fleet
+/// worker processes, the daemon's in-process workers, and (via
+/// [`crate::grid::shard_file_text`]'s shared `run_cell_range`) the
+/// one-shot shards.
+///
+/// # Errors
+///
+/// A readable message on an unknown engine key.
+pub fn cell_body_text(
+    w: &Workload,
+    cell: &CellId,
+    scfg: SampleConfig,
+    opts: &HarnessOpts,
+    store: &CheckpointStore,
+) -> Result<String, String> {
+    let engine = *parse_engines(&cell.engine)
+        .map_err(|e| e.to_string())?
+        .first()
+        .ok_or("empty engine")?;
+    let grid_cell = GridCell { engine, width: cell.width };
+    let (pts, _) = run_cell_range(w, grid_cell, scfg, opts, store, cell.lo..cell.hi);
+    let mut body = format!(
+        "{{\"schema\": \"{GRID_SHARD_SCHEMA}\", \"cell\": \"{}\", \"bench\": \"{}\"}}\n",
+        cell,
+        w.name()
+    );
+    for p in &pts {
+        body.push_str(&point_line(grid_cell, p));
+        body.push('\n');
+    }
+    debug_assert!(
+        crate::grid::parse_shard_body(&body).is_ok(),
+        "cell bodies must parse back"
+    );
+    Ok(body)
+}
+
+/// The shard-output validator shared by every ledger consumer (fleet
+/// parents, the daemon): the trailer must verify and every point line
+/// must parse. Returns the digest of the full sealed text.
+///
+/// # Errors
+///
+/// A readable message on trailer or parse failure.
+pub fn validate_shard_text(text: &str) -> Result<u64, String> {
+    crate::grid::parse_shard_file(text).map_err(|e| e.to_string())?;
+    Ok(fnv64(text.as_bytes()))
+}
+
+// ---------------------------------------------------------------------
+// The serve protocol
+// ---------------------------------------------------------------------
+
+/// Protocol schema tag, carried on `accepted` events; bump on any
+/// incompatible wire change.
+pub const SERVE_SCHEMA: &str = "sfetch-serve-v1";
+
+/// One experiment request: a benchmark's engines × widths grid under
+/// one sampling schedule. Serializes to a single `submit` line.
+#[derive(Debug, Clone)]
+pub struct GridRequest {
+    /// Benchmark name (suite member or `phased`).
+    pub bench: String,
+    /// Engine axis.
+    pub engines: Vec<EngineKind>,
+    /// Width axis.
+    pub widths: Vec<usize>,
+    /// Sampled instruction horizon.
+    pub total: u64,
+    /// Sampling schedule.
+    pub scfg: SampleConfig,
+    /// Simulated-model options (legacy scan, prefetch, front pipeline,
+    /// grid prefetch) plus jobs/warm-bank execution knobs.
+    pub opts: HarnessOpts,
+}
+
+impl GridRequest {
+    /// The request's grid cells (width-major, like the bins).
+    pub fn grid(&self) -> Vec<GridCell> {
+        cells(&self.engines, &self.widths)
+    }
+
+    /// Number of sampled windows per cell.
+    pub fn windows(&self) -> u64 {
+        self.scfg.windows(self.total)
+    }
+
+    /// The fingerprint of everything a cell's **output bytes** depend
+    /// on — and nothing else. Engine/width axes are deliberately
+    /// excluded (each cell already carries its own), as are `jobs` and
+    /// `warm_bank` (host-time knobs, bit-identical results): two
+    /// overlapping requests must land in the same ledger family so the
+    /// ledger dedupes their shared cells.
+    pub fn family_tag(&self) -> u64 {
+        let key = format!(
+            "serve-family|{GRID_SHARD_SCHEMA}|{}|{}|{}|legacy={}|pf={}:{}|front={}|gridpf={}",
+            self.bench,
+            self.scfg.to_spec(),
+            self.total,
+            self.opts.legacy_scan,
+            self.opts.prefetch.kind,
+            self.opts.prefetch.mshrs,
+            self.opts.front.as_str(),
+            self.opts.grid_prefetch.as_str(),
+        );
+        fnv64(key.as_bytes())
+    }
+
+    /// The request's **canonical** ledger cells: exactly one [`CellId`]
+    /// per (engine, width) pair covering every window. Canonical (never
+    /// chunked by a proc count) so that overlapping requests produce
+    /// identical cell ids — the dedup key.
+    pub fn canonical_cells(&self) -> Vec<CellId> {
+        let windows = self.windows();
+        self.grid()
+            .iter()
+            .map(|c| CellId::new(engine_key(c.engine), c.width, 0, windows))
+            .collect()
+    }
+
+    /// Renders the `submit` line for this request.
+    pub fn submit_line(&self, id: &str) -> String {
+        sfetch_obs::Row::new()
+            .s("op", "submit")
+            .s("id", id)
+            .s("bench", &self.bench)
+            .s(
+                "engines",
+                &self.engines.iter().map(|&k| engine_key(k)).collect::<Vec<_>>().join(","),
+            )
+            .s(
+                "widths",
+                &self.widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(","),
+            )
+            .u("total", self.total)
+            .s("sample", &self.scfg.to_spec())
+            .b("legacy", self.opts.legacy_scan)
+            .s("pf", &self.opts.prefetch.kind.to_string())
+            .u("mshrs", self.opts.prefetch.mshrs as u64)
+            .s("front", self.opts.front.as_str())
+            .s("gridpf", self.opts.grid_prefetch.as_str())
+            .u("jobs", self.opts.jobs as u64)
+            .b("warm_bank", self.opts.warm_bank)
+            .finish()
+    }
+
+    /// Parses a `submit` line back into `(request id, request)`.
+    ///
+    /// # Errors
+    ///
+    /// A readable message on a malformed line.
+    pub fn parse_submit(line: &str) -> Result<(String, GridRequest), String> {
+        if jfield_str(line, "op").as_deref() != Some("submit") {
+            return Err("not a submit line".into());
+        }
+        let id = jfield_str(line, "id").ok_or("submit: missing id")?;
+        if id.is_empty() {
+            return Err("submit: empty id".into());
+        }
+        let bench = jfield_str(line, "bench").ok_or("submit: missing bench")?;
+        let engines = parse_engines(&jfield_str(line, "engines").ok_or("submit: missing engines")?)
+            .map_err(|e| e.to_string())?;
+        let widths = parse_widths(&jfield_str(line, "widths").ok_or("submit: missing widths")?)
+            .map_err(|e| e.to_string())?;
+        let total = jfield_u64(line, "total").ok_or("submit: missing total")?;
+        let scfg = SampleConfig::parse(&jfield_str(line, "sample").ok_or("submit: missing sample")?)
+            .map_err(|e| e.to_string())?;
+        let mut opts = HarnessOpts {
+            grid_total: total,
+            grid_sample: scfg,
+            legacy_scan: jfield_bool(line, "legacy").unwrap_or(false),
+            warm_bank: jfield_bool(line, "warm_bank").unwrap_or(false),
+            ..HarnessOpts::default()
+        };
+        if let Some(jobs) = jfield_u64(line, "jobs") {
+            opts.jobs = (jobs as usize).max(1);
+        }
+        if let Some(front) = jfield_str(line, "front") {
+            opts.front =
+                crate::FrontMode::parse(&front).ok_or_else(|| format!("bad front {front:?}"))?;
+        }
+        if let Some(gridpf) = jfield_str(line, "gridpf") {
+            opts.grid_prefetch = crate::GridPrefetchMode::parse(&gridpf)
+                .ok_or_else(|| format!("bad gridpf {gridpf:?}"))?;
+        }
+        let pf = jfield_str(line, "pf").unwrap_or_else(|| "none".to_owned());
+        let kind =
+            sfetch_core::PrefetchKind::parse(&pf).ok_or_else(|| format!("bad pf {pf:?}"))?;
+        opts.prefetch = if kind == sfetch_core::PrefetchKind::None {
+            sfetch_core::PrefetchConfig::none()
+        } else {
+            sfetch_core::PrefetchConfig::enabled(kind)
+        };
+        if let Some(m) = jfield_u64(line, "mshrs") {
+            if m > 0 {
+                opts.prefetch.mshrs = m as usize;
+            }
+        }
+        Ok((id, GridRequest { bench, engines, widths, total, scfg, opts }))
+    }
+}
+
+/// One line of the daemon's result stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// Reply to `{"op":"ping"}` — the CI readiness probe.
+    Pong,
+    /// The request was parsed and scheduled.
+    Accepted {
+        /// Request id.
+        req: String,
+        /// Canonical cell count.
+        cells: u64,
+        /// Windows per cell.
+        windows: u64,
+    },
+    /// One canonical cell completed (or was resumed from the ledger).
+    Cell {
+        /// Request id.
+        req: String,
+        /// The canonical cell id.
+        cell: String,
+        /// Served from the ledger without any fresh compute.
+        resumed: bool,
+        /// How many requests of the batch subscribe to this cell.
+        shared_by: u64,
+    },
+    /// One sampled window of a completed cell.
+    Point {
+        /// Engine key (`stream`/`ev8`/`ftb`/`tcache`).
+        engine: String,
+        /// Pipe width.
+        width: usize,
+        /// The measurement.
+        point: SamplePoint,
+    },
+    /// Running confidence-interval update for one (engine, width) after
+    /// its cell completed.
+    Estimate {
+        /// Engine key.
+        engine: String,
+        /// Pipe width.
+        width: usize,
+        /// Windows merged so far.
+        windows: u64,
+        /// Sampled IPC.
+        ipc: f64,
+        /// CI lower bound.
+        lo: f64,
+        /// CI upper bound.
+        hi: f64,
+    },
+    /// Terminal event: the request's merge is complete (or degraded).
+    Final {
+        /// Request id.
+        req: String,
+        /// `complete` or `degraded`.
+        status: String,
+        /// Cells computed fresh for this request's batch.
+        computed: u64,
+        /// Cells served from the ledger (singleflight hits across
+        /// daemon restarts and resubmits).
+        resumed: u64,
+        /// Cells shared with another in-batch request (singleflight
+        /// hits across concurrent requests).
+        shared: u64,
+    },
+    /// Terminal event: the request failed.
+    Error {
+        /// Request id (may be empty when the submit line didn't parse).
+        req: String,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl ServeEvent {
+    /// Renders the event as one stream line.
+    pub fn to_line(&self) -> String {
+        use sfetch_obs::Row;
+        match self {
+            ServeEvent::Pong => Row::new().s("ev", "pong").s("schema", SERVE_SCHEMA).finish(),
+            ServeEvent::Accepted { req, cells, windows } => Row::new()
+                .s("ev", "accepted")
+                .s("schema", SERVE_SCHEMA)
+                .s("req", req)
+                .u("cells", *cells)
+                .u("windows", *windows)
+                .finish(),
+            ServeEvent::Cell { req, cell, resumed, shared_by } => Row::new()
+                .s("ev", "cell")
+                .s("req", req)
+                .s("cell", cell)
+                .b("resumed", *resumed)
+                .u("shared_by", *shared_by)
+                .finish(),
+            ServeEvent::Point { engine, width, point } => Row::new()
+                .s("ev", "point")
+                .s("engine", engine)
+                .u("width", *width as u64)
+                .u("window", point.window)
+                .u("start_inst", point.start_inst)
+                .u("committed", point.committed)
+                .u("cycles", point.cycles)
+                .u("stall_cycles", point.stall_cycles)
+                .u("mispredictions", point.mispredictions)
+                .finish(),
+            ServeEvent::Estimate { engine, width, windows, ipc, lo, hi } => Row::new()
+                .s("ev", "estimate")
+                .s("engine", engine)
+                .u("width", *width as u64)
+                .u("windows", *windows)
+                .f("ipc", *ipc)
+                .f("lo", *lo)
+                .f("hi", *hi)
+                .finish(),
+            ServeEvent::Final { req, status, computed, resumed, shared } => Row::new()
+                .s("ev", "final")
+                .s("req", req)
+                .s("status", status)
+                .u("computed", *computed)
+                .u("resumed", *resumed)
+                .u("shared", *shared)
+                .finish(),
+            ServeEvent::Error { req, msg } => {
+                Row::new().s("ev", "error").s("req", req).s("msg", msg).finish()
+            }
+        }
+    }
+
+    /// Parses one stream line.
+    ///
+    /// # Errors
+    ///
+    /// A readable message on an unknown or malformed event.
+    pub fn parse(line: &str) -> Result<ServeEvent, String> {
+        let ev = jfield_str(line, "ev").ok_or("missing ev field")?;
+        let want_str = |key: &str| {
+            jfield_str(line, key).ok_or_else(|| format!("{ev}: missing field {key:?}"))
+        };
+        let want_u64 =
+            |key: &str| jfield_u64(line, key).ok_or_else(|| format!("{ev}: missing field {key:?}"));
+        let want_f64 =
+            |key: &str| jfield_f64(line, key).ok_or_else(|| format!("{ev}: missing field {key:?}"));
+        match ev.as_str() {
+            "pong" => Ok(ServeEvent::Pong),
+            "accepted" => Ok(ServeEvent::Accepted {
+                req: want_str("req")?,
+                cells: want_u64("cells")?,
+                windows: want_u64("windows")?,
+            }),
+            "cell" => Ok(ServeEvent::Cell {
+                req: want_str("req")?,
+                cell: want_str("cell")?,
+                resumed: jfield_bool(line, "resumed").unwrap_or(false),
+                shared_by: want_u64("shared_by")?,
+            }),
+            "point" => Ok(ServeEvent::Point {
+                engine: want_str("engine")?,
+                width: want_u64("width")? as usize,
+                point: SamplePoint {
+                    window: want_u64("window")?,
+                    start_inst: want_u64("start_inst")?,
+                    committed: want_u64("committed")?,
+                    cycles: want_u64("cycles")?,
+                    stall_cycles: want_u64("stall_cycles")?,
+                    mispredictions: want_u64("mispredictions")?,
+                },
+            }),
+            "estimate" => Ok(ServeEvent::Estimate {
+                engine: want_str("engine")?,
+                width: want_u64("width")? as usize,
+                windows: want_u64("windows")?,
+                ipc: want_f64("ipc")?,
+                lo: want_f64("lo")?,
+                hi: want_f64("hi")?,
+            }),
+            "final" => Ok(ServeEvent::Final {
+                req: want_str("req")?,
+                status: want_str("status")?,
+                computed: want_u64("computed")?,
+                resumed: want_u64("resumed")?,
+                shared: want_u64("shared")?,
+            }),
+            "error" => Ok(ServeEvent::Error {
+                req: jfield_str(line, "req").unwrap_or_default(),
+                msg: want_str("msg")?,
+            }),
+            other => Err(format!("unknown event {other:?}")),
+        }
+    }
+}
+
+/// What a client collected from one streamed request.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Every streamed `(engine key, width, point)` tuple — the same
+    /// shape shard files parse into, so [`merge_grid`] merges them into
+    /// the byte-identical final table.
+    pub points: Vec<(String, usize, SamplePoint)>,
+    /// Final status (`complete`/`degraded`).
+    pub status: String,
+    /// Cells computed fresh.
+    pub computed: u64,
+    /// Cells resumed from the ledger.
+    pub resumed: u64,
+    /// Cells shared with concurrent requests.
+    pub shared: u64,
+}
+
+/// Submits `req` to a resident daemon at `addr` and collects the
+/// streamed result. Every raw stream line is also handed to `on_line`
+/// (progress displays, transcripts).
+///
+/// # Errors
+///
+/// A readable message on connection, protocol, or daemon-side errors.
+#[cfg(unix)]
+pub fn submit_and_collect(
+    addr: &Path,
+    id: &str,
+    req: &GridRequest,
+    mut on_line: impl FnMut(&str),
+) -> Result<StreamOutcome, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::os::unix::net::UnixStream::connect(addr)
+        .map_err(|e| format!("connect {}: {e}", addr.display()))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+    writer
+        .write_all(format!("{}\n", req.submit_line(id)).as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut points = Vec::new();
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read stream: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        on_line(&line);
+        match ServeEvent::parse(&line)? {
+            ServeEvent::Point { engine, width, point } => points.push((engine, width, point)),
+            ServeEvent::Final { status, computed, resumed, shared, .. } => {
+                return Ok(StreamOutcome { points, status, computed, resumed, shared });
+            }
+            ServeEvent::Error { msg, .. } => return Err(format!("daemon: {msg}")),
+            _ => {}
+        }
+    }
+    Err("stream ended before the final event (daemon died?)".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> GridRequest {
+        let opts = HarnessOpts { jobs: 3, ..HarnessOpts::default() };
+        GridRequest {
+            bench: "phased".into(),
+            engines: vec![EngineKind::Stream, EngineKind::Ev8],
+            widths: vec![4, 8],
+            total: 2_000_000,
+            scfg: SampleConfig::parse("500000,60000,5000,5000").expect("spec"),
+            opts,
+        }
+    }
+
+    #[test]
+    fn jfields_tolerate_both_spacings() {
+        for line in [
+            "{\"a\": 7, \"s\": \"x,y\", \"b\": true, \"f\": -1.5}",
+            "{\"a\":7,\"s\":\"x,y\",\"b\":true,\"f\":-1.5}",
+        ] {
+            assert_eq!(jfield_u64(line, "a"), Some(7));
+            assert_eq!(jfield_str(line, "s").as_deref(), Some("x,y"));
+            assert_eq!(jfield_bool(line, "b"), Some(true));
+            assert_eq!(jfield_f64(line, "f"), Some(-1.5));
+            assert_eq!(jfield_u64(line, "missing"), None);
+        }
+        // Escapes round-trip through the obs writer.
+        let line = sfetch_obs::Row::new().s("m", "a \"b\"\n\tc").finish();
+        assert_eq!(jfield_str(&line, "m").as_deref(), Some("a \"b\"\n\tc"));
+    }
+
+    #[test]
+    fn submit_line_round_trips() {
+        let r = req();
+        let line = r.submit_line("r-1");
+        let (id, back) = GridRequest::parse_submit(&line).expect("parse");
+        assert_eq!(id, "r-1");
+        assert_eq!(back.bench, r.bench);
+        assert_eq!(back.engines, r.engines);
+        assert_eq!(back.widths, r.widths);
+        assert_eq!(back.total, r.total);
+        assert_eq!(back.scfg.to_spec(), r.scfg.to_spec());
+        assert_eq!(back.opts.jobs, 3);
+        assert_eq!(back.opts.warm_bank, r.opts.warm_bank);
+        assert_eq!(back.family_tag(), r.family_tag());
+    }
+
+    #[test]
+    fn family_tag_ignores_axes_and_host_knobs() {
+        let a = req();
+        let mut b = req();
+        b.engines = vec![EngineKind::Ftb];
+        b.widths = vec![8];
+        b.opts.jobs = 1;
+        b.opts.warm_bank = true;
+        assert_eq!(a.family_tag(), b.family_tag(), "axes and host knobs must not split families");
+        let mut c = req();
+        c.total = 4_000_000;
+        assert_ne!(a.family_tag(), c.family_tag(), "the horizon is output-relevant");
+        let mut d = req();
+        d.opts.legacy_scan = true;
+        assert_ne!(a.family_tag(), d.family_tag(), "the simulated model is output-relevant");
+    }
+
+    #[test]
+    fn canonical_cells_cover_every_pair_once() {
+        let r = req();
+        let cells = r.canonical_cells();
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert_eq!(c.lo, 0);
+            assert_eq!(c.hi, r.windows());
+        }
+        // Canonical = stable across request shapes: the same pair from a
+        // wider request produces the identical cell id.
+        let mut wide = req();
+        wide.engines = EngineKind::ALL.to_vec();
+        wide.widths = vec![2, 4, 8];
+        let wide_cells = wide.canonical_cells();
+        for c in &cells {
+            assert!(
+                wide_cells.iter().any(|w| w.to_string() == c.to_string()),
+                "cell {c} missing from the superset request"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_events_round_trip() {
+        let evs = vec![
+            ServeEvent::Pong,
+            ServeEvent::Accepted { req: "r-1".into(), cells: 4, windows: 4 },
+            ServeEvent::Cell {
+                req: "r-1".into(),
+                cell: "stream/8/0-4".into(),
+                resumed: true,
+                shared_by: 2,
+            },
+            ServeEvent::Point {
+                engine: "stream".into(),
+                width: 8,
+                point: SamplePoint {
+                    window: 3,
+                    start_inst: 1_500_000,
+                    committed: 5000,
+                    cycles: 2600,
+                    stall_cycles: 400,
+                    mispredictions: 17,
+                },
+            },
+            ServeEvent::Estimate {
+                engine: "stream".into(),
+                width: 8,
+                windows: 4,
+                ipc: 1.9231,
+                lo: 1.87,
+                hi: 1.98,
+            },
+            ServeEvent::Final {
+                req: "r-1".into(),
+                status: "complete".into(),
+                computed: 2,
+                resumed: 1,
+                shared: 1,
+            },
+            ServeEvent::Error { req: "r-1".into(), msg: "bad \"sample\" spec".into() },
+        ];
+        for ev in evs {
+            let line = ev.to_line();
+            assert_eq!(ServeEvent::parse(&line).expect("parse"), ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn shard_child_args_carry_every_model_flag() {
+        let d = ArgDefaults { benches: "phased", engines: "all", widths: "all", procs: 1 };
+        let a = CommonArgs::parse_list(
+            vec![
+                "--engines".into(),
+                "stream,ev8".into(),
+                "--widths".into(),
+                "8".into(),
+                "--warm-bank".into(),
+                "--legacy-scan".into(),
+                "--grid-total".into(),
+                "2000000".into(),
+            ],
+            &d,
+        );
+        assert!(a.opts.warm_bank && a.opts.legacy_scan);
+        let args = shard_child_args(
+            &a,
+            ScheduleAxis::Grid,
+            "phased",
+            1,
+            4,
+            Path::new("/s"),
+            Path::new("/o"),
+        );
+        let has = |flag: &str| args.iter().any(|x| x == flag);
+        assert!(has("--warm-bank") && has("--legacy-scan") && has("--grid-total"));
+        assert!(has("--shard") && has("--no-fleet"));
+    }
+}

@@ -37,8 +37,7 @@ use sfetch_fleet::{
 use sfetch_sample::{window_range, SampleConfig, SamplePoint, ShardSpec};
 
 use crate::grid::{
-    engine_key, merge_grid, merge_grid_partial, parse_engines, parse_shard_body,
-    parse_shard_file, point_line, run_cell_range, CellRun, GridCell, GridError,
+    engine_key, merge_grid, merge_grid_partial, parse_shard_file, CellRun, GridCell, GridError,
     GRID_SHARD_SCHEMA,
 };
 use crate::{workload_by_name, HarnessOpts};
@@ -172,8 +171,7 @@ fn config_tag(spec: &FleetGridSpec<'_>) -> u64 {
 /// verify and every point line must parse. Returns the digest of the
 /// full sealed text.
 fn validate_shard(text: &str) -> Result<u64, String> {
-    parse_shard_file(text).map_err(|e| e.to_string())?;
-    Ok(fnv64(text.as_bytes()))
+    crate::driver::validate_shard_text(text)
 }
 
 /// Runs the grid under the fleet supervisor. The checkpoint store at
@@ -244,6 +242,9 @@ pub fn run_fleet_grid(spec: &FleetGridSpec<'_>) -> Result<FleetGridOutcome, Flee
             .arg(spec.opts.grid_prefetch.as_str());
         if spec.opts.legacy_scan {
             cmd.arg("--fleet-legacy-scan");
+        }
+        if spec.opts.warm_bank {
+            cmd.arg("--fleet-warm-bank");
         }
         if spec.opts.prefetch.mshrs > 0 {
             cmd.arg("--fleet-prefetch").arg(spec.opts.prefetch.kind.to_string());
@@ -415,6 +416,15 @@ fn parse_child_args(args: &[String]) -> Result<ChildArgs, String> {
                 i += 1;
                 continue;
             }
+            // Note: deliberately absent from `config_tag` — banked warm
+            // state changes host time only, never the output bytes, so a
+            // banked rerun must resume the un-banked ledger (and vice
+            // versa) with zero recomputation.
+            "--fleet-warm-bank" => {
+                opts.warm_bank = true;
+                i += 1;
+                continue;
+            }
             "--fleet-prefetch" => pf_kind = Some(take(i)?.clone()),
             "--fleet-front" => {
                 opts.front = crate::FrontMode::parse(take(i)?)
@@ -475,26 +485,11 @@ fn run_fleet_child(a: &ChildArgs) -> Result<bool, String> {
 
     let _hb = HeartbeatGuard::start(&a.heartbeat, HEARTBEAT_EVERY);
     let w = workload_by_name(&a.bench);
-    let engine = *parse_engines(&a.cell.engine)
-        .map_err(|e| e.to_string())?
-        .first()
-        .ok_or("empty engine")?;
-    let grid_cell = GridCell { engine, width: a.cell.width };
     let store =
         sfetch_sample::CheckpointStore::open(&a.store).map_err(|e| format!("open store: {e}"))?;
-    let (pts, _) =
-        run_cell_range(&w, grid_cell, a.scfg, &a.opts, &store, a.cell.lo..a.cell.hi);
-
-    let mut body = format!(
-        "{{\"schema\": \"{GRID_SHARD_SCHEMA}\", \"cell\": \"{}\", \"bench\": \"{}\"}}\n",
-        a.cell,
-        w.name()
-    );
-    for p in &pts {
-        body.push_str(&point_line(grid_cell, p));
-        body.push('\n');
-    }
-    debug_assert!(parse_shard_body(&body).is_ok(), "child must emit parseable bodies");
+    // The single cell-execution path shared with the daemon's
+    // in-process workers.
+    let body = crate::driver::cell_body_text(&w, &a.cell, a.scfg, &a.opts, &store)?;
 
     let sealed = seal(&body);
     let (text, exit_nonzero) = chaos::mangle_output(fault, &sealed);
@@ -528,7 +523,7 @@ pub fn maybe_run_fleet_child() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::cells;
+    use crate::grid::{cells, point_line};
     use sfetch_fetch::EngineKind;
 
     #[test]

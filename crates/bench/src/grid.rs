@@ -249,7 +249,8 @@ pub fn run_cell_range(
 ) -> (Vec<SamplePoint>, StoreStats) {
     let img = w.image(LayoutChoice::Optimized);
     let fp = w.fingerprint(LayoutChoice::Optimized);
-    let mut s = StoredSampler::new(img, fp, w.ref_seed(), scfg, store);
+    let mut s =
+        StoredSampler::new(img, fp, w.ref_seed(), scfg, store).with_warm_bank(opts.warm_bank);
     let pts = s.run_range(cell.engine, cell_config(cell, opts), range, opts.jobs);
     (pts, s.stats())
 }

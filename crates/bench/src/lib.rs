@@ -44,6 +44,7 @@ use sfetch_mem::MemoryConfig;
 use sfetch_sample::SampleConfig;
 use sfetch_workloads::{par_map, phased, LayoutChoice, Suite, Workload};
 
+pub mod driver;
 pub mod fleet_grid;
 pub mod grid;
 pub mod obs;
@@ -174,6 +175,11 @@ pub struct HarnessOpts {
     /// reads it; the flat `run_point` grids keep honoring
     /// [`HarnessOpts::prefetch`].
     pub grid_prefetch: GridPrefetchMode,
+    /// Bank per-(engine, config) warm simulator state in the checkpoint
+    /// store (`--warm-bank`), so resident reruns of the same cell skip
+    /// the functional-warming walk. Results are bit-identical with the
+    /// bank on or off; only host time changes. Off by default.
+    pub warm_bank: bool,
 }
 
 impl Default for HarnessOpts {
@@ -191,6 +197,7 @@ impl Default for HarnessOpts {
             grid_sample: grid::calibration_schedule(),
             front: FrontMode::default(),
             grid_prefetch: GridPrefetchMode::default(),
+            warm_bank: false,
         }
     }
 }
@@ -307,13 +314,17 @@ impl HarnessOpts {
                         .expect("--grid-prefetch requires one of: shared, natural");
                     i += 2;
                 }
+                "--warm-bank" => {
+                    o.warm_bank = true;
+                    i += 1;
+                }
                 other => {
                     panic!(
                         "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, \
                          --legacy-scan, --prefetch none|next-line|stream|mana, --mshrs N, \
                          --long, --sample-total N, --sample U,Wf,Wd,D, --grid-total N, \
                          --grid-sample U,Wf,Wd,D, --front-pipeline legacy|engine, \
-                         --grid-prefetch shared|natural"
+                         --grid-prefetch shared|natural, --warm-bank"
                     )
                 }
             }

@@ -1,10 +1,16 @@
 //! The fetch-engine interface shared by the four front-ends.
 
 use sfetch_cfg::CodeImage;
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 use sfetch_mem::MemoryHierarchy;
 
 use crate::bundle::{Checkpoint, CommittedInst, FetchedInst, ResolvedBranch};
+
+/// Version tag embedded in every engine warm-state payload. Bump whenever
+/// any engine's warm-state wire layout changes; stale banked entries are
+/// then rejected at load and recomputed.
+pub const WARM_FORMAT_VERSION: u32 = 1;
 
 /// Aggregate fetch-engine statistics (engine-agnostic).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +54,55 @@ impl FetchEngineStats {
         } else {
             self.unit_insts as f64 / self.units as f64
         }
+    }
+
+    /// Serializes the counters (exhaustive: adding a field breaks this).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self {
+            predictor_lookups,
+            predictor_hits,
+            units,
+            unit_insts,
+            tc_hits,
+            tc_misses,
+            icache_stall_cycles,
+            stall_l2_cycles,
+            stall_mem_cycles,
+            stall_mshr_cycles,
+            shadow_installs,
+        } = self;
+        for v in [
+            predictor_lookups,
+            predictor_hits,
+            units,
+            unit_insts,
+            tc_hits,
+            tc_misses,
+            icache_stall_cycles,
+            stall_l2_cycles,
+            stall_mem_cycles,
+            stall_mshr_cycles,
+            shadow_installs,
+        ] {
+            w.u64(*v);
+        }
+    }
+
+    /// Deserializes counters written by [`FetchEngineStats::save_wire`].
+    pub fn load_wire(r: &mut WireReader<'_>) -> Result<Self, String> {
+        Ok(Self {
+            predictor_lookups: r.u64()?,
+            predictor_hits: r.u64()?,
+            units: r.u64()?,
+            unit_insts: r.u64()?,
+            tc_hits: r.u64()?,
+            tc_misses: r.u64()?,
+            icache_stall_cycles: r.u64()?,
+            stall_l2_cycles: r.u64()?,
+            stall_mem_cycles: r.u64()?,
+            stall_mshr_cycles: r.u64()?,
+            shadow_installs: r.u64()?,
+        })
     }
 }
 
@@ -108,6 +163,25 @@ pub trait FetchEngine {
     /// so no redirects were observed).
     fn warm_block(&mut self, cis: &[CommittedInst]) {
         self.commit_block(cis);
+    }
+
+    /// Serializes the engine's *commit-side* warm state — predictor
+    /// tables, histories, fill/builder units and statistics, exactly the
+    /// structures [`FetchEngine::warm_block`] mutates. Fetch-side cursors
+    /// (FTQ, I-cache port, in-flight deliveries) are excluded: they are
+    /// factory-fresh after warming and rebuilt by the post-warm resync
+    /// redirect. Returns `None` for engines without banking support.
+    fn warm_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores warm state captured by [`FetchEngine::warm_state`] into a
+    /// freshly built engine of the *same* configuration. Any mismatch
+    /// (geometry, version, trailing bytes) is an error — callers treat a
+    /// failed load as a cache miss and rewarm from scratch.
+    fn load_warm_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let _ = bytes;
+        Err("engine does not support warm-state banking".to_string())
     }
 
     /// Host-side decoded-line-cache counters `(hits, misses)`; `(0, 0)`

@@ -9,6 +9,7 @@
 //! a full misprediction here.
 
 use sfetch_cfg::CodeImage;
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 use sfetch_mem::MemoryHierarchy;
 use sfetch_predictors::{Btb, GlobalHistory, Ras, TwoBcGskew};
@@ -290,6 +291,31 @@ impl FetchEngine for Ev8Engine {
 
     fn stall_probe(&self) -> crate::StallCause {
         self.port.last_stall()
+    }
+
+    fn warm_state(&self) -> Option<Vec<u8>> {
+        let mut w = WireWriter::new();
+        w.u32(crate::engine::WARM_FORMAT_VERSION);
+        self.pred.save_wire(&mut w);
+        self.btb.save_wire(&mut w);
+        self.ras.save_wire(&mut w);
+        self.ghist.save_wire(&mut w);
+        self.stats.save_wire(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn load_warm_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = WireReader::new(bytes);
+        let v = r.u32()?;
+        if v != crate::engine::WARM_FORMAT_VERSION {
+            return Err(format!("warm-state version {v} != {}", crate::engine::WARM_FORMAT_VERSION));
+        }
+        self.pred.load_wire(&mut r)?;
+        self.btb.load_wire(&mut r)?;
+        self.ras.load_wire(&mut r)?;
+        self.ghist = GlobalHistory::load_wire(&mut r)?;
+        self.stats = FetchEngineStats::load_wire(&mut r)?;
+        r.finish()
     }
 
     fn stats(&self) -> FetchEngineStats {

@@ -12,6 +12,7 @@
 use std::collections::HashSet;
 
 use sfetch_cfg::CodeImage;
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 use sfetch_mem::MemoryHierarchy;
 use sfetch_predictors::{Ftb, FtbEntry, GlobalHistory, PerceptronPredictor, Ras};
@@ -329,6 +330,51 @@ impl FetchEngine for FtbEngine {
 
     fn stall_probe(&self) -> crate::StallCause {
         self.port.last_stall()
+    }
+
+    fn warm_state(&self) -> Option<Vec<u8>> {
+        let mut w = WireWriter::new();
+        w.u32(crate::engine::WARM_FORMAT_VERSION);
+        self.ftb.save_wire(&mut w);
+        self.pred.save_wire(&mut w);
+        self.ghist.save_wire(&mut w);
+        // HashSet iteration order is nondeterministic: sort so identical
+        // warm states always produce identical bytes.
+        let mut taken: Vec<Addr> = self.taken_ever.iter().copied().collect();
+        taken.sort_unstable();
+        w.u64(taken.len() as u64);
+        for pc in taken {
+            w.addr(pc);
+        }
+        let BlockBuilder { start, len } = self.builder;
+        w.bool(start.is_some());
+        w.addr(start.unwrap_or(Addr::NULL));
+        w.u32(len);
+        self.ras.save_wire(&mut w);
+        self.stats.save_wire(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn load_warm_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = WireReader::new(bytes);
+        let v = r.u32()?;
+        if v != crate::engine::WARM_FORMAT_VERSION {
+            return Err(format!("warm-state version {v} != {}", crate::engine::WARM_FORMAT_VERSION));
+        }
+        self.ftb.load_wire(&mut r)?;
+        self.pred.load_wire(&mut r)?;
+        self.ghist = GlobalHistory::load_wire(&mut r)?;
+        let n = r.u64()?;
+        self.taken_ever.clear();
+        for _ in 0..n {
+            self.taken_ever.insert(r.addr()?);
+        }
+        let has_start = r.bool()?;
+        let start = r.addr()?;
+        self.builder = BlockBuilder { start: has_start.then_some(start), len: r.u32()? };
+        self.ras.load_wire(&mut r)?;
+        self.stats = FetchEngineStats::load_wire(&mut r)?;
+        r.finish()
     }
 
     fn stats(&self) -> FetchEngineStats {

@@ -42,7 +42,7 @@ pub use bundle::{
     BranchPrediction, Checkpoint, CommittedControl, CommittedInst, FetchedInst, ResolvedBranch,
 };
 pub use decode::{DecodeCache, DecodedInst};
-pub use engine::{EngineKind, FetchEngine, FetchEngineStats};
+pub use engine::{EngineKind, FetchEngine, FetchEngineStats, WARM_FORMAT_VERSION};
 pub use ev8::Ev8Engine;
 pub use front::FrontPipeline;
 pub use ftb_engine::FtbEngine;

@@ -9,6 +9,7 @@
 //! point — a *partial stream* — with no rollback (§1).
 
 use sfetch_cfg::CodeImage;
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 use sfetch_mem::MemoryHierarchy;
 use sfetch_predictors::{
@@ -462,6 +463,46 @@ impl FetchEngine for StreamEngine {
 
     fn stall_probe(&self) -> crate::StallCause {
         self.port.last_stall()
+    }
+
+    fn warm_state(&self) -> Option<Vec<u8>> {
+        let mut w = WireWriter::new();
+        w.u32(crate::engine::WARM_FORMAT_VERSION);
+        self.pred.save_wire(&mut w);
+        self.ras.save_wire(&mut w);
+        w.u64(self.open.len() as u64);
+        for s in &self.open {
+            let OpenStream { start, len, mispredicted } = s;
+            w.addr(*start);
+            w.u32(*len);
+            w.bool(*mispredicted);
+        }
+        self.stats.save_wire(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn load_warm_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = WireReader::new(bytes);
+        let v = r.u32()?;
+        if v != crate::engine::WARM_FORMAT_VERSION {
+            return Err(format!("warm-state version {v} != {}", crate::engine::WARM_FORMAT_VERSION));
+        }
+        self.pred.load_wire(&mut r)?;
+        self.ras.load_wire(&mut r)?;
+        let n = r.u64()? as usize;
+        if n > MAX_OPEN {
+            return Err(format!("{n} open streams exceeds the engine cap {MAX_OPEN}"));
+        }
+        self.open.clear();
+        for _ in 0..n {
+            self.open.push(OpenStream {
+                start: r.addr()?,
+                len: r.u32()?,
+                mispredicted: r.bool()?,
+            });
+        }
+        self.stats = FetchEngineStats::load_wire(&mut r)?;
+        r.finish()
     }
 
     fn stats(&self) -> FetchEngineStats {

@@ -16,6 +16,7 @@
 //! BTB/gshare-predicted fetch block per cycle.
 
 use sfetch_cfg::CodeImage;
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 use sfetch_mem::MemoryHierarchy;
 use sfetch_predictors::{
@@ -634,6 +635,88 @@ impl FetchEngine for TraceCacheEngine {
 
     fn stall_probe(&self) -> crate::StallCause {
         self.port.last_stall()
+    }
+
+    fn warm_state(&self) -> Option<Vec<u8>> {
+        let mut w = WireWriter::new();
+        w.u32(crate::engine::WARM_FORMAT_VERSION);
+        self.pred.save_wire(&mut w);
+        self.tc.save_wire_with(&mut w, &mut |w, line| {
+            let TraceLine { len, n_cond, dirs, pcs, term, next } = line;
+            w.u8(*len);
+            w.u8(*n_cond);
+            w.u8(*dirs);
+            w.u64(pcs.len() as u64);
+            for pc in pcs {
+                w.addr(*pc);
+            }
+            w.branch_kind(*term);
+            w.addr(*next);
+        });
+        self.backup_btb.save_wire(&mut w);
+        self.backup_dir.save_wire(&mut w);
+        self.ghist.save_wire(&mut w);
+        self.ras.save_wire(&mut w);
+        let FillUnit { start, pcs, dirs, n_cond, mispredicted, interior_taken } = &self.fill;
+        w.bool(start.is_some());
+        w.addr(start.unwrap_or(Addr::NULL));
+        w.u64(pcs.len() as u64);
+        for pc in pcs {
+            w.addr(*pc);
+        }
+        w.u8(*dirs);
+        w.u8(*n_cond);
+        w.bool(*mispredicted);
+        w.bool(*interior_taken);
+        self.stats.save_wire(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn load_warm_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = WireReader::new(bytes);
+        let v = r.u32()?;
+        if v != crate::engine::WARM_FORMAT_VERSION {
+            return Err(format!("warm-state version {v} != {}", crate::engine::WARM_FORMAT_VERSION));
+        }
+        self.pred.load_wire(&mut r)?;
+        self.tc.load_wire_with(&mut r, &mut |r| {
+            let len = r.u8()?;
+            let n_cond = r.u8()?;
+            let dirs = r.u8()?;
+            let n = r.u64()? as usize;
+            if n > MAX_TRACE {
+                return Err(format!("trace line of {n} pcs exceeds MAX_TRACE"));
+            }
+            let mut pcs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pcs.push(r.addr()?);
+            }
+            Ok(TraceLine { len, n_cond, dirs, pcs, term: r.branch_kind()?, next: r.addr()? })
+        })?;
+        self.backup_btb.load_wire(&mut r)?;
+        self.backup_dir.load_wire(&mut r)?;
+        self.ghist = GlobalHistory::load_wire(&mut r)?;
+        self.ras.load_wire(&mut r)?;
+        let has_start = r.bool()?;
+        let start = r.addr()?;
+        let n = r.u64()? as usize;
+        if n > MAX_TRACE {
+            return Err(format!("fill unit of {n} pcs exceeds MAX_TRACE"));
+        }
+        let mut pcs = Vec::with_capacity(n);
+        for _ in 0..n {
+            pcs.push(r.addr()?);
+        }
+        self.fill = FillUnit {
+            start: has_start.then_some(start),
+            pcs,
+            dirs: r.u8()?,
+            n_cond: r.u8()?,
+            mispredicted: r.bool()?,
+            interior_taken: r.bool()?,
+        };
+        self.stats = FetchEngineStats::load_wire(&mut r)?;
+        r.finish()
     }
 
     fn stats(&self) -> FetchEngineStats {

@@ -70,8 +70,8 @@ pub use error::FleetError;
 pub use heartbeat::HeartbeatGuard;
 pub use ledger::{CellState, Ledger, ResumeSummary, LEDGER_SCHEMA};
 pub use supervisor::{
-    run_fleet, CellDone, FleetConfig, FleetReport, Launcher, PollResult, ProcessLauncher,
-    WorkerHandle,
+    run_fleet, run_fleet_notify, CellDone, FleetConfig, FleetReport, Launcher, PollResult,
+    ProcessLauncher, WorkerHandle,
 };
 pub use trailer::{fnv64, seal, unseal, TrailerError};
 

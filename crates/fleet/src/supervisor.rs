@@ -62,6 +62,17 @@ pub struct FleetConfig {
     pub heartbeat_stale_ms: u64,
     /// Supervisor poll interval, ms.
     pub poll_ms: u64,
+    /// Request tag stamped (as `"req"`) on every event this run writes
+    /// to `events.jsonl`, so a resident daemon's interleaved requests
+    /// can be teased apart from one shared log. Empty = untagged
+    /// (standalone runs).
+    pub req: String,
+    /// Size cap on `events.jsonl`, bytes. When an append would push the
+    /// log past the cap it is rotated to `events.jsonl.1` (replacing
+    /// any previous rotation) and a fresh log started — a resident
+    /// daemon's event history stays bounded at ~2× the cap. `0`
+    /// disables rotation.
+    pub events_cap_bytes: u64,
 }
 
 impl FleetConfig {
@@ -77,6 +88,8 @@ impl FleetConfig {
             backoff_cap_ms: 10_000,
             heartbeat_stale_ms: 15_000,
             poll_ms: 25,
+            req: String::new(),
+            events_cap_bytes: 8 << 20,
         }
     }
 }
@@ -282,14 +295,32 @@ fn mtime_ms(path: &Path) -> Option<u64> {
 /// The supervisor's structured decision log: `events.jsonl` next to the
 /// ledger, one line-JSON event per lease/completion/kill/retry/degrade
 /// decision plus a run-start and run-summary record. Opened in append
-/// mode so a resumed run extends the same history. Best-effort by
-/// design: an unwritable log never fails the run (the ledger, not the
-/// event log, is the source of truth).
-struct EventLog(Option<JsonlFile>);
+/// mode so a resumed run extends the same history; every event carries
+/// the run's request tag ([`FleetConfig::req`], when set) so a resident
+/// daemon's interleaved requests stay attributable, and the file
+/// rotates to `events.jsonl.1` at [`FleetConfig::events_cap_bytes`] so
+/// a long-lived daemon's log stays bounded. Best-effort by design: an
+/// unwritable log never fails the run (the ledger, not the event log,
+/// is the source of truth).
+struct EventLog {
+    file: Option<JsonlFile>,
+    path: PathBuf,
+    req: String,
+    cap_bytes: u64,
+    written: u64,
+}
 
 impl EventLog {
-    fn open(dir: &Path) -> Self {
-        EventLog(JsonlFile::append(&dir.join("events.jsonl")).ok())
+    fn open(dir: &Path, req: &str, cap_bytes: u64) -> Self {
+        let path = dir.join("events.jsonl");
+        let written = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        EventLog {
+            file: JsonlFile::append(&path).ok(),
+            path,
+            req: req.to_owned(),
+            cap_bytes,
+            written,
+        }
     }
 
     /// Starts an event row stamped with the wall clock and event kind.
@@ -297,9 +328,27 @@ impl EventLog {
         Row::new().u("t_ms", now_ms()).s("event", kind)
     }
 
-    fn emit(&mut self, row: Row) {
-        if let Some(f) = self.0.as_mut() {
-            let _ = f.write_row(row);
+    fn emit(&mut self, mut row: Row) {
+        if !self.req.is_empty() {
+            row = row.s("req", &self.req);
+        }
+        // Rotate before the line that would breach the cap: the closed
+        // log replaces any previous `.1` so total history is bounded.
+        if self.cap_bytes > 0 && self.written >= self.cap_bytes {
+            self.file = None; // flush + close before the rename
+            let rotated = self.path.with_extension("jsonl.1");
+            if std::fs::rename(&self.path, &rotated).is_ok() {
+                self.file = JsonlFile::create(&self.path).ok();
+                self.written = 0;
+            } else {
+                self.file = JsonlFile::append(&self.path).ok();
+            }
+        }
+        if let Some(f) = self.file.as_mut() {
+            let line = row.finish();
+            if f.write_line(&line).is_ok() {
+                self.written += line.len() as u64 + 1; // + the newline
+            }
         }
     }
 }
@@ -338,8 +387,33 @@ pub fn run_fleet<L: Launcher>(
     resume: ResumeSummary,
     log: &mut dyn FnMut(&str),
 ) -> Result<FleetReport, FleetError> {
+    run_fleet_notify(cfg, ledger, launcher, validate, resume, log, &mut |_done| {})
+}
+
+/// [`run_fleet`] with an incremental-results hook: `notify` receives
+/// each `Done` cell **as it becomes available** — first every cell
+/// resumed verified from the ledger (in deterministic cell order,
+/// before any worker is spawned), then each in-run completion the
+/// moment its output validates. Every `Done` cell in the final
+/// [`FleetReport`] was notified exactly once; `Failed` cells are never
+/// notified. This is what lets a resident server stream merged points
+/// to a client while the grid is still running.
+///
+/// # Errors
+///
+/// As [`run_fleet`].
+#[allow(clippy::too_many_lines)]
+pub fn run_fleet_notify<L: Launcher>(
+    cfg: &FleetConfig,
+    ledger: &mut Ledger,
+    launcher: &L,
+    validate: &dyn Fn(&str) -> Result<u64, String>,
+    resume: ResumeSummary,
+    log: &mut dyn FnMut(&str),
+    notify: &mut dyn FnMut(&CellDone),
+) -> Result<FleetReport, FleetError> {
     let work_dir = ledger.path().parent().map(Path::to_path_buf).unwrap_or_default();
-    let mut events = EventLog::open(&work_dir);
+    let mut events = EventLog::open(&work_dir, &cfg.req, cfg.events_cap_bytes);
     events.emit(
         EventLog::at("run_start")
             .u("cells", ledger.cells().count() as u64)
@@ -354,6 +428,20 @@ pub fn run_fleet<L: Launcher>(
     let mut spawned = 0u64;
     let mut retries = 0u64;
     let mut kills = 0u64;
+
+    // Cells resumed verified from the ledger are available *now*:
+    // stream them before spawning anything.
+    for cell in ledger.cells().cloned().collect::<Vec<_>>() {
+        if let CellState::Done { attempts, .. } = ledger.state(&cell)? {
+            notify(&CellDone {
+                cell: cell.clone(),
+                text: ledger.done_text(&cell).unwrap_or_default().to_owned(),
+                attempts: *attempts,
+                resumed: true,
+                dur_ms: 0,
+            });
+        }
+    }
 
     // One failure path for every way a worker can disappoint us.
     let charge = |ledger: &mut Ledger,
@@ -408,6 +496,13 @@ pub fn run_fleet<L: Launcher>(
                         Ok(text) => match validate(&text) {
                             Ok(digest) => {
                                 let dur = finished.saturating_sub(a.started_ms);
+                                let done = CellDone {
+                                    cell: a.cell.clone(),
+                                    text: text.clone(),
+                                    attempts: a.attempt,
+                                    resumed: false,
+                                    dur_ms: dur,
+                                };
                                 ledger.complete(&a.cell, digest, &a.out, dur, text)?;
                                 durations.push(dur);
                                 completed_in_run.push(a.cell.clone());
@@ -421,6 +516,7 @@ pub fn run_fleet<L: Launcher>(
                                     "cell {} done in {dur}ms (attempt {})",
                                     a.cell, a.attempt
                                 ));
+                                notify(&done);
                             }
                             Err(why) => charge(
                                 ledger,
@@ -688,6 +784,7 @@ mod tests {
             backoff_cap_ms: 8,
             heartbeat_stale_ms: 30,
             poll_ms: 1,
+            ..FleetConfig::new(2)
         }
     }
 
@@ -783,6 +880,119 @@ mod tests {
         assert_eq!(report.done.len(), 1, "recovered after the kill");
         assert!(report.kills >= 1);
         assert!(report.done[0].attempts >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn notify_streams_each_done_cell_exactly_once() {
+        let cells =
+            vec![CellId::new("a", 4, 0, 2), CellId::new("a", 8, 0, 2), CellId::new("bad", 4, 0, 2)];
+        let (mut ledger, resume, dir) = setup("notify", &cells);
+        let launcher = TestLauncher {
+            scripts: RefCell::new(
+                (0..3)
+                    .map(|a| {
+                        ((cells[2].to_string(), a), Script::FailExit { leave_valid_file: false })
+                    })
+                    .collect(),
+            ),
+        };
+        let mut streamed: Vec<(CellId, bool)> = Vec::new();
+        let report = run_fleet_notify(
+            &fast_cfg(),
+            &mut ledger,
+            &launcher,
+            &validate_out,
+            resume,
+            &mut |_msg| {},
+            &mut |d| streamed.push((d.cell.clone(), d.resumed)),
+        )
+        .expect("run");
+        assert_eq!(report.done.len(), 2);
+        assert_eq!(streamed.len(), 2, "one notification per done cell, none for the failed one");
+        assert!(streamed.iter().all(|(_, resumed)| !resumed));
+
+        // A resumed rerun streams the done cells up front, still exactly
+        // once each, flagged resumed.
+        drop(ledger);
+        let (mut ledger, resume) =
+            Ledger::open(dir.join("l.ledger"), 1, &cells[..2], now_ms(), &validate_out)
+                .expect("reopen");
+        assert_eq!(resume.resumed_done, 2);
+        let mut streamed: Vec<(CellId, bool)> = Vec::new();
+        let launcher = TestLauncher { scripts: RefCell::new(HashMap::new()) };
+        let report = run_fleet_notify(
+            &fast_cfg(),
+            &mut ledger,
+            &launcher,
+            &validate_out,
+            resume,
+            &mut |_msg| {},
+            &mut |d| streamed.push((d.cell.clone(), d.resumed)),
+        )
+        .expect("rerun");
+        assert_eq!(report.spawned, 0, "nothing recomputed");
+        assert_eq!(
+            streamed,
+            vec![(cells[0].clone(), true), (cells[1].clone(), true)],
+            "resumed cells streamed in cell order"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn events_carry_the_request_tag() {
+        let cells = vec![CellId::new("a", 4, 0, 2)];
+        let (mut ledger, resume, dir) = setup("reqtag", &cells);
+        let mut cfg = fast_cfg();
+        cfg.req = "req-0042".into();
+        let report = run(&cfg, &mut ledger, resume, vec![]);
+        assert_eq!(report.done.len(), 1);
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl");
+        for line in events.lines() {
+            assert!(
+                line.contains("\"req\":\"req-0042\""),
+                "event missing request tag: {line}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn event_log_rotates_at_the_size_cap() {
+        let dir = std::env::temp_dir()
+            .join(format!("sfetch-sup-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tmp");
+        let mut log = EventLog::open(&dir, "r", 400);
+        for i in 0..64 {
+            log.emit(EventLog::at("tick").u("i", i));
+        }
+        drop(log);
+        let live = std::fs::metadata(dir.join("events.jsonl")).expect("live log").len();
+        let rotated =
+            std::fs::metadata(dir.join("events.jsonl.1")).expect("rotated log").len();
+        assert!(live > 0 && live < 600, "live log stays near the cap, got {live}");
+        assert!(rotated >= 400, "rotation happens at the cap, got {rotated}");
+        // Re-opening picks up the live log's size, so the cap keeps
+        // binding across daemon restarts.
+        let mut log = EventLog::open(&dir, "r", 400);
+        assert!(log.written > 0, "existing size recovered on open");
+        for i in 0..64 {
+            log.emit(EventLog::at("tick").u("i", i));
+        }
+        drop(log);
+        let live2 = std::fs::metadata(dir.join("events.jsonl")).expect("live log").len();
+        assert!(live2 < 600, "cap still binds after reopen, got {live2}");
+        // Cap 0 disables rotation entirely.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tmp");
+        let mut log = EventLog::open(&dir, "", 0);
+        for i in 0..64 {
+            log.emit(EventLog::at("tick").u("i", i));
+        }
+        drop(log);
+        assert!(!dir.join("events.jsonl.1").exists(), "cap 0 never rotates");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

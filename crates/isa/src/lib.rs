@@ -34,6 +34,7 @@
 
 pub mod addr;
 pub mod inst;
+pub mod wire;
 
 pub use addr::{Addr, INST_BYTES};
 pub use inst::{BranchKind, DepDistance, InstClass, MemPattern, StaticInst};

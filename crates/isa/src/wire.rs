@@ -1,0 +1,323 @@
+//! Minimal byte-exact serialization helpers ("wire" codec).
+//!
+//! The warm-state banking path (see `sfetch-sample`) persists predictor and
+//! cache state between daemon runs. Those structures live in several crates,
+//! so the encoding primitives sit here at the bottom of the workspace: a
+//! little-endian length-checked writer/reader pair with `String` errors in
+//! the same style as the checkpoint codec in `sfetch-trace`.
+//!
+//! Determinism is part of the contract: encoding the same logical state must
+//! produce the same bytes (callers sort any hash-ordered collections before
+//! writing), because stored entries are content-digested and compared.
+//!
+//! ```
+//! use sfetch_isa::wire::{WireReader, WireWriter};
+//!
+//! let mut w = WireWriter::new();
+//! w.u64(7);
+//! w.bytes(b"abc");
+//! let buf = w.into_bytes();
+//! let mut r = WireReader::new(&buf);
+//! assert_eq!(r.u64().unwrap(), 7);
+//! assert_eq!(r.bytes().unwrap(), b"abc");
+//! r.finish().unwrap();
+//! ```
+
+use crate::{Addr, BranchKind};
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes an address as its raw `u64`.
+    pub fn addr(&mut self, a: Addr) {
+        self.u64(a.get());
+    }
+
+    /// Writes a branch kind as a one-byte code (see [`branch_kind_code`]).
+    pub fn branch_kind(&mut self, k: Option<BranchKind>) {
+        self.u8(branch_kind_code(k));
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a `u64` slice as a length prefix plus elements.
+    pub fn u64_slice(&mut self, xs: &[u64]) {
+        self.u64(xs.len() as u64);
+        for &x in xs {
+            self.u64(x);
+        }
+    }
+}
+
+/// Cursor over an encoded byte buffer; every read is bounds-checked.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current read position (for error reporting).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "wire data truncated at byte {} (wanted {n}, have {})",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; rejects bytes other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("wire bool has invalid value {v}")),
+        }
+    }
+
+    /// Reads an address.
+    pub fn addr(&mut self) -> Result<Addr, String> {
+        Ok(Addr::new(self.u64()?))
+    }
+
+    /// Reads a branch-kind code byte (see [`branch_kind_from_code`]).
+    pub fn branch_kind(&mut self) -> Result<Option<BranchKind>, String> {
+        branch_kind_from_code(self.u8()?)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| format!("wire length {n} overflows"))?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| format!("wire length {n} overflows"))?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(format!(
+                "wire data truncated at byte {}: u64 vec of {n} exceeds buffer",
+                self.pos
+            ));
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Asserts the buffer was fully consumed.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!(
+                "wire data has {} trailing bytes at byte {}",
+                self.remaining(),
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One-byte code for an optional branch kind (0 = none).
+pub fn branch_kind_code(k: Option<BranchKind>) -> u8 {
+    match k {
+        None => 0,
+        Some(BranchKind::Cond) => 1,
+        Some(BranchKind::Jump) => 2,
+        Some(BranchKind::Call) => 3,
+        Some(BranchKind::Return) => 4,
+        Some(BranchKind::IndirectJump) => 5,
+        Some(BranchKind::IndirectCall) => 6,
+    }
+}
+
+/// Inverse of [`branch_kind_code`]; rejects unknown codes.
+pub fn branch_kind_from_code(code: u8) -> Result<Option<BranchKind>, String> {
+    Ok(match code {
+        0 => None,
+        1 => Some(BranchKind::Cond),
+        2 => Some(BranchKind::Jump),
+        3 => Some(BranchKind::Call),
+        4 => Some(BranchKind::Return),
+        5 => Some(BranchKind::IndirectJump),
+        6 => Some(BranchKind::IndirectCall),
+        v => Err(format!("wire branch kind has invalid code {v}"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = WireWriter::new();
+        w.u64(u64::MAX);
+        w.u32(0xdead_beef);
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.addr(Addr::new(0x1004));
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.addr().unwrap(), Addr::new(0x1004));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_sequences() {
+        let mut w = WireWriter::new();
+        w.bytes(&[1, 2, 3]);
+        w.u64_slice(&[10, 20]);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.u64_vec().unwrap(), vec![10, 20]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn branch_kinds_roundtrip() {
+        let kinds = [
+            None,
+            Some(BranchKind::Cond),
+            Some(BranchKind::Jump),
+            Some(BranchKind::Call),
+            Some(BranchKind::Return),
+            Some(BranchKind::IndirectJump),
+            Some(BranchKind::IndirectCall),
+        ];
+        for k in kinds {
+            assert_eq!(branch_kind_from_code(branch_kind_code(k)).unwrap(), k);
+        }
+        assert!(branch_kind_from_code(9).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_with_position() {
+        let mut w = WireWriter::new();
+        w.u64(1);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf[..4]);
+        let err = r.u64().unwrap_err();
+        assert!(err.contains("truncated at byte 0"), "{err}");
+    }
+
+    #[test]
+    fn bogus_length_rejected_without_allocation() {
+        let mut w = WireWriter::new();
+        w.u64(u64::MAX); // absurd length prefix
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert!(r.u64_vec().is_err());
+        let mut r2 = WireReader::new(&buf);
+        assert!(r2.bytes().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let buf = [3u8];
+        let mut r = WireReader::new(&buf);
+        assert!(r.bool().unwrap_err().contains("invalid value 3"));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = WireWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        r.u8().unwrap();
+        assert!(r.finish().unwrap_err().contains("trailing"));
+    }
+}

@@ -1,5 +1,6 @@
 //! Set-associative cache model.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 /// Geometry of one cache.
@@ -236,6 +237,58 @@ impl SetAssocCache {
     pub fn storage_bits(&self) -> u64 {
         let lines = self.lines.len() as u64;
         self.config.size_bytes * 8 + lines * (25 + 1 + 4)
+    }
+
+    /// Serializes residency, LRU state and statistics (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { config, lines, sets, tick, stats } = self;
+        w.u64(config.size_bytes);
+        w.u64(config.assoc as u64);
+        w.u64(config.line_bytes);
+        w.u64(*sets as u64);
+        w.u64(*tick);
+        w.u64(stats.accesses);
+        w.u64(stats.misses);
+        w.u64(lines.len() as u64);
+        for l in lines {
+            let Line { valid, tag, lru, prefetched } = l;
+            w.bool(*valid);
+            w.u64(*tag);
+            w.u64(*lru);
+            w.bool(*prefetched);
+        }
+    }
+
+    /// Deserializes into this cache; the stored geometry must match.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        let size = r.u64()?;
+        let assoc = r.u64()?;
+        let line_bytes = r.u64()?;
+        let sets = r.u64()?;
+        if size != self.config.size_bytes
+            || assoc != self.config.assoc as u64
+            || line_bytes != self.config.line_bytes
+            || sets != self.sets as u64
+        {
+            return Err(format!(
+                "cache geometry {size}B/{assoc}w/{line_bytes}B does not match \
+                 {}B/{}w/{}B",
+                self.config.size_bytes, self.config.assoc, self.config.line_bytes
+            ));
+        }
+        self.tick = r.u64()?;
+        self.stats = CacheStats { accesses: r.u64()?, misses: r.u64()? };
+        let n = r.u64()?;
+        if n != self.lines.len() as u64 {
+            return Err(format!("cache has {n} lines, expected {}", self.lines.len()));
+        }
+        for l in self.lines.iter_mut() {
+            l.valid = r.bool()?;
+            l.tag = r.u64()?;
+            l.lru = r.u64()?;
+            l.prefetched = r.bool()?;
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! The three-level memory hierarchy of Table 2, with an optional
 //! non-blocking L1i miss pipeline (MSHRs + in-flight fill queue).
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 use crate::cache::{CacheConfig, CacheStats, DemandOutcome, SetAssocCache};
@@ -339,6 +340,35 @@ impl MemoryHierarchy {
         if let Some(p) = self.pipeline.as_mut() {
             p.stats = PrefetchStats::default();
         }
+    }
+
+    /// Serializes the cache arrays of all three levels (warm-state
+    /// banking). Functional warming only drives [`MemoryHierarchy::warm_inst`]
+    /// / [`MemoryHierarchy::warm_data`], so no miss pipeline exists yet;
+    /// saving with an active pipeline would lose its in-flight fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the non-blocking L1i miss pipeline has been enabled.
+    pub fn save_warm_wire(&self, w: &mut WireWriter) {
+        assert!(
+            self.pipeline.is_none(),
+            "warm state capture requires the pre-pipeline hierarchy"
+        );
+        self.l1i.save_wire(w);
+        self.l1d.save_wire(w);
+        self.l2.save_wire(w);
+    }
+
+    /// Deserializes banked warm state into a freshly built hierarchy (same
+    /// configuration, pipeline not yet enabled).
+    pub fn load_warm_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        if self.pipeline.is_some() {
+            return Err("cannot load warm state over an active miss pipeline".into());
+        }
+        self.l1i.load_wire(r)?;
+        self.l1d.load_wire(r)?;
+        self.l2.load_wire(r)
     }
 }
 

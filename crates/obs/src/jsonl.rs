@@ -147,7 +147,13 @@ impl JsonlFile {
 
     /// Writes one finished row as a line and flushes it.
     pub fn write_row(&mut self, row: Row) -> io::Result<()> {
-        let line = row.finish();
+        self.write_line(&row.finish())
+    }
+
+    /// Writes an already-serialized line (no trailing newline) and
+    /// flushes it — for callers that need the text as well (size
+    /// accounting, mirroring to a second sink).
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
         self.w.write_all(line.as_bytes())?;
         self.w.write_all(b"\n")?;
         self.w.flush()

@@ -7,6 +7,8 @@
 //! plain LRU — so the table exposes the victim slot and lets the caller
 //! decide.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
+
 /// One slot of a set-associative table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Slot<T> {
@@ -168,6 +170,50 @@ impl<T: Default + Clone> AssocTable<T> {
     /// Count of valid entries (for tests / occupancy stats).
     pub fn occupancy(&self) -> usize {
         self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Serializes geometry, LRU clock and every slot; `enc` encodes one
+    /// payload (warm-state banking).
+    pub fn save_wire_with(
+        &self,
+        w: &mut WireWriter,
+        enc: &mut dyn FnMut(&mut WireWriter, &T),
+    ) {
+        let Self { sets, ways, slots, tick } = self;
+        w.u64(*sets as u64);
+        w.u64(*ways as u64);
+        w.u64(*tick);
+        for s in slots {
+            let Slot { valid, tag, lru, data } = s;
+            w.bool(*valid);
+            w.u64(*tag);
+            w.u64(*lru);
+            enc(w, data);
+        }
+    }
+
+    /// Deserializes into this table; stored geometry must match.
+    pub fn load_wire_with(
+        &mut self,
+        r: &mut WireReader<'_>,
+        dec: &mut dyn FnMut(&mut WireReader<'_>) -> Result<T, String>,
+    ) -> Result<(), String> {
+        let sets = r.u64()?;
+        let ways = r.u64()?;
+        if sets != self.sets as u64 || ways != self.ways as u64 {
+            return Err(format!(
+                "table geometry {sets}x{ways} does not match {}x{}",
+                self.sets, self.ways
+            ));
+        }
+        self.tick = r.u64()?;
+        for s in self.slots.iter_mut() {
+            s.valid = r.bool()?;
+            s.tag = r.u64()?;
+            s.lru = r.u64()?;
+            s.data = dec(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Branch target buffer.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 
 use crate::assoc::AssocTable;
@@ -99,6 +100,30 @@ impl Btb {
     /// entry, plus LRU.
     pub fn storage_bits(&self) -> u64 {
         (self.table.entries() as u64) * (20 + 30 + 3 + 2)
+    }
+
+    /// Serializes table contents and hit statistics (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { table, lookups, hits } = self;
+        table.save_wire_with(w, &mut |w, e| {
+            w.addr(e.target);
+            w.branch_kind(Some(e.kind));
+        });
+        w.u64(*lookups);
+        w.u64(*hits);
+    }
+
+    /// Deserializes into this BTB; geometry must match.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        self.table.load_wire_with(r, &mut |r| {
+            let target = r.addr()?;
+            let kind =
+                r.branch_kind()?.ok_or_else(|| "BTB entry without a kind".to_string())?;
+            Ok(BtbEntry { target, kind })
+        })?;
+        self.lookups = r.u64()?;
+        self.hits = r.u64()?;
+        Ok(())
     }
 }
 

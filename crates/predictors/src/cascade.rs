@@ -16,6 +16,7 @@
 //!   when it was mispredicted — units that do not need path correlation
 //!   never pollute the second table.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 use crate::assoc::AssocTable;
@@ -149,6 +150,54 @@ impl<T: Default + Clone + PartialEq> Cascade<T> {
     /// (2) and LRU (2) bits.
     pub fn storage_bits(&self, payload_bits: u64) -> u64 {
         (self.first.entries() + self.second.entries()) as u64 * (payload_bits + 20 + 2 + 2)
+    }
+
+    /// Serializes both levels and the statistics; `enc` encodes one payload
+    /// (warm-state banking).
+    pub fn save_wire_with(
+        &self,
+        w: &mut WireWriter,
+        enc: &mut dyn FnMut(&mut WireWriter, &T),
+    ) {
+        let Self { first, second, dolc: _, stats } = self;
+        first.save_wire_with(w, &mut |w, h| {
+            enc(w, &h.data);
+            h.conf.save_wire(w);
+        });
+        second.save_wire_with(w, &mut |w, h| {
+            enc(w, &h.data);
+            h.conf.save_wire(w);
+        });
+        let CascadeStats { lookups, hits_second, hits_first, misses } = stats;
+        w.u64(*lookups);
+        w.u64(*hits_second);
+        w.u64(*hits_first);
+        w.u64(*misses);
+    }
+
+    /// Deserializes into this cascade; geometries must match.
+    pub fn load_wire_with(
+        &mut self,
+        r: &mut WireReader<'_>,
+        dec: &mut dyn FnMut(&mut WireReader<'_>) -> Result<T, String>,
+    ) -> Result<(), String> {
+        self.first.load_wire_with(r, &mut |r| {
+            let data = dec(r)?;
+            let conf = Counter2::load_wire(r)?;
+            Ok(Hyst { data, conf })
+        })?;
+        self.second.load_wire_with(r, &mut |r| {
+            let data = dec(r)?;
+            let conf = Counter2::load_wire(r)?;
+            Ok(Hyst { data, conf })
+        })?;
+        self.stats = CascadeStats {
+            lookups: r.u64()?,
+            hits_second: r.u64()?,
+            hits_first: r.u64()?,
+            misses: r.u64()?,
+        };
+        Ok(())
     }
 }
 

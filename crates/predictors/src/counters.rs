@@ -1,5 +1,7 @@
 //! Saturating counters.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
+
 /// A 2-bit saturating counter (0..=3).
 ///
 /// Used as the direction state of bimodal/gshare/2bcgskew tables and as the
@@ -63,6 +65,45 @@ impl Counter2 {
     #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
+    }
+
+    /// Serializes this counter as one byte.
+    pub fn save_wire(self, w: &mut WireWriter) {
+        w.u8(self.0);
+    }
+
+    /// Deserializes a counter, rejecting out-of-range bytes.
+    pub fn load_wire(r: &mut WireReader<'_>) -> Result<Self, String> {
+        let v = r.u8()?;
+        if v > 3 {
+            return Err(format!("counter value {v} out of range"));
+        }
+        Ok(Counter2(v))
+    }
+
+    /// Serializes a counter table as a length-prefixed byte run.
+    pub fn save_slice(w: &mut WireWriter, cs: &[Counter2]) {
+        let bytes: Vec<u8> = cs.iter().map(|c| c.0).collect();
+        w.bytes(&bytes);
+    }
+
+    /// Deserializes a counter table into `cs`; the stored length must match.
+    pub fn load_slice(r: &mut WireReader<'_>, cs: &mut [Counter2]) -> Result<(), String> {
+        let bytes = r.bytes()?;
+        if bytes.len() != cs.len() {
+            return Err(format!(
+                "counter table length {} does not match {}",
+                bytes.len(),
+                cs.len()
+            ));
+        }
+        for (dst, &v) in cs.iter_mut().zip(bytes) {
+            if v > 3 {
+                return Err(format!("counter value {v} out of range"));
+            }
+            *dst = Counter2(v);
+        }
+        Ok(())
     }
 }
 

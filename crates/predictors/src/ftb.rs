@@ -8,6 +8,7 @@
 //! blocks: when an embedded branch turns out taken, the block is split —
 //! the entry is overwritten with the shorter block (§2.1).
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 
 use crate::assoc::AssocTable;
@@ -104,6 +105,33 @@ impl Ftb {
     /// target (30) + LRU (2) per entry.
     pub fn storage_bits(&self) -> u64 {
         self.table.entries() as u64 * (20 + 6 + 3 + 30 + 2)
+    }
+
+    /// Serializes table contents and hit statistics (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { table, lookups, hits } = self;
+        table.save_wire_with(w, &mut |w, e| {
+            let FtbEntry { len, kind, target } = e;
+            w.u32(*len);
+            w.branch_kind(Some(*kind));
+            w.addr(*target);
+        });
+        w.u64(*lookups);
+        w.u64(*hits);
+    }
+
+    /// Deserializes into this FTB; geometry must match.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        self.table.load_wire_with(r, &mut |r| {
+            let len = r.u32()?;
+            let kind =
+                r.branch_kind()?.ok_or_else(|| "FTB entry without a kind".to_string())?;
+            let target = r.addr()?;
+            Ok(FtbEntry { len, kind, target })
+        })?;
+        self.lookups = r.u64()?;
+        self.hits = r.u64()?;
+        Ok(())
     }
 }
 

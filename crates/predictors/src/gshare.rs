@@ -5,6 +5,7 @@
 //! budget we use a 16K-entry gshare (~4KB). Documented as a substitution in
 //! DESIGN.md.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 use crate::counters::Counter2;
@@ -49,6 +50,25 @@ impl Gshare {
     /// Storage in bits.
     pub fn storage_bits(&self) -> u64 {
         self.table.len() as u64 * 2
+    }
+
+    /// Serializes the counter table (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { table, hist_bits } = self;
+        w.u32(*hist_bits);
+        Counter2::save_slice(w, table);
+    }
+
+    /// Deserializes into this predictor; geometry must match.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        let hist_bits = r.u32()?;
+        if hist_bits != self.hist_bits {
+            return Err(format!(
+                "gshare history width {hist_bits} does not match {}",
+                self.hist_bits
+            ));
+        }
+        Counter2::load_slice(r, &mut self.table)
     }
 }
 

@@ -7,6 +7,7 @@
 //! history state here is a couple of `u64`s, so per-branch checkpoints are
 //! O(1) copies.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 /// Global (direction) history register pair.
@@ -57,6 +58,18 @@ impl GlobalHistory {
     #[inline]
     pub fn restore(&mut self, snap: u64) {
         self.spec = snap;
+    }
+
+    /// Serializes both registers (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { spec, retired } = self;
+        w.u64(*spec);
+        w.u64(*retired);
+    }
+
+    /// Deserializes both registers.
+    pub fn load_wire(r: &mut WireReader<'_>) -> Result<Self, String> {
+        Ok(Self { spec: r.u64()?, retired: r.u64()? })
     }
 }
 
@@ -166,6 +179,32 @@ impl PathHistory {
     pub fn restore(&mut self, snap: PathSnapshot) {
         self.reg = snap.reg;
         self.last = snap.last;
+    }
+
+    /// Serializes the register pair (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { reg, last } = self;
+        w.u64(*reg);
+        w.u64(*last);
+    }
+
+    /// Deserializes the register pair.
+    pub fn load_wire(r: &mut WireReader<'_>) -> Result<Self, String> {
+        Ok(Self { reg: r.u64()?, last: r.u64()? })
+    }
+}
+
+impl PathSnapshot {
+    /// Serializes the snapshot (warm-state banking; used by the RHS).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { reg, last } = self;
+        w.u64(*reg);
+        w.u64(*last);
+    }
+
+    /// Deserializes a snapshot.
+    pub fn load_wire(r: &mut WireReader<'_>) -> Result<Self, String> {
+        Ok(Self { reg: r.u64()?, last: r.u64()? })
     }
 }
 

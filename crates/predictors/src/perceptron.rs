@@ -3,6 +3,7 @@
 //! 512 perceptrons, 40 bits of global history, and a 4096-entry × 14-bit
 //! local history table.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 /// Number of global history inputs (Table 2).
@@ -111,6 +112,60 @@ impl PerceptronPredictor {
     pub fn storage_bits(&self) -> u64 {
         self.weights.len() as u64 * N_WEIGHTS as u64 * 8
             + self.local.len() as u64 * LOCAL_BITS as u64
+    }
+
+    /// Serializes weights and local histories (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { weights, local, theta } = self;
+        w.u64(*theta as u64);
+        let mut wb = Vec::with_capacity(weights.len() * N_WEIGHTS);
+        for row in weights {
+            wb.extend(row.iter().map(|&v| v as u8));
+        }
+        w.bytes(&wb);
+        let mut lb = Vec::with_capacity(local.len() * 2);
+        for &h in local {
+            lb.extend_from_slice(&h.to_le_bytes());
+        }
+        w.bytes(&lb);
+    }
+
+    /// Deserializes into this predictor; geometry must match.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        let theta = r.u64()?;
+        if theta != self.theta as u64 {
+            return Err(format!("perceptron theta {theta} does not match {}", self.theta));
+        }
+        let wb = r.bytes()?;
+        if wb.len() != self.weights.len() * N_WEIGHTS {
+            return Err(format!(
+                "perceptron weight bytes {} do not match {}",
+                wb.len(),
+                self.weights.len() * N_WEIGHTS
+            ));
+        }
+        for (row, chunk) in self.weights.iter_mut().zip(wb.chunks_exact(N_WEIGHTS)) {
+            for (dst, &b) in row.iter_mut().zip(chunk) {
+                *dst = b as i8;
+            }
+        }
+        let lb = r.bytes()?;
+        if lb.len() != self.local.len() * 2 {
+            return Err(format!(
+                "perceptron local-history bytes {} do not match {}",
+                lb.len(),
+                self.local.len() * 2
+            ));
+        }
+        let lmask = (1u16 << LOCAL_BITS) - 1;
+        for (dst, chunk) in self.local.iter_mut().zip(lb.chunks_exact(2)) {
+            let v = u16::from_le_bytes([chunk[0], chunk[1]]);
+            if v & !lmask != 0 {
+                return Err(format!("perceptron local history {v:#x} out of range"));
+            }
+            *dst = v;
+        }
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 //! divergence exactly and deeper corruption approximately — the same
 //! fidelity the hardware scheme achieves.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 /// Snapshot carried by each in-flight branch: stack index + top value.
@@ -80,6 +81,33 @@ impl Ras {
     /// Storage estimate in bits (30-bit addresses plus the pointer).
     pub fn storage_bits(&self) -> u64 {
         self.stack.len() as u64 * 30 + 8
+    }
+
+    /// Serializes the whole stack (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { stack, tos } = self;
+        w.u64(stack.len() as u64);
+        for a in stack {
+            w.addr(*a);
+        }
+        w.u32(*tos);
+    }
+
+    /// Deserializes into this stack; the stored depth must match.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        let n = r.u64()?;
+        if n != self.stack.len() as u64 {
+            return Err(format!("RAS depth {n} does not match {}", self.stack.len()));
+        }
+        for a in self.stack.iter_mut() {
+            *a = r.addr()?;
+        }
+        let tos = r.u32()?;
+        if tos as usize >= self.stack.len() {
+            return Err(format!("RAS tos {tos} out of range"));
+        }
+        self.tos = tos;
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 //! kept: a speculative *lookup* register (checkpointed per in-flight
 //! request) and a commit-time *update* register.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 
 use crate::cascade::{Cascade, CascadeStats};
@@ -232,6 +233,31 @@ impl NextStreamPredictor {
     /// next address (30).
     pub fn storage_bits(&self) -> u64 {
         self.cascade.storage_bits(6 + 3 + 30) + 2 * 64 + 2 * 64
+    }
+
+    /// Serializes tables, statistics and both path registers (warm-state
+    /// banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { config: _, cascade, spec_path, retired_path } = self;
+        cascade.save_wire_with(w, &mut |w, d| {
+            let StreamData { len, kind, next } = d;
+            w.u32(*len);
+            w.branch_kind(*kind);
+            w.addr(*next);
+        });
+        spec_path.save_wire(w);
+        retired_path.save_wire(w);
+    }
+
+    /// Deserializes into this predictor; the configuration must match the
+    /// one the state was saved under.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        self.cascade.load_wire_with(r, &mut |r| {
+            Ok(StreamData { len: r.u32()?, kind: r.branch_kind()?, next: r.addr()? })
+        })?;
+        self.spec_path = PathHistory::load_wire(r)?;
+        self.retired_path = PathHistory::load_wire(r)?;
+        Ok(())
     }
 }
 

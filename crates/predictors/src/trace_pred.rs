@@ -12,6 +12,7 @@
 //! post-return predictions correlate with the *caller's* path instead of
 //! callee noise.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::{Addr, BranchKind};
 
 use crate::cascade::{Cascade, CascadeStats};
@@ -217,6 +218,51 @@ impl NextTracePredictor {
     pub fn storage_bits(&self) -> u64 {
         self.cascade.storage_bits(3 + 2 + 5 + 3 + 30)
             + self.config.rhs_entries as u64 * 128
+    }
+
+    /// Serializes tables, statistics, path registers and the RHS
+    /// (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { config: _, cascade, spec_path, retired_path, rhs } = self;
+        cascade.save_wire_with(w, &mut |w, d| {
+            let TraceData { dirs, n_cond, len, kind_code, next } = d;
+            w.u8(*dirs);
+            w.u8(*n_cond);
+            w.u8(*len);
+            w.u8(*kind_code);
+            w.addr(*next);
+        });
+        spec_path.save_wire(w);
+        retired_path.save_wire(w);
+        w.u64(rhs.len() as u64);
+        for snap in rhs {
+            snap.save_wire(w);
+        }
+    }
+
+    /// Deserializes into this predictor; the configuration must match the
+    /// one the state was saved under.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        self.cascade.load_wire_with(r, &mut |r| {
+            Ok(TraceData {
+                dirs: r.u8()?,
+                n_cond: r.u8()?,
+                len: r.u8()?,
+                kind_code: r.u8()?,
+                next: r.addr()?,
+            })
+        })?;
+        self.spec_path = PathHistory::load_wire(r)?;
+        self.retired_path = PathHistory::load_wire(r)?;
+        let n = r.u64()?;
+        if n as usize > self.config.rhs_entries {
+            return Err(format!("RHS depth {n} exceeds {}", self.config.rhs_entries));
+        }
+        self.rhs.clear();
+        for _ in 0..n {
+            self.rhs.push(PathSnapshot::load_wire(r)?);
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! that participated (or must be corrected) are written, which preserves
 //! hysteresis and reduces aliasing.
 
+use sfetch_isa::wire::{WireReader, WireWriter};
 use sfetch_isa::Addr;
 
 use crate::counters::Counter2;
@@ -155,6 +156,33 @@ impl TwoBcGskew {
     /// Storage in bits: four tables of 2-bit counters.
     pub fn storage_bits(&self) -> u64 {
         (self.bim.len() + self.g0.len() + self.g1.len() + self.meta.len()) as u64 * 2
+    }
+
+    /// Serializes all four counter banks (warm-state banking).
+    pub fn save_wire(&self, w: &mut WireWriter) {
+        let Self { bim, g0, g1, meta, h0, h1 } = self;
+        w.u32(*h0);
+        w.u32(*h1);
+        Counter2::save_slice(w, bim);
+        Counter2::save_slice(w, g0);
+        Counter2::save_slice(w, g1);
+        Counter2::save_slice(w, meta);
+    }
+
+    /// Deserializes into this predictor; geometry must match.
+    pub fn load_wire(&mut self, r: &mut WireReader<'_>) -> Result<(), String> {
+        let h0 = r.u32()?;
+        let h1 = r.u32()?;
+        if h0 != self.h0 || h1 != self.h1 {
+            return Err(format!(
+                "2bcgskew history lengths {h0}/{h1} do not match {}/{}",
+                self.h0, self.h1
+            ));
+        }
+        Counter2::load_slice(r, &mut self.bim)?;
+        Counter2::load_slice(r, &mut self.g0)?;
+        Counter2::load_slice(r, &mut self.g1)?;
+        Counter2::load_slice(r, &mut self.meta)
     }
 }
 

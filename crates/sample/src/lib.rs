@@ -84,4 +84,7 @@ pub use runner::{
 };
 pub use shard::{merge_points, window_range, ShardSpec};
 pub use stats::{estimate, Estimate};
-pub use store::{CheckpointStore, StoreKey, StoreMiss, StoreStats, StoredSampler, STORE_VERSION};
+pub use store::{
+    warm_model_digest, CheckpointStore, StoreKey, StoreMiss, StoreStats, StoredSampler,
+    WarmEntry, WarmTiming, STORE_VERSION, WARM_VERSION,
+};

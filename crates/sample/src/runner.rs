@@ -4,7 +4,7 @@
 use sfetch_cfg::CodeImage;
 use sfetch_core::{Processor, ProcessorConfig, SimStats};
 use sfetch_fetch::{
-    Checkpoint, CommittedControl, CommittedInst, EngineKind, ResolvedBranch,
+    Checkpoint, CommittedControl, CommittedInst, EngineKind, FetchEngine, ResolvedBranch,
 };
 use sfetch_mem::{MemoryConfig, MemoryHierarchy};
 use sfetch_trace::{ArchCheckpoint, DynInst, Executor};
@@ -273,7 +273,12 @@ pub(crate) fn window_point<'a>(
     capture_post: bool,
 ) -> (SamplePoint, SimStats, Option<Executor<'a>>) {
     let (stats, post_warm) = simulate_window(image, kind, pcfg, scfg, snap, capture_post);
-    let p = SamplePoint {
+    (point_from_stats(window, scfg, &stats), stats, post_warm)
+}
+
+/// Folds one window's measured-phase statistics into its [`SamplePoint`].
+pub(crate) fn point_from_stats(window: u64, scfg: &SampleConfig, stats: &SimStats) -> SamplePoint {
+    SamplePoint {
         window,
         start_inst: window * scfg.interval
             + scfg.fast_forward()
@@ -283,24 +288,32 @@ pub(crate) fn window_point<'a>(
         cycles: stats.cycles,
         stall_cycles: stats.engine.icache_stall_cycles,
         mispredictions: stats.mispredictions,
-    };
-    (p, stats, post_warm)
+    }
 }
 
-/// One independent window simulation: functional warming over `Wf`
-/// architectural instructions into fresh caches/predictors (the memory
-/// hierarchy only over the last `warm_mem` — cache state converges far
-/// faster than predictor tables), then `Wd` discarded + `D` measured
-/// detailed instructions. With `capture_post`, also returns the
-/// post-warming executor state.
-fn simulate_window<'a>(
-    image: &'a CodeImage,
+/// The product of one window's functional-warming phase: the executor at
+/// the window start (= warming start advanced `Wf` instructions), the
+/// warmed fetch engine, and the warmed (pre-pipeline) memory hierarchy.
+/// Everything [`measure_window`] needs — and exactly the state the
+/// checkpoint store's warm bank serializes.
+pub(crate) struct WarmedWindow<'a> {
+    /// Executor positioned at the window's detailed-warmup start.
+    pub exec: Executor<'a>,
+    /// Fetch engine with warmed commit-side structures.
+    pub engine: Box<dyn FetchEngine>,
+    /// Memory hierarchy with warmed cache tag/LRU state.
+    pub mem: MemoryHierarchy,
+}
+
+/// Functional warming over `Wf` architectural instructions into fresh
+/// caches/predictors (the memory hierarchy only over the last `warm_mem`
+/// — cache state converges far faster than predictor tables).
+pub(crate) fn warm_window<'a>(
     kind: EngineKind,
     pcfg: ProcessorConfig,
     scfg: &SampleConfig,
     mut exec: Executor<'a>,
-    capture_post: bool,
-) -> (SimStats, Option<Executor<'a>>) {
+) -> WarmedWindow<'a> {
     let mut mem = MemoryHierarchy::new(MemoryConfig::table2(pcfg.width));
     let mut engine = kind.build_for(pcfg.width, exec.pc(), &pcfg.prefetch, &pcfg.front);
     let line_bytes = mem.l1i_line_bytes();
@@ -328,8 +341,24 @@ fn simulate_window<'a>(
     if !batch.is_empty() {
         engine.warm_block(&batch);
     }
-    // Point the warmed engine's fetch cursor at the window start (the
-    // watchdog-style resync redirect: no branch kind, clean checkpoint).
+    WarmedWindow { exec, engine, mem }
+}
+
+/// The detailed phase of one window: resync the warmed engine's fetch
+/// cursor to the window start (the watchdog-style redirect: no branch
+/// kind, clean checkpoint), then run `Wd` discarded + `D` measured
+/// instructions. With `capture_post`, also returns the pre-detail
+/// executor state. Warm state restored from the bank enters here on the
+/// exact same footing as state warmed live — the redirect rebuilds every
+/// fetch-side cursor either way.
+pub(crate) fn measure_window<'a>(
+    image: &'a CodeImage,
+    pcfg: ProcessorConfig,
+    scfg: &SampleConfig,
+    ww: WarmedWindow<'a>,
+    capture_post: bool,
+) -> (SimStats, Option<Executor<'a>>) {
+    let WarmedWindow { exec, mut engine, mem } = ww;
     let start = exec.pc();
     engine.redirect(
         0,
@@ -343,6 +372,19 @@ fn simulate_window<'a>(
     p.reset_stats();
     p.run(scfg.measure);
     (p.stats(), post_warm)
+}
+
+/// One independent window simulation ([`warm_window`] + [`measure_window`]).
+fn simulate_window<'a>(
+    image: &'a CodeImage,
+    kind: EngineKind,
+    pcfg: ProcessorConfig,
+    scfg: &SampleConfig,
+    exec: Executor<'a>,
+    capture_post: bool,
+) -> (SimStats, Option<Executor<'a>>) {
+    let ww = warm_window(kind, pcfg, scfg, exec);
+    measure_window(image, pcfg, scfg, ww, capture_post)
 }
 
 /// Runs a whole sampled simulation over `total_insts` committed

@@ -41,14 +41,19 @@
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use sfetch_cfg::CodeImage;
 use sfetch_core::{ProcessorConfig, SimStats};
 use sfetch_fetch::EngineKind;
+use sfetch_isa::wire::{WireReader, WireWriter};
+use sfetch_mem::{MemoryConfig, MemoryHierarchy};
 use sfetch_trace::{ArchCheckpoint, Executor};
 
 use crate::config::SampleConfig;
-use crate::runner::{window_point, SamplePoint};
+use crate::runner::{
+    measure_window, point_from_stats, warm_window, window_point, SamplePoint, WarmedWindow,
+};
 
 /// Magic word of a store entry ("SFCKSTOR").
 const STORE_MAGIC: u64 = 0x5346_434b_5354_4f52;
@@ -243,11 +248,196 @@ impl CheckpointStore {
         }
         std::fs::rename(&tmp, &path)
     }
+
+    /// The warm-state entry file a `(key, model digest)` pair addresses.
+    pub fn warm_entry_path(&self, key: &StoreKey, model: u64) -> PathBuf {
+        self.root.join(format!(
+            "wm-{:016x}-{:016x}-{:012}-{model:016x}.sfwarm",
+            key.fingerprint, key.seed, key.at_inst
+        ))
+    }
+
+    /// Number of warm-state entry files currently in the store (any key).
+    pub fn warm_entries(&self) -> usize {
+        std::fs::read_dir(&self.root)
+            .map(|rd| {
+                rd.filter(|e| {
+                    e.as_ref().is_ok_and(|e| {
+                        e.path().extension().is_some_and(|x| x == "sfwarm")
+                    })
+                })
+                .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Loads and fully verifies the warm-state entry stored under
+    /// `(key, model)`. Same discipline as [`CheckpointStore::load`]:
+    /// *any* verification failure — magic, version, key or model fields,
+    /// truncation, payload digest, segment structure, or embedded
+    /// checkpoint offset — rejects the entry for recomputation.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreMiss::Absent`] when no entry exists; [`StoreMiss::Rejected`]
+    /// when one exists but fails verification.
+    pub fn load_warm(&self, key: &StoreKey, model: u64) -> Result<WarmEntry, StoreMiss> {
+        let path = self.warm_entry_path(key, model);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(StoreMiss::Absent),
+            Err(e) => return Err(StoreMiss::Rejected(format!("unreadable entry: {e}"))),
+        };
+        let reject = |why: String| Err(StoreMiss::Rejected(why));
+        if bytes.len() < WARM_HEADER_WORDS * 8 {
+            return reject(format!("header truncated ({} bytes)", bytes.len()));
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8-byte slice"))
+        };
+        if word(0) != WARM_MAGIC {
+            return reject("bad warm-entry magic".into());
+        }
+        if word(1) != WARM_VERSION {
+            return reject(format!("warm format version {} != {WARM_VERSION}", word(1)));
+        }
+        if word(2) != key.fingerprint || word(3) != key.seed || word(4) != key.at_inst {
+            return reject("entry key fields do not match the requested key".into());
+        }
+        if word(5) != model {
+            return reject("entry model digest does not match the requested model".into());
+        }
+        let digest = word(6);
+        let payload_len = word(7) as usize;
+        let payload = &bytes[WARM_HEADER_WORDS * 8..];
+        if payload.len() != payload_len {
+            return reject(format!("payload length {} != recorded {payload_len}", payload.len()));
+        }
+        if sfetch_trace::digest_bytes(payload) != digest {
+            return reject("warm-entry digest mismatch (corrupt entry)".into());
+        }
+        let mut r = WireReader::new(payload);
+        let parse = (|| -> Result<WarmEntry, String> {
+            let ckpt = ArchCheckpoint::from_bytes(r.bytes()?)?;
+            let engine = r.bytes()?.to_vec();
+            let mem = r.bytes()?.to_vec();
+            r.finish()?;
+            Ok(WarmEntry { ckpt, engine, mem })
+        })();
+        let entry = match parse {
+            Ok(e) => e,
+            Err(e) => return reject(format!("warm-entry payload: {e}")),
+        };
+        // The embedded checkpoint sits at the *end* of functional warming;
+        // its exact offset is model-dependent (warm_func lives in the
+        // model digest), so only the lower bound is checkable here.
+        if entry.ckpt.seq < key.at_inst {
+            return reject(format!(
+                "embedded checkpoint at instruction {} precedes warming start {}",
+                entry.ckpt.seq, key.at_inst
+            ));
+        }
+        Ok(entry)
+    }
+
+    /// Writes a warm-state entry under `(key, model)`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded checkpoint precedes the warming start the
+    /// key names — banking state from before the warming walk would
+    /// poison every resident rerun.
+    pub fn save_warm(&self, key: &StoreKey, model: u64, entry: &WarmEntry) -> std::io::Result<()> {
+        assert!(
+            entry.ckpt.seq >= key.at_inst,
+            "warm-state checkpoint must not precede its warming start"
+        );
+        let mut pw = WireWriter::new();
+        pw.bytes(&entry.ckpt.to_bytes());
+        pw.bytes(&entry.engine);
+        pw.bytes(&entry.mem);
+        let payload = pw.into_bytes();
+        let mut out = Vec::with_capacity(WARM_HEADER_WORDS * 8 + payload.len());
+        for w in [
+            WARM_MAGIC,
+            WARM_VERSION,
+            key.fingerprint,
+            key.seed,
+            key.at_inst,
+            model,
+            sfetch_trace::digest_bytes(&payload),
+            payload.len() as u64,
+        ] {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&payload);
+        let path = self.warm_entry_path(key, model);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&out)?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
 }
 
 /// Words in a store-entry header (magic, version, fingerprint, seed,
 /// at_inst, payload digest, payload length).
 const HEADER_WORDS: usize = 7;
+
+/// Magic word of a warm-state entry ("SFWMBANK").
+const WARM_MAGIC: u64 = 0x5346_574d_4241_4e4b;
+
+/// Warm-state entry format version. Bumped whenever the entry layout
+/// changes; older entries are then rejected and recomputed. Engine-level
+/// wire-format evolution is carried by the *model digest* instead
+/// ([`warm_model_digest`] folds in
+/// [`sfetch_fetch::WARM_FORMAT_VERSION`]), so an engine format bump
+/// re-keys entries rather than rejecting them one by one.
+pub const WARM_VERSION: u64 = 1;
+
+/// Words in a warm-state entry header (magic, version, fingerprint,
+/// seed, at_inst, model digest, payload digest, payload length).
+const WARM_HEADER_WORDS: usize = 8;
+
+/// One banked warm-state entry: everything a resident rerun needs to
+/// start a window directly at its detailed phase, skipping the warming
+/// walk — the post-warming architectural checkpoint, the fetch engine's
+/// commit-side warm state ([`sfetch_fetch::FetchEngine::warm_state`]),
+/// and the memory hierarchy's cache tag/LRU state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmEntry {
+    /// Architectural state at the *end* of functional warming (= the
+    /// window's detailed-warmup start).
+    pub ckpt: ArchCheckpoint,
+    /// Engine warm-state wire bytes.
+    pub engine: Vec<u8>,
+    /// Memory-hierarchy warm-state wire bytes
+    /// ([`sfetch_mem::MemoryHierarchy::save_warm_wire`]).
+    pub mem: Vec<u8>,
+}
+
+/// Digest of everything a warm-state entry depends on *beyond* the
+/// trace: the engine kind and wire-format version, the pipe width (cache
+/// geometry and engine tables), the front-pipeline and prefetch
+/// configurations, and the warming spans. Two cells agreeing on all of
+/// these may share warm entries; any difference re-keys.
+pub fn warm_model_digest(kind: EngineKind, pcfg: &ProcessorConfig, scfg: &SampleConfig) -> u64 {
+    let desc = format!(
+        "warmfmt={}|engine={kind:?}|width={}|front={:?}|prefetch={:?}|warm_func={}|warm_mem={}",
+        sfetch_fetch::WARM_FORMAT_VERSION,
+        pcfg.width,
+        pcfg.front,
+        pcfg.prefetch,
+        scfg.warm_func,
+        scfg.warm_mem,
+    );
+    sfetch_trace::digest_bytes(desc.as_bytes())
+}
 
 /// The store-aware sampled-window runner.
 ///
@@ -269,6 +459,40 @@ pub struct StoredSampler<'a> {
     store: &'a CheckpointStore,
     walker: Option<Executor<'a>>,
     stats: StoreStats,
+    warm_bank: bool,
+    warm_stats: StoreStats,
+    timing: WarmTiming,
+}
+
+/// Wall-clock breakdown of where a [`StoredSampler`] run's host time
+/// went, per phase. `warm_ns` is the per-window functional-warming (or,
+/// on a banked hit, warm-state-restore) cost — the quantity warm-engine-
+/// state banking exists to shrink; `ff_ns` is the serial snapshot
+/// resolution (fast-forward walking and store IO).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmTiming {
+    /// Nanoseconds resolving warming-start snapshots (serial).
+    pub ff_ns: u64,
+    /// Nanoseconds warming windows live, or restoring banked warm state.
+    pub warm_ns: u64,
+    /// Windows covered by the above.
+    pub windows: u64,
+}
+
+impl WarmTiming {
+    /// Mean per-window warming cost in nanoseconds.
+    pub fn warm_ns_per_window(&self) -> u64 {
+        self.warm_ns.checked_div(self.windows).unwrap_or(0)
+    }
+}
+
+/// How one window's warm state will be obtained.
+enum WarmSource<'a> {
+    /// Warm live from this snapshot; bank the result under the key when
+    /// one is present.
+    Snapshot(Executor<'a>, Option<StoreKey>),
+    /// Restore from this verified banked entry.
+    Banked(WarmEntry),
 }
 
 impl<'a> StoredSampler<'a> {
@@ -286,12 +510,43 @@ impl<'a> StoredSampler<'a> {
         store: &'a CheckpointStore,
     ) -> Self {
         scfg.validate();
-        StoredSampler { image, fingerprint, seed, scfg, store, walker: None, stats: StoreStats::default() }
+        StoredSampler {
+            image,
+            fingerprint,
+            seed,
+            scfg,
+            store,
+            walker: None,
+            stats: StoreStats::default(),
+            warm_bank: false,
+            warm_stats: StoreStats::default(),
+            timing: WarmTiming::default(),
+        }
+    }
+
+    /// Enables (or disables) warm-engine-state banking: windows whose
+    /// warm state is banked restore it and skip the warming walk;
+    /// windows warmed live bank their result for the next run. Output is
+    /// bit-identical either way — banking only moves host time.
+    pub fn with_warm_bank(mut self, on: bool) -> Self {
+        self.warm_bank = on;
+        self
     }
 
     /// Store traffic accumulated so far.
     pub fn stats(&self) -> StoreStats {
         self.stats
+    }
+
+    /// Warm-state bank traffic accumulated so far (all zero unless
+    /// [`StoredSampler::with_warm_bank`] enabled banking).
+    pub fn warm_bank_stats(&self) -> StoreStats {
+        self.warm_stats
+    }
+
+    /// Host-time breakdown accumulated so far.
+    pub fn timing(&self) -> WarmTiming {
+        self.timing
     }
 
     /// Committed-instruction offset at which window `w`'s functional
@@ -370,7 +625,8 @@ impl<'a> StoredSampler<'a> {
     /// `jobs` worker threads. Snapshots are resolved serially through
     /// the store (cheap on a warm store); the window simulations — the
     /// expensive part — fan out. Bit-identical to a serial run for any
-    /// `jobs`, like every parallel path in this repository.
+    /// `jobs`, like every parallel path in this repository — and
+    /// bit-identical with warm-state banking on or off.
     pub fn run_range(
         &mut self,
         kind: EngineKind,
@@ -378,41 +634,13 @@ impl<'a> StoredSampler<'a> {
         range: std::ops::Range<u64>,
         jobs: usize,
     ) -> Vec<SamplePoint> {
-        let jobs = jobs.max(1);
-        let (image, scfg) = (self.image, self.scfg);
-        let mut out = Vec::with_capacity((range.end - range.start) as usize);
-        let mut w = range.start;
-        while w < range.end {
-            let chunk = (range.end - w).min(jobs as u64);
-            let snaps: Vec<(u64, Executor<'a>)> =
-                (w..w + chunk).map(|i| (i, self.snapshot(i))).collect();
-            if jobs == 1 {
-                for (i, snap) in snaps {
-                    out.push(window_point(image, kind, pcfg, &scfg, i, snap, false).0);
-                }
-            } else {
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = snaps
-                        .into_iter()
-                        .map(|(i, snap)| {
-                            s.spawn(move || {
-                                window_point(image, kind, pcfg, &scfg, i, snap, false).0
-                            })
-                        })
-                        .collect();
-                    out.extend(handles.into_iter().map(|h| h.join().expect("window worker")));
-                });
-            }
-            w += chunk;
-        }
-        out
+        self.run_range_core(kind, pcfg, range, jobs).into_iter().map(|(p, _)| p).collect()
     }
 
     /// [`StoredSampler::run_range`], but returning each window's full
     /// measured-phase [`SimStats`] alongside its [`SamplePoint`] — the
     /// sampled runners' time-series sinks consume the per-window stats
-    /// while the grid aggregation keeps using the points. Same chunked
-    /// serial/parallel structure, bit-identical for any `jobs`.
+    /// while the grid aggregation keeps using the points.
     pub fn run_range_stats(
         &mut self,
         kind: EngineKind,
@@ -420,34 +648,74 @@ impl<'a> StoredSampler<'a> {
         range: std::ops::Range<u64>,
         jobs: usize,
     ) -> Vec<(SamplePoint, SimStats)> {
+        self.run_range_core(kind, pcfg, range, jobs)
+    }
+
+    /// Resolves one window's warm source, serially: a verified banked
+    /// warm-state entry when banking is on and one exists, else the
+    /// architectural snapshot at the warming start (tagged with the key
+    /// to bank the warming result under, when banking is on).
+    fn resolve_warm_source(&mut self, w: u64, model: u64) -> WarmSource<'a> {
+        if self.warm_bank {
+            let key = self.key_at(self.warming_start(w));
+            match self.store.load_warm(&key, model) {
+                Ok(entry) => {
+                    self.warm_stats.hits += 1;
+                    return WarmSource::Banked(entry);
+                }
+                Err(StoreMiss::Absent) => self.warm_stats.misses += 1,
+                Err(StoreMiss::Rejected(_)) => self.warm_stats.rejected += 1,
+            }
+            WarmSource::Snapshot(self.snapshot(w), Some(key))
+        } else {
+            WarmSource::Snapshot(self.snapshot(w), None)
+        }
+    }
+
+    /// The chunked serial-resolve / parallel-simulate loop shared by the
+    /// range runners.
+    fn run_range_core(
+        &mut self,
+        kind: EngineKind,
+        pcfg: ProcessorConfig,
+        range: std::ops::Range<u64>,
+        jobs: usize,
+    ) -> Vec<(SamplePoint, SimStats)> {
         let jobs = jobs.max(1);
-        let (image, scfg) = (self.image, self.scfg);
+        let (image, scfg, store) = (self.image, self.scfg, self.store);
+        let model = warm_model_digest(kind, &pcfg, &scfg);
         let mut out = Vec::with_capacity((range.end - range.start) as usize);
         let mut w = range.start;
         while w < range.end {
             let chunk = (range.end - w).min(jobs as u64);
-            let snaps: Vec<(u64, Executor<'a>)> =
-                (w..w + chunk).map(|i| (i, self.snapshot(i))).collect();
+            let t0 = Instant::now();
+            let sources: Vec<(u64, WarmSource<'a>)> =
+                (w..w + chunk).map(|i| (i, self.resolve_warm_source(i, model))).collect();
+            self.timing.ff_ns += t0.elapsed().as_nanos() as u64;
             if jobs == 1 {
-                for (i, snap) in snaps {
-                    let (p, s, _) = window_point(image, kind, pcfg, &scfg, i, snap, false);
+                for (i, src) in sources {
+                    let (p, s, ns) = run_one(image, kind, pcfg, &scfg, store, model, i, src);
+                    self.timing.warm_ns += ns;
                     out.push((p, s));
                 }
             } else {
                 std::thread::scope(|s| {
-                    let handles: Vec<_> = snaps
+                    let handles: Vec<_> = sources
                         .into_iter()
-                        .map(|(i, snap)| {
+                        .map(|(i, src)| {
                             s.spawn(move || {
-                                let (p, st, _) =
-                                    window_point(image, kind, pcfg, &scfg, i, snap, false);
-                                (p, st)
+                                run_one(image, kind, pcfg, &scfg, store, model, i, src)
                             })
                         })
                         .collect();
-                    out.extend(handles.into_iter().map(|h| h.join().expect("window worker")));
+                    for h in handles {
+                        let (p, st, ns) = h.join().expect("window worker");
+                        self.timing.warm_ns += ns;
+                        out.push((p, st));
+                    }
                 });
             }
+            self.timing.windows += chunk;
             w += chunk;
         }
         out
@@ -463,6 +731,65 @@ impl<'a> StoredSampler<'a> {
         }
         self.stats.misses + self.stats.rejected - before.misses - before.rejected
     }
+}
+
+/// One window end-to-end from its resolved warm source: restore or warm
+/// (banking a live-warmed result when asked to), then measure. Returns
+/// the point, the measured stats, and the nanoseconds the warm phase
+/// took. Runs on worker threads; every output is deterministic except
+/// the timing.
+#[allow(clippy::too_many_arguments)]
+fn run_one<'a>(
+    image: &'a CodeImage,
+    kind: EngineKind,
+    pcfg: ProcessorConfig,
+    scfg: &SampleConfig,
+    store: &CheckpointStore,
+    model: u64,
+    w: u64,
+    src: WarmSource<'a>,
+) -> (SamplePoint, SimStats, u64) {
+    let t0 = Instant::now();
+    let ww = match src {
+        WarmSource::Banked(entry) => {
+            // The entry passed magic/version/key/model/digest checks, so
+            // a reconstruction failure here is a format bug, not data
+            // corruption — surface it loudly rather than quietly
+            // recomputing what a test should have caught.
+            let exec = Executor::from_checkpoint(image, &entry.ckpt);
+            let mut engine = kind.build_for(pcfg.width, exec.pc(), &pcfg.prefetch, &pcfg.front);
+            engine
+                .load_warm_state(&entry.engine)
+                .expect("digest-verified engine warm state must load");
+            let mut mem = MemoryHierarchy::new(MemoryConfig::table2(pcfg.width));
+            let mut r = WireReader::new(&entry.mem);
+            mem.load_warm_wire(&mut r)
+                .and_then(|()| r.finish())
+                .expect("digest-verified memory warm state must load");
+            WarmedWindow { exec, engine, mem }
+        }
+        WarmSource::Snapshot(exec, bank_to) => {
+            let ww = warm_window(kind, pcfg, scfg, exec);
+            if let Some(key) = bank_to {
+                if let Some(engine_bytes) = ww.engine.warm_state() {
+                    let mut mw = WireWriter::new();
+                    ww.mem.save_warm_wire(&mut mw);
+                    let entry = WarmEntry {
+                        ckpt: ww.exec.checkpoint(),
+                        engine: engine_bytes,
+                        mem: mw.into_bytes(),
+                    };
+                    // Best-effort, like checkpoint saves: a read-only
+                    // store degrades to warming every run.
+                    let _ = store.save_warm(&key, model, &entry);
+                }
+            }
+            ww
+        }
+    };
+    let warm_ns = t0.elapsed().as_nanos() as u64;
+    let (stats, _) = measure_window(image, pcfg, scfg, ww, false);
+    (point_from_stats(w, scfg, &stats), stats, warm_ns)
 }
 
 #[cfg(test)]
@@ -613,6 +940,151 @@ mod tests {
         let mut live = crate::Sampler::new(&img, EngineKind::Ev8, pcfg, scfg, 7);
         let want = live.run(4);
         assert_eq!(want, got, "warm-store windows must match the live sampler");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// The banking oracle: for every engine, a warm-bank run must be
+    /// bit-identical to the storeless live sampler — on the banking
+    /// (cold) pass *and* on the resident (banked) rerun, which must
+    /// serve every window from the bank.
+    #[test]
+    fn warm_bank_is_bit_identical_to_live_for_every_engine() {
+        let img = image();
+        let scfg = quick_cfg();
+        let pcfg = ProcessorConfig::table2(4);
+        for kind in EngineKind::ALL {
+            let store = tmp_store(&format!("bank-{kind:?}"));
+            let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+
+            let mut live = crate::Sampler::new(&img, kind, pcfg, scfg, 7);
+            let want = live.run(3);
+
+            let mut cold = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+            let got = cold.run_range(kind, pcfg, 0..3, 1);
+            assert_eq!(want, got, "{kind:?}: banking pass must match live");
+            assert_eq!(cold.warm_bank_stats().misses, 3, "{kind:?}: cold bank misses all");
+            assert_eq!(store.warm_entries(), 3, "{kind:?}: warming results banked");
+
+            let mut resident = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+            let again = resident.run_range(kind, pcfg, 0..3, 1);
+            assert_eq!(want, again, "{kind:?}: banked rerun must match live");
+            assert_eq!(resident.warm_bank_stats().hits, 3, "{kind:?}: rerun fully banked");
+            assert_eq!(resident.warm_bank_stats().misses, 0);
+            assert_eq!(
+                resident.stats(),
+                StoreStats::default(),
+                "{kind:?}: banked windows never touch the checkpoint path"
+            );
+            let _ = std::fs::remove_dir_all(store.root());
+        }
+    }
+
+    /// Banked parallel runs stay bit-identical to serial banked runs.
+    #[test]
+    fn warm_bank_parallel_matches_serial() {
+        let img = image();
+        let scfg = quick_cfg();
+        let pcfg = ProcessorConfig::table2(4);
+        let store = tmp_store("bank-par");
+        let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+
+        let mut serial = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let want = serial.run_range(EngineKind::Stream, pcfg, 0..4, 1);
+        for jobs in [2, 4] {
+            let mut par = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+            let got = par.run_range(EngineKind::Stream, pcfg, 0..4, jobs);
+            assert_eq!(want, got, "jobs = {jobs}");
+            assert_eq!(par.warm_bank_stats().hits, 4, "jobs = {jobs}");
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// Warm entries are keyed on the model digest: a different engine,
+    /// width, or warming span must not see another cell's entries.
+    #[test]
+    fn warm_entries_are_model_keyed() {
+        let img = image();
+        let scfg = quick_cfg();
+        let store = tmp_store("bank-model");
+        let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+
+        let mut a = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let _ = a.run_range(EngineKind::Stream, ProcessorConfig::table2(4), 0..2, 1);
+        assert_eq!(store.warm_entries(), 2);
+
+        // Different engine: banked entries must miss, not collide.
+        let mut b = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let _ = b.run_range(EngineKind::Ev8, ProcessorConfig::table2(4), 0..2, 1);
+        assert_eq!(b.warm_bank_stats().hits, 0, "cross-engine entries must not be shared");
+        assert_eq!(b.warm_bank_stats().misses, 2);
+        assert_eq!(store.warm_entries(), 4);
+
+        // Same engine, different width: also re-keyed (cache geometry).
+        let d8 = warm_model_digest(EngineKind::Stream, &ProcessorConfig::table2(8), &scfg);
+        let d4 = warm_model_digest(EngineKind::Stream, &ProcessorConfig::table2(4), &scfg);
+        assert_ne!(d8, d4);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// Corrupt or version-mismatched warm entries are rejected and the
+    /// window silently recomputes — and re-banks a good entry.
+    #[test]
+    fn corrupt_warm_entries_are_rejected_and_recomputed() {
+        let img = image();
+        let scfg = quick_cfg();
+        let pcfg = ProcessorConfig::table2(4);
+        let store = tmp_store("bank-reject");
+        let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+        let model = warm_model_digest(EngineKind::Ftb, &pcfg, &scfg);
+
+        let mut cold = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let want = cold.run_range(EngineKind::Ftb, pcfg, 0..2, 1);
+
+        // Corrupt window 0's entry payload; bump window 1's version.
+        let key0 = StoreKey { fingerprint: fp, seed: 7, at_inst: cold.warming_start(0) };
+        let key1 = StoreKey { fingerprint: fp, seed: 7, at_inst: cold.warming_start(1) };
+        let p0 = store.warm_entry_path(&key0, model);
+        let mut bytes = std::fs::read(&p0).expect("entry 0");
+        let n = bytes.len();
+        bytes[n - 9] ^= 0xff;
+        std::fs::write(&p0, &bytes).expect("rewrite");
+        let p1 = store.warm_entry_path(&key1, model);
+        let mut bytes = std::fs::read(&p1).expect("entry 1");
+        bytes[8..16].copy_from_slice(&(WARM_VERSION + 1).to_le_bytes());
+        std::fs::write(&p1, &bytes).expect("rewrite");
+
+        assert!(matches!(store.load_warm(&key0, model), Err(StoreMiss::Rejected(why)) if why.contains("digest")));
+        assert!(matches!(store.load_warm(&key1, model), Err(StoreMiss::Rejected(why)) if why.contains("version")));
+
+        let mut again = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let got = again.run_range(EngineKind::Ftb, pcfg, 0..2, 1);
+        assert_eq!(want, got, "rejected entries must recompute bit-identically");
+        assert_eq!(again.warm_bank_stats().rejected, 2);
+        assert_eq!(again.warm_bank_stats().hits, 0);
+
+        // The recompute re-banked verified entries.
+        assert!(store.load_warm(&key0, model).is_ok());
+        assert!(store.load_warm(&key1, model).is_ok());
+        let mut third = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let _ = third.run_range(EngineKind::Ftb, pcfg, 0..2, 1);
+        assert_eq!(third.warm_bank_stats().hits, 2, "repaired bank serves the next run");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn warm_timing_accounts_every_window() {
+        let img = image();
+        let scfg = quick_cfg();
+        let pcfg = ProcessorConfig::table2(4);
+        let store = tmp_store("bank-timing");
+        let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+        let mut s = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let _ = s.run_range(EngineKind::Stream, pcfg, 0..3, 1);
+        let t = s.timing();
+        assert_eq!(t.windows, 3);
+        assert!(t.warm_ns > 0, "live warming takes measurable time");
+        assert!(t.ff_ns > 0, "snapshot resolution takes measurable time");
+        assert_eq!(t.warm_ns_per_window(), t.warm_ns / 3);
         let _ = std::fs::remove_dir_all(store.root());
     }
 

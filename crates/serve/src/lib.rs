@@ -1,0 +1,671 @@
+//! `sfetch-serve`: a **resident simulation daemon** owning one warm
+//! checkpoint store and one fleet ledger per request family.
+//!
+//! The one-shot binaries pay their fixed costs — architectural
+//! fast-forward, functional warming, ledger replay — on every
+//! invocation. A resident process pays them once and amortizes them
+//! across every experiment a working session throws at it:
+//!
+//! - **Request dedup (singleflight).** Requests are grouped by
+//!   [`GridRequest::family_tag`] — the fingerprint of everything a
+//!   cell's output bytes depend on — and each family's canonical cells
+//!   live in one persistent [`sfetch_fleet::Ledger`]. Two overlapping
+//!   requests submitted concurrently union their cells into one run:
+//!   the overlap is computed once and streamed to both subscribers
+//!   (`shared` counter); a resubmit finds every cell `Done` in the
+//!   ledger and resumes with **zero** recomputation (`resumed`
+//!   counter).
+//! - **Incremental result streaming.** Each client connection receives
+//!   line-JSON [`ServeEvent`]s as cells complete — per-window `point`
+//!   rows plus running `estimate` (confidence-interval) updates —
+//!   terminated by a `final` record. The client merges the points with
+//!   the same `merge_grid` the one-shot bins use, so the final table is
+//!   byte-identical to a local run.
+//! - **Warm-engine-state banking.** Requests submitted with
+//!   `warm_bank` run their cells through
+//!   `StoredSampler::with_warm_bank`, so the detailed-warming walk of a
+//!   window is persisted per (engine, config, workload, offset) and
+//!   resident reruns skip it. Banked state changes host time only,
+//!   never output bytes, so banked and unbanked requests share one
+//!   family.
+//!
+//! The wire protocol (one JSON object per line over a Unix domain
+//! socket) is defined in [`sfetch_bench::driver`] — the daemon and the
+//! clients share one codec, one cell-execution path
+//! ([`sfetch_bench::driver::cell_body_text`]), and one validator, so
+//! the resident and one-shot paths cannot drift.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sfetch_bench::driver::{cell_body_text, validate_shard_text, GridRequest, ServeEvent};
+use sfetch_bench::grid::parse_shard_file;
+use sfetch_bench::{workload_by_name, HarnessOpts};
+use sfetch_fleet::{
+    now_ms, run_fleet_notify, seal, CellId, FleetConfig, FleetError, HeartbeatGuard, Launcher,
+    Ledger, PollResult, WorkerHandle,
+};
+use sfetch_sample::{estimate, CheckpointStore, SampleConfig, StoredSampler};
+use sfetch_workloads::{LayoutChoice, Workload};
+
+pub mod signals;
+
+/// How often in-process cell workers touch their heartbeat file
+/// (matches the fleet's process workers).
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+
+/// How long the daemon waits for a connected client's first line.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------
+// In-process cell workers
+// ---------------------------------------------------------------------
+
+/// [`Launcher`] over **threads** of the daemon process: each worker
+/// opens the shared store, runs
+/// [`sfetch_bench::driver::cell_body_text`] — the exact code path fleet
+/// *process* workers run — seals the body and writes it atomically.
+/// The supervisor's retry/timeout machinery applies unchanged.
+pub struct ThreadLauncher {
+    w: Arc<Workload>,
+    scfg: SampleConfig,
+    opts: HarnessOpts,
+    store_dir: PathBuf,
+    ids: AtomicU64,
+}
+
+impl ThreadLauncher {
+    /// Builds a launcher for one family run.
+    pub fn new(w: Arc<Workload>, scfg: SampleConfig, opts: HarnessOpts, store_dir: PathBuf) -> Self {
+        ThreadLauncher { w, scfg, opts, store_dir, ids: AtomicU64::new(1) }
+    }
+}
+
+/// Handle to one in-process cell worker.
+pub struct ThreadHandle {
+    done: Arc<AtomicBool>,
+    err: Arc<Mutex<Option<String>>>,
+    id: u64,
+}
+
+impl WorkerHandle for ThreadHandle {
+    fn poll(&mut self) -> PollResult {
+        if !self.done.load(Ordering::SeqCst) {
+            return PollResult::Running;
+        }
+        match self.err.lock().expect("worker error lock").take() {
+            None => PollResult::Exited { success: true, detail: "ok".into() },
+            Some(e) => PollResult::Exited { success: false, detail: e },
+        }
+    }
+
+    fn kill(&mut self) {
+        // Threads cannot be force-killed; the worker is detached and its
+        // eventual output ignored (it writes atomically, so a late write
+        // is a valid file for the *retry* to resume from — idempotence
+        // makes the race harmless).
+    }
+
+    fn worker_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Launcher for ThreadLauncher {
+    type Handle = ThreadHandle;
+
+    fn launch(
+        &self,
+        cell: &CellId,
+        _attempt: u32,
+        out: &Path,
+        heartbeat: &Path,
+    ) -> Result<ThreadHandle, FleetError> {
+        let done = Arc::new(AtomicBool::new(false));
+        let err: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let (done2, err2) = (Arc::clone(&done), Arc::clone(&err));
+        let (w, scfg, opts) = (Arc::clone(&self.w), self.scfg, self.opts);
+        let (cell, out, heartbeat, store_dir) =
+            (cell.clone(), out.to_path_buf(), heartbeat.to_path_buf(), self.store_dir.clone());
+        std::thread::spawn(move || {
+            let _hb = HeartbeatGuard::start(&heartbeat, HEARTBEAT_EVERY);
+            let res = (|| -> Result<(), String> {
+                let store = CheckpointStore::open(&store_dir).map_err(|e| e.to_string())?;
+                let body = cell_body_text(&w, &cell, scfg, &opts, &store)?;
+                let tmp = out.with_extension("part");
+                std::fs::write(&tmp, seal(&body).as_bytes()).map_err(|e| e.to_string())?;
+                std::fs::rename(&tmp, &out).map_err(|e| e.to_string())?;
+                Ok(())
+            })();
+            if let Err(e) = res {
+                *err2.lock().expect("worker error lock") = Some(e);
+            }
+            done2.store(true, Ordering::SeqCst);
+        });
+        Ok(ThreadHandle { done, err, id: self.ids.fetch_add(1, Ordering::SeqCst) })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-request result streams
+// ---------------------------------------------------------------------
+
+/// The append-only event history of one request, doubling as the live
+/// stream (submitters block on the condvar for new lines) and the
+/// replay source (`tail` re-reads from index 0).
+pub struct RequestLog {
+    inner: Mutex<LogInner>,
+    cv: Condvar,
+}
+
+struct LogInner {
+    lines: Vec<String>,
+    done: bool,
+}
+
+impl Default for RequestLog {
+    fn default() -> Self {
+        RequestLog { inner: Mutex::new(LogInner { lines: Vec::new(), done: false }), cv: Condvar::new() }
+    }
+}
+
+impl RequestLog {
+    /// Appends one event line and wakes every reader.
+    pub fn push(&self, line: String) {
+        self.inner.lock().expect("request log lock").lines.push(line);
+        self.cv.notify_all();
+    }
+
+    /// Marks the stream finished (after the terminal event).
+    pub fn finish(&self) {
+        self.inner.lock().expect("request log lock").done = true;
+        self.cv.notify_all();
+    }
+
+    /// Returns lines `from..` (blocking until at least one exists or
+    /// the stream is done) plus whether the stream has finished.
+    pub fn wait_from(&self, from: usize) -> (Vec<String>, bool) {
+        let mut inner = self.inner.lock().expect("request log lock");
+        loop {
+            if inner.lines.len() > from || inner.done {
+                return (inner.lines[from.min(inner.lines.len())..].to_vec(), inner.done);
+            }
+            inner = self.cv.wait(inner).expect("request log wait");
+        }
+    }
+
+    /// Snapshot of the full history (for the on-disk mirror).
+    pub fn snapshot(&self) -> Vec<String> {
+        self.inner.lock().expect("request log lock").lines.clone()
+    }
+}
+
+struct Pending {
+    id: String,
+    req: GridRequest,
+    log: Arc<RequestLog>,
+}
+
+#[derive(Default)]
+struct SharedState {
+    queue: Mutex<Vec<Pending>>,
+    logs: Mutex<BTreeMap<String, Arc<RequestLog>>>,
+    stopping: AtomicBool,
+}
+
+// ---------------------------------------------------------------------
+// The daemon
+// ---------------------------------------------------------------------
+
+/// Daemon configuration.
+pub struct DaemonConfig {
+    /// Unix-domain-socket path to listen on.
+    pub socket: PathBuf,
+    /// The resident checkpoint store (also holds the per-family ledgers
+    /// under `fleet/` and the per-request mirrors under `serve/`).
+    pub store_dir: PathBuf,
+    /// Maximum concurrent in-process cell workers per family run.
+    pub procs: usize,
+    /// Retry budget per cell.
+    pub max_retries: u32,
+}
+
+/// The resident daemon. [`Daemon::run`] blocks until the stop flag is
+/// raised (SIGTERM/SIGINT via [`signals::install`], or a test's own
+/// flag), drains the in-flight family run, and removes the socket.
+pub struct Daemon {
+    cfg: DaemonConfig,
+}
+
+impl Daemon {
+    /// Builds a daemon.
+    pub fn new(cfg: DaemonConfig) -> Self {
+        Daemon { cfg }
+    }
+
+    /// Serves until `stop` turns true.
+    ///
+    /// # Errors
+    ///
+    /// Socket-setup failures only; per-request failures are reported to
+    /// that request's client as `error` events.
+    pub fn run(&self, stop: &AtomicBool) -> Result<(), String> {
+        std::fs::create_dir_all(&self.cfg.store_dir)
+            .map_err(|e| format!("create store dir: {e}"))?;
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        let listener = UnixListener::bind(&self.cfg.socket)
+            .map_err(|e| format!("bind {}: {e}", self.cfg.socket.display()))?;
+        listener.set_nonblocking(true).map_err(|e| format!("nonblocking listener: {e}"))?;
+        eprintln!(
+            "serve: listening on {} (store {})",
+            self.cfg.socket.display(),
+            self.cfg.store_dir.display()
+        );
+
+        let state = Arc::new(SharedState::default());
+        let scheduler = {
+            let state = Arc::clone(&state);
+            let store_dir = self.cfg.store_dir.clone();
+            let (procs, max_retries) = (self.cfg.procs, self.cfg.max_retries);
+            std::thread::spawn(move || scheduler_loop(&state, &store_dir, procs, max_retries))
+        };
+
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&state);
+                    let store_dir = self.cfg.store_dir.clone();
+                    std::thread::spawn(move || handle_conn(&state, &store_dir, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        eprintln!("serve: stop requested, draining");
+        state.stopping.store(true, Ordering::SeqCst);
+        let _ = scheduler.join();
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        eprintln!("serve: shut down cleanly");
+        Ok(())
+    }
+}
+
+fn handle_conn(state: &SharedState, store_dir: &Path, stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
+        return;
+    }
+    let send = |w: &mut UnixStream, ev: &ServeEvent| {
+        let _ = w.write_all(format!("{}\n", ev.to_line()).as_bytes());
+    };
+    match sfetch_bench::driver::jfield_str(&line, "op").as_deref() {
+        Some("ping") => send(&mut writer, &ServeEvent::Pong),
+        Some("tail") => {
+            let Some(id) = sfetch_bench::driver::jfield_str(&line, "id") else {
+                send(&mut writer, &ServeEvent::Error { req: String::new(), msg: "tail: missing id".into() });
+                return;
+            };
+            let log = state.logs.lock().expect("logs lock").get(&id).cloned();
+            match log {
+                Some(log) => stream_log(&log, &mut writer),
+                None => match std::fs::read_to_string(mirror_path(store_dir, &id)) {
+                    // Request from a previous daemon life: replay the
+                    // on-disk mirror verbatim.
+                    Ok(text) => {
+                        let _ = writer.write_all(text.as_bytes());
+                    }
+                    Err(_) => send(
+                        &mut writer,
+                        &ServeEvent::Error { req: id.clone(), msg: format!("unknown request {id:?}") },
+                    ),
+                },
+            }
+        }
+        Some("submit") => match GridRequest::parse_submit(&line) {
+            Ok((id, req)) => {
+                let log = Arc::new(RequestLog::default());
+                {
+                    let mut logs = state.logs.lock().expect("logs lock");
+                    if logs.contains_key(&id) {
+                        send(
+                            &mut writer,
+                            &ServeEvent::Error { req: id.clone(), msg: format!("duplicate request id {id:?}") },
+                        );
+                        return;
+                    }
+                    logs.insert(id.clone(), Arc::clone(&log));
+                }
+                log.push(
+                    ServeEvent::Accepted {
+                        req: id.clone(),
+                        cells: req.canonical_cells().len() as u64,
+                        windows: req.windows(),
+                    }
+                    .to_line(),
+                );
+                eprintln!(
+                    "serve: accepted {id} — {} {}×{} cells, family {:016x}",
+                    req.bench,
+                    req.engines.len(),
+                    req.widths.len(),
+                    req.family_tag()
+                );
+                state.queue.lock().expect("queue lock").push(Pending {
+                    id,
+                    req,
+                    log: Arc::clone(&log),
+                });
+                stream_log(&log, &mut writer);
+            }
+            Err(e) => send(&mut writer, &ServeEvent::Error { req: String::new(), msg: e }),
+        },
+        _ => send(
+            &mut writer,
+            &ServeEvent::Error { req: String::new(), msg: "unknown op (want submit/tail/ping)".into() },
+        ),
+    }
+}
+
+/// Streams a request log to a client from the beginning until done.
+fn stream_log(log: &RequestLog, writer: &mut UnixStream) {
+    let mut from = 0usize;
+    loop {
+        let (lines, done) = log.wait_from(from);
+        from += lines.len();
+        for l in &lines {
+            if writer.write_all(format!("{l}\n").as_bytes()).is_err() {
+                return; // client went away; the log lives on for `tail`
+            }
+        }
+        if done && lines.is_empty() {
+            return;
+        }
+        if done {
+            // Flush any lines that raced in after `done` was set.
+            let (rest, _) = log.wait_from(from);
+            for l in &rest {
+                let _ = writer.write_all(format!("{l}\n").as_bytes());
+            }
+            return;
+        }
+    }
+}
+
+fn mirror_path(store_dir: &Path, id: &str) -> PathBuf {
+    let safe: String =
+        id.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' }).collect();
+    store_dir.join("serve").join(safe).join("events.jsonl")
+}
+
+// ---------------------------------------------------------------------
+// Scheduling: family batches over the shared ledger
+// ---------------------------------------------------------------------
+
+fn scheduler_loop(state: &SharedState, store_dir: &Path, procs: usize, max_retries: u32) {
+    loop {
+        let mut batch: Vec<Pending> = {
+            let mut q = state.queue.lock().expect("queue lock");
+            std::mem::take(&mut *q)
+        };
+        if !batch.is_empty() {
+            // Brief coalescing window: clients submitting "at the same
+            // time" (a fleet of figure bins, the CI smoke's concurrent
+            // pair) land in one batch, so their overlap is shared in
+            // flight rather than resumed from the ledger a moment
+            // later. Either way the work runs once; batching just
+            // streams it to everyone on the first pass.
+            std::thread::sleep(Duration::from_millis(50));
+            let mut q = state.queue.lock().expect("queue lock");
+            batch.append(&mut *q);
+        }
+        if batch.is_empty() {
+            if state.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        // Group the drained batch by family: one ledger run per family,
+        // every member's cells unioned into it.
+        let mut families: BTreeMap<u64, Vec<Pending>> = BTreeMap::new();
+        for p in batch {
+            families.entry(p.req.family_tag()).or_default().push(p);
+        }
+        for (tag, members) in families {
+            run_family(store_dir, procs, max_retries, tag, &members);
+        }
+    }
+}
+
+/// Runs one family batch: union the members' canonical cells into the
+/// family ledger, execute under the fleet supervisor with in-process
+/// workers, and fan each completed cell out to its subscribers.
+fn run_family(store_dir: &Path, procs: usize, max_retries: u32, tag: u64, members: &[Pending]) {
+    let fail_all = |msg: &str| {
+        for m in members {
+            m.log.push(ServeEvent::Error { req: m.id.clone(), msg: msg.to_owned() }.to_line());
+            m.log.finish();
+        }
+        eprintln!("serve: family {tag:016x} failed: {msg}");
+    };
+
+    // The family tag pins everything output-relevant, so the first
+    // member's request is a valid representative — except the host-time
+    // knobs, which we take as the batch's most generous ask.
+    let rep = &members[0].req;
+    let mut opts = rep.opts;
+    opts.warm_bank = members.iter().any(|m| m.req.opts.warm_bank);
+    opts.jobs = members.iter().map(|m| m.req.opts.jobs).max().unwrap_or(1).max(1);
+    let scfg = rep.scfg;
+    let windows = rep.windows();
+
+    let w = Arc::new(workload_by_name(&rep.bench));
+    let store = match CheckpointStore::open(store_dir) {
+        Ok(s) => s,
+        Err(e) => return fail_all(&format!("open store: {e}")),
+    };
+    // One architectural walk banks the family's warming-start
+    // checkpoints; on the resident warm store this is verification
+    // traffic only.
+    {
+        let img = w.image(LayoutChoice::Optimized);
+        let fp = w.fingerprint(LayoutChoice::Optimized);
+        let mut populate = StoredSampler::new(img, fp, w.ref_seed(), scfg, &store);
+        let computed = populate.populate(windows);
+        eprintln!(
+            "serve: [{}] {windows} windows ready ({computed} computed, {} loaded warm)",
+            w.name(),
+            populate.stats().hits
+        );
+    }
+
+    // Union of canonical cells; per cell, which members subscribe.
+    let mut cells: Vec<CellId> = Vec::new();
+    let mut subs: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, m) in members.iter().enumerate() {
+        for c in m.req.canonical_cells() {
+            let key = c.to_string();
+            let entry = subs.entry(key).or_default();
+            if entry.is_empty() {
+                cells.push(c);
+            }
+            entry.push(i);
+        }
+    }
+
+    let work_dir = store_dir.join("fleet").join(format!("{tag:016x}"));
+    if let Err(e) = std::fs::create_dir_all(&work_dir) {
+        return fail_all(&format!("create fleet work dir: {e}"));
+    }
+    let validate = |text: &str| validate_shard_text(text);
+    let (mut ledger, resume) =
+        match Ledger::open(work_dir.join("cells.ledger"), tag, &cells, now_ms(), &validate) {
+            Ok(v) => v,
+            Err(e) => return fail_all(&format!("open ledger: {e}")),
+        };
+
+    let mut cfg = FleetConfig::new(procs.min(cells.len()).max(1));
+    cfg.max_retries = max_retries;
+    cfg.req = members.iter().map(|m| m.id.as_str()).collect::<Vec<_>>().join(",");
+
+    let launcher = ThreadLauncher::new(Arc::clone(&w), scfg, opts, store_dir.to_path_buf());
+    // Per-member singleflight counters: a fresh cell is *computed* for
+    // its first subscriber and *shared* for every other subscriber; a
+    // ledger hit is *resumed* for all of them.
+    let mut computed = vec![0u64; members.len()];
+    let mut resumed = vec![0u64; members.len()];
+    let mut shared = vec![0u64; members.len()];
+    let confidence = scfg.confidence;
+
+    let report = run_fleet_notify(
+        &cfg,
+        &mut ledger,
+        &launcher,
+        &validate,
+        resume,
+        &mut |line| eprintln!("serve: [{tag:016x}] {line}"),
+        &mut |done| {
+            let key = done.cell.to_string();
+            let Some(subscribers) = subs.get(&key) else { return };
+            let points = match parse_shard_file(&done.text) {
+                Ok(p) => p,
+                Err(e) => {
+                    // The validator admitted it, so this cannot happen;
+                    // surface loudly rather than silently dropping.
+                    eprintln!("serve: [{tag:016x}] unparseable done cell {key}: {e}");
+                    return;
+                }
+            };
+            let est = estimate(
+                &points.iter().map(|(_, _, p)| *p).collect::<Vec<_>>(),
+                confidence,
+            );
+            for (slot, &i) in subscribers.iter().enumerate() {
+                let m = &members[i];
+                if done.resumed {
+                    resumed[i] += 1;
+                } else if slot == 0 {
+                    computed[i] += 1;
+                } else {
+                    shared[i] += 1;
+                }
+                m.log.push(
+                    ServeEvent::Cell {
+                        req: m.id.clone(),
+                        cell: key.clone(),
+                        resumed: done.resumed,
+                        shared_by: subscribers.len() as u64,
+                    }
+                    .to_line(),
+                );
+                for (engine, width, p) in &points {
+                    m.log.push(
+                        ServeEvent::Point { engine: engine.clone(), width: *width, point: *p }
+                            .to_line(),
+                    );
+                }
+                m.log.push(
+                    ServeEvent::Estimate {
+                        engine: done.cell.engine.clone(),
+                        width: done.cell.width,
+                        windows: est.windows,
+                        ipc: est.ipc,
+                        lo: est.ipc_lo,
+                        hi: est.ipc_hi,
+                    }
+                    .to_line(),
+                );
+            }
+        },
+    );
+
+    match report {
+        Ok(report) => {
+            let status = if report.incomplete.is_empty() { "complete" } else { "degraded" };
+            for (i, m) in members.iter().enumerate() {
+                m.log.push(
+                    ServeEvent::Final {
+                        req: m.id.clone(),
+                        status: status.into(),
+                        computed: computed[i],
+                        resumed: resumed[i],
+                        shared: shared[i],
+                    }
+                    .to_line(),
+                );
+                m.log.finish();
+                write_mirror(store_dir, &m.id, &m.log);
+                eprintln!(
+                    "serve: {} {status} — {} computed, {} resumed, {} shared",
+                    m.id, computed[i], resumed[i], shared[i]
+                );
+            }
+        }
+        Err(e) => fail_all(&format!("fleet run: {e}")),
+    }
+}
+
+/// Mirrors a finished request's full event history under
+/// `<store>/serve/<id>/events.jsonl` so `tail` outlives daemon
+/// restarts.
+fn write_mirror(store_dir: &Path, id: &str, log: &RequestLog) {
+    let path = mirror_path(store_dir, id);
+    if let Some(dir) = path.parent() {
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+    }
+    let mut text = log.snapshot().join("\n");
+    text.push('\n');
+    let tmp = path.with_extension("part");
+    if std::fs::write(&tmp, text.as_bytes()).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_log_streams_and_replays() {
+        let log = Arc::new(RequestLog::default());
+        log.push("a".into());
+        log.push("b".into());
+        let (lines, done) = log.wait_from(0);
+        assert_eq!(lines, vec!["a".to_owned(), "b".to_owned()]);
+        assert!(!done);
+        let log2 = Arc::clone(&log);
+        let t = std::thread::spawn(move || log2.wait_from(2));
+        log.push("c".into());
+        log.finish();
+        let (lines, _) = t.join().expect("reader thread");
+        assert_eq!(lines, vec!["c".to_owned()]);
+        // Replay from the start still sees everything.
+        let (all, done) = log.wait_from(0);
+        assert_eq!(all.len(), 3);
+        assert!(done);
+    }
+
+    #[test]
+    fn mirror_path_sanitizes_ids() {
+        let p = mirror_path(Path::new("/s"), "../../etc/passwd");
+        assert_eq!(p, Path::new("/s/serve/______etc_passwd/events.jsonl"));
+    }
+}

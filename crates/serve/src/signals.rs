@@ -1,0 +1,35 @@
+//! Minimal signal handling for clean daemon shutdown.
+//!
+//! The workspace vendors no `libc`/`signal-hook`, so this is the
+//! smallest possible FFI surface: `signal(2)` pointing SIGTERM and
+//! SIGINT at a handler that sets one atomic flag. Everything
+//! async-signal-unsafe (logging, draining, unlinking the socket)
+//! happens on the normal control flow that polls the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Raised by the handler; polled by [`crate::Daemon::run`].
+static STOP: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_stop_signal(_sig: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers and returns the stop flag they
+/// raise. Idempotent.
+pub fn install() -> &'static AtomicBool {
+    let handler = on_stop_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+    &STOP
+}

@@ -1,0 +1,205 @@
+//! Integration tests for the resident `sfetch-serve` daemon: request
+//! dedup over the shared cell ledger, incremental result streaming,
+//! and byte-identity of the streamed merge with the one-shot path.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sfetch_bench::driver::{submit_and_collect, GridRequest, StreamOutcome};
+use sfetch_bench::grid::{merge_grid, verify_merged};
+use sfetch_bench::{workload_by_name, HarnessOpts};
+use sfetch_fetch::EngineKind;
+use sfetch_sample::SampleConfig;
+use sfetch_serve::{Daemon, DaemonConfig};
+
+/// Tiny schedule: 3 windows of 50k-instruction units — large enough to
+/// exercise warming + measurement, small enough for debug builds.
+fn quick_schedule() -> SampleConfig {
+    SampleConfig {
+        interval: 50_000,
+        warm_func: 8_000,
+        warm_mem: 8_000,
+        warm_detail: 1_000,
+        measure: 3_000,
+        ..Default::default()
+    }
+}
+
+const TOTAL: u64 = 150_000;
+const BENCH: &str = "gzip";
+
+fn request(engines: &[EngineKind]) -> GridRequest {
+    let scfg = quick_schedule();
+    GridRequest {
+        bench: BENCH.to_owned(),
+        engines: engines.to_vec(),
+        widths: vec![8],
+        total: TOTAL,
+        scfg,
+        opts: HarnessOpts {
+            grid_total: TOTAL,
+            grid_sample: scfg,
+            jobs: 1,
+            warm_bank: true,
+            ..HarnessOpts::default()
+        },
+    }
+}
+
+struct TestDaemon {
+    socket: PathBuf,
+    store: PathBuf,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestDaemon {
+    fn start(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("sfetch-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create test root");
+        let socket = root.join("d.sock");
+        let store = root.join("store");
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let (socket, store, stop) = (socket.clone(), store.clone(), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let daemon = Daemon::new(DaemonConfig {
+                    socket,
+                    store_dir: store,
+                    procs: 2,
+                    max_retries: 1,
+                });
+                daemon.run(&stop).expect("daemon run");
+            })
+        };
+        let d = TestDaemon { socket, store, stop, thread: Some(thread) };
+        d.await_ready();
+        d
+    }
+
+    /// Polls until the daemon answers the socket (it binds before it
+    /// serves, so one successful connect is enough).
+    fn await_ready(&self) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if std::os::unix::net::UnixStream::connect(&self.socket).is_ok() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("daemon never became ready at {}", self.socket.display());
+    }
+
+    fn submit(&self, id: &str, req: &GridRequest) -> StreamOutcome {
+        submit_and_collect(&self.socket, id, req, |_| {}).expect("submit")
+    }
+}
+
+impl Drop for TestDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(root) = self.store.parent() {
+            let _ = std::fs::remove_dir_all(root);
+        }
+    }
+}
+
+#[test]
+fn overlapping_requests_share_work_and_merge_byte_identically() {
+    let d = TestDaemon::start("overlap");
+
+    // Two concurrent requests overlapping on the ev8 cell: 3 distinct
+    // cells total, 4 subscriptions.
+    let req_a = request(&[EngineKind::Stream, EngineKind::Ev8]);
+    let req_b = request(&[EngineKind::Ev8, EngineKind::Ftb]);
+    let (out_a, out_b) = std::thread::scope(|s| {
+        let ta = s.spawn(|| d.submit("req-a", &req_a));
+        let tb = s.spawn(|| d.submit("req-b", &req_b));
+        (ta.join().expect("client a"), tb.join().expect("client b"))
+    });
+
+    assert_eq!(out_a.status, "complete");
+    assert_eq!(out_b.status, "complete");
+    let windows = req_a.windows();
+    assert_eq!(out_a.points.len() as u64, 2 * windows, "one point per window per cell");
+    assert_eq!(out_b.points.len() as u64, 2 * windows);
+
+    // Singleflight: the 3 distinct cells were computed exactly once
+    // between the two requests, and the 4th subscription was satisfied
+    // by sharing (same batch) or ledger resume (later batch) — never by
+    // recomputation.
+    assert_eq!(
+        out_a.computed + out_b.computed,
+        3,
+        "overlap must be computed once (a: {:?}, b: {:?})",
+        (out_a.computed, out_a.resumed, out_a.shared),
+        (out_b.computed, out_b.resumed, out_b.shared),
+    );
+    assert_eq!(out_a.shared + out_a.resumed + out_b.shared + out_b.resumed, 1);
+
+    // Byte-identity: the streamed merge must be bit-identical to a
+    // storeless in-process oracle (verify_merged panics on divergence),
+    // i.e. exactly what the one-shot binaries print.
+    let w = workload_by_name(BENCH);
+    let scfg = quick_schedule();
+    for (req, out) in [(&req_a, &out_a), (&req_b, &out_b)] {
+        let runs =
+            merge_grid(&req.grid(), windows, &out.points, scfg.confidence).expect("merge");
+        verify_merged(&w, &runs, scfg, &req.opts, windows);
+    }
+
+    // Resubmission under a fresh id: every cell resumes from the
+    // ledger with zero recomputation.
+    let rerun = d.submit("req-a2", &req_a);
+    assert_eq!(rerun.status, "complete");
+    assert_eq!(rerun.computed, 0, "resubmit must not recompute");
+    assert_eq!(rerun.shared, 0);
+    assert_eq!(rerun.resumed, 2);
+    let runs_rerun =
+        merge_grid(&req_a.grid(), windows, &rerun.points, scfg.confidence).expect("merge rerun");
+    let runs_first =
+        merge_grid(&req_a.grid(), windows, &out_a.points, scfg.confidence).expect("merge first");
+    assert_eq!(
+        format!("{runs_first:?}"),
+        format!("{runs_rerun:?}"),
+        "resumed stream must reproduce the original merge exactly"
+    );
+}
+
+#[test]
+fn daemon_rejects_duplicate_and_malformed_requests() {
+    use std::io::{BufRead, BufReader, Write};
+    let d = TestDaemon::start("reject");
+
+    // Malformed submit: readable error event, no crash.
+    let s = std::os::unix::net::UnixStream::connect(&d.socket).expect("connect");
+    let mut w = s.try_clone().expect("clone");
+    w.write_all(b"{\"op\":\"submit\",\"id\":\"x\",\"bench\":\"gzip\"}\n").expect("send");
+    let mut line = String::new();
+    BufReader::new(s).read_line(&mut line).expect("read");
+    assert!(line.contains("\"ev\":\"error\""), "got: {line}");
+
+    // Ping answers pong.
+    let s = std::os::unix::net::UnixStream::connect(&d.socket).expect("connect");
+    let mut w = s.try_clone().expect("clone");
+    w.write_all(b"{\"op\":\"ping\"}\n").expect("send");
+    let mut line = String::new();
+    BufReader::new(s).read_line(&mut line).expect("read");
+    assert!(line.contains("\"ev\":\"pong\""), "got: {line}");
+
+    // A duplicate id is refused while the first stream exists.
+    let req = request(&[EngineKind::Stream]);
+    let first = d.submit("dup", &req);
+    assert_eq!(first.status, "complete");
+    let err = submit_and_collect(&d.socket, "dup", &req, |_| {});
+    assert!(
+        err.as_ref().is_err_and(|e| e.contains("duplicate request id")),
+        "got: {err:?}"
+    );
+}
