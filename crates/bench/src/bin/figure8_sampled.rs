@@ -18,7 +18,8 @@
 //!     [--engines all|…] [--widths all|…] [--store DIR] \
 //!     [--procs N] [--verify] [--chaos SEED] [--max-retries N] \
 //!     [--cell-timeout SECS] [--no-fleet] [--spread-floor F] \
-//!     [--jobs N] [--legacy-scan] [--prefetch K] [--warm-bank] \
+//!     [--jobs N] [--batch N] [--store-cap-bytes N] \
+//!     [--legacy-scan] [--prefetch K] [--warm-bank] \
 //!     [--front-pipeline legacy|engine] [--grid-prefetch shared|natural] \
 //!     [--serve SOCKET] [--req ID] \
 //!     [--obs-dir DIR] [--interval N] [--ptrace LO-HI]
@@ -204,7 +205,7 @@ fn run_parent(a: &CommonArgs) -> ExitCode {
     let tmp = std::env::temp_dir().join(format!("sfetch-fig8s-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create temp dir");
     let (store_dir, store_is_temp) = resolve_store(a.store.as_deref(), tmp.join("store"));
-    let store = or_die(CheckpointStore::open(&store_dir));
+    let store = or_die(CheckpointStore::open(&store_dir)).with_cap_bytes(a.opts.store_cap_bytes);
 
     let mut degraded = false;
     let runs = if a.procs > 1 {

@@ -83,7 +83,11 @@ fn main() -> ExitCode {
     let tmp = std::env::temp_dir().join(format!("sfetch-fig9s-{}", std::process::id()));
     let (store_dir, store_is_temp) = resolve_store(a.store.as_deref(), tmp.clone());
     // Under --serve the daemon owns the (warm) store; nothing local.
-    let store = if serving { None } else { Some(or_die(CheckpointStore::open(&store_dir))) };
+    let store = if serving {
+        None
+    } else {
+        Some(or_die(CheckpointStore::open(&store_dir)).with_cap_bytes(a.opts.store_cap_bytes))
+    };
     let grid = cells(&a.engines, &a.widths);
     let mut degraded = false;
 

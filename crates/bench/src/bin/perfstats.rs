@@ -72,15 +72,27 @@
 //! banking enabled. The cold leg warms every window live and banks the
 //! warmed engine/memory state; the banked leg restores it — asserted
 //! byte-identical, with the banked per-window warming cost asserted
-//! strictly below the live one. Results go to stdout and to
-//! `BENCH_9.json` in the current directory, extending the repository's
-//! performance trajectory (`BENCH_1.json`: scan-based baseline;
-//! `BENCH_2.json`: event-driven back-end; `BENCH_3.json`: prefetch
-//! subsystem; `BENCH_4.json`: sampled simulation; `BENCH_5.json`:
-//! checkpoint store; `BENCH_6.json`: fleet supervisor; `BENCH_7.json`:
-//! front-pipeline calibration; `BENCH_8.json`: cycle accounting); see
-//! README.md for the `sfetch-perfstats-v9` schema — all v8 sections
-//! carry over unchanged.
+//! strictly below the live one.
+//!
+//! The v10 addition is the **`batch_ab`** section, measuring batched
+//! multi-window execution (`sfetch_sample::BatchSampler`): the full
+//! Fig. 8 grid swept three ways against one shared pre-populated store
+//! — per-window (every cell re-walks every window's functional span),
+//! batched (one shared sweep drives every cell of a window, bank off),
+//! and composed (batched + warm-state bank restore, the resident
+//! steady state, where the shared sweep shrinks to the detailed span).
+//! All three merges are asserted byte-identical; at the default
+//! 50M-instruction grid scale the composed leg's throughput is
+//! asserted at ≥5× the per-window baseline. Results go to stdout and
+//! to `BENCH_10.json` in the current directory, extending the
+//! repository's performance trajectory (`BENCH_1.json`: scan-based
+//! baseline; `BENCH_2.json`: event-driven back-end; `BENCH_3.json`:
+//! prefetch subsystem; `BENCH_4.json`: sampled simulation;
+//! `BENCH_5.json`: checkpoint store; `BENCH_6.json`: fleet supervisor;
+//! `BENCH_7.json`: front-pipeline calibration; `BENCH_8.json`: cycle
+//! accounting; `BENCH_9.json`: warm-state banking); see README.md for
+//! the `sfetch-perfstats-v10` schema — all v9 sections carry over
+//! unchanged.
 //!
 //! ```text
 //! cargo run --release -p sfetch-bench --bin perfstats \
@@ -101,8 +113,8 @@ use sfetch_bench::fleet_grid::{
     maybe_run_fleet_child, run_fleet_grid, FleetGridOutcome, FleetGridSpec,
 };
 use sfetch_bench::grid::{
-    cell_config, cells, engine_key, grid_engines, point_line, run_cell_range, spread_at_width,
-    CellRun, GridCell, FIG8_WIDTHS,
+    cell_config, cells, engine_key, grid_engines, point_line, run_cell_range, run_cells_batched,
+    spread_at_width, CellRun, GridCell, FIG8_WIDTHS,
 };
 use sfetch_bench::obs::{write_sampled_obs, KonataObserver, ObsOpts};
 use sfetch_bench::{ablation_workloads, timed, HarnessOpts};
@@ -112,7 +124,8 @@ use sfetch_core::{
 use sfetch_obs::KonataTrace;
 use sfetch_fetch::{EngineKind, FetchEngine, StreamEngine};
 use sfetch_sample::{
-    estimate, run_full_detailed, run_sampled_jobs, CheckpointStore, Estimate, StoredSampler,
+    estimate, run_full_detailed, run_sampled_jobs, CheckpointStore, Estimate, SamplePoint,
+    StoredSampler,
 };
 use sfetch_trace::Executor;
 use sfetch_workloads::{par_map, phased, LayoutChoice, Workload};
@@ -809,6 +822,104 @@ fn measure_serve_ab(w: &Workload, opts: HarnessOpts) -> ServeAb {
     }
 }
 
+/// The batched-execution A/B record: the full Fig. 8 grid swept three
+/// ways against one shared pre-populated checkpoint store.
+struct BatchAb {
+    grid_cells: usize,
+    batch: usize,
+    windows: u64,
+    per_window_wall_s: f64,
+    batched_wall_s: f64,
+    batched_banked_wall_s: f64,
+    batched_speedup: f64,
+    composed_speedup: f64,
+    identical: bool,
+    floor_checked: bool,
+}
+
+/// Throughput floor asserted on the composed (batched + banked) leg at
+/// the default 50M-instruction grid scale.
+const BATCH_AB_MIN_SPEEDUP: f64 = 5.0;
+
+/// Sweeps the full Fig. 8 grid three ways: per-window (every cell
+/// re-walks every window's functional span through its own executor),
+/// batched (one shared functional sweep per window drives every cell,
+/// bank off), and composed (batched + warm-bank restore — the resident
+/// steady state, where the shared sweep starts at the post-warm
+/// checkpoint). All three merges are asserted byte-identical; the
+/// wall-clock ratios are therefore pure host-throughput deltas.
+fn measure_batch_ab(w: &Workload, opts: HarnessOpts) -> BatchAb {
+    let scfg = opts.grid_sample;
+    let windows = scfg.windows(opts.grid_total);
+    let grid = cells(&grid_engines(), &FIG8_WIDTHS);
+    let batch = grid.len();
+    let store_dir = std::env::temp_dir().join(format!("sfetch-batchab-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = CheckpointStore::open(&store_dir).expect("open batch A/B store");
+    // All legs share pre-populated fast-forward checkpoints, so the A/B
+    // isolates the window-sweep cost the batch executor removes.
+    {
+        let img = w.image(LayoutChoice::Optimized);
+        let fp = w.fingerprint(LayoutChoice::Optimized);
+        StoredSampler::new(img, fp, w.ref_seed(), scfg, &store).populate(windows);
+    }
+    let lines = |points: &[Vec<SamplePoint>]| -> Vec<String> {
+        grid.iter()
+            .zip(points)
+            .flat_map(|(&cell, pts)| pts.iter().map(move |p| point_line(cell, p)))
+            .collect()
+    };
+    let mut no_bank = opts;
+    no_bank.warm_bank = false;
+
+    let (per_window, per_window_wall_s) = timed(|| {
+        grid.iter()
+            .map(|&c| run_cell_range(w, c, scfg, &no_bank, &store, 0..windows).0)
+            .collect::<Vec<_>>()
+    });
+    eprintln!("  per-window leg: {per_window_wall_s:.2}s");
+
+    let (batched, batched_wall_s) =
+        timed(|| run_cells_batched(w, &grid, batch, scfg, &no_bank, &store, 0..windows).0);
+    eprintln!("  batched leg: {batched_wall_s:.2}s");
+
+    // Composed leg: populate the warm bank once (unmeasured), then time
+    // the rerun every resident resubmission pays.
+    let mut banked_opts = opts;
+    banked_opts.warm_bank = true;
+    let _ = run_cells_batched(w, &grid, batch, scfg, &banked_opts, &store, 0..windows);
+    let (banked, batched_banked_wall_s) =
+        timed(|| run_cells_batched(w, &grid, batch, scfg, &banked_opts, &store, 0..windows).0);
+    eprintln!("  batched+banked leg: {batched_banked_wall_s:.2}s");
+
+    let base = lines(&per_window);
+    let identical = base == lines(&batched) && base == lines(&banked);
+    assert!(identical, "batched legs must merge byte-identically to the per-window oracle");
+    let batched_speedup = per_window_wall_s / batched_wall_s;
+    let composed_speedup = per_window_wall_s / batched_banked_wall_s;
+    let floor_checked = opts.grid_total >= 50_000_000;
+    if floor_checked {
+        assert!(
+            composed_speedup >= BATCH_AB_MIN_SPEEDUP,
+            "composed batched+banked grid throughput {composed_speedup:.2}× fell below the \
+             {BATCH_AB_MIN_SPEEDUP}× floor"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    BatchAb {
+        grid_cells: grid.len(),
+        batch,
+        windows,
+        per_window_wall_s,
+        batched_wall_s,
+        batched_banked_wall_s,
+        batched_speedup,
+        composed_speedup,
+        identical,
+        floor_checked,
+    }
+}
+
 fn main() {
     maybe_run_fleet_child();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
@@ -1083,6 +1194,33 @@ fn main() {
         serve.bank_hits,
     );
 
+    // Batch A/B: per-window vs batched vs batched+banked grid sweeps.
+    eprintln!(
+        "batch A/B: {} cells × {} windows, per-window vs one batched sweep…",
+        grid_engines().len() * FIG8_WIDTHS.len(),
+        opts.grid_sample.windows(opts.grid_total)
+    );
+    let batch_ab = measure_batch_ab(&phased_w, opts);
+    println!(
+        "\nbatch A/B ({}, {} cells, batch {}, {} windows):\n  \
+         per-window {:.2}s → batched {:.2}s = {:.2}× → batched+banked {:.2}s = {:.2}× \
+         (merged output byte-identical{})",
+        phased_w.name(),
+        batch_ab.grid_cells,
+        batch_ab.batch,
+        batch_ab.windows,
+        batch_ab.per_window_wall_s,
+        batch_ab.batched_wall_s,
+        batch_ab.batched_speedup,
+        batch_ab.batched_banked_wall_s,
+        batch_ab.composed_speedup,
+        if batch_ab.floor_checked {
+            format!(", ≥{BATCH_AB_MIN_SPEEDUP}× floor asserted")
+        } else {
+            String::new()
+        },
+    );
+
     let total_wall_s = t0.elapsed().as_secs_f64();
     println!("\ntotal: {total_wall_s:.2}s simulation wall clock, {build_s:.2}s suite construction");
 
@@ -1101,10 +1239,11 @@ fn main() {
         (phased_w.name(), &fleet),
         (workloads[0].name(), &obs_ab, pinned),
         (phased_w.name(), &serve),
+        (phased_w.name(), &batch_ab),
         total_wall_s,
     );
-    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
-    println!("wrote BENCH_9.json");
+    std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
+    println!("wrote BENCH_10.json");
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1123,12 +1262,13 @@ fn render_json(
     fleet: (&str, &FleetResilience),
     accounting: (&str, &ObsOverhead, bool),
     serve_ab: (&str, &ServeAb),
+    batch_ab: (&str, &BatchAb),
     total_wall_s: f64,
 ) -> String {
     let (bench, event, scan, speedup) = large_rob;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v9\",");
+    let _ = writeln!(s, "  \"schema\": \"sfetch-perfstats-v10\",");
     let _ = writeln!(s, "  \"backend\": \"{backend}\",");
     let _ = writeln!(s, "  \"insts_per_point\": {},", opts.insts);
     let _ = writeln!(s, "  \"warmup_per_point\": {},", opts.warmup);
@@ -1469,6 +1609,30 @@ fn render_json(
         "    \"warm_speedup\": {:.2}, \"identical\": {}",
         sv.cold_warm_ns_per_window as f64 / (sv.banked_warm_ns_per_window.max(1)) as f64,
         sv.identical
+    );
+    s.push_str("  },\n");
+    let (ba_bench, ba) = batch_ab;
+    s.push_str("  \"batch_ab\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"bench\": \"{ba_bench}\", \"grid_cells\": {}, \"batch\": {}, \"windows\": {},",
+        ba.grid_cells, ba.batch, ba.windows
+    );
+    let _ = writeln!(s, "    \"per_window\": {{\"wall_s\": {:.3}}},", ba.per_window_wall_s);
+    let _ = writeln!(
+        s,
+        "    \"batched\": {{\"wall_s\": {:.3}, \"speedup\": {:.2}}},",
+        ba.batched_wall_s, ba.batched_speedup
+    );
+    let _ = writeln!(
+        s,
+        "    \"batched_banked\": {{\"wall_s\": {:.3}, \"speedup\": {:.2}}},",
+        ba.batched_banked_wall_s, ba.composed_speedup
+    );
+    let _ = writeln!(
+        s,
+        "    \"floor\": {BATCH_AB_MIN_SPEEDUP}, \"floor_checked\": {}, \"identical\": {}",
+        ba.floor_checked, ba.identical
     );
     s.push_str("  },\n");
     let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3}");

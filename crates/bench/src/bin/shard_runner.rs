@@ -95,7 +95,7 @@ fn run_parent(a: &CommonArgs) -> ExitCode {
     let tmp = std::env::temp_dir().join(format!("sfetch-shards-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("create shard temp dir");
     let (store_dir, store_is_temp) = resolve_store(a.store.as_deref(), tmp.join("store"));
-    let store = or_die(CheckpointStore::open(&store_dir));
+    let store = or_die(CheckpointStore::open(&store_dir)).with_cap_bytes(a.opts.store_cap_bytes);
 
     // One architectural walk banks every window's warming-start
     // checkpoint; on a warm store this is pure verification traffic.

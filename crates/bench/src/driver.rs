@@ -402,7 +402,8 @@ pub fn run_shard_child(a: &CommonArgs, axis: ScheduleAxis, shard: ShardSpec) -> 
         eprintln!("error: shard child needs --store");
         return ExitCode::FAILURE;
     };
-    let store = or_die(CheckpointStore::open(store_path));
+    let store =
+        or_die(CheckpointStore::open(store_path)).with_cap_bytes(a.opts.store_cap_bytes);
     let text = crate::grid::shard_file_text(
         &w,
         &grid,
@@ -482,6 +483,8 @@ pub fn shard_child_args(
         axis.scfg(&a.opts).to_spec().into(),
         "--jobs".into(),
         a.opts.jobs.to_string().into(),
+        "--batch".into(),
+        a.opts.batch.to_string().into(),
         "--front-pipeline".into(),
         a.opts.front.as_str().into(),
         "--grid-prefetch".into(),
@@ -498,6 +501,9 @@ pub fn shard_child_args(
     if a.opts.prefetch.mshrs > 0 {
         args.extend(["--prefetch".into(), a.opts.prefetch.kind.to_string().into()]);
         args.extend(["--mshrs".into(), a.opts.prefetch.mshrs.to_string().into()]);
+    }
+    if let Some(cap) = a.opts.store_cap_bytes {
+        args.extend(["--store-cap-bytes".into(), cap.to_string().into()]);
     }
     args.extend(["--no-fleet".into(), "--shard".into(), format!("{i}/{procs}").into()]);
     args.extend(["--store".into(), store_dir.to_path_buf().into()]);
@@ -576,26 +582,76 @@ pub fn cell_body_text(
     opts: &HarnessOpts,
     store: &CheckpointStore,
 ) -> Result<String, String> {
-    let engine = *parse_engines(&cell.engine)
-        .map_err(|e| e.to_string())?
-        .first()
-        .ok_or("empty engine")?;
-    let grid_cell = GridCell { engine, width: cell.width };
-    let (pts, _) = run_cell_range(w, grid_cell, scfg, opts, store, cell.lo..cell.hi);
-    let mut body = format!(
-        "{{\"schema\": \"{GRID_SHARD_SCHEMA}\", \"cell\": \"{}\", \"bench\": \"{}\"}}\n",
-        cell,
-        w.name()
-    );
-    for p in &pts {
-        body.push_str(&point_line(grid_cell, p));
-        body.push('\n');
+    let bodies = cell_group_bodies(w, std::slice::from_ref(cell), scfg, opts, store)?;
+    Ok(bodies.into_iter().next().expect("one body per cell"))
+}
+
+/// Runs a **compatible group** of [`CellId`]s (same window range) and
+/// renders one shard body per cell. A singleton group takes the classic
+/// per-cell [`run_cell_range`] path; larger groups share one batched
+/// sweep per window ([`crate::grid::run_cells_batched`]) — the point
+/// the fleet's group leasing exists for. Bodies are byte-identical
+/// either way.
+///
+/// # Errors
+///
+/// A readable message on an unknown engine key or a range-incompatible
+/// group.
+pub fn cell_group_bodies(
+    w: &Workload,
+    cells: &[CellId],
+    scfg: SampleConfig,
+    opts: &HarnessOpts,
+    store: &CheckpointStore,
+) -> Result<Vec<String>, String> {
+    let first = cells.first().ok_or("empty cell group")?;
+    let mut grid_cells = Vec::with_capacity(cells.len());
+    for cell in cells {
+        if cell.lo != first.lo || cell.hi != first.hi {
+            return Err(format!(
+                "cell group mixes window ranges ({first} vs {cell}) — cannot share a sweep"
+            ));
+        }
+        let engine = *parse_engines(&cell.engine)
+            .map_err(|e| e.to_string())?
+            .first()
+            .ok_or("empty engine")?;
+        grid_cells.push(GridCell { engine, width: cell.width });
     }
-    debug_assert!(
-        crate::grid::parse_shard_body(&body).is_ok(),
-        "cell bodies must parse back"
-    );
-    Ok(body)
+    let range = first.lo..first.hi;
+    let per_cell: Vec<Vec<SamplePoint>> = if cells.len() == 1 {
+        let (pts, _) = run_cell_range(w, grid_cells[0], scfg, opts, store, range);
+        vec![pts]
+    } else {
+        let (pts, _) = crate::grid::run_cells_batched(
+            w,
+            &grid_cells,
+            cells.len(),
+            scfg,
+            opts,
+            store,
+            range,
+        );
+        pts
+    };
+    let mut bodies = Vec::with_capacity(cells.len());
+    for ((cell, grid_cell), pts) in cells.iter().zip(&grid_cells).zip(per_cell) {
+        let mut body = format!(
+            "{{\"schema\": \"{GRID_SHARD_SCHEMA}\", \"cell\": \"{}\", \"bench\": \"{}\"}}\n",
+            cell,
+            w.name()
+        );
+        for p in &pts {
+            body.push_str(&point_line(*grid_cell, p));
+            body.push('\n');
+        }
+        debug_assert!(
+            crate::grid::parse_shard_body(&body).is_ok(),
+            "cell bodies must parse back"
+        );
+        bodies.push(body);
+    }
+    Ok(bodies)
 }
 
 /// The shard-output validator shared by every ledger consumer (fleet
@@ -650,10 +706,10 @@ impl GridRequest {
 
     /// The fingerprint of everything a cell's **output bytes** depend
     /// on — and nothing else. Engine/width axes are deliberately
-    /// excluded (each cell already carries its own), as are `jobs` and
-    /// `warm_bank` (host-time knobs, bit-identical results): two
-    /// overlapping requests must land in the same ledger family so the
-    /// ledger dedupes their shared cells.
+    /// excluded (each cell already carries its own), as are `jobs`,
+    /// `batch` and `warm_bank` (host-time knobs, bit-identical
+    /// results): two overlapping requests must land in the same ledger
+    /// family so the ledger dedupes their shared cells.
     pub fn family_tag(&self) -> u64 {
         let key = format!(
             "serve-family|{GRID_SHARD_SCHEMA}|{}|{}|{}|legacy={}|pf={}:{}|front={}|gridpf={}",
@@ -703,6 +759,7 @@ impl GridRequest {
             .s("front", self.opts.front.as_str())
             .s("gridpf", self.opts.grid_prefetch.as_str())
             .u("jobs", self.opts.jobs as u64)
+            .u("batch", self.opts.batch as u64)
             .b("warm_bank", self.opts.warm_bank)
             .finish()
     }
@@ -736,7 +793,20 @@ impl GridRequest {
             ..HarnessOpts::default()
         };
         if let Some(jobs) = jfield_u64(line, "jobs") {
-            opts.jobs = (jobs as usize).max(1);
+            opts.jobs = usize::try_from(jobs)
+                .ok()
+                .filter(|&j| j >= 1)
+                .ok_or_else(|| {
+                    GridError::Cli(format!("submit: jobs must be >= 1 (got {jobs})")).to_string()
+                })?;
+        }
+        if let Some(batch) = jfield_u64(line, "batch") {
+            opts.batch = usize::try_from(batch)
+                .ok()
+                .filter(|&b| b >= 1)
+                .ok_or_else(|| {
+                    GridError::Cli(format!("submit: batch must be >= 1 (got {batch})")).to_string()
+                })?;
         }
         if let Some(front) = jfield_str(line, "front") {
             opts.front =
@@ -755,8 +825,23 @@ impl GridRequest {
             sfetch_core::PrefetchConfig::enabled(kind)
         };
         if let Some(m) = jfield_u64(line, "mshrs") {
-            if m > 0 {
-                opts.prefetch.mshrs = m as usize;
+            if kind == sfetch_core::PrefetchKind::None {
+                // `submit_line` always writes the field; 0 is the only
+                // value consistent with a disabled prefetcher.
+                if m > 0 {
+                    return Err(GridError::Cli(format!(
+                        "submit: mshrs {m} given but prefetch is \"none\""
+                    ))
+                    .to_string());
+                }
+            } else {
+                opts.prefetch.mshrs =
+                    usize::try_from(m).ok().filter(|&m| m >= 1).ok_or_else(|| {
+                        GridError::Cli(format!(
+                            "submit: mshrs must be >= 1 with prefetch {kind} (got {m})"
+                        ))
+                        .to_string()
+                    })?;
             }
         }
         Ok((id, GridRequest { bench, engines, widths, total, scfg, opts }))
@@ -1017,7 +1102,7 @@ mod tests {
     use super::*;
 
     fn req() -> GridRequest {
-        let opts = HarnessOpts { jobs: 3, ..HarnessOpts::default() };
+        let opts = HarnessOpts { jobs: 3, batch: 4, ..HarnessOpts::default() };
         GridRequest {
             bench: "phased".into(),
             engines: vec![EngineKind::Stream, EngineKind::Ev8],
@@ -1057,8 +1142,32 @@ mod tests {
         assert_eq!(back.total, r.total);
         assert_eq!(back.scfg.to_spec(), r.scfg.to_spec());
         assert_eq!(back.opts.jobs, 3);
+        assert_eq!(back.opts.batch, 4);
         assert_eq!(back.opts.warm_bank, r.opts.warm_bank);
         assert_eq!(back.family_tag(), r.family_tag());
+    }
+
+    #[test]
+    fn submit_rejects_out_of_range_knobs() {
+        let good = req().submit_line("r-1");
+        // A zero jobs/batch count used to be silently clamped to 1; the
+        // daemon now refuses the request, naming the offending value.
+        let zero_jobs = good.replace("\"jobs\":3", "\"jobs\":0");
+        let err = GridRequest::parse_submit(&zero_jobs).expect_err("jobs 0 must be rejected");
+        assert!(err.contains("jobs") && err.contains("0"), "err: {err}");
+        let zero_batch = good.replace("\"batch\":4", "\"batch\":0");
+        let err = GridRequest::parse_submit(&zero_batch).expect_err("batch 0 must be rejected");
+        assert!(err.contains("batch") && err.contains("0"), "err: {err}");
+        // mshrs with prefetch disabled used to be silently ignored.
+        let ghost_mshrs = good.replace("\"mshrs\":0", "\"mshrs\":9");
+        let err =
+            GridRequest::parse_submit(&ghost_mshrs).expect_err("mshrs without pf must be rejected");
+        assert!(err.contains("mshrs") && err.contains("none"), "err: {err}");
+        // mshrs 0 with an enabled prefetcher is equally out of range.
+        let pf_no_mshrs = good.replace("\"pf\":\"none\"", "\"pf\":\"stream\"");
+        let err = GridRequest::parse_submit(&pf_no_mshrs)
+            .expect_err("pf without mshrs capacity must be rejected");
+        assert!(err.contains("mshrs"), "err: {err}");
     }
 
     #[test]
@@ -1068,6 +1177,7 @@ mod tests {
         b.engines = vec![EngineKind::Ftb];
         b.widths = vec![8];
         b.opts.jobs = 1;
+        b.opts.batch = 16;
         b.opts.warm_bank = true;
         assert_eq!(a.family_tag(), b.family_tag(), "axes and host knobs must not split families");
         let mut c = req();
@@ -1160,10 +1270,16 @@ mod tests {
                 "--legacy-scan".into(),
                 "--grid-total".into(),
                 "2000000".into(),
+                "--batch".into(),
+                "4".into(),
+                "--store-cap-bytes".into(),
+                "1048576".into(),
             ],
             &d,
         );
         assert!(a.opts.warm_bank && a.opts.legacy_scan);
+        assert_eq!(a.opts.batch, 4);
+        assert_eq!(a.opts.store_cap_bytes, Some(1_048_576));
         let args = shard_child_args(
             &a,
             ScheduleAxis::Grid,
@@ -1175,6 +1291,7 @@ mod tests {
         );
         let has = |flag: &str| args.iter().any(|x| x == flag);
         assert!(has("--warm-bank") && has("--legacy-scan") && has("--grid-total"));
+        assert!(has("--batch") && has("--store-cap-bytes"));
         assert!(has("--shard") && has("--no-fleet"));
     }
 }

@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use sfetch_fleet::{
     chaos, fnv64, now_ms, seal, CellId, FleetConfig, FleetError, FleetReport, HeartbeatGuard,
-    Ledger, ProcessLauncher,
+    Ledger, ProcessGroupLauncher,
 };
 use sfetch_sample::{window_range, SampleConfig, SamplePoint, ShardSpec};
 
@@ -207,6 +207,11 @@ pub fn run_fleet_grid(spec: &FleetGridSpec<'_>) -> Result<FleetGridOutcome, Flee
 
     let mut cfg = FleetConfig::new(spec.procs.min(cell_ids.len()).max(1));
     cfg.max_retries = spec.max_retries;
+    // `--batch N` composes with the fleet as group leasing: a worker
+    // claims up to N same-range cells and drives them from one shared
+    // sweep. Chaos runs stay singleton so the deterministic per-cell
+    // fault schedule keeps its meaning.
+    cfg.group = if spec.chaos.is_some() { 1 } else { spec.opts.batch.max(1) };
     if let Some(s) = spec.cell_timeout_s {
         let ms = s.max(1) * 1000;
         cfg.timeout_floor_ms = ms;
@@ -216,48 +221,58 @@ pub fn run_fleet_grid(spec: &FleetGridSpec<'_>) -> Result<FleetGridOutcome, Flee
 
     let exe = std::env::current_exe()
         .map_err(|e| FleetError::Spawn { cell: "<any>".into(), err: e.to_string() })?;
-    let launcher = ProcessLauncher::new(|cell: &CellId, attempt: u32, out: &Path, hb: &Path| {
-        let mut cmd = Command::new(&exe);
-        cmd.arg("--fleet-cell")
-            .arg(cell.to_string())
-            .arg("--fleet-bench")
-            .arg(spec.bench)
-            .arg("--fleet-sample")
-            .arg(spec.scfg.to_spec())
-            .arg("--fleet-store")
-            .arg(spec.store_dir)
-            .arg("--fleet-jobs")
-            .arg(spec.opts.jobs.to_string())
-            .arg("--fleet-attempt")
-            .arg(attempt.to_string())
-            .arg("--fleet-out")
-            .arg(out)
-            .arg("--fleet-heartbeat")
-            .arg(hb)
-            // Always explicit: the child's defaults must never decide
-            // the simulated front or prefetch model.
-            .arg("--fleet-front")
-            .arg(spec.opts.front.as_str())
-            .arg("--fleet-grid-prefetch")
-            .arg(spec.opts.grid_prefetch.as_str());
-        if spec.opts.legacy_scan {
-            cmd.arg("--fleet-legacy-scan");
-        }
-        if spec.opts.warm_bank {
-            cmd.arg("--fleet-warm-bank");
-        }
-        if spec.opts.prefetch.mshrs > 0 {
-            cmd.arg("--fleet-prefetch").arg(spec.opts.prefetch.kind.to_string());
-            cmd.arg("--fleet-mshrs").arg(spec.opts.prefetch.mshrs.to_string());
-        }
-        if let Some(seed) = spec.chaos {
-            cmd.env(chaos::CHAOS_ENV, seed.to_string());
-        }
-        // Workers own no part of the report: stdout must stay clean so
-        // chaos and fault-free parent runs diff byte-identically.
-        cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
-        cmd
-    });
+    let launcher = ProcessGroupLauncher::new(
+        |cells: &[CellId], attempts: &[u32], outs: &[PathBuf], hb: &Path| {
+            let mut cmd = Command::new(&exe);
+            // Repeated `--fleet-cell`/`--fleet-out` pairs, in matching
+            // order, carry the whole group; singleton groups produce
+            // exactly the historical argument list.
+            for (cell, out) in cells.iter().zip(outs) {
+                cmd.arg("--fleet-cell").arg(cell.to_string());
+                cmd.arg("--fleet-out").arg(out);
+            }
+            cmd.arg("--fleet-bench")
+                .arg(spec.bench)
+                .arg("--fleet-sample")
+                .arg(spec.scfg.to_spec())
+                .arg("--fleet-store")
+                .arg(spec.store_dir)
+                .arg("--fleet-jobs")
+                .arg(spec.opts.jobs.to_string())
+                // Chaos (the attempt's only consumer) runs singleton
+                // groups, so the first attempt index is the group's.
+                .arg("--fleet-attempt")
+                .arg(attempts.first().copied().unwrap_or(0).to_string())
+                .arg("--fleet-heartbeat")
+                .arg(hb)
+                // Always explicit: the child's defaults must never decide
+                // the simulated front or prefetch model.
+                .arg("--fleet-front")
+                .arg(spec.opts.front.as_str())
+                .arg("--fleet-grid-prefetch")
+                .arg(spec.opts.grid_prefetch.as_str());
+            if spec.opts.legacy_scan {
+                cmd.arg("--fleet-legacy-scan");
+            }
+            if spec.opts.warm_bank {
+                cmd.arg("--fleet-warm-bank");
+            }
+            if let Some(cap) = spec.opts.store_cap_bytes {
+                cmd.arg("--fleet-store-cap-bytes").arg(cap.to_string());
+            }
+            if spec.opts.prefetch.mshrs > 0 {
+                cmd.arg("--fleet-prefetch").arg(spec.opts.prefetch.kind.to_string());
+                cmd.arg("--fleet-mshrs").arg(spec.opts.prefetch.mshrs.to_string());
+            }
+            if let Some(seed) = spec.chaos {
+                cmd.env(chaos::CHAOS_ENV, seed.to_string());
+            }
+            // Workers own no part of the report: stdout must stay clean so
+            // chaos and fault-free parent runs diff byte-identically.
+            cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
+            cmd
+        },
+    );
 
     let report = sfetch_fleet::run_fleet(
         &cfg,
@@ -370,22 +385,26 @@ fn degraded_json(outcome: &FleetGridOutcome) -> String {
 // ---------------------------------------------------------------------
 
 struct ChildArgs {
-    cell: CellId,
+    /// The leased group: repeated `--fleet-cell` flags, one per cell
+    /// (singleton in classic mode).
+    cells: Vec<CellId>,
     bench: String,
     scfg: SampleConfig,
     store: PathBuf,
-    out: PathBuf,
+    /// Per-cell output paths, parallel to `cells` (repeated
+    /// `--fleet-out`, in the same order).
+    outs: Vec<PathBuf>,
     heartbeat: PathBuf,
     attempt: u32,
     opts: HarnessOpts,
 }
 
 fn parse_child_args(args: &[String]) -> Result<ChildArgs, String> {
-    let mut cell = None;
+    let mut cells = Vec::new();
     let mut bench = None;
     let mut scfg = None;
     let mut store = None;
-    let mut out = None;
+    let mut outs = Vec::new();
     let mut heartbeat = None;
     let mut attempt = 0u32;
     let mut opts = HarnessOpts::default();
@@ -397,13 +416,24 @@ fn parse_child_args(args: &[String]) -> Result<ChildArgs, String> {
     };
     while i < args.len() {
         match args[i].as_str() {
-            "--fleet-cell" => cell = Some(CellId::parse(take(i)?)?),
+            "--fleet-cell" => cells.push(CellId::parse(take(i)?)?),
             "--fleet-bench" => bench = Some(take(i)?.clone()),
             "--fleet-sample" => {
                 scfg = Some(SampleConfig::parse(take(i)?).map_err(|e| e.to_string())?)
             }
             "--fleet-store" => store = Some(PathBuf::from(take(i)?)),
-            "--fleet-out" => out = Some(PathBuf::from(take(i)?)),
+            "--fleet-store-cap-bytes" => {
+                opts.store_cap_bytes = Some(
+                    take(i)?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| {
+                            format!("--fleet-store-cap-bytes must be >= 1 (got {:?})", args[i + 1])
+                        })?,
+                )
+            }
+            "--fleet-out" => outs.push(PathBuf::from(take(i)?)),
             "--fleet-heartbeat" => heartbeat = Some(PathBuf::from(take(i)?)),
             "--fleet-attempt" => {
                 attempt = take(i)?.parse().map_err(|e| format!("--fleet-attempt: {e}"))?
@@ -449,12 +479,22 @@ fn parse_child_args(args: &[String]) -> Result<ChildArgs, String> {
             opts.prefetch.mshrs = m;
         }
     }
+    if cells.is_empty() {
+        return Err("--fleet-cell is required".into());
+    }
+    if outs.len() != cells.len() {
+        return Err(format!(
+            "{} --fleet-cell flags but {} --fleet-out flags (must pair up)",
+            cells.len(),
+            outs.len()
+        ));
+    }
     Ok(ChildArgs {
-        cell: cell.ok_or("--fleet-cell is required")?,
+        cells,
         bench: bench.ok_or("--fleet-bench is required")?,
         scfg: scfg.ok_or("--fleet-sample is required")?,
         store: store.ok_or("--fleet-store is required")?,
-        out: out.ok_or("--fleet-out is required")?,
+        outs,
         heartbeat: heartbeat.ok_or("--fleet-heartbeat is required")?,
         attempt,
         opts,
@@ -463,9 +503,11 @@ fn parse_child_args(args: &[String]) -> Result<ChildArgs, String> {
 
 fn run_fleet_child(a: &ChildArgs) -> Result<bool, String> {
     // Chaos first: the fault schedule is a pure function of
-    // (seed, cell, attempt), consulted before any real work.
+    // (seed, cell, attempt), consulted before any real work. The parent
+    // forces singleton groups under chaos, so the first cell *is* the
+    // group.
     let fault = match chaos::seed_from_env() {
-        Some(seed) => chaos::fault_for(seed, &a.cell, a.attempt),
+        Some(seed) => chaos::fault_for(seed, &a.cells[0], a.attempt),
         None => chaos::Fault::None,
     };
     match fault {
@@ -485,20 +527,25 @@ fn run_fleet_child(a: &ChildArgs) -> Result<bool, String> {
 
     let _hb = HeartbeatGuard::start(&a.heartbeat, HEARTBEAT_EVERY);
     let w = workload_by_name(&a.bench);
-    let store =
-        sfetch_sample::CheckpointStore::open(&a.store).map_err(|e| format!("open store: {e}"))?;
+    let store = sfetch_sample::CheckpointStore::open(&a.store)
+        .map_err(|e| format!("open store: {e}"))?
+        .with_cap_bytes(a.opts.store_cap_bytes);
     // The single cell-execution path shared with the daemon's
-    // in-process workers.
-    let body = crate::driver::cell_body_text(&w, &a.cell, a.scfg, &a.opts, &store)?;
+    // in-process workers; a multi-cell group rides one batched sweep.
+    let bodies = crate::driver::cell_group_bodies(&w, &a.cells, a.scfg, &a.opts, &store)?;
 
-    let sealed = seal(&body);
-    let (text, exit_nonzero) = chaos::mangle_output(fault, &sealed);
-    // Atomic even when chaos-mangled: the injected faults model
-    // *logical* corruption; torn physical writes are prevented by the
-    // temp + rename discipline itself.
-    let tmp = a.out.with_extension("part");
-    std::fs::write(&tmp, text.as_bytes()).map_err(|e| format!("write shard: {e}"))?;
-    std::fs::rename(&tmp, &a.out).map_err(|e| format!("rename shard: {e}"))?;
+    let mut exit_nonzero = false;
+    for (body, out) in bodies.iter().zip(&a.outs) {
+        let sealed = seal(body);
+        let (text, nonzero) = chaos::mangle_output(fault, &sealed);
+        exit_nonzero |= nonzero;
+        // Atomic even when chaos-mangled: the injected faults model
+        // *logical* corruption; torn physical writes are prevented by the
+        // temp + rename discipline itself.
+        let tmp = out.with_extension("part");
+        std::fs::write(&tmp, text.as_bytes()).map_err(|e| format!("write shard: {e}"))?;
+        std::fs::rename(&tmp, out).map_err(|e| format!("rename shard: {e}"))?;
+    }
     Ok(exit_nonzero)
 }
 
@@ -575,7 +622,8 @@ mod tests {
         .map(|s| (*s).to_owned())
         .collect();
         let a = parse_child_args(&args).expect("parses");
-        assert_eq!(a.cell, CellId::new("stream", 8, 0, 4));
+        assert_eq!(a.cells, vec![CellId::new("stream", 8, 0, 4)]);
+        assert_eq!(a.outs, vec![PathBuf::from("/tmp/out.json")]);
         assert_eq!(a.bench, "phased");
         assert_eq!(a.attempt, 1);
         assert_eq!(a.opts.jobs, 2);
@@ -583,6 +631,47 @@ mod tests {
         assert_eq!(a.opts.front, crate::FrontMode::Legacy);
         assert_eq!(a.opts.grid_prefetch, crate::GridPrefetchMode::Shared);
         assert!(parse_child_args(&args[2..]).is_err(), "missing --fleet-cell is an error");
+    }
+
+    #[test]
+    fn child_args_carry_cell_groups_in_order() {
+        let args: Vec<String> = [
+            "--fleet-cell",
+            "stream:8:0-4",
+            "--fleet-out",
+            "/tmp/a.json",
+            "--fleet-cell",
+            "ev8:8:0-4",
+            "--fleet-out",
+            "/tmp/b.json",
+            "--fleet-bench",
+            "phased",
+            "--fleet-sample",
+            "1000000,50000,5000,5000",
+            "--fleet-store",
+            "/tmp/store",
+            "--fleet-store-cap-bytes",
+            "4096",
+            "--fleet-out-missing-guard",
+        ]
+        .iter()
+        .take(16) // drop the trailing guard flag; it is not a real arg
+        .map(|s| (*s).to_owned())
+        .collect();
+        let mut full = args.clone();
+        full.extend(["--fleet-heartbeat".to_owned(), "/tmp/hb".to_owned()]);
+        let a = parse_child_args(&full).expect("parses");
+        assert_eq!(
+            a.cells,
+            vec![CellId::new("stream", 8, 0, 4), CellId::new("ev8", 8, 0, 4)],
+            "cells keep their flag order"
+        );
+        assert_eq!(a.outs, vec![PathBuf::from("/tmp/a.json"), PathBuf::from("/tmp/b.json")]);
+        assert_eq!(a.opts.store_cap_bytes, Some(4096));
+        // A cell without its out file is a protocol error.
+        let mut unbalanced = full.clone();
+        unbalanced.extend(["--fleet-cell".to_owned(), "ftb:8:0-4".to_owned()]);
+        assert!(parse_child_args(&unbalanced).is_err(), "cells and outs must pair up");
     }
 
     #[test]

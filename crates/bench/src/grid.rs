@@ -16,7 +16,8 @@ use std::path::{Path, PathBuf};
 use sfetch_core::ProcessorConfig;
 use sfetch_fetch::EngineKind;
 use sfetch_sample::{
-    estimate, CheckpointStore, Estimate, SampleConfig, SamplePoint, StoreStats, StoredSampler,
+    estimate, BatchCell, BatchSampler, CheckpointStore, Estimate, SampleConfig, SamplePoint,
+    StoreStats, StoredSampler,
 };
 use sfetch_workloads::{LayoutChoice, Workload};
 
@@ -255,8 +256,60 @@ pub fn run_cell_range(
     (pts, s.stats())
 }
 
-/// Runs the whole grid for one workload through the store, cell by
-/// cell, returning per-cell estimates plus the total store traffic.
+/// Runs a cell list's shared window range through batched sweeps: the
+/// cells are chunked into groups of up to `batch` and each group rides
+/// one [`BatchSampler`] — one recorded functional walk per window per
+/// group instead of one per window per cell. Returns per-cell window
+/// lists in cell order plus the total checkpoint-store traffic.
+/// Bit-identical to [`run_cell_range`] per cell, for any `batch`.
+pub fn run_cells_batched(
+    w: &Workload,
+    cells: &[GridCell],
+    batch: usize,
+    scfg: SampleConfig,
+    opts: &HarnessOpts,
+    store: &CheckpointStore,
+    range: Range<u64>,
+) -> (Vec<Vec<SamplePoint>>, StoreStats) {
+    let img = w.image(LayoutChoice::Optimized);
+    let fp = w.fingerprint(LayoutChoice::Optimized);
+    let mut out = Vec::with_capacity(cells.len());
+    let mut total = StoreStats::default();
+    for group in cells.chunks(batch.max(1)) {
+        let bcells: Vec<BatchCell> = group
+            .iter()
+            .map(|&c| BatchCell { kind: c.engine, pcfg: cell_config(c, opts) })
+            .collect();
+        let mut s =
+            BatchSampler::new(img, fp, w.ref_seed(), scfg, store).with_warm_bank(opts.warm_bank);
+        out.extend(s.run_range_points(&bcells, range.clone(), opts.jobs));
+        if std::env::var_os("SFETCH_BATCH_DEBUG").is_some() {
+            let t = s.timing();
+            let wb = s.warm_bank_stats();
+            let (ch, cm) = store.warm_cache_traffic();
+            eprintln!(
+                "    [batch debug] ff {:.3}s warm {:.3}s bank h/m/r {}/{}/{} cache h/m {}/{}",
+                t.ff_ns as f64 / 1e9,
+                t.warm_ns as f64 / 1e9,
+                wb.hits,
+                wb.misses,
+                wb.rejected,
+                ch,
+                cm
+            );
+        }
+        let st = s.stats();
+        total.hits += st.hits;
+        total.misses += st.misses;
+        total.rejected += st.rejected;
+    }
+    (out, total)
+}
+
+/// Runs the whole grid for one workload through the store, returning
+/// per-cell estimates plus the total store traffic. With `--batch N > 1`
+/// the cells ride batched sweeps ([`run_cells_batched`]); otherwise cell
+/// by cell. Either way the points are bit-identical.
 pub fn run_sampled_grid(
     w: &Workload,
     cells: &[GridCell],
@@ -266,6 +319,18 @@ pub fn run_sampled_grid(
     store: &CheckpointStore,
 ) -> (Vec<CellRun>, StoreStats) {
     let windows = scfg.windows(total_insts);
+    if opts.batch > 1 {
+        let (per_cell, total) = run_cells_batched(w, cells, opts.batch, scfg, opts, store, 0..windows);
+        let runs = cells
+            .iter()
+            .zip(per_cell)
+            .map(|(&cell, points)| {
+                let estimate = estimate(&points, scfg.confidence);
+                CellRun { cell, points, estimate }
+            })
+            .collect();
+        return (runs, total);
+    }
     let mut total = StoreStats::default();
     let runs = cells
         .iter()
@@ -437,9 +502,7 @@ pub fn shard_file_text(
     ));
     out.push_str(" \"points\": [\n");
     let mut first = true;
-    for (cell_idx, range) in grid_shard_items(grid.len(), windows, shard) {
-        let cell = grid[cell_idx];
-        let (pts, _) = run_cell_range(w, cell, scfg, opts, store, range);
+    let mut emit = |cell: GridCell, pts: Vec<SamplePoint>, out: &mut String| {
         for p in pts {
             if !first {
                 out.push_str(",\n");
@@ -448,6 +511,32 @@ pub fn shard_file_text(
             out.push_str("  ");
             out.push_str(&point_line(cell, &p));
         }
+    };
+    let items = grid_shard_items(grid.len(), windows, shard);
+    let mut i = 0;
+    while i < items.len() {
+        let range = items[i].1.clone();
+        // Consecutive cells sharing the same window range ride one
+        // batched sweep (`--batch N`); a lone or range-split item runs
+        // the classic per-cell path. Output order and bytes are
+        // identical either way.
+        let mut j = i + 1;
+        while opts.batch > 1 && j < items.len() && j - i < opts.batch && items[j].1 == range {
+            j += 1;
+        }
+        if j - i > 1 {
+            let group: Vec<GridCell> = items[i..j].iter().map(|&(ci, _)| grid[ci]).collect();
+            let (per_cell, _) =
+                run_cells_batched(w, &group, opts.batch, scfg, opts, store, range);
+            for (&cell, pts) in group.iter().zip(per_cell) {
+                emit(cell, pts, &mut out);
+            }
+        } else {
+            let cell = grid[items[i].0];
+            let (pts, _) = run_cell_range(w, cell, scfg, opts, store, range);
+            emit(cell, pts, &mut out);
+        }
+        i = j;
     }
     out.push_str("\n]}\n");
     out

@@ -180,6 +180,18 @@ pub struct HarnessOpts {
     /// the functional-warming walk. Results are bit-identical with the
     /// bank on or off; only host time changes. Off by default.
     pub warm_bank: bool,
+    /// Grid cells driven per shared functional sweep (`--batch N`): the
+    /// sampled grids batch up to `N` same-window cells through one
+    /// recorded executor walk ([`sfetch_sample::BatchSampler`]).
+    /// Results are bit-identical for any value — batching, like
+    /// `--warm-bank` and `--jobs`, is a host-time knob. Default 1 (the
+    /// per-window path).
+    pub batch: usize,
+    /// Byte cap on the checkpoint store (`--store-cap-bytes N`): saves
+    /// evict least-recently-accessed unleased entries past the cap,
+    /// which later runs recompute transparently. `None` (default) never
+    /// sheds.
+    pub store_cap_bytes: Option<u64>,
 }
 
 impl Default for HarnessOpts {
@@ -198,6 +210,8 @@ impl Default for HarnessOpts {
             front: FrontMode::default(),
             grid_prefetch: GridPrefetchMode::default(),
             warm_bank: false,
+            batch: 1,
+            store_cap_bytes: None,
         }
     }
 }
@@ -207,8 +221,9 @@ impl HarnessOpts {
     /// `--prefetch KIND` (`none|next-line|stream|mana`), `--mshrs N`,
     /// `--long`, `--sample-total N`, `--sample U,Wf,Wd,D`,
     /// `--grid-total N`, `--grid-sample U,Wf,Wd,D[,Wm]`,
-    /// `--front-pipeline legacy|engine` and `--grid-prefetch
-    /// shared|natural` from the process arguments.
+    /// `--front-pipeline legacy|engine`, `--grid-prefetch
+    /// shared|natural`, `--warm-bank`, `--batch N` and
+    /// `--store-cap-bytes N` from the process arguments.
     ///
     /// # Panics
     ///
@@ -318,13 +333,31 @@ impl HarnessOpts {
                     o.warm_bank = true;
                     i += 1;
                 }
+                "--batch" => {
+                    o.batch = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .expect("--batch requires a number >= 1");
+                    i += 2;
+                }
+                "--store-cap-bytes" => {
+                    o.store_cap_bytes = Some(
+                        args.get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &u64| n >= 1)
+                            .expect("--store-cap-bytes requires a number >= 1"),
+                    );
+                    i += 2;
+                }
                 other => {
                     panic!(
                         "unknown argument {other}; supported: --inst N, --warmup N, --jobs N, \
                          --legacy-scan, --prefetch none|next-line|stream|mana, --mshrs N, \
                          --long, --sample-total N, --sample U,Wf,Wd,D, --grid-total N, \
                          --grid-sample U,Wf,Wd,D, --front-pipeline legacy|engine, \
-                         --grid-prefetch shared|natural, --warm-bank"
+                         --grid-prefetch shared|natural, --warm-bank, --batch N, \
+                         --store-cap-bytes N"
                     )
                 }
             }

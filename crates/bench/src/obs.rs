@@ -25,8 +25,9 @@ use std::path::PathBuf;
 use sfetch_core::{CycleBuckets, Observer, Processor, ProcessorConfig, SimStats};
 use sfetch_fetch::EngineKind;
 use sfetch_isa::Addr;
-use sfetch_obs::{KonataTrace, TimeSeriesSink};
-use sfetch_sample::{CheckpointStore, SampleConfig, StoredSampler};
+use sfetch_obs::jsonl::str_array;
+use sfetch_obs::{JsonlFile, KonataTrace, Row, TimeSeriesSink};
+use sfetch_sample::{BatchCell, BatchSampler, CheckpointStore, SampleConfig, StoredSampler};
 use sfetch_workloads::{LayoutChoice, Workload};
 
 use crate::grid::{cell_config, engine_key, GridCell};
@@ -194,6 +195,15 @@ pub fn capture_ptrace(
 /// `ptrace_<engine>.kanata` pipeline trace per engine at the widest
 /// configuration. No-op when `--obs-dir` was not given.
 ///
+/// The side pass honours `--batch N`: cells are swept in groups of `N`,
+/// each group's windows driven by one [`BatchSampler`] over the shared
+/// functional reference stream, and `batches.jsonl` records which time
+/// series came out of which sweep (per-batch attribution). Because the
+/// batched sweep is bit-identical to the per-window [`StoredSampler`]
+/// path (the tier-1 differential oracle), the emitted rows are the same
+/// bytes at any batch size — only the attribution manifest and the wall
+/// time change.
+///
 /// Every sink is checked on the way out: the time-series totals must
 /// equal the accumulated per-window [`SimStats`] exactly (the
 /// sum-exactness contract the CI smoke leg re-derives from the files).
@@ -211,21 +221,58 @@ pub fn write_sampled_obs(
     let img = w.image(LayoutChoice::Optimized);
     let fp = w.fingerprint(LayoutChoice::Optimized);
     let cols = ts_columns();
-    for &cell in grid {
-        let mut sampler = StoredSampler::new(img, fp, w.ref_seed(), scfg, store);
-        let results =
-            sampler.run_range_stats(cell.engine, cell_config(cell, opts), 0..windows, opts.jobs);
-        let path = dir.join(format!("ts_{}_{}.jsonl", engine_key(cell.engine), cell.width));
-        let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-        let mut sink = TimeSeriesSink::new(file, &cols, TS_KEY, obs.interval)?;
-        let mut agg = SimStats::default();
-        for (_, s) in &results {
-            sink.record(&ts_delta(s))?;
-            agg.accumulate(s);
+    let batch = opts.batch.max(1);
+    let mut manifest = JsonlFile::create(&dir.join("batches.jsonl"))?;
+    for (group, chunk) in grid.chunks(batch).enumerate() {
+        // A singleton group runs the historical per-cell path; larger
+        // groups share one batched sweep. Either way the per-window
+        // stats are identical — the grouping only decides how many
+        // functional reference walks the side pass pays for.
+        let results: Vec<Vec<(sfetch_sample::SamplePoint, SimStats)>> = if chunk.len() > 1 {
+            let cells: Vec<BatchCell> = chunk
+                .iter()
+                .map(|&c| BatchCell { kind: c.engine, pcfg: cell_config(c, opts) })
+                .collect();
+            BatchSampler::new(img, fp, w.ref_seed(), scfg, store)
+                .run_range(&cells, 0..windows, opts.jobs)
+        } else {
+            chunk
+                .iter()
+                .map(|&c| {
+                    StoredSampler::new(img, fp, w.ref_seed(), scfg, store)
+                        .run_range_stats(c.engine, cell_config(c, opts), 0..windows, opts.jobs)
+                })
+                .collect()
+        };
+        let names: Vec<String> = chunk
+            .iter()
+            .map(|c| format!("ts_{}_{}.jsonl", engine_key(c.engine), c.width))
+            .collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        manifest.write_row(
+            Row::new()
+                .u("batch", group as u64)
+                .u("size", chunk.len() as u64)
+                .u("windows", windows)
+                .raw("series", &str_array(&name_refs)),
+        )?;
+        for (name, per_window) in names.iter().zip(&results) {
+            let path = dir.join(name);
+            let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            let mut sink = TimeSeriesSink::new(file, &cols, TS_KEY, obs.interval)?;
+            let mut agg = SimStats::default();
+            for (_, s) in per_window {
+                sink.record(&ts_delta(s))?;
+                agg.accumulate(s);
+            }
+            let totals = sink.finish()?;
+            assert_eq!(totals, ts_delta(&agg), "time-series totals must equal the aggregate");
+            eprintln!(
+                "obs: time series ({} windows, batch {group}) written to {}",
+                per_window.len(),
+                path.display()
+            );
         }
-        let totals = sink.finish()?;
-        assert_eq!(totals, ts_delta(&agg), "time-series totals must equal the aggregate");
-        eprintln!("obs: time series ({} windows) written to {}", results.len(), path.display());
     }
     if let Some(range) = obs.ptrace {
         let width = grid.iter().map(|c| c.width).max().unwrap_or(8);

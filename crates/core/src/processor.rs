@@ -10,7 +10,7 @@ use sfetch_fetch::{
 };
 use sfetch_isa::{Addr, BranchKind, InstClass};
 use sfetch_mem::{MemoryConfig, MemoryHierarchy};
-use sfetch_trace::{DynInst, Executor};
+use sfetch_trace::{DynInst, Executor, OracleSource};
 
 use crate::config::ProcessorConfig;
 use crate::metrics::SimStats;
@@ -72,7 +72,7 @@ pub struct Processor<'a, O: Observer = NullObserver> {
     engine: Box<dyn FetchEngine>,
     mem: MemoryHierarchy,
     image: &'a CodeImage,
-    oracle: Executor<'a>,
+    oracle: OracleSource<'a>,
     pending_oracle: Option<DynInst>,
     rob: VecDeque<RobEntry>,
     next_seq: u64,
@@ -200,6 +200,19 @@ impl<'a> Processor<'a> {
     ) -> Self {
         Processor::with_state_observed(config, engine, image, oracle, mem, NullObserver)
     }
+
+    /// [`Processor::with_state`] over any [`OracleSource`] — the batched
+    /// sampler's entry point, where N cores share one recorded
+    /// functional walk instead of each owning a live [`Executor`].
+    pub fn with_state_source(
+        config: ProcessorConfig,
+        engine: Box<dyn FetchEngine>,
+        image: &'a CodeImage,
+        oracle: OracleSource<'a>,
+        mem: MemoryHierarchy,
+    ) -> Self {
+        Processor::with_source_observed(config, engine, image, oracle, mem, NullObserver)
+    }
 }
 
 impl<'a, O: Observer> Processor<'a, O> {
@@ -212,6 +225,18 @@ impl<'a, O: Observer> Processor<'a, O> {
         engine: Box<dyn FetchEngine>,
         image: &'a CodeImage,
         oracle: Executor<'a>,
+        mem: MemoryHierarchy,
+        obs: O,
+    ) -> Self {
+        Self::with_source_observed(config, engine, image, OracleSource::Live(oracle), mem, obs)
+    }
+
+    /// [`Processor::with_state_observed`] over any [`OracleSource`].
+    pub fn with_source_observed(
+        config: ProcessorConfig,
+        engine: Box<dyn FetchEngine>,
+        image: &'a CodeImage,
+        oracle: OracleSource<'a>,
         mut mem: MemoryHierarchy,
         obs: O,
     ) -> Self {
@@ -817,7 +842,7 @@ impl<'a, O: Observer> Processor<'a, O> {
 
     fn peek_oracle(&mut self) -> DynInst {
         if self.pending_oracle.is_none() {
-            self.pending_oracle = self.oracle.next();
+            self.pending_oracle = self.oracle.next_inst();
         }
         self.pending_oracle.expect("executor is infinite")
     }

@@ -33,10 +33,11 @@
 //! stale cells are unreachable rather than merely discouraged, the same
 //! policy the checkpoint store applies to its entries.
 
-use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+use sfetch_tab::OpenMap;
 
 use crate::cell::CellId;
 use crate::error::FleetError;
@@ -118,7 +119,14 @@ struct CellRecord {
 pub struct Ledger {
     path: PathBuf,
     file: File,
-    cells: BTreeMap<CellId, CellRecord>,
+    /// Open-addressed record table — `state`/`record_mut` lookups land
+    /// once per supervisor poll per cell. Iteration-order determinism
+    /// lives in `order`, not the table.
+    cells: OpenMap<CellId, CellRecord>,
+    /// The opened cell set in sorted order: `cells()`, `next_claimable`
+    /// and the final report all walk this, so claiming stays
+    /// reproducible run to run.
+    order: Vec<CellId>,
 }
 
 /// Minimal JSON string escaping for the few free-text fields (error
@@ -209,7 +217,7 @@ impl Ledger {
     ) -> Result<(Self, ResumeSummary), FleetError> {
         let path = path.into();
         let mut summary = ResumeSummary::default();
-        let mut replayed: BTreeMap<CellId, CellRecord> = BTreeMap::new();
+        let mut replayed: OpenMap<CellId, CellRecord> = OpenMap::new();
 
         let existing = match std::fs::read_to_string(&path) {
             Ok(text) => Some(text),
@@ -259,8 +267,11 @@ impl Ledger {
         }
 
         // Resolve the requested cell set against the replayed state.
-        let mut resolved = BTreeMap::new();
-        for cell in cells {
+        let mut order: Vec<CellId> = cells.to_vec();
+        order.sort();
+        order.dedup();
+        let mut resolved: OpenMap<CellId, CellRecord> = OpenMap::with_capacity(order.len());
+        for cell in &order {
             let mut rec = replayed.remove(cell).unwrap_or(CellRecord {
                 state: CellState::Pending { attempts: 0, not_before_ms: 0 },
                 out: None,
@@ -296,10 +307,10 @@ impl Ledger {
             resolved.insert(cell.clone(), rec);
         }
 
-        Ok((Ledger { path, file, cells: resolved }, summary))
+        Ok((Ledger { path, file, cells: resolved, order }, summary))
     }
 
-    fn replay_line(line: &str, map: &mut BTreeMap<CellId, CellRecord>) -> Result<(), String> {
+    fn replay_line(line: &str, map: &mut OpenMap<CellId, CellRecord>) -> Result<(), String> {
         let ev = field_str(line, "ev").ok_or("missing \"ev\" field")?;
         if ev == "open" {
             return Ok(()); // A re-opened ledger re-appends nothing; ignore.
@@ -307,11 +318,14 @@ impl Ledger {
         let cell_s = field_str(line, "cell").ok_or("missing \"cell\" field")?;
         let cell = CellId::parse(cell_s)?;
         let need = |k: &str| field_u64(line, k).ok_or_else(|| format!("missing \"{k}\" field"));
-        let rec = map.entry(cell).or_insert(CellRecord {
-            state: CellState::Pending { attempts: 0, not_before_ms: 0 },
-            out: None,
-            text: None,
-        });
+        let rec = map.entry_or_insert(
+            cell,
+            CellRecord {
+                state: CellState::Pending { attempts: 0, not_before_ms: 0 },
+                out: None,
+                text: None,
+            },
+        );
         match ev {
             "lease" => {
                 rec.state = CellState::Leased {
@@ -381,9 +395,9 @@ impl Ledger {
             .ok_or_else(|| FleetError::UnknownCell(cell.to_string()))
     }
 
-    /// All cells in the opened set, in deterministic order.
+    /// All cells in the opened set, in deterministic (sorted) order.
     pub fn cells(&self) -> impl Iterator<Item = &CellId> {
-        self.cells.keys()
+        self.order.iter()
     }
 
     /// The verified output text of a `Done` cell (available for cells
@@ -396,14 +410,16 @@ impl Ledger {
     /// backoff, or a lease that expired in-run. Deterministic
     /// (cell order) so runs are reproducible.
     pub fn next_claimable(&self, now_ms: u64) -> Option<CellId> {
-        self.cells
+        self.order
             .iter()
-            .find(|(_, r)| match r.state {
-                CellState::Pending { not_before_ms, .. } => not_before_ms <= now_ms,
-                CellState::Leased { deadline_ms, .. } => deadline_ms <= now_ms,
-                _ => false,
+            .find(|c| {
+                match self.cells.get(*c).map(|r| &r.state) {
+                    Some(CellState::Pending { not_before_ms, .. }) => *not_before_ms <= now_ms,
+                    Some(CellState::Leased { deadline_ms, .. }) => *deadline_ms <= now_ms,
+                    _ => false,
+                }
             })
-            .map(|(c, _)| c.clone())
+            .cloned()
     }
 
     /// The earliest future wall-clock ms at which a currently

@@ -71,7 +71,7 @@ pub use heartbeat::HeartbeatGuard;
 pub use ledger::{CellState, Ledger, ResumeSummary, LEDGER_SCHEMA};
 pub use supervisor::{
     run_fleet, run_fleet_notify, CellDone, FleetConfig, FleetReport, Launcher, PollResult,
-    ProcessLauncher, WorkerHandle,
+    ProcessGroupLauncher, ProcessLauncher, WorkerHandle,
 };
 pub use trailer::{fnv64, seal, unseal, TrailerError};
 

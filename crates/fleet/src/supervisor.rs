@@ -73,6 +73,13 @@ pub struct FleetConfig {
     /// daemon's event history stays bounded at ~2× the cap. `0`
     /// disables rotation.
     pub events_cap_bytes: u64,
+    /// Maximum **compatible** cells leased to one worker as a group
+    /// (`1` = classic per-cell leasing). Cells are compatible when they
+    /// cover the same window range, so one worker can drive them all
+    /// from a single shared sweep (`--batch`). Each cell of a group
+    /// still completes or fails individually on the ledger; a worker
+    /// crash/timeout charges every cell it was leased.
+    pub group: usize,
 }
 
 impl FleetConfig {
@@ -90,6 +97,7 @@ impl FleetConfig {
             poll_ms: 25,
             req: String::new(),
             events_cap_bytes: 8 << 20,
+            group: 1,
         }
     }
 }
@@ -138,6 +146,36 @@ pub trait Launcher {
         out: &Path,
         heartbeat: &Path,
     ) -> Result<Self::Handle, FleetError>;
+
+    /// Starts **one** worker covering a whole compatible cell group
+    /// (same window range), writing one sealed output file per cell.
+    /// The default delegates singleton groups to [`Launcher::launch`]
+    /// and rejects larger ones — a launcher must opt in to group
+    /// execution before [`FleetConfig::group`] may exceed 1.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Spawn`] when the worker cannot be started (or the
+    /// launcher does not support groups).
+    fn launch_group(
+        &self,
+        cells: &[CellId],
+        attempts: &[u32],
+        outs: &[PathBuf],
+        heartbeat: &Path,
+    ) -> Result<Self::Handle, FleetError> {
+        if let ([cell], [attempt], [out]) = (cells, attempts, outs) {
+            self.launch(cell, *attempt, out, heartbeat)
+        } else {
+            Err(FleetError::Spawn {
+                cell: cells.first().map(CellId::to_string).unwrap_or_default(),
+                err: format!(
+                    "launcher cannot run a {}-cell group (needs FleetConfig::group = 1)",
+                    cells.len()
+                ),
+            })
+        }
+    }
 }
 
 /// [`Launcher`] over real OS processes: a closure builds the
@@ -193,6 +231,55 @@ impl<F: Fn(&CellId, u32, &Path, &Path) -> Command> Launcher for ProcessLauncher<
         let child = cmd
             .spawn()
             .map_err(|e| FleetError::Spawn { cell: cell.to_string(), err: e.to_string() })?;
+        Ok(ProcessHandle { child })
+    }
+}
+
+/// [`Launcher`] over real OS processes with **group** support: a
+/// closure builds the `Command` for each (cell group, attempts, out
+/// files, heartbeat). Singleton groups go through the same closure, so
+/// the per-cell and grouped paths can never drift.
+pub struct ProcessGroupLauncher<F: Fn(&[CellId], &[u32], &[PathBuf], &Path) -> Command> {
+    build: F,
+}
+
+impl<F: Fn(&[CellId], &[u32], &[PathBuf], &Path) -> Command> ProcessGroupLauncher<F> {
+    /// Wraps the group command builder.
+    pub fn new(build: F) -> Self {
+        ProcessGroupLauncher { build }
+    }
+}
+
+impl<F: Fn(&[CellId], &[u32], &[PathBuf], &Path) -> Command> Launcher for ProcessGroupLauncher<F> {
+    type Handle = ProcessHandle;
+
+    fn launch(
+        &self,
+        cell: &CellId,
+        attempt: u32,
+        out: &Path,
+        heartbeat: &Path,
+    ) -> Result<ProcessHandle, FleetError> {
+        self.launch_group(
+            std::slice::from_ref(cell),
+            &[attempt],
+            std::slice::from_ref(&out.to_path_buf()),
+            heartbeat,
+        )
+    }
+
+    fn launch_group(
+        &self,
+        cells: &[CellId],
+        attempts: &[u32],
+        outs: &[PathBuf],
+        heartbeat: &Path,
+    ) -> Result<ProcessHandle, FleetError> {
+        let mut cmd = (self.build)(cells, attempts, outs, heartbeat);
+        let child = cmd.spawn().map_err(|e| FleetError::Spawn {
+            cell: cells.first().map(CellId::to_string).unwrap_or_default(),
+            err: e.to_string(),
+        })?;
         Ok(ProcessHandle { child })
     }
 }
@@ -354,13 +441,43 @@ impl EventLog {
 }
 
 struct Active<H> {
-    cell: CellId,
+    /// The leased group: one cell in classic mode, up to
+    /// [`FleetConfig::group`] compatible cells under group leasing.
+    cells: Vec<CellId>,
+    /// Per-cell sealed output paths, parallel to `cells`.
+    outs: Vec<PathBuf>,
+    /// Per-cell attempt indices, parallel to `cells`.
+    attempts: Vec<u32>,
     handle: H,
-    out: PathBuf,
     heartbeat: PathBuf,
     started_ms: u64,
     deadline_ms: u64,
-    attempt: u32,
+}
+
+/// The next compatible claimable group at `now`: the first claimable
+/// cell plus up to `max - 1` further claimable cells covering the same
+/// window range (the compatibility a shared batched sweep requires).
+/// Deterministic (ledger cell order).
+fn claim_group(ledger: &Ledger, now: u64, max: usize) -> Vec<CellId> {
+    let Some(first) = ledger.next_claimable(now) else { return Vec::new() };
+    let mut group = vec![first.clone()];
+    for c in ledger.cells() {
+        if group.len() >= max.max(1) {
+            break;
+        }
+        if *c == first || c.lo != first.lo || c.hi != first.hi {
+            continue;
+        }
+        let claimable = match ledger.state(c) {
+            Ok(CellState::Pending { not_before_ms, .. }) => *not_before_ms <= now,
+            Ok(CellState::Leased { deadline_ms, .. }) => *deadline_ms <= now,
+            _ => false,
+        };
+        if claimable {
+            group.push(c.clone());
+        }
+    }
+    group
 }
 
 /// Runs the fleet to quiescence: every cell `Done` or `Failed`.
@@ -492,67 +609,77 @@ pub fn run_fleet_notify<L: Launcher>(
                 PollResult::Exited { success: true, .. } => {
                     let a = active.swap_remove(i);
                     let finished = now_ms();
-                    match std::fs::read_to_string(&a.out) {
-                        Ok(text) => match validate(&text) {
-                            Ok(digest) => {
-                                let dur = finished.saturating_sub(a.started_ms);
-                                let done = CellDone {
-                                    cell: a.cell.clone(),
-                                    text: text.clone(),
-                                    attempts: a.attempt,
-                                    resumed: false,
-                                    dur_ms: dur,
-                                };
-                                ledger.complete(&a.cell, digest, &a.out, dur, text)?;
-                                durations.push(dur);
-                                completed_in_run.push(a.cell.clone());
-                                events.emit(
-                                    EventLog::at("done")
-                                        .s("cell", &a.cell.to_string())
-                                        .u("attempt", u64::from(a.attempt))
-                                        .u("dur_ms", dur),
-                                );
-                                log(&format!(
-                                    "cell {} done in {dur}ms (attempt {})",
-                                    a.cell, a.attempt
-                                ));
-                                notify(&done);
-                            }
-                            Err(why) => charge(
+                    let dur = finished.saturating_sub(a.started_ms);
+                    // One wall-clock observation per worker (the group
+                    // shares a sweep; its cells did not take `dur` each).
+                    durations.push(dur);
+                    // Each cell of the group stands on its own output:
+                    // a bad file charges that cell only.
+                    for ((cell, out), attempt) in
+                        a.cells.iter().zip(&a.outs).zip(a.attempts.iter().copied())
+                    {
+                        match std::fs::read_to_string(out) {
+                            Ok(text) => match validate(&text) {
+                                Ok(digest) => {
+                                    let done = CellDone {
+                                        cell: cell.clone(),
+                                        text: text.clone(),
+                                        attempts: attempt,
+                                        resumed: false,
+                                        dur_ms: dur,
+                                    };
+                                    ledger.complete(cell, digest, out, dur, text)?;
+                                    completed_in_run.push(cell.clone());
+                                    events.emit(
+                                        EventLog::at("done")
+                                            .s("cell", &cell.to_string())
+                                            .u("attempt", u64::from(attempt))
+                                            .u("dur_ms", dur),
+                                    );
+                                    log(&format!(
+                                        "cell {cell} done in {dur}ms (attempt {attempt})"
+                                    ));
+                                    notify(&done);
+                                }
+                                Err(why) => charge(
+                                    ledger,
+                                    cell,
+                                    attempt,
+                                    &format!("output rejected: {why}"),
+                                    &mut retries,
+                                    &mut events,
+                                    log,
+                                )?,
+                            },
+                            Err(e) => charge(
                                 ledger,
-                                &a.cell,
-                                a.attempt,
-                                &format!("output rejected: {why}"),
+                                cell,
+                                attempt,
+                                &format!("no output file: {e}"),
                                 &mut retries,
                                 &mut events,
                                 log,
                             )?,
-                        },
-                        Err(e) => charge(
-                            ledger,
-                            &a.cell,
-                            a.attempt,
-                            &format!("no output file: {e}"),
-                            &mut retries,
-                            &mut events,
-                            log,
-                        )?,
+                        }
                     }
                     continue;
                 }
                 PollResult::Exited { success: false, detail } => {
                     // Exit status wins even if a parseable file exists:
-                    // the worker itself reported failure.
+                    // the worker itself reported failure. A group worker
+                    // failing charges **every** cell it was leased.
                     let a = active.swap_remove(i);
-                    charge(
-                        ledger,
-                        &a.cell,
-                        a.attempt,
-                        &format!("worker exited abnormally ({detail})"),
-                        &mut retries,
-                        &mut events,
-                        log,
-                    )?;
+                    for (cell, attempt) in a.cells.iter().zip(a.attempts.iter().copied()) {
+                        charge(
+                            ledger,
+                            cell,
+                            attempt,
+                            &format!("worker exited abnormally ({detail})"),
+                            &mut retries,
+                            &mut events,
+                            log,
+                        )?;
+                    }
                     continue;
                 }
                 PollResult::Running => {
@@ -573,14 +700,16 @@ pub fn run_fleet_notify<L: Launcher>(
                         let mut a = active.swap_remove(i);
                         a.handle.kill();
                         kills += 1;
-                        events.emit(
-                            EventLog::at("kill")
-                                .s("cell", &a.cell.to_string())
-                                .u("attempt", u64::from(a.attempt))
-                                .b("heartbeat_stale", stale)
-                                .s("why", &why),
-                        );
-                        charge(ledger, &a.cell, a.attempt, &why, &mut retries, &mut events, log)?;
+                        for (cell, attempt) in a.cells.iter().zip(a.attempts.iter().copied()) {
+                            events.emit(
+                                EventLog::at("kill")
+                                    .s("cell", &cell.to_string())
+                                    .u("attempt", u64::from(attempt))
+                                    .b("heartbeat_stale", stale)
+                                    .s("why", &why),
+                            );
+                            charge(ledger, cell, attempt, &why, &mut retries, &mut events, log)?;
+                        }
                         continue;
                     }
                 }
@@ -590,43 +719,58 @@ pub fn run_fleet_notify<L: Launcher>(
 
         // ---- Launch: fill the pool from the ledger. ----------------
         while active.len() < cfg.procs {
-            let Some(cell) = ledger.next_claimable(now) else { break };
+            let group = claim_group(ledger, now, cfg.group);
+            if group.is_empty() {
+                break;
+            }
             let timeout = cell_timeout_ms(cfg, &durations);
-            let attempt_hint = match ledger.state(&cell)? {
-                CellState::Pending { attempts, .. } => *attempts,
-                CellState::Leased { attempt, .. } => *attempt,
-                _ => 0,
-            };
-            let stem = cell.file_stem();
-            let out = work_dir.join(format!("{stem}.cell.json"));
-            let heartbeat = work_dir.join(format!("{stem}.hb"));
+            let mut attempt_hints = Vec::with_capacity(group.len());
+            let mut outs = Vec::with_capacity(group.len());
+            for cell in &group {
+                attempt_hints.push(match ledger.state(cell)? {
+                    CellState::Pending { attempts, .. } => *attempts,
+                    CellState::Leased { attempt, .. } => *attempt,
+                    _ => 0,
+                });
+                outs.push(work_dir.join(format!("{}.cell.json", cell.file_stem())));
+            }
+            let heartbeat = work_dir.join(format!("{}.hb", group[0].file_stem()));
             // A fresh attempt must not inherit a stale heartbeat mtime
             // or a previous attempt's output.
             let _ = std::fs::remove_file(&heartbeat);
-            let _ = std::fs::remove_file(&out);
-            let handle = launcher.launch(&cell, attempt_hint, &out, &heartbeat)?;
+            for out in &outs {
+                let _ = std::fs::remove_file(out);
+            }
+            let handle = launcher.launch_group(&group, &attempt_hints, &outs, &heartbeat)?;
             let deadline = now + timeout;
-            let attempt = ledger.lease(&cell, handle.worker_id(), deadline, now)?;
+            let mut attempts = Vec::with_capacity(group.len());
+            for cell in &group {
+                let attempt = ledger.lease(cell, handle.worker_id(), deadline, now)?;
+                events.emit(
+                    EventLog::at("lease")
+                        .s("cell", &cell.to_string())
+                        .u("worker", handle.worker_id())
+                        .u("attempt", u64::from(attempt))
+                        .u("timeout_ms", timeout)
+                        .u("group", group.len() as u64),
+                );
+                log(&format!(
+                    "cell {cell}: leased to worker {} (attempt {attempt}, timeout {timeout}ms\
+                     {})",
+                    handle.worker_id(),
+                    if group.len() > 1 { format!(", group of {}", group.len()) } else { String::new() }
+                ));
+                attempts.push(attempt);
+            }
             spawned += 1;
-            events.emit(
-                EventLog::at("lease")
-                    .s("cell", &cell.to_string())
-                    .u("worker", handle.worker_id())
-                    .u("attempt", u64::from(attempt))
-                    .u("timeout_ms", timeout),
-            );
-            log(&format!(
-                "cell {cell}: leased to worker {} (attempt {attempt}, timeout {timeout}ms)",
-                handle.worker_id()
-            ));
             active.push(Active {
-                cell,
+                cells: group,
+                outs,
+                attempts,
                 handle,
-                out,
                 heartbeat,
                 started_ms: now,
                 deadline_ms: deadline,
-                attempt,
             });
         }
 
@@ -937,6 +1081,136 @@ mod tests {
             vec![(cells[0].clone(), true), (cells[1].clone(), true)],
             "resumed cells streamed in cell order"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Group-capable scripted launcher: one "worker" writes every out
+    /// file of its group; a scripted group index fails instead.
+    struct TestGroupLauncher {
+        fail_spawn_index: Option<u64>,
+        launches: RefCell<Vec<usize>>,
+    }
+
+    impl Launcher for TestGroupLauncher {
+        type Handle = TestHandle;
+        fn launch(
+            &self,
+            cell: &CellId,
+            attempt: u32,
+            out: &Path,
+            hb: &Path,
+        ) -> Result<TestHandle, FleetError> {
+            self.launch_group(
+                std::slice::from_ref(cell),
+                &[attempt],
+                std::slice::from_ref(&out.to_path_buf()),
+                hb,
+            )
+        }
+        fn launch_group(
+            &self,
+            cells: &[CellId],
+            _attempts: &[u32],
+            outs: &[PathBuf],
+            _hb: &Path,
+        ) -> Result<TestHandle, FleetError> {
+            let n = {
+                let mut l = self.launches.borrow_mut();
+                l.push(cells.len());
+                l.len() as u64
+            };
+            if self.fail_spawn_index == Some(n) {
+                // Worker dies without writing anything.
+                return Ok(TestHandle {
+                    result: Some(PollResult::Exited { success: false, detail: "exit 9".into() }),
+                    id: 2000 + n,
+                });
+            }
+            for (cell, out) in cells.iter().zip(outs) {
+                std::fs::write(out, format!("OUT {cell}\n")).expect("write out");
+            }
+            Ok(TestHandle {
+                result: Some(PollResult::Exited { success: true, detail: "ok".into() }),
+                id: 2000 + n,
+            })
+        }
+    }
+
+    #[test]
+    fn group_leasing_runs_compatible_cells_on_one_worker() {
+        // Four cells over the same window range: with group = 2 they
+        // ride two workers, not four, and all complete individually.
+        let cells = vec![
+            CellId::new("a", 2, 0, 4),
+            CellId::new("a", 4, 0, 4),
+            CellId::new("a", 8, 0, 4),
+            CellId::new("b", 4, 0, 4),
+        ];
+        let (mut ledger, resume, dir) = setup("group", &cells);
+        let mut cfg = fast_cfg();
+        cfg.procs = 1;
+        cfg.group = 2;
+        let launcher = TestGroupLauncher { fail_spawn_index: None, launches: RefCell::new(vec![]) };
+        let report =
+            run_fleet(&cfg, &mut ledger, &launcher, &validate_out, resume, &mut |_msg| {})
+                .expect("run_fleet");
+        assert_eq!(report.done.len(), 4);
+        assert!(report.incomplete.is_empty());
+        assert_eq!(report.spawned, 2, "two 2-cell groups, not four singleton workers");
+        assert_eq!(*launcher.launches.borrow(), vec![2, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incompatible_ranges_never_share_a_group() {
+        // Different window ranges cannot share one sweep: each cell
+        // must ride its own worker even under group leasing.
+        let cells = vec![CellId::new("a", 4, 0, 2), CellId::new("a", 4, 2, 4)];
+        let (mut ledger, resume, dir) = setup("group-incompat", &cells);
+        let mut cfg = fast_cfg();
+        cfg.procs = 1;
+        cfg.group = 4;
+        let launcher = TestGroupLauncher { fail_spawn_index: None, launches: RefCell::new(vec![]) };
+        let report =
+            run_fleet(&cfg, &mut ledger, &launcher, &validate_out, resume, &mut |_msg| {})
+                .expect("run_fleet");
+        assert_eq!(report.done.len(), 2);
+        assert_eq!(report.spawned, 2);
+        assert_eq!(*launcher.launches.borrow(), vec![1, 1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_worker_failure_charges_every_leased_cell() {
+        let cells = vec![CellId::new("a", 4, 0, 4), CellId::new("a", 8, 0, 4)];
+        let (mut ledger, resume, dir) = setup("group-fail", &cells);
+        let mut cfg = fast_cfg();
+        cfg.procs = 1;
+        cfg.group = 2;
+        // First (grouped) worker dies; the retries succeed.
+        let launcher =
+            TestGroupLauncher { fail_spawn_index: Some(1), launches: RefCell::new(vec![]) };
+        let report =
+            run_fleet(&cfg, &mut ledger, &launcher, &validate_out, resume, &mut |_msg| {})
+                .expect("run_fleet");
+        assert_eq!(report.done.len(), 2, "both cells recovered on retry");
+        assert_eq!(report.retries, 2, "the group failure charged both cells");
+        assert!(report.done.iter().all(|d| d.attempts == 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_launcher_rejects_groups_beyond_one() {
+        let cells = vec![CellId::new("a", 4, 0, 2), CellId::new("a", 8, 0, 2)];
+        let (mut ledger, resume, dir) = setup("group-reject", &cells);
+        let mut cfg = fast_cfg();
+        cfg.group = 2;
+        // TestLauncher only implements the per-cell hook; asking it for
+        // a 2-cell group is a spawn (infrastructure) error, not a retry.
+        let launcher = TestLauncher { scripts: RefCell::new(HashMap::new()) };
+        let err = run_fleet(&cfg, &mut ledger, &launcher, &validate_out, resume, &mut |_msg| {})
+            .expect_err("group on a non-group launcher must fail loudly");
+        assert!(matches!(err, FleetError::Spawn { .. }));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

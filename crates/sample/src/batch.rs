@@ -1,0 +1,588 @@
+//! **Batched multi-window execution**: one functional sweep drives N
+//! detailed windows.
+//!
+//! The [`crate::StoredSampler`] already removed the fast-forward cost from
+//! the configurations × windows grid, but every *cell* (engine × width)
+//! still re-walks each window's functional-warming span with its own
+//! [`sfetch_trace::Executor`] — once to feed the cache/predictor warming
+//! loop, and implicitly again as the detailed phase's commit oracle. For
+//! the paper's calibration schedule that is `Wf + Wd + D ≈ 910k`
+//! architectural instructions *per cell per window*, and the grid runs 12
+//! cells over the same 4 windows: ~92 % of grid host time is the same
+//! functional walk repeated with different timing models attached.
+//!
+//! [`BatchSampler`] batches the cells that sample the *same* window: the
+//! shared functional reference stream is advanced **once** per window,
+//! and every in-flight detailed window consumes it in lockstep:
+//!
+//! * **engine warming** feeds each `WARM_BATCH`-sized chunk of committed
+//!   records — converted once, while cache-hot — to every replaying
+//!   cell's [`sfetch_fetch::FetchEngine::warm_block`], in the exact
+//!   chunking the per-cell path uses;
+//! * **memory warming** rides the same sweep, once per distinct pipe
+//!   width (cache warming depends only on the width's line geometry,
+//!   never on the engine), and is cloned into each same-width cell;
+//! * the **detailed phase** runs a full per-window [`Processor`] whose
+//!   commit oracle is [`OracleSource::Replay`] over the recorded
+//!   detailed span (`Vec<DynInst>` — only `Wd + D` + the run-ahead
+//!   margin is ever buffered) — no second executor walks the window.
+//!
+//! Bit-identity with the per-window [`crate::StoredSampler`] path is by
+//! construction: the recorded buffer *is* the committed-path sequence a
+//! live executor would produce (the executor is deterministic), the
+//! warming loops consume it in the same order and chunking, and the
+//! processor consumes oracle records identically whether they come from a
+//! live walk or the buffer (asserted by the module tests and the
+//! `tests/tests/batch_identity.rs` differential oracle, including a
+//! proptest over random schedules and cell mixes).
+//!
+//! Warm-state banking composes: banked entries written by this module are
+//! byte-identical to [`crate::StoredSampler`]'s (same post-warm
+//! checkpoint, same serialized engine/memory state), so a bank populated
+//! by either runner is a hit for the other. When *every* cell of a window
+//! restores from the bank, the shared sweep shrinks to the detailed span
+//! (`Wd + D` + oracle margin) — the batch and the bank multiply rather
+//! than merely coexist.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use sfetch_cfg::CodeImage;
+use sfetch_core::{Processor, ProcessorConfig, SimStats};
+use sfetch_fetch::{Checkpoint, CommittedInst, EngineKind, ResolvedBranch};
+use sfetch_isa::wire::{WireReader, WireWriter};
+use sfetch_mem::{MemoryConfig, MemoryHierarchy};
+use sfetch_trace::{DynInst, Executor, OracleSource};
+
+use crate::config::SampleConfig;
+use crate::runner::{committed_record, point_from_stats, SamplePoint, WARM_BATCH};
+use crate::store::{
+    warm_model_digest, CheckpointStore, StoreKey, StoreMiss, StoreStats, StoredSampler, WarmEntry,
+    WarmTiming,
+};
+
+/// Committed-path records the recorder keeps beyond the detailed span:
+/// the processor's oracle runs ahead of commit by at most the in-flight
+/// window (bounded by the reorder buffer) plus the commit-width
+/// overshoot; this pads generously on top of the per-cell ROB maximum.
+const ORACLE_MARGIN: u64 = 1024;
+
+/// One grid cell sharing a batched window sweep: an engine and the
+/// processor configuration it runs under.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchCell {
+    /// Fetch engine under test.
+    pub kind: EngineKind,
+    /// Core configuration (width, ROB, prefetch, front pipeline).
+    pub pcfg: ProcessorConfig,
+}
+
+/// How one cell of one window obtains its warm state.
+enum CellSource {
+    /// Restore from this verified banked entry.
+    Banked(std::sync::Arc<WarmEntry>),
+    /// Replay engine/memory warming from the shared buffer; bank the
+    /// result under the key when one is present.
+    Replay {
+        /// Bank the warming result under this key (banking enabled).
+        bank_to: Option<StoreKey>,
+    },
+}
+
+/// One window's resolved execution plan: where the shared recorder
+/// starts, how much of the sweep is warming, and each cell's source.
+struct WindowPlan<'a> {
+    w: u64,
+    rec: Executor<'a>,
+    /// Recorded instructions that belong to functional warming: `Wf`,
+    /// or `0` when every cell restores from the warm bank (the sweep
+    /// then starts at the post-warm checkpoint).
+    warm_span: u64,
+    sources: Vec<CellSource>,
+}
+
+/// The batched multi-window runner (see the module docs).
+///
+/// Owns a [`StoredSampler`] for architectural-checkpoint resolution, so
+/// checkpoint-store traffic, reuse, and on-miss population behave
+/// exactly as in the per-window path.
+pub struct BatchSampler<'a> {
+    image: &'a CodeImage,
+    fingerprint: u64,
+    seed: u64,
+    scfg: SampleConfig,
+    store: &'a CheckpointStore,
+    inner: StoredSampler<'a>,
+    warm_bank: bool,
+    warm_stats: StoreStats,
+    timing: WarmTiming,
+}
+
+impl<'a> BatchSampler<'a> {
+    /// Creates a batched runner for the trace `(image, seed)` registered
+    /// in the store under `fingerprint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scfg` fails [`SampleConfig::validate`].
+    pub fn new(
+        image: &'a CodeImage,
+        fingerprint: u64,
+        seed: u64,
+        scfg: SampleConfig,
+        store: &'a CheckpointStore,
+    ) -> Self {
+        scfg.validate();
+        BatchSampler {
+            image,
+            fingerprint,
+            seed,
+            scfg,
+            store,
+            inner: StoredSampler::new(image, fingerprint, seed, scfg, store),
+            warm_bank: false,
+            warm_stats: StoreStats::default(),
+            timing: WarmTiming::default(),
+        }
+    }
+
+    /// Enables (or disables) warm-engine-state banking, exactly as
+    /// [`StoredSampler::with_warm_bank`] — banked entries are
+    /// interchangeable between the two runners.
+    pub fn with_warm_bank(mut self, on: bool) -> Self {
+        self.warm_bank = on;
+        self
+    }
+
+    /// Checkpoint-store traffic accumulated so far.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    /// Warm-state bank traffic accumulated so far (one probe per cell
+    /// per window when banking is on).
+    pub fn warm_bank_stats(&self) -> StoreStats {
+        self.warm_stats
+    }
+
+    /// Host-time breakdown accumulated so far. `warm_ns` covers the
+    /// shared recording sweep plus all per-cell warming/restores.
+    pub fn timing(&self) -> WarmTiming {
+        self.timing
+    }
+
+    /// Runs windows `range` for every cell with up to `jobs` in-flight
+    /// window sweeps, returning `[cell][window]`-indexed results in the
+    /// order of `cells` and of the range. Bit-identical to running each
+    /// cell through [`StoredSampler::run_range_stats`], for any `jobs`
+    /// and any banking state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty.
+    pub fn run_range(
+        &mut self,
+        cells: &[BatchCell],
+        range: Range<u64>,
+        jobs: usize,
+    ) -> Vec<Vec<(SamplePoint, SimStats)>> {
+        assert!(!cells.is_empty(), "batch needs at least one cell");
+        let jobs = jobs.max(1);
+        let models: Vec<u64> =
+            cells.iter().map(|c| warm_model_digest(c.kind, &c.pcfg, &self.scfg)).collect();
+        let windows = (range.end.saturating_sub(range.start)) as usize;
+        let mut out: Vec<Vec<(SamplePoint, SimStats)>> =
+            cells.iter().map(|_| Vec::with_capacity(windows)).collect();
+        let (image, scfg, store) = (self.image, self.scfg, self.store);
+        let models_ref = &models;
+        let mut w = range.start;
+        while w < range.end {
+            let chunk = (range.end - w).min(jobs as u64);
+            let t0 = Instant::now();
+            let plans: Vec<WindowPlan<'a>> =
+                (w..w + chunk).map(|i| self.resolve_plan(i, models_ref)).collect();
+            self.timing.ff_ns += t0.elapsed().as_nanos() as u64;
+            if jobs == 1 {
+                for plan in plans {
+                    let (rows, ns) = run_batch_window(image, cells, &scfg, store, models_ref, plan);
+                    self.timing.warm_ns += ns;
+                    for (ci, row) in rows.into_iter().enumerate() {
+                        out[ci].push(row);
+                    }
+                }
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = plans
+                        .into_iter()
+                        .map(|plan| {
+                            s.spawn(move || {
+                                run_batch_window(image, cells, &scfg, store, models_ref, plan)
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        let (rows, ns) = h.join().expect("batch window worker");
+                        self.timing.warm_ns += ns;
+                        for (ci, row) in rows.into_iter().enumerate() {
+                            out[ci].push(row);
+                        }
+                    }
+                });
+            }
+            self.timing.windows += chunk;
+            w += chunk;
+        }
+        out
+    }
+
+    /// [`BatchSampler::run_range`] keeping only the sample points.
+    pub fn run_range_points(
+        &mut self,
+        cells: &[BatchCell],
+        range: Range<u64>,
+        jobs: usize,
+    ) -> Vec<Vec<SamplePoint>> {
+        self.run_range(cells, range, jobs)
+            .into_iter()
+            .map(|rows| rows.into_iter().map(|(p, _)| p).collect())
+            .collect()
+    }
+
+    /// Resolves one window's plan, serially: probe the warm bank per
+    /// cell (when banking is on), then position the shared recorder —
+    /// at the post-warm checkpoint when every cell restores, else at
+    /// the warming start via the checkpoint store.
+    fn resolve_plan(&mut self, w: u64, models: &[u64]) -> WindowPlan<'a> {
+        let mut sources = Vec::with_capacity(models.len());
+        if self.warm_bank {
+            let key = StoreKey {
+                fingerprint: self.fingerprint,
+                seed: self.seed,
+                at_inst: self.inner.warming_start(w),
+            };
+            for &model in models {
+                match self.store.load_warm(&key, model) {
+                    Ok(entry) => {
+                        self.warm_stats.hits += 1;
+                        sources.push(CellSource::Banked(entry));
+                    }
+                    Err(StoreMiss::Absent) => {
+                        self.warm_stats.misses += 1;
+                        sources.push(CellSource::Replay { bank_to: Some(key) });
+                    }
+                    Err(StoreMiss::Rejected(_)) => {
+                        self.warm_stats.rejected += 1;
+                        sources.push(CellSource::Replay { bank_to: Some(key) });
+                    }
+                }
+            }
+        } else {
+            sources.extend(models.iter().map(|_| CellSource::Replay { bank_to: None }));
+        }
+        // All banked entries of one window carry the same architectural
+        // checkpoint (the functional state after Wf does not depend on
+        // the timing model), so any of them can seat the recorder.
+        let all_banked = sources.iter().all(|s| matches!(s, CellSource::Banked(_)));
+        if all_banked {
+            let first = sources
+                .iter()
+                .find_map(|s| match s {
+                    CellSource::Banked(e) => Some(e),
+                    CellSource::Replay { .. } => None,
+                })
+                .expect("non-empty cell set");
+            let rec = Executor::from_checkpoint(self.image, &first.ckpt);
+            WindowPlan { w, rec, warm_span: 0, sources }
+        } else {
+            let rec = self.inner.snapshot(w);
+            WindowPlan { w, rec, warm_span: self.scfg.warm_func, sources }
+        }
+    }
+}
+
+/// One window's batched sweep: record the shared committed-path buffer
+/// once, warm memory once per width, then warm/restore + measure every
+/// cell against the buffer. Returns per-cell results in cell order plus
+/// the nanoseconds spent outside measurement (recording + warming).
+fn run_batch_window<'a>(
+    image: &'a CodeImage,
+    cells: &[BatchCell],
+    scfg: &SampleConfig,
+    store: &CheckpointStore,
+    models: &[u64],
+    plan: WindowPlan<'a>,
+) -> (Vec<(SamplePoint, SimStats)>, u64) {
+    let WindowPlan { w, mut rec, warm_span, sources } = plan;
+    let mut warm_ns = 0u64;
+    let t0 = Instant::now();
+
+    // Replay cells warm in lockstep with the single recording sweep:
+    // every `WARM_BATCH` chunk of committed records is converted once
+    // and fed to all replaying engines while it is still cache-hot. The
+    // alternative — buffering the whole warming span and letting each
+    // cell re-scan it — reads a window-sized record buffer from DRAM
+    // once per cell, which costs more than the executor walks it saves.
+    // Engines never share state, so the interleaving is bit-identical
+    // to warming each cell to completion in turn.
+    let warm_pc = rec.pc();
+    let mut engines: Vec<Option<Box<dyn sfetch_fetch::FetchEngine>>> = cells
+        .iter()
+        .enumerate()
+        .map(|(ci, cell)| {
+            matches!(sources[ci], CellSource::Replay { .. }).then(|| {
+                cell.kind.build_for(cell.pcfg.width, warm_pc, &cell.pcfg.prefetch, &cell.pcfg.front)
+            })
+        })
+        .collect();
+    // Functional memory warming rides the same sweep, once per distinct
+    // width among the replay-warmed cells (cache warming depends only
+    // on the width's line geometry, never on the engine), each with its
+    // own line-dedup cursor. The per-cell loop in `warm_window`
+    // interleaves engine and memory updates, but neither ever reads the
+    // other, so this lands on bit-identical cache state.
+    let mut mems: Vec<(usize, MemoryHierarchy, u64, u64)> = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        if !matches!(sources[ci], CellSource::Replay { .. })
+            || mems.iter().any(|&(width, ..)| width == cell.pcfg.width)
+        {
+            continue;
+        }
+        let mem = MemoryHierarchy::new(MemoryConfig::table2(cell.pcfg.width));
+        let line_bytes = mem.l1i_line_bytes();
+        mems.push((cell.pcfg.width, mem, line_bytes, u64::MAX));
+    }
+    let mem_from = scfg.warm_func - scfg.warm_mem;
+    let mut chunk: Vec<CommittedInst> = Vec::with_capacity(WARM_BATCH);
+    for i in 0..warm_span {
+        let d = rec.next().expect("executor is infinite");
+        if i >= mem_from {
+            for (_, mem, line_bytes, last_line) in &mut mems {
+                let line = d.pc.line_index(*line_bytes);
+                if line != *last_line {
+                    mem.warm_inst(d.pc);
+                    *last_line = line;
+                }
+                if let Some(a) = d.mem_addr {
+                    mem.warm_data(a);
+                }
+            }
+        }
+        chunk.push(committed_record(&d));
+        if chunk.len() == WARM_BATCH {
+            for e in engines.iter_mut().flatten() {
+                e.warm_block(&chunk);
+            }
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        for e in engines.iter_mut().flatten() {
+            e.warm_block(&chunk);
+        }
+    }
+    let needs_bank = sources
+        .iter()
+        .any(|s| matches!(s, CellSource::Replay { bank_to: Some(_) }));
+    // The post-warm architectural checkpoint every banked entry of this
+    // window shares — captured mid-sweep, exactly where the per-window
+    // path's warming executor stops.
+    let ckpt_post_warm = needs_bank.then(|| rec.checkpoint());
+
+    // Only the detailed span + oracle run-ahead margin is recorded as
+    // full committed-path records: it is what the replay oracle needs.
+    let max_rob = cells.iter().map(|c| c.pcfg.rob_entries).max().unwrap_or(0) as u64;
+    let detail_len = scfg.warm_detail + scfg.measure + max_rob + ORACLE_MARGIN;
+    let mut buf: Vec<DynInst> = Vec::with_capacity(detail_len as usize);
+    for _ in 0..detail_len {
+        buf.push(rec.next().expect("executor is infinite"));
+    }
+    warm_ns += t0.elapsed().as_nanos() as u64;
+
+    // Detailed-phase start: the pc of the first post-warm instruction.
+    let start = buf[0].pc;
+    let mut out = Vec::with_capacity(cells.len());
+    for (ci, ((cell, src), &model)) in cells.iter().zip(sources).zip(models).enumerate() {
+        let t1 = Instant::now();
+        let (mut engine, mem) = match src {
+            CellSource::Banked(entry) => {
+                // Same reconstruction discipline as the per-window
+                // path: the entry passed digest checks, so a failure
+                // here is a format bug — fail loudly.
+                let mut engine =
+                    cell.kind.build_for(cell.pcfg.width, start, &cell.pcfg.prefetch, &cell.pcfg.front);
+                engine
+                    .load_warm_state(&entry.engine)
+                    .expect("digest-verified engine warm state must load");
+                let mut mem = MemoryHierarchy::new(MemoryConfig::table2(cell.pcfg.width));
+                let mut r = WireReader::new(&entry.mem);
+                mem.load_warm_wire(&mut r)
+                    .and_then(|()| r.finish())
+                    .expect("digest-verified memory warm state must load");
+                (engine, mem)
+            }
+            CellSource::Replay { bank_to } => {
+                let engine = engines[ci].take().expect("engine warmed for every replay cell");
+                let mem = mems
+                    .iter()
+                    .find(|&&(width, ..)| width == cell.pcfg.width)
+                    .map(|(_, m, ..)| m.clone())
+                    .expect("memory warmed for every replay width");
+                if let Some(key) = bank_to {
+                    if let Some(engine_bytes) = engine.warm_state() {
+                        let mut mw = WireWriter::new();
+                        mem.save_warm_wire(&mut mw);
+                        let entry = WarmEntry {
+                            ckpt: ckpt_post_warm.clone().expect("checkpoint recorded for banking"),
+                            engine: engine_bytes,
+                            mem: mw.into_bytes(),
+                        };
+                        // Best-effort, like every store save.
+                        let _ = store.save_warm(&key, model, &entry);
+                    }
+                }
+                (engine, mem)
+            }
+        };
+        warm_ns += t1.elapsed().as_nanos() as u64;
+        // The detailed phase of `measure_window`, verbatim — except the
+        // commit oracle replays the shared buffer from the post-warm
+        // offset instead of walking a live executor.
+        engine.redirect(
+            0,
+            start,
+            &Checkpoint::default(),
+            &ResolvedBranch { pc: start, kind: None, taken: false, target: start },
+        );
+        let oracle = OracleSource::Replay { buf: &buf, idx: 0 };
+        let mut p = Processor::with_state_source(cell.pcfg, engine, image, oracle, mem);
+        p.run(scfg.warm_detail);
+        p.reset_stats();
+        p.run(scfg.measure);
+        let stats = p.stats();
+        out.push((point_from_stats(w, scfg, &stats), stats));
+    }
+    (out, warm_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+    use sfetch_cfg::layout;
+
+    fn image() -> CodeImage {
+        let cfg = ProgramGenerator::new(GenParams::small(), 17).generate();
+        let lay = layout::natural(&cfg);
+        CodeImage::build(&cfg, &lay)
+    }
+
+    fn tmp_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir()
+            .join(format!("sfetch-batch-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).expect("open store")
+    }
+
+    fn quick_cfg() -> SampleConfig {
+        SampleConfig {
+            interval: 40_000,
+            warm_func: 6_000,
+            warm_mem: 6_000,
+            warm_detail: 1_000,
+            measure: 2_000,
+            ..Default::default()
+        }
+    }
+
+    fn cells() -> Vec<BatchCell> {
+        vec![
+            BatchCell { kind: EngineKind::Stream, pcfg: ProcessorConfig::table2(4) },
+            BatchCell { kind: EngineKind::Ev8, pcfg: ProcessorConfig::table2(4) },
+            BatchCell { kind: EngineKind::Stream, pcfg: ProcessorConfig::table2(8) },
+            BatchCell { kind: EngineKind::Ftb, pcfg: ProcessorConfig::table2(2) },
+        ]
+    }
+
+    /// Per-window oracle: the same cells through `StoredSampler`.
+    fn serial_oracle(
+        img: &CodeImage,
+        store: &CheckpointStore,
+        cells: &[BatchCell],
+        range: std::ops::Range<u64>,
+        warm_bank: bool,
+    ) -> Vec<Vec<(SamplePoint, SimStats)>> {
+        cells
+            .iter()
+            .map(|c| {
+                StoredSampler::new(img, 0xba7c, 7, quick_cfg(), store)
+                    .with_warm_bank(warm_bank)
+                    .run_range_stats(c.kind, c.pcfg, range.clone(), 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_per_window_sampler() {
+        let img = image();
+        let store = tmp_store("identity");
+        let cells = cells();
+        let mut b = BatchSampler::new(&img, 0xba7c, 7, quick_cfg(), &store);
+        let got = b.run_range(&cells, 0..3, 2);
+        let want = serial_oracle(&img, &store, &cells, 0..3, false);
+        assert_eq!(got, want, "batched output must be bit-identical per cell per window");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn batch_with_warm_bank_is_identical_and_hits() {
+        let img = image();
+        let store = tmp_store("bank");
+        let cells = cells();
+        let baseline = serial_oracle(&img, &store, &cells, 0..2, false);
+
+        // First banked run populates: every probe misses.
+        let mut b1 = BatchSampler::new(&img, 0xba7c, 7, quick_cfg(), &store).with_warm_bank(true);
+        let r1 = b1.run_range(&cells, 0..2, 1);
+        assert_eq!(r1, baseline);
+        assert_eq!(b1.warm_bank_stats().hits, 0);
+        assert_eq!(b1.warm_bank_stats().misses, (cells.len() * 2) as u64);
+
+        // Second run restores every cell from the bank (the sweep then
+        // skips the warming span) — still bit-identical.
+        let mut b2 = BatchSampler::new(&img, 0xba7c, 7, quick_cfg(), &store).with_warm_bank(true);
+        let r2 = b2.run_range(&cells, 0..2, 2);
+        assert_eq!(r2, baseline);
+        assert_eq!(b2.warm_bank_stats().hits, (cells.len() * 2) as u64);
+        assert_eq!(b2.warm_bank_stats().misses, 0);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn batch_banked_entries_interoperate_with_stored_sampler() {
+        let img = image();
+        let store = tmp_store("interop");
+        let cells = cells();
+        // Batch populates the bank …
+        let mut b = BatchSampler::new(&img, 0xba7c, 7, quick_cfg(), &store).with_warm_bank(true);
+        let batched = b.run_range(&cells, 0..2, 1);
+        // … and the per-window runner hits it, bit-identically.
+        let mut s =
+            StoredSampler::new(&img, 0xba7c, 7, quick_cfg(), &store).with_warm_bank(true);
+        let serial = s.run_range_stats(cells[0].kind, cells[0].pcfg, 0..2, 1);
+        assert_eq!(batched[0], serial);
+        assert_eq!(s.warm_bank_stats().hits, 2, "per-window runner must hit batch-banked entries");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn single_cell_batch_degenerates_cleanly() {
+        let img = image();
+        let store = tmp_store("single");
+        let cells = vec![BatchCell { kind: EngineKind::TraceCache, pcfg: ProcessorConfig::table2(4) }];
+        let mut b = BatchSampler::new(&img, 0xba7c, 7, quick_cfg(), &store);
+        let got = b.run_range(&cells, 1..3, 1);
+        let want = serial_oracle(&img, &store, &cells, 1..3, false);
+        assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -72,12 +72,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod runner;
 pub mod shard;
 pub mod stats;
 pub mod store;
 
+pub use batch::{BatchCell, BatchSampler};
 pub use config::{Confidence, SampleConfig};
 pub use runner::{
     run_full_detailed, run_sampled, run_sampled_jobs, SamplePoint, SampledRun, Sampler,

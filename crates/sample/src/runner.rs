@@ -14,7 +14,7 @@ use crate::stats::{estimate, Estimate};
 
 /// Committed records handed to [`sfetch_fetch::FetchEngine::warm_block`]
 /// per call during functional warming.
-const WARM_BATCH: usize = 512;
+pub(crate) const WARM_BATCH: usize = 512;
 
 /// One measured sample window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,7 +240,7 @@ fn advance(e: &mut Executor<'_>, n: u64) {
     }
 }
 
-fn committed_record(d: &DynInst) -> CommittedInst {
+pub(crate) fn committed_record(d: &DynInst) -> CommittedInst {
     CommittedInst {
         pc: d.pc,
         control: d.control.map(|c| CommittedControl {

@@ -41,6 +41,7 @@
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use sfetch_cfg::CodeImage;
@@ -110,10 +111,60 @@ pub struct StoreStats {
     pub rejected: u64,
 }
 
+/// Per-store capacity/eviction bookkeeping, shared across clones (one
+/// store directory, one working set).
+#[derive(Debug, Default)]
+struct CapState {
+    /// Entry files this process has read or written: its live working
+    /// set, exempt from eviction by this process.
+    leased: sfetch_tab::OpenMap<PathBuf, ()>,
+    /// Entry files evicted by this process to stay under the cap.
+    evicted: u64,
+}
+
+/// One resident copy of a digest-verified warm entry (see
+/// [`WarmCache`]).
+#[derive(Debug)]
+struct CachedWarm {
+    entry: Arc<WarmEntry>,
+    /// Serialized payload size — the quantity the cache budget bounds.
+    bytes: u64,
+    /// Logical access stamp for least-recently-served eviction.
+    stamp: u64,
+}
+
+/// In-memory read cache of warm entries this process has banked or
+/// digest-verified, shared across clones (one store directory, one
+/// resident working set). Warm entries are content-addressed and
+/// deterministic, so a resident copy never goes stale; on-disk
+/// verification still guards every *first* load and all cross-process
+/// reuse. Keyed by entry path — the path encodes the full
+/// `(key, model)` address.
+#[derive(Debug, Default)]
+struct WarmCache {
+    map: sfetch_tab::OpenMap<PathBuf, CachedWarm>,
+    bytes: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default byte budget of the warm-entry read cache: comfortably holds
+/// a full calibration grid's warm set (12 cells × 4 windows ≈ 75 MB)
+/// without letting a long-lived daemon grow unbounded.
+const WARM_CACHE_DEFAULT_BYTES: u64 = 256 << 20;
+
 /// A directory of verified, content-addressed architectural checkpoints.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     root: PathBuf,
+    /// Byte budget across all entry files; `None` (the default) never
+    /// sheds — the pre-cap behaviour.
+    cap_bytes: Option<u64>,
+    cap: std::sync::Arc<std::sync::Mutex<CapState>>,
+    /// Byte budget of the in-memory warm-entry read cache; `0` disables.
+    warm_cache_bytes: u64,
+    warm_cache: std::sync::Arc<std::sync::Mutex<WarmCache>>,
 }
 
 impl CheckpointStore {
@@ -125,7 +176,186 @@ impl CheckpointStore {
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(CheckpointStore { root })
+        Ok(CheckpointStore {
+            root,
+            cap_bytes: None,
+            cap: Default::default(),
+            warm_cache_bytes: WARM_CACHE_DEFAULT_BYTES,
+            warm_cache: Default::default(),
+        })
+    }
+
+    /// Caps the store's total entry bytes (checkpoints + warm state).
+    /// Every save then evicts least-recently-accessed entries until the
+    /// total fits, **never** evicting entries leased (read or written)
+    /// by this store handle — a capped store sheds cold history, not its
+    /// live working set. Evicted entries are recomputed transparently on
+    /// their next use, byte-identically (all entries are deterministic
+    /// functions of their key). `None` disables shedding.
+    pub fn with_cap_bytes(mut self, cap: Option<u64>) -> Self {
+        self.cap_bytes = cap;
+        self
+    }
+
+    /// The configured byte cap, if any.
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.cap_bytes
+    }
+
+    /// Bounds the in-memory warm-entry read cache (`0` disables it).
+    ///
+    /// Warm entries enter the cache when this handle banks or
+    /// digest-verifies them, so a resident process's resubmissions skip
+    /// the disk read and re-verification entirely; least-recently-served
+    /// entries are dropped first once `bytes` of payload are resident.
+    /// The cache holds only content this handle produced or verified
+    /// (entries are deterministic functions of their address, so a
+    /// resident copy cannot go stale), and cap eviction drops the
+    /// resident copy together with the file.
+    pub fn with_warm_cache_bytes(mut self, bytes: u64) -> Self {
+        self.warm_cache_bytes = bytes;
+        self
+    }
+
+    /// Bytes of warm-entry payload currently resident in the read cache.
+    pub fn warm_cache_resident_bytes(&self) -> u64 {
+        self.warm_cache.lock().expect("warm cache lock").bytes
+    }
+
+    /// Serves the resident copy of the warm entry at `path` (a shared
+    /// handle — no payload is copied), stamping it most-recently-served.
+    fn warm_cache_get(&self, path: &Path) -> Option<Arc<WarmEntry>> {
+        if self.warm_cache_bytes == 0 {
+            return None;
+        }
+        let mut c = self.warm_cache.lock().expect("warm cache lock");
+        c.clock += 1;
+        let stamp = c.clock;
+        let Some(hit) = c.map.get_mut(path) else {
+            c.misses += 1;
+            return None;
+        };
+        hit.stamp = stamp;
+        let entry = Arc::clone(&hit.entry);
+        c.hits += 1;
+        Some(entry)
+    }
+
+    /// Read-cache traffic accumulated so far: `(hits, misses)`.
+    pub fn warm_cache_traffic(&self) -> (u64, u64) {
+        let c = self.warm_cache.lock().expect("warm cache lock");
+        (c.hits, c.misses)
+    }
+
+    /// Admits a banked or freshly verified warm entry (`bytes` of
+    /// serialized payload), shedding least-recently-served entries to
+    /// stay under the budget.
+    fn warm_cache_put(&self, path: &Path, entry: &Arc<WarmEntry>, bytes: u64) {
+        if self.warm_cache_bytes == 0 || bytes > self.warm_cache_bytes {
+            return;
+        }
+        let mut c = self.warm_cache.lock().expect("warm cache lock");
+        c.clock += 1;
+        let stamp = c.clock;
+        let fresh = CachedWarm { entry: Arc::clone(entry), bytes, stamp };
+        if let Some(old) = c.map.insert(path.to_path_buf(), fresh) {
+            c.bytes -= old.bytes;
+        }
+        c.bytes += bytes;
+        while c.bytes > self.warm_cache_bytes {
+            let victim = c.map.iter().min_by_key(|(_, v)| v.stamp).map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            if let Some(v) = c.map.remove(&k) {
+                c.bytes -= v.bytes;
+            }
+        }
+    }
+
+    /// Drops the resident copy of `path`, if any (cap eviction).
+    fn warm_cache_drop(&self, path: &Path) {
+        let mut c = self.warm_cache.lock().expect("warm cache lock");
+        if let Some(v) = c.map.remove(path) {
+            c.bytes -= v.bytes;
+        }
+    }
+
+    /// Entry files this handle evicted to stay under the cap.
+    pub fn evicted(&self) -> u64 {
+        self.cap.lock().expect("cap state lock").evicted
+    }
+
+    /// Total bytes of all entry files (checkpoints + warm state)
+    /// currently in the store — the quantity the cap bounds.
+    pub fn total_bytes(&self) -> u64 {
+        self.scan_entries().iter().map(|e| e.len).sum()
+    }
+
+    /// Marks an entry file as part of this handle's working set.
+    fn lease(&self, path: &Path) {
+        let mut st = self.cap.lock().expect("cap state lock");
+        st.leased.insert(path.to_path_buf(), ());
+    }
+
+    /// Best-effort LRU access stamp: bumps the entry's mtime so cap
+    /// enforcement sees it as recently used. Failure is harmless (the
+    /// entry just keeps its older stamp).
+    fn touch(path: &Path) {
+        if let Ok(f) = std::fs::File::options().append(true).open(path) {
+            let now = std::time::SystemTime::now();
+            let _ = f.set_times(
+                std::fs::FileTimes::new().set_accessed(now).set_modified(now),
+            );
+        }
+    }
+
+    /// All entry files with their sizes and access stamps.
+    fn scan_entries(&self) -> Vec<EntryFile> {
+        let Ok(rd) = std::fs::read_dir(&self.root) else { return Vec::new() };
+        let mut out = Vec::new();
+        for e in rd.flatten() {
+            let path = e.path();
+            let is_entry = path
+                .extension()
+                .is_some_and(|x| x == "sfckpt" || x == "sfwarm");
+            if !is_entry {
+                continue;
+            }
+            let Ok(md) = e.metadata() else { continue };
+            let mtime = md.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            out.push(EntryFile { path, len: md.len(), mtime });
+        }
+        out
+    }
+
+    /// Evicts least-recently-accessed, unleased entry files until the
+    /// store fits its cap. Called after every save; a no-op without one.
+    fn enforce_cap(&self) {
+        let Some(cap) = self.cap_bytes else { return };
+        let mut entries = self.scan_entries();
+        let mut total: u64 = entries.iter().map(|e| e.len).sum();
+        if total <= cap {
+            return;
+        }
+        // Oldest access first; file name breaks stamp ties so eviction
+        // order is deterministic within one mtime granule.
+        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        let mut st = self.cap.lock().expect("cap state lock");
+        for e in entries {
+            if total <= cap {
+                break;
+            }
+            if st.leased.contains_key(&e.path) {
+                continue;
+            }
+            if std::fs::remove_file(&e.path).is_ok() {
+                total -= e.len;
+                st.evicted += 1;
+                // An evicted entry is gone for good: drop the resident
+                // copy too, so the next use recomputes like any other
+                // process would.
+                self.warm_cache_drop(&e.path);
+            }
+        }
     }
 
     /// The store's root directory.
@@ -210,6 +440,8 @@ impl CheckpointStore {
                 cp.seq, key.at_inst
             ));
         }
+        self.lease(&path);
+        Self::touch(&path);
         Ok(cp)
     }
 
@@ -246,7 +478,10 @@ impl CheckpointStore {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(&out)?;
         }
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path)?;
+        self.lease(&path);
+        self.enforce_cap();
+        Ok(())
     }
 
     /// The warm-state entry file a `(key, model digest)` pair addresses.
@@ -281,8 +516,15 @@ impl CheckpointStore {
     ///
     /// [`StoreMiss::Absent`] when no entry exists; [`StoreMiss::Rejected`]
     /// when one exists but fails verification.
-    pub fn load_warm(&self, key: &StoreKey, model: u64) -> Result<WarmEntry, StoreMiss> {
+    pub fn load_warm(&self, key: &StoreKey, model: u64) -> Result<Arc<WarmEntry>, StoreMiss> {
         let path = self.warm_entry_path(key, model);
+        // A resident copy was verified (or produced) by this process;
+        // serve it without touching the disk.
+        if let Some(entry) = self.warm_cache_get(&path) {
+            self.lease(&path);
+            Self::touch(&path);
+            return Ok(entry);
+        }
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(StoreMiss::Absent),
@@ -337,6 +579,10 @@ impl CheckpointStore {
                 entry.ckpt.seq, key.at_inst
             ));
         }
+        let entry = Arc::new(entry);
+        self.warm_cache_put(&path, &entry, payload_len as u64);
+        self.lease(&path);
+        Self::touch(&path);
         Ok(entry)
     }
 
@@ -381,8 +627,21 @@ impl CheckpointStore {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(&out)?;
         }
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path)?;
+        // Write-through: what this process just banked stays resident,
+        // so its own resubmissions never re-read what they wrote.
+        self.warm_cache_put(&path, &Arc::new(entry.clone()), payload.len() as u64);
+        self.lease(&path);
+        self.enforce_cap();
+        Ok(())
     }
+}
+
+/// One entry file as seen by cap enforcement.
+struct EntryFile {
+    path: PathBuf,
+    len: u64,
+    mtime: std::time::SystemTime,
 }
 
 /// Words in a store-entry header (magic, version, fingerprint, seed,
@@ -487,12 +746,15 @@ impl WarmTiming {
 }
 
 /// How one window's warm state will be obtained.
+// One value per window in flight; the size gap vs the `Arc`'d banked
+// variant is irrelevant at that count.
+#[allow(clippy::large_enum_variant)]
 enum WarmSource<'a> {
     /// Warm live from this snapshot; bank the result under the key when
     /// one is present.
     Snapshot(Executor<'a>, Option<StoreKey>),
     /// Restore from this verified banked entry.
-    Banked(WarmEntry),
+    Banked(Arc<WarmEntry>),
 }
 
 impl<'a> StoredSampler<'a> {
@@ -1053,21 +1315,80 @@ mod tests {
         bytes[8..16].copy_from_slice(&(WARM_VERSION + 1).to_le_bytes());
         std::fs::write(&p1, &bytes).expect("rewrite");
 
-        assert!(matches!(store.load_warm(&key0, model), Err(StoreMiss::Rejected(why)) if why.contains("digest")));
-        assert!(matches!(store.load_warm(&key1, model), Err(StoreMiss::Rejected(why)) if why.contains("version")));
+        // On-disk corruption is seen by *other* processes (the handle
+        // that banked the entries rightly keeps serving its verified
+        // resident copies); a fresh handle models that.
+        let seen = CheckpointStore::open(store.root()).expect("reopen store");
+        assert!(matches!(seen.load_warm(&key0, model), Err(StoreMiss::Rejected(why)) if why.contains("digest")));
+        assert!(matches!(seen.load_warm(&key1, model), Err(StoreMiss::Rejected(why)) if why.contains("version")));
 
-        let mut again = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let mut again = StoredSampler::new(&img, fp, 7, scfg, &seen).with_warm_bank(true);
         let got = again.run_range(EngineKind::Ftb, pcfg, 0..2, 1);
         assert_eq!(want, got, "rejected entries must recompute bit-identically");
         assert_eq!(again.warm_bank_stats().rejected, 2);
         assert_eq!(again.warm_bank_stats().hits, 0);
 
         // The recompute re-banked verified entries.
-        assert!(store.load_warm(&key0, model).is_ok());
-        assert!(store.load_warm(&key1, model).is_ok());
-        let mut third = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let repaired = CheckpointStore::open(store.root()).expect("reopen store");
+        assert!(repaired.load_warm(&key0, model).is_ok());
+        assert!(repaired.load_warm(&key1, model).is_ok());
+        let mut third = StoredSampler::new(&img, fp, 7, scfg, &repaired).with_warm_bank(true);
         let _ = third.run_range(EngineKind::Ftb, pcfg, 0..2, 1);
         assert_eq!(third.warm_bank_stats().hits, 2, "repaired bank serves the next run");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// The write-through read cache serves the banking process's own
+    /// entries without disk reads, stays byte-identical, respects its
+    /// budget LRU, and never outlives cap eviction.
+    #[test]
+    fn warm_cache_serves_resident_entries_and_respects_budget() {
+        let img = image();
+        let scfg = quick_cfg();
+        let pcfg = ProcessorConfig::table2(4);
+        let store = tmp_store("warm-cache");
+        let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+        let model = warm_model_digest(EngineKind::Stream, &pcfg, &scfg);
+
+        let mut cold = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let want = cold.run_range(EngineKind::Stream, pcfg, 0..2, 1);
+        assert!(store.warm_cache_resident_bytes() > 0, "banking must populate the cache");
+
+        // Delete the files: the banking handle still serves resident
+        // copies (bit-identically); a fresh handle sees the absence.
+        let key0 = StoreKey { fingerprint: fp, seed: 7, at_inst: cold.warming_start(0) };
+        let p0 = store.warm_entry_path(&key0, model);
+        std::fs::remove_file(&p0).expect("remove warm entry");
+        assert!(store.load_warm(&key0, model).is_ok(), "resident copy survives the file");
+        let fresh = CheckpointStore::open(store.root()).expect("reopen store");
+        assert!(matches!(fresh.load_warm(&key0, model), Err(StoreMiss::Absent)));
+        let mut warm = StoredSampler::new(&img, fp, 7, scfg, &store).with_warm_bank(true);
+        let got = warm.run_range(EngineKind::Stream, pcfg, 0..2, 1);
+        assert_eq!(want, got, "cache-served rerun must stay bit-identical");
+        assert_eq!(warm.warm_bank_stats().hits, 2);
+
+        // A one-byte budget caches nothing; zero disables outright.
+        let tiny = CheckpointStore::open(store.root()).expect("reopen").with_warm_cache_bytes(1);
+        let mut t = StoredSampler::new(&img, fp, 7, scfg, &tiny).with_warm_bank(true);
+        let _ = t.run_range(EngineKind::Stream, pcfg, 1..2, 1);
+        assert_eq!(tiny.warm_cache_resident_bytes(), 0, "over-budget entries are not admitted");
+
+        // LRU: with room for roughly one entry, the second admission
+        // sheds the first.
+        let one = fresh.load_warm(
+            &StoreKey { fingerprint: fp, seed: 7, at_inst: cold.warming_start(1) },
+            model,
+        );
+        assert!(one.is_ok(), "window 1 entry still on disk");
+        let lru = CheckpointStore::open(store.root())
+            .expect("reopen")
+            .with_warm_cache_bytes(fresh.warm_cache_resident_bytes() + 8);
+        let mut l = StoredSampler::new(&img, fp, 7, scfg, &lru).with_warm_bank(true);
+        let _ = l.run_range(EngineKind::Stream, pcfg, 0..2, 1);
+        assert!(
+            lru.warm_cache_resident_bytes() <= fresh.warm_cache_resident_bytes() + 8,
+            "cache must stay within its budget"
+        );
         let _ = std::fs::remove_dir_all(store.root());
     }
 
@@ -1107,6 +1428,106 @@ mod tests {
         assert_eq!(p2, in_order[2]);
         assert_eq!(p0, in_order[0]);
         assert_eq!(ooo.stats().hits, 2);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// A capped store sheds least-recently-accessed entries on save —
+    /// and a rerun transparently recomputes the evicted state, healing
+    /// the store byte-identically.
+    #[test]
+    fn cap_evicts_lru_and_rerun_heals_byte_identical() {
+        let img = image();
+        let scfg = quick_cfg();
+        let pcfg = ProcessorConfig::table2(4);
+        let fp = sfetch_trace::trace_fingerprint(&img, 7, 4096);
+
+        // Uncapped populate: 4 checkpoints, record their bytes.
+        let store = tmp_store("cap");
+        let mut s = StoredSampler::new(&img, fp, 7, scfg, &store);
+        let want = s.run_range(EngineKind::Stream, pcfg, 0..4, 1);
+        assert_eq!(store.entries(), 4);
+        assert_eq!(store.evicted(), 0, "no cap, no shedding");
+        let keys: Vec<StoreKey> = (0..4)
+            .map(|w| StoreKey { fingerprint: fp, seed: 7, at_inst: s.warming_start(w) })
+            .collect();
+        let pristine: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|k| std::fs::read(store.entry_path(k)).expect("entry bytes"))
+            .collect();
+        let full = store.total_bytes();
+        let one = pristine[0].len() as u64;
+
+        // A fresh handle (empty lease set) with a cap that holds about
+        // half the entries: its first save must evict the oldest.
+        let capped = CheckpointStore::open(store.root())
+            .expect("reopen")
+            .with_cap_bytes(Some(full - one));
+        let extra = StoreKey { fingerprint: fp, seed: 7, at_inst: 999 };
+        let mut ex = Executor::from_image(&img, 7);
+        ex.nth(998);
+        capped.save(&extra, &ex.checkpoint()).expect("save over cap");
+        assert!(capped.evicted() > 0, "cap must force eviction");
+        assert!(capped.total_bytes() <= full - one + pristine[0].len() as u64);
+        assert!(
+            capped.load(&extra).is_ok(),
+            "the just-saved (leased) entry must survive its own eviction pass"
+        );
+        assert!(store.entries() < 5, "some old entry was shed");
+
+        // Heal: an uncapped rerun recomputes the evicted checkpoints and
+        // lands on byte-identical entry files and bit-identical points.
+        let heal_store = CheckpointStore::open(store.root()).expect("reopen");
+        let mut heal = StoredSampler::new(&img, fp, 7, scfg, &heal_store);
+        let got = heal.run_range(EngineKind::Stream, pcfg, 0..4, 1);
+        assert_eq!(want, got, "evicted windows recompute bit-identically");
+        assert!(heal.stats().misses > 0, "healing recomputed evicted entries");
+        for (k, bytes) in keys.iter().zip(&pristine) {
+            let healed = std::fs::read(store.entry_path(k)).expect("healed entry");
+            assert_eq!(&healed, bytes, "healed entry must be byte-identical");
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// Leased (recently used by this handle) entries are exempt from
+    /// eviction: the cap sheds cold history, not the live working set.
+    #[test]
+    fn cap_never_evicts_leased_entries() {
+        let img = image();
+        let scfg = quick_cfg();
+        let pcfg = ProcessorConfig::table2(4);
+        let fp = sfetch_trace::trace_fingerprint(&img, 13, 4096);
+
+        let store = tmp_store("cap-lease");
+        let mut s = StoredSampler::new(&img, fp, 13, scfg, &store);
+        let _ = s.run_range(EngineKind::Stream, pcfg, 0..3, 1);
+        let keys: Vec<StoreKey> = (0..3)
+            .map(|w| StoreKey { fingerprint: fp, seed: 13, at_inst: s.warming_start(w) })
+            .collect();
+
+        // Tiny cap: every save would shed everything unleased. Loading
+        // window 1 first leases it; saving a new entry must then evict
+        // the *other* old entries but keep window 1 and the new entry.
+        let capped =
+            CheckpointStore::open(store.root()).expect("reopen").with_cap_bytes(Some(1));
+        capped.load(&keys[1]).expect("lease window 1");
+        let extra = StoreKey { fingerprint: fp, seed: 13, at_inst: 777 };
+        let mut ex = Executor::from_image(&img, 13);
+        ex.nth(776);
+        capped.save(&extra, &ex.checkpoint()).expect("save over cap");
+
+        assert!(capped.load(&keys[1]).is_ok(), "leased entry survives");
+        assert!(capped.load(&extra).is_ok(), "fresh save survives");
+        assert_eq!(
+            capped.load(&keys[0]),
+            Err(StoreMiss::Absent),
+            "unleased entry was shed"
+        );
+        assert_eq!(
+            capped.load(&keys[2]),
+            Err(StoreMiss::Absent),
+            "unleased entry was shed"
+        );
+        assert_eq!(capped.evicted(), 2);
         let _ = std::fs::remove_dir_all(store.root());
     }
 }

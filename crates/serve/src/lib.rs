@@ -32,8 +32,13 @@
 //! The wire protocol (one JSON object per line over a Unix domain
 //! socket) is defined in [`sfetch_bench::driver`] — the daemon and the
 //! clients share one codec, one cell-execution path
-//! ([`sfetch_bench::driver::cell_body_text`]), and one validator, so
-//! the resident and one-shot paths cannot drift.
+//! ([`sfetch_bench::driver::cell_group_bodies`]), and one validator, so
+//! the resident and one-shot paths cannot drift. Requests submitted
+//! with `--batch N` lease compatible cells (same window range) in
+//! groups of up to `N`, and each group shares one batched sweep — one
+//! fast-forward, one functional reference stream — through the same
+//! [`BatchSampler`](sfetch_sample::BatchSampler) the one-shot grids
+//! use, so resident output stays byte-identical.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -43,7 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use sfetch_bench::driver::{cell_body_text, validate_shard_text, GridRequest, ServeEvent};
+use sfetch_bench::driver::{cell_group_bodies, validate_shard_text, GridRequest, ServeEvent};
 use sfetch_bench::grid::parse_shard_file;
 use sfetch_bench::{workload_by_name, HarnessOpts};
 use sfetch_fleet::{
@@ -62,15 +67,19 @@ const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
 /// How long the daemon waits for a connected client's first line.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// How long the startup probe waits for an incumbent daemon's pong.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
 // ---------------------------------------------------------------------
 // In-process cell workers
 // ---------------------------------------------------------------------
 
 /// [`Launcher`] over **threads** of the daemon process: each worker
 /// opens the shared store, runs
-/// [`sfetch_bench::driver::cell_body_text`] — the exact code path fleet
-/// *process* workers run — seals the body and writes it atomically.
-/// The supervisor's retry/timeout machinery applies unchanged.
+/// [`sfetch_bench::driver::cell_group_bodies`] — the exact code path
+/// fleet *process* workers run, batched sweep included — seals each
+/// body and writes it atomically to its own output file. The
+/// supervisor's retry/timeout machinery applies unchanged.
 pub struct ThreadLauncher {
     w: Arc<Workload>,
     scfg: SampleConfig,
@@ -122,24 +131,46 @@ impl Launcher for ThreadLauncher {
     fn launch(
         &self,
         cell: &CellId,
-        _attempt: u32,
+        attempt: u32,
         out: &Path,
+        heartbeat: &Path,
+    ) -> Result<ThreadHandle, FleetError> {
+        self.launch_group(
+            std::slice::from_ref(cell),
+            &[attempt],
+            std::slice::from_ref(&out.to_path_buf()),
+            heartbeat,
+        )
+    }
+
+    fn launch_group(
+        &self,
+        cells: &[CellId],
+        _attempts: &[u32],
+        outs: &[PathBuf],
         heartbeat: &Path,
     ) -> Result<ThreadHandle, FleetError> {
         let done = Arc::new(AtomicBool::new(false));
         let err: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         let (done2, err2) = (Arc::clone(&done), Arc::clone(&err));
         let (w, scfg, opts) = (Arc::clone(&self.w), self.scfg, self.opts);
-        let (cell, out, heartbeat, store_dir) =
-            (cell.clone(), out.to_path_buf(), heartbeat.to_path_buf(), self.store_dir.clone());
+        let (cells, outs, heartbeat, store_dir) =
+            (cells.to_vec(), outs.to_vec(), heartbeat.to_path_buf(), self.store_dir.clone());
         std::thread::spawn(move || {
             let _hb = HeartbeatGuard::start(&heartbeat, HEARTBEAT_EVERY);
             let res = (|| -> Result<(), String> {
-                let store = CheckpointStore::open(&store_dir).map_err(|e| e.to_string())?;
-                let body = cell_body_text(&w, &cell, scfg, &opts, &store)?;
-                let tmp = out.with_extension("part");
-                std::fs::write(&tmp, seal(&body).as_bytes()).map_err(|e| e.to_string())?;
-                std::fs::rename(&tmp, &out).map_err(|e| e.to_string())?;
+                let store = CheckpointStore::open(&store_dir)
+                    .map_err(|e| e.to_string())?
+                    .with_cap_bytes(opts.store_cap_bytes);
+                // One batched sweep produces every cell's body; each is
+                // sealed and written atomically so the supervisor can
+                // validate (and charge) each cell independently.
+                let bodies = cell_group_bodies(&w, &cells, scfg, &opts, &store)?;
+                for (body, out) in bodies.iter().zip(&outs) {
+                    let tmp = out.with_extension("part");
+                    std::fs::write(&tmp, seal(body).as_bytes()).map_err(|e| e.to_string())?;
+                    std::fs::rename(&tmp, out).map_err(|e| e.to_string())?;
+                }
                 Ok(())
             })();
             if let Err(e) = res {
@@ -233,6 +264,51 @@ pub struct DaemonConfig {
     pub procs: usize,
     /// Retry budget per cell.
     pub max_retries: u32,
+    /// Optional byte cap on the resident store: above it, unleased
+    /// checkpoints and warm-bank entries are LRU-evicted (and healed by
+    /// recomputation on demand). `None` means unbounded. This is a
+    /// daemon-side knob — requests cannot widen or shrink it.
+    pub store_cap_bytes: Option<u64>,
+}
+
+/// What the startup probe found at the configured socket path.
+enum SocketProbe {
+    /// Nothing there — bind freely.
+    Absent,
+    /// A daemon answered `ping` with `pong`: a live incumbent.
+    Live,
+    /// Something accepted the connection but did not answer `ping`.
+    /// Not provably stale, so not safe to unlink.
+    Busy,
+    /// The file exists but nothing is listening behind it (connect is
+    /// refused) — a leftover from a dead daemon, safe to unlink.
+    Stale,
+}
+
+/// Probes an existing socket path before binding. Only a connection
+/// *refusal* proves the path stale; any live listener — pong or not —
+/// means some process still owns it.
+fn probe_socket(path: &Path) -> SocketProbe {
+    if !path.exists() {
+        return SocketProbe::Absent;
+    }
+    let stream = match UnixStream::connect(path) {
+        Ok(s) => s,
+        Err(_) => return SocketProbe::Stale,
+    };
+    let _ = stream.set_read_timeout(Some(PROBE_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(PROBE_TIMEOUT));
+    let Ok(mut w) = stream.try_clone() else { return SocketProbe::Busy };
+    if w.write_all(b"{\"op\":\"ping\"}\n").is_err() {
+        return SocketProbe::Busy;
+    }
+    let mut line = String::new();
+    match BufReader::new(stream).read_line(&mut line) {
+        Ok(n) if n > 0 && matches!(ServeEvent::parse(&line), Ok(ServeEvent::Pong)) => {
+            SocketProbe::Live
+        }
+        _ => SocketProbe::Busy,
+    }
 }
 
 /// The resident daemon. [`Daemon::run`] blocks until the stop flag is
@@ -252,12 +328,37 @@ impl Daemon {
     ///
     /// # Errors
     ///
-    /// Socket-setup failures only; per-request failures are reported to
-    /// that request's client as `error` events.
+    /// Socket-setup failures only — including a **live incumbent**: if
+    /// another daemon answers `ping` on the configured socket, this
+    /// daemon refuses to start rather than silently unlinking the
+    /// incumbent's socket out from under it. Only a provably stale
+    /// socket file (connection refused) is reclaimed. Per-request
+    /// failures are reported to that request's client as `error`
+    /// events.
     pub fn run(&self, stop: &AtomicBool) -> Result<(), String> {
         std::fs::create_dir_all(&self.cfg.store_dir)
             .map_err(|e| format!("create store dir: {e}"))?;
-        let _ = std::fs::remove_file(&self.cfg.socket);
+        match probe_socket(&self.cfg.socket) {
+            SocketProbe::Absent => {}
+            SocketProbe::Stale => {
+                eprintln!("serve: reclaiming stale socket {}", self.cfg.socket.display());
+                let _ = std::fs::remove_file(&self.cfg.socket);
+            }
+            SocketProbe::Live => {
+                return Err(format!(
+                    "a daemon is already serving on {} (it answered ping); refusing to take \
+                     over its socket — stop it first or pick another --socket",
+                    self.cfg.socket.display()
+                ));
+            }
+            SocketProbe::Busy => {
+                return Err(format!(
+                    "{} is held by a live process that did not answer ping; refusing to \
+                     remove a socket that is not provably stale",
+                    self.cfg.socket.display()
+                ));
+            }
+        }
         let listener = UnixListener::bind(&self.cfg.socket)
             .map_err(|e| format!("bind {}: {e}", self.cfg.socket.display()))?;
         listener.set_nonblocking(true).map_err(|e| format!("nonblocking listener: {e}"))?;
@@ -272,7 +373,8 @@ impl Daemon {
             let state = Arc::clone(&state);
             let store_dir = self.cfg.store_dir.clone();
             let (procs, max_retries) = (self.cfg.procs, self.cfg.max_retries);
-            std::thread::spawn(move || scheduler_loop(&state, &store_dir, procs, max_retries))
+            let cap = self.cfg.store_cap_bytes;
+            std::thread::spawn(move || scheduler_loop(&state, &store_dir, procs, max_retries, cap))
         };
 
         while !stop.load(Ordering::SeqCst) {
@@ -417,7 +519,13 @@ fn mirror_path(store_dir: &Path, id: &str) -> PathBuf {
 // Scheduling: family batches over the shared ledger
 // ---------------------------------------------------------------------
 
-fn scheduler_loop(state: &SharedState, store_dir: &Path, procs: usize, max_retries: u32) {
+fn scheduler_loop(
+    state: &SharedState,
+    store_dir: &Path,
+    procs: usize,
+    max_retries: u32,
+    store_cap_bytes: Option<u64>,
+) {
     loop {
         let mut batch: Vec<Pending> = {
             let mut q = state.queue.lock().expect("queue lock");
@@ -448,7 +556,7 @@ fn scheduler_loop(state: &SharedState, store_dir: &Path, procs: usize, max_retri
             families.entry(p.req.family_tag()).or_default().push(p);
         }
         for (tag, members) in families {
-            run_family(store_dir, procs, max_retries, tag, &members);
+            run_family(store_dir, procs, max_retries, store_cap_bytes, tag, &members);
         }
     }
 }
@@ -456,7 +564,14 @@ fn scheduler_loop(state: &SharedState, store_dir: &Path, procs: usize, max_retri
 /// Runs one family batch: union the members' canonical cells into the
 /// family ledger, execute under the fleet supervisor with in-process
 /// workers, and fan each completed cell out to its subscribers.
-fn run_family(store_dir: &Path, procs: usize, max_retries: u32, tag: u64, members: &[Pending]) {
+fn run_family(
+    store_dir: &Path,
+    procs: usize,
+    max_retries: u32,
+    store_cap_bytes: Option<u64>,
+    tag: u64,
+    members: &[Pending],
+) {
     let fail_all = |msg: &str| {
         for m in members {
             m.log.push(ServeEvent::Error { req: m.id.clone(), msg: msg.to_owned() }.to_line());
@@ -472,12 +587,16 @@ fn run_family(store_dir: &Path, procs: usize, max_retries: u32, tag: u64, member
     let mut opts = rep.opts;
     opts.warm_bank = members.iter().any(|m| m.req.opts.warm_bank);
     opts.jobs = members.iter().map(|m| m.req.opts.jobs).max().unwrap_or(1).max(1);
+    opts.batch = members.iter().map(|m| m.req.opts.batch).max().unwrap_or(1).max(1);
+    // The cap governs the *daemon's* resident store, so the daemon
+    // config wins over whatever the requests carried.
+    opts.store_cap_bytes = store_cap_bytes;
     let scfg = rep.scfg;
     let windows = rep.windows();
 
     let w = Arc::new(workload_by_name(&rep.bench));
     let store = match CheckpointStore::open(store_dir) {
-        Ok(s) => s,
+        Ok(s) => s.with_cap_bytes(store_cap_bytes),
         Err(e) => return fail_all(&format!("open store: {e}")),
     };
     // One architectural walk banks the family's warming-start
@@ -523,6 +642,9 @@ fn run_family(store_dir: &Path, procs: usize, max_retries: u32, tag: u64, member
     let mut cfg = FleetConfig::new(procs.min(cells.len()).max(1));
     cfg.max_retries = max_retries;
     cfg.req = members.iter().map(|m| m.id.as_str()).collect::<Vec<_>>().join(",");
+    // Compatible cells (same window range) lease in groups of up to
+    // `batch` and share one batched sweep per worker thread.
+    cfg.group = opts.batch;
 
     let launcher = ThreadLauncher::new(Arc::clone(&w), scfg, opts, store_dir.to_path_buf());
     // Per-member singleflight counters: a fresh cell is *computed* for

@@ -37,7 +37,7 @@ use sfetch_serve::{signals, Daemon, DaemonConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sfetch-serve serve --socket PATH --store DIR [--procs N] [--max-retries N]\n\
+        "usage: sfetch-serve serve --socket PATH --store DIR [--procs N] [--max-retries N] [--store-cap-bytes N]\n\
          \x20      sfetch-serve submit --socket PATH [grid flags…]\n\
          \x20      sfetch-serve tail --socket PATH --req ID\n\
          \x20      sfetch-serve ping --socket PATH"
@@ -64,6 +64,8 @@ fn run_serve(mut args: Vec<String>) -> ExitCode {
     let max_retries = take_flag(&mut args, "--max-retries")
         .map(|v| v.parse().expect("--max-retries requires a number"))
         .unwrap_or(3);
+    let store_cap_bytes = take_flag(&mut args, "--store-cap-bytes")
+        .map(|v| v.parse().expect("--store-cap-bytes requires a byte count >= 1"));
     let (Some(socket), Some(store)) = (socket, store) else {
         return usage();
     };
@@ -72,7 +74,8 @@ fn run_serve(mut args: Vec<String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let stop = signals::install();
-    let daemon = Daemon::new(DaemonConfig { socket, store_dir: store, procs, max_retries });
+    let daemon =
+        Daemon::new(DaemonConfig { socket, store_dir: store, procs, max_retries, store_cap_bytes });
     match daemon.run(stop) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

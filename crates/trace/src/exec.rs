@@ -332,6 +332,64 @@ impl Iterator for Executor<'_> {
     }
 }
 
+/// Where a detailed core's reference stream comes from: a live
+/// [`Executor`] (the classic one-core-one-walk shape) or a replayed
+/// slice of pre-recorded [`DynInst`]s.
+///
+/// The replay variant is what lets a *batched* sampler walk the
+/// functional stream **once** and feed N in-flight windows: the shared
+/// walk records its instructions into a buffer, and each window's core
+/// consumes the buffer through `Replay` instead of advancing its own
+/// executor. An `Executor` yields a pure function of its checkpoint
+/// state, so replaying the recorded sequence is bit-identical to
+/// re-walking it — the batched/serial differential tests pin this.
+#[derive(Debug, Clone)]
+pub enum OracleSource<'a> {
+    /// A live functional walk owned by this core.
+    Live(Executor<'a>),
+    /// A cursor over a shared pre-recorded instruction buffer.
+    Replay {
+        /// The recorded committed-path instructions.
+        buf: &'a [DynInst],
+        /// Next index to yield.
+        idx: usize,
+    },
+}
+
+impl<'a> OracleSource<'a> {
+    /// Yields the next committed-path instruction.
+    ///
+    /// `Live` is infinite; `Replay` panics past the end of its buffer —
+    /// the recorder sizes buffers with head-room for the core's fetch
+    /// lookahead, so exhaustion is a recording bug, not a data
+    /// condition, and must fail loudly rather than desynchronize.
+    /// (Named `next_inst`, not `next`: the source is not an iterator —
+    /// `Live` never ends and `Replay` treats exhaustion as a panic.)
+    #[inline]
+    pub fn next_inst(&mut self) -> Option<DynInst> {
+        match self {
+            OracleSource::Live(exec) => exec.next(),
+            OracleSource::Replay { buf, idx } => {
+                let d = *buf
+                    .get(*idx)
+                    .expect("replay oracle exhausted: recorded window buffer too short");
+                *idx += 1;
+                Some(d)
+            }
+        }
+    }
+
+    /// Address of the next instruction the source will yield.
+    pub fn pc(&self) -> Addr {
+        match self {
+            OracleSource::Live(exec) => exec.pc(),
+            OracleSource::Replay { buf, idx } => {
+                buf.get(*idx).expect("replay oracle exhausted: empty remainder").pc
+            }
+        }
+    }
+}
+
 /// Deterministic fingerprint of the architectural trace `(image, seed)`
 /// yields: the image's static shape folded with the first `prefix`
 /// committed instructions of the walk.

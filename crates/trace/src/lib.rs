@@ -46,7 +46,7 @@ pub mod stats;
 pub mod stream;
 
 pub use ckpt::{digest_bytes, ArchCheckpoint, Digest};
-pub use exec::{trace_fingerprint, Executor};
+pub use exec::{trace_fingerprint, Executor, OracleSource};
 pub use profile::profile_cfg;
 pub use record::{DynControl, DynInst};
 pub use stats::TraceStats;

@@ -11,9 +11,8 @@
 //! commit-side *stream builder* the fetch engine uses to train its
 //! next-stream predictor.
 
-use std::collections::HashMap;
-
 use sfetch_isa::{Addr, BranchKind};
+use sfetch_tab::OpenMap;
 
 use crate::record::DynInst;
 
@@ -104,7 +103,8 @@ pub struct StreamStats {
     pub max_len: u32,
     /// Histogram over length buckets `1-8, 9-16, 17-24, 25-32, 33+`.
     pub hist: [u64; 5],
-    unique: HashMap<(Addr, u32), u64>,
+    // Open-addressed: hit once per extracted stream on the commit path.
+    unique: OpenMap<(Addr, u32), u64>,
 }
 
 impl StreamStats {
@@ -126,7 +126,7 @@ impl StreamStats {
             _ => 4,
         };
         self.hist[bucket] += 1;
-        *self.unique.entry((s.start, s.len)).or_insert(0) += 1;
+        *self.unique.entry_or_insert((s.start, s.len), 0) += 1;
     }
 
     /// Mean stream length in instructions (the paper's Table 1 "size").

@@ -1,0 +1,142 @@
+//! Differential oracle for **batched multi-window execution**: for any
+//! cell mix (engine × width × front pipeline), any window schedule, any
+//! batch size and any banking state, [`BatchSampler`] must produce
+//! per-window results **bit-identical** to running every cell through
+//! the per-window [`StoredSampler`] — the full `SimStats`, not just the
+//! IPC. The squash-heavy phased workload additionally pins the case
+//! where measured windows straddle the in-flight batch boundary.
+
+use proptest::prelude::*;
+
+use sfetch_bench::workload_by_name;
+use sfetch_cfg::gen::{GenParams, ProgramGenerator};
+use sfetch_cfg::{layout, CodeImage};
+use sfetch_core::{ProcessorConfig, SimStats};
+use sfetch_fetch::{EngineKind, FrontPipeline};
+use sfetch_sample::{
+    BatchCell, BatchSampler, CheckpointStore, SamplePoint, SampleConfig, StoredSampler,
+};
+use sfetch_workloads::LayoutChoice;
+
+fn tmp_store(tag: &str) -> CheckpointStore {
+    let dir =
+        std::env::temp_dir().join(format!("sfetch-batch-ident-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointStore::open(dir).expect("open store")
+}
+
+/// The per-window oracle: each cell independently through `StoredSampler`.
+#[allow(clippy::too_many_arguments)]
+fn serial_oracle(
+    img: &CodeImage,
+    fingerprint: u64,
+    seed: u64,
+    scfg: SampleConfig,
+    store: &CheckpointStore,
+    cells: &[BatchCell],
+    range: std::ops::Range<u64>,
+    warm_bank: bool,
+) -> Vec<Vec<(SamplePoint, SimStats)>> {
+    cells
+        .iter()
+        .map(|c| {
+            StoredSampler::new(img, fingerprint, seed, scfg, store)
+                .with_warm_bank(warm_bank)
+                .run_range_stats(c.kind, c.pcfg, range.clone(), 1)
+        })
+        .collect()
+}
+
+fn cell(kind: EngineKind, width: usize, engine_front: bool) -> BatchCell {
+    let mut pcfg = ProcessorConfig::table2(width);
+    pcfg.front =
+        if engine_front { FrontPipeline::for_engine(kind) } else { FrontPipeline::legacy() };
+    BatchCell { kind, pcfg }
+}
+
+/// Phased pin: its program phases force squash-heavy windows, and the
+/// window range is run at `jobs = 2` so measured windows straddle the
+/// in-flight batch boundary (windows 0–1 sweep concurrently, window 2
+/// lands in the next chunk).
+#[test]
+fn phased_squash_heavy_windows_straddle_batch_boundaries() {
+    let w = workload_by_name("phased");
+    let img = w.image(LayoutChoice::Optimized);
+    let fp = w.fingerprint(LayoutChoice::Optimized);
+    let scfg = SampleConfig {
+        interval: 40_000,
+        warm_func: 6_000,
+        warm_mem: 6_000,
+        warm_detail: 1_000,
+        measure: 2_000,
+        ..Default::default()
+    };
+    let cells: Vec<BatchCell> =
+        EngineKind::ALL.iter().map(|&k| cell(k, 8, true)).collect();
+    let store = tmp_store("phased");
+    let got = BatchSampler::new(img, fp, w.ref_seed(), scfg, &store).run_range(&cells, 0..3, 2);
+    let want = serial_oracle(img, fp, w.ref_seed(), scfg, &store, &cells, 0..3, false);
+    assert_eq!(got, want, "phased batched windows must match the per-window oracle bit-for-bit");
+    let mispredictions: u64 = got.iter().flatten().map(|(_, s)| s.mispredictions).sum();
+    assert!(mispredictions > 0, "phased windows must actually exercise squash recovery");
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random (front pipeline, engine, width, batch size, window
+    /// schedule, banking) → full per-window `SimStats` equality with the
+    /// per-window path.
+    #[test]
+    fn batched_execution_is_bit_identical_to_per_window(
+        gen_seed in 0u64..200,
+        exec_seed in 1u64..50,
+        warm_func in 800u64..2_500,
+        mem_tenths in 1u64..=10,
+        warm_detail in 100u64..400,
+        measure in 200u64..700,
+        slack in 0u64..1_500,
+        jobs in 1usize..4,
+        lo in 0u64..3,
+        span in 1u64..4,
+        mix in proptest::collection::vec((0usize..4, any::<bool>(), 0usize..3), 1..4),
+        warm_bank in any::<bool>(),
+    ) {
+        let scfg = SampleConfig {
+            interval: warm_func + warm_detail + measure + slack,
+            warm_func,
+            warm_mem: (warm_func * mem_tenths / 10).max(1),
+            warm_detail,
+            measure,
+            ..Default::default()
+        };
+        let cfg = ProgramGenerator::new(GenParams::small(), gen_seed).generate();
+        let img = CodeImage::build(&cfg, &layout::natural(&cfg));
+        let cells: Vec<BatchCell> = mix
+            .iter()
+            .map(|&(k, engine_front, wi)| cell(EngineKind::ALL[k], [2, 4, 8][wi], engine_front))
+            .collect();
+        let store = tmp_store(&format!("prop-{gen_seed}-{exec_seed}"));
+        let range = lo..lo + span;
+
+        let mut b = BatchSampler::new(&img, gen_seed, exec_seed, scfg, &store)
+            .with_warm_bank(warm_bank);
+        let got = b.run_range(&cells, range.clone(), jobs);
+        let want = serial_oracle(
+            &img, gen_seed, exec_seed, scfg, &store, &cells, range.clone(), warm_bank,
+        );
+        prop_assert_eq!(&got, &want, "batched output diverged from the per-window oracle");
+
+        // A banked rerun (restoring warm state the first pass saved)
+        // must also reproduce the same bytes.
+        if warm_bank {
+            let mut b2 = BatchSampler::new(&img, gen_seed, exec_seed, scfg, &store)
+                .with_warm_bank(true);
+            let again = b2.run_range(&cells, range, jobs);
+            prop_assert_eq!(&again, &want, "bank-restored rerun diverged");
+            prop_assert!(b2.warm_bank_stats().hits > 0, "rerun never hit the warm bank");
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -42,6 +42,9 @@ fn request(engines: &[EngineKind]) -> GridRequest {
             grid_total: TOTAL,
             grid_sample: scfg,
             jobs: 1,
+            // Exercise the resident grouped path: compatible cells lease
+            // in pairs and share one batched sweep per worker thread.
+            batch: 2,
             warm_bank: true,
             ..HarnessOpts::default()
         },
@@ -71,6 +74,7 @@ impl TestDaemon {
                     store_dir: store,
                     procs: 2,
                     max_retries: 1,
+                    store_cap_bytes: None,
                 });
                 daemon.run(&stop).expect("daemon run");
             })
@@ -170,6 +174,78 @@ fn overlapping_requests_share_work_and_merge_byte_identically() {
         format!("{runs_rerun:?}"),
         "resumed stream must reproduce the original merge exactly"
     );
+}
+
+#[test]
+fn second_daemon_refuses_live_socket_and_first_keeps_serving() {
+    use std::io::{BufRead, BufReader, Write};
+    let d = TestDaemon::start("takeover");
+
+    // A second daemon pointed at the live socket must refuse to start
+    // (the incumbent answers ping) rather than unlink it.
+    let stop = AtomicBool::new(false);
+    let second = Daemon::new(DaemonConfig {
+        socket: d.socket.clone(),
+        store_dir: d.store.parent().expect("test root").join("store2"),
+        procs: 1,
+        max_retries: 0,
+        store_cap_bytes: None,
+    });
+    let err = second.run(&stop).expect_err("second daemon must refuse a live socket");
+    assert!(err.contains("refusing"), "got: {err}");
+    assert!(err.contains("answered ping"), "got: {err}");
+
+    // The incumbent must still be serving on the untouched socket.
+    let s = std::os::unix::net::UnixStream::connect(&d.socket)
+        .expect("first daemon lost its socket");
+    let mut w = s.try_clone().expect("clone");
+    w.write_all(b"{\"op\":\"ping\"}\n").expect("send");
+    let mut line = String::new();
+    BufReader::new(s).read_line(&mut line).expect("read");
+    assert!(line.contains("\"ev\":\"pong\""), "got: {line}");
+}
+
+#[test]
+fn stale_socket_is_reclaimed() {
+    let root =
+        std::env::temp_dir().join(format!("sfetch-serve-test-stale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create test root");
+    let socket = root.join("d.sock");
+
+    // Bind and drop: the socket file survives with nothing listening
+    // behind it — exactly what a SIGKILLed daemon leaves.
+    drop(std::os::unix::net::UnixListener::bind(&socket).expect("stale bind"));
+    assert!(socket.exists(), "stale socket file must persist after drop");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let (socket, root, stop) = (socket.clone(), root.clone(), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            Daemon::new(DaemonConfig {
+                socket,
+                store_dir: root.join("store"),
+                procs: 1,
+                max_retries: 0,
+                store_cap_bytes: None,
+            })
+            .run(&stop)
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut ready = false;
+    while Instant::now() < deadline {
+        if std::os::unix::net::UnixStream::connect(&socket).is_ok() {
+            ready = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let res = thread.join().expect("daemon thread");
+    assert!(res.is_ok(), "daemon must reclaim a provably stale socket, got: {res:?}");
+    assert!(ready, "daemon never served on the reclaimed socket");
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]
